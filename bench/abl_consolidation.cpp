@@ -1,0 +1,105 @@
+// Ablation: power-aware VM consolidation (project objective: "aggressive
+// power-aware resource management/scheduling"). After a burst of tenant
+// churn leaves single VMs scattered across many dCOMPUBRICKs, one
+// consolidation pass packs them — cheap because disaggregated segments
+// are re-pointed, not copied — and the emptied bricks power off.
+
+#include <cstdio>
+#include <memory>
+
+#include "orch/consolidator.hpp"
+#include "sim/report.hpp"
+
+namespace {
+using namespace dredbox;
+constexpr std::uint64_t kGiB = 1ull << 30;
+}
+
+int main() {
+  std::printf("=== Ablation: consolidation + power-off closed loop ===\n\n");
+
+  hw::Rack rack;
+  optics::OpticalSwitch sw;
+  optics::CircuitManager circuits{sw};
+  memsys::RemoteMemoryFabric fabric{rack, circuits};
+  orch::SdmController sdm{rack, fabric, circuits};
+  orch::MigrationEngine engine{rack, fabric, sdm};
+  orch::PowerManager power{rack};
+
+  struct Stack {
+    explicit Stack(hw::ComputeBrick& brick)
+        : os{brick}, hypervisor{brick, os}, agent{hypervisor, os} {}
+    os::BareMetalOs os;
+    hyp::Hypervisor hypervisor;
+    orch::SdmAgent agent;
+  };
+  std::vector<std::unique_ptr<Stack>> stacks;
+  std::vector<hw::BrickId> computes;
+  const hw::TrayId tray_a = rack.add_tray();
+  const hw::TrayId tray_b = rack.add_tray();
+  hw::ComputeBrickConfig cc;
+  cc.apu_cores = 4;
+  cc.local_memory_bytes = 8 * kGiB;
+  for (int i = 0; i < 8; ++i) {
+    auto& cb = rack.add_compute_brick(i < 4 ? tray_a : tray_b, cc);
+    stacks.push_back(std::make_unique<Stack>(cb));
+    sdm.register_agent(stacks.back()->agent);
+    computes.push_back(cb.id());
+  }
+  hw::MemoryBrickConfig mc;
+  mc.capacity_bytes = 64 * kGiB;
+  rack.add_memory_brick(tray_b, mc);
+
+  // Tenant churn aftermath: one 1-core VM stranded on each brick, each
+  // holding 1 GiB of disaggregated memory.
+  for (std::size_t i = 0; i < stacks.size(); ++i) {
+    auto vm = stacks[i]->hypervisor.create_vm(1, kGiB);
+    orch::ScaleUpRequest req;
+    req.vm = *vm;
+    req.compute = computes[i];
+    req.bytes = kGiB;
+    req.posted_at = sim::Time::sec(static_cast<double>(i));
+    if (!sdm.scale_up(req).ok) {
+      std::printf("setup scale-up failed\n");
+      return 1;
+    }
+  }
+
+  hw::PowerModel pm;
+  auto active_bricks = [&] {
+    std::size_t n = 0;
+    for (hw::BrickId cb : computes) {
+      if (rack.brick(cb).power_state() != hw::PowerState::kOff) ++n;
+    }
+    return n;
+  };
+  const double power_before = rack.power_draw_watts(pm, sw.ports_in_use());
+  const std::size_t bricks_before = active_bricks();
+
+  orch::Consolidator consolidator{rack, sdm, engine, power};
+  const auto report = consolidator.consolidate(sim::Time::sec(100));
+
+  const double power_after = rack.power_draw_watts(pm, sw.ports_in_use());
+  const std::size_t bricks_after = active_bricks();
+
+  sim::TextTable table{{"", "before", "after one pass"}};
+  table.add_row({"powered compute bricks", std::to_string(bricks_before),
+                 std::to_string(bricks_after)});
+  table.add_row({"rack power (W)", sim::TextTable::num(power_before, 1),
+                 sim::TextTable::num(power_after, 1)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("pass summary: %zu migrations in %s total (memory re-pointed, not\n",
+              report.migrations, report.total_migration_time.to_string().c_str());
+  std::uint64_t repointed = 0;
+  for (const auto& m : report.moves) repointed += m.repointed_bytes;
+  std::printf("copied: %llu GiB followed the VMs); %zu bricks emptied, %zu swept off\n\n",
+              static_cast<unsigned long long>(repointed >> 30), report.bricks_emptied,
+              report.bricks_powered_off);
+
+  const double saving = (power_before - power_after) / power_before;
+  std::printf("Design-choice check: one consolidation pass cuts rack power by %.1f%%\n",
+              saving * 100);
+  std::printf("  -> %s\n", saving > 0.2 ? "CONFIRMED" : "NOT confirmed");
+  return saving > 0.2 ? 0 : 1;
+}

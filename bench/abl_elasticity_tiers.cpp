@@ -1,0 +1,111 @@
+// Ablation: the four elasticity tiers available to a dReDBox VM, fastest
+// to slowest. The paper's Fig. 10 compares tier 3 (attach disaggregated
+// memory) against tier 4 (conventional scale-out); the revisited
+// ballooning subsystem (project objectives) adds tiers 1-2 below it.
+//
+//   1. balloon rebalance   — reclaim from a co-located guest, no fabric
+//   2. intra-tray attach   — electrical circuit, no switch programming
+//   3. cross-tray attach   — optical circuit through the rack switch
+//   4. scale-out           — spawn another VM [13]
+
+#include <cstdio>
+#include <memory>
+
+#include "orch/scale_out.hpp"
+#include "orch/sdm_controller.hpp"
+#include "sim/report.hpp"
+
+namespace {
+using namespace dredbox;
+constexpr std::uint64_t kGiB = 1ull << 30;
+}
+
+int main() {
+  std::printf("=== Ablation: elasticity tiers (1 GiB grant each) ===\n\n");
+
+  hw::Rack rack;
+  optics::OpticalSwitch sw;
+  optics::CircuitManager circuits{sw};
+  memsys::RemoteMemoryFabric fabric{rack, circuits};
+  orch::SdmController sdm{rack, fabric, circuits};
+
+  const hw::TrayId tray_a = rack.add_tray();
+  const hw::TrayId tray_b = rack.add_tray();
+  hw::ComputeBrickConfig cc;
+  cc.apu_cores = 4;
+  cc.local_memory_bytes = 8 * kGiB;
+  auto& cb = rack.add_compute_brick(tray_a, cc);
+  os::BareMetalOs os{cb};
+  hyp::Hypervisor hv{cb, os};
+  orch::SdmAgent agent{hv, os};
+  sdm.register_agent(agent);
+
+  hw::MemoryBrickConfig mc;
+  mc.capacity_bytes = 32 * kGiB;
+  const hw::BrickId local_mb = rack.add_memory_brick(tray_a, mc).id();
+  const hw::BrickId remote_mb = rack.add_memory_brick(tray_b, mc).id();
+
+  orch::AllocationRequest req;
+  req.vcpus = 1;
+  req.memory_bytes = 4 * kGiB;
+  const auto donor = sdm.allocate_vm(req, sim::Time::zero());
+  req.memory_bytes = 2 * kGiB;
+  const auto taker = sdm.allocate_vm(req, sim::Time::zero());
+  if (!donor.ok || !taker.ok) {
+    std::printf("boot failed\n");
+    return 1;
+  }
+
+  sim::TextTable table{{"tier", "mechanism", "delay", "fabric state touched"}};
+
+  // Tier 1: balloon rebalance.
+  const auto t1 = sdm.rebalance(donor.vm, taker.vm, donor.compute, kGiB, sim::Time::sec(10));
+  table.add_row({"1", "balloon rebalance (co-located donor)", t1.delay().to_string(),
+                 "none"});
+
+  // Tier 2: intra-tray attach (electrical). Force the local membrick by
+  // exhausting nothing — the SDM-C already prefers it.
+  orch::ScaleUpRequest s2;
+  s2.vm = taker.vm;
+  s2.compute = taker.compute;
+  s2.bytes = kGiB;
+  s2.posted_at = sim::Time::sec(20);
+  const auto t2 = sdm.scale_up(s2);
+  if (!t2.ok || t2.membrick != local_mb) {
+    std::printf("tier-2 setup unexpected (mb=%s)\n", t2.membrick.to_string().c_str());
+  }
+  table.add_row({"2", "attach, intra-tray electrical", t2.delay().to_string(),
+                 "RMST + backplane lane"});
+
+  // Tier 3: cross-tray attach (optical). Fill the local membrick first so
+  // selection must go cross-tray.
+  auto filler = rack.memory_brick(local_mb).allocate(
+      rack.memory_brick(local_mb).largest_free_extent(), hw::BrickId{});
+  orch::ScaleUpRequest s3 = s2;
+  s3.posted_at = sim::Time::sec(30);
+  const auto t3 = sdm.scale_up(s3);
+  if (!t3.ok || t3.membrick != remote_mb) {
+    std::printf("tier-3 setup unexpected\n");
+  }
+  table.add_row({"3", "attach, cross-tray optical", t3.delay().to_string(),
+                 "RMST + circuit + switch ports"});
+  if (filler) rack.memory_brick(local_mb).release(filler->id);
+
+  // Tier 4: conventional scale-out.
+  orch::ScaleOutBaseline baseline;
+  sim::Rng rng{7};
+  const auto t4 = baseline.spawn(sim::Time::sec(40), rng);
+  table.add_row({"4", "scale-out: spawn another VM [13]", t4.delay().to_string(),
+                 "new instance + image copy"});
+
+  std::printf("%s\n", table.to_string().c_str());
+
+  const bool ordered = t1.delay() < t2.delay() && t2.delay() < t3.delay() &&
+                       t3.delay() < t4.delay();
+  std::printf("Tier ordering check (1 < 2 < 3 < 4) -> %s\n",
+              ordered ? "CONFIRMED" : "NOT confirmed");
+  std::printf("\nThe SDM-C exploits this ladder: ballooning redistributes what the\n");
+  std::printf("brick already holds; the fabric only gets touched when genuinely new\n");
+  std::printf("memory is needed, and the optical switch only for cross-tray grants.\n");
+  return ordered ? 0 : 1;
+}

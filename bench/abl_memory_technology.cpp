@@ -1,0 +1,66 @@
+// Ablation: memory technology behind the dMEMBRICK glue logic
+// (Section II). "The dMEMBRICK architecture can seamlessly support both
+// DDR and HMC memory technologies; the glue logic is connected to an AXI
+// interconnect, hence directly interfacing both Xilinx DDR and HMC
+// controller IPs." This bench compares end-to-end remote access with the
+// two back-ends over both interconnect modes.
+
+#include <cstdio>
+
+#include "memsys/remote_memory.hpp"
+#include "net/packet_network.hpp"
+#include "sim/report.hpp"
+
+namespace {
+using namespace dredbox;
+
+double circuit_rt_ns(hw::MemoryTechnology tech) {
+  hw::Rack rack;
+  const hw::TrayId tray_a = rack.add_tray();
+  const hw::TrayId tray_b = rack.add_tray();
+  const hw::BrickId cpu = rack.add_compute_brick(tray_a).id();
+  hw::MemoryBrickConfig mc;
+  mc.technology = tech;
+  const hw::BrickId mem = rack.add_memory_brick(tray_b, mc).id();
+  optics::OpticalSwitch sw;
+  optics::CircuitManager circuits{sw};
+  memsys::RemoteMemoryFabric fabric{rack, circuits};
+  memsys::AttachRequest areq;
+  areq.compute = cpu;
+  areq.membrick = mem;
+  const auto a = fabric.attach(areq, sim::Time::zero());
+  return fabric.read(cpu, a->compute_base, 64, sim::Time::zero()).round_trip().as_ns();
+}
+
+double packet_rt_ns(hw::MemoryTechnology tech) {
+  net::PacketNetwork network;
+  const hw::BrickId cpu{1}, mem{2};
+  network.add_brick(cpu);
+  network.add_brick(mem);
+  network.connect(cpu, mem, 10.0);
+  return network.remote_read(cpu, mem, 0x0, 64, sim::Time::zero(), tech).latency().as_ns();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: DDR4 vs HMC dMEMBRICK back-end ===\n\n");
+
+  sim::TextTable table{{"path", "DDR4 RT (ns)", "HMC RT (ns)", "HMC advantage"}};
+  const double c_ddr = circuit_rt_ns(hw::MemoryTechnology::kDdr4);
+  const double c_hmc = circuit_rt_ns(hw::MemoryTechnology::kHmc);
+  const double p_ddr = packet_rt_ns(hw::MemoryTechnology::kDdr4);
+  const double p_hmc = packet_rt_ns(hw::MemoryTechnology::kHmc);
+  table.add_row({"circuit (mainline)", sim::TextTable::num(c_ddr, 0),
+                 sim::TextTable::num(c_hmc, 0), sim::TextTable::pct((c_ddr - c_hmc) / c_ddr)});
+  table.add_row({"packet (exploratory)", sim::TextTable::num(p_ddr, 0),
+                 sim::TextTable::num(p_hmc, 0), sim::TextTable::pct((p_ddr - p_hmc) / p_ddr)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Observation: the interconnect (serdes/MAC/PHY/switching) dominates the\n");
+  std::printf("round trip, so swapping the memory controller IP moves the total by\n");
+  std::printf("only %.0f%%/%.0f%% — the glue-logic abstraction is cheap, which is why\n",
+              100.0 * (c_ddr - c_hmc) / c_ddr, 100.0 * (p_ddr - p_hmc) / p_ddr);
+  std::printf("the brick can be dimensioned by capacity/bandwidth need, not latency.\n");
+  return (c_hmc < c_ddr && p_hmc < p_ddr) ? 0 : 1;
+}

@@ -1,0 +1,121 @@
+// Ablation: aggressive power-aware management (project objective) over a
+// diurnal workload. The PowerManager sweeps idle bricks off after a
+// timeout and the SDM-C pays a wake latency when demand returns. The
+// bench integrates rack energy over 48 h with and without the manager.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/datacenter.hpp"
+#include "core/pilots/nfv.hpp"
+#include "orch/power_manager.hpp"
+#include "sim/stats.hpp"
+#include "sim/report.hpp"
+
+namespace {
+using namespace dredbox;
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+core::DatacenterConfig dc_config() {
+  core::DatacenterConfig cfg;
+  cfg.trays = 2;
+  cfg.compute_bricks_per_tray = 1;
+  cfg.memory_bricks_per_tray = 4;  // generous pool: most of it idles at night
+  cfg.memory.capacity_bytes = 16 * kGiB;
+  return cfg;
+}
+
+struct RunOutcome {
+  double energy_wh = 0.0;
+  double mean_power_w = 0.0;
+  std::size_t power_offs = 0;
+  std::size_t wake_ups = 0;
+  double mean_scale_delay_s = 0.0;
+};
+
+RunOutcome run(bool managed) {
+  core::Datacenter dc{dc_config()};
+  std::unique_ptr<orch::PowerManager> pm;
+  if (managed) {
+    orch::PowerPolicyConfig policy;
+    policy.idle_timeout = sim::Time::sec(300);
+    policy.keep_compute_bricks_on = true;
+    pm = std::make_unique<orch::PowerManager>(dc.rack(), policy);
+    dc.sdm().set_power_manager(pm.get());
+  }
+
+  const auto boot = dc.boot_vm("diurnal-app", 2, 2 * kGiB);
+  if (!boot.ok) throw std::runtime_error("boot failed: " + boot.error);
+
+  core::pilots::NfvKeyServerPilot shape{};  // reuse the diurnal load model
+  struct Held {
+    hw::SegmentId segment;
+  };
+  std::vector<Held> held;
+  std::uint64_t provisioned = 2;
+
+  RunOutcome out;
+  sim::RunningStats power;
+  sim::RunningStats delays;
+  const double step_h = 0.25;  // 15 min samples
+  for (double hour = 0.0; hour < 48.0; hour += step_h) {
+    const sim::Time now = sim::Time::sec(hour * 3600.0);
+    dc.advance_to(now);
+    const std::uint64_t demand = shape.demand_gb(shape.load_at(hour)) / 2;  // 2-26 GB
+
+    while (provisioned < demand) {
+      auto r = dc.scale_up(boot.vm, boot.compute, 2 * kGiB);
+      if (!r.ok) break;
+      dc.advance_to(r.completed_at);
+      held.push_back(Held{r.segment});
+      provisioned += 2;
+      delays.add(r.delay().as_sec());
+    }
+    while (provisioned >= demand + 4 && !held.empty()) {
+      auto r = dc.scale_down(boot.vm, boot.compute, held.back().segment);
+      if (!r.ok) break;
+      dc.advance_to(r.completed_at);
+      held.pop_back();
+      provisioned -= 2;
+    }
+    if (pm) pm->tick(dc.simulator().now());
+
+    const double watts = dc.power_draw_watts();
+    power.add(watts);
+    out.energy_wh += watts * step_h;
+  }
+
+  out.mean_power_w = power.mean();
+  out.power_offs = pm ? pm->power_offs() : 0;
+  out.wake_ups = pm ? pm->wake_ups() : 0;
+  out.mean_scale_delay_s = delays.count() ? delays.mean() : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: power-aware management over a 48 h diurnal trace ===\n\n");
+
+  const RunOutcome off = run(false);
+  const RunOutcome on = run(true);
+
+  sim::TextTable table{{"policy", "mean power (W)", "energy (Wh)", "power-offs", "wake-ups",
+                        "mean scale delay (s)"}};
+  table.add_row({"always-on", sim::TextTable::num(off.mean_power_w, 1),
+                 sim::TextTable::num(off.energy_wh, 0), "0", "0",
+                 sim::TextTable::num(off.mean_scale_delay_s, 2)});
+  table.add_row({"power-managed", sim::TextTable::num(on.mean_power_w, 1),
+                 sim::TextTable::num(on.energy_wh, 0), std::to_string(on.power_offs),
+                 std::to_string(on.wake_ups), sim::TextTable::num(on.mean_scale_delay_s, 2)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  const double saving = 1.0 - on.energy_wh / off.energy_wh;
+  std::printf("Energy saved by sweeping idle bricks: %.1f%%\n", saving * 100);
+  std::printf("Cost: %.2f s mean scale-up (vs %.2f s) — wake latency shows up only\n",
+              on.mean_scale_delay_s, off.mean_scale_delay_s);
+  std::printf("when demand returns to a dark brick.\n\n");
+  std::printf("Design-choice check: power management saves energy on diurnal load -> %s\n",
+              saving > 0.05 ? "CONFIRMED" : "NOT confirmed");
+  return saving > 0.05 ? 0 : 1;
+}

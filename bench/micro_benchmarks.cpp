@@ -1,0 +1,154 @@
+// Google-benchmark microbenchmarks for the hot paths of the simulation
+// substrate itself (these measure the *implementation*, not the modelled
+// hardware): RMST associative lookup, event-queue throughput, segment
+// allocator churn, packet-path evaluation, and TCO scheduling throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "hw/rmst.hpp"
+#include "memsys/dma.hpp"
+#include "memsys/remote_memory.hpp"
+#include "net/packet_network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "tco/conventional_dc.hpp"
+#include "tco/disaggregated_dc.hpp"
+#include "tco/workload.hpp"
+
+namespace {
+
+using namespace dredbox;
+
+void BM_RmstLookup(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  hw::Rmst rmst{entries};
+  for (std::size_t i = 0; i < entries; ++i) {
+    hw::RmstEntry e;
+    e.segment = hw::SegmentId{static_cast<std::uint32_t>(i + 1)};
+    e.base = (1ull << 40) + (static_cast<std::uint64_t>(i) << 30);
+    e.size = 1ull << 30;
+    e.dest_brick = hw::BrickId{1};
+    rmst.insert(e);
+  }
+  std::uint64_t addr = (1ull << 40) + (entries / 2 << 30) + 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rmst.lookup(addr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RmstLookup)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_EventQueueScheduleDispatch(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < batch; ++i) {
+      q.schedule(sim::Time::ns((i * 7919) % 100000), [] {});
+    }
+    benchmark::DoNotOptimize(q.run());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleDispatch)->Arg(100)->Arg(10000);
+
+void BM_MemoryBrickAllocRelease(benchmark::State& state) {
+  hw::MemoryBrickConfig cfg;
+  cfg.capacity_bytes = 64ull << 30;
+  hw::MemoryBrick brick{hw::BrickId{1}, hw::TrayId{1}, cfg};
+  for (auto _ : state) {
+    auto seg = brick.allocate(1ull << 30, hw::BrickId{2});
+    benchmark::DoNotOptimize(seg);
+    brick.release(seg->id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemoryBrickAllocRelease);
+
+void BM_PacketRoundTripEvaluation(benchmark::State& state) {
+  net::PacketNetwork network;
+  const hw::BrickId cpu{1}, mem{2};
+  network.add_brick(cpu);
+  network.add_brick(mem);
+  network.connect(cpu, mem, 10.0);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        network.remote_read(cpu, mem, 0x0, 64, sim::Time::us(static_cast<double>(10 * i++))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketRoundTripEvaluation);
+
+void BM_FabricAttachDetach(benchmark::State& state) {
+  hw::Rack rack;
+  const hw::TrayId tray_a = rack.add_tray();
+  const hw::TrayId tray_b = rack.add_tray();
+  const hw::BrickId cpu = rack.add_compute_brick(tray_a).id();
+  const hw::BrickId mem = rack.add_memory_brick(tray_b).id();
+  optics::OpticalSwitch sw;
+  optics::CircuitManager circuits{sw};
+  memsys::RemoteMemoryFabric fabric{rack, circuits};
+  memsys::AttachRequest req;
+  req.compute = cpu;
+  req.membrick = mem;
+  req.bytes = 1ull << 30;
+  for (auto _ : state) {
+    auto a = fabric.attach(req, sim::Time::zero());
+    benchmark::DoNotOptimize(a);
+    fabric.detach(cpu, a->segment);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FabricAttachDetach);
+
+void BM_DmaMegabyteTransfer(benchmark::State& state) {
+  hw::Rack rack;
+  const hw::TrayId tray_a = rack.add_tray();
+  const hw::TrayId tray_b = rack.add_tray();
+  const hw::BrickId cpu = rack.add_compute_brick(tray_a).id();
+  hw::MemoryBrickConfig mc;
+  mc.capacity_bytes = 8ull << 30;
+  const hw::BrickId mem = rack.add_memory_brick(tray_b, mc).id();
+  optics::OpticalSwitch sw;
+  optics::CircuitManager circuits{sw};
+  memsys::RemoteMemoryFabric fabric{rack, circuits};
+  memsys::AttachRequest req;
+  req.compute = cpu;
+  req.membrick = mem;
+  req.bytes = 1ull << 30;
+  const auto attachment = fabric.attach(req, sim::Time::zero());
+  sim::Simulator sim;
+  memsys::DmaEngine dma{sim, fabric, cpu, 2, 65536};
+  for (auto _ : state) {
+    memsys::DmaDescriptor d;
+    d.address = attachment->compute_base;
+    d.bytes = 1 << 20;
+    bool done = false;
+    dma.enqueue(d, [&](const memsys::DmaCompletion&) { done = true; });
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_DmaMegabyteTransfer);
+
+void BM_FcfsScheduling(benchmark::State& state) {
+  const tco::WorkloadGenerator gen{tco::WorkloadType::kRandom};
+  sim::Rng rng{1};
+  std::vector<tco::VmSpec> workload;
+  for (int i = 0; i < 500; ++i) workload.push_back(gen.next(rng));
+  for (auto _ : state) {
+    tco::ConventionalDatacenter conv{64, 32, 32};
+    tco::DisaggregatedDatacenter dd{256, 8, 256, 8};
+    for (const auto& vm : workload) {
+      benchmark::DoNotOptimize(conv.schedule(vm));
+      benchmark::DoNotOptimize(dd.schedule(vm));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(workload.size()));
+}
+BENCHMARK(BM_FcfsScheduling);
+
+}  // namespace
+
+BENCHMARK_MAIN();

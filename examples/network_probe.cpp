@@ -1,0 +1,59 @@
+// Pilot application 3 (Section V): network analytics at very high rates.
+// A monitoring probe on a 100GbE link runs in two modes: (a) online —
+// every frame is classified by a reconfigurable accelerator hosted on a
+// dACCELBRICK; (b) offline — frames marked as relevant are studied
+// exhaustively on dCOMPUBRICKs whose memory scales with the backlog, so
+// the analysis keeps executing continuously instead of being postponed.
+//
+//   $ ./network_probe
+
+#include <cstdio>
+
+#include "core/pilots/network_analytics.hpp"
+#include "sim/report.hpp"
+
+using namespace dredbox;
+
+int main() {
+  core::DatacenterConfig dc_config;
+  dc_config.trays = 2;
+  dc_config.compute_bricks_per_tray = 1;
+  dc_config.memory_bricks_per_tray = 3;
+  dc_config.accelerator_bricks_per_tray = 1;
+  dc_config.memory.capacity_bytes = 64ull << 30;
+  dc_config.optical_switch.ports = 96;
+  core::Datacenter dc{dc_config};
+  std::printf("%s\n\n", dc.describe().c_str());
+
+  core::pilots::NetworkAnalyticsConfig config;
+  config.duration_s = 3600.0;  // one hour of traffic with a load peak
+  core::pilots::NetworkAnalyticsPilot pilot{config};
+
+  std::printf("probing a %.0f GbE link for %.0f min (mean frame %g B, %.1f%% of\n",
+              config.line_rate_gbps, config.duration_s / 60.0, config.mean_packet_bytes,
+              config.interest_fraction * 100);
+  std::printf("frames marked for offline study)...\n\n");
+  const auto out = pilot.run(dc);
+
+  std::printf("online stage (dACCELBRICK, reconfigured in %.0f ms via PCAP):\n",
+              out.accelerator_reconfig_s * 1e3);
+  sim::TextTable online{{"metric", "value"}};
+  online.add_row({"frames offered", sim::TextTable::num(out.offered_mpkts, 1) + " M"});
+  online.add_row({"frames classified", sim::TextTable::num(out.classified_mpkts, 1) + " M"});
+  online.add_row({"drop fraction", sim::TextTable::pct(out.online_drop_fraction, 3)});
+  online.add_row({"frames marked relevant", sim::TextTable::num(out.marked_mpkts, 1) + " M"});
+  std::printf("%s\n", online.to_string().c_str());
+
+  std::printf("offline stage (dCOMPUBRICK with elastic buffer memory):\n");
+  sim::TextTable offline{{"buffering", "mean marking->verdict latency"}};
+  offline.add_row({"elastic (dReDBox)", sim::TextTable::num(out.elastic_mean_response_s, 1) + " s"});
+  offline.add_row({"static 8 GB buffer", sim::TextTable::num(out.static_mean_response_s, 1) + " s"});
+  std::printf("%s\n", offline.to_string().c_str());
+
+  std::printf("memory scale events: %zu up / %zu down\n", out.scale_ups, out.scale_downs);
+  std::printf("\nWith hotplugged memory following the backlog, the offline analysis is\n");
+  std::printf("%.1fx more responsive — 'the more responsiveness of the analysis tool,\n",
+              out.static_mean_response_s / std::max(1e-9, out.elastic_mean_response_s));
+  std::printf("the faster a solution is offered to the user' (Section V).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Pilot application 2 (Section V): NFV edge computing with collaborative
+// cryptography. The key server stores private keys behind a mutually
+// authenticated channel; because of the sensitivity of its database,
+// scale-out (replicating the keys to more instances) must be avoided.
+// dReDBox instead scales the *memory* of the single key-server VM with
+// the diurnal traffic pattern.
+//
+//   $ ./nfv_keyserver
+
+#include <cstdio>
+
+#include "core/pilots/nfv.hpp"
+#include "sim/report.hpp"
+
+using namespace dredbox;
+
+int main() {
+  core::DatacenterConfig dc_config;
+  dc_config.trays = 2;
+  dc_config.compute_bricks_per_tray = 1;
+  dc_config.memory_bricks_per_tray = 2;
+  dc_config.memory.capacity_bytes = 32ull << 30;
+  core::Datacenter dc{dc_config};
+  std::printf("%s\n\n", dc.describe().c_str());
+
+  core::pilots::NfvConfig config;
+  config.duration_hours = 48.0;  // two diurnal cycles
+  core::pilots::NfvKeyServerPilot pilot{config};
+
+  // Show the modelled load pattern first.
+  std::printf("diurnal load pattern (peak %.0f GB at %02.0f:00, night floor %.0f%%):\n",
+              static_cast<double>(config.peak_memory_gb), config.peak_hour,
+              config.night_load_fraction * 100);
+  for (int h = 0; h < 24; h += 2) {
+    const double load = pilot.load_at(static_cast<double>(h));
+    std::printf("  %02d:00 load %4.0f%%  demand %2llu GB |%s\n", h, load * 100,
+                static_cast<unsigned long long>(pilot.demand_gb(load)),
+                sim::ascii_bar(load, 1.0, 40).c_str());
+  }
+
+  std::printf("\nrunning %g h with elastic key-server memory...\n\n", config.duration_hours);
+  const auto out = pilot.run(dc);
+
+  sim::TextTable table{{"provisioning", "SLA violations", "GB-hours", "keys replicated"}};
+  table.add_row({"elastic (dReDBox)", sim::TextTable::pct(out.elastic_violation_fraction),
+                 sim::TextTable::num(out.elastic_gb_hours, 0), "never"});
+  table.add_row({"static @ peak", "0.0%", sim::TextTable::num(out.static_peak_gb_hours, 0),
+                 "never"});
+  table.add_row({"static @ mean", sim::TextTable::pct(out.static_tight_violation_fraction),
+                 "-", "never"});
+  table.add_row({"scale-out", "0.0%", "-", "YES (unacceptable)"});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("scale events: %zu up / %zu down, mean control-path delay %.2f s\n",
+              out.scale_ups, out.scale_downs, out.mean_scale_delay_s);
+  std::printf("provisioned GB-hours vs peak-sizing: %.0f vs %.0f (%.0f%% saved)\n",
+              out.elastic_gb_hours, out.static_peak_gb_hours,
+              out.provisioning_savings() * 100);
+  std::printf("\nElastic memory rides the daily peaks without ever replicating the\n");
+  std::printf("key database — the elasticity scale-out cannot safely provide.\n");
+  return 0;
+}

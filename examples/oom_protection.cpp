@@ -1,0 +1,93 @@
+// Automatic OOM protection (Section IV-B: "in the future, the guest
+// memory hotplug support will be enhanced to automatically protect the
+// guest from running out-of-memory"). A guest's memory usage ramps up
+// (a batch job loading its dataset) and later drains; the OOM guard
+// watches the pressure reports and grows/shrinks the guest through the
+// SDM-C before the guest ever hits its ceiling.
+//
+//   $ ./oom_protection
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <cstdio>
+
+#include "core/datacenter.hpp"
+#include "sim/report.hpp"
+
+using namespace dredbox;
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+int main() {
+  core::DatacenterConfig config;
+  config.trays = 2;
+  config.compute_bricks_per_tray = 1;
+  config.memory_bricks_per_tray = 2;
+  config.oom_guard.pressure_threshold = 0.8;  // act with head-room
+  config.oom_guard.relax_threshold = 0.4;
+  config.oom_guard.scale_chunk_bytes = 2 * kGiB;
+  config.oom_guard.cooldown = sim::Time::sec(5);
+  core::Datacenter dc{config};
+  dc.tracer().enable();
+
+  const auto vm = dc.boot_vm("batch-job", 2, 2 * kGiB);
+  if (!vm.ok) {
+    std::printf("boot failed: %s\n", vm.error.c_str());
+    return 1;
+  }
+  dc.oom_guard().watch(vm.vm, vm.compute);
+  std::printf("guest booted with 2 GiB; OOM guard armed (grow at %.0f%%, relax at %.0f%%)\n\n",
+              config.oom_guard.pressure_threshold * 100,
+              config.oom_guard.relax_threshold * 100);
+
+  // The job's working set: ramps to 13 GiB over 10 minutes, holds, drains.
+  auto usage_gib = [](double minute) {
+    if (minute < 10.0) return 1.0 + 12.0 * minute / 10.0;   // load phase
+    if (minute < 20.0) return 13.0;                          // compute phase
+    return std::max(1.0, 13.0 - 12.0 * (minute - 20.0) / 8.0);  // drain
+  };
+
+  std::printf("%-8s %-12s %-12s %-10s %s\n", "minute", "used (GiB)", "guest (GiB)",
+              "pressure", "guard action");
+  bool ever_oom = false;
+  // The agent reports usage every 15 s (the ballooning-stats cadence);
+  // the table prints once a minute.
+  for (double minute = 0.0; minute <= 30.0; minute += 0.25) {
+    const sim::Time now = sim::Time::sec(minute * 60.0);
+    dc.advance_to(now);
+    const double used = usage_gib(minute);
+    const auto used_bytes = static_cast<std::uint64_t>(used * static_cast<double>(kGiB));
+
+    const auto& guest = dc.hypervisor_of(vm.compute).vm(vm.vm);
+    const double usable = static_cast<double>(guest.usable_bytes()) / static_cast<double>(kGiB);
+    if (used > usable) ever_oom = true;
+    const double pressure = used / usable;
+
+    const std::size_t grows_before = dc.oom_guard().interventions();
+    const std::size_t releases_before = dc.oom_guard().releases();
+    const auto action = dc.oom_guard().report_usage(vm.vm, used_bytes, now);
+    const char* what = "-";
+    if (action && action->ok) {
+      dc.advance_to(action->completed_at);
+      if (dc.oom_guard().interventions() > grows_before) what = "grew +2 GiB";
+      if (dc.oom_guard().releases() > releases_before) what = "released 2 GiB";
+    }
+    const bool whole_minute = std::fabs(minute - std::round(minute)) < 1e-9;
+    if (whole_minute || std::string{what} != "-") {
+      std::printf("%-8.2f %-12.1f %-12.1f %-10.2f %s\n", minute, used, usable, pressure, what);
+    }
+  }
+
+  const auto& guest = dc.hypervisor_of(vm.compute).vm(vm.vm);
+  std::printf("\nfinal guest size: %.1f GiB (back near boot size)\n",
+              static_cast<double>(guest.usable_bytes()) / static_cast<double>(kGiB));
+  std::printf("guard interventions: %zu grows, %zu releases\n",
+              dc.oom_guard().interventions(), dc.oom_guard().releases());
+  std::printf("guest ever exceeded its memory (would have OOMed): %s\n",
+              ever_oom ? "YES" : "no");
+  std::printf("\ntimeline (fabric events):\n");
+  for (const auto& e : dc.tracer().filter(sim::TraceCategory::kFabric)) {
+    std::printf("  [%s] %s\n", e.when.to_string().c_str(), e.message.c_str());
+  }
+  return ever_oom ? 1 : 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: assemble a dReDBox rack, boot a VM through the OpenStack
+// front-end, dynamically scale its memory up over the optical fabric,
+// touch the remote memory, and scale back down.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "core/datacenter.hpp"
+
+using namespace dredbox;
+
+int main() {
+  // 1. Describe the deployment: 2 trays, each carrying 2 dCOMPUBRICKs
+  //    (quad-core A53, 4 GiB local DDR) and 2 dMEMBRICKs (32 GiB pool),
+  //    interconnected through a 48-port optical circuit switch.
+  core::DatacenterConfig config;
+  config.trays = 2;
+  config.compute_bricks_per_tray = 2;
+  config.memory_bricks_per_tray = 2;
+
+  core::Datacenter dc{config};
+  dc.tracer().enable();  // capture an operation timeline as we go
+  std::printf("%s\n\n", dc.describe().c_str());
+
+  // 2. Boot a commodity VM. The SDM controller picks a dCOMPUBRICK,
+  //    reserves cores and memory, and the Type-1 hypervisor starts it.
+  const auto vm = dc.boot_vm("quickstart-guest", /*vcpus=*/2, /*memory=*/2ull << 30);
+  if (!vm.ok) {
+    std::printf("boot failed: %s\n", vm.error.c_str());
+    return 1;
+  }
+  std::printf("booted VM %s on %s (local %llu MiB, remote %llu MiB)\n",
+              vm.vm.to_string().c_str(), dc.rack().brick(vm.compute).describe().c_str(),
+              static_cast<unsigned long long>(vm.local_bytes >> 20),
+              static_cast<unsigned long long>(vm.remote_bytes >> 20));
+
+  // 3. The application asks for 4 GiB more through the Scale-up API. The
+  //    SDM-C selects a dMEMBRICK power-consciously, programs the optical
+  //    switch, the agent configures the glue logic, the baremetal kernel
+  //    hotplugs the range, and the hypervisor plugs a DIMM into the guest.
+  const auto up = dc.scale_up(vm.vm, vm.compute, 4ull << 30);
+  if (!up.ok) {
+    std::printf("scale-up failed: %s\n", up.error.c_str());
+    return 1;
+  }
+  std::printf("\nscale-up completed in %s; control-path breakdown:\n%s\n",
+              up.delay().to_string().c_str(), up.breakdown.to_string().c_str());
+
+  // 4. Touch the disaggregated memory: a 64 B read travels APU -> TGL ->
+  //    circuit -> dMEMBRICK glue logic -> DDR and back.
+  const auto attachment = dc.fabric().attachments_of(vm.compute).front();
+  const auto tx = dc.remote_read(vm.compute, attachment.compute_base + 0x40, 64);
+  std::printf("remote 64 B read: %s round trip\n%s\n", tx.round_trip().to_string().c_str(),
+              tx.breakdown.to_string().c_str());
+
+  // 5. Give the memory back.
+  const auto down = dc.scale_down(vm.vm, vm.compute, up.segment);
+  std::printf("scale-down completed in %s; rack draws %.1f W\n",
+              down.delay().to_string().c_str(), dc.power_draw_watts());
+
+  // 6. The tracer captured the whole session.
+  std::printf("\noperation timeline:\n%s", dc.tracer().to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// TCO what-if explorer (Section VI): sweeps brick granularity and
+// workload mixes to show how the disaggregated power-off opportunity
+// depends on how finely the rack is sliced into individually powered
+// units. Fig. 12/13 use 8-core / 8-GB bricks; this example shows the
+// whole trade-off curve.
+//
+//   $ ./tco_explorer
+
+#include <cstdio>
+
+#include "sim/report.hpp"
+#include "tco/tco_study.hpp"
+
+using namespace dredbox;
+
+int main() {
+  std::printf("=== TCO explorer: brick granularity sweep ===\n\n");
+
+  for (const std::size_t brick_size : {4u, 8u, 16u, 32u}) {
+    tco::TcoConfig config;
+    config.servers = 64;
+    config.cores_per_compute_brick = brick_size;
+    config.ram_gb_per_memory_brick = brick_size;
+    config.repetitions = 5;
+    const tco::TcoStudy study{config};
+
+    std::printf("brick granularity: %zu cores / %zu GB (%zu + %zu bricks)\n", brick_size,
+                static_cast<std::size_t>(brick_size), config.compute_bricks(),
+                config.memory_bricks());
+    sim::TextTable table{{"Workload", "conv off", "dReDBox off (best class)", "power saved"}};
+    for (tco::WorkloadType type : tco::all_workload_types()) {
+      const auto off = study.run_poweroff(type);
+      const auto power = study.run_power(type);
+      table.add_row({tco::to_string(type), sim::TextTable::pct(off.conventional_off),
+                     sim::TextTable::pct(std::max(off.dd_compute_off, off.dd_memory_off)),
+                     sim::TextTable::pct(power.savings())});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  std::printf("Reading the sweep: finer bricks (4-8 cores) capture nearly the whole\n");
+  std::printf("fragmentation win on unbalanced mixes; at 32-core/32-GB 'bricks' the\n");
+  std::printf("disaggregated datacenter degenerates into the conventional one —\n");
+  std::printf("exactly the mainboard-as-a-unit limitation dReDBox removes (Section I).\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Pilot application 1 (Section V): real-time video surveillance
+// analytics. Investigations arrive unpredictably and each may require
+// searching through up to 100,000 hours of video; the computational
+// requirements are event-driven and cannot be scheduled in advance.
+// dReDBox absorbs each surge by scaling the analytics VM's memory up and
+// releasing it afterwards.
+//
+//   $ ./video_surveillance
+
+#include <cstdio>
+
+#include "core/pilots/video_analytics.hpp"
+#include "sim/report.hpp"
+
+using namespace dredbox;
+
+int main() {
+  core::DatacenterConfig dc_config;
+  dc_config.trays = 2;
+  dc_config.compute_bricks_per_tray = 2;
+  dc_config.memory_bricks_per_tray = 4;
+  dc_config.memory.capacity_bytes = 64ull << 30;  // 512 GiB pool
+  dc_config.optical_switch.ports = 96;
+  core::Datacenter dc{dc_config};
+  std::printf("%s\n\n", dc.describe().c_str());
+
+  core::pilots::VideoAnalyticsConfig config;
+  config.duration_hours = 72.0;          // three days of investigations
+  config.mean_interarrival_hours = 4.0;
+  config.max_video_hours = 100000.0;     // "100,000 hours or more"
+  core::pilots::VideoAnalyticsPilot pilot{config};
+
+  std::printf("running %g h of event-driven investigations...\n\n", config.duration_hours);
+  const auto out = pilot.run(dc);
+
+  sim::TextTable table{{"metric", "elastic (dReDBox)", "static provision"}};
+  table.add_row({"mean completion (h)",
+                 sim::TextTable::num(out.elastic_mean_completion_hours, 2),
+                 sim::TextTable::num(out.static_mean_completion_hours, 2)});
+  table.add_row({"peak memory (GB)", sim::TextTable::num(out.elastic_peak_gb, 0),
+                 sim::TextTable::num(out.static_peak_gb, 0)});
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("investigations handled:   %zu\n", out.investigations);
+  std::printf("memory scale-ups/downs:   %zu / %zu (mean delay %.2f s)\n", out.scale_ups,
+              out.scale_downs, out.mean_scale_up_delay_s);
+  std::printf("elastic speedup:          %.1fx faster mean completion\n", out.speedup());
+  std::printf("\nThe event-driven surges complete %.1fx faster because the working\n",
+              out.speedup());
+  std::printf("set stays resident in disaggregated memory instead of thrashing a\n");
+  std::printf("fixed %llu GB provision.\n",
+              static_cast<unsigned long long>(pilot.config().static_provision_gb));
+  return 0;
+}

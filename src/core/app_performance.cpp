@@ -1,0 +1,54 @@
+#include "core/app_performance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dredbox::core {
+
+double DisaggregationSlowdownModel::remote_access_fraction(const AppProfile& app,
+                                                           double remote_fraction) const {
+  if (remote_fraction < 0.0 || remote_fraction > 1.0) {
+    throw std::invalid_argument("remote_fraction outside [0, 1]");
+  }
+  return std::clamp(app.miss_intensity * remote_fraction, 0.0, 1.0);
+}
+
+double DisaggregationSlowdownModel::slowdown(const AppProfile& app, double remote_fraction,
+                                             sim::Time remote_latency) const {
+  if (app.mlp <= 0 || app.accesses_per_sec < 0) {
+    throw std::invalid_argument("invalid application profile");
+  }
+  const double f = remote_access_fraction(app, remote_fraction);
+  const double extra_ns =
+      std::max(0.0, (remote_latency - app.local_latency).as_ns());
+  // Extra stall seconds accumulated per second of native execution.
+  const double stall = app.accesses_per_sec * f * extra_ns * 1e-9 / app.mlp;
+  return 1.0 + stall;
+}
+
+sim::Time DisaggregationSlowdownModel::latency_budget(const AppProfile& app,
+                                                      double remote_fraction,
+                                                      double limit) const {
+  if (limit <= 1.0) {
+    throw std::invalid_argument("latency_budget: limit must exceed 1.0");
+  }
+  const double f = remote_access_fraction(app, remote_fraction);
+  if (f <= 0.0 || app.accesses_per_sec <= 0.0) return sim::Time::infinity();
+  const double extra_ns = (limit - 1.0) * app.mlp / (app.accesses_per_sec * f) * 1e9;
+  return app.local_latency + sim::Time::ns(extra_ns);
+}
+
+std::vector<AppProfile> DisaggregationSlowdownModel::reference_profiles() {
+  // Intensities/rates in the ranges the disaggregation literature uses:
+  // streaming analytics tolerate latency; pointer-chasing databases and
+  // key-value stores do not.
+  return {
+      AppProfile{"video analytics (streaming)", 0.35, 8e6, 8.0, sim::Time::ns(100)},
+      AppProfile{"NFV key server (low footprint)", 0.20, 5e6, 4.0, sim::Time::ns(100)},
+      AppProfile{"network analytics (batch)", 0.50, 1.2e7, 6.0, sim::Time::ns(100)},
+      AppProfile{"memory-intensive analytics", 0.60, 2e7, 8.0, sim::Time::ns(100)},
+      AppProfile{"in-memory KV store (pointer-chasing)", 0.90, 4e7, 2.0, sim::Time::ns(100)},
+  };
+}
+
+}  // namespace dredbox::core

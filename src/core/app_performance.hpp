@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dredbox::core {
+
+/// First-order memory-access profile of an application, in the style of
+/// the studies the paper builds on (Rao & Porter [1], Gao et al. [2],
+/// Lim et al. [3]): performance under disaggregation is governed by how
+/// often the application leaves its local memory and how much latency
+/// each remote access can hide.
+struct AppProfile {
+  std::string name;
+  /// Fraction of memory accesses that fall in the *remote* portion of the
+  /// working set (i.e. miss local DDR) when `remote_fraction` of the
+  /// working set is disaggregated. Modeled as proportional:
+  /// remote_access_fraction = miss_intensity * remote_fraction.
+  double miss_intensity = 1.0;
+  /// Remote-eligible memory accesses per second of useful work at native
+  /// speed (no disaggregation).
+  double accesses_per_sec = 2e7;
+  /// Memory-level parallelism: outstanding remote accesses that overlap,
+  /// hiding a share of the latency.
+  double mlp = 4.0;
+  /// Native local access latency.
+  sim::Time local_latency = sim::Time::ns(100);
+};
+
+/// Predicted execution-time inflation when part of the working set lives
+/// on dMEMBRICKs behind a given interconnect round-trip latency.
+///
+///   slowdown = 1 + A * f * max(0, Lr - Ll) / MLP
+///
+/// with A = accesses/s, f = fraction of accesses going remote, Lr/Ll the
+/// remote/local latencies. This is the standard first-order model used to
+/// argue feasibility of memory disaggregation; it is exactly the regime
+/// where the paper's FEC-free, circuit-switched sub-microsecond design
+/// point pays off.
+class DisaggregationSlowdownModel {
+ public:
+  double remote_access_fraction(const AppProfile& app, double remote_fraction) const;
+
+  double slowdown(const AppProfile& app, double remote_fraction,
+                  sim::Time remote_latency) const;
+
+  /// Remote latency at which the application's slowdown reaches `limit`
+  /// for the given remote fraction (the latency *budget* the interconnect
+  /// must meet). Found in closed form from the linear model.
+  sim::Time latency_budget(const AppProfile& app, double remote_fraction,
+                           double limit) const;
+
+  /// Representative profiles for the paper's pilot domains.
+  static std::vector<AppProfile> reference_profiles();
+};
+
+}  // namespace dredbox::core

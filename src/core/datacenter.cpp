@@ -1,0 +1,170 @@
+#include "core/datacenter.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::core {
+
+Datacenter::Datacenter(const DatacenterConfig& config)
+    : config_{config},
+      sim_{config.seed},
+      switch_{config.optical_switch},
+      circuits_{switch_},
+      fabric_{rack_, circuits_, config.circuit_path},
+      packet_net_{config.packet_path},
+      sdm_{rack_, fabric_, circuits_, config.sdm},
+      openstack_{sdm_},
+      migration_{rack_, fabric_, sdm_, config.migration},
+      oom_guard_{sdm_, config.oom_guard},
+      accel_mgr_{rack_, config.accelerators},
+      power_mgr_{rack_, config.power_policy} {
+  if (config.enable_power_management) {
+    sdm_.set_power_manager(&power_mgr_);
+  }
+  fabric_.set_packet_network(&packet_net_);
+  for (std::size_t t = 0; t < config.trays; ++t) {
+    const hw::TrayId tray = rack_.add_tray();
+    for (std::size_t i = 0; i < config.compute_bricks_per_tray; ++i) {
+      auto& brick = rack_.add_compute_brick(tray, config.compute);
+      auto& stack = stacks_[brick.id()];
+      stack.os = std::make_unique<os::BareMetalOs>(brick, os::MemoryHotplug::kDefaultBlockBytes,
+                                                   config.hotplug);
+      stack.hypervisor =
+          std::make_unique<hyp::Hypervisor>(brick, *stack.os, config.hypervisor);
+      stack.agent = std::make_unique<orch::SdmAgent>(*stack.hypervisor, *stack.os);
+      sdm_.register_agent(*stack.agent);
+      mbos_.emplace(brick.id(), std::make_unique<optics::MidBoardOptics>(config.mbo, sim_.rng()));
+      packet_net_.add_brick(brick.id());
+    }
+    for (std::size_t i = 0; i < config.memory_bricks_per_tray; ++i) {
+      auto& brick = rack_.add_memory_brick(tray, config.memory);
+      mbos_.emplace(brick.id(), std::make_unique<optics::MidBoardOptics>(config.mbo, sim_.rng()));
+      packet_net_.add_brick(brick.id());
+    }
+    for (std::size_t i = 0; i < config.accelerator_bricks_per_tray; ++i) {
+      auto& brick = rack_.add_accelerator_brick(tray, config.accelerator);
+      mbos_.emplace(brick.id(), std::make_unique<optics::MidBoardOptics>(config.mbo, sim_.rng()));
+      packet_net_.add_brick(brick.id());
+    }
+  }
+
+  // Program the packet substrate pairwise between every compute and
+  // memory brick (the exploratory fallback path is always reachable).
+  for (hw::BrickId cb : compute_bricks()) {
+    for (hw::BrickId mb : memory_bricks()) {
+      packet_net_.connect(cb, mb);
+    }
+  }
+}
+
+os::BareMetalOs& Datacenter::os_of(hw::BrickId compute) {
+  auto it = stacks_.find(compute);
+  if (it == stacks_.end()) {
+    throw std::out_of_range("Datacenter::os_of: brick " + compute.to_string() +
+                            " is not a compute brick");
+  }
+  return *it->second.os;
+}
+
+hyp::Hypervisor& Datacenter::hypervisor_of(hw::BrickId compute) {
+  auto it = stacks_.find(compute);
+  if (it == stacks_.end()) {
+    throw std::out_of_range("Datacenter::hypervisor_of: brick " + compute.to_string() +
+                            " is not a compute brick");
+  }
+  return *it->second.hypervisor;
+}
+
+orch::SdmAgent& Datacenter::agent_of(hw::BrickId compute) {
+  auto it = stacks_.find(compute);
+  if (it == stacks_.end()) {
+    throw std::out_of_range("Datacenter::agent_of: brick " + compute.to_string() +
+                            " is not a compute brick");
+  }
+  return *it->second.agent;
+}
+
+optics::MidBoardOptics& Datacenter::mbo_of(hw::BrickId brick) {
+  auto it = mbos_.find(brick);
+  if (it == mbos_.end()) {
+    throw std::out_of_range("Datacenter::mbo_of: unknown brick " + brick.to_string());
+  }
+  return *it->second;
+}
+
+orch::AllocationResult Datacenter::boot_vm(const std::string& name, std::size_t vcpus,
+                                           std::uint64_t memory_bytes) {
+  auto result = openstack_.boot(name, vcpus, memory_bytes, sim_.now());
+  if (result.ok) {
+    tracer_.record(result.completed_at, sim::TraceCategory::kOrchestration,
+                   "booted '" + name + "' as vm#" + result.vm.to_string() + " on brick " +
+                       result.compute.to_string() + " (" +
+                       std::to_string(result.remote_bytes >> 20) + " MiB remote)");
+  } else {
+    tracer_.record(sim_.now(), sim::TraceCategory::kOrchestration,
+                   "boot of '" + name + "' failed: " + result.error);
+  }
+  return result;
+}
+
+orch::ScaleUpResult Datacenter::scale_up(hw::VmId vm, hw::BrickId compute,
+                                         std::uint64_t bytes) {
+  orch::ScaleUpRequest request;
+  request.vm = vm;
+  request.compute = compute;
+  request.bytes = bytes;
+  request.posted_at = sim_.now();
+  auto result = sdm_.scale_up(request);
+  if (result.ok) {
+    tracer_.record(result.completed_at, sim::TraceCategory::kFabric,
+                   "scale-up vm#" + vm.to_string() + " +" + std::to_string(bytes >> 20) +
+                       " MiB from dMEMBRICK " + result.membrick.to_string() + " in " +
+                       result.delay().to_string());
+  } else {
+    tracer_.record(sim_.now(), sim::TraceCategory::kFabric,
+                   "scale-up vm#" + vm.to_string() + " failed: " + result.error);
+  }
+  return result;
+}
+
+orch::ScaleUpResult Datacenter::scale_down(hw::VmId vm, hw::BrickId compute,
+                                           hw::SegmentId segment) {
+  auto result = sdm_.scale_down(vm, compute, segment, sim_.now());
+  if (result.ok) {
+    tracer_.record(result.completed_at, sim::TraceCategory::kFabric,
+                   "scale-down vm#" + vm.to_string() + " released segment " +
+                       segment.to_string() + " in " + result.delay().to_string());
+  }
+  return result;
+}
+
+memsys::Transaction Datacenter::remote_read(hw::BrickId compute, std::uint64_t address,
+                                            std::uint32_t bytes) {
+  return fabric_.read(compute, address, bytes, sim_.now());
+}
+
+orch::MigrationResult Datacenter::migrate_vm(hw::VmId vm, hw::BrickId from, hw::BrickId to) {
+  auto result = migration_.migrate(vm, from, to, sim_.now());
+  if (result.ok) {
+    tracer_.record(sim_.now() + result.total_time, sim::TraceCategory::kMigration,
+                   "migrated vm#" + vm.to_string() + " brick " + from.to_string() + " -> " +
+                       to.to_string() + " (copied " +
+                       std::to_string(result.copied_bytes >> 20) + " MiB, re-pointed " +
+                       std::to_string(result.repointed_bytes >> 20) + " MiB, downtime " +
+                       result.downtime.to_string() + ")");
+  }
+  return result;
+}
+
+void Datacenter::advance_to(sim::Time t) {
+  if (t > sim_.now()) sim_.run_until(t);
+}
+
+double Datacenter::power_draw_watts() const {
+  return rack_.power_draw_watts(config_.power, switch_.ports_in_use());
+}
+
+std::string Datacenter::describe() const {
+  return rack_.describe() + "\n" + switch_.describe();
+}
+
+}  // namespace dredbox::core

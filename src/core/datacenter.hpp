@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/rack.hpp"
+#include "hyp/hypervisor.hpp"
+#include "memsys/remote_memory.hpp"
+#include "net/packet_network.hpp"
+#include "optics/circuit.hpp"
+#include "optics/mbo.hpp"
+#include "optics/optical_switch.hpp"
+#include "orch/accel_manager.hpp"
+#include "orch/migration.hpp"
+#include "orch/oom_guard.hpp"
+#include "orch/openstack.hpp"
+#include "orch/power_manager.hpp"
+#include "orch/sdm_controller.hpp"
+#include "os/baremetal_os.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace dredbox::core {
+
+/// Shape of a dReDBox deployment assembled by the Datacenter facade.
+struct DatacenterConfig {
+  std::size_t trays = 2;
+  std::size_t compute_bricks_per_tray = 2;
+  std::size_t memory_bricks_per_tray = 2;
+  std::size_t accelerator_bricks_per_tray = 0;
+
+  hw::ComputeBrickConfig compute;
+  hw::MemoryBrickConfig memory;
+  hw::AccelBrickConfig accelerator;
+  optics::OpticalSwitchConfig optical_switch;
+  optics::MboConfig mbo;
+  memsys::CircuitPathLatencies circuit_path;
+  net::PacketPathLatencies packet_path;
+  orch::SdmTiming sdm;
+  os::HotplugTiming hotplug;
+  hyp::HypervisorTiming hypervisor;
+  hw::PowerModel power;
+  orch::MigrationConfig migration;
+  orch::OomGuardConfig oom_guard;
+  orch::AcceleratorManagerConfig accelerators;
+  orch::PowerPolicyConfig power_policy;
+  /// When true the power manager is wired into the SDM-C from the start
+  /// (wake latencies charged, idle sweeps on tick()).
+  bool enable_power_management = false;
+
+  std::uint64_t seed = 1;
+};
+
+/// The full-stack rack-scale system: hardware (bricks, trays, optical
+/// fabric), the circuit- and packet-based interconnects, the per-brick
+/// software stack (baremetal OS, Type-1 hypervisor, SDM agent), and the
+/// rack-level orchestration (SDM-C plus an OpenStack-like front-end).
+///
+/// This is the public entry point a downstream user programs against; the
+/// examples/ directory shows the intended call patterns.
+class Datacenter {
+ public:
+  explicit Datacenter(const DatacenterConfig& config = {});
+
+  // Non-copyable, non-movable: subcomponents hold references into each
+  // other; the facade owns them all for its lifetime.
+  Datacenter(const Datacenter&) = delete;
+  Datacenter& operator=(const Datacenter&) = delete;
+
+  const DatacenterConfig& config() const { return config_; }
+
+  // --- layers ---
+  sim::Simulator& simulator() { return sim_; }
+  hw::Rack& rack() { return rack_; }
+  optics::OpticalSwitch& optical_switch() { return switch_; }
+  optics::CircuitManager& circuits() { return circuits_; }
+  memsys::RemoteMemoryFabric& fabric() { return fabric_; }
+  net::PacketNetwork& packet_network() { return packet_net_; }
+  orch::SdmController& sdm() { return sdm_; }
+  orch::OpenStackFrontend& openstack() { return openstack_; }
+  orch::MigrationEngine& migration() { return migration_; }
+  orch::OomGuard& oom_guard() { return oom_guard_; }
+  orch::AcceleratorManager& accelerators() { return accel_mgr_; }
+  orch::PowerManager& power_manager() { return power_mgr_; }
+
+  /// Event log of high-level operations (disabled by default; call
+  /// tracer().enable() before driving the rack to capture a timeline).
+  sim::Tracer& tracer() { return tracer_; }
+
+  os::BareMetalOs& os_of(hw::BrickId compute);
+  hyp::Hypervisor& hypervisor_of(hw::BrickId compute);
+  orch::SdmAgent& agent_of(hw::BrickId compute);
+  optics::MidBoardOptics& mbo_of(hw::BrickId brick);
+
+  std::vector<hw::BrickId> compute_bricks() const {
+    return rack_.bricks_of_kind(hw::BrickKind::kCompute);
+  }
+  std::vector<hw::BrickId> memory_bricks() const {
+    return rack_.bricks_of_kind(hw::BrickKind::kMemory);
+  }
+  std::vector<hw::BrickId> accelerator_bricks() const {
+    return rack_.bricks_of_kind(hw::BrickKind::kAccelerator);
+  }
+
+  // --- high-level operations ---
+  /// Boots a VM through the OpenStack front-end / SDM-C.
+  orch::AllocationResult boot_vm(const std::string& name, std::size_t vcpus,
+                                 std::uint64_t memory_bytes);
+
+  /// Dynamic memory scale-up for a running VM (the Scale-up API path).
+  orch::ScaleUpResult scale_up(hw::VmId vm, hw::BrickId compute, std::uint64_t bytes);
+  orch::ScaleUpResult scale_down(hw::VmId vm, hw::BrickId compute, hw::SegmentId segment);
+
+  /// Live-migrates a VM to another dCOMPUBRICK (local memory pre-copied,
+  /// disaggregated segments re-pointed with zero copy).
+  orch::MigrationResult migrate_vm(hw::VmId vm, hw::BrickId from, hw::BrickId to);
+
+  /// One remote read over the mainline circuit-switched path.
+  memsys::Transaction remote_read(hw::BrickId compute, std::uint64_t address,
+                                  std::uint32_t bytes);
+
+  /// Advances simulation time (no-op when `t` is in the past). Workload
+  /// drivers call this between operations so control-plane queues drain
+  /// realistically instead of piling up at t=0.
+  void advance_to(sim::Time t);
+
+  /// Instantaneous rack power draw (bricks + switch ports).
+  double power_draw_watts() const;
+
+  std::string describe() const;
+
+ private:
+  DatacenterConfig config_;
+  sim::Simulator sim_;
+  hw::Rack rack_;
+  optics::OpticalSwitch switch_;
+  optics::CircuitManager circuits_;
+  memsys::RemoteMemoryFabric fabric_;
+  net::PacketNetwork packet_net_;
+  orch::SdmController sdm_;
+  orch::OpenStackFrontend openstack_;
+  orch::MigrationEngine migration_;
+  orch::OomGuard oom_guard_;
+  orch::AcceleratorManager accel_mgr_;
+  orch::PowerManager power_mgr_;
+  sim::Tracer tracer_;
+
+  struct BrickStack {
+    std::unique_ptr<os::BareMetalOs> os;
+    std::unique_ptr<hyp::Hypervisor> hypervisor;
+    std::unique_ptr<orch::SdmAgent> agent;
+  };
+  std::unordered_map<hw::BrickId, BrickStack> stacks_;
+  std::unordered_map<hw::BrickId, std::unique_ptr<optics::MidBoardOptics>> mbos_;
+};
+
+}  // namespace dredbox::core

@@ -1,0 +1,82 @@
+#pragma once
+
+/// Umbrella header for the dReDBox library: one include gives a consumer
+/// the full public API, mirroring the layering of the DATE 2018 paper.
+///
+///   #include "core/dredbox.hpp"
+///   dredbox::core::Datacenter dc{{}};
+///
+/// Individual module headers remain includable on their own; this file is
+/// a convenience for examples and downstream applications.
+
+// Simulation substrate.
+#include "sim/breakdown.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/report.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+// Hardware building blocks (Section II).
+#include "hw/accel_brick.hpp"
+#include "hw/brick.hpp"
+#include "hw/compute_brick.hpp"
+#include "hw/memory_brick.hpp"
+#include "hw/power.hpp"
+#include "hw/rack.hpp"
+#include "hw/rmst.hpp"
+#include "hw/tgl.hpp"
+#include "hw/tray.hpp"
+
+// Optical and packet interconnects (Section III).
+#include "net/packet_network.hpp"
+#include "net/packet_switch.hpp"
+#include "optics/circuit.hpp"
+#include "optics/fec.hpp"
+#include "optics/link_budget.hpp"
+#include "optics/mbo.hpp"
+#include "optics/optical_switch.hpp"
+#include "optics/receiver.hpp"
+
+// Remote memory (Sections II-III).
+#include "memsys/dma.hpp"
+#include "memsys/remote_memory.hpp"
+#include "memsys/transaction.hpp"
+
+// System software (Section IV).
+#include "hyp/hypervisor.hpp"
+#include "hyp/vm.hpp"
+#include "orch/accel_manager.hpp"
+#include "orch/consolidator.hpp"
+#include "orch/migration.hpp"
+#include "orch/oom_guard.hpp"
+#include "orch/openstack.hpp"
+#include "orch/power_manager.hpp"
+#include "orch/scale_out.hpp"
+#include "orch/sdm_controller.hpp"
+#include "os/baremetal_os.hpp"
+#include "os/hotplug.hpp"
+
+// TCO study (Section VI).
+#include "tco/refresh_model.hpp"
+#include "tco/tco_study.hpp"
+#include "tco/workload.hpp"
+
+// Facade, experiments, pilots.
+#include "core/app_performance.hpp"
+#include "core/datacenter.hpp"
+#include "core/pilots/network_analytics.hpp"
+#include "core/pilots/nfv.hpp"
+#include "core/pilots/video_analytics.hpp"
+#include "core/scaleup_experiment.hpp"
+
+namespace dredbox {
+
+/// Library version (reproduction release, not the paper's).
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace dredbox

@@ -1,0 +1,183 @@
+#include "core/pilots/network_analytics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numbers>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace dredbox::core::pilots {
+
+namespace {
+
+/// Diurnal-ish load shape over the run (peak mid-run).
+double load_shape(double t, double duration, double trough, double peak) {
+  const double phase = (t / duration - 0.5) * 2.0 * std::numbers::pi;
+  const double raw = 0.5 * (1.0 + std::cos(phase));
+  return trough + (peak - trough) * raw;
+}
+
+}  // namespace
+
+NetworkAnalyticsOutcome NetworkAnalyticsPilot::run(Datacenter& dc) const {
+  const auto accels = dc.accelerator_bricks();
+  if (accels.empty()) {
+    throw std::runtime_error(
+        "NetworkAnalyticsPilot: the datacenter needs at least one dACCELBRICK");
+  }
+  sim::Rng rng{config_.seed};
+
+  // Load the frame-classifier bitstream onto the accelerator (the thin
+  // middleware receives it from a dCOMPUBRICK and reconfigures via PCAP).
+  auto& accel = dc.rack().accelerator_brick(accels.front());
+  hw::Bitstream classifier;
+  classifier.name = "frame-classifier";
+  classifier.size_bytes = 24ull << 20;
+  classifier.kernel_ops_per_sec = 1e9 / config_.accel_classify_ns;
+  accel.store_bitstream(classifier);
+
+  NetworkAnalyticsOutcome outcome;
+  outcome.accelerator_reconfig_s = accel.reconfigure("frame-classifier");
+
+  auto boot = dc.boot_vm("offline-analytics", 4, 2ull << 30);
+  if (!boot.ok) {
+    throw std::runtime_error("NetworkAnalyticsPilot: VM boot failed: " + boot.error);
+  }
+
+  const double accel_capacity_pps = classifier.kernel_ops_per_sec;
+  const double offline_rate_pps = 1e6 / config_.offline_cost_us_per_packet;
+  const double slice_s = 10.0;
+
+  struct Batch {
+    double arrived_s;
+    double mpkts;
+  };
+  std::deque<Batch> elastic_queue;
+  std::deque<Batch> static_queue;
+  sim::SampleSet elastic_response;
+  sim::SampleSet static_response;
+
+  struct Held {
+    hw::SegmentId segment;
+    std::uint64_t gb;
+  };
+  std::vector<Held> held;
+  std::uint64_t provisioned_gb = 2;
+  const std::uint64_t static_buffer_gb = 8;
+
+  auto drain = [&](std::deque<Batch>& queue, double capacity_mpkts, double now_s,
+                   sim::SampleSet& responses) {
+    double remaining = capacity_mpkts;
+    double done = 0.0;
+    while (!queue.empty() && remaining > 0.0) {
+      Batch& b = queue.front();
+      const double take = std::min(remaining, b.mpkts);
+      b.mpkts -= take;
+      remaining -= take;
+      done += take;
+      if (b.mpkts <= 1e-12) {
+        responses.add(now_s - b.arrived_s);
+        queue.pop_front();
+      }
+    }
+    return done;
+  };
+
+  for (double t = 0.0; t < config_.duration_s; t += slice_s) {
+    dc.advance_to(sim::Time::sec(t));
+    const double load =
+        load_shape(t, config_.duration_s, config_.load_trough_fraction,
+                   config_.load_peak_fraction) *
+        std::clamp(1.0 + rng.normal(0.0, 0.04), 0.8, 1.2);
+
+    // --- online stage on the dACCELBRICK ---
+    const double offered_pps =
+        config_.line_rate_gbps * 1e9 * load / (8.0 * config_.mean_packet_bytes);
+    const double classified_pps = std::min(offered_pps, accel_capacity_pps);
+    const double offered_m = offered_pps * slice_s / 1e6;
+    const double classified_m = classified_pps * slice_s / 1e6;
+    accel.offload(static_cast<std::uint64_t>(classified_m * 1e6));
+    outcome.offered_mpkts += offered_m;
+    outcome.classified_mpkts += classified_m;
+
+    const double marked_m = classified_m * config_.interest_fraction;
+    outcome.marked_mpkts += marked_m;
+    elastic_queue.push_back(Batch{t, marked_m});
+    static_queue.push_back(Batch{t, marked_m});
+
+    // --- offline stage: elastic run scales buffer memory to the backlog
+    // so processing never stalls ("continuously executed").
+    double backlog_m = 0.0;
+    for (const auto& b : elastic_queue) backlog_m += b.mpkts;
+    const auto needed_gb = static_cast<std::uint64_t>(
+                               std::ceil(backlog_m *
+                                         static_cast<double>(config_.offline_memory_per_mpkt_gb))) +
+                           2;
+    while (provisioned_gb < needed_gb) {
+      auto result = dc.scale_up(boot.vm, boot.compute, config_.scale_chunk_gb << 30);
+      if (!result.ok) break;
+      dc.advance_to(result.completed_at);
+      held.push_back(Held{result.segment, config_.scale_chunk_gb});
+      provisioned_gb += config_.scale_chunk_gb;
+      ++outcome.scale_ups;
+    }
+    while (provisioned_gb >= needed_gb + 2 * config_.scale_chunk_gb && !held.empty()) {
+      const Held h = held.back();
+      auto result = dc.scale_down(boot.vm, boot.compute, h.segment);
+      if (!result.ok) break;
+      dc.advance_to(result.completed_at);
+      held.pop_back();
+      provisioned_gb -= h.gb;
+      ++outcome.scale_downs;
+    }
+
+    const double offline_capacity_m = offline_rate_pps * slice_s / 1e6;
+    outcome.offline_completed_mpkts +=
+        drain(elastic_queue, offline_capacity_m, t + slice_s, elastic_response);
+
+    // Static baseline: the buffer bounds how much backlog is workable;
+    // overflow is postponed (processed only as the buffer frees up).
+    const double static_workable_m =
+        static_cast<double>(static_buffer_gb) /
+        static_cast<double>(config_.offline_memory_per_mpkt_gb);
+    double static_backlog = 0.0;
+    for (const auto& b : static_queue) static_backlog += b.mpkts;
+    const double stall_factor =
+        static_backlog > static_workable_m ? static_workable_m / static_backlog : 1.0;
+    drain(static_queue, offline_capacity_m * stall_factor, t + slice_s, static_response);
+  }
+
+  // Flush both queues to completion (no new arrivals) so every batch's
+  // response time is counted — otherwise batches still stalled in the
+  // static queue at the end of the window would silently drop out of the
+  // mean and bias the comparison.
+  double t = config_.duration_s;
+  const double offline_capacity_m = offline_rate_pps * slice_s / 1e6;
+  const double static_workable_m =
+      static_cast<double>(static_buffer_gb) /
+      static_cast<double>(config_.offline_memory_per_mpkt_gb);
+  for (int guard = 0; guard < 100000 && (!elastic_queue.empty() || !static_queue.empty());
+       ++guard) {
+    outcome.offline_completed_mpkts +=
+        drain(elastic_queue, offline_capacity_m, t + slice_s, elastic_response);
+    double static_backlog = 0.0;
+    for (const auto& b : static_queue) static_backlog += b.mpkts;
+    const double stall_factor =
+        static_backlog > static_workable_m ? static_workable_m / static_backlog : 1.0;
+    drain(static_queue, offline_capacity_m * stall_factor, t + slice_s, static_response);
+    t += slice_s;
+  }
+
+  outcome.online_drop_fraction =
+      outcome.offered_mpkts > 0
+          ? 1.0 - outcome.classified_mpkts / outcome.offered_mpkts
+          : 0.0;
+  outcome.elastic_mean_response_s = elastic_response.empty() ? 0.0 : elastic_response.mean();
+  outcome.static_mean_response_s = static_response.empty() ? 0.0 : static_response.mean();
+  return outcome;
+}
+
+}  // namespace dredbox::core::pilots

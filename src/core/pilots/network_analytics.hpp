@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/datacenter.hpp"
+
+namespace dredbox::core::pilots {
+
+/// Pilot 3 (Section V): network analytics at very high rates (100GbE-class
+/// probes). Two modes:
+///  (a) online analysis — every frame on the link is classified by a
+///      reconfigurable accelerator on a dACCELBRICK, which marks elements
+///      of interest and gathers basic integrity metrics;
+///  (b) offline analysis — marked packets are studied exhaustively by
+///      CPU-intensive tasks on dCOMPUBRICKs, whose memory is scaled
+///      elastically so the offline stage keeps executing continuously
+///      instead of being postponed.
+struct NetworkAnalyticsConfig {
+  double duration_s = 3600.0;
+  double line_rate_gbps = 100.0;
+  double mean_packet_bytes = 800.0;
+  double interest_fraction = 0.02;        // frames marked for offline study
+  double accel_classify_ns = 6.0;         // per frame on the dACCELBRICK
+  double offline_cost_us_per_packet = 4.0;  // exhaustive second-stage study
+  std::uint64_t offline_memory_per_mpkt_gb = 2;  // buffer per million packets
+  std::uint64_t scale_chunk_gb = 4;
+  double load_peak_fraction = 1.0;        // diurnal shape like the NFV pilot
+  double load_trough_fraction = 0.25;
+  std::uint64_t seed = 31;
+};
+
+struct NetworkAnalyticsOutcome {
+  double offered_mpkts = 0.0;       // total frames on the link (millions)
+  double classified_mpkts = 0.0;    // frames the accelerator kept up with
+  double online_drop_fraction = 0.0;
+  double marked_mpkts = 0.0;        // frames queued for offline study
+  double offline_completed_mpkts = 0.0;
+  /// Mean latency from marking to offline verdict (the paper's
+  /// responsiveness KPI: "the more responsiveness ... the faster a
+  /// solution is offered to the user").
+  double elastic_mean_response_s = 0.0;
+  double static_mean_response_s = 0.0;  // fixed-memory baseline postpones work
+  std::size_t scale_ups = 0;
+  std::size_t scale_downs = 0;
+  double accelerator_reconfig_s = 0.0;
+};
+
+/// Requires a datacenter with at least one dACCELBRICK.
+class NetworkAnalyticsPilot {
+ public:
+  explicit NetworkAnalyticsPilot(const NetworkAnalyticsConfig& config = {})
+      : config_{config} {}
+
+  NetworkAnalyticsOutcome run(Datacenter& dc) const;
+
+  const NetworkAnalyticsConfig& config() const { return config_; }
+
+ private:
+  NetworkAnalyticsConfig config_;
+};
+
+}  // namespace dredbox::core::pilots

@@ -1,0 +1,107 @@
+#include "core/pilots/nfv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace dredbox::core::pilots {
+
+double NfvKeyServerPilot::load_at(double hour) const {
+  // Sinusoid peaking at peak_hour, floored at the night fraction.
+  const double phase = (std::fmod(hour, 24.0) - config_.peak_hour) / 24.0 * 2.0 *
+                       std::numbers::pi;
+  const double raw = 0.5 * (1.0 + std::cos(phase));  // 1 at peak, 0 at peak+12h
+  return config_.night_load_fraction + (1.0 - config_.night_load_fraction) * raw;
+}
+
+std::uint64_t NfvKeyServerPilot::demand_gb(double load) const {
+  const double dynamic =
+      load * static_cast<double>(config_.peak_memory_gb - config_.base_memory_gb);
+  return config_.base_memory_gb + static_cast<std::uint64_t>(std::ceil(dynamic));
+}
+
+NfvOutcome NfvKeyServerPilot::run(Datacenter& dc) const {
+  sim::Rng rng{config_.seed};
+
+  auto boot = dc.boot_vm("key-server", 2, config_.base_memory_gb << 30);
+  if (!boot.ok) {
+    throw std::runtime_error("NfvKeyServerPilot: VM boot failed: " + boot.error);
+  }
+
+  struct Held {
+    hw::SegmentId segment;
+    std::uint64_t gb;
+  };
+  std::vector<Held> held;
+  std::uint64_t provisioned_gb = config_.base_memory_gb;
+
+  NfvOutcome outcome;
+  sim::SampleSet delays;
+  std::size_t elastic_violations = 0;
+  std::size_t static_tight_violations = 0;
+  double elastic_gb_hours = 0.0;
+  double demand_sum = 0.0;
+  double demand_peak = 0.0;
+
+  const double step_h = config_.sample_interval_minutes / 60.0;
+  std::vector<double> demands;
+  for (double hour = 0.0; hour < config_.duration_hours; hour += step_h) {
+    dc.advance_to(sim::Time::sec(hour * 3600.0));
+    const double load = load_at(hour) * std::clamp(1.0 + rng.normal(0.0, 0.05), 0.7, 1.3);
+    const std::uint64_t demand = demand_gb(std::clamp(load, 0.0, 1.0));
+    demands.push_back(static_cast<double>(demand));
+    demand_sum += static_cast<double>(demand);
+    demand_peak = std::max(demand_peak, static_cast<double>(demand));
+    ++outcome.samples;
+
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(demand) * (1.0 + config_.headroom_fraction)));
+
+    // Scale up when demand (plus headroom) exceeds the provision.
+    while (provisioned_gb < target) {
+      auto result = dc.scale_up(boot.vm, boot.compute, config_.scale_chunk_gb << 30);
+      if (!result.ok) break;
+      dc.advance_to(result.completed_at);
+      held.push_back(Held{result.segment, config_.scale_chunk_gb});
+      provisioned_gb += config_.scale_chunk_gb;
+      delays.add(result.delay().as_sec());
+      ++outcome.scale_ups;
+    }
+    // Scale down when the provision is more than one chunk above target
+    // (hysteresis avoids thrashing at dawn/dusk).
+    while (provisioned_gb >= target + 2 * config_.scale_chunk_gb && !held.empty()) {
+      const Held h = held.back();
+      auto result = dc.scale_down(boot.vm, boot.compute, h.segment);
+      if (!result.ok) break;
+      dc.advance_to(result.completed_at);
+      held.pop_back();
+      provisioned_gb -= h.gb;
+      delays.add(result.delay().as_sec());
+      ++outcome.scale_downs;
+    }
+
+    if (demand > provisioned_gb) ++elastic_violations;
+    elastic_gb_hours += static_cast<double>(provisioned_gb) * step_h;
+  }
+
+  // Static-tight baseline: provisioned at the mean demand for the window.
+  const double mean_demand = demand_sum / static_cast<double>(outcome.samples);
+  for (double d : demands) {
+    if (d > mean_demand) ++static_tight_violations;
+  }
+
+  outcome.elastic_violation_fraction =
+      static_cast<double>(elastic_violations) / static_cast<double>(outcome.samples);
+  outcome.static_tight_violation_fraction =
+      static_cast<double>(static_tight_violations) / static_cast<double>(outcome.samples);
+  outcome.elastic_gb_hours = elastic_gb_hours;
+  outcome.static_peak_gb_hours = demand_peak * config_.duration_hours;
+  outcome.mean_scale_delay_s = delays.empty() ? 0.0 : delays.mean();
+  return outcome;
+}
+
+}  // namespace dredbox::core::pilots

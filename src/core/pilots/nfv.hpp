@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/datacenter.hpp"
+
+namespace dredbox::core::pilots {
+
+/// Pilot 2 (Section V): NFV edge computing with collaborative
+/// cryptography. The key server holds private keys, so scale-out
+/// (replicating the key database onto more instances) must be avoided;
+/// the only acceptable elasticity is scaling the *memory* of the single
+/// key-server VM as the diurnal traffic pattern peaks and troughs.
+struct NfvConfig {
+  double duration_hours = 48.0;           // two diurnal cycles
+  double sample_interval_minutes = 30.0;
+  double night_load_fraction = 0.1;       // "very low load at night"
+  double peak_hour = 14.0;                // load peaks during day hours
+  std::uint64_t peak_memory_gb = 48;      // demand at full load
+  std::uint64_t base_memory_gb = 4;       // key DB + resident services
+  std::uint64_t scale_chunk_gb = 4;
+  double headroom_fraction = 0.15;        // keep this much above demand
+  std::uint64_t seed = 23;
+};
+
+struct NfvOutcome {
+  std::size_t samples = 0;
+  std::size_t scale_ups = 0;
+  std::size_t scale_downs = 0;
+  /// Fraction of samples where demand exceeded provisioned memory
+  /// (requests would be dropped / pushed to disk).
+  double elastic_violation_fraction = 0.0;
+  double static_tight_violation_fraction = 0.0;  // static = mean demand
+  /// GB-hours provisioned over the window (the cost proxy).
+  double elastic_gb_hours = 0.0;
+  double static_peak_gb_hours = 0.0;  // static = peak demand (no violations)
+  double mean_scale_delay_s = 0.0;
+
+  double provisioning_savings() const {
+    return static_peak_gb_hours > 0 ? 1.0 - elastic_gb_hours / static_peak_gb_hours : 0.0;
+  }
+};
+
+/// Drives the key-server VM through the diurnal pattern, scaling memory
+/// with demand, and compares against static provisioning at peak (safe
+/// but expensive) and at the mean (cheap but violating at peaks).
+class NfvKeyServerPilot {
+ public:
+  explicit NfvKeyServerPilot(const NfvConfig& config = {}) : config_{config} {}
+
+  NfvOutcome run(Datacenter& dc) const;
+
+  /// Diurnal load in [night_load_fraction, 1] at wall-clock `hour`.
+  double load_at(double hour) const;
+  /// Memory demand (GB) implied by the load.
+  std::uint64_t demand_gb(double load) const;
+
+  const NfvConfig& config() const { return config_; }
+
+ private:
+  NfvConfig config_;
+};
+
+}  // namespace dredbox::core::pilots

@@ -1,0 +1,112 @@
+#include "core/pilots/video_analytics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace dredbox::core::pilots {
+
+VideoAnalyticsOutcome VideoAnalyticsPilot::run(Datacenter& dc) const {
+  sim::Rng rng{config_.seed};
+
+  auto boot = dc.boot_vm("video-analytics", 2, 2ull << 30);
+  if (!boot.ok) {
+    throw std::runtime_error("VideoAnalyticsPilot: VM boot failed: " + boot.error);
+  }
+
+  // Generate the event-driven investigation arrivals.
+  struct Investigation {
+    double arrival_h;
+    double video_kilohours;
+    double working_set_gb;
+  };
+  std::vector<Investigation> events;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(config_.mean_interarrival_hours);
+    if (t >= config_.duration_hours) break;
+    const double hours = rng.uniform(config_.min_video_hours, config_.max_video_hours);
+    Investigation inv;
+    inv.arrival_h = t;
+    inv.video_kilohours = hours / 1000.0;
+    inv.working_set_gb = inv.video_kilohours * config_.gb_per_kilohour;
+    events.push_back(inv);
+  }
+
+  VideoAnalyticsOutcome outcome;
+  outcome.investigations = events.size();
+  if (events.empty()) return outcome;
+
+  sim::SampleSet elastic_completion;
+  sim::SampleSet static_completion;
+  sim::SampleSet scale_up_delays;
+
+  // --- elastic (dReDBox) run: memory follows demand ---
+  struct Held {
+    hw::SegmentId segment;
+    std::uint64_t gb;
+  };
+  std::vector<Held> held_segments;
+  std::uint64_t held_gb = 0;
+  double elastic_peak = 0.0;
+  for (const auto& inv : events) {
+    dc.advance_to(sim::Time::sec(inv.arrival_h * 3600.0));
+    const auto need_gb = static_cast<std::uint64_t>(inv.working_set_gb) + 1;
+    while (held_gb < need_gb) {
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(config_.scale_up_chunk_gb, need_gb - held_gb);
+      auto result = dc.scale_up(boot.vm, boot.compute, chunk << 30);
+      if (!result.ok) break;  // pool exhausted: proceed with what we hold
+      dc.advance_to(result.completed_at);
+      held_segments.push_back(Held{result.segment, chunk});
+      held_gb += chunk;
+      scale_up_delays.add(result.delay().as_sec());
+      ++outcome.scale_ups;
+    }
+    elastic_peak = std::max(elastic_peak, static_cast<double>(held_gb));
+
+    // Analysis rate scales with the memory actually available (the
+    // working set stays resident instead of thrashing).
+    const double gb = static_cast<double>(std::min<std::uint64_t>(held_gb, need_gb));
+    const double rate = config_.analysis_rate_kilohours_per_hour_per_gb * std::max(1.0, gb);
+    elastic_completion.add(inv.video_kilohours / rate);
+
+    // Investigation done: release everything beyond a warm floor.
+    while (held_gb > config_.scale_up_chunk_gb && !held_segments.empty()) {
+      const Held held = held_segments.back();
+      auto result = dc.scale_down(boot.vm, boot.compute, held.segment);
+      if (!result.ok) break;
+      dc.advance_to(result.completed_at);
+      held_segments.pop_back();
+      held_gb -= held.gb;
+      ++outcome.scale_downs;
+    }
+  }
+
+  // --- static baseline: fixed provision, demand beyond it thrashes ---
+  double static_peak = 0.0;
+  for (const auto& inv : events) {
+    const double need_gb = inv.working_set_gb;
+    const double have_gb = static_cast<double>(config_.static_provision_gb);
+    static_peak = std::max(static_peak, have_gb);
+    const double resident = std::min(need_gb, have_gb);
+    double rate = config_.analysis_rate_kilohours_per_hour_per_gb * std::max(1.0, resident);
+    if (need_gb > have_gb) {
+      // Out-of-core penalty: throughput degrades with the miss ratio.
+      const double miss = (need_gb - have_gb) / need_gb;
+      rate *= std::max(0.05, 1.0 - 0.9 * miss);
+    }
+    static_completion.add(inv.video_kilohours / rate);
+  }
+
+  outcome.elastic_mean_completion_hours = elastic_completion.mean();
+  outcome.static_mean_completion_hours = static_completion.mean();
+  outcome.elastic_peak_gb = elastic_peak;
+  outcome.static_peak_gb = static_peak;
+  outcome.mean_scale_up_delay_s = scale_up_delays.empty() ? 0.0 : scale_up_delays.mean();
+  return outcome;
+}
+
+}  // namespace dredbox::core::pilots

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/datacenter.hpp"
+
+namespace dredbox::core::pilots {
+
+/// Pilot 1 (Section V): video analytics for large security investigations.
+/// Investigations arrive unpredictably (event-driven) and each requires
+/// searching through thousands of video hours; the computational and
+/// memory requirements cannot be scheduled ahead of time. The dReDBox
+/// deployment absorbs each surge by scaling a VM's memory up for the
+/// investigation and releasing it afterwards; the static baseline must
+/// keep a fixed provision and queues work that does not fit.
+struct VideoAnalyticsConfig {
+  double duration_hours = 24.0;
+  double mean_interarrival_hours = 3.0;       // investigations per day
+  double min_video_hours = 1000.0;
+  double max_video_hours = 100000.0;          // "100,000 hours or more"
+  double gb_per_kilohour = 1.5;               // working set per 1000 video hours
+  double analysis_rate_kilohours_per_hour_per_gb = 0.8;
+  std::uint64_t static_provision_gb = 32;     // baseline fixed memory
+  std::uint64_t scale_up_chunk_gb = 8;
+  std::uint64_t seed = 11;
+};
+
+struct VideoAnalyticsOutcome {
+  std::size_t investigations = 0;
+  double elastic_mean_completion_hours = 0.0;
+  double static_mean_completion_hours = 0.0;
+  double elastic_peak_gb = 0.0;
+  double static_peak_gb = 0.0;
+  std::size_t scale_ups = 0;
+  std::size_t scale_downs = 0;
+  double mean_scale_up_delay_s = 0.0;
+
+  double speedup() const {
+    return elastic_mean_completion_hours > 0
+               ? static_mean_completion_hours / elastic_mean_completion_hours
+               : 0.0;
+  }
+};
+
+/// Drives a Datacenter through the investigation workload. The datacenter
+/// must have at least one compute brick and enough pooled memory for the
+/// configured surges.
+class VideoAnalyticsPilot {
+ public:
+  explicit VideoAnalyticsPilot(const VideoAnalyticsConfig& config = {}) : config_{config} {}
+
+  VideoAnalyticsOutcome run(Datacenter& dc) const;
+
+  const VideoAnalyticsConfig& config() const { return config_; }
+
+ private:
+  VideoAnalyticsConfig config_;
+};
+
+}  // namespace dredbox::core::pilots

@@ -1,0 +1,138 @@
+#include "core/scaleup_experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dredbox::core {
+
+DatacenterConfig Fig10Config::default_datacenter() {
+  DatacenterConfig dc;
+  dc.trays = 4;
+  dc.compute_bricks_per_tray = 2;
+  dc.memory_bricks_per_tray = 2;
+  dc.compute.apu_cores = 4;
+  dc.compute.local_memory_bytes = 4ull << 30;
+  dc.memory.capacity_bytes = 32ull << 30;
+  dc.optical_switch.ports = 48;
+  return dc;
+}
+
+ScaleUpAgilityExperiment::ScaleUpAgilityExperiment(const Fig10Config& config)
+    : config_{config} {
+  if (config.concurrency_levels.empty()) {
+    throw std::invalid_argument("ScaleUpAgilityExperiment: no concurrency levels");
+  }
+  if (config.repetitions == 0) {
+    throw std::invalid_argument("ScaleUpAgilityExperiment: zero repetitions");
+  }
+}
+
+void ScaleUpAgilityExperiment::run_repetition(std::size_t concurrency, std::uint64_t seed,
+                                              LevelSample& out) const {
+  DatacenterConfig dc_config = config_.datacenter;
+  dc_config.seed = seed;
+  Datacenter dc{dc_config};
+  sim::Rng rng{seed ^ 0xD15A66E6ull};
+
+  // Boot `concurrency` single-core VMs; the SDM-C packs them across the
+  // compute bricks.
+  struct Guest {
+    hw::VmId vm;
+    hw::BrickId brick;
+  };
+  std::vector<Guest> guests;
+  for (std::size_t i = 0; i < concurrency; ++i) {
+    auto result = dc.boot_vm("vm-" + std::to_string(i), 1, 1ull << 30);
+    if (!result.ok) {
+      throw std::runtime_error("Fig10: VM boot failed: " + result.error +
+                               " (size the datacenter up for this concurrency)");
+    }
+    guests.push_back(Guest{result.vm, result.compute});
+  }
+
+  // Every VM posts one scale-up within the posting interval. Requests are
+  // processed in posting order (FCFS at the SDM-C front door).
+  struct Posting {
+    sim::Time at;
+    std::size_t guest;
+  };
+  std::vector<Posting> postings;
+  postings.reserve(concurrency);
+  for (std::size_t i = 0; i < concurrency; ++i) {
+    postings.push_back(Posting{sim::Time::sec(rng.uniform(0.0, config_.posting_interval_s)), i});
+  }
+  std::sort(postings.begin(), postings.end(),
+            [](const Posting& a, const Posting& b) { return a.at < b.at; });
+
+  dc.sdm().reset_queues();
+  struct Granted {
+    std::size_t guest;
+    hw::SegmentId segment;
+  };
+  std::vector<Granted> granted;
+  for (const Posting& p : postings) {
+    orch::ScaleUpRequest request;
+    request.vm = guests[p.guest].vm;
+    request.compute = guests[p.guest].brick;
+    request.bytes = config_.bytes_per_request;
+    request.posted_at = p.at;
+    const auto result = dc.sdm().scale_up(request);
+    if (!result.ok) {
+      throw std::runtime_error("Fig10: scale-up failed: " + result.error);
+    }
+    out.scale_up_s.add(result.delay().as_sec());
+    granted.push_back(Granted{p.guest, result.segment});
+  }
+
+  // Scale-down phase: the same VMs release the memory, posted within an
+  // interval starting after everything settled.
+  dc.sdm().reset_queues();
+  const sim::Time down_epoch = sim::Time::sec(120.0);
+  std::vector<std::pair<sim::Time, std::size_t>> down_postings;
+  for (std::size_t i = 0; i < granted.size(); ++i) {
+    down_postings.emplace_back(
+        down_epoch + sim::Time::sec(rng.uniform(0.0, config_.posting_interval_s)), i);
+  }
+  std::sort(down_postings.begin(), down_postings.end());
+  for (const auto& [at, idx] : down_postings) {
+    const Granted& g = granted[idx];
+    const auto result = dc.sdm().scale_down(guests[g.guest].vm, guests[g.guest].brick,
+                                            g.segment, at);
+    if (!result.ok) {
+      throw std::runtime_error("Fig10: scale-down failed: " + result.error);
+    }
+    out.scale_down_s.add(result.delay().as_sec());
+  }
+
+  // Conventional scale-out baseline: the same postings, but each request
+  // spawns an additional VM instead of hot-attaching memory.
+  orch::ScaleOutBaseline baseline{config_.scale_out};
+  for (const Posting& p : postings) {
+    const auto result = baseline.spawn(p.at, rng);
+    out.scale_out_s.add(result.delay().as_sec());
+  }
+}
+
+Fig10Row ScaleUpAgilityExperiment::run_level(std::size_t concurrency) const {
+  LevelSample sample;
+  for (std::size_t r = 0; r < config_.repetitions; ++r) {
+    run_repetition(concurrency, config_.seed + r * 1000003ull, sample);
+  }
+  Fig10Row row;
+  row.concurrency = concurrency;
+  row.scale_up_avg_s = sample.scale_up_s.mean();
+  row.scale_up_ci95_s = sample.scale_up_s.ci95_halfwidth();
+  row.scale_up_p95_s = sample.scale_up_s.percentile(95.0);
+  row.scale_down_avg_s = sample.scale_down_s.mean();
+  row.scale_out_avg_s = sample.scale_out_s.mean();
+  row.scale_out_ci95_s = sample.scale_out_s.ci95_halfwidth();
+  return row;
+}
+
+std::vector<Fig10Row> ScaleUpAgilityExperiment::run() const {
+  std::vector<Fig10Row> rows;
+  for (std::size_t level : config_.concurrency_levels) rows.push_back(run_level(level));
+  return rows;
+}
+
+}  // namespace dredbox::core

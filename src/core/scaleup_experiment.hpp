@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/datacenter.hpp"
+#include "orch/scale_out.hpp"
+#include "sim/stats.hpp"
+
+namespace dredbox::core {
+
+/// Configuration of the Fig. 10 scale-up agility experiment: N VMs post
+/// memory scale-up requests within a fixed interval; the same N requests
+/// are replayed against the conventional scale-out baseline (spawning
+/// additional VMs, per [13]).
+struct Fig10Config {
+  std::vector<std::size_t> concurrency_levels = {32, 16, 8};
+  std::uint64_t bytes_per_request = 2ull << 30;  // 2 GiB per scale-up
+  double posting_interval_s = 1.0;
+  std::size_t repetitions = 5;
+  std::uint64_t seed = 7;
+
+  DatacenterConfig datacenter = default_datacenter();
+  orch::ScaleOutTiming scale_out;
+
+  /// 4 trays x (2 dCOMPUBRICKs + 2 dMEMBRICKs): 8 compute bricks (each
+  /// 4 cores, 4 GiB local DDR) and a 256 GiB disaggregated pool — enough
+  /// to host 32 one-core VMs and absorb 32 concurrent 2 GiB expansions.
+  static DatacenterConfig default_datacenter();
+};
+
+/// Measured outcomes for one concurrency level, averaged over repetitions.
+struct Fig10Row {
+  std::size_t concurrency = 0;
+  double scale_up_avg_s = 0.0;
+  double scale_up_ci95_s = 0.0;  // 95% CI half-width on the mean
+  double scale_up_p95_s = 0.0;
+  double scale_down_avg_s = 0.0;
+  double scale_out_avg_s = 0.0;
+  double scale_out_ci95_s = 0.0;
+
+  double speedup() const {
+    return scale_up_avg_s > 0 ? scale_out_avg_s / scale_up_avg_s : 0.0;
+  }
+};
+
+/// Runs the Section IV-C preliminary evaluation: per-VM average delay of
+/// dynamically scaling up/down memory under 8/16/32-way concurrency,
+/// against conventional scale-out elasticity.
+class ScaleUpAgilityExperiment {
+ public:
+  explicit ScaleUpAgilityExperiment(const Fig10Config& config = {});
+
+  std::vector<Fig10Row> run() const;
+  Fig10Row run_level(std::size_t concurrency) const;
+
+  const Fig10Config& config() const { return config_; }
+
+ private:
+  Fig10Config config_;
+
+  struct LevelSample {
+    sim::SampleSet scale_up_s;
+    sim::SampleSet scale_down_s;
+    sim::SampleSet scale_out_s;
+  };
+  void run_repetition(std::size_t concurrency, std::uint64_t seed, LevelSample& out) const;
+};
+
+}  // namespace dredbox::core

@@ -1,0 +1,72 @@
+#include "hw/accel_brick.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::hw {
+
+AcceleratorBrick::AcceleratorBrick(BrickId id, TrayId tray, const AccelBrickConfig& config)
+    : Brick{id, BrickKind::kAccelerator, tray, config.transceiver_ports, config.port_rate_gbps},
+      config_{config} {
+  if (config.pcap_bandwidth_bytes_per_sec <= 0) {
+    throw std::invalid_argument("AcceleratorBrick: PCAP bandwidth must be positive");
+  }
+}
+
+void AcceleratorBrick::store_bitstream(const Bitstream& bs) {
+  if (bs.name.empty()) throw std::invalid_argument("store_bitstream: empty name");
+  if (bs.size_bytes == 0) throw std::invalid_argument("store_bitstream: empty bitstream");
+  store_[bs.name] = bs;
+}
+
+bool AcceleratorBrick::has_bitstream(const std::string& name) const {
+  return store_.count(name) != 0;
+}
+
+std::vector<std::string> AcceleratorBrick::stored_bitstreams() const {
+  std::vector<std::string> names;
+  names.reserve(store_.size());
+  for (const auto& [name, bs] : store_) names.push_back(name);
+  return names;
+}
+
+double AcceleratorBrick::reconfigure(const std::string& name) {
+  auto it = store_.find(name);
+  if (it == store_.end()) {
+    throw std::logic_error("AcceleratorBrick::reconfigure: bitstream '" + name +
+                           "' not in middleware store");
+  }
+  if (!is_powered()) {
+    throw std::logic_error("AcceleratorBrick::reconfigure: brick is powered off");
+  }
+  active_ = name;
+  regs_.status = 1;  // loaded, idle
+  set_active(true);
+  return static_cast<double>(it->second.size_bytes) / config_.pcap_bandwidth_bytes_per_sec;
+}
+
+std::optional<std::string> AcceleratorBrick::active_accelerator() const { return active_; }
+
+const Bitstream* AcceleratorBrick::active_bitstream() const {
+  if (!active_) return nullptr;
+  auto it = store_.find(*active_);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+double AcceleratorBrick::offload(std::uint64_t items) {
+  const Bitstream* bs = active_bitstream();
+  if (bs == nullptr) {
+    throw std::logic_error("AcceleratorBrick::offload: no accelerator loaded");
+  }
+  regs_.status = 2;  // busy
+  regs_.processed_items += items;
+  const double seconds = static_cast<double>(items) / bs->kernel_ops_per_sec;
+  regs_.status = 1;  // back to loaded/idle
+  return seconds;
+}
+
+std::string AcceleratorBrick::describe_resources() const {
+  return describe() + " slot=" + (active_ ? *active_ : std::string{"<empty>"}) +
+         " store=" + std::to_string(store_.size()) + " bitstreams";
+}
+
+}  // namespace dredbox::hw

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/brick.hpp"
+
+namespace dredbox::hw {
+
+/// A partial bitstream held in the dACCELBRICK middleware's store.
+struct Bitstream {
+  std::string name;
+  std::uint64_t size_bytes = 0;
+  /// Throughput of the accelerator once loaded, in operations per second
+  /// of the offloaded kernel (used by the pilot-application models).
+  double kernel_ops_per_sec = 1e9;
+};
+
+/// Wrapper-template register file: the glue logic accesses these for
+/// accelerator control and status monitoring (Fig. 5).
+struct WrapperRegisters {
+  std::uint32_t control = 0;
+  std::uint32_t status = 0;
+  std::uint64_t processed_items = 0;
+};
+
+struct AccelBrickConfig {
+  std::uint64_t pl_ddr_bytes = 8ull << 30;  // accelerator-local DDR
+  std::size_t transceiver_ports = 8;
+  double port_rate_gbps = 10.0;
+  /// PCAP configuration port throughput; reconfiguration time is
+  /// bitstream size divided by this.
+  double pcap_bandwidth_bytes_per_sec = 400e6;
+};
+
+/// The accelerator building block (Fig. 5): a static infrastructure (thin
+/// middleware on the local APU, PCAP reconfiguration, external
+/// communication) plus one dynamic reconfigurable slot hosting the active
+/// accelerator. Remote dCOMPUBRICKs push bitstreams, then offload data for
+/// near-data processing.
+class AcceleratorBrick : public Brick {
+ public:
+  AcceleratorBrick(BrickId id, TrayId tray, const AccelBrickConfig& config = {});
+
+  const AccelBrickConfig& config() const { return config_; }
+
+  /// Middleware step (i): receive and store a bitstream from a remote
+  /// dCOMPUBRICK. Replaces any previous bitstream of the same name.
+  void store_bitstream(const Bitstream& bs);
+
+  bool has_bitstream(const std::string& name) const;
+  std::vector<std::string> stored_bitstreams() const;
+
+  /// Middleware step (ii): reconfigure the PL slot via the PCAP port.
+  /// Returns the reconfiguration time in seconds (size / PCAP bandwidth).
+  /// Throws if the bitstream was never stored.
+  double reconfigure(const std::string& name);
+
+  /// Name of the accelerator currently in the dynamic slot, if any.
+  std::optional<std::string> active_accelerator() const;
+  const Bitstream* active_bitstream() const;
+
+  WrapperRegisters& registers() { return regs_; }
+  const WrapperRegisters& registers() const { return regs_; }
+
+  /// Runs `items` through the loaded kernel; returns processing seconds.
+  /// Throws when no accelerator is loaded.
+  double offload(std::uint64_t items);
+
+  std::string describe_resources() const;
+
+ private:
+  AccelBrickConfig config_;
+  std::map<std::string, Bitstream> store_;
+  std::optional<std::string> active_;
+  WrapperRegisters regs_;
+};
+
+}  // namespace dredbox::hw

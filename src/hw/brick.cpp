@@ -1,0 +1,93 @@
+#include "hw/brick.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::hw {
+
+std::string to_string(BrickKind kind) {
+  switch (kind) {
+    case BrickKind::kCompute:
+      return "dCOMPUBRICK";
+    case BrickKind::kMemory:
+      return "dMEMBRICK";
+    case BrickKind::kAccelerator:
+      return "dACCELBRICK";
+  }
+  return "<unknown brick kind>";
+}
+
+std::string to_string(PowerState state) {
+  switch (state) {
+    case PowerState::kOff:
+      return "off";
+    case PowerState::kIdle:
+      return "idle";
+    case PowerState::kActive:
+      return "active";
+  }
+  return "<unknown power state>";
+}
+
+Brick::Brick(BrickId id, BrickKind kind, TrayId tray, std::size_t num_ports,
+             double port_rate_gbps)
+    : id_{id}, kind_{kind}, tray_{tray} {
+  if (!id.valid()) throw std::invalid_argument("Brick: invalid id");
+  ports_.reserve(num_ports);
+  for (std::size_t i = 0; i < num_ports; ++i) {
+    ports_.push_back(TransceiverPort{PortId{static_cast<std::uint32_t>(i)},
+                                     /*circuit_based=*/true, port_rate_gbps,
+                                     /*connected=*/false});
+  }
+}
+
+void Brick::power_off() {
+  for (auto& p : ports_) {
+    if (p.connected) {
+      throw std::logic_error("Brick::power_off: brick " + id_.to_string() +
+                             " still has connected ports; tear circuits down first");
+    }
+  }
+  power_ = PowerState::kOff;
+}
+
+void Brick::set_active(bool active) {
+  if (power_ == PowerState::kOff) {
+    throw std::logic_error("Brick::set_active: brick " + id_.to_string() + " is powered off");
+  }
+  power_ = active ? PowerState::kActive : PowerState::kIdle;
+}
+
+TransceiverPort* Brick::find_free_port(bool circuit_based) {
+  for (auto& p : ports_) {
+    if (p.circuit_based == circuit_based && !p.connected) return &p;
+  }
+  return nullptr;
+}
+
+std::size_t Brick::free_port_count(bool circuit_based) const {
+  std::size_t n = 0;
+  for (const auto& p : ports_) {
+    if (p.circuit_based == circuit_based && !p.connected) ++n;
+  }
+  return n;
+}
+
+void Brick::dedicate_packet_ports(std::size_t n) {
+  if (n > ports_.size()) {
+    throw std::invalid_argument("Brick::dedicate_packet_ports: brick has only " +
+                                std::to_string(ports_.size()) + " ports");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ports_[i].connected) {
+      throw std::logic_error("Brick::dedicate_packet_ports: port in use");
+    }
+    ports_[i].circuit_based = false;
+  }
+}
+
+std::string Brick::describe() const {
+  return to_string(kind_) + "#" + id_.to_string() + " (tray " + tray_.to_string() + ", " +
+         std::to_string(ports_.size()) + " ports, " + to_string(power_) + ")";
+}
+
+}  // namespace dredbox::hw

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/ids.hpp"
+
+namespace dredbox::hw {
+
+enum class BrickKind : std::uint8_t {
+  kCompute,     // dCOMPUBRICK
+  kMemory,      // dMEMBRICK
+  kAccelerator  // dACCELBRICK
+};
+
+std::string to_string(BrickKind kind);
+
+enum class PowerState : std::uint8_t { kOff, kIdle, kActive };
+
+std::string to_string(PowerState state);
+
+/// One GTH high-speed transceiver port on a brick. Ports face either the
+/// circuit-based network (CBN) or the packet-based network (PBN), matching
+/// the dual substrate in Figs. 3-5.
+struct TransceiverPort {
+  PortId id;
+  bool circuit_based = true;  // CBN when true, PBN otherwise
+  double rate_gbps = 10.0;    // paper evaluates 10 Gb/s links (Fig. 7)
+  bool connected = false;     // attached to a switch port / circuit
+};
+
+/// Common state shared by all brick types: identity, placement, power state
+/// and transceiver inventory. Concrete brick classes (ComputeBrick,
+/// MemoryBrick, AcceleratorBrick) add their resources on top.
+class Brick {
+ public:
+  Brick(BrickId id, BrickKind kind, TrayId tray, std::size_t num_ports, double port_rate_gbps);
+  virtual ~Brick() = default;
+
+  Brick(const Brick&) = delete;
+  Brick& operator=(const Brick&) = delete;
+  Brick(Brick&&) = default;
+  Brick& operator=(Brick&&) = default;
+
+  BrickId id() const { return id_; }
+  BrickKind kind() const { return kind_; }
+  TrayId tray() const { return tray_; }
+
+  PowerState power_state() const { return power_; }
+  bool is_powered() const { return power_ != PowerState::kOff; }
+  void power_on() { power_ = PowerState::kIdle; }
+  void power_off();
+  void set_active(bool active);
+
+  std::size_t port_count() const { return ports_.size(); }
+  const TransceiverPort& port(std::size_t i) const { return ports_.at(i); }
+  TransceiverPort& port(std::size_t i) { return ports_.at(i); }
+  const std::vector<TransceiverPort>& ports() const { return ports_; }
+
+  /// First unconnected port of the requested substrate; nullptr if none.
+  TransceiverPort* find_free_port(bool circuit_based);
+  std::size_t free_port_count(bool circuit_based) const;
+
+  /// Re-labels the first `n` ports as packet-based (PBN). The prototype
+  /// carves its GTH lanes between circuit and packet substrates.
+  void dedicate_packet_ports(std::size_t n);
+
+  std::string describe() const;
+
+ private:
+  BrickId id_;
+  BrickKind kind_;
+  TrayId tray_;
+  PowerState power_ = PowerState::kIdle;
+  std::vector<TransceiverPort> ports_;
+};
+
+}  // namespace dredbox::hw

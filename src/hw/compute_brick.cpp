@@ -1,0 +1,56 @@
+#include "hw/compute_brick.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace dredbox::hw {
+
+ComputeBrick::ComputeBrick(BrickId id, TrayId tray, const ComputeBrickConfig& config)
+    : Brick{id, BrickKind::kCompute, tray, config.transceiver_ports, config.port_rate_gbps},
+      config_{config},
+      tgl_{config.rmst_entries} {
+  if (config.apu_cores == 0) {
+    throw std::invalid_argument("ComputeBrick: needs at least one APU core");
+  }
+}
+
+void ComputeBrick::reserve_cores(std::size_t n) {
+  if (n > cores_free()) {
+    throw std::logic_error("ComputeBrick::reserve_cores: requested " + std::to_string(n) +
+                           " but only " + std::to_string(cores_free()) + " free");
+  }
+  cores_in_use_ += n;
+  set_active(cores_in_use_ > 0);
+}
+
+void ComputeBrick::release_cores(std::size_t n) {
+  if (n > cores_in_use_) {
+    throw std::logic_error("ComputeBrick::release_cores: releasing more cores than in use");
+  }
+  cores_in_use_ -= n;
+  set_active(cores_in_use_ > 0);
+}
+
+std::uint64_t ComputeBrick::find_remote_window(std::uint64_t size) const {
+  // Collect occupied windows sorted by base, then first-fit scan the gaps.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> used;  // (base, end)
+  for (const auto& e : tgl_.rmst().entries()) used.emplace_back(e.base, e.end());
+  std::sort(used.begin(), used.end());
+
+  std::uint64_t cursor = config_.remote_window_base;
+  for (const auto& [base, end] : used) {
+    if (base >= cursor && base - cursor >= size) return cursor;
+    cursor = std::max(cursor, end);
+  }
+  return cursor;  // space above the highest mapping
+}
+
+std::string ComputeBrick::describe_resources() const {
+  return describe() + " cores=" + std::to_string(cores_in_use_) + "/" +
+         std::to_string(config_.apu_cores) +
+         " rmst=" + std::to_string(tgl_.rmst().size()) + "/" +
+         std::to_string(tgl_.rmst().capacity());
+}
+
+}  // namespace dredbox::hw

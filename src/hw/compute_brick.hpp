@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/brick.hpp"
+#include "hw/tgl.hpp"
+
+namespace dredbox::hw {
+
+/// Configuration of a dCOMPUBRICK (Fig. 3). Defaults model the Zynq
+/// Ultrascale+ MPSoC used by the prototype: a quad-core A53 APU, a
+/// dual-core R5 RPU, local off-chip DDR, and GTH transceivers split
+/// between the circuit-based and packet-based substrates.
+struct ComputeBrickConfig {
+  std::size_t apu_cores = 4;
+  std::size_t rpu_cores = 2;
+  std::uint64_t local_memory_bytes = 4ull << 30;  // local DDR
+  std::size_t transceiver_ports = 8;              // GTH lanes
+  double port_rate_gbps = 10.0;
+  std::size_t rmst_entries = Rmst::kDefaultCapacity;
+
+  /// Brick-physical base of the remote-memory window the TGL decodes.
+  /// Everything below is local DDR / MMIO; everything at or above is
+  /// matched against the RMST.
+  std::uint64_t remote_window_base = 1ull << 40;  // 1 TiB
+};
+
+/// The compute building block: hosts software execution (APU), local
+/// memory, and the Transaction Glue Logic that bridges to disaggregated
+/// resources.
+class ComputeBrick : public Brick {
+ public:
+  ComputeBrick(BrickId id, TrayId tray, const ComputeBrickConfig& config = {});
+
+  const ComputeBrickConfig& config() const { return config_; }
+
+  std::size_t apu_cores() const { return config_.apu_cores; }
+  std::uint64_t local_memory_bytes() const { return config_.local_memory_bytes; }
+
+  TransactionGlueLogic& tgl() { return tgl_; }
+  const TransactionGlueLogic& tgl() const { return tgl_; }
+
+  /// Core accounting for VM placement (TCO study and orchestration).
+  std::size_t cores_in_use() const { return cores_in_use_; }
+  std::size_t cores_free() const { return config_.apu_cores - cores_in_use_; }
+  void reserve_cores(std::size_t n);
+  void release_cores(std::size_t n);
+
+  /// True when an address falls inside the remote window (TGL territory)
+  /// rather than local DDR.
+  bool is_remote_address(std::uint64_t addr) const {
+    return addr >= config_.remote_window_base;
+  }
+
+  /// Next unmapped brick-physical address inside the remote window large
+  /// enough for `size` bytes; used when installing new RMST entries.
+  std::uint64_t find_remote_window(std::uint64_t size) const;
+
+  std::string describe_resources() const;
+
+ private:
+  ComputeBrickConfig config_;
+  TransactionGlueLogic tgl_;
+  std::size_t cores_in_use_ = 0;
+};
+
+}  // namespace dredbox::hw

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace dredbox::hw {
+
+/// Strongly-typed identifier; Tag distinguishes brick/tray/segment/... ids
+/// so they cannot be mixed accidentally.
+template <typename Tag>
+struct Id {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value{v} {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+  constexpr auto operator<=>(const Id&) const = default;
+
+  std::string to_string() const {
+    return valid() ? std::to_string(value) : std::string{"<invalid>"};
+  }
+};
+
+struct BrickTag {};
+struct TrayTag {};
+struct SegmentTag {};
+struct PortTag {};
+struct CircuitTag {};
+struct VmTag {};
+
+using BrickId = Id<BrickTag>;
+using TrayId = Id<TrayTag>;
+using SegmentId = Id<SegmentTag>;
+using PortId = Id<PortTag>;
+using CircuitId = Id<CircuitTag>;
+using VmId = Id<VmTag>;
+
+}  // namespace dredbox::hw
+
+template <typename Tag>
+struct std::hash<dredbox::hw::Id<Tag>> {
+  std::size_t operator()(const dredbox::hw::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+
+namespace dredbox::hw {
+
+/// Per-unit power figures (watts). Defaults follow the component class the
+/// paper names: Zynq Ultrascale+ MPSoC bricks (low-power ARM SoC + PL,
+/// single-digit to low-double-digit watts), the Polatis optical switch at
+/// 100 mW/port (Section III), and a commodity two-socket server for the
+/// conventional-datacenter comparison (Section VI).
+struct PowerModel {
+  // dCOMPUBRICK: quad-core A53 APU + PL logic + local DDR.
+  double compute_brick_active_w = 22.0;
+  double compute_brick_idle_w = 8.0;
+
+  // dMEMBRICK: FPGA glue logic + DDR/HMC modules.
+  double memory_brick_active_w = 18.0;
+  double memory_brick_idle_w = 6.0;
+
+  // dACCELBRICK: PL-heavy, accelerator slot active.
+  double accel_brick_active_w = 30.0;
+  double accel_brick_idle_w = 9.0;
+
+  // Optical circuit switch, per port (paper: ~100 mW/port).
+  double optical_switch_port_w = 0.1;
+
+  // Conventional COTS server with the same aggregate resources as a set of
+  // bricks (32 cores + 32 GB class machine).
+  double server_active_w = 350.0;
+  double server_idle_w = 120.0;
+
+  // Powered-off units draw nothing in this first-order study (Section VI
+  // evaluates savings from powering off unutilized units).
+  double powered_off_w = 0.0;
+};
+
+}  // namespace dredbox::hw

@@ -1,0 +1,65 @@
+#include "hw/rmst.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::hw {
+
+Rmst::Rmst(std::size_t capacity) : capacity_{capacity} {
+  if (capacity == 0) throw std::invalid_argument("Rmst: capacity must be positive");
+  entries_.reserve(capacity);
+}
+
+void Rmst::insert(const RmstEntry& entry) {
+  if (full()) {
+    throw std::logic_error("Rmst::insert: table full (" + std::to_string(capacity_) +
+                           " entries)");
+  }
+  if (entry.size == 0) throw std::invalid_argument("Rmst::insert: zero-sized segment");
+  if (!entry.segment.valid()) throw std::invalid_argument("Rmst::insert: invalid segment id");
+  if (entry.base + entry.size < entry.base) {
+    throw std::invalid_argument("Rmst::insert: window wraps the address space");
+  }
+  for (const auto& e : entries_) {
+    if (e.segment == entry.segment) {
+      throw std::logic_error("Rmst::insert: duplicate segment id " + entry.segment.to_string());
+    }
+    const bool disjoint = entry.end() <= e.base || e.end() <= entry.base;
+    if (!disjoint) {
+      throw std::logic_error("Rmst::insert: window overlaps existing segment " +
+                             e.segment.to_string());
+    }
+  }
+  entries_.push_back(entry);
+}
+
+bool Rmst::remove(SegmentId segment) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->segment == segment) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<RmstEntry> Rmst::lookup(std::uint64_t addr) const {
+  for (const auto& e : entries_) {
+    if (e.contains(addr)) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<RmstEntry> Rmst::find_segment(SegmentId segment) const {
+  for (const auto& e : entries_) {
+    if (e.segment == segment) return e;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t Rmst::mapped_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& e : entries_) total += e.size;
+  return total;
+}
+
+}  // namespace dredbox::hw

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hw/ids.hpp"
+
+namespace dredbox::hw {
+
+/// One entry of the Remote Memory Segment Table: a large contiguous window
+/// of the compute brick's physical address space that maps onto memory
+/// hosted by a remote dMEMBRICK, reachable through a specific outgoing
+/// high-speed port (and hence a pre-established circuit).
+struct RmstEntry {
+  SegmentId segment;
+  std::uint64_t base = 0;   // brick-local physical base address
+  std::uint64_t size = 0;   // bytes; entries identify *large* segments
+  BrickId dest_brick;       // hosting dMEMBRICK
+  std::uint64_t dest_base = 0;  // offset within the dMEMBRICK's pool
+  PortId out_port;          // outgoing GTH port on the compute brick
+  CircuitId circuit;        // circuit set up by orchestration
+
+  bool contains(std::uint64_t addr) const { return addr >= base && addr - base < size; }
+  std::uint64_t end() const { return base + size; }
+};
+
+/// The RMST is a fully associative structure (Section II): every lookup
+/// compares the address against all valid entries. Capacity models the
+/// limited number of comparators that fit in the PL; the prototype keeps
+/// entries few and large.
+class Rmst {
+ public:
+  explicit Rmst(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 32;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool full() const { return entries_.size() >= capacity_; }
+
+  /// Installs an entry. Throws std::logic_error when the table is full or
+  /// the new window overlaps an existing one (hardware would mis-route).
+  void insert(const RmstEntry& entry);
+
+  /// Removes the entry for `segment`; returns false if absent.
+  bool remove(SegmentId segment);
+
+  /// Fully associative match of a physical address.
+  std::optional<RmstEntry> lookup(std::uint64_t addr) const;
+
+  std::optional<RmstEntry> find_segment(SegmentId segment) const;
+
+  const std::vector<RmstEntry>& entries() const { return entries_; }
+
+  /// Total remote bytes currently mapped.
+  std::uint64_t mapped_bytes() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<RmstEntry> entries_;
+};
+
+}  // namespace dredbox::hw

@@ -1,0 +1,15 @@
+#include "hw/tgl.hpp"
+
+namespace dredbox::hw {
+
+std::optional<TglRoute> TransactionGlueLogic::route(std::uint64_t addr) {
+  auto entry = rmst_.lookup(addr);
+  if (!entry) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return TglRoute{*entry, entry->dest_base + (addr - entry->base)};
+}
+
+}  // namespace dredbox::hw

@@ -1,0 +1,59 @@
+#include "hw/tray.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dredbox::hw {
+
+Tray::Tray(TrayId id, std::size_t slots) : id_{id} {
+  if (slots == 0) throw std::invalid_argument("Tray: needs at least one slot");
+  slots_.assign(slots, BrickId{});
+}
+
+std::size_t Tray::occupied_slots() const {
+  return static_cast<std::size_t>(std::count_if(slots_.begin(), slots_.end(),
+                                                [](BrickId b) { return b.valid(); }));
+}
+
+std::size_t Tray::plug(BrickId brick) {
+  if (!brick.valid()) throw std::invalid_argument("Tray::plug: invalid brick id");
+  if (hosts(brick)) {
+    throw std::logic_error("Tray::plug: brick " + brick.to_string() + " already plugged");
+  }
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].valid()) {
+      slots_[i] = brick;
+      return i;
+    }
+  }
+  throw std::logic_error("Tray::plug: tray " + id_.to_string() + " is full");
+}
+
+bool Tray::unplug(BrickId brick) {
+  for (auto& slot : slots_) {
+    if (slot == brick) {
+      slot = BrickId{};
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Tray::hosts(BrickId brick) const {
+  return std::find(slots_.begin(), slots_.end(), brick) != slots_.end();
+}
+
+std::vector<BrickId> Tray::bricks() const {
+  std::vector<BrickId> out;
+  for (const auto& slot : slots_) {
+    if (slot.valid()) out.push_back(slot);
+  }
+  return out;
+}
+
+std::string Tray::describe() const {
+  return "tray#" + id_.to_string() + " (" + std::to_string(occupied_slots()) + "/" +
+         std::to_string(slot_count()) + " slots)";
+}
+
+}  // namespace dredbox::hw

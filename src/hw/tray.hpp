@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/ids.hpp"
+
+namespace dredbox::hw {
+
+/// A datacenter tray (Fig. 1): a carrier of hot-pluggable brick modules.
+/// Intra-tray bricks are connected over a low-latency electrical circuit;
+/// trays interconnect in-rack over the optical network. The tray itself
+/// only tracks slot occupancy — brick objects live in the Rack.
+class Tray {
+ public:
+  Tray(TrayId id, std::size_t slots);
+
+  TrayId id() const { return id_; }
+  std::size_t slot_count() const { return slots_.size(); }
+  std::size_t occupied_slots() const;
+  std::size_t free_slots() const { return slot_count() - occupied_slots(); }
+
+  /// Hot-plugs a brick into the first free slot; returns the slot index.
+  /// Throws when the tray is full or the brick is already plugged here.
+  std::size_t plug(BrickId brick);
+
+  /// Hot-unplugs a brick; returns false if it is not in this tray.
+  bool unplug(BrickId brick);
+
+  bool hosts(BrickId brick) const;
+  std::vector<BrickId> bricks() const;
+
+  std::string describe() const;
+
+ private:
+  TrayId id_;
+  std::vector<BrickId> slots_;  // invalid id == empty slot
+};
+
+}  // namespace dredbox::hw

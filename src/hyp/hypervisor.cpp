@@ -1,0 +1,123 @@
+#include "hyp/hypervisor.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::hyp {
+
+Hypervisor::Hypervisor(hw::ComputeBrick& brick, os::BareMetalOs& os,
+                       const HypervisorTiming& timing)
+    : brick_{brick}, os_{os}, timing_{timing} {
+  if (os.brick() != brick.id()) {
+    throw std::invalid_argument("Hypervisor: OS instance belongs to a different brick");
+  }
+}
+
+hw::BrickId Hypervisor::brick() const { return brick_.id(); }
+
+std::uint64_t Hypervisor::ballooned_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, vm] : vms_) total += vm->balloon_bytes();
+  return total;
+}
+
+std::uint64_t Hypervisor::available_bytes() const {
+  const std::uint64_t host = os_.total_ram_bytes() + ballooned_bytes();
+  return host > committed_bytes_ ? host - committed_bytes_ : 0;
+}
+
+sim::Time Hypervisor::balloon_reclaim(hw::VmId vm_id, std::uint64_t size) {
+  VirtualMachine& guest = vm(vm_id);
+  guest.balloon_inflate(size);  // throws if the guest cannot give it back
+  const double gib = static_cast<double>(size) / static_cast<double>(1ull << 30);
+  return sim::scale(timing_.balloon_per_gib, gib);
+}
+
+sim::Time Hypervisor::balloon_return(hw::VmId vm_id, std::uint64_t size) {
+  VirtualMachine& guest = vm(vm_id);
+  if (size > guest.balloon_bytes()) {
+    throw std::logic_error("Hypervisor::balloon_return: balloon holds less than requested");
+  }
+  if (size > available_bytes()) {
+    throw std::logic_error(
+        "Hypervisor::balloon_return: ballooned pages were re-committed elsewhere; "
+        "attach remote memory first");
+  }
+  guest.balloon_deflate(size);
+  const double gib = static_cast<double>(size) / static_cast<double>(1ull << 30);
+  return sim::scale(timing_.balloon_per_gib, gib);
+}
+
+std::optional<hw::VmId> Hypervisor::create_vm(std::size_t vcpus, std::uint64_t boot_memory) {
+  if (vcpus > brick_.cores_free()) return std::nullopt;
+  if (boot_memory > available_bytes()) return std::nullopt;
+  brick_.reserve_cores(vcpus);
+  committed_bytes_ += boot_memory;
+  const hw::VmId id{next_vm_++};
+  auto vm = std::make_unique<VirtualMachine>(id, vcpus, boot_memory);
+  vm->set_running();
+  vms_.emplace(id, std::move(vm));
+  return id;
+}
+
+bool Hypervisor::destroy_vm(hw::VmId id) {
+  auto it = vms_.find(id);
+  if (it == vms_.end()) return false;
+  VirtualMachine& vm = *it->second;
+  brick_.release_cores(vm.vcpus());
+  committed_bytes_ -= vm.installed_bytes();
+  vm.terminate();
+  vms_.erase(it);
+  return true;
+}
+
+VirtualMachine& Hypervisor::vm(hw::VmId id) {
+  auto it = vms_.find(id);
+  if (it == vms_.end()) {
+    throw std::out_of_range("Hypervisor::vm: unknown VM " + id.to_string());
+  }
+  return *it->second;
+}
+
+const VirtualMachine& Hypervisor::vm(hw::VmId id) const {
+  return const_cast<Hypervisor*>(this)->vm(id);
+}
+
+std::vector<hw::VmId> Hypervisor::vms() const {
+  std::vector<hw::VmId> out;
+  out.reserve(vms_.size());
+  for (const auto& [id, vm] : vms_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+sim::Time Hypervisor::expand_vm_memory(hw::VmId vm_id, std::uint64_t size,
+                                       hw::SegmentId segment, sim::Time now) {
+  if (size > available_bytes()) {
+    throw std::logic_error(
+        "Hypervisor::expand_vm_memory: host has insufficient memory; attach remote "
+        "memory first (available " +
+        std::to_string(available_bytes()) + ", requested " + std::to_string(size) + ")");
+  }
+  VirtualMachine& guest = vm(vm_id);
+  GuestDimm dimm;
+  dimm.size = size;
+  dimm.hotplugged = true;
+  dimm.backing_segment = segment;
+  dimm.plugged_at = now;
+  guest.add_dimm(dimm);
+  committed_bytes_ += size;
+
+  const double gib = static_cast<double>(size) / static_cast<double>(1ull << 30);
+  return timing_.dimm_insert_fixed + sim::scale(timing_.guest_online_per_gib, gib);
+}
+
+sim::Time Hypervisor::shrink_vm_memory(hw::VmId vm_id, hw::SegmentId segment) {
+  VirtualMachine& guest = vm(vm_id);
+  const std::uint64_t removed = guest.remove_dimm(segment);
+  if (removed == 0) return sim::Time::zero();
+  committed_bytes_ -= removed;
+  const double gib = static_cast<double>(removed) / static_cast<double>(1ull << 30);
+  return timing_.dimm_insert_fixed + sim::scale(timing_.balloon_per_gib, gib);
+}
+
+}  // namespace dredbox::hyp

@@ -1,0 +1,89 @@
+#include "hyp/vm.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::hyp {
+
+std::string to_string(VmState state) {
+  switch (state) {
+    case VmState::kProvisioning:
+      return "provisioning";
+    case VmState::kRunning:
+      return "running";
+    case VmState::kTerminated:
+      return "terminated";
+  }
+  return "<unknown vm state>";
+}
+
+VirtualMachine::VirtualMachine(hw::VmId id, std::size_t vcpus, std::uint64_t boot_memory)
+    : id_{id}, vcpus_{vcpus} {
+  if (vcpus == 0) throw std::invalid_argument("VirtualMachine: needs at least one vCPU");
+  if (boot_memory == 0) throw std::invalid_argument("VirtualMachine: needs boot memory");
+  GuestDimm boot;
+  boot.size = boot_memory;
+  boot.hotplugged = false;
+  dimms_.push_back(boot);
+}
+
+std::uint64_t VirtualMachine::installed_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& d : dimms_) total += d.size;
+  return total;
+}
+
+std::uint64_t VirtualMachine::hotplugged_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& d : dimms_) {
+    if (d.hotplugged) total += d.size;
+  }
+  return total;
+}
+
+void VirtualMachine::add_dimm(const GuestDimm& dimm) {
+  if (dimm.size == 0) throw std::invalid_argument("add_dimm: zero-sized DIMM");
+  if (state_ == VmState::kTerminated) {
+    throw std::logic_error("add_dimm: VM " + id_.to_string() + " is terminated");
+  }
+  dimms_.push_back(dimm);
+}
+
+std::uint64_t VirtualMachine::remove_dimm(hw::SegmentId segment) {
+  for (auto it = dimms_.rbegin(); it != dimms_.rend(); ++it) {
+    if (it->hotplugged && it->backing_segment == segment) {
+      // The balloon holds guest pages; removing a DIMM may not shrink the
+      // guest below what the balloon has claimed (the kernel could not
+      // offline those frames). Deflate first.
+      if (balloon_bytes_ > installed_bytes() - it->size) {
+        throw std::logic_error(
+            "remove_dimm: balloon holds more than the remaining memory; deflate before "
+            "hot-removing");
+      }
+      const std::uint64_t size = it->size;
+      dimms_.erase(std::next(it).base());
+      return size;
+    }
+  }
+  return 0;
+}
+
+void VirtualMachine::balloon_inflate(std::uint64_t bytes) {
+  if (balloon_bytes_ + bytes > installed_bytes()) {
+    throw std::logic_error("balloon_inflate: balloon cannot exceed installed memory");
+  }
+  balloon_bytes_ += bytes;
+}
+
+void VirtualMachine::balloon_deflate(std::uint64_t bytes) {
+  if (bytes > balloon_bytes_) {
+    throw std::logic_error("balloon_deflate: deflating more than the balloon holds");
+  }
+  balloon_bytes_ -= bytes;
+}
+
+std::string VirtualMachine::describe() const {
+  return "vm#" + id_.to_string() + " (" + std::to_string(vcpus_) + " vCPUs, " +
+         std::to_string(installed_bytes() >> 20) + " MiB, " + to_string(state_) + ")";
+}
+
+}  // namespace dredbox::hyp

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/ids.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::hyp {
+
+enum class VmState : std::uint8_t { kProvisioning, kRunning, kTerminated };
+
+std::string to_string(VmState state);
+
+/// A guest-visible DIMM. Boot DIMMs back onto brick-local DDR; hotplugged
+/// DIMMs back onto disaggregated segments attached through the fabric.
+struct GuestDimm {
+  std::uint64_t size = 0;
+  bool hotplugged = false;
+  hw::SegmentId backing_segment;  // valid only for disaggregated DIMMs
+  sim::Time plugged_at;
+};
+
+/// A commodity virtual machine hosted by the dReDBox Type-1 hypervisor.
+/// Tracks the guest memory topology (DIMMs + balloon) and the resource
+/// envelope used by orchestration and the TCO study.
+class VirtualMachine {
+ public:
+  VirtualMachine(hw::VmId id, std::size_t vcpus, std::uint64_t boot_memory);
+
+  hw::VmId id() const { return id_; }
+  std::size_t vcpus() const { return vcpus_; }
+  VmState state() const { return state_; }
+
+  void set_running() { state_ = VmState::kRunning; }
+  void terminate() { state_ = VmState::kTerminated; }
+
+  // --- guest memory topology ---
+  const std::vector<GuestDimm>& dimms() const { return dimms_; }
+  std::uint64_t installed_bytes() const;
+  std::uint64_t hotplugged_bytes() const;
+
+  /// Hypervisor-side: inserts a new RAM DIMM at runtime (Section IV-B).
+  void add_dimm(const GuestDimm& dimm);
+
+  /// Removes the most recent hotplugged DIMM backed by `segment`; returns
+  /// its size, or 0 when no such DIMM exists.
+  std::uint64_t remove_dimm(hw::SegmentId segment);
+
+  // --- balloon (elastic redistribution of disaggregated memory) ---
+  std::uint64_t balloon_bytes() const { return balloon_bytes_; }
+  /// Inflating the balloon takes memory away from the guest.
+  void balloon_inflate(std::uint64_t bytes);
+  void balloon_deflate(std::uint64_t bytes);
+
+  /// Memory the guest can actually use right now.
+  std::uint64_t usable_bytes() const { return installed_bytes() - balloon_bytes_; }
+
+  std::string describe() const;
+
+ private:
+  hw::VmId id_;
+  std::size_t vcpus_;
+  VmState state_ = VmState::kProvisioning;
+  std::vector<GuestDimm> dimms_;
+  std::uint64_t balloon_bytes_ = 0;
+};
+
+}  // namespace dredbox::hyp

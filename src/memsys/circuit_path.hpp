@@ -1,0 +1,36 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace dredbox::memsys {
+
+/// Per-stage latencies of the mainline circuit-switched remote memory path
+/// (Section III: "memory interconnection among modules occurs via
+/// electrical resp. optical circuit-switching, as a means of minimizing
+/// the critical KPI of remote access latency"). Compared with the packet
+/// path there is no MAC framing and no per-hop arbitration: transactions
+/// ride a pre-established transparent circuit through GTH serdes lanes.
+struct CircuitPathLatencies {
+  sim::Time tgl_lookup = sim::Time::ns(25);   // RMST associative match + forward
+  sim::Time serdes = sim::Time::ns(50);       // GTH TX+RX pair per link traversal
+  sim::Time glue_logic = sim::Time::ns(40);   // dMEMBRICK glue logic
+  sim::Time ddr_access = sim::Time::ns(60);   // array latency (first word)
+  sim::Time hmc_access = sim::Time::ns(45);
+  // Array streaming bandwidth: large transactions occupy the controller
+  // for latency + bytes/bandwidth.
+  double ddr_bandwidth_gbps = 160.0;  // ~20 GB/s per controller
+  double hmc_bandwidth_gbps = 320.0;
+
+  double line_rate_gbps = 10.0;
+  std::size_t framing_bytes = 4;  // lightweight circuit framing (no MAC)
+
+  // Intra-tray electrical circuit (Section II: "Intra-tray bricks are
+  // connected over a low latency/high-throughput electrical circuit").
+  // No E/O conversion and centimetre-scale traces: the serdes pair is
+  // lighter and propagation is negligible.
+  sim::Time electrical_serdes = sim::Time::ns(30);
+  sim::Time electrical_propagation = sim::Time::ns(2);  // ~30 cm backplane trace
+  double electrical_rate_gbps = 16.0;  // backplane lanes clock higher
+};
+
+}  // namespace dredbox::memsys

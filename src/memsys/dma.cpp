@@ -1,0 +1,84 @@
+#include "memsys/dma.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dredbox::memsys {
+
+DmaEngine::DmaEngine(sim::Simulator& sim, RemoteMemoryFabric& fabric, hw::BrickId compute,
+                     std::size_t channels, std::uint32_t chunk_bytes)
+    : sim_{sim}, fabric_{fabric}, compute_{compute}, chunk_bytes_{chunk_bytes} {
+  if (channels == 0) throw std::invalid_argument("DmaEngine: needs at least one channel");
+  if (chunk_bytes == 0) throw std::invalid_argument("DmaEngine: chunk size must be positive");
+  channels_.resize(channels);
+}
+
+std::size_t DmaEngine::in_flight() const {
+  return static_cast<std::size_t>(
+      std::count_if(channels_.begin(), channels_.end(), [](const Channel& c) { return c.busy; }));
+}
+
+void DmaEngine::enqueue(const DmaDescriptor& descriptor, Callback callback) {
+  if (descriptor.bytes == 0) {
+    throw std::invalid_argument("DmaEngine::enqueue: zero-byte transfer");
+  }
+  queue_.push_back(Job{descriptor, std::move(callback), sim_.now()});
+  pump();
+}
+
+void DmaEngine::pump() {
+  for (std::size_t c = 0; c < channels_.size() && !queue_.empty(); ++c) {
+    if (channels_[c].busy) continue;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    channels_[c].busy = true;
+    run_job(c, std::move(job));
+  }
+}
+
+void DmaEngine::run_job(std::size_t channel, Job job) {
+  step(channel, std::move(job), 0, 0);
+}
+
+void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::size_t chunks) {
+  if (offset >= job.descriptor.bytes) {
+    DmaCompletion done;
+    done.ok = true;
+    done.bytes = job.descriptor.bytes;
+    done.chunks = chunks;
+    done.enqueued_at = job.enqueued_at;
+    done.completed_at = sim_.now();
+    channels_[channel].busy = false;
+    ++completed_;
+    if (job.callback) job.callback(done);
+    pump();
+    return;
+  }
+
+  const auto span = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(chunk_bytes_, job.descriptor.bytes - offset));
+  const std::uint64_t addr = job.descriptor.address + offset;
+  const Transaction tx = job.descriptor.direction == TransactionKind::kWrite
+                             ? fabric_.write(compute_, addr, span, sim_.now())
+                             : fabric_.read(compute_, addr, span, sim_.now());
+  if (!tx.ok()) {
+    DmaCompletion failed;
+    failed.ok = false;
+    failed.error = "chunk at 0x" + std::to_string(addr) + " failed: " + to_string(tx.status);
+    failed.bytes = offset;
+    failed.chunks = chunks;
+    failed.enqueued_at = job.enqueued_at;
+    failed.completed_at = sim_.now();
+    channels_[channel].busy = false;
+    if (job.callback) job.callback(failed);
+    pump();
+    return;
+  }
+
+  // Issue the next chunk the moment this one's round trip completes.
+  sim_.at(tx.completed_at, [this, channel, job = std::move(job), offset, span, chunks]() mutable {
+    step(channel, std::move(job), offset + span, chunks + 1);
+  });
+}
+
+}  // namespace dredbox::memsys

@@ -1,0 +1,660 @@
+#include "memsys/remote_memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dredbox::memsys {
+
+std::string to_string(TransactionKind kind) {
+  return kind == TransactionKind::kRead ? "read" : "write";
+}
+
+std::string to_string(LinkMedium medium) {
+  switch (medium) {
+    case LinkMedium::kElectrical:
+      return "electrical (intra-tray)";
+    case LinkMedium::kOptical:
+      return "optical (cross-tray)";
+    case LinkMedium::kPacket:
+      return "packet (fallback)";
+  }
+  return "<unknown link medium>";
+}
+
+std::string to_string(TransactionStatus status) {
+  switch (status) {
+    case TransactionStatus::kOk:
+      return "ok";
+    case TransactionStatus::kNoMapping:
+      return "no-mapping";
+    case TransactionStatus::kCircuitDown:
+      return "circuit-down";
+  }
+  return "<unknown status>";
+}
+
+std::string to_string(AttachError err) {
+  switch (err) {
+    case AttachError::kNoMemory:
+      return "no contiguous memory on dMEMBRICK";
+    case AttachError::kNoComputePort:
+      return "no free circuit port on dCOMPUBRICK";
+    case AttachError::kNoMemoryPort:
+      return "no free circuit port on dMEMBRICK";
+    case AttachError::kNoSwitchPorts:
+      return "optical switch out of ports";
+    case AttachError::kRmstFull:
+      return "RMST full";
+  }
+  return "<unknown attach error>";
+}
+
+RemoteMemoryFabric::RemoteMemoryFabric(hw::Rack& rack, optics::CircuitManager& circuits,
+                                       const CircuitPathLatencies& latencies)
+    : rack_{rack}, circuits_{circuits}, latencies_{latencies} {}
+
+bool RemoteMemoryFabric::same_tray(hw::BrickId a, hw::BrickId b) const {
+  return rack_.brick(a).tray() == rack_.brick(b).tray();
+}
+
+const RemoteMemoryFabric::ElectricalLink* RemoteMemoryFabric::find_electrical(
+    hw::CircuitId id) const {
+  for (const auto& l : electrical_) {
+    if (l.id == id) return &l;
+  }
+  return nullptr;
+}
+
+const RemoteMemoryFabric::PacketLink* RemoteMemoryFabric::find_packet(hw::CircuitId id) const {
+  for (const auto& l : packet_) {
+    if (l.id == id) return &l;
+  }
+  return nullptr;
+}
+
+std::optional<Attachment> RemoteMemoryFabric::attach(const AttachRequest& request,
+                                                     sim::Time now) {
+  auto& compute = rack_.compute_brick(request.compute);
+  auto& membrick = rack_.memory_brick(request.membrick);
+
+  if (compute.tgl().rmst().full()) {
+    last_error_ = AttachError::kRmstFull;
+    return std::nullopt;
+  }
+  if (membrick.largest_free_extent() < request.bytes) {
+    last_error_ = AttachError::kNoMemory;
+    return std::nullopt;
+  }
+
+  const bool electrical =
+      request.prefer_electrical_intra_tray && same_tray(request.compute, request.membrick);
+
+  // Existing circuit between the pair can be shared by multiple segments;
+  // otherwise wire a fresh one.
+  hw::CircuitId circuit_id;
+  LinkMedium medium = electrical ? LinkMedium::kElectrical : LinkMedium::kOptical;
+  std::size_t lanes = std::max<std::size_t>(1, request.lanes);
+  for (const auto& a : attachments_) {
+    if (a.compute == request.compute && a.membrick == request.membrick) {
+      circuit_id = a.circuit;
+      medium = a.medium;
+      lanes = a.lanes;
+      break;
+    }
+  }
+
+  // Packet-substrate fallback (Section III): when the system runs low on
+  // physical circuit ports, the orchestrator programs packet-switch
+  // lookup tables instead of a dedicated circuit.
+  auto packet_fallback = [&]() -> bool {
+    if (!request.allow_packet_fallback || packet_net_ == nullptr) return false;
+    if (!packet_net_->has_brick(request.compute) || !packet_net_->has_brick(request.membrick)) {
+      return false;
+    }
+    for (const auto& link : packet_) {
+      if ((link.a == request.compute && link.b == request.membrick) ||
+          (link.a == request.membrick && link.b == request.compute)) {
+        circuit_id = link.id;
+        medium = LinkMedium::kPacket;
+        return true;
+      }
+    }
+    if (!packet_net_->connected(request.compute, request.membrick)) {
+      packet_net_->connect(request.compute, request.membrick, request.fiber_length_m);
+    }
+    circuit_id = hw::CircuitId{next_packet_id_++};
+    packet_.push_back(PacketLink{circuit_id, request.compute, request.membrick});
+    medium = LinkMedium::kPacket;
+    return true;
+  };
+
+  hw::PortId first_out_port{0};
+  if (!circuit_id.valid()) {
+    // Enough free transceiver ports on both bricks for every lane?
+    if (compute.free_port_count(true) < lanes) {
+      last_error_ = AttachError::kNoComputePort;
+      if (!packet_fallback()) return std::nullopt;
+    } else if (membrick.free_port_count(true) < lanes) {
+      last_error_ = AttachError::kNoMemoryPort;
+      if (!packet_fallback()) return std::nullopt;
+    }
+
+    if (!circuit_id.valid()) {  // not in packet fallback
+      if (electrical) {
+        // Tray backplane cross-connect: no optical switch ports involved;
+        // bond `lanes` backplane lanes.
+        ElectricalLink link;
+        link.id = hw::CircuitId{next_electrical_id_++};
+        link.a = request.compute;
+        link.b = request.membrick;
+        for (std::size_t l = 0; l < lanes; ++l) {
+          auto* cp = compute.find_free_port(true);
+          auto* mp = membrick.find_free_port(true);
+          cp->connected = true;
+          mp->connected = true;
+          link.a_ports.push_back(cp->id);
+          link.b_ports.push_back(mp->id);
+        }
+        first_out_port = link.a_ports.front();
+        circuit_id = link.id;
+        electrical_.push_back(std::move(link));
+      } else {
+        // One optical circuit per lane; all bonded under the primary id.
+        if (circuits_.optical_switch().free_ports() < 2 * request.switch_hops * lanes) {
+          last_error_ = AttachError::kNoSwitchPorts;
+          if (!packet_fallback()) return std::nullopt;
+        }
+        if (!circuit_id.valid()) {
+          OpticalBond bond;
+          std::vector<std::pair<hw::TransceiverPort*, hw::TransceiverPort*>> taken;
+          for (std::size_t l = 0; l < lanes; ++l) {
+            auto* cp = compute.find_free_port(true);
+            auto* mp = membrick.find_free_port(true);
+            cp->connected = true;
+            mp->connected = true;
+            taken.emplace_back(cp, mp);
+            optics::CircuitRequest creq;
+            creq.a = optics::CircuitEndpoint{request.compute, cp->id, -3.7, 1.2};
+            creq.b = optics::CircuitEndpoint{request.membrick, mp->id, -3.7, 1.2};
+            creq.hops = request.switch_hops;
+            creq.fiber_length_m = request.fiber_length_m;
+            auto circuit = circuits_.establish(creq);
+            if (!circuit) {
+              // Roll back everything wired so far.
+              for (auto& [c, m] : taken) {
+                c->connected = false;
+                m->connected = false;
+              }
+              for (hw::CircuitId id : bond.all) circuits_.teardown(id);
+              last_error_ = AttachError::kNoSwitchPorts;
+              if (!packet_fallback()) return std::nullopt;
+              bond.all.clear();
+              break;
+            }
+            bond.all.push_back(circuit->id);
+          }
+          if (!bond.all.empty()) {
+            bond.primary = bond.all.front();
+            circuit_id = bond.primary;
+            first_out_port = taken.front().first->id;
+            if (bond.all.size() > 1) bonds_.push_back(std::move(bond));
+          }
+        }
+      }
+    }
+  }
+
+  auto segment = membrick.allocate(request.bytes, request.compute);
+  if (!segment) {
+    // largest_free_extent was checked above; reaching here means a race in
+    // caller logic. Keep the invariant: undo the circuit if fresh.
+    last_error_ = AttachError::kNoMemory;
+    return std::nullopt;
+  }
+
+  hw::RmstEntry entry;
+  entry.segment = segment->id;
+  entry.base = compute.find_remote_window(request.bytes);
+  entry.size = request.bytes;
+  entry.dest_brick = request.membrick;
+  entry.dest_base = segment->base;
+  entry.out_port = first_out_port;
+  entry.circuit = circuit_id;
+  compute.tgl().rmst().insert(entry);
+
+  Attachment a;
+  a.compute = request.compute;
+  a.membrick = request.membrick;
+  a.segment = segment->id;
+  a.compute_base = entry.base;
+  a.size = request.bytes;
+  a.circuit = circuit_id;
+  a.medium = medium;
+  a.lanes = medium == LinkMedium::kPacket ? 1 : lanes;
+  a.established_at = now;
+  attachments_.push_back(a);
+  return a;
+}
+
+bool RemoteMemoryFabric::detach(hw::BrickId compute, hw::SegmentId segment) {
+  auto it = std::find_if(attachments_.begin(), attachments_.end(), [&](const Attachment& a) {
+    return a.compute == compute && a.segment == segment;
+  });
+  if (it == attachments_.end()) return false;
+
+  const Attachment removed = *it;
+  attachments_.erase(it);
+
+  auto& cb = rack_.compute_brick(removed.compute);
+  cb.tgl().rmst().remove(segment);
+  rack_.memory_brick(removed.membrick).release(segment);
+
+  // Tear the circuit down when no other attachment rides it.
+  const bool circuit_still_used =
+      std::any_of(attachments_.begin(), attachments_.end(),
+                  [&](const Attachment& a) { return a.circuit == removed.circuit; });
+  if (!circuit_still_used) {
+    if (removed.medium == LinkMedium::kPacket) {
+      packet_.erase(std::remove_if(packet_.begin(), packet_.end(),
+                                   [&](const PacketLink& l) { return l.id == removed.circuit; }),
+                    packet_.end());
+      circuit_busy_until_.erase(removed.circuit.value);
+    } else if (removed.medium == LinkMedium::kElectrical) {
+      const ElectricalLink* link = find_electrical(removed.circuit);
+      if (link != nullptr) {
+        for (std::size_t l = 0; l < link->lanes(); ++l) {
+          rack_.brick(link->a).port(link->a_ports[l].value).connected = false;
+          rack_.brick(link->b).port(link->b_ports[l].value).connected = false;
+        }
+        electrical_.erase(
+            std::remove_if(electrical_.begin(), electrical_.end(),
+                           [&](const ElectricalLink& l) { return l.id == removed.circuit; }),
+            electrical_.end());
+        circuit_busy_until_.erase(removed.circuit.value);
+      }
+    } else {
+      // Optical: tear down every lane of the bond (single-lane links have
+      // no bond record and tear down just the primary circuit).
+      std::vector<hw::CircuitId> to_tear{removed.circuit};
+      for (auto bit = bonds_.begin(); bit != bonds_.end(); ++bit) {
+        if (bit->primary == removed.circuit) {
+          to_tear = bit->all;
+          bonds_.erase(bit);
+          break;
+        }
+      }
+      for (hw::CircuitId id : to_tear) {
+        auto circuit = circuits_.find(id);
+        if (circuit) {
+          rack_.brick(circuit->a.brick).port(circuit->a.port.value).connected = false;
+          rack_.brick(circuit->b.brick).port(circuit->b.port.value).connected = false;
+          circuits_.teardown(id);
+        }
+        circuit_busy_until_.erase(id.value);
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<RemoteMemoryFabric::MigratedAttachment> RemoteMemoryFabric::migrate_attachment(
+    hw::SegmentId segment, hw::BrickId from, hw::BrickId to, sim::Time now) {
+  auto it = std::find_if(attachments_.begin(), attachments_.end(), [&](const Attachment& a) {
+    return a.compute == from && a.segment == segment;
+  });
+  if (it == attachments_.end()) return std::nullopt;
+  const Attachment old = *it;
+
+  auto& new_compute = rack_.compute_brick(to);
+  if (new_compute.tgl().rmst().full()) {
+    last_error_ = AttachError::kRmstFull;
+    return std::nullopt;
+  }
+
+  // Wire (or reuse) connectivity between the destination brick and the
+  // serving dMEMBRICK before touching the source side, so failure leaves
+  // the old attachment intact.
+  hw::CircuitId new_circuit_id;
+  LinkMedium new_medium = LinkMedium::kOptical;
+  for (const auto& a : attachments_) {
+    if (a.compute == to && a.membrick == old.membrick) {
+      new_circuit_id = a.circuit;
+      new_medium = a.medium;
+      break;
+    }
+  }
+  bool wired_fresh = false;
+  if (!new_circuit_id.valid()) {
+    hw::TransceiverPort* cport = new_compute.find_free_port(/*circuit_based=*/true);
+    if (cport == nullptr) {
+      last_error_ = AttachError::kNoComputePort;
+      return std::nullopt;
+    }
+    hw::TransceiverPort* mport =
+        rack_.memory_brick(old.membrick).find_free_port(/*circuit_based=*/true);
+    if (mport == nullptr) {
+      last_error_ = AttachError::kNoMemoryPort;
+      return std::nullopt;
+    }
+    if (same_tray(to, old.membrick)) {
+      new_medium = LinkMedium::kElectrical;
+      new_circuit_id = hw::CircuitId{next_electrical_id_++};
+      electrical_.push_back(
+          ElectricalLink{new_circuit_id, to, old.membrick, {cport->id}, {mport->id}});
+    } else {
+      optics::CircuitRequest creq;
+      creq.a = optics::CircuitEndpoint{to, cport->id, -3.7, 1.2};
+      creq.b = optics::CircuitEndpoint{old.membrick, mport->id, -3.7, 1.2};
+      auto circuit = circuits_.establish(creq);
+      if (!circuit) {
+        last_error_ = AttachError::kNoSwitchPorts;
+        return std::nullopt;
+      }
+      new_medium = LinkMedium::kOptical;
+      new_circuit_id = circuit->id;
+    }
+    cport->connected = true;
+    mport->connected = true;
+    wired_fresh = true;
+  }
+
+  // Move the RMST entry: remove at the source, install at the destination.
+  auto& old_compute = rack_.compute_brick(from);
+  const auto old_entry = old_compute.tgl().rmst().find_segment(segment);
+  old_compute.tgl().rmst().remove(segment);
+
+  hw::RmstEntry entry;
+  entry.segment = segment;
+  entry.base = new_compute.find_remote_window(old.size);
+  entry.size = old.size;
+  entry.dest_brick = old.membrick;
+  entry.dest_base = old_entry ? old_entry->dest_base : 0;
+  entry.circuit = new_circuit_id;
+  new_compute.tgl().rmst().insert(entry);
+
+  rack_.memory_brick(old.membrick).reassign(segment, to);
+
+  // Update the attachment record in place.
+  it->compute = to;
+  it->compute_base = entry.base;
+  it->circuit = new_circuit_id;
+  it->medium = new_medium;
+  it->established_at = now;
+  const Attachment updated = *it;
+
+  // Tear down the source-side circuit if this was its last rider.
+  const bool old_circuit_used =
+      std::any_of(attachments_.begin(), attachments_.end(),
+                  [&](const Attachment& a) { return a.circuit == old.circuit; });
+  if (!old_circuit_used) {
+    if (old.medium == LinkMedium::kElectrical) {
+      if (const ElectricalLink* link = find_electrical(old.circuit); link != nullptr) {
+        for (std::size_t l = 0; l < link->lanes(); ++l) {
+          rack_.brick(link->a).port(link->a_ports[l].value).connected = false;
+          rack_.brick(link->b).port(link->b_ports[l].value).connected = false;
+        }
+        electrical_.erase(
+            std::remove_if(electrical_.begin(), electrical_.end(),
+                           [&](const ElectricalLink& l) { return l.id == old.circuit; }),
+            electrical_.end());
+      }
+    } else if (auto circuit = circuits_.find(old.circuit)) {
+      rack_.brick(circuit->a.brick).port(circuit->a.port.value).connected = false;
+      rack_.brick(circuit->b.brick).port(circuit->b.port.value).connected = false;
+      circuits_.teardown(old.circuit);
+    }
+    circuit_busy_until_.erase(old.circuit.value);
+  }
+
+  return MigratedAttachment{updated, wired_fresh};
+}
+
+bool RemoteMemoryFabric::fail_circuit(hw::CircuitId circuit) {
+  // Only the optical substrate is subject to this fault model (fibres and
+  // beam-steering cross-connects); the tray backplane is passive copper.
+  std::vector<hw::CircuitId> lanes{circuit};
+  for (auto bit = bonds_.begin(); bit != bonds_.end(); ++bit) {
+    if (bit->primary == circuit) {
+      lanes = bit->all;
+      bonds_.erase(bit);
+      break;
+    }
+  }
+  bool any = false;
+  for (hw::CircuitId id : lanes) {
+    auto live = circuits_.find(id);
+    if (!live) continue;
+    rack_.brick(live->a.brick).port(live->a.port.value).connected = false;
+    rack_.brick(live->b.brick).port(live->b.port.value).connected = false;
+    circuits_.teardown(id);
+    circuit_busy_until_.erase(id.value);
+    any = true;
+  }
+  return any;
+}
+
+std::optional<Attachment> RemoteMemoryFabric::repair(hw::BrickId compute,
+                                                     hw::SegmentId segment, sim::Time now) {
+  auto it = std::find_if(attachments_.begin(), attachments_.end(), [&](const Attachment& a) {
+    return a.compute == compute && a.segment == segment;
+  });
+  if (it == attachments_.end()) return std::nullopt;
+  if (it->medium != LinkMedium::kOptical) return *it;      // nothing to repair
+  if (circuits_.find(it->circuit).has_value()) return *it;  // circuit is healthy
+
+  auto& cb = rack_.compute_brick(compute);
+  auto& mb = rack_.memory_brick(it->membrick);
+  auto* cport = cb.find_free_port(/*circuit_based=*/true);
+  auto* mport = mb.find_free_port(/*circuit_based=*/true);
+  if (cport == nullptr) {
+    last_error_ = AttachError::kNoComputePort;
+    return std::nullopt;
+  }
+  if (mport == nullptr) {
+    last_error_ = AttachError::kNoMemoryPort;
+    return std::nullopt;
+  }
+  optics::CircuitRequest creq;
+  creq.a = optics::CircuitEndpoint{compute, cport->id, -3.7, 1.2};
+  creq.b = optics::CircuitEndpoint{it->membrick, mport->id, -3.7, 1.2};
+  auto circuit = circuits_.establish(creq);
+  if (!circuit) {
+    last_error_ = AttachError::kNoSwitchPorts;
+    return std::nullopt;
+  }
+  cport->connected = true;
+  mport->connected = true;
+
+  // Heal every attachment (and RMST entry) that rode the dead circuit.
+  const hw::CircuitId dead = it->circuit;
+  for (auto& a : attachments_) {
+    if (a.circuit != dead) continue;
+    a.circuit = circuit->id;
+    a.lanes = 1;  // repaired as a single fresh lane
+    a.established_at = now;
+    auto& rmst = rack_.compute_brick(a.compute).tgl().rmst();
+    auto entry = rmst.find_segment(a.segment);
+    if (entry) {
+      hw::RmstEntry updated = *entry;
+      updated.circuit = circuit->id;
+      updated.out_port = cport->id;
+      rmst.remove(a.segment);
+      rmst.insert(updated);
+    }
+  }
+  return *it;
+}
+
+std::vector<Attachment> RemoteMemoryFabric::attachments_of(hw::BrickId compute) const {
+  std::vector<Attachment> out;
+  for (const auto& a : attachments_) {
+    if (a.compute == compute) out.push_back(a);
+  }
+  return out;
+}
+
+std::uint64_t RemoteMemoryFabric::attached_bytes(hw::BrickId compute) const {
+  std::uint64_t total = 0;
+  for (const auto& a : attachments_) {
+    if (a.compute == compute) total += a.size;
+  }
+  return total;
+}
+
+sim::Time RemoteMemoryFabric::serialization_time(std::uint32_t bytes, LinkMedium medium,
+                                                 std::size_t lanes) const {
+  const double bits = static_cast<double>(bytes + latencies_.framing_bytes) * 8.0;
+  const double rate = medium == LinkMedium::kElectrical ? latencies_.electrical_rate_gbps
+                                                        : latencies_.line_rate_gbps;
+  // Bonded lanes stripe the payload (aggregate-bandwidth mode, Section II).
+  return sim::Time::ns(bits / (rate * static_cast<double>(std::max<std::size_t>(1, lanes))));
+}
+
+const Attachment* RemoteMemoryFabric::find_attachment(hw::BrickId compute,
+                                                      std::uint64_t address) const {
+  for (const auto& a : attachments_) {
+    if (a.compute == compute && address >= a.compute_base &&
+        address - a.compute_base < a.size) {
+      return &a;
+    }
+  }
+  return nullptr;
+}
+
+Transaction RemoteMemoryFabric::execute(TransactionKind kind, hw::BrickId compute,
+                                        std::uint64_t address, std::uint32_t bytes,
+                                        sim::Time when) {
+  Transaction tx;
+  tx.kind = kind;
+  tx.source = compute;
+  tx.address = address;
+  tx.bytes = bytes;
+  tx.issued_at = when;
+
+  auto& cb = rack_.compute_brick(compute);
+
+  // The APU forwards the transaction to the TGL via its master ports; the
+  // TGL identifies the remote segment (fully associative RMST match).
+  tx.breakdown.charge("TGL lookup (RMST)", latencies_.tgl_lookup);
+  sim::Time t = when + latencies_.tgl_lookup;
+
+  auto route = cb.tgl().route(address);
+  if (!route) {
+    tx.status = TransactionStatus::kNoMapping;
+    tx.completed_at = t;
+    return tx;
+  }
+  tx.destination = route->entry.dest_brick;
+  tx.remote_address = route->remote_addr;
+
+  // Packet-substrate attachments delegate the whole round trip to the
+  // packet network model (NI, on-brick switches, MAC/PHY).
+  if (find_packet(route->entry.circuit) != nullptr) {
+    net::Packet pkt =
+        kind == TransactionKind::kRead
+            ? packet_net_->remote_read(compute, tx.destination, tx.remote_address, bytes, t,
+                                       rack_.memory_brick(tx.destination).config().technology)
+            : packet_net_->remote_write(compute, tx.destination, tx.remote_address, bytes, t,
+                                        rack_.memory_brick(tx.destination).config().technology);
+    tx.breakdown.merge(pkt.breakdown);
+    tx.completed_at = pkt.delivered_at;
+    return tx;
+  }
+
+  // Resolve the medium: intra-tray electrical links are tracked by the
+  // fabric itself; optical circuits by the circuit manager.
+  LinkMedium medium = LinkMedium::kOptical;
+  sim::Time propagation;
+  if (const ElectricalLink* link = find_electrical(route->entry.circuit); link != nullptr) {
+    medium = LinkMedium::kElectrical;
+    propagation = latencies_.electrical_propagation;
+  } else {
+    auto circuit = circuits_.find(route->entry.circuit);
+    if (!circuit) {
+      tx.status = TransactionStatus::kCircuitDown;
+      tx.completed_at = t;
+      return tx;
+    }
+    propagation = circuit->propagation_delay();
+  }
+  const sim::Time serdes =
+      medium == LinkMedium::kElectrical ? latencies_.electrical_serdes : latencies_.serdes;
+  const char* wire = medium == LinkMedium::kElectrical ? "electrical propagation"
+                                                       : "optical propagation";
+
+  // Bonded-lane count for this circuit (attachments on the pair carry it).
+  std::size_t lanes = 1;
+  for (const auto& a : attachments_) {
+    if (a.circuit == route->entry.circuit) {
+      lanes = a.lanes;
+      break;
+    }
+  }
+
+  const auto tech = rack_.memory_brick(tx.destination).config().technology;
+  // Array occupancy: first-word latency plus streaming time for the
+  // payload at the controller's bandwidth.
+  const bool hmc = tech == hw::MemoryTechnology::kHmc;
+  const double array_gbps = hmc ? latencies_.hmc_bandwidth_gbps : latencies_.ddr_bandwidth_gbps;
+  const sim::Time mem_access = (hmc ? latencies_.hmc_access : latencies_.ddr_access) +
+                               sim::Time::ns(static_cast<double>(bytes) * 8.0 / array_gbps);
+
+  // Outbound: request (write carries payload; read is header-only).
+  const std::uint32_t out_bytes = kind == TransactionKind::kWrite ? bytes : 0;
+  const sim::Time out_ser = serialization_time(out_bytes, medium, lanes);
+  sim::Time& busy = circuit_busy_until_[route->entry.circuit.value];
+  const sim::Time start = std::max(t, busy);
+  tx.breakdown.charge("circuit wait", start - t);
+  tx.breakdown.charge("serialization", out_ser);
+  busy = start + out_ser;
+  t = start + out_ser;
+
+  tx.breakdown.charge("GTH serdes (TX)", serdes);
+  t += serdes;
+  tx.breakdown.charge(wire, propagation);
+  t += propagation;
+  tx.breakdown.charge("GTH serdes (RX)", serdes);
+  t += serdes;
+
+  // dMEMBRICK: glue logic steers the transaction to one of the brick's
+  // memory controllers (address-interleaved); a busy controller delays
+  // the access, so bricks dimensioned with more controllers sustain more
+  // concurrent transactions (Section II).
+  tx.breakdown.charge("glue logic (dMEMBRICK)", latencies_.glue_logic);
+  t += latencies_.glue_logic;
+  const auto& mb = rack_.memory_brick(tx.destination);
+  const std::size_t mc_count = mb.config().memory_controllers;
+  const std::size_t mc =
+      static_cast<std::size_t>((tx.remote_address >> 12)) % std::max<std::size_t>(1, mc_count);
+  const std::uint64_t mc_key =
+      (static_cast<std::uint64_t>(tx.destination.value) << 8) | static_cast<std::uint64_t>(mc);
+  sim::Time& mc_busy = controller_busy_until_[mc_key];
+  const sim::Time mc_start = std::max(t, mc_busy);
+  tx.breakdown.charge("memory controller wait", mc_start - t);
+  tx.breakdown.charge("memory access", mem_access);
+  mc_busy = mc_start + mem_access;
+  t = mc_start + mem_access;
+
+  // Return: read carries payload back; write returns a short ack.
+  const std::uint32_t back_bytes = kind == TransactionKind::kRead ? bytes : 0;
+  const sim::Time back_ser = serialization_time(back_bytes, medium, lanes);
+  tx.breakdown.charge("serialization", back_ser);
+  tx.breakdown.charge("GTH serdes (return)", serdes * 2);
+  tx.breakdown.charge(wire, propagation);
+  t += back_ser + serdes * 2 + propagation;
+
+  tx.completed_at = t;
+  return tx;
+}
+
+Transaction RemoteMemoryFabric::read(hw::BrickId compute, std::uint64_t address,
+                                     std::uint32_t bytes, sim::Time when) {
+  return execute(TransactionKind::kRead, compute, address, bytes, when);
+}
+
+Transaction RemoteMemoryFabric::write(hw::BrickId compute, std::uint64_t address,
+                                      std::uint32_t bytes, sim::Time when) {
+  return execute(TransactionKind::kWrite, compute, address, bytes, when);
+}
+
+}  // namespace dredbox::memsys

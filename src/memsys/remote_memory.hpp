@@ -1,0 +1,200 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/rack.hpp"
+#include "memsys/circuit_path.hpp"
+#include "memsys/transaction.hpp"
+#include "net/packet_network.hpp"
+#include "optics/circuit.hpp"
+
+namespace dredbox::memsys {
+
+/// Physical medium carrying an attachment's traffic: intra-tray pairs ride
+/// the tray's electrical circuit; cross-tray pairs ride an optical circuit
+/// through the rack switch (Section II); and when the system runs low on
+/// physical switch ports, traffic falls back to the packet-based network
+/// with orchestrator-programmed lookup tables (Section III).
+enum class LinkMedium : std::uint8_t { kElectrical, kOptical, kPacket };
+
+std::string to_string(LinkMedium medium);
+
+/// A live attachment of remote memory to a dCOMPUBRICK: the dMEMBRICK
+/// segment, the RMST entry installed at the compute side, and the circuit
+/// carrying the traffic.
+struct Attachment {
+  hw::BrickId compute;
+  hw::BrickId membrick;
+  hw::SegmentId segment;        // id on the dMEMBRICK
+  std::uint64_t compute_base = 0;  // brick-physical window at the source
+  std::uint64_t size = 0;
+  hw::CircuitId circuit;
+  LinkMedium medium = LinkMedium::kOptical;
+  /// Parallel lanes bonded into this pair's link (Section II: multiple
+  /// links "can be used to provide more aggregate bandwidth").
+  std::size_t lanes = 1;
+  sim::Time established_at;
+};
+
+struct AttachRequest {
+  hw::BrickId compute;
+  hw::BrickId membrick;
+  std::uint64_t bytes = 1ull << 30;
+  std::size_t switch_hops = 1;
+  double fiber_length_m = 10.0;
+  /// Lanes to bond for aggregate bandwidth; each lane consumes one
+  /// transceiver port per brick (plus switch ports when optical). Ignored
+  /// when an existing link between the pair is reused.
+  std::size_t lanes = 1;
+  /// When true (default) the fabric uses the tray's electrical circuit for
+  /// intra-tray pairs instead of burning optical switch ports.
+  bool prefer_electrical_intra_tray = true;
+  /// When true and a circuit cannot be wired (switch or brick ports
+  /// exhausted), the attachment falls back to the packet substrate
+  /// (requires a PacketNetwork attached to the fabric).
+  bool allow_packet_fallback = false;
+};
+
+/// Why an attach failed — surfaced to the orchestrator so it can pick a
+/// different dMEMBRICK or fall back to the packet substrate.
+enum class AttachError {
+  kNoMemory,        // dMEMBRICK cannot carve a contiguous segment
+  kNoComputePort,   // requesting brick has no free circuit-facing port
+  kNoMemoryPort,    // serving brick has no free circuit-facing port
+  kNoSwitchPorts,   // optical switch exhausted ("running low in terms of
+                    //  physical ports", Section III)
+  kRmstFull,        // compute brick's segment table is full
+};
+
+std::string to_string(AttachError err);
+
+/// The remote-memory fabric: control plane (attach/detach — carve a
+/// segment, wire a circuit, install the RMST entry) and data plane
+/// (read/write transactions with per-stage latency attribution) over the
+/// mainline circuit-switched interconnect.
+class RemoteMemoryFabric {
+ public:
+  RemoteMemoryFabric(hw::Rack& rack, optics::CircuitManager& circuits,
+                     const CircuitPathLatencies& latencies = {});
+
+  /// Attaches the exploratory packet substrate so attach() can fall back
+  /// to it when circuits are unavailable. Both bricks of a fallback pair
+  /// must be registered in the network; the fabric programs the lookup
+  /// tables (the Section III control-path role) on first use.
+  void set_packet_network(net::PacketNetwork* network) { packet_net_ = network; }
+  std::size_t packet_links() const { return packet_.size(); }
+
+  // --- control plane ---
+  std::optional<Attachment> attach(const AttachRequest& request, sim::Time now);
+  AttachError last_error() const { return last_error_; }
+
+  /// Detaches one attachment (removes RMST entry, frees the segment,
+  /// tears the circuit down when it was the last user). Returns false
+  /// when the segment is unknown for that compute brick.
+  bool detach(hw::BrickId compute, hw::SegmentId segment);
+
+  /// Result of re-pointing an attachment during VM migration.
+  struct MigratedAttachment {
+    Attachment attachment;     // updated record (new compute brick/window)
+    bool new_circuit = false;  // a fresh cross-connect had to be wired
+  };
+
+  /// Re-points an attachment from one dCOMPUBRICK to another *without
+  /// touching the data*: the dMEMBRICK segment stays where it is; only
+  /// the RMST entry moves and a circuit to the new brick is wired (or
+  /// reused). This is the disaggregation dividend for VM migration —
+  /// remote memory never gets copied. Returns nullopt (state unchanged)
+  /// when the new brick lacks ports/RMST slots or the switch lacks ports.
+  std::optional<MigratedAttachment> migrate_attachment(hw::SegmentId segment,
+                                                       hw::BrickId from, hw::BrickId to,
+                                                       sim::Time now);
+
+  // --- failure injection / repair ---
+  /// Simulates a fault on an optical circuit (fibre cut, switch failure):
+  /// the cross-connects drop and the endpoint transceivers lose link.
+  /// Subsequent transactions over attachments riding it complete with
+  /// TransactionStatus::kCircuitDown. Returns false for unknown ids or
+  /// non-optical links.
+  bool fail_circuit(hw::CircuitId circuit);
+
+  /// Repairs a failed attachment by wiring a fresh circuit (reusing the
+  /// surviving segment and RMST window). Every attachment that shared the
+  /// dead circuit is healed at once. Returns the repaired attachment, or
+  /// nullopt when no spare ports exist.
+  std::optional<Attachment> repair(hw::BrickId compute, hw::SegmentId segment, sim::Time now);
+
+  std::vector<Attachment> attachments_of(hw::BrickId compute) const;
+  std::uint64_t attached_bytes(hw::BrickId compute) const;
+  std::size_t attachment_count() const { return attachments_.size(); }
+
+  // --- data plane ---
+  Transaction read(hw::BrickId compute, std::uint64_t address, std::uint32_t bytes,
+                   sim::Time when);
+  Transaction write(hw::BrickId compute, std::uint64_t address, std::uint32_t bytes,
+                    sim::Time when);
+
+  const CircuitPathLatencies& latencies() const { return latencies_; }
+
+  /// Number of live electrical intra-tray links (for introspection).
+  std::size_t electrical_links() const { return electrical_.size(); }
+
+ private:
+  /// Intra-tray electrical cross-connect (fixed backplane wiring; no
+  /// optical switch ports involved). May bond several backplane lanes.
+  struct ElectricalLink {
+    hw::CircuitId id;
+    hw::BrickId a;
+    hw::BrickId b;
+    std::vector<hw::PortId> a_ports;
+    std::vector<hw::PortId> b_ports;
+    std::size_t lanes() const { return a_ports.size(); }
+  };
+
+  /// Bond of parallel optical circuits between one pair (primary id is
+  /// what attachments reference; siblings are torn down with it).
+  struct OpticalBond {
+    hw::CircuitId primary;
+    std::vector<hw::CircuitId> all;  // includes primary
+  };
+
+  /// Packet-substrate fallback link (no dedicated circuit; lookup-table
+  /// entries multiplex many destinations over the PBN ports).
+  struct PacketLink {
+    hw::CircuitId id;
+    hw::BrickId a;
+    hw::BrickId b;
+  };
+
+  hw::Rack& rack_;
+  optics::CircuitManager& circuits_;
+  CircuitPathLatencies latencies_;
+  net::PacketNetwork* packet_net_ = nullptr;
+  std::vector<Attachment> attachments_;
+  std::vector<ElectricalLink> electrical_;
+  std::vector<OpticalBond> bonds_;
+  std::vector<PacketLink> packet_;
+  /// Per-circuit cable occupancy for serialization contention.
+  std::unordered_map<std::uint32_t, sim::Time> circuit_busy_until_;
+  /// Per-(dMEMBRICK, controller) occupancy: a brick dimensioned with more
+  /// memory controllers serves more concurrent transactions (Section II).
+  std::unordered_map<std::uint64_t, sim::Time> controller_busy_until_;
+  AttachError last_error_ = AttachError::kNoMemory;
+  /// Electrical and packet link ids live in ranges the optical manager
+  /// never uses.
+  std::uint32_t next_electrical_id_ = 0x40000000u;
+  std::uint32_t next_packet_id_ = 0x80000000u;
+
+  Transaction execute(TransactionKind kind, hw::BrickId compute, std::uint64_t address,
+                      std::uint32_t bytes, sim::Time when);
+  sim::Time serialization_time(std::uint32_t bytes, LinkMedium medium,
+                               std::size_t lanes) const;
+  const Attachment* find_attachment(hw::BrickId compute, std::uint64_t address) const;
+  const ElectricalLink* find_electrical(hw::CircuitId id) const;
+  const PacketLink* find_packet(hw::CircuitId id) const;
+  bool same_tray(hw::BrickId a, hw::BrickId b) const;
+};
+
+}  // namespace dredbox::memsys

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/ids.hpp"
+#include "sim/breakdown.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::memsys {
+
+enum class TransactionKind : std::uint8_t { kRead, kWrite };
+
+std::string to_string(TransactionKind kind);
+
+enum class TransactionStatus : std::uint8_t {
+  kOk,
+  kNoMapping,      // address missed the RMST (decode fault back to the APU)
+  kCircuitDown,    // mapped segment's circuit was torn down
+};
+
+std::string to_string(TransactionStatus status);
+
+/// One remote memory transaction and its measured round trip.
+struct Transaction {
+  TransactionKind kind = TransactionKind::kRead;
+  TransactionStatus status = TransactionStatus::kOk;
+  hw::BrickId source;          // issuing dCOMPUBRICK
+  hw::BrickId destination;     // serving dMEMBRICK (when mapped)
+  std::uint64_t address = 0;   // brick-physical address at the source
+  std::uint64_t remote_address = 0;  // translated pool address
+  std::uint32_t bytes = 64;
+
+  sim::Time issued_at;
+  sim::Time completed_at;
+  sim::Breakdown breakdown;
+
+  bool ok() const { return status == TransactionStatus::kOk; }
+  sim::Time round_trip() const { return completed_at - issued_at; }
+};
+
+}  // namespace dredbox::memsys

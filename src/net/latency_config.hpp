@@ -1,0 +1,33 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace dredbox::net {
+
+/// Per-stage hardware latencies of the exploratory packet-switched remote
+/// memory path (Section III, Fig. 8). Figures are in the range reported
+/// for the prototype's PL-implemented blocks: the breakdown is dominated
+/// by the on-brick switches and MAC/PHY blocks on both bricks, with a
+/// small optical propagation contribution. All values are configurable so
+/// the ablation benches can explore IP-design optimizations ("work is
+/// on-going on further optimizing IP designs").
+struct PacketPathLatencies {
+  // dCOMPUBRICK side.
+  sim::Time tgl_inject = sim::Time::ns(25);        // TGL decode + NI injection
+  sim::Time compubrick_switch = sim::Time::ns(85); // on-brick packet switch
+  sim::Time mac = sim::Time::ns(105);              // MAC block, per traversal
+  sim::Time phy = sim::Time::ns(130);              // PHY incl. gearbox/CDR
+
+  // dMEMBRICK side.
+  sim::Time membrick_switch = sim::Time::ns(85);   // on-brick switch
+  sim::Time glue_logic = sim::Time::ns(40);        // memory-brick glue logic
+  sim::Time ddr_access = sim::Time::ns(60);        // DDR controller + array
+  sim::Time hmc_access = sim::Time::ns(45);        // HMC is faster per access
+
+  /// Serialization happens at the line rate; one 64 B flit plus header at
+  /// 10 Gb/s adds ~58 ns per link traversal.
+  double line_rate_gbps = 10.0;
+  std::size_t header_bytes = 8;
+};
+
+}  // namespace dredbox::net

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "net/latency_config.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::net {
+
+/// MAC/PHY block pair on one brick edge. The prototype implements these on
+/// the MPSoC PL; each traversal (TX or RX) costs the MAC and PHY pipeline
+/// latencies, and TX additionally pays serialization at the line rate.
+class MacPhy {
+ public:
+  explicit MacPhy(const PacketPathLatencies& cfg) : cfg_{cfg} {}
+
+  sim::Time traversal_latency() const { return cfg_.mac + cfg_.phy; }
+
+  sim::Time serialization_time(std::size_t payload_bytes) const {
+    const double bits = static_cast<double>(payload_bytes + cfg_.header_bytes) * 8.0;
+    return sim::Time::ns(bits / cfg_.line_rate_gbps);
+  }
+
+  const PacketPathLatencies& config() const { return cfg_; }
+
+ private:
+  PacketPathLatencies cfg_;
+};
+
+}  // namespace dredbox::net

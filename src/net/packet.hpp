@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/ids.hpp"
+#include "sim/breakdown.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::net {
+
+enum class PacketType : std::uint8_t {
+  kMemReadReq,
+  kMemReadResp,
+  kMemWriteReq,
+  kMemWriteAck,
+  kControl,
+};
+
+std::string to_string(PacketType type);
+
+/// A memory transaction packet on the packet-based network. Each pipeline
+/// stage charges its latency into `breakdown`, so a completed round trip
+/// carries the Fig. 8 attribution with it.
+struct Packet {
+  std::uint64_t id = 0;
+  PacketType type = PacketType::kMemReadReq;
+  hw::BrickId src;
+  hw::BrickId dst;
+  std::uint64_t address = 0;
+  std::uint32_t payload_bytes = 64;
+
+  sim::Time injected_at;
+  sim::Time delivered_at;
+  sim::Breakdown breakdown;
+
+  sim::Time latency() const { return delivered_at - injected_at; }
+};
+
+}  // namespace dredbox::net

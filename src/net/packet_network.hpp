@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "hw/ids.hpp"
+#include "hw/memory_brick.hpp"
+#include "net/latency_config.hpp"
+#include "net/mac_phy.hpp"
+#include "net/packet.hpp"
+#include "net/packet_switch.hpp"
+#include "optics/fec.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::net {
+
+/// End-to-end packet-switched remote-memory path (the exploratory
+/// interconnection mode of Sections II-III). Bricks get an NI plus a
+/// brick-level packet switch; pairs of bricks are connected over the
+/// optical substrate and the forwarding lookup-tables are programmed the
+/// way the orchestrator would program them at runtime.
+///
+/// The data-path methods walk one memory transaction through every
+/// hardware stage, charging each stage's latency into the packet's
+/// Breakdown — this is exactly the instrumentation behind Fig. 8.
+class PacketNetwork {
+ public:
+  explicit PacketNetwork(const PacketPathLatencies& latencies = {},
+                         optics::FecModel fec = optics::FecModel{});
+
+  const PacketPathLatencies& latencies() const { return latencies_; }
+  const optics::FecModel& fec() const { return fec_; }
+
+  /// Registers a brick with `pbn_ports` packet-facing ports.
+  void add_brick(hw::BrickId brick, std::size_t pbn_ports = 2);
+  bool has_brick(hw::BrickId brick) const { return switches_.count(brick) != 0; }
+
+  /// Connects two bricks with a fibre of the given length and programs
+  /// both lookup tables (single path, one port each way).
+  void connect(hw::BrickId a, hw::BrickId b, double fiber_length_m = 10.0);
+
+  /// True when a path between the pair has been programmed.
+  bool connected(hw::BrickId a, hw::BrickId b) const;
+
+  /// Multi-link variant: `ports` parallel links used round-robin for
+  /// aggregate bandwidth (the dMEMBRICK multi-link mode of Section II).
+  void connect_multipath(hw::BrickId a, hw::BrickId b, std::size_t ports,
+                         double fiber_length_m = 10.0);
+
+  PacketSwitch& switch_of(hw::BrickId brick);
+
+  /// One remote read round trip: request out, `payload_bytes` back.
+  /// `when` is the instant the APU issues the transaction.
+  Packet remote_read(hw::BrickId src, hw::BrickId dst, std::uint64_t address,
+                     std::uint32_t payload_bytes, sim::Time when,
+                     hw::MemoryTechnology tech = hw::MemoryTechnology::kDdr4);
+
+  /// One remote write round trip: payload out, short ack back.
+  Packet remote_write(hw::BrickId src, hw::BrickId dst, std::uint64_t address,
+                      std::uint32_t payload_bytes, sim::Time when,
+                      hw::MemoryTechnology tech = hw::MemoryTechnology::kDdr4);
+
+  std::uint64_t packets_sent() const { return next_packet_ - 1; }
+
+ private:
+  PacketPathLatencies latencies_;
+  MacPhy mac_phy_;
+  optics::FecModel fec_;
+  std::unordered_map<hw::BrickId, std::unique_ptr<PacketSwitch>> switches_;
+  std::unordered_map<hw::BrickId, std::unordered_map<hw::BrickId, double>> fiber_m_;
+  std::uint64_t next_packet_ = 1;
+
+  sim::Time propagation(hw::BrickId a, hw::BrickId b) const;
+
+  /// Walks one direction (src -> dst): NI/TGL inject, src on-brick switch,
+  /// MAC/PHY TX (+FEC), wire, MAC/PHY RX (+FEC). Returns the arrival time
+  /// at the destination's glue logic and charges `breakdown`.
+  sim::Time traverse(hw::BrickId src, hw::BrickId dst, std::uint32_t bytes, sim::Time start,
+                     bool from_compute, sim::Breakdown& breakdown);
+
+  sim::Time memory_access_time(hw::MemoryTechnology tech) const;
+};
+
+}  // namespace dredbox::net

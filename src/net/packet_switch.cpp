@@ -1,0 +1,72 @@
+#include "net/packet_switch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dredbox::net {
+
+PacketSwitch::PacketSwitch(std::size_t output_ports, sim::Time switching_latency)
+    : switching_latency_{switching_latency} {
+  if (output_ports == 0) throw std::invalid_argument("PacketSwitch: needs output ports");
+  busy_until_.assign(output_ports, sim::Time::zero());
+}
+
+void PacketSwitch::program_route(hw::BrickId dest, std::size_t out_port) {
+  if (out_port >= busy_until_.size()) {
+    throw std::out_of_range("PacketSwitch::program_route: port out of range");
+  }
+  table_[dest] = {out_port};
+  rr_next_[dest] = 0;
+}
+
+void PacketSwitch::program_multipath(hw::BrickId dest, const std::vector<std::size_t>& ports) {
+  if (ports.empty()) throw std::invalid_argument("PacketSwitch::program_multipath: no ports");
+  for (std::size_t p : ports) {
+    if (p >= busy_until_.size()) {
+      throw std::out_of_range("PacketSwitch::program_multipath: port out of range");
+    }
+  }
+  table_[dest] = ports;
+  rr_next_[dest] = 0;
+}
+
+bool PacketSwitch::erase_route(hw::BrickId dest) {
+  rr_next_.erase(dest);
+  return table_.erase(dest) != 0;
+}
+
+std::optional<std::size_t> PacketSwitch::lookup(hw::BrickId dest) const {
+  auto it = table_.find(dest);
+  if (it == table_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
+}
+
+std::optional<PacketSwitch::ForwardResult> PacketSwitch::forward(hw::BrickId dest,
+                                                                 sim::Time arrival,
+                                                                 sim::Time serialization) {
+  auto it = table_.find(dest);
+  if (it == table_.end() || it->second.empty()) {
+    ++dropped_;
+    return std::nullopt;
+  }
+  // Round-robin over the programmed ports (Section III).
+  const auto& ports = it->second;
+  std::size_t& rr = rr_next_[dest];
+  const std::size_t port = ports[rr % ports.size()];
+  rr = (rr + 1) % ports.size();
+
+  const sim::Time ready = arrival + switching_latency_;
+  const sim::Time start = std::max(ready, busy_until_[port]);
+  const sim::Time departure = start + serialization;
+  busy_until_[port] = departure;
+  ++forwarded_;
+  return ForwardResult{departure, port, start - ready};
+}
+
+void PacketSwitch::reset() {
+  std::fill(busy_until_.begin(), busy_until_.end(), sim::Time::zero());
+  forwarded_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace dredbox::net

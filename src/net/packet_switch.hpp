@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/ids.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::net {
+
+/// Brick-level packet switch implemented on the MPSoC PL (Section II).
+/// Forwards memory transactions to on-brick destination ports in a
+/// round-robin fashion; its lookup table maps destination bricks to output
+/// ports and is programmed at runtime by dedicated orchestration resources
+/// (Section III).
+class PacketSwitch {
+ public:
+  PacketSwitch(std::size_t output_ports, sim::Time switching_latency);
+
+  std::size_t output_ports() const { return busy_until_.size(); }
+  sim::Time switching_latency() const { return switching_latency_; }
+
+  // --- lookup table (control path) ---
+  void program_route(hw::BrickId dest, std::size_t out_port);
+  bool erase_route(hw::BrickId dest);
+  std::optional<std::size_t> lookup(hw::BrickId dest) const;
+  std::size_t table_size() const { return table_.size(); }
+
+  /// Round-robin fallback used when several ports reach the destination
+  /// (aggregate-bandwidth mode): callers program the same dest repeatedly
+  /// with distinct ports via program_multipath.
+  void program_multipath(hw::BrickId dest, const std::vector<std::size_t>& ports);
+
+  // --- data path ---
+  /// Accepts a packet at `arrival` bound for `dest`; returns the time the
+  /// packet leaves the switch (arbitration + switching + waiting for the
+  /// output port to drain) plus the chosen port, or nullopt when the
+  /// destination is not in the lookup table.
+  struct ForwardResult {
+    sim::Time departure;
+    std::size_t port;
+    sim::Time queueing;  // time spent blocked behind earlier packets
+  };
+  std::optional<ForwardResult> forward(hw::BrickId dest, sim::Time arrival,
+                                       sim::Time serialization);
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  void reset();
+
+ private:
+  sim::Time switching_latency_;
+  std::vector<sim::Time> busy_until_;                 // per output port
+  std::unordered_map<hw::BrickId, std::vector<std::size_t>> table_;
+  std::unordered_map<hw::BrickId, std::size_t> rr_next_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dredbox::net

@@ -1,0 +1,62 @@
+#include "optics/circuit.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::optics {
+
+std::optional<Circuit> CircuitManager::establish(const CircuitRequest& request) {
+  if (request.hops == 0) throw std::invalid_argument("CircuitManager: zero-hop circuit");
+  const std::size_t needed = 2 * request.hops;
+  auto ports = switch_.find_free_ports(needed);
+  if (ports.empty()) return std::nullopt;
+
+  // Each hop pairs ports (2i, 2i+1); inter-hop patches are fixed fibre.
+  for (std::size_t i = 0; i < request.hops; ++i) {
+    switch_.connect(ports[2 * i], ports[2 * i + 1]);
+  }
+
+  Circuit c;
+  c.id = hw::CircuitId{next_id_++};
+  c.a = request.a;
+  c.b = request.b;
+  c.hops = request.hops;
+  c.fiber_length_m = request.fiber_length_m;
+  c.switch_ports = std::move(ports);
+  connector_loss_db_ = request.connector_loss_db;
+  circuits_.emplace(c.id.value, c);
+  return c;
+}
+
+bool CircuitManager::teardown(hw::CircuitId id) {
+  auto it = circuits_.find(id.value);
+  if (it == circuits_.end()) return false;
+  const Circuit& c = it->second;
+  for (std::size_t i = 0; i < c.hops; ++i) {
+    switch_.disconnect(c.switch_ports[2 * i]);
+  }
+  circuits_.erase(it);
+  return true;
+}
+
+std::optional<Circuit> CircuitManager::find(hw::CircuitId id) const {
+  auto it = circuits_.find(id.value);
+  if (it == circuits_.end()) return std::nullopt;
+  return it->second;
+}
+
+LinkBudget CircuitManager::budget(const Circuit& circuit, bool from_a) const {
+  const CircuitEndpoint& tx = from_a ? circuit.a : circuit.b;
+  const CircuitEndpoint& rx = from_a ? circuit.b : circuit.a;
+  LinkBudget lb{tx.launch_dbm};
+  lb.add_loss("TX MBO coupling", tx.coupling_loss_db);
+  lb.add_loss("TX connector", connector_loss_db_);
+  lb.add_switch_hops(circuit.hops, switch_.insertion_loss_db());
+  // Standard SMF attenuation is ~0.35 dB/km at 1310 nm; in-rack runs are
+  // metres, so this term is tiny but kept for completeness.
+  lb.add_loss("fibre", circuit.fiber_length_m * 0.35e-3);
+  lb.add_loss("RX connector", connector_loss_db_);
+  lb.add_loss("RX MBO coupling", rx.coupling_loss_db);
+  return lb;
+}
+
+}  // namespace dredbox::optics

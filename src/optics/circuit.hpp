@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/ids.hpp"
+#include "optics/link_budget.hpp"
+#include "optics/optical_switch.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::optics {
+
+/// One endpoint of a circuit: a transceiver port on a brick plus its
+/// launch power (taken from the brick's MBO channel).
+struct CircuitEndpoint {
+  hw::BrickId brick;
+  hw::PortId port;
+  double launch_dbm = -3.7;
+  double coupling_loss_db = 1.2;  // MBO facet coupling at this end
+};
+
+/// A bidirectional circuit-switched optical path between two bricks,
+/// traversing the optical switch `hops` times (the testbed of Fig. 7
+/// emulates longer rack topologies by patching six to eight hops).
+struct Circuit {
+  hw::CircuitId id;
+  CircuitEndpoint a;
+  CircuitEndpoint b;
+  std::size_t hops = 1;
+  double fiber_length_m = 10.0;
+  std::vector<std::size_t> switch_ports;  // 2 per hop
+
+  /// One-way propagation delay over the fibre.
+  sim::Time propagation_delay() const {
+    return sim::Time::ns(fiber_length_m * kPropagationNsPerMeter);
+  }
+
+  static constexpr double kPropagationNsPerMeter = 5.0;
+};
+
+/// Request for a new circuit.
+struct CircuitRequest {
+  CircuitEndpoint a;
+  CircuitEndpoint b;
+  std::size_t hops = 1;
+  double fiber_length_m = 10.0;
+  double connector_loss_db = 0.3;  // patch connectors at each endpoint
+};
+
+/// Allocates and tears down circuits on one optical switch, tracking the
+/// switch-port inventory. This is the data-plane half of "software-defined
+/// wiring"; the SDM controller drives it from the control plane.
+class CircuitManager {
+ public:
+  explicit CircuitManager(OpticalSwitch& sw) : switch_{sw} {}
+
+  /// Establishes a circuit, consuming 2*hops switch ports. Returns nullopt
+  /// when the switch lacks free ports (the condition that motivates the
+  /// packet-switched fallback in Section III).
+  std::optional<Circuit> establish(const CircuitRequest& request);
+
+  /// Tears a circuit down, releasing its switch ports. Returns false when
+  /// the id is unknown.
+  bool teardown(hw::CircuitId id);
+
+  std::optional<Circuit> find(hw::CircuitId id) const;
+  std::size_t active_circuits() const { return circuits_.size(); }
+
+  /// Time to program the cross-connections for a new circuit; all hops are
+  /// configured in parallel so one switch reconfiguration dominates.
+  sim::Time setup_time() const { return switch_.config().reconfiguration_time; }
+
+  /// Link budget for the direction a->b (or b->a when `from_a` is false).
+  LinkBudget budget(const Circuit& circuit, bool from_a) const;
+
+  OpticalSwitch& optical_switch() { return switch_; }
+
+ private:
+  OpticalSwitch& switch_;
+  std::unordered_map<std::uint32_t, Circuit> circuits_;
+  std::uint32_t next_id_ = 1;
+  double connector_loss_db_ = 0.3;
+};
+
+}  // namespace dredbox::optics

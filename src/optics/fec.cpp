@@ -1,0 +1,43 @@
+#include "optics/fec.hpp"
+
+namespace dredbox::optics {
+
+std::string to_string(FecScheme scheme) {
+  switch (scheme) {
+    case FecScheme::kNone:
+      return "FEC-free";
+    case FecScheme::kRsLight:
+      return "RS(528,514)";
+    case FecScheme::kRsStrong:
+      return "RS(544,514)";
+  }
+  return "<unknown FEC scheme>";
+}
+
+FecModel::FecModel(FecScheme scheme) : scheme_{scheme} {
+  switch (scheme) {
+    case FecScheme::kNone:
+      latency_ = sim::Time::zero();
+      threshold_ = 0.0;
+      floor_ = 1.0;  // pass-through
+      break;
+    case FecScheme::kRsLight:
+      latency_ = sim::Time::ns(120);  // "more than 100 ns" (Section III)
+      threshold_ = 2.4e-4;            // KR4-class correction threshold
+      floor_ = 1e-15;
+      break;
+    case FecScheme::kRsStrong:
+      latency_ = sim::Time::ns(250);
+      threshold_ = 1.1e-3;  // KP4-class correction threshold
+      floor_ = 1e-15;
+      break;
+  }
+}
+
+double FecModel::post_fec_ber(double pre_fec_ber) const {
+  if (scheme_ == FecScheme::kNone) return pre_fec_ber;
+  if (pre_fec_ber <= threshold_) return floor_;
+  return pre_fec_ber;
+}
+
+}  // namespace dredbox::optics

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace dredbox::optics {
+
+/// Forward-error-correction options for the brick-to-brick links. The
+/// dReDBox architecture *requires a FEC-free interface* because FEC can
+/// add more than 100 ns of latency, degrading a disaggregated system
+/// (Section III). These models exist to quantify that trade-off in the
+/// ablation bench: coding gain vs added latency.
+enum class FecScheme {
+  kNone,      // dReDBox mainline: FEC-free
+  kRsLight,   // RS(528,514)-class "fire-code" FEC
+  kRsStrong,  // RS(544,514)-class heavier FEC
+};
+
+std::string to_string(FecScheme scheme);
+
+class FecModel {
+ public:
+  explicit FecModel(FecScheme scheme = FecScheme::kNone);
+
+  FecScheme scheme() const { return scheme_; }
+
+  /// Encode+decode latency added to every traversal of the link.
+  sim::Time added_latency() const { return latency_; }
+
+  /// Pre-FEC BER below which the decoder output is effectively error-free.
+  double correction_threshold() const { return threshold_; }
+
+  /// Post-FEC output BER given the raw line BER. Hard-decision RS decoding
+  /// has a steep waterfall: below threshold the output floor applies,
+  /// above it correction collapses and the raw BER passes through.
+  double post_fec_ber(double pre_fec_ber) const;
+
+ private:
+  FecScheme scheme_;
+  sim::Time latency_;
+  double threshold_;
+  double floor_;
+};
+
+}  // namespace dredbox::optics

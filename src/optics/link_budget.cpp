@@ -1,0 +1,40 @@
+#include "optics/link_budget.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace dredbox::optics {
+
+LinkBudget& LinkBudget::add_loss(std::string name, double db) {
+  if (db < 0) throw std::invalid_argument("LinkBudget::add_loss: negative loss");
+  losses_.emplace_back(std::move(name), db);
+  return *this;
+}
+
+LinkBudget& LinkBudget::add_switch_hops(std::size_t hops, double db_per_hop) {
+  for (std::size_t i = 0; i < hops; ++i) {
+    add_loss("switch hop " + std::to_string(i + 1), db_per_hop);
+  }
+  return *this;
+}
+
+double LinkBudget::total_loss_db() const {
+  double total = 0;
+  for (const auto& [name, db] : losses_) total += db;
+  return total;
+}
+
+std::string LinkBudget::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "launch %.2f dBm", launch_dbm_);
+  std::string out = buf;
+  for (const auto& [name, db] : losses_) {
+    std::snprintf(buf, sizeof buf, " - %.2f dB (%s)", db, name.c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, " => %.2f dBm received", received_dbm());
+  out += buf;
+  return out;
+}
+
+}  // namespace dredbox::optics

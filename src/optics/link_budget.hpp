@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dredbox::optics {
+
+/// Accumulates the optical power budget of one link: a launch power and an
+/// ordered list of named loss elements (coupling, connectors, switch hops).
+/// Fig. 7's x-axis is exactly the received power this computes.
+class LinkBudget {
+ public:
+  explicit LinkBudget(double launch_dbm) : launch_dbm_{launch_dbm} {}
+
+  /// Adds a named attenuation element (positive dB = loss).
+  LinkBudget& add_loss(std::string name, double db);
+
+  /// Adds `hops` passes through the optical switch at `db_per_hop` each
+  /// (paper: ~1 dB per hop through the Polatis module).
+  LinkBudget& add_switch_hops(std::size_t hops, double db_per_hop = 1.0);
+
+  double launch_dbm() const { return launch_dbm_; }
+  double total_loss_db() const;
+  double received_dbm() const { return launch_dbm_ - total_loss_db(); }
+
+  const std::vector<std::pair<std::string, double>>& losses() const { return losses_; }
+
+  std::string to_string() const;
+
+ private:
+  double launch_dbm_;
+  std::vector<std::pair<std::string, double>> losses_;
+};
+
+}  // namespace dredbox::optics

@@ -1,0 +1,41 @@
+#include "optics/mbo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dredbox::optics {
+
+MidBoardOptics::MidBoardOptics(const MboConfig& config, sim::Rng& rng) : config_{config} {
+  if (config.channels == 0) throw std::invalid_argument("MidBoardOptics: zero channels");
+  channels_.reserve(config.channels);
+  for (std::size_t i = 0; i < config.channels; ++i) {
+    MboChannel ch;
+    ch.index = i;
+    ch.launch_dbm = config.mean_launch_dbm + rng.normal(0.0, config.channel_spread_db);
+    ch.rate_gbps = config.rate_gbps;
+    channels_.push_back(ch);
+  }
+}
+
+MboChannel* MidBoardOptics::acquire_channel() {
+  for (auto& ch : channels_) {
+    if (!ch.in_use) {
+      ch.in_use = true;
+      return &ch;
+    }
+  }
+  return nullptr;
+}
+
+void MidBoardOptics::release_channel(std::size_t i) {
+  auto& ch = channels_.at(i);
+  if (!ch.in_use) throw std::logic_error("MidBoardOptics::release_channel: channel not in use");
+  ch.in_use = false;
+}
+
+std::size_t MidBoardOptics::channels_in_use() const {
+  return static_cast<std::size_t>(std::count_if(channels_.begin(), channels_.end(),
+                                                [](const MboChannel& c) { return c.in_use; }));
+}
+
+}  // namespace dredbox::optics

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace dredbox::optics {
+
+/// One transceiver channel of the mid-board optics module.
+struct MboChannel {
+  std::size_t index = 0;
+  double launch_dbm = -3.7;
+  double rate_gbps = 10.0;
+  bool in_use = false;
+};
+
+struct MboConfig {
+  std::size_t channels = 8;            // total of 8 transceivers (Section III)
+  double mean_launch_dbm = -3.7;       // average per-channel output power
+  double channel_spread_db = 0.25;     // channel-to-channel launch variation
+  double wavelength_nm = 1310.0;       // shared laser
+  double rate_gbps = 10.0;             // evaluated line rate (Fig. 7)
+  double coupling_loss_db = 1.2;       // fibre coupling at the MBO, per facet
+};
+
+/// SiP Mid-Board Optics module (Section III): 8 transceivers with external
+/// modulation sharing one 1310 nm laser. Per-channel launch power varies
+/// slightly around the -3.7 dBm average; the variation is drawn once at
+/// construction (it is a device property, not per-measurement noise).
+class MidBoardOptics {
+ public:
+  MidBoardOptics(const MboConfig& config, sim::Rng& rng);
+
+  const MboConfig& config() const { return config_; }
+  std::size_t channel_count() const { return channels_.size(); }
+
+  const MboChannel& channel(std::size_t i) const { return channels_.at(i); }
+  MboChannel& channel(std::size_t i) { return channels_.at(i); }
+
+  /// First free channel; nullptr when all are in use.
+  MboChannel* acquire_channel();
+  void release_channel(std::size_t i);
+
+  std::size_t channels_in_use() const;
+
+  double wavelength_nm() const { return config_.wavelength_nm; }
+  double coupling_loss_db() const { return config_.coupling_loss_db; }
+
+ private:
+  MboConfig config_;
+  std::vector<MboChannel> channels_;
+};
+
+}  // namespace dredbox::optics

@@ -1,0 +1,58 @@
+#include "optics/optical_switch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dredbox::optics {
+
+OpticalSwitch::OpticalSwitch(const OpticalSwitchConfig& config) : config_{config} {
+  if (config.ports < 2) throw std::invalid_argument("OpticalSwitch: needs at least two ports");
+  peer_.resize(config.ports);
+}
+
+bool OpticalSwitch::port_free(std::size_t port) const { return !peer_.at(port).has_value(); }
+
+std::size_t OpticalSwitch::free_ports() const {
+  return static_cast<std::size_t>(
+      std::count_if(peer_.begin(), peer_.end(), [](const auto& p) { return !p.has_value(); }));
+}
+
+void OpticalSwitch::connect(std::size_t a, std::size_t b) {
+  if (a >= peer_.size() || b >= peer_.size()) {
+    throw std::out_of_range("OpticalSwitch::connect: port out of range");
+  }
+  if (a == b) throw std::invalid_argument("OpticalSwitch::connect: cannot loop a port to itself");
+  if (peer_[a] || peer_[b]) {
+    throw std::logic_error("OpticalSwitch::connect: port already connected");
+  }
+  peer_[a] = b;
+  peer_[b] = a;
+}
+
+bool OpticalSwitch::disconnect(std::size_t port) {
+  if (port >= peer_.size()) throw std::out_of_range("OpticalSwitch::disconnect: port out of range");
+  if (!peer_[port]) return false;
+  const std::size_t other = *peer_[port];
+  peer_[port].reset();
+  peer_[other].reset();
+  return true;
+}
+
+std::optional<std::size_t> OpticalSwitch::peer(std::size_t port) const { return peer_.at(port); }
+
+std::vector<std::size_t> OpticalSwitch::find_free_ports(std::size_t n) const {
+  std::vector<std::size_t> out;
+  for (std::size_t p = 0; p < peer_.size() && out.size() < n; ++p) {
+    if (!peer_[p]) out.push_back(p);
+  }
+  if (out.size() < n) out.clear();
+  return out;
+}
+
+std::string OpticalSwitch::describe() const {
+  return "optical switch: " + std::to_string(ports_in_use()) + "/" +
+         std::to_string(port_count()) + " ports in use, " +
+         std::to_string(power_draw_watts()) + " W";
+}
+
+}  // namespace dredbox::optics

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dredbox::optics {
+
+struct OpticalSwitchConfig {
+  std::size_t ports = 48;            // HUBER+SUHNER Polatis 48-port module
+  double insertion_loss_db = 1.0;    // ~1 dB attenuation per hop
+  double power_per_port_w = 0.1;     // ~100 mW/port
+  /// Beam-steering reconfiguration time for establishing a new cross
+  /// connection; charged by the orchestrator when circuits change.
+  sim::Time reconfiguration_time = sim::Time::ms(25);
+};
+
+/// All-optical circuit switch: a port-to-port crossbar with no O/E/O
+/// conversion. A "hop" through the switch connects one ingress port to one
+/// egress port and costs the insertion loss; data passes transparently at
+/// any rate. Connections are bidirectional (the Polatis module is a
+/// piezo/beam-steering space switch).
+class OpticalSwitch {
+ public:
+  explicit OpticalSwitch(const OpticalSwitchConfig& config = {});
+
+  const OpticalSwitchConfig& config() const { return config_; }
+  std::size_t port_count() const { return peer_.size(); }
+
+  bool port_free(std::size_t port) const;
+  std::size_t free_ports() const;
+  std::size_t ports_in_use() const { return port_count() - free_ports(); }
+
+  /// Cross-connects two free ports. Throws when either is busy or out of
+  /// range, or when a == b.
+  void connect(std::size_t a, std::size_t b);
+
+  /// Tears down the connection at `port` (and its peer). Returns false
+  /// when the port was not connected.
+  bool disconnect(std::size_t port);
+
+  /// Peer of a connected port.
+  std::optional<std::size_t> peer(std::size_t port) const;
+
+  /// Finds `n` free ports (lowest-numbered first). Empty when scarce.
+  std::vector<std::size_t> find_free_ports(std::size_t n) const;
+
+  double insertion_loss_db() const { return config_.insertion_loss_db; }
+  double power_draw_watts() const {
+    return static_cast<double>(ports_in_use()) * config_.power_per_port_w;
+  }
+
+  std::string describe() const;
+
+ private:
+  OpticalSwitchConfig config_;
+  std::vector<std::optional<std::size_t>> peer_;
+};
+
+}  // namespace dredbox::optics

@@ -1,0 +1,34 @@
+#include "optics/receiver.hpp"
+
+#include <stdexcept>
+
+#include "optics/units.hpp"
+
+namespace dredbox::optics {
+
+ReceiverModel::ReceiverModel(double sensitivity_dbm, double rate_gbps)
+    : sensitivity_dbm_{sensitivity_dbm},
+      rate_gbps_{rate_gbps},
+      q_ref_{q_from_ber(1e-12)},
+      sens_mw_{dbm_to_mw(sensitivity_dbm)} {
+  if (rate_gbps <= 0) throw std::invalid_argument("ReceiverModel: rate must be positive");
+}
+
+double ReceiverModel::q_factor(double received_dbm) const {
+  return q_ref_ * dbm_to_mw(received_dbm) / sens_mw_;
+}
+
+double ReceiverModel::ber(double received_dbm) const {
+  return ber_from_q(q_factor(received_dbm));
+}
+
+double ReceiverModel::expected_errors(double received_dbm, double seconds) const {
+  return ber(received_dbm) * rate_gbps_ * 1e9 * seconds;
+}
+
+double ReceiverModel::required_power_dbm(double target_ber) const {
+  const double q_needed = q_from_ber(target_ber);
+  return mw_to_dbm(sens_mw_ * q_needed / q_ref_);
+}
+
+}  // namespace dredbox::optics

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+
+namespace dredbox::optics {
+
+/// Thermal-noise-limited direct-detection receiver model for the 10 Gb/s
+/// OOK links of Fig. 7.
+///
+/// The receiver is calibrated by one intuitive parameter — its sensitivity,
+/// i.e. the received average power at which BER = 1e-12 — instead of raw
+/// noise current densities. With a constant (thermal) noise floor the
+/// Q-factor scales linearly with received power in mW:
+///
+///     Q(P) = Q_ref * P_mW / P_sens_mW,  Q_ref = q_from_ber(1e-12) = 7.03
+///
+/// which captures the Fig. 7 behaviour: BER degrades steeply as switch
+/// hops eat the budget, and links received above sensitivity measure
+/// "error-free" (BER floor bounded by measurement time).
+class ReceiverModel {
+ public:
+  /// `sensitivity_dbm`: average power for BER = 1e-12 at `rate_gbps`.
+  explicit ReceiverModel(double sensitivity_dbm = -14.0, double rate_gbps = 10.0);
+
+  double sensitivity_dbm() const { return sensitivity_dbm_; }
+  double rate_gbps() const { return rate_gbps_; }
+
+  /// Q-factor at the given received average power.
+  double q_factor(double received_dbm) const;
+
+  /// Bit error rate at the given received average power.
+  double ber(double received_dbm) const;
+
+  /// Expected bit errors when observing the link for `seconds`.
+  double expected_errors(double received_dbm, double seconds) const;
+
+  /// Power (dBm) needed to reach a target BER — the receiver's sensitivity
+  /// curve inverted; useful for budget planning in the orchestrator.
+  double required_power_dbm(double target_ber) const;
+
+ private:
+  double sensitivity_dbm_;
+  double rate_gbps_;
+  double q_ref_;        // Q at sensitivity (7.03 for 1e-12)
+  double sens_mw_;      // sensitivity in mW
+};
+
+}  // namespace dredbox::optics

@@ -1,0 +1,23 @@
+#include "optics/units.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::optics {
+
+double q_from_ber(double ber) {
+  if (ber <= 0.0 || ber >= 0.5) {
+    throw std::invalid_argument("q_from_ber: BER must be in (0, 0.5)");
+  }
+  double lo = 0.0, hi = 40.0;  // erfc underflows well before Q=40
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (ber_from_q(mid) > ber) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace dredbox::optics

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace dredbox::optics {
+
+/// dBm <-> mW conversions used throughout the optical substrate.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// Gaussian-noise BER for a decision variable with Q-factor `q`:
+/// BER = 0.5 * erfc(Q / sqrt(2)).
+inline double ber_from_q(double q) {
+  if (q <= 0) return 0.5;
+  return 0.5 * std::erfc(q / std::numbers::sqrt2);
+}
+
+/// Q-factor that yields a target BER (inverse of ber_from_q), found by
+/// bisection; used to calibrate receiver sensitivity ("Q = 7.03 at 1e-12").
+double q_from_ber(double ber);
+
+/// Speed of light in standard single-mode fibre: ~2.0e8 m/s, i.e. ~5 ns/m.
+inline constexpr double kFiberNsPerMeter = 5.0;
+
+}  // namespace dredbox::optics

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "hw/rack.hpp"
+#include "optics/circuit.hpp"
+#include "sim/breakdown.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::orch {
+
+/// A reserved dACCELBRICK with a loaded accelerator.
+struct AccelDeployment {
+  hw::BrickId accel;
+  std::string bitstream;
+  hw::BrickId owner;  // reserving dCOMPUBRICK
+  sim::Time ready_at;
+  sim::Breakdown breakdown;  // bitstream transfer + PCAP reconfiguration
+};
+
+/// Result of one near-data offload.
+struct OffloadResult {
+  bool ok = false;
+  std::string error;
+  sim::Time completed_at;
+  sim::Breakdown breakdown;
+  /// Bytes that crossed the rack network for this job (the near-data win:
+  /// descriptors and results instead of the dataset).
+  std::uint64_t network_bytes = 0;
+};
+
+/// Orchestrates the accelerator pool (Section II): remote dCOMPUBRICKs
+/// push bitstreams to a dACCELBRICK's middleware, the PL slot is
+/// reconfigured via PCAP, and data is processed near where it lives
+/// instead of being hauled to the compute brick — "improving performance
+/// and at the same time reducing network utilization".
+struct AcceleratorManagerConfig {
+  /// Rate of the bitstream push over the system interconnect.
+  double transfer_gbps = 10.0;
+  /// Descriptor/result sizes for an offload round trip.
+  std::uint64_t descriptor_bytes = 256;
+  std::uint64_t result_bytes = 4096;
+  /// Effective bandwidth of the accelerator's local/near access to the
+  /// data (AXI DDR controller in the wrapper template).
+  double near_data_gbps = 100.0;
+};
+
+class AcceleratorManager {
+ public:
+  using Config = AcceleratorManagerConfig;
+
+  explicit AcceleratorManager(hw::Rack& rack, const Config& config = {});
+
+  /// Reserves a free dACCELBRICK for `owner`, pushes the bitstream and
+  /// reconfigures the slot. nullopt when no accelerator brick is free.
+  std::optional<AccelDeployment> deploy(hw::BrickId owner, const hw::Bitstream& bitstream,
+                                        sim::Time now);
+
+  /// Releases a reservation; returns false when not reserved.
+  bool release(hw::BrickId accel);
+
+  bool is_reserved(hw::BrickId accel) const { return reservations_.count(accel) != 0; }
+  std::size_t reserved_count() const { return reservations_.size(); }
+  std::size_t free_count() const;
+
+  /// Near-data offload: the owner sends a descriptor; the accelerator
+  /// streams `data_bytes` from its near memory through the kernel
+  /// (processing `items` work units) and returns a result.
+  OffloadResult offload(hw::BrickId accel, std::uint64_t items, std::uint64_t data_bytes,
+                        sim::Time now);
+
+  /// Baseline for the ablation: the same job done the conventional way —
+  /// haul `data_bytes` to the compute brick over the interconnect and
+  /// process at `cpu_gbps` there.
+  OffloadResult process_on_compute(std::uint64_t data_bytes, double cpu_gbps,
+                                   sim::Time now) const;
+
+  // --- direct dMEMBRICK links (Fig. 5: the wrapper template integrates
+  // "a set of high-speed transceivers for direct communication with
+  // external resources") ---
+
+  /// Wires the accelerator's wrapper transceivers straight to a
+  /// dMEMBRICK through the optical switch, bonding `lanes`. Requires a
+  /// CircuitManager (see set_circuit_manager). Returns false when ports
+  /// are short or no reservation exists.
+  bool link_memory(hw::BrickId accel, hw::BrickId membrick, std::size_t lanes,
+                   optics::CircuitManager& circuits);
+
+  bool has_memory_link(hw::BrickId accel) const { return links_.count(accel) != 0; }
+
+  /// Streams `data_bytes` residing on the linked dMEMBRICK through the
+  /// kernel over the direct circuits — no dCOMPUBRICK on the data path.
+  OffloadResult offload_from_membrick(hw::BrickId accel, std::uint64_t items,
+                                      std::uint64_t data_bytes, sim::Time now);
+
+  /// Drops the direct link, releasing ports and circuits.
+  bool unlink_memory(hw::BrickId accel, optics::CircuitManager& circuits);
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct MemoryLink {
+    hw::BrickId membrick;
+    std::vector<hw::CircuitId> circuits;  // one per bonded lane
+    std::vector<hw::PortId> accel_ports;
+    std::vector<hw::PortId> mem_ports;
+    std::size_t lanes() const { return circuits.size(); }
+  };
+
+  hw::Rack& rack_;
+  Config config_;
+  std::unordered_map<hw::BrickId, hw::BrickId> reservations_;  // accel -> owner
+  std::unordered_map<hw::BrickId, MemoryLink> links_;          // accel -> link
+
+  sim::Time transfer_time(std::uint64_t bytes) const {
+    return sim::Time::ns(static_cast<double>(bytes) * 8.0 / config_.transfer_gbps);
+  }
+};
+
+}  // namespace dredbox::orch

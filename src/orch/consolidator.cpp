@@ -1,0 +1,82 @@
+#include "orch/consolidator.hpp"
+
+#include <algorithm>
+
+namespace dredbox::orch {
+
+Consolidator::Consolidator(hw::Rack& rack, SdmController& sdm, MigrationEngine& engine,
+                           PowerManager& power, const Config& config)
+    : rack_{rack}, sdm_{sdm}, engine_{engine}, power_{power}, config_{config} {}
+
+double Consolidator::utilisation(hw::BrickId brick) const {
+  const auto& cb = rack_.compute_brick(brick);
+  return static_cast<double>(cb.cores_in_use()) / static_cast<double>(cb.apu_cores());
+}
+
+ConsolidationReport Consolidator::consolidate(sim::Time now) {
+  ConsolidationReport report;
+  sim::Time t = now;
+
+  // Candidate donors: lightly loaded bricks, emptiest first (cheapest to
+  // evacuate). Anything above the threshold is a potential target.
+  std::vector<hw::BrickId> bricks = rack_.bricks_of_kind(hw::BrickKind::kCompute);
+  std::sort(bricks.begin(), bricks.end(), [&](hw::BrickId a, hw::BrickId b) {
+    return utilisation(a) < utilisation(b);
+  });
+
+  for (hw::BrickId donor : bricks) {
+    if (report.migrations >= config_.max_migrations_per_pass) break;
+    const double donor_util = utilisation(donor);
+    if (donor_util == 0.0 || donor_util > config_.donor_utilisation_max) continue;
+    if (!sdm_.has_agent(donor)) continue;
+
+    // Evacuate every VM on the donor, most loaded targets first so slack
+    // concentrates (and the donor itself is never a target).
+    auto& donor_hv = sdm_.agent_for(donor).hypervisor();
+    const auto vms = donor_hv.vms();
+    bool all_moved = true;
+    for (hw::VmId vm : vms) {
+      if (report.migrations >= config_.max_migrations_per_pass) {
+        all_moved = false;
+        break;
+      }
+      const std::size_t vcpus = donor_hv.vm(vm).vcpus();
+
+      hw::BrickId best;
+      double best_util = -1.0;
+      for (hw::BrickId target : bricks) {
+        if (target == donor || !sdm_.has_agent(target)) continue;
+        const auto& cb = rack_.compute_brick(target);
+        if (cb.power_state() == hw::PowerState::kOff) continue;  // defeats the purpose
+        if (cb.cores_free() < vcpus) continue;
+        const double util = utilisation(target);
+        if (util > config_.target_utilisation_max) continue;
+        if (util > best_util) {
+          best_util = util;
+          best = target;
+        }
+      }
+      if (!best.valid()) {
+        all_moved = false;
+        continue;
+      }
+
+      MigrationResult move = engine_.migrate(vm, donor, best, t);
+      if (!move.ok) {
+        all_moved = false;
+        continue;
+      }
+      t += move.total_time;
+      report.total_migration_time += move.total_time;
+      ++report.migrations;
+      report.moves.push_back(std::move(move));
+    }
+    if (all_moved && donor_hv.vm_count() == 0) ++report.bricks_emptied;
+  }
+
+  // Hand the emptied bricks to the power manager.
+  report.bricks_powered_off = power_.tick(t + power_.config().idle_timeout);
+  return report;
+}
+
+}  // namespace dredbox::orch

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/rack.hpp"
+#include "orch/migration.hpp"
+#include "orch/power_manager.hpp"
+#include "orch/sdm_controller.hpp"
+
+namespace dredbox::orch {
+
+/// One consolidation pass's outcome.
+struct ConsolidationReport {
+  std::size_t migrations = 0;
+  std::size_t bricks_emptied = 0;     // compute bricks left with no VMs
+  std::size_t bricks_powered_off = 0; // emptied bricks the sweeper turned off
+  sim::Time total_migration_time;
+  std::vector<MigrationResult> moves;
+};
+
+/// Power-aware VM consolidation (project objective: "aggressive
+/// power-aware resource management/scheduling"). Periodically packs VMs
+/// from lightly-loaded dCOMPUBRICKs onto busier ones — cheap in dReDBox
+/// because disaggregated memory is re-pointed rather than copied — and
+/// hands the emptied bricks to the power manager.
+struct ConsolidatorConfig {
+  /// Bricks at or below this core utilisation are evacuation candidates.
+  double donor_utilisation_max = 0.5;
+  /// Never migrate onto a brick beyond this utilisation.
+  double target_utilisation_max = 1.0;
+  /// Upper bound on moves per pass (bounds control-plane churn).
+  std::size_t max_migrations_per_pass = 8;
+};
+
+class Consolidator {
+ public:
+  using Config = ConsolidatorConfig;
+
+  Consolidator(hw::Rack& rack, SdmController& sdm, MigrationEngine& engine,
+               PowerManager& power, const Config& config = {});
+
+  /// Runs one consolidation pass at `now`: picks donor bricks (fewest
+  /// running vCPUs first), migrates their VMs into the remaining bricks
+  /// (most-loaded feasible target first), then sweeps power.
+  ConsolidationReport consolidate(sim::Time now);
+
+  const Config& config() const { return config_; }
+
+ private:
+  hw::Rack& rack_;
+  SdmController& sdm_;
+  MigrationEngine& engine_;
+  PowerManager& power_;
+  Config config_;
+
+  double utilisation(hw::BrickId brick) const;
+};
+
+}  // namespace dredbox::orch

@@ -1,0 +1,43 @@
+#include "orch/demand_registry.hpp"
+
+#include <algorithm>
+
+namespace dredbox::orch {
+
+void MemoryDemandRegistry::report(hw::VmId vm, const Report& r) { reports_[vm] = r; }
+
+std::optional<MemoryDemandRegistry::Report> MemoryDemandRegistry::latest(hw::VmId vm) const {
+  auto it = reports_.find(vm);
+  if (it == reports_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t MemoryDemandRegistry::slack_of(hw::VmId vm, sim::Time now, sim::Time max_age,
+                                             double reserve_fraction) const {
+  auto it = reports_.find(vm);
+  if (it == reports_.end()) return 0;
+  const Report& r = it->second;
+  if (now - r.at > max_age) return 0;  // stale: don't trust it
+  const auto reserved = static_cast<std::uint64_t>(
+      static_cast<double>(r.used_bytes) * (1.0 + reserve_fraction));
+  return r.usable_bytes > reserved ? r.usable_bytes - reserved : 0;
+}
+
+std::optional<hw::VmId> MemoryDemandRegistry::best_donor(hw::BrickId compute,
+                                                         std::uint64_t bytes,
+                                                         hw::VmId exclude, sim::Time now,
+                                                         sim::Time max_age) const {
+  std::optional<hw::VmId> best;
+  std::uint64_t best_slack = 0;
+  for (const auto& [vm, r] : reports_) {
+    if (vm == exclude || r.compute != compute) continue;
+    const std::uint64_t slack = slack_of(vm, now, max_age);
+    if (slack >= bytes && slack > best_slack) {
+      best = vm;
+      best_slack = slack;
+    }
+  }
+  return best;
+}
+
+}  // namespace dredbox::orch

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "hw/ids.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::orch {
+
+/// Per-VM memory-demand bookkeeping inside the SDM-C's resource database.
+/// SDM agents report each guest's actual usage (the same balloon-stats
+/// channel the OOM guard consumes); the controller uses the reports to
+/// find over-provisioned co-located donors so a scale-up can be satisfied
+/// by the balloon tier instead of touching the fabric.
+class MemoryDemandRegistry {
+ public:
+  struct Report {
+    hw::BrickId compute;
+    std::uint64_t used_bytes = 0;
+    std::uint64_t usable_bytes = 0;
+    sim::Time at;
+  };
+
+  /// Records a usage report (overwrites the previous one for the VM).
+  void report(hw::VmId vm, const Report& report);
+
+  std::optional<Report> latest(hw::VmId vm) const;
+
+  /// Bytes the VM could give back while keeping `reserve_fraction` of its
+  /// current usage as head-room. Zero when unknown or stale.
+  std::uint64_t slack_of(hw::VmId vm, sim::Time now, sim::Time max_age,
+                         double reserve_fraction = 0.25) const;
+
+  /// Best donor on `compute` able to give `bytes` (largest slack wins),
+  /// excluding `exclude` (the requester). Reports older than `max_age`
+  /// are distrusted.
+  std::optional<hw::VmId> best_donor(hw::BrickId compute, std::uint64_t bytes,
+                                     hw::VmId exclude, sim::Time now,
+                                     sim::Time max_age) const;
+
+  void forget(hw::VmId vm) { reports_.erase(vm); }
+  std::size_t tracked() const { return reports_.size(); }
+
+ private:
+  std::unordered_map<hw::VmId, Report> reports_;
+};
+
+}  // namespace dredbox::orch

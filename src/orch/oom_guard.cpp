@@ -1,0 +1,62 @@
+#include "orch/oom_guard.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::orch {
+
+OomGuard::OomGuard(SdmController& sdm, const OomGuardConfig& config)
+    : sdm_{sdm}, config_{config} {
+  if (config.pressure_threshold <= 0.0 || config.pressure_threshold > 1.0) {
+    throw std::invalid_argument("OomGuard: pressure threshold outside (0, 1]");
+  }
+  if (config.relax_threshold < 0.0 || config.relax_threshold >= config.pressure_threshold) {
+    throw std::invalid_argument("OomGuard: relax threshold must sit below pressure threshold");
+  }
+}
+
+void OomGuard::watch(hw::VmId vm, hw::BrickId compute) {
+  guests_[vm] = Guest{compute, sim::Time::zero() - sim::Time::sec(3600), {}};
+}
+
+std::optional<ScaleUpResult> OomGuard::report_usage(hw::VmId vm, std::uint64_t used_bytes,
+                                                    sim::Time now) {
+  auto it = guests_.find(vm);
+  if (it == guests_.end()) return std::nullopt;
+  Guest& guest = it->second;
+  if (now - guest.last_action < config_.cooldown) return std::nullopt;
+
+  auto& hv = sdm_.agent_for(guest.compute).hypervisor();
+  const std::uint64_t usable = hv.vm(vm).usable_bytes();
+  if (usable == 0) return std::nullopt;
+  const double pressure = static_cast<double>(used_bytes) / static_cast<double>(usable);
+
+  if (pressure >= config_.pressure_threshold) {
+    ScaleUpRequest request;
+    request.vm = vm;
+    request.compute = guest.compute;
+    request.bytes = config_.scale_chunk_bytes;
+    request.posted_at = now;
+    ScaleUpResult result = sdm_.scale_up(request);
+    if (result.ok) {
+      guest.granted.push_back(result.segment);
+      guest.last_action = now;
+      ++interventions_;
+    }
+    return result;
+  }
+
+  if (pressure < config_.relax_threshold && !guest.granted.empty()) {
+    const hw::SegmentId segment = guest.granted.back();
+    ScaleUpResult result = sdm_.scale_down(vm, guest.compute, segment, now);
+    if (result.ok) {
+      guest.granted.pop_back();
+      guest.last_action = now;
+      ++releases_;
+    }
+    return result;
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace dredbox::orch

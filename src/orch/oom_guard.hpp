@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "orch/sdm_controller.hpp"
+#include "orch/sdm_types.hpp"
+
+namespace dredbox::orch {
+
+/// Policy for the guest out-of-memory guard (Section IV-B: "in the
+/// future, the guest memory hotplug support will be enhanced to
+/// automatically protect the guest from running out-of-memory").
+struct OomGuardConfig {
+  /// Usage fraction of the guest's usable memory above which the guard
+  /// posts a scale-up on the guest's behalf.
+  double pressure_threshold = 0.9;
+  /// How much to grow by per intervention.
+  std::uint64_t scale_chunk_bytes = 1ull << 30;
+  /// Guard against thrash: minimum spacing between interventions per VM.
+  sim::Time cooldown = sim::Time::sec(5);
+  /// Optional shrink side: when usage drops below this fraction and the
+  /// VM holds hotplugged memory, the guard may release one chunk.
+  double relax_threshold = 0.4;
+};
+
+/// Watches guest memory pressure reports and automatically expands (or
+/// relaxes) the guest's memory through the SDM-C before the guest OOMs.
+class OomGuard {
+ public:
+  OomGuard(SdmController& sdm, const OomGuardConfig& config = {});
+
+  /// Registers a guest for protection.
+  void watch(hw::VmId vm, hw::BrickId compute);
+  bool is_watched(hw::VmId vm) const { return guests_.count(vm) != 0; }
+  void unwatch(hw::VmId vm) { guests_.erase(vm); }
+
+  /// The guest's balloon/agent reports current usage. Returns the
+  /// intervention the guard performed, if any.
+  std::optional<ScaleUpResult> report_usage(hw::VmId vm, std::uint64_t used_bytes,
+                                            sim::Time now);
+
+  std::size_t interventions() const { return interventions_; }
+  std::size_t releases() const { return releases_; }
+  const OomGuardConfig& config() const { return config_; }
+
+ private:
+  struct Guest {
+    hw::BrickId compute;
+    sim::Time last_action = sim::Time::zero() - sim::Time::sec(3600);
+    std::vector<hw::SegmentId> granted;  // segments the guard attached
+  };
+
+  SdmController& sdm_;
+  OomGuardConfig config_;
+  std::unordered_map<hw::VmId, Guest> guests_;
+  std::size_t interventions_ = 0;
+  std::size_t releases_ = 0;
+};
+
+}  // namespace dredbox::orch

@@ -1,0 +1,19 @@
+#include "orch/openstack.hpp"
+
+namespace dredbox::orch {
+
+AllocationResult OpenStackFrontend::boot(const std::string& name, std::size_t vcpus,
+                                         std::uint64_t memory_bytes, sim::Time now) {
+  AllocationRequest request;
+  request.vcpus = vcpus;
+  request.memory_bytes = memory_bytes;
+  AllocationResult result = sdm_.allocate_vm(request, now);
+  if (result.ok) {
+    instances_.push_back(Instance{name, result});
+  }
+  return result;
+}
+
+std::size_t OpenStackFrontend::active_instances() const { return instances_.size(); }
+
+}  // namespace dredbox::orch

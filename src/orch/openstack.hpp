@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "orch/sdm_controller.hpp"
+#include "orch/sdm_types.hpp"
+
+namespace dredbox::orch {
+
+/// Minimal OpenStack-like compute front-end: accepts boot requests from
+/// tenants and forwards them to the SDM-C (which is "integrated with
+/// OpenStack" per Section IV-C). Keeps a ledger of instances so examples
+/// and tests can enumerate what was placed where.
+class OpenStackFrontend {
+ public:
+  explicit OpenStackFrontend(SdmController& sdm) : sdm_{sdm} {}
+
+  struct Instance {
+    std::string name;
+    AllocationResult placement;
+  };
+
+  /// Boots an instance; returns the allocation result (ok=false + error
+  /// when the rack cannot host it).
+  AllocationResult boot(const std::string& name, std::size_t vcpus,
+                        std::uint64_t memory_bytes, sim::Time now);
+
+  const std::vector<Instance>& instances() const { return instances_; }
+  std::size_t active_instances() const;
+
+ private:
+  SdmController& sdm_;
+  std::vector<Instance> instances_;
+};
+
+}  // namespace dredbox::orch

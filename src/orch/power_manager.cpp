@@ -1,0 +1,55 @@
+#include "orch/power_manager.hpp"
+
+namespace dredbox::orch {
+
+PowerManager::PowerManager(hw::Rack& rack, const PowerPolicyConfig& config)
+    : rack_{rack}, config_{config} {}
+
+void PowerManager::note_activity(hw::BrickId brick, sim::Time now) {
+  last_active_[brick] = now;
+}
+
+sim::Time PowerManager::ensure_powered(hw::BrickId brick, sim::Time now) {
+  hw::Brick& b = rack_.brick(brick);
+  note_activity(brick, now);
+  if (b.power_state() != hw::PowerState::kOff) return sim::Time::zero();
+  b.power_on();
+  ++wake_ups_;
+  return config_.wake_latency;
+}
+
+bool PowerManager::eligible_for_poweroff(const hw::Brick& brick) const {
+  if (brick.power_state() != hw::PowerState::kIdle) return false;
+  if (config_.keep_compute_bricks_on && brick.kind() == hw::BrickKind::kCompute) return false;
+  // A brick with connected ports still carries circuits; leave it on.
+  for (const auto& port : brick.ports()) {
+    if (port.connected) return false;
+  }
+  return true;
+}
+
+std::size_t PowerManager::tick(sim::Time now) {
+  std::size_t swept = 0;
+  for (hw::BrickId id : rack_.all_bricks()) {
+    hw::Brick& b = rack_.brick(id);
+    if (!eligible_for_poweroff(b)) continue;
+    const auto it = last_active_.find(id);
+    const sim::Time last = it == last_active_.end() ? sim::Time::zero() : it->second;
+    if (now - last >= config_.idle_timeout) {
+      b.power_off();
+      ++power_offs_;
+      ++swept;
+    }
+  }
+  return swept;
+}
+
+std::size_t PowerManager::powered_off_bricks() const {
+  std::size_t n = 0;
+  for (hw::BrickId id : rack_.all_bricks()) {
+    if (rack_.brick(id).power_state() == hw::PowerState::kOff) ++n;
+  }
+  return n;
+}
+
+}  // namespace dredbox::orch

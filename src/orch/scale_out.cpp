@@ -1,0 +1,26 @@
+#include "orch/scale_out.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dredbox::orch {
+
+ScaleOutResult ScaleOutBaseline::spawn(sim::Time posted, sim::Rng& rng) {
+  // Serialized placement + image service.
+  const sim::Time start = std::max(posted, scheduler_busy_until_);
+  const sim::Time service = timing_.placement_service;
+  scheduler_busy_until_ = start + service;
+
+  // Image provisioning and guest boot run on the target host; add
+  // multiplicative jitter (clamped to stay positive).
+  const double jitter =
+      std::max(0.1, 1.0 + rng.normal(0.0, timing_.jitter_fraction));
+  const sim::Time host_work = sim::scale(timing_.image_provision + timing_.guest_boot, jitter);
+
+  ScaleOutResult result;
+  result.posted_at = posted;
+  result.completed_at = scheduler_busy_until_ + host_work;
+  return result;
+}
+
+}  // namespace dredbox::orch

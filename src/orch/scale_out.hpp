@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::orch {
+
+/// Timing of conventional scale-out elasticity: when an application needs
+/// more memory, the cloud spawns additional VMs [13] (Mao & Humphrey
+/// measured VM startup on public clouds at roughly a hundred seconds).
+/// The placement scheduler and image service serialize per request; guest
+/// boot proceeds in parallel.
+struct ScaleOutTiming {
+  sim::Time placement_service = sim::Time::sec(4);   // serialized scheduler txn
+  sim::Time image_provision = sim::Time::sec(28);    // image copy to the host
+  sim::Time guest_boot = sim::Time::sec(62);         // kernel + services + app ready
+  double jitter_fraction = 0.12;                     // run-to-run variability
+};
+
+struct ScaleOutResult {
+  sim::Time posted_at;
+  sim::Time completed_at;
+  sim::Time delay() const { return completed_at - posted_at; }
+};
+
+/// The conventional-elasticity baseline of Fig. 10: satisfying a memory
+/// expansion by spawning one more VM instead of hot-attaching memory.
+class ScaleOutBaseline {
+ public:
+  explicit ScaleOutBaseline(const ScaleOutTiming& timing = {}) : timing_{timing} {}
+
+  /// Processes one spawn request posted at `posted`; `rng` provides the
+  /// per-request jitter.
+  ScaleOutResult spawn(sim::Time posted, sim::Rng& rng);
+
+  void reset() { scheduler_busy_until_ = sim::Time::zero(); }
+
+  const ScaleOutTiming& timing() const { return timing_; }
+
+ private:
+  ScaleOutTiming timing_;
+  sim::Time scheduler_busy_until_;
+};
+
+}  // namespace dredbox::orch

@@ -1,0 +1,30 @@
+#include "orch/sdm_agent.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::orch {
+
+SdmAgent::SdmAgent(hyp::Hypervisor& hypervisor, os::BareMetalOs& os)
+    : hypervisor_{hypervisor}, os_{os} {
+  if (hypervisor.brick() != os.brick()) {
+    throw std::invalid_argument("SdmAgent: hypervisor and OS belong to different bricks");
+  }
+}
+
+sim::Time SdmAgent::attach_physical(const memsys::Attachment& attachment) {
+  return os_.attach_remote_memory(attachment.compute_base, attachment.size);
+}
+
+sim::Time SdmAgent::expand_guest(hw::VmId vm, const memsys::Attachment& attachment,
+                                 sim::Time now) {
+  return hypervisor_.expand_vm_memory(vm, attachment.size, attachment.segment, now);
+}
+
+sim::Time SdmAgent::shrink_guest(hw::VmId vm, const memsys::Attachment& attachment) {
+  const sim::Time hyp_latency = hypervisor_.shrink_vm_memory(vm, attachment.segment);
+  const sim::Time os_latency =
+      os_.detach_remote_memory(attachment.compute_base, attachment.size);
+  return hyp_latency + os_latency;
+}
+
+}  // namespace dredbox::orch

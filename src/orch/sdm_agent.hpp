@@ -1,0 +1,46 @@
+#pragma once
+
+#include "hw/ids.hpp"
+#include "hyp/hypervisor.hpp"
+#include "memsys/remote_memory.hpp"
+#include "os/baremetal_os.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::orch {
+
+/// SDM Agent: the per-dCOMPUBRICK daemon the SDM-C interacts with
+/// (Section IV-C). It owns the local halves of the attach protocol: after
+/// the controller reserves resources and programs the circuit switch, the
+/// agent configures the brick's glue logic, asks the baremetal OS to
+/// hotplug the new physical range, and finally tells the hypervisor to
+/// expand the guest.
+class SdmAgent {
+ public:
+  SdmAgent(hyp::Hypervisor& hypervisor, os::BareMetalOs& os);
+
+  hw::BrickId brick() const { return os_.brick(); }
+
+  hyp::Hypervisor& hypervisor() { return hypervisor_; }
+  os::BareMetalOs& os() { return os_; }
+
+  /// Baremetal attach: online the hot-added range. Returns kernel latency.
+  sim::Time attach_physical(const memsys::Attachment& attachment);
+
+  /// Guest expansion: plug the DIMM and online it in the guest.
+  sim::Time expand_guest(hw::VmId vm, const memsys::Attachment& attachment, sim::Time now);
+
+  /// Reverse path for scale-down: shrink guest, offline the range.
+  sim::Time shrink_guest(hw::VmId vm, const memsys::Attachment& attachment);
+
+  /// Agent-side busy tracking: hotplug work on one brick is serialized by
+  /// the kernel's memory hotplug lock, while distinct bricks are parallel.
+  sim::Time busy_until() const { return busy_until_; }
+  void set_busy_until(sim::Time t) { busy_until_ = t; }
+
+ private:
+  hyp::Hypervisor& hypervisor_;
+  os::BareMetalOs& os_;
+  sim::Time busy_until_;
+};
+
+}  // namespace dredbox::orch

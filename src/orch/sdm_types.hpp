@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hw/ids.hpp"
+#include "sim/breakdown.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::orch {
+
+/// VM/bare-metal allocation request as received from the OpenStack
+/// front-end (Section IV-C, role (a) of the SDM-C).
+struct AllocationRequest {
+  std::size_t vcpus = 1;
+  std::uint64_t memory_bytes = 1ull << 30;
+};
+
+/// Result of placing a VM.
+struct AllocationResult {
+  bool ok = false;
+  std::string error;
+  hw::VmId vm;
+  hw::BrickId compute;        // hosting dCOMPUBRICK
+  std::uint64_t local_bytes = 0;   // backed by brick-local DDR
+  std::uint64_t remote_bytes = 0;  // backed by disaggregated segments
+  sim::Time completed_at;
+};
+
+/// A dynamic memory scale-up request posted through the Scale-up API by an
+/// application running inside a VM (Section IV: the application notifies
+/// the Scaleup controller, which relays to the SDM controller).
+struct ScaleUpRequest {
+  hw::VmId vm;
+  hw::BrickId compute;
+  std::uint64_t bytes = 1ull << 30;
+  sim::Time posted_at;
+  /// Permit the packet-substrate fallback when circuit ports are
+  /// exhausted (Section III).
+  bool allow_packet_fallback = false;
+};
+
+/// Completed scale-up (or scale-down) with the full control-path latency
+/// attribution; Fig. 10 plots the mean of (completed_at - posted_at).
+struct ScaleUpResult {
+  bool ok = false;
+  std::string error;
+  hw::VmId vm;
+  hw::SegmentId segment;       // the backing segment that was attached
+  hw::BrickId membrick;
+  sim::Time posted_at;
+  sim::Time completed_at;
+  sim::Breakdown breakdown;
+
+  sim::Time delay() const { return completed_at - posted_at; }
+};
+
+/// Control-path service times of the orchestration pipeline. The SDM-C
+/// runs as an autonomous service and must *safely* inspect and reserve
+/// resources, so the inspect+reserve step is serialized inside the
+/// service; the optical switch's control plane likewise programs one
+/// reconfiguration at a time. Hotplug work on distinct bricks proceeds in
+/// parallel.
+struct SdmTiming {
+  sim::Time api_relay = sim::Time::ms(1);             // app -> scale-up ctl -> SDM-C
+  sim::Time inspect_and_select = sim::Time::ms(8);    // resource DB txn, serialized
+  sim::Time agent_rpc = sim::Time::ms(2);             // config push to the SDM agent
+  sim::Time glue_configure = sim::Time::ms(1);        // programming the h/w glue logic
+  sim::Time hypervisor_handoff = sim::Time::ms(1);    // control back to scale-up ctl
+};
+
+}  // namespace dredbox::orch

@@ -1,0 +1,25 @@
+#include "os/baremetal_os.hpp"
+
+namespace dredbox::os {
+
+BareMetalOs::BareMetalOs(const hw::ComputeBrick& brick, std::uint64_t hotplug_block_bytes,
+                         const HotplugTiming& timing)
+    : brick_id_{brick.id()} {
+  MemoryRegion boot_ram;
+  boot_ram.base = 0;
+  boot_ram.size = brick.local_memory_bytes();
+  boot_ram.type = RegionType::kLocalRam;
+  boot_ram.online = true;
+  map_.add_region(boot_ram);
+  hotplug_ = std::make_unique<MemoryHotplug>(map_, hotplug_block_bytes, timing);
+}
+
+sim::Time BareMetalOs::attach_remote_memory(std::uint64_t base, std::uint64_t size) {
+  return hotplug_->hot_add(base, size);
+}
+
+sim::Time BareMetalOs::detach_remote_memory(std::uint64_t base, std::uint64_t size) {
+  return hotplug_->hot_remove(base, size);
+}
+
+}  // namespace dredbox::os

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "hw/compute_brick.hpp"
+#include "os/hotplug.hpp"
+#include "os/memory_map.hpp"
+
+namespace dredbox::os {
+
+/// The baremetal OS instance running on one dCOMPUBRICK (Section IV-A).
+/// It boots with the brick's local DDR in the physical map and exposes the
+/// hotplug entry points the SDM agent calls after a physical attach: the
+/// kernel attaches new page frames by expanding the page table pool at
+/// runtime, then hands the memory to the hypervisor.
+class BareMetalOs {
+ public:
+  explicit BareMetalOs(const hw::ComputeBrick& brick,
+                       std::uint64_t hotplug_block_bytes = MemoryHotplug::kDefaultBlockBytes,
+                       const HotplugTiming& timing = {});
+
+  hw::BrickId brick() const { return brick_id_; }
+
+  PhysicalMemoryMap& memory_map() { return map_; }
+  const PhysicalMemoryMap& memory_map() const { return map_; }
+
+  MemoryHotplug& hotplug() { return *hotplug_; }
+  const MemoryHotplug& hotplug() const { return *hotplug_; }
+
+  /// Called by the SDM agent once the glue logic is configured: onlines
+  /// `size` bytes at the brick-physical `base` (the RMST window base).
+  /// Returns the kernel latency of the hot-add.
+  sim::Time attach_remote_memory(std::uint64_t base, std::uint64_t size);
+
+  /// Reverse path: offline + remove the block range before detaching.
+  sim::Time detach_remote_memory(std::uint64_t base, std::uint64_t size);
+
+  std::uint64_t local_bytes() const { return map_.total_bytes(RegionType::kLocalRam); }
+  std::uint64_t remote_bytes() const { return map_.total_bytes(RegionType::kRemoteRam); }
+  std::uint64_t total_ram_bytes() const { return local_bytes() + remote_bytes(); }
+
+ private:
+  hw::BrickId brick_id_;
+  PhysicalMemoryMap map_;
+  std::unique_ptr<MemoryHotplug> hotplug_;
+};
+
+}  // namespace dredbox::os

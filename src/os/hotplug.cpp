@@ -1,0 +1,59 @@
+#include "os/hotplug.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::os {
+
+MemoryHotplug::MemoryHotplug(PhysicalMemoryMap& map, std::uint64_t block_bytes,
+                             const HotplugTiming& timing)
+    : map_{map}, block_bytes_{block_bytes}, timing_{timing} {
+  if (block_bytes == 0 || (block_bytes & (block_bytes - 1)) != 0) {
+    throw std::invalid_argument("MemoryHotplug: block size must be a power of two");
+  }
+}
+
+void MemoryHotplug::check_aligned(std::uint64_t v, const char* what) const {
+  if (v % block_bytes_ != 0) {
+    throw std::invalid_argument(std::string{"MemoryHotplug: "} + what +
+                                " not aligned to the memory-block size");
+  }
+}
+
+sim::Time MemoryHotplug::scaled(sim::Time fixed, sim::Time per_gib, std::uint64_t size) const {
+  const double gib = static_cast<double>(size) / static_cast<double>(1ull << 30);
+  return fixed + sim::scale(per_gib, gib);
+}
+
+sim::Time MemoryHotplug::hot_add(std::uint64_t base, std::uint64_t size) {
+  check_aligned(base, "base");
+  check_aligned(size, "size");
+  if (size == 0) throw std::invalid_argument("MemoryHotplug::hot_add: zero size");
+
+  MemoryRegion region;
+  region.base = base;
+  region.size = size;
+  region.type = RegionType::kRemoteRam;
+  region.online = true;
+  map_.add_region(region);  // throws on overlap
+  ++operations_;
+  return scaled(timing_.fixed_cost, timing_.per_gib_cost, size);
+}
+
+sim::Time MemoryHotplug::hot_remove(std::uint64_t base, std::uint64_t size) {
+  check_aligned(base, "base");
+  check_aligned(size, "size");
+  auto region = map_.region_at(base);
+  if (!region || region->base != base || region->size != size ||
+      region->type != RegionType::kRemoteRam) {
+    throw std::logic_error("MemoryHotplug::hot_remove: range is not a hot-added region");
+  }
+  map_.remove_region(base);
+  ++operations_;
+  return scaled(timing_.remove_fixed_cost, timing_.remove_per_gib_cost, size);
+}
+
+std::uint64_t MemoryHotplug::hot_added_bytes() const {
+  return map_.total_bytes(RegionType::kRemoteRam);
+}
+
+}  // namespace dredbox::os

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "os/memory_map.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::os {
+
+/// Timing model for the kernel-side hotplug work. Hot-adding a block means
+/// allocating struct-page metadata (expanding the page table pool),
+/// initializing the memmap, and onlining the pages; the cost scales with
+/// the block size. Figures are in the range measured for arm64 memory
+/// hotplug [12] on embedded-class cores.
+struct HotplugTiming {
+  sim::Time fixed_cost = sim::Time::ms(8);     // ACPI/notifier + sysfs plumbing
+  sim::Time per_gib_cost = sim::Time::ms(110); // memmap init + page onlining
+  sim::Time remove_fixed_cost = sim::Time::ms(12);
+  sim::Time remove_per_gib_cost = sim::Time::ms(60);
+};
+
+/// Baremetal-OS memory hotplug (Section IV-A): the kernel attaches new
+/// physical page frames at runtime, after the physical attachment of
+/// remote memory completes. Blocks are section-aligned, mirroring the
+/// kernel's memory-block granularity.
+class MemoryHotplug {
+ public:
+  static constexpr std::uint64_t kDefaultBlockBytes = 1ull << 30;  // 1 GiB blocks
+
+  MemoryHotplug(PhysicalMemoryMap& map, std::uint64_t block_bytes = kDefaultBlockBytes,
+                const HotplugTiming& timing = {});
+
+  std::uint64_t block_bytes() const { return block_bytes_; }
+
+  /// Hot-adds `size` bytes of remote memory at `base`. Both must be
+  /// block-aligned. Returns the kernel-side latency of the operation.
+  /// Throws on misalignment or overlap.
+  sim::Time hot_add(std::uint64_t base, std::uint64_t size);
+
+  /// Hot-removes a previously added block range. Returns the latency.
+  /// Throws when the range is not a hot-added online region.
+  sim::Time hot_remove(std::uint64_t base, std::uint64_t size);
+
+  std::uint64_t hot_added_bytes() const;
+  std::size_t operations() const { return operations_; }
+
+  const HotplugTiming& timing() const { return timing_; }
+
+ private:
+  PhysicalMemoryMap& map_;
+  std::uint64_t block_bytes_;
+  HotplugTiming timing_;
+  std::size_t operations_ = 0;
+
+  void check_aligned(std::uint64_t v, const char* what) const;
+  sim::Time scaled(sim::Time fixed, sim::Time per_gib, std::uint64_t size) const;
+};
+
+}  // namespace dredbox::os

@@ -1,0 +1,78 @@
+#include "os/memory_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dredbox::os {
+
+std::string to_string(RegionType type) {
+  switch (type) {
+    case RegionType::kLocalRam:
+      return "local-ram";
+    case RegionType::kRemoteRam:
+      return "remote-ram";
+    case RegionType::kReserved:
+      return "reserved";
+  }
+  return "<unknown region type>";
+}
+
+void PhysicalMemoryMap::add_region(const MemoryRegion& region) {
+  if (region.size == 0) throw std::invalid_argument("add_region: zero-sized region");
+  if (region.base + region.size < region.base) {
+    throw std::invalid_argument("add_region: region wraps the address space");
+  }
+  for (const auto& r : regions_) {
+    const bool disjoint = region.end() <= r.base || r.end() <= region.base;
+    if (!disjoint) {
+      throw std::logic_error("add_region: overlaps existing region at 0x" +
+                             std::to_string(r.base));
+    }
+  }
+  regions_.push_back(region);
+  std::sort(regions_.begin(), regions_.end(),
+            [](const MemoryRegion& a, const MemoryRegion& b) { return a.base < b.base; });
+}
+
+bool PhysicalMemoryMap::remove_region(std::uint64_t base) {
+  auto it = std::find_if(regions_.begin(), regions_.end(),
+                         [&](const MemoryRegion& r) { return r.base == base; });
+  if (it == regions_.end()) return false;
+  regions_.erase(it);
+  return true;
+}
+
+std::optional<MemoryRegion> PhysicalMemoryMap::region_at(std::uint64_t addr) const {
+  for (const auto& r : regions_) {
+    if (r.contains(addr)) return r;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t PhysicalMemoryMap::total_bytes(RegionType type) const {
+  std::uint64_t total = 0;
+  for (const auto& r : regions_) {
+    if (r.type == type) total += r.size;
+  }
+  return total;
+}
+
+std::uint64_t PhysicalMemoryMap::online_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& r : regions_) {
+    if (r.online) total += r.size;
+  }
+  return total;
+}
+
+void PhysicalMemoryMap::set_online(std::uint64_t base, bool online) {
+  for (auto& r : regions_) {
+    if (r.base == base) {
+      r.online = online;
+      return;
+    }
+  }
+  throw std::out_of_range("set_online: no region starts at 0x" + std::to_string(base));
+}
+
+}  // namespace dredbox::os

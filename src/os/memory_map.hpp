@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dredbox::os {
+
+enum class RegionType : std::uint8_t {
+  kLocalRam,   // brick-local DDR present at boot
+  kRemoteRam,  // disaggregated memory attached at runtime
+  kReserved,   // firmware/MMIO carve-outs
+};
+
+std::string to_string(RegionType type);
+
+struct MemoryRegion {
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;
+  RegionType type = RegionType::kLocalRam;
+  bool online = false;
+
+  std::uint64_t end() const { return base + size; }
+  bool contains(std::uint64_t addr) const { return addr >= base && addr - base < size; }
+};
+
+/// The kernel's view of physical memory on one dCOMPUBRICK. Regions are
+/// kept sorted and non-overlapping; hotplug inserts and removes RemoteRam
+/// regions at runtime.
+class PhysicalMemoryMap {
+ public:
+  /// Adds a region; throws on overlap with an existing region.
+  void add_region(const MemoryRegion& region);
+
+  /// Removes the region starting exactly at `base`; returns false when no
+  /// region starts there.
+  bool remove_region(std::uint64_t base);
+
+  std::optional<MemoryRegion> region_at(std::uint64_t addr) const;
+  const std::vector<MemoryRegion>& regions() const { return regions_; }
+
+  std::uint64_t total_bytes(RegionType type) const;
+  std::uint64_t online_bytes() const;
+
+  void set_online(std::uint64_t base, bool online);
+
+ private:
+  std::vector<MemoryRegion> regions_;  // sorted by base
+};
+
+}  // namespace dredbox::os

@@ -1,0 +1,66 @@
+#include "sim/breakdown.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dredbox::sim {
+
+void Breakdown::charge(const std::string& component, Time amount) {
+  for (auto& [name, t] : parts_) {
+    if (name == component) {
+      t += amount;
+      return;
+    }
+  }
+  parts_.emplace_back(component, amount);
+}
+
+Time Breakdown::total() const {
+  Time sum = Time::zero();
+  for (const auto& [name, t] : parts_) sum += t;
+  return sum;
+}
+
+Time Breakdown::of(const std::string& component) const {
+  for (const auto& [name, t] : parts_) {
+    if (name == component) return t;
+  }
+  return Time::zero();
+}
+
+bool Breakdown::has(const std::string& component) const {
+  return std::any_of(parts_.begin(), parts_.end(),
+                     [&](const auto& p) { return p.first == component; });
+}
+
+void Breakdown::merge(const Breakdown& other) {
+  for (const auto& [name, t] : other.parts_) charge(name, t);
+}
+
+void Breakdown::scale_all(double factor) {
+  for (auto& [name, t] : parts_) t = scale(t, factor);
+}
+
+std::string Breakdown::to_string(std::size_t bar_width) const {
+  std::string out;
+  const double total_ns = total().as_ns();
+  std::size_t widest = 0;
+  for (const auto& [name, t] : parts_) widest = std::max(widest, name.size());
+  for (const auto& [name, t] : parts_) {
+    const double pct = total_ns > 0 ? 100.0 * t.as_ns() / total_ns : 0.0;
+    char head[224];
+    std::snprintf(head, sizeof head, "  %-*s %12s  %5.1f%%  |", static_cast<int>(widest),
+                  name.c_str(), t.to_string().c_str(), pct);
+    out += head;
+    const auto bar = static_cast<std::size_t>(pct / 100.0 * static_cast<double>(bar_width) + 0.5);
+    out.append(bar, '#');
+    out += '\n';
+  }
+  char foot[128];
+  std::snprintf(foot, sizeof foot, "  %-*s %12s  100.0%%\n", static_cast<int>(widest), "TOTAL",
+                total().to_string().c_str());
+  out += foot;
+  return out;
+}
+
+}  // namespace dredbox::sim

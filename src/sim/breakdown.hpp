@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dredbox::sim {
+
+/// Ordered accumulation of named latency contributions. Used to produce the
+/// paper's Fig. 8-style round-trip breakdown: each pipeline stage charges
+/// its share under a stable component name, and the report preserves the
+/// order in which components first appeared (i.e., pipeline order).
+class Breakdown {
+ public:
+  /// Adds `amount` under `component`, creating the component on first use.
+  void charge(const std::string& component, Time amount);
+
+  /// Sum over all components.
+  Time total() const;
+
+  /// Contribution of one component; Time::zero() if absent.
+  Time of(const std::string& component) const;
+
+  bool has(const std::string& component) const;
+
+  const std::vector<std::pair<std::string, Time>>& components() const { return parts_; }
+
+  /// Merges another breakdown (component-wise addition, order preserved,
+  /// new components appended).
+  void merge(const Breakdown& other);
+
+  /// Scales every component (e.g., averaging over N runs with 1.0/N).
+  void scale_all(double factor);
+
+  /// Multi-line rendering: one component per line with ns value, percentage
+  /// of the total, and a proportional bar.
+  std::string to_string(std::size_t bar_width = 40) const;
+
+ private:
+  std::vector<std::pair<std::string, Time>> parts_;
+};
+
+}  // namespace dredbox::sim

@@ -1,0 +1,88 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dredbox::sim {
+
+EventId EventQueue::schedule(Time when, Action action) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time " + when.to_string() +
+                                " precedes current time " + now_.to_string());
+  }
+  EventId id{next_id_++};
+  heap_.push(Entry{when, next_seq_++, id, std::move(action)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id.value == 0 || id.value >= next_id_) return false;
+  if (is_cancelled(id)) return false;
+  // We cannot remove from the middle of a priority_queue; record the id and
+  // skip the entry when it surfaces.
+  cancelled_.push_back(id.value);
+  if (live_count_ == 0) {
+    cancelled_.pop_back();
+    return false;
+  }
+  --live_count_;
+  return true;
+}
+
+bool EventQueue::is_cancelled(EventId id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id.value) != cancelled_.end();
+}
+
+Time EventQueue::next_time() const {
+  // Peek past cancelled entries without mutating: the heap top is the only
+  // thing we can see, so pop lazily in dispatch instead. A cancelled top is
+  // rare; accept a conservative answer here by scanning in dispatch_one.
+  auto* self = const_cast<EventQueue*>(this);
+  while (!self->heap_.empty() && self->is_cancelled(self->heap_.top().id)) {
+    auto& list = self->cancelled_;
+    list.erase(std::find(list.begin(), list.end(), self->heap_.top().id.value));
+    self->heap_.pop();
+  }
+  if (heap_.empty()) return Time::infinity();
+  return heap_.top().when;
+}
+
+bool EventQueue::dispatch_one() {
+  while (!heap_.empty() && is_cancelled(heap_.top().id)) {
+    cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), heap_.top().id.value));
+    heap_.pop();
+  }
+  if (heap_.empty()) return false;
+  Entry top = heap_.top();
+  heap_.pop();
+  --live_count_;
+  now_ = top.when;
+  top.action();
+  return true;
+}
+
+std::size_t EventQueue::run_until(Time until) {
+  std::size_t dispatched = 0;
+  while (next_time() <= until) {
+    if (!dispatch_one()) break;
+    ++dispatched;
+  }
+  if (now_ < until && !until.is_infinite()) now_ = until;
+  return dispatched;
+}
+
+std::size_t EventQueue::run() {
+  std::size_t dispatched = 0;
+  while (dispatch_one()) ++dispatched;
+  return dispatched;
+}
+
+void EventQueue::reset() {
+  heap_ = {};
+  cancelled_.clear();
+  live_count_ = 0;
+  now_ = Time::zero();
+}
+
+}  // namespace dredbox::sim

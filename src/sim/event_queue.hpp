@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dredbox::sim {
+
+/// Opaque handle identifying a scheduled event; usable for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+  constexpr auto operator<=>(const EventId&) const = default;
+};
+
+/// Deterministic discrete-event queue.
+///
+/// Events scheduled for the same timestamp fire in scheduling order
+/// (FIFO tie-break on a monotonically increasing sequence number), which
+/// makes every simulation in this repository bit-reproducible for a fixed
+/// seed regardless of heap internals.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `when`. `when` must not precede
+  /// the timestamp of the event currently being dispatched.
+  EventId schedule(Time when, Action action);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was cancelled before, or never existed.
+  bool cancel(EventId id);
+
+  /// True when no pending (non-cancelled) events remain.
+  bool empty() const { return live_count_ == 0; }
+
+  std::size_t pending() const { return live_count_; }
+
+  /// Timestamp of the earliest pending event; Time::infinity() when empty.
+  Time next_time() const;
+
+  /// Pops and runs the earliest event. Returns false when the queue is empty.
+  bool dispatch_one();
+
+  /// Current simulation time (timestamp of the last dispatched event).
+  Time now() const { return now_; }
+
+  /// Runs events until the queue drains or the next event is after `until`.
+  /// Advances now() to `until` when it stops early. Returns the number of
+  /// events dispatched.
+  std::size_t run_until(Time until);
+
+  /// Runs all events to quiescence. Returns the number dispatched.
+  std::size_t run();
+
+  /// Drops every pending event and resets time to zero.
+  void reset();
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    EventId id;
+    Action action;
+
+    // Min-heap via std::priority_queue, so greater-than ordering.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  std::vector<std::uint64_t> cancelled_;  // sorted lazily only if it grows
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t live_count_ = 0;
+  Time now_ = Time::zero();
+
+  bool is_cancelled(EventId id) const;
+};
+
+}  // namespace dredbox::sim

@@ -1,0 +1,120 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace dredbox::sim {
+
+TextTable::TextTable(std::vector<std::string> header) : header_{std::move(header)} {
+  if (header_.empty()) throw std::invalid_argument("TextTable: header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::add_row: cell count does not match header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string sep = "+";
+  for (std::size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + emit_row(header_) + sep;
+  for (const auto& row : rows_) out += emit_row(row);
+  out += sep;
+  return out;
+}
+
+namespace {
+
+std::string csv_cell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  auto emit = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += ',';
+      line += csv_cell(row[c]);
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = emit(header_);
+  for (const auto& row : rows_) out += emit(row);
+  return out;
+}
+
+std::string ascii_bar(double value, double full_scale, std::size_t width) {
+  if (full_scale <= 0) return "";
+  double frac = value / full_scale;
+  frac = std::clamp(frac, 0.0, 1.0);
+  return std::string(static_cast<std::size_t>(frac * static_cast<double>(width) + 0.5), '#');
+}
+
+bool maybe_write_csv(const std::string& name, const TextTable& table) {
+  const char* dir = std::getenv("DREDBOX_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return false;
+  const std::string path = std::string{dir} + "/" + name + ".csv";
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error("maybe_write_csv: cannot open " + path);
+  out << table.to_csv();
+  if (!out) throw std::runtime_error("maybe_write_csv: write to " + path + " failed");
+  return true;
+}
+
+}  // namespace dredbox::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dredbox::sim {
+
+/// Plain-text table renderer used by the benchmark harness to print the
+/// rows/series the paper's tables and figures report. Column widths are
+/// computed from content; numeric columns are right-aligned by the caller
+/// simply by formatting the cell text.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Scientific notation (for BER-style magnitudes).
+  static std::string sci(double v, int precision = 2);
+  /// Percent with sign convention "12.3%".
+  static std::string pct(double fraction, int precision = 1);
+
+  std::string to_string() const;
+
+  /// RFC4180-style CSV rendering (quotes cells containing commas, quotes
+  /// or newlines); first line is the header. Feed the bench outputs to a
+  /// plotting tool to regenerate the figures graphically.
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar scaled so that `full_scale` maps to
+/// `width` characters.
+std::string ascii_bar(double value, double full_scale, std::size_t width = 40);
+
+/// When the DREDBOX_CSV_DIR environment variable is set, writes the
+/// table's CSV rendering to `<dir>/<name>.csv` (for plotting the bench
+/// outputs graphically) and returns true. No-op returning false when the
+/// variable is unset; throws on I/O failure so silent data loss cannot
+/// happen.
+bool maybe_write_csv(const std::string& name, const TextTable& table);
+
+}  // namespace dredbox::sim

@@ -1,0 +1,127 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dredbox::sim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string BoxPlot::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g (n=%zu)",
+                minimum, q1, median, q3, maximum, count);
+  return buf;
+}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_ = samples_.size() <= 1 || (sorted_ && samples_[samples_.size() - 2] <= x);
+  running_.add(x);
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("SampleSet::quantile on empty set");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("SampleSet::quantile: q outside [0,1]");
+  ensure_sorted();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= samples_.size()) return samples_.back();
+  return samples_[idx] * (1.0 - frac) + samples_[idx + 1] * frac;
+}
+
+double SampleSet::standard_error() const {
+  if (samples_.size() < 2) return 0.0;
+  return running_.stddev() / std::sqrt(static_cast<double>(samples_.size()));
+}
+
+BoxPlot SampleSet::box_plot() const {
+  BoxPlot b;
+  if (samples_.empty()) return b;
+  b.minimum = min();
+  b.q1 = quantile(0.25);
+  b.median = quantile(0.5);
+  b.q3 = quantile(0.75);
+  b.maximum = max();
+  b.count = count();
+  return b;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_{lo}, hi_{hi} {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: need at least one bin");
+  counts_.resize(bins, 0);
+}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<std::int64_t>((x - lo_) / span * static_cast<double>(counts_.size()));
+  bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::to_string(std::size_t width) const {
+  std::string out;
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char head[64];
+    std::snprintf(head, sizeof head, "[%9.3g, %9.3g) %6zu |", bin_low(i), bin_high(i), counts_[i]);
+    out += head;
+    const std::size_t bar = peak ? counts_[i] * width / peak : 0;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dredbox::sim

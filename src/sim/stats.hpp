@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dredbox::sim {
+
+/// Streaming mean/variance/min/max (Welford). O(1) memory; no percentiles.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number summary used to render the paper's Fig. 7 box plots.
+struct BoxPlot {
+  double minimum = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double maximum = 0.0;
+  std::size_t count = 0;
+
+  double iqr() const { return q3 - q1; }
+  std::string to_string() const;
+};
+
+/// Stored-sample statistics: percentiles and box plots on top of the
+/// streaming aggregates. Linear-interpolated quantiles (type 7 / NumPy
+/// default), so results are stable and comparable across tools.
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const { return running_.mean(); }
+  double stddev() const { return running_.stddev(); }
+  double min() const { return running_.min(); }
+  double max() const { return running_.max(); }
+  double sum() const { return running_.sum(); }
+
+  /// q in [0, 1]. Requires a non-empty set.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double percentile(double p) const { return quantile(p / 100.0); }
+
+  /// Standard error of the mean (0 for fewer than two samples).
+  double standard_error() const;
+  /// Half-width of the normal-approximation 95% confidence interval on
+  /// the mean (1.96 standard errors).
+  double ci95_halfwidth() const { return 1.96 * standard_error(); }
+
+  BoxPlot box_plot() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  RunningStats running_;
+
+  void ensure_sorted() const;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// edge bins so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const { return bin_low(bin + 1); }
+
+  /// Renders as horizontal ASCII bars, one line per bin.
+  std::string to_string(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace dredbox::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dredbox::sim {
+
+/// Simulation time. Stored as an integral number of picoseconds so that
+/// event ordering is exact and runs are bit-reproducible. The range
+/// (+/- ~106 days) is ample for every experiment in the paper.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time ps(std::int64_t v) { return Time{v}; }
+  static constexpr Time ns(double v) { return Time{to_ticks(v * 1e3)}; }
+  static constexpr Time us(double v) { return Time{to_ticks(v * 1e6)}; }
+  static constexpr Time ms(double v) { return Time{to_ticks(v * 1e9)}; }
+  static constexpr Time sec(double v) { return Time{to_ticks(v * 1e12)}; }
+  static constexpr Time infinity() { return Time{INT64_MAX}; }
+
+  constexpr std::int64_t ticks() const { return ticks_; }
+  constexpr double as_ps() const { return static_cast<double>(ticks_); }
+  constexpr double as_ns() const { return static_cast<double>(ticks_) * 1e-3; }
+  constexpr double as_us() const { return static_cast<double>(ticks_) * 1e-6; }
+  constexpr double as_ms() const { return static_cast<double>(ticks_) * 1e-9; }
+  constexpr double as_sec() const { return static_cast<double>(ticks_) * 1e-12; }
+
+  constexpr bool is_infinite() const { return ticks_ == INT64_MAX; }
+
+  constexpr Time operator+(Time rhs) const { return Time{ticks_ + rhs.ticks_}; }
+  constexpr Time operator-(Time rhs) const { return Time{ticks_ - rhs.ticks_}; }
+  constexpr Time& operator+=(Time rhs) {
+    ticks_ += rhs.ticks_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) {
+    ticks_ -= rhs.ticks_;
+    return *this;
+  }
+  constexpr Time operator*(std::int64_t k) const { return Time{ticks_ * k}; }
+  constexpr Time operator/(std::int64_t k) const { return Time{ticks_ / k}; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  /// Human-readable rendering with an auto-selected unit ("423 ns", "1.25 s").
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t ticks) : ticks_{ticks} {}
+
+  static constexpr std::int64_t to_ticks(double ps) {
+    // Round to nearest tick; callers pass non-negative magnitudes in practice
+    // but negative durations (deltas) are allowed.
+    return static_cast<std::int64_t>(ps >= 0 ? ps + 0.5 : ps - 0.5);
+  }
+
+  std::int64_t ticks_ = 0;
+};
+
+constexpr Time scale(Time t, double factor) {
+  return Time::ps(static_cast<std::int64_t>(static_cast<double>(t.ticks()) * factor + 0.5));
+}
+
+}  // namespace dredbox::sim

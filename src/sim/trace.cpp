@@ -1,0 +1,62 @@
+#include "sim/trace.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::sim {
+
+std::string to_string(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kOrchestration:
+      return "orchestration";
+    case TraceCategory::kHotplug:
+      return "hotplug";
+    case TraceCategory::kHypervisor:
+      return "hypervisor";
+    case TraceCategory::kFabric:
+      return "fabric";
+    case TraceCategory::kPower:
+      return "power";
+    case TraceCategory::kMigration:
+      return "migration";
+    case TraceCategory::kApplication:
+      return "application";
+  }
+  return "<unknown category>";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_{capacity} {
+  if (capacity == 0) throw std::invalid_argument("Tracer: capacity must be positive");
+}
+
+void Tracer::record(Time when, TraceCategory category, std::string message) {
+  if (!enabled_) return;
+  if (events_.size() >= capacity_) {
+    events_.erase(events_.begin());
+    ++dropped_;
+  }
+  events_.push_back(TraceEvent{when, category, std::move(message)});
+}
+
+std::vector<TraceEvent> Tracer::filter(TraceCategory category) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.category == category) out.push_back(e);
+  }
+  return out;
+}
+
+std::string Tracer::to_string() const {
+  std::string out;
+  for (const auto& e : events_) {
+    out += "[" + e.when.to_string() + "] " + dredbox::sim::to_string(e.category) + ": " +
+           e.message + "\n";
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace dredbox::sim

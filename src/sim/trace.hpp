@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dredbox::sim {
+
+/// Category of a trace event; used for filtering.
+enum class TraceCategory : std::uint8_t {
+  kOrchestration,  // SDM-C decisions, reservations
+  kHotplug,        // kernel hot-add/remove
+  kHypervisor,     // VM lifecycle, DIMMs, balloon
+  kFabric,         // attach/detach, circuits
+  kPower,          // power on/off, sweeps
+  kMigration,      // VM moves
+  kApplication,    // workload-level markers
+};
+
+std::string to_string(TraceCategory category);
+
+/// One recorded event.
+struct TraceEvent {
+  Time when;
+  TraceCategory category;
+  std::string message;
+};
+
+/// Bounded in-memory event log for observing a simulated rack. Recording
+/// is cheap and off by default; experiments enable it to explain *why* an
+/// outcome happened (which brick was chosen, when a sweep fired, ...).
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  /// Records an event (dropped silently when disabled; oldest events are
+  /// evicted once the capacity is reached).
+  void record(Time when, TraceCategory category, std::string message);
+
+  std::size_t size() const { return events_.size(); }
+  std::size_t dropped() const { return dropped_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Events of one category, in recording order.
+  std::vector<TraceEvent> filter(TraceCategory category) const;
+
+  /// Multi-line rendering: "[   12.5 ms] fabric: attached 2 GiB ...".
+  std::string to_string() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace dredbox::sim

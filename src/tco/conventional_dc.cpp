@@ -1,0 +1,57 @@
+#include "tco/conventional_dc.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dredbox::tco {
+
+ConventionalDatacenter::ConventionalDatacenter(std::size_t servers,
+                                               std::size_t cores_per_server,
+                                               std::uint64_t ram_gb_per_server)
+    : cores_per_server_{cores_per_server}, ram_per_server_{ram_gb_per_server} {
+  if (servers == 0) throw std::invalid_argument("ConventionalDatacenter: zero servers");
+  if (cores_per_server == 0 || ram_gb_per_server == 0) {
+    throw std::invalid_argument("ConventionalDatacenter: empty server configuration");
+  }
+  servers_.resize(servers);
+}
+
+std::optional<std::size_t> ConventionalDatacenter::schedule(const VmSpec& vm) {
+  if (vm.vcpus > cores_per_server_ || vm.ram_gb > ram_per_server_) return std::nullopt;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    Server& s = servers_[i];
+    if (s.cores_used + vm.vcpus <= cores_per_server_ &&
+        s.ram_used + vm.ram_gb <= ram_per_server_) {
+      s.cores_used += vm.vcpus;
+      s.ram_used += vm.ram_gb;
+      ++s.vms;
+      ++scheduled_vms_;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t ConventionalDatacenter::idle_servers() const {
+  return static_cast<std::size_t>(std::count_if(
+      servers_.begin(), servers_.end(), [](const Server& s) { return s.vms == 0; }));
+}
+
+std::size_t ConventionalDatacenter::used_cores() const {
+  std::size_t total = 0;
+  for (const auto& s : servers_) total += s.cores_used;
+  return total;
+}
+
+std::uint64_t ConventionalDatacenter::used_ram_gb() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s.ram_used;
+  return total;
+}
+
+void ConventionalDatacenter::reset() {
+  for (auto& s : servers_) s = Server{};
+  scheduled_vms_ = 0;
+}
+
+}  // namespace dredbox::tco

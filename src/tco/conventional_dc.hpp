@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tco/workload.hpp"
+
+namespace dredbox::tco {
+
+/// A conventional datacenter built of commercial-off-the-shelf servers:
+/// compute and memory coupled on a single mainboard. A VM must fit
+/// entirely within one server's remaining cores *and* RAM — the coupling
+/// that causes the fragmentation Section VI quantifies.
+class ConventionalDatacenter {
+ public:
+  ConventionalDatacenter(std::size_t servers, std::size_t cores_per_server,
+                         std::uint64_t ram_gb_per_server);
+
+  std::size_t server_count() const { return servers_.size(); }
+  std::size_t cores_per_server() const { return cores_per_server_; }
+  std::uint64_t ram_gb_per_server() const { return ram_per_server_; }
+
+  std::size_t total_cores() const { return server_count() * cores_per_server_; }
+  std::uint64_t total_ram_gb() const {
+    return static_cast<std::uint64_t>(server_count()) * ram_per_server_;
+  }
+
+  /// FCFS first-fit placement. Returns the hosting server index or nullopt
+  /// when no server has both the cores and the RAM.
+  std::optional<std::size_t> schedule(const VmSpec& vm);
+
+  /// Servers hosting no VM: individually powered units that can be
+  /// powered off.
+  std::size_t idle_servers() const;
+  std::size_t active_servers() const { return server_count() - idle_servers(); }
+  double idle_fraction() const {
+    return static_cast<double>(idle_servers()) / static_cast<double>(server_count());
+  }
+
+  std::size_t used_cores() const;
+  std::uint64_t used_ram_gb() const;
+  std::size_t scheduled_vms() const { return scheduled_vms_; }
+
+  void reset();
+
+ private:
+  struct Server {
+    std::size_t cores_used = 0;
+    std::uint64_t ram_used = 0;
+    std::size_t vms = 0;
+  };
+
+  std::size_t cores_per_server_;
+  std::uint64_t ram_per_server_;
+  std::vector<Server> servers_;
+  std::size_t scheduled_vms_ = 0;
+};
+
+}  // namespace dredbox::tco

@@ -1,0 +1,104 @@
+#include "tco/disaggregated_dc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dredbox::tco {
+
+DisaggregatedDatacenter::DisaggregatedDatacenter(std::size_t compute_bricks,
+                                                 std::size_t cores_per_brick,
+                                                 std::size_t memory_bricks,
+                                                 std::uint64_t ram_gb_per_brick)
+    : cores_per_brick_{cores_per_brick}, ram_per_brick_{ram_gb_per_brick} {
+  if (compute_bricks == 0 || memory_bricks == 0) {
+    throw std::invalid_argument("DisaggregatedDatacenter: empty pools");
+  }
+  if (cores_per_brick == 0 || ram_gb_per_brick == 0) {
+    throw std::invalid_argument("DisaggregatedDatacenter: empty brick configuration");
+  }
+  compute_.assign(compute_bricks, 0);
+  memory_.assign(memory_bricks, 0);
+}
+
+std::optional<DisaggregatedPlacement> DisaggregatedDatacenter::schedule(const VmSpec& vm) {
+  const std::size_t cores_free = total_cores() - used_cores();
+  const std::uint64_t ram_free = total_ram_gb() - used_ram_gb();
+  if (vm.vcpus > cores_free || vm.ram_gb > ram_free) return std::nullopt;
+
+  DisaggregatedPlacement placement;
+
+  // Cores: fill already-running (partially used) bricks first, then cold
+  // bricks — the power-conscious packing of Section VI ("scheduling the
+  // VMs on dBRICKs which are already running a VM").
+  std::size_t need_cores = vm.vcpus;
+  for (int pass = 0; pass < 2 && need_cores > 0; ++pass) {
+    const bool want_warm = pass == 0;
+    for (std::size_t i = 0; i < compute_.size() && need_cores > 0; ++i) {
+      const bool warm = compute_[i] > 0;
+      if (warm != want_warm) continue;
+      const std::size_t avail = cores_per_brick_ - compute_[i];
+      if (avail == 0) continue;
+      const std::size_t take = std::min(avail, need_cores);
+      compute_[i] += take;
+      placement.compute.emplace_back(i, take);
+      need_cores -= take;
+    }
+  }
+
+  std::uint64_t need_ram = vm.ram_gb;
+  for (int pass = 0; pass < 2 && need_ram > 0; ++pass) {
+    const bool want_warm = pass == 0;
+    for (std::size_t i = 0; i < memory_.size() && need_ram > 0; ++i) {
+      const bool warm = memory_[i] > 0;
+      if (warm != want_warm) continue;
+      const std::uint64_t avail = ram_per_brick_ - memory_[i];
+      if (avail == 0) continue;
+      const std::uint64_t take = std::min(avail, need_ram);
+      memory_[i] += take;
+      placement.memory.emplace_back(i, take);
+      need_ram -= take;
+    }
+  }
+
+  ++scheduled_vms_;
+  return placement;
+}
+
+std::size_t DisaggregatedDatacenter::idle_compute_bricks() const {
+  return static_cast<std::size_t>(
+      std::count(compute_.begin(), compute_.end(), std::size_t{0}));
+}
+
+std::size_t DisaggregatedDatacenter::idle_memory_bricks() const {
+  return static_cast<std::size_t>(std::count(memory_.begin(), memory_.end(), std::uint64_t{0}));
+}
+
+double DisaggregatedDatacenter::idle_compute_fraction() const {
+  return static_cast<double>(idle_compute_bricks()) / static_cast<double>(compute_.size());
+}
+
+double DisaggregatedDatacenter::idle_memory_fraction() const {
+  return static_cast<double>(idle_memory_bricks()) / static_cast<double>(memory_.size());
+}
+
+double DisaggregatedDatacenter::idle_combined_fraction() const {
+  const std::size_t idle = idle_compute_bricks() + idle_memory_bricks();
+  return static_cast<double>(idle) / static_cast<double>(compute_.size() + memory_.size());
+}
+
+std::size_t DisaggregatedDatacenter::used_cores() const {
+  return std::accumulate(compute_.begin(), compute_.end(), std::size_t{0});
+}
+
+std::uint64_t DisaggregatedDatacenter::used_ram_gb() const {
+  return std::accumulate(memory_.begin(), memory_.end(), std::uint64_t{0});
+}
+
+void DisaggregatedDatacenter::reset() {
+  std::fill(compute_.begin(), compute_.end(), 0);
+  std::fill(memory_.begin(), memory_.end(), 0);
+  scheduled_vms_ = 0;
+}
+
+}  // namespace dredbox::tco

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tco/workload.hpp"
+
+namespace dredbox::tco {
+
+/// Where one VM's resources landed in the disaggregated datacenter.
+struct DisaggregatedPlacement {
+  std::vector<std::pair<std::size_t, std::size_t>> compute;   // (brick, cores)
+  std::vector<std::pair<std::size_t, std::uint64_t>> memory;  // (brick, GB)
+};
+
+/// A dReDBox-like datacenter for the TCO study: independent pools of
+/// compute bricks and memory bricks. Each resource is allocated
+/// independently (Section VI), so a VM's cores and RAM are drawn from
+/// whichever bricks have room — packing onto already-running bricks first
+/// so unused bricks stay off. This is the scheduling-scale counterpart of
+/// the full hw::Rack model (thousands of units, no data-path state).
+class DisaggregatedDatacenter {
+ public:
+  DisaggregatedDatacenter(std::size_t compute_bricks, std::size_t cores_per_brick,
+                          std::size_t memory_bricks, std::uint64_t ram_gb_per_brick);
+
+  std::size_t compute_brick_count() const { return compute_.size(); }
+  std::size_t memory_brick_count() const { return memory_.size(); }
+  std::size_t total_cores() const { return compute_.size() * cores_per_brick_; }
+  std::uint64_t total_ram_gb() const {
+    return static_cast<std::uint64_t>(memory_.size()) * ram_per_brick_;
+  }
+
+  /// FCFS placement: packs cores into partially used compute bricks first
+  /// (spilling across bricks as needed), and RAM into partially used
+  /// memory bricks first. Returns nullopt — with no state change — when
+  /// either pool lacks the aggregate capacity.
+  std::optional<DisaggregatedPlacement> schedule(const VmSpec& vm);
+
+  /// Unutilized, individually powered units that can be powered off.
+  std::size_t idle_compute_bricks() const;
+  std::size_t idle_memory_bricks() const;
+  double idle_compute_fraction() const;
+  double idle_memory_fraction() const;
+  double idle_combined_fraction() const;
+
+  std::size_t used_cores() const;
+  std::uint64_t used_ram_gb() const;
+  std::size_t scheduled_vms() const { return scheduled_vms_; }
+
+  void reset();
+
+ private:
+  std::size_t cores_per_brick_;
+  std::uint64_t ram_per_brick_;
+  std::vector<std::size_t> compute_;   // cores used per brick
+  std::vector<std::uint64_t> memory_;  // GB used per brick
+  std::size_t scheduled_vms_ = 0;
+};
+
+}  // namespace dredbox::tco

@@ -1,0 +1,61 @@
+#include "tco/refresh_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dredbox::tco {
+
+RefreshStudy::RefreshStudy(const TcoConfig& config, const RefreshCosts& costs)
+    : config_{config}, costs_{costs}, study_{config} {
+  if (costs.server_refresh_years <= 0 || costs.compute_brick_refresh_years <= 0 ||
+      costs.memory_brick_refresh_years <= 0) {
+    throw std::invalid_argument("RefreshStudy: refresh cadences must be positive");
+  }
+}
+
+int RefreshStudy::cycles(double horizon_years, double cadence_years) {
+  // A refresh lands at each full multiple of the cadence strictly inside
+  // the horizon (refreshing in the final instant buys nothing).
+  const double n = horizon_years / cadence_years;
+  const double eps = 1e-9;
+  int full = static_cast<int>(std::floor(n - eps));
+  return full < 0 ? 0 : full;
+}
+
+double RefreshStudy::energy_usd(double watts, double horizon_years) const {
+  const double hours = horizon_years * 365.0 * 24.0;
+  return watts / 1000.0 * hours * costs_.usd_per_kwh;
+}
+
+TcoProjection RefreshStudy::conventional(WorkloadType workload, double horizon_years) const {
+  TcoProjection p;
+  const double n_servers = static_cast<double>(config_.servers);
+  p.capex_usd = n_servers * costs_.server_cost;
+  // Whole servers replaced every cadence, DRAM and chassis included.
+  p.refresh_usd = cycles(horizon_years, costs_.server_refresh_years) * n_servers *
+                  costs_.server_cost * (1.0 - costs_.salvage_fraction);
+  p.energy_usd = energy_usd(study_.run_power(workload).conventional_watts, horizon_years);
+  return p;
+}
+
+TcoProjection RefreshStudy::dredbox(WorkloadType workload, double horizon_years) const {
+  TcoProjection p;
+  const double n_compute = static_cast<double>(config_.compute_bricks());
+  const double n_memory = static_cast<double>(config_.memory_bricks());
+  p.capex_usd = n_compute * costs_.compute_brick_cost + n_memory * costs_.memory_brick_cost;
+  // Component-level refresh: each brick class on its own cadence.
+  p.refresh_usd = cycles(horizon_years, costs_.compute_brick_refresh_years) * n_compute *
+                      costs_.compute_brick_cost * (1.0 - costs_.salvage_fraction) +
+                  cycles(horizon_years, costs_.memory_brick_refresh_years) * n_memory *
+                      costs_.memory_brick_cost * (1.0 - costs_.salvage_fraction);
+  p.energy_usd = energy_usd(study_.run_power(workload).dredbox_watts, horizon_years);
+  return p;
+}
+
+double RefreshStudy::savings(WorkloadType workload, double horizon_years) const {
+  const double conv = conventional(workload, horizon_years).total();
+  const double dd = dredbox(workload, horizon_years).total();
+  return conv > 0 ? 1.0 - dd / conv : 0.0;
+}
+
+}  // namespace dredbox::tco

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <string>
+
+#include "tco/tco_study.hpp"
+
+namespace dredbox::tco {
+
+/// Cost model for the TCO extension the paper leaves as on-going work
+/// (Section VI): "the modularity and interchangeability of the dBRICKs
+/// plays a significant role in lowering the price of the procurement, as
+/// well in delivering technology refreshes at the component level instead
+/// of the server level."
+struct RefreshCosts {
+  // Procurement (USD per unit). A COTS server bundles CPU, DRAM, board,
+  // PSU and chassis; bricks unbundle them.
+  double server_cost = 4200.0;          // 32-core / 32 GB class machine
+  double compute_brick_cost = 480.0;    // 8-core SoC module
+  double memory_brick_cost = 310.0;     // 8 GB module (DRAM-dominated)
+
+  // Refresh cadence (years). Conventional refresh replaces whole servers
+  // even when only the CPUs aged; dReDBox replaces the aged brick class.
+  double server_refresh_years = 3.0;
+  double compute_brick_refresh_years = 3.0;  // compute ages fast
+  double memory_brick_refresh_years = 6.0;   // DRAM stays useful longer
+
+  // Fraction of a replaced unit's price recovered (resale/salvage).
+  double salvage_fraction = 0.10;
+
+  // Energy.
+  double usd_per_kwh = 0.12;
+};
+
+/// One datacenter's projected TCO over the horizon.
+struct TcoProjection {
+  double capex_usd = 0.0;     // initial procurement
+  double refresh_usd = 0.0;   // technology refreshes over the horizon
+  double energy_usd = 0.0;    // operating energy (from the Fig. 13 runs)
+  double total() const { return capex_usd + refresh_usd + energy_usd; }
+};
+
+/// Projects multi-year TCO for both datacenter shapes of Fig. 11, using
+/// the Fig. 13 power results for the energy term and the refresh model
+/// above for CapEx. Workload-dependent only through energy.
+class RefreshStudy {
+ public:
+  RefreshStudy(const TcoConfig& config = {}, const RefreshCosts& costs = {});
+
+  TcoProjection conventional(WorkloadType workload, double horizon_years) const;
+  TcoProjection dredbox(WorkloadType workload, double horizon_years) const;
+
+  /// Savings of dReDBox vs conventional over the horizon (fraction of the
+  /// conventional total).
+  double savings(WorkloadType workload, double horizon_years) const;
+
+  const TcoConfig& config() const { return config_; }
+  const RefreshCosts& costs() const { return costs_; }
+
+ private:
+  TcoConfig config_;
+  RefreshCosts costs_;
+  TcoStudy study_;
+
+  /// Completed refresh cycles within the horizon (the initial purchase is
+  /// CapEx, not a refresh).
+  static int cycles(double horizon_years, double cadence_years);
+  double energy_usd(double watts, double horizon_years) const;
+};
+
+}  // namespace dredbox::tco

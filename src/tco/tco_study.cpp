@@ -1,0 +1,126 @@
+#include "tco/tco_study.hpp"
+
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace dredbox::tco {
+
+TcoStudy::TcoStudy(const TcoConfig& config) : config_{config} {
+  if (config.cores_per_server % config.cores_per_compute_brick != 0 ||
+      config.ram_gb_per_server % config.ram_gb_per_memory_brick != 0) {
+    throw std::invalid_argument(
+        "TcoStudy: brick sizes must divide server sizes so the two datacenters hold "
+        "equal aggregate resources (Fig. 11)");
+  }
+}
+
+TcoStudy::RepetitionOutcome TcoStudy::run_once(WorkloadType type, std::uint64_t seed) const {
+  sim::Rng rng{seed};
+  ConventionalDatacenter conv{config_.servers, config_.cores_per_server,
+                              config_.ram_gb_per_server};
+  DisaggregatedDatacenter dd{config_.compute_bricks(), config_.cores_per_compute_brick,
+                             config_.memory_bricks(), config_.ram_gb_per_memory_brick};
+
+  WorkloadGenerator gen{type};
+  const auto workload = gen.generate_bounded(rng, conv.total_cores(), conv.total_ram_gb(),
+                                             config_.target_utilization);
+
+  std::size_t conv_dropped = 0;
+  std::size_t dd_dropped = 0;
+  for (const VmSpec& vm : workload) {
+    if (!conv.schedule(vm)) ++conv_dropped;
+    if (!dd.schedule(vm)) ++dd_dropped;
+  }
+
+  RepetitionOutcome out{};
+  out.conv_off = conv.idle_fraction();
+  out.dd_compute_off = dd.idle_compute_fraction();
+  out.dd_memory_off = dd.idle_memory_fraction();
+  out.dd_combined_off = dd.idle_combined_fraction();
+  out.vms = workload.size();
+  out.conv_dropped = conv_dropped;
+  out.dd_dropped = dd_dropped;
+
+  const double active_servers = static_cast<double>(conv.active_servers());
+  out.conv_power_w = active_servers * config_.server_equivalent_w();
+
+  const double active_cb =
+      static_cast<double>(config_.compute_bricks() - dd.idle_compute_bricks());
+  const double active_mb =
+      static_cast<double>(config_.memory_bricks() - dd.idle_memory_bricks());
+  out.dd_power_w = active_cb * config_.power.compute_brick_w +
+                   active_mb * config_.power.memory_brick_w +
+                   (active_cb + active_mb) * config_.power.switch_share_per_active_brick_w;
+  return out;
+}
+
+PowerOffRow TcoStudy::run_poweroff(WorkloadType type) const {
+  PowerOffRow row;
+  row.workload = type;
+  for (std::size_t r = 0; r < config_.repetitions; ++r) {
+    const auto out = run_once(type, config_.seed + r);
+    row.conventional_off += out.conv_off;
+    row.dd_compute_off += out.dd_compute_off;
+    row.dd_memory_off += out.dd_memory_off;
+    row.dd_combined_off += out.dd_combined_off;
+    row.vms_scheduled += static_cast<double>(out.vms);
+    row.conventional_dropped += static_cast<double>(out.conv_dropped);
+    row.dd_dropped += static_cast<double>(out.dd_dropped);
+  }
+  const auto n = static_cast<double>(config_.repetitions);
+  row.conventional_off /= n;
+  row.dd_compute_off /= n;
+  row.dd_memory_off /= n;
+  row.dd_combined_off /= n;
+  row.vms_scheduled /= n;
+  row.conventional_dropped /= n;
+  row.dd_dropped /= n;
+  return row;
+}
+
+PowerRow TcoStudy::run_power(WorkloadType type) const {
+  PowerRow row;
+  row.workload = type;
+  double conv_w = 0.0;
+  double dd_w = 0.0;
+  for (std::size_t r = 0; r < config_.repetitions; ++r) {
+    const auto out = run_once(type, config_.seed + r);
+    conv_w += out.conv_power_w;
+    dd_w += out.dd_power_w;
+  }
+  row.conventional_norm = 1.0;
+  row.dredbox_norm = conv_w > 0 ? dd_w / conv_w : 1.0;
+  const auto n = static_cast<double>(config_.repetitions);
+  row.conventional_watts = conv_w / n;
+  row.dredbox_watts = dd_w / n;
+  return row;
+}
+
+std::vector<PowerOffRow> TcoStudy::run_poweroff_all() const {
+  std::vector<PowerOffRow> rows;
+  for (WorkloadType type : all_workload_types()) rows.push_back(run_poweroff(type));
+  return rows;
+}
+
+std::vector<PowerRow> TcoStudy::run_power_all() const {
+  std::vector<PowerRow> rows;
+  for (WorkloadType type : all_workload_types()) rows.push_back(run_power(type));
+  return rows;
+}
+
+std::string TcoStudy::describe_datacenters() const {
+  return "conventional: " + std::to_string(config_.servers) + " servers x (" +
+         std::to_string(config_.cores_per_server) + " cores, " +
+         std::to_string(config_.ram_gb_per_server) + " GB)\n" + "dReDBox:      " +
+         std::to_string(config_.compute_bricks()) + " dCOMPUBRICKs x " +
+         std::to_string(config_.cores_per_compute_brick) + " cores + " +
+         std::to_string(config_.memory_bricks()) + " dMEMBRICKs x " +
+         std::to_string(config_.ram_gb_per_memory_brick) + " GB  (equal aggregates: " +
+         std::to_string(config_.servers * config_.cores_per_server) + " cores, " +
+         std::to_string(static_cast<std::uint64_t>(config_.servers) *
+                        config_.ram_gb_per_server) +
+         " GB)";
+}
+
+}  // namespace dredbox::tco

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tco/conventional_dc.hpp"
+#include "tco/disaggregated_dc.hpp"
+#include "tco/workload.hpp"
+
+namespace dredbox::tco {
+
+/// Per-unit power draw for the TCO energy study. To isolate the effect the
+/// paper studies — energy saved by powering off unutilized units — the
+/// conventional server is modelled as drawing exactly the power of its
+/// brick-equivalent resource set (cores_per_server / cores_per_brick
+/// compute bricks plus the analogous memory bricks). Any other choice
+/// would mix an architectural power delta into the normalized Fig. 13
+/// numbers.
+struct TcoPowerModel {
+  double compute_brick_w = 22.0;
+  double memory_brick_w = 18.0;
+  /// Optical switch share attributed to each *active* brick (2 ports at
+  /// ~100 mW each, Section III).
+  double switch_share_per_active_brick_w = 0.2;
+};
+
+/// Deployment shapes of Fig. 11: both datacenters hold the same aggregate
+/// compute and memory.
+struct TcoConfig {
+  std::size_t servers = 64;
+  std::size_t cores_per_server = 32;
+  std::uint64_t ram_gb_per_server = 32;
+  std::size_t cores_per_compute_brick = 8;
+  std::uint64_t ram_gb_per_memory_brick = 8;
+  /// Aggregate demand of the generated workload, as a fraction of the
+  /// binding resource.
+  double target_utilization = 0.85;
+  std::size_t repetitions = 10;
+  std::uint64_t seed = 42;
+  TcoPowerModel power;
+
+  std::size_t compute_bricks() const {
+    return servers * cores_per_server / cores_per_compute_brick;
+  }
+  std::size_t memory_bricks() const {
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(servers) * ram_gb_per_server /
+                                    ram_gb_per_memory_brick);
+  }
+  double server_equivalent_w() const {
+    const double nc = static_cast<double>(cores_per_server) /
+                      static_cast<double>(cores_per_compute_brick);
+    const double nm = static_cast<double>(ram_gb_per_server) /
+                      static_cast<double>(ram_gb_per_memory_brick);
+    return nc * power.compute_brick_w + nm * power.memory_brick_w;
+  }
+};
+
+/// One Fig. 12 row: fraction of individually powered units that can be
+/// powered off after scheduling, averaged over repetitions.
+struct PowerOffRow {
+  WorkloadType workload;
+  double conventional_off = 0.0;   // fraction of servers
+  double dd_compute_off = 0.0;     // fraction of dCOMPUBRICKs
+  double dd_memory_off = 0.0;      // fraction of dMEMBRICKs
+  double dd_combined_off = 0.0;    // fraction of all bricks
+  double vms_scheduled = 0.0;      // mean workload size
+  double conventional_dropped = 0.0;  // VMs the conventional DC failed to place
+  double dd_dropped = 0.0;
+};
+
+/// One Fig. 13 row: power normalized to the conventional datacenter
+/// (plus the absolute draws, used by the refresh-TCO extension).
+struct PowerRow {
+  WorkloadType workload;
+  double conventional_norm = 1.0;
+  double dredbox_norm = 1.0;
+  double conventional_watts = 0.0;
+  double dredbox_watts = 0.0;
+  double savings() const { return 1.0 - dredbox_norm; }
+};
+
+/// The Section VI simulation: FCFS-schedules the same bounded workload
+/// onto both datacenter models and accounts for power-off opportunity and
+/// resulting energy, per Table I mix.
+class TcoStudy {
+ public:
+  explicit TcoStudy(const TcoConfig& config = {});
+
+  const TcoConfig& config() const { return config_; }
+
+  PowerOffRow run_poweroff(WorkloadType type) const;
+  PowerRow run_power(WorkloadType type) const;
+
+  std::vector<PowerOffRow> run_poweroff_all() const;
+  std::vector<PowerRow> run_power_all() const;
+
+  /// Fig. 11 summary of the two resource-equivalent deployments.
+  std::string describe_datacenters() const;
+
+ private:
+  TcoConfig config_;
+
+  struct RepetitionOutcome {
+    double conv_off, dd_compute_off, dd_memory_off, dd_combined_off;
+    double conv_power_w, dd_power_w;
+    std::size_t vms, conv_dropped, dd_dropped;
+  };
+  RepetitionOutcome run_once(WorkloadType type, std::uint64_t seed) const;
+};
+
+}  // namespace dredbox::tco

@@ -1,0 +1,83 @@
+#include "tco/workload.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::tco {
+
+std::string to_string(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kRandom:
+      return "Random";
+    case WorkloadType::kHighRam:
+      return "High RAM";
+    case WorkloadType::kHighCpu:
+      return "High CPU";
+    case WorkloadType::kHalfHalf:
+      return "Half Half";
+    case WorkloadType::kMoreRam:
+      return "More Ram";
+    case WorkloadType::kMoreCpu:
+      return "More CPU";
+  }
+  return "<unknown workload>";
+}
+
+std::vector<WorkloadType> all_workload_types() {
+  return {WorkloadType::kRandom,   WorkloadType::kHighRam, WorkloadType::kHighCpu,
+          WorkloadType::kHalfHalf, WorkloadType::kMoreRam, WorkloadType::kMoreCpu};
+}
+
+WorkloadRanges ranges_for(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kRandom:
+      return {1, 32, 1, 32};
+    case WorkloadType::kHighRam:
+      return {1, 8, 24, 32};
+    case WorkloadType::kHighCpu:
+      return {24, 32, 1, 8};
+    case WorkloadType::kHalfHalf:
+      return {16, 16, 16, 16};
+    case WorkloadType::kMoreRam:
+      return {1, 6, 17, 32};
+    case WorkloadType::kMoreCpu:
+      return {17, 32, 1, 16};
+  }
+  throw std::invalid_argument("ranges_for: unknown workload type");
+}
+
+VmSpec WorkloadGenerator::next(sim::Rng& rng) const {
+  VmSpec spec;
+  spec.vcpus = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(ranges_.cpu_lo),
+                      static_cast<std::int64_t>(ranges_.cpu_hi)));
+  spec.ram_gb = static_cast<std::uint64_t>(
+      rng.uniform_int(static_cast<std::int64_t>(ranges_.ram_lo_gb),
+                      static_cast<std::int64_t>(ranges_.ram_hi_gb)));
+  return spec;
+}
+
+std::vector<VmSpec> WorkloadGenerator::generate_bounded(sim::Rng& rng, std::size_t total_cores,
+                                                        std::uint64_t total_ram_gb,
+                                                        double target_utilization) const {
+  if (target_utilization <= 0.0 || target_utilization > 1.0) {
+    throw std::invalid_argument("generate_bounded: target utilization outside (0, 1]");
+  }
+  const auto core_budget =
+      static_cast<std::size_t>(target_utilization * static_cast<double>(total_cores));
+  const auto ram_budget =
+      static_cast<std::uint64_t>(target_utilization * static_cast<double>(total_ram_gb));
+
+  std::vector<VmSpec> workload;
+  std::size_t cores = 0;
+  std::uint64_t ram = 0;
+  for (;;) {
+    const VmSpec spec = next(rng);
+    if (cores + spec.vcpus > core_budget || ram + spec.ram_gb > ram_budget) break;
+    cores += spec.vcpus;
+    ram += spec.ram_gb;
+    workload.push_back(spec);
+  }
+  return workload;
+}
+
+}  // namespace dredbox::tco

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace dredbox::tco {
+
+/// The six VM workload mixes of Table I.
+enum class WorkloadType : std::uint8_t {
+  kRandom,    // 1-32 cores, 1-32 GB
+  kHighRam,   // 1-8 cores, 24-32 GB
+  kHighCpu,   // 24-32 cores, 1-8 GB
+  kHalfHalf,  // 16 cores, 16 GB
+  kMoreRam,   // 1-6 cores, 17-32 GB
+  kMoreCpu,   // 17-32 cores, 1-16 GB
+};
+
+std::string to_string(WorkloadType type);
+std::vector<WorkloadType> all_workload_types();
+
+/// Inclusive vCPU/RAM ranges for one mix (the rows of Table I).
+struct WorkloadRanges {
+  std::size_t cpu_lo = 1;
+  std::size_t cpu_hi = 32;
+  std::uint64_t ram_lo_gb = 1;
+  std::uint64_t ram_hi_gb = 32;
+};
+
+WorkloadRanges ranges_for(WorkloadType type);
+
+/// Resource requirements of one VM in the TCO study.
+struct VmSpec {
+  std::size_t vcpus = 1;
+  std::uint64_t ram_gb = 1;
+};
+
+/// Draws VM specs uniformly within a mix's ranges.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadType type) : type_{type}, ranges_{ranges_for(type)} {}
+
+  WorkloadType type() const { return type_; }
+  const WorkloadRanges& ranges() const { return ranges_; }
+
+  VmSpec next(sim::Rng& rng) const;
+
+  /// Generates VMs until admitting one more would push either aggregate
+  /// vCPUs past `target_utilization * total_cores` or aggregate RAM past
+  /// `target_utilization * total_ram_gb` — the "given workload" both
+  /// datacenter types then schedule (Section VI).
+  std::vector<VmSpec> generate_bounded(sim::Rng& rng, std::size_t total_cores,
+                                       std::uint64_t total_ram_gb,
+                                       double target_utilization) const;
+
+ private:
+  WorkloadType type_;
+  WorkloadRanges ranges_;
+};
+
+}  // namespace dredbox::tco

@@ -1,0 +1,140 @@
+#include "core/datacenter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::core {
+namespace {
+
+using sim::Time;
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+DatacenterConfig small_config() {
+  DatacenterConfig cfg;
+  cfg.trays = 2;
+  cfg.compute_bricks_per_tray = 1;
+  cfg.memory_bricks_per_tray = 1;
+  cfg.accelerator_bricks_per_tray = 1;
+  return cfg;
+}
+
+TEST(DatacenterTest, ConstructionBuildsFullStack) {
+  Datacenter dc{small_config()};
+  EXPECT_EQ(dc.compute_bricks().size(), 2u);
+  EXPECT_EQ(dc.memory_bricks().size(), 2u);
+  EXPECT_EQ(dc.accelerator_bricks().size(), 2u);
+  EXPECT_EQ(dc.rack().tray_count(), 2u);
+  // Per-compute-brick software stack is wired.
+  for (hw::BrickId cb : dc.compute_bricks()) {
+    EXPECT_NO_THROW(dc.os_of(cb));
+    EXPECT_NO_THROW(dc.hypervisor_of(cb));
+    EXPECT_NO_THROW(dc.agent_of(cb));
+    EXPECT_TRUE(dc.sdm().has_agent(cb));
+  }
+  // Every brick carries an MBO.
+  for (hw::BrickId b : dc.rack().all_bricks()) {
+    EXPECT_EQ(dc.mbo_of(b).channel_count(), 8u);
+  }
+}
+
+TEST(DatacenterTest, NonComputeBrickStackLookupThrows) {
+  Datacenter dc{small_config()};
+  const hw::BrickId mem = dc.memory_bricks().front();
+  EXPECT_THROW(dc.os_of(mem), std::out_of_range);
+  EXPECT_THROW(dc.hypervisor_of(mem), std::out_of_range);
+  EXPECT_THROW(dc.mbo_of(hw::BrickId{999}), std::out_of_range);
+}
+
+TEST(DatacenterTest, BootVmEndToEnd) {
+  Datacenter dc{small_config()};
+  const auto result = dc.boot_vm("guest", 2, 2 * kGiB);
+  ASSERT_TRUE(result.ok) << result.error;
+  auto& hv = dc.hypervisor_of(result.compute);
+  EXPECT_TRUE(hv.has_vm(result.vm));
+  EXPECT_EQ(dc.openstack().active_instances(), 1u);
+}
+
+TEST(DatacenterTest, ScaleUpEndToEndTouchesEveryLayer) {
+  Datacenter dc{small_config()};
+  const auto vm = dc.boot_vm("guest", 1, kGiB);
+  ASSERT_TRUE(vm.ok);
+  const auto up = dc.scale_up(vm.vm, vm.compute, 2 * kGiB);
+  ASSERT_TRUE(up.ok) << up.error;
+  // Hypervisor: guest grew.
+  EXPECT_EQ(dc.hypervisor_of(vm.compute).vm(vm.vm).hotplugged_bytes(), 2 * kGiB);
+  // OS: remote region online.
+  EXPECT_EQ(dc.os_of(vm.compute).remote_bytes(), 2 * kGiB);
+  // Fabric: attachment live. The SDM-C prefers the same-tray dMEMBRICK,
+  // so the traffic rides the tray's electrical circuit and the optical
+  // switch stays untouched.
+  EXPECT_EQ(dc.fabric().attached_bytes(vm.compute), 2 * kGiB);
+  const auto attachments = dc.fabric().attachments_of(vm.compute);
+  ASSERT_EQ(attachments.size(), 1u);
+  EXPECT_EQ(attachments[0].medium, memsys::LinkMedium::kElectrical);
+  EXPECT_EQ(dc.optical_switch().ports_in_use(), 0u);
+  // RMST entry installed.
+  EXPECT_EQ(dc.rack().compute_brick(vm.compute).tgl().rmst().size(), 1u);
+}
+
+TEST(DatacenterTest, RemoteReadAfterScaleUp) {
+  Datacenter dc{small_config()};
+  const auto vm = dc.boot_vm("guest", 1, kGiB);
+  ASSERT_TRUE(vm.ok);
+  const auto up = dc.scale_up(vm.vm, vm.compute, kGiB);
+  ASSERT_TRUE(up.ok);
+  const auto attachments = dc.fabric().attachments_of(vm.compute);
+  ASSERT_EQ(attachments.size(), 1u);
+  const auto tx = dc.remote_read(vm.compute, attachments[0].compute_base + 64, 64);
+  EXPECT_TRUE(tx.ok());
+  EXPECT_LT(tx.round_trip(), Time::us(1));
+}
+
+TEST(DatacenterTest, ScaleDownRestoresState) {
+  Datacenter dc{small_config()};
+  const auto vm = dc.boot_vm("guest", 1, kGiB);
+  ASSERT_TRUE(vm.ok);
+  const auto up = dc.scale_up(vm.vm, vm.compute, 2 * kGiB);
+  ASSERT_TRUE(up.ok);
+  const auto down = dc.scale_down(vm.vm, vm.compute, up.segment);
+  ASSERT_TRUE(down.ok) << down.error;
+  EXPECT_EQ(dc.fabric().attached_bytes(vm.compute), 0u);
+  EXPECT_EQ(dc.os_of(vm.compute).remote_bytes(), 0u);
+  EXPECT_EQ(dc.optical_switch().ports_in_use(), 0u);
+}
+
+TEST(DatacenterTest, PacketNetworkReachesAllMemoryBricks) {
+  Datacenter dc{small_config()};
+  for (hw::BrickId cb : dc.compute_bricks()) {
+    for (hw::BrickId mb : dc.memory_bricks()) {
+      const auto pkt = dc.packet_network().remote_read(cb, mb, 0x0, 64, Time::zero());
+      EXPECT_GT(pkt.latency(), Time::zero());
+    }
+  }
+}
+
+TEST(DatacenterTest, PowerDrawRespondsToActivity) {
+  Datacenter dc{small_config()};
+  const double idle = dc.power_draw_watts();
+  const auto vm = dc.boot_vm("guest", 1, kGiB);
+  ASSERT_TRUE(vm.ok);
+  const auto up = dc.scale_up(vm.vm, vm.compute, kGiB);
+  ASSERT_TRUE(up.ok);
+  EXPECT_GT(dc.power_draw_watts(), idle);
+}
+
+TEST(DatacenterTest, AdvanceToMovesClockForward) {
+  Datacenter dc{small_config()};
+  dc.advance_to(Time::sec(5));
+  EXPECT_EQ(dc.simulator().now(), Time::sec(5));
+  dc.advance_to(Time::sec(2));  // no-op into the past
+  EXPECT_EQ(dc.simulator().now(), Time::sec(5));
+}
+
+TEST(DatacenterTest, DescribeMentionsInventory) {
+  Datacenter dc{small_config()};
+  const std::string d = dc.describe();
+  EXPECT_NE(d.find("2 dCOMPUBRICKs"), std::string::npos);
+  EXPECT_NE(d.find("optical switch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dredbox::core

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/datacenter.hpp"
+
+namespace dredbox::core {
+namespace {
+
+using sim::Time;
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+TEST(DatacenterEdgeTest, RackWithoutComputeBricksRejectsBoots) {
+  DatacenterConfig cfg;
+  cfg.trays = 1;
+  cfg.compute_bricks_per_tray = 0;
+  cfg.memory_bricks_per_tray = 2;
+  Datacenter dc{cfg};
+  const auto vm = dc.boot_vm("homeless", 1, kGiB);
+  EXPECT_FALSE(vm.ok);
+  EXPECT_FALSE(vm.error.empty());
+}
+
+TEST(DatacenterEdgeTest, RackWithoutMemoryBricksLimitsToLocal) {
+  DatacenterConfig cfg;
+  cfg.trays = 1;
+  cfg.compute_bricks_per_tray = 1;
+  cfg.memory_bricks_per_tray = 0;
+  cfg.compute.local_memory_bytes = 4 * kGiB;
+  Datacenter dc{cfg};
+  // Local boots work...
+  const auto vm = dc.boot_vm("local-only", 1, 2 * kGiB);
+  ASSERT_TRUE(vm.ok);
+  // ...but there is nothing to scale up from.
+  const auto up = dc.scale_up(vm.vm, vm.compute, kGiB);
+  EXPECT_FALSE(up.ok);
+  EXPECT_NE(up.error.find("no dMEMBRICK"), std::string::npos);
+  // And booting past local memory fails cleanly.
+  const auto big = dc.boot_vm("too-big", 1, 8 * kGiB);
+  EXPECT_FALSE(big.ok);
+}
+
+TEST(DatacenterEdgeTest, CoreExhaustionReportsCleanly) {
+  DatacenterConfig cfg;
+  cfg.trays = 1;
+  cfg.compute_bricks_per_tray = 1;
+  cfg.memory_bricks_per_tray = 1;
+  cfg.compute.apu_cores = 2;
+  Datacenter dc{cfg};
+  ASSERT_TRUE(dc.boot_vm("a", 2, kGiB).ok);
+  const auto overflow = dc.boot_vm("b", 1, kGiB);
+  EXPECT_FALSE(overflow.ok);
+  EXPECT_NE(overflow.error.find("free cores"), std::string::npos);
+  EXPECT_EQ(dc.openstack().active_instances(), 1u);  // failed boot not recorded
+}
+
+TEST(DatacenterEdgeTest, PoolExhaustionAcrossManyGrants) {
+  DatacenterConfig cfg;
+  cfg.trays = 1;
+  cfg.compute_bricks_per_tray = 1;
+  cfg.memory_bricks_per_tray = 1;
+  cfg.memory.capacity_bytes = 4 * kGiB;
+  Datacenter dc{cfg};
+  const auto vm = dc.boot_vm("greedy", 1, kGiB);
+  ASSERT_TRUE(vm.ok);
+  std::size_t grants = 0;
+  for (int i = 0; i < 16; ++i) {
+    dc.advance_to(Time::sec(10.0 * (i + 1)));
+    if (!dc.scale_up(vm.vm, vm.compute, kGiB).ok) break;
+    ++grants;
+  }
+  EXPECT_EQ(grants, 4u);  // exactly the pool size
+  EXPECT_EQ(dc.fabric().attached_bytes(vm.compute), 4 * kGiB);
+}
+
+TEST(DatacenterEdgeTest, ScaleDownOfUnknownSegmentFailsWithoutDamage) {
+  DatacenterConfig cfg;
+  cfg.trays = 1;
+  cfg.compute_bricks_per_tray = 1;
+  cfg.memory_bricks_per_tray = 1;
+  Datacenter dc{cfg};
+  const auto vm = dc.boot_vm("steady", 1, kGiB);
+  ASSERT_TRUE(vm.ok);
+  const auto bogus = dc.scale_down(vm.vm, vm.compute, hw::SegmentId{4242});
+  EXPECT_FALSE(bogus.ok);
+  EXPECT_TRUE(dc.hypervisor_of(vm.compute).has_vm(vm.vm));
+}
+
+}  // namespace
+}  // namespace dredbox::core

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/pilots/network_analytics.hpp"
+#include "core/pilots/nfv.hpp"
+#include "core/pilots/video_analytics.hpp"
+
+namespace dredbox::core::pilots {
+namespace {
+
+DatacenterConfig pilot_datacenter() {
+  DatacenterConfig cfg;
+  cfg.trays = 2;
+  cfg.compute_bricks_per_tray = 2;
+  cfg.memory_bricks_per_tray = 4;
+  cfg.accelerator_bricks_per_tray = 1;
+  cfg.memory.capacity_bytes = 64ull << 30;  // 512 GiB pool
+  cfg.optical_switch.ports = 96;
+  return cfg;
+}
+
+TEST(VideoAnalyticsPilotTest, ElasticBeatsStaticOnSurges) {
+  Datacenter dc{pilot_datacenter()};
+  VideoAnalyticsConfig cfg;
+  cfg.duration_hours = 24.0;
+  cfg.max_video_hours = 50000.0;
+  VideoAnalyticsPilot pilot{cfg};
+  const auto out = pilot.run(dc);
+  ASSERT_GT(out.investigations, 0u);
+  // Elasticity lets the event-driven surges complete faster.
+  EXPECT_LT(out.elastic_mean_completion_hours, out.static_mean_completion_hours);
+  EXPECT_GT(out.speedup(), 1.0);
+  EXPECT_GT(out.scale_ups, 0u);
+  EXPECT_GT(out.elastic_peak_gb, out.static_peak_gb);
+}
+
+TEST(VideoAnalyticsPilotTest, ScaleUpDelaysAreSeconds) {
+  Datacenter dc{pilot_datacenter()};
+  VideoAnalyticsPilot pilot{};
+  const auto out = pilot.run(dc);
+  if (out.scale_ups > 0) {
+    EXPECT_GT(out.mean_scale_up_delay_s, 0.0);
+    EXPECT_LT(out.mean_scale_up_delay_s, 30.0);
+  }
+}
+
+TEST(VideoAnalyticsPilotTest, ReleasesMemoryAfterInvestigations) {
+  Datacenter dc{pilot_datacenter()};
+  VideoAnalyticsPilot pilot{};
+  const auto out = pilot.run(dc);
+  EXPECT_GT(out.scale_downs, 0u);
+}
+
+TEST(NfvPilotTest, DiurnalLoadShape) {
+  NfvKeyServerPilot pilot{};
+  // Peak at the configured hour, trough 12 hours away.
+  const double peak = pilot.load_at(pilot.config().peak_hour);
+  const double trough = pilot.load_at(pilot.config().peak_hour + 12.0);
+  EXPECT_NEAR(peak, 1.0, 1e-9);
+  EXPECT_NEAR(trough, pilot.config().night_load_fraction, 1e-9);
+  EXPECT_GT(pilot.load_at(pilot.config().peak_hour + 3.0), trough);
+}
+
+TEST(NfvPilotTest, DemandFollowsLoad) {
+  NfvKeyServerPilot pilot{};
+  EXPECT_EQ(pilot.demand_gb(0.0), pilot.config().base_memory_gb);
+  EXPECT_GE(pilot.demand_gb(1.0), pilot.config().peak_memory_gb);
+  EXPECT_LT(pilot.demand_gb(0.3), pilot.demand_gb(0.9));
+}
+
+TEST(NfvPilotTest, ElasticTracksDiurnalDemandWithoutViolations) {
+  Datacenter dc{pilot_datacenter()};
+  NfvKeyServerPilot pilot{};
+  const auto out = pilot.run(dc);
+  ASSERT_GT(out.samples, 0u);
+  // The memory-elastic key server follows the pattern up and down...
+  EXPECT_GT(out.scale_ups, 2u);
+  EXPECT_GT(out.scale_downs, 2u);
+  // ...almost never violating, unlike a mean-sized static provision.
+  EXPECT_LT(out.elastic_violation_fraction, 0.05);
+  EXPECT_GT(out.static_tight_violation_fraction, 0.2);
+}
+
+TEST(NfvPilotTest, ElasticCheaperThanPeakProvisioning) {
+  Datacenter dc{pilot_datacenter()};
+  NfvKeyServerPilot pilot{};
+  const auto out = pilot.run(dc);
+  // Scale-out is forbidden for the key DB; the alternative safe baseline
+  // is provisioning at peak. Elasticity saves a large share of GB-hours.
+  EXPECT_LT(out.elastic_gb_hours, out.static_peak_gb_hours);
+  EXPECT_GT(out.provisioning_savings(), 0.20);
+}
+
+TEST(NetworkAnalyticsPilotTest, RequiresAccelerator) {
+  DatacenterConfig cfg = pilot_datacenter();
+  cfg.accelerator_bricks_per_tray = 0;
+  Datacenter dc{cfg};
+  NetworkAnalyticsPilot pilot{};
+  EXPECT_THROW(pilot.run(dc), std::runtime_error);
+}
+
+TEST(NetworkAnalyticsPilotTest, OnlineStageKeepsUpAtLineRate) {
+  Datacenter dc{pilot_datacenter()};
+  NetworkAnalyticsConfig cfg;
+  cfg.duration_s = 600.0;
+  NetworkAnalyticsPilot pilot{cfg};
+  const auto out = pilot.run(dc);
+  EXPECT_GT(out.offered_mpkts, 0.0);
+  // The reconfigurable accelerator classifies every frame (mode a).
+  EXPECT_LT(out.online_drop_fraction, 0.01);
+  EXPECT_GT(out.accelerator_reconfig_s, 0.0);
+}
+
+TEST(NetworkAnalyticsPilotTest, ElasticOfflineAnalysisMoreResponsive) {
+  Datacenter dc{pilot_datacenter()};
+  NetworkAnalyticsConfig cfg;
+  cfg.duration_s = 1800.0;
+  NetworkAnalyticsPilot pilot{cfg};
+  const auto out = pilot.run(dc);
+  EXPECT_GT(out.marked_mpkts, 0.0);
+  // Dynamic memory keeps the offline stage continuously executing; the
+  // static buffer postpones work at peaks.
+  EXPECT_LT(out.elastic_mean_response_s, out.static_mean_response_s);
+  EXPECT_GT(out.scale_ups, 0u);
+}
+
+}  // namespace
+}  // namespace dredbox::core::pilots

@@ -1,0 +1,82 @@
+#include "core/scaleup_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::core {
+namespace {
+
+Fig10Config quick_config() {
+  Fig10Config cfg;
+  cfg.concurrency_levels = {8, 4};
+  cfg.repetitions = 2;
+  cfg.bytes_per_request = 1ull << 30;
+  return cfg;
+}
+
+TEST(ScaleUpExperimentTest, RunsAllLevels) {
+  ScaleUpAgilityExperiment exp{quick_config()};
+  const auto rows = exp.run();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].concurrency, 8u);
+  EXPECT_EQ(rows[1].concurrency, 4u);
+}
+
+TEST(ScaleUpExperimentTest, ScaleUpOrdersOfMagnitudeFasterThanScaleOut) {
+  // The Fig. 10 headline: memory expansion agility is superior in the
+  // disaggregated approach even at the most aggressive concurrency.
+  ScaleUpAgilityExperiment exp{quick_config()};
+  for (const auto& row : exp.run()) {
+    EXPECT_LT(row.scale_up_avg_s, row.scale_out_avg_s)
+        << "at concurrency " << row.concurrency;
+    EXPECT_GT(row.speedup(), 10.0);
+  }
+}
+
+TEST(ScaleUpExperimentTest, DelayGrowsWithConcurrency) {
+  Fig10Config cfg = quick_config();
+  cfg.concurrency_levels = {32, 8};
+  ScaleUpAgilityExperiment exp{cfg};
+  const auto rows = exp.run();
+  ASSERT_EQ(rows.size(), 2u);
+  // More concurrent requesters -> more queueing at the SDM-C and the
+  // per-brick hotplug lock.
+  EXPECT_GT(rows[0].scale_up_avg_s, rows[1].scale_up_avg_s);
+}
+
+TEST(ScaleUpExperimentTest, ScaleUpStaysSubTenSeconds) {
+  ScaleUpAgilityExperiment exp{quick_config()};
+  for (const auto& row : exp.run()) {
+    EXPECT_LT(row.scale_up_avg_s, 10.0);
+    EXPECT_GT(row.scale_up_avg_s, 0.0);
+    EXPECT_GE(row.scale_up_p95_s, row.scale_up_avg_s * 0.5);
+  }
+}
+
+TEST(ScaleUpExperimentTest, ScaleDownMeasured) {
+  ScaleUpAgilityExperiment exp{quick_config()};
+  for (const auto& row : exp.run()) {
+    EXPECT_GT(row.scale_down_avg_s, 0.0);
+    EXPECT_LT(row.scale_down_avg_s, 10.0);
+  }
+}
+
+TEST(ScaleUpExperimentTest, DeterministicForFixedSeed) {
+  ScaleUpAgilityExperiment a{quick_config()};
+  ScaleUpAgilityExperiment b{quick_config()};
+  const auto ra = a.run_level(4);
+  const auto rb = b.run_level(4);
+  EXPECT_DOUBLE_EQ(ra.scale_up_avg_s, rb.scale_up_avg_s);
+  EXPECT_DOUBLE_EQ(ra.scale_out_avg_s, rb.scale_out_avg_s);
+}
+
+TEST(ScaleUpExperimentTest, ConfigValidation) {
+  Fig10Config cfg = quick_config();
+  cfg.concurrency_levels = {};
+  EXPECT_THROW(ScaleUpAgilityExperiment{cfg}, std::invalid_argument);
+  cfg = quick_config();
+  cfg.repetitions = 0;
+  EXPECT_THROW(ScaleUpAgilityExperiment{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dredbox::core

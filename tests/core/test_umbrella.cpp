@@ -1,0 +1,41 @@
+// Compile-level check of the umbrella header: one include must surface
+// the whole public API, and the version constants must be sane.
+
+#include "core/dredbox.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeaderTest, VersionConstants) {
+  EXPECT_EQ(dredbox::kVersionMajor, 1);
+  EXPECT_GE(dredbox::kVersionMinor, 0);
+  EXPECT_STREQ(dredbox::kVersionString, "1.0.0");
+}
+
+TEST(UmbrellaHeaderTest, EveryLayerIsReachable) {
+  // Touch one symbol from each layer; failure here is a missing include.
+  dredbox::sim::Time t = dredbox::sim::Time::ns(1);
+  dredbox::hw::Rack rack;
+  dredbox::optics::LinkBudget lb{-3.7};
+  dredbox::net::PacketPathLatencies packet{};
+  dredbox::memsys::CircuitPathLatencies circuit{};
+  dredbox::os::HotplugTiming hotplug{};
+  dredbox::hyp::HypervisorTiming hyp{};
+  dredbox::orch::SdmTiming sdm{};
+  dredbox::tco::TcoConfig tco{};
+  dredbox::core::DatacenterConfig dc{};
+
+  EXPECT_GT(t.ticks(), 0);
+  EXPECT_EQ(rack.brick_count(), 0u);
+  EXPECT_DOUBLE_EQ(lb.launch_dbm(), -3.7);
+  EXPECT_GT(packet.line_rate_gbps, 0.0);
+  EXPECT_GT(circuit.line_rate_gbps, 0.0);
+  EXPECT_GT(hotplug.per_gib_cost, dredbox::sim::Time::zero());
+  EXPECT_GT(hyp.guest_online_per_gib, dredbox::sim::Time::zero());
+  EXPECT_GT(sdm.inspect_and_select, dredbox::sim::Time::zero());
+  EXPECT_GT(tco.servers, 0u);
+  EXPECT_GT(dc.trays, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+#include "hw/accel_brick.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::hw {
+namespace {
+
+AcceleratorBrick make_brick() { return AcceleratorBrick{BrickId{3}, TrayId{1}}; }
+
+Bitstream make_bitstream(const std::string& name = "sobel", std::uint64_t size = 16 << 20) {
+  Bitstream bs;
+  bs.name = name;
+  bs.size_bytes = size;
+  bs.kernel_ops_per_sec = 2e9;
+  return bs;
+}
+
+TEST(AccelBrickTest, FreshBrickHasEmptySlot) {
+  auto b = make_brick();
+  EXPECT_FALSE(b.active_accelerator().has_value());
+  EXPECT_EQ(b.active_bitstream(), nullptr);
+  EXPECT_TRUE(b.stored_bitstreams().empty());
+}
+
+TEST(AccelBrickTest, StoreAndListBitstreams) {
+  auto b = make_brick();
+  b.store_bitstream(make_bitstream("a"));
+  b.store_bitstream(make_bitstream("b"));
+  EXPECT_TRUE(b.has_bitstream("a"));
+  EXPECT_TRUE(b.has_bitstream("b"));
+  EXPECT_FALSE(b.has_bitstream("c"));
+  EXPECT_EQ(b.stored_bitstreams().size(), 2u);
+}
+
+TEST(AccelBrickTest, StoreValidation) {
+  auto b = make_brick();
+  EXPECT_THROW(b.store_bitstream(make_bitstream("", 100)), std::invalid_argument);
+  EXPECT_THROW(b.store_bitstream(make_bitstream("x", 0)), std::invalid_argument);
+}
+
+TEST(AccelBrickTest, ReconfigureLoadsSlot) {
+  auto b = make_brick();
+  b.store_bitstream(make_bitstream("sobel", 40 << 20));
+  const double seconds = b.reconfigure("sobel");
+  EXPECT_EQ(b.active_accelerator(), "sobel");
+  ASSERT_NE(b.active_bitstream(), nullptr);
+  // 40 MiB over 400 MB/s PCAP ~ 0.105 s.
+  EXPECT_NEAR(seconds, static_cast<double>(40 << 20) / 400e6, 1e-9);
+  EXPECT_EQ(b.registers().status, 1u);
+}
+
+TEST(AccelBrickTest, ReconfigureUnknownThrows) {
+  auto b = make_brick();
+  EXPECT_THROW(b.reconfigure("ghost"), std::logic_error);
+}
+
+TEST(AccelBrickTest, ReconfigureWhilePoweredOffThrows) {
+  auto b = make_brick();
+  b.store_bitstream(make_bitstream());
+  b.power_off();
+  EXPECT_THROW(b.reconfigure("sobel"), std::logic_error);
+}
+
+TEST(AccelBrickTest, ReconfigureSwapsAccelerators) {
+  auto b = make_brick();
+  b.store_bitstream(make_bitstream("a"));
+  b.store_bitstream(make_bitstream("b"));
+  b.reconfigure("a");
+  b.reconfigure("b");
+  EXPECT_EQ(b.active_accelerator(), "b");
+}
+
+TEST(AccelBrickTest, OffloadRunsKernel) {
+  auto b = make_brick();
+  b.store_bitstream(make_bitstream("k", 1 << 20));
+  b.reconfigure("k");
+  const double seconds = b.offload(4'000'000'000ull);
+  EXPECT_NEAR(seconds, 2.0, 1e-9);  // 4e9 ops at 2e9 ops/s
+  EXPECT_EQ(b.registers().processed_items, 4'000'000'000ull);
+  EXPECT_EQ(b.registers().status, 1u);
+}
+
+TEST(AccelBrickTest, OffloadWithoutAcceleratorThrows) {
+  auto b = make_brick();
+  EXPECT_THROW(b.offload(100), std::logic_error);
+}
+
+TEST(AccelBrickTest, BadPcapBandwidthRejected) {
+  AccelBrickConfig cfg;
+  cfg.pcap_bandwidth_bytes_per_sec = 0;
+  EXPECT_THROW(AcceleratorBrick(BrickId{1}, TrayId{1}, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dredbox::hw

@@ -1,0 +1,113 @@
+#include "hw/brick.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/compute_brick.hpp"
+
+namespace dredbox::hw {
+namespace {
+
+ComputeBrick make_brick(std::size_t ports = 8) {
+  ComputeBrickConfig cfg;
+  cfg.transceiver_ports = ports;
+  return ComputeBrick{BrickId{1}, TrayId{1}, cfg};
+}
+
+TEST(BrickTest, ConstructionPopulatesPorts) {
+  auto b = make_brick(6);
+  EXPECT_EQ(b.port_count(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(b.port(i).circuit_based);
+    EXPECT_FALSE(b.port(i).connected);
+    EXPECT_EQ(b.port(i).id, PortId{static_cast<std::uint32_t>(i)});
+  }
+}
+
+TEST(BrickTest, KindAndDescribe) {
+  auto b = make_brick();
+  EXPECT_EQ(b.kind(), BrickKind::kCompute);
+  EXPECT_NE(b.describe().find("dCOMPUBRICK"), std::string::npos);
+  EXPECT_EQ(to_string(BrickKind::kMemory), "dMEMBRICK");
+  EXPECT_EQ(to_string(BrickKind::kAccelerator), "dACCELBRICK");
+}
+
+TEST(BrickTest, PowerStateTransitions) {
+  auto b = make_brick();
+  EXPECT_EQ(b.power_state(), PowerState::kIdle);
+  b.set_active(true);
+  EXPECT_EQ(b.power_state(), PowerState::kActive);
+  b.set_active(false);
+  EXPECT_EQ(b.power_state(), PowerState::kIdle);
+  b.power_off();
+  EXPECT_EQ(b.power_state(), PowerState::kOff);
+  EXPECT_FALSE(b.is_powered());
+  b.power_on();
+  EXPECT_TRUE(b.is_powered());
+}
+
+TEST(BrickTest, SetActiveWhileOffThrows) {
+  auto b = make_brick();
+  b.power_off();
+  EXPECT_THROW(b.set_active(true), std::logic_error);
+}
+
+TEST(BrickTest, PowerOffWithConnectedPortThrows) {
+  auto b = make_brick();
+  b.port(0).connected = true;
+  EXPECT_THROW(b.power_off(), std::logic_error);
+  b.port(0).connected = false;
+  EXPECT_NO_THROW(b.power_off());
+}
+
+TEST(BrickTest, FindFreePortSkipsConnected) {
+  auto b = make_brick(3);
+  b.port(0).connected = true;
+  TransceiverPort* p = b.find_free_port(true);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->id, PortId{1});
+  EXPECT_EQ(b.free_port_count(true), 2u);
+}
+
+TEST(BrickTest, FindFreePortByKind) {
+  auto b = make_brick(4);
+  b.dedicate_packet_ports(2);
+  EXPECT_EQ(b.free_port_count(false), 2u);
+  EXPECT_EQ(b.free_port_count(true), 2u);
+  TransceiverPort* pbn = b.find_free_port(false);
+  ASSERT_NE(pbn, nullptr);
+  EXPECT_FALSE(pbn->circuit_based);
+}
+
+TEST(BrickTest, AllPortsBusyReturnsNull) {
+  auto b = make_brick(2);
+  b.port(0).connected = true;
+  b.port(1).connected = true;
+  EXPECT_EQ(b.find_free_port(true), nullptr);
+}
+
+TEST(BrickTest, DedicatePacketPortsValidation) {
+  auto b = make_brick(4);
+  EXPECT_THROW(b.dedicate_packet_ports(5), std::invalid_argument);
+  b.port(0).connected = true;
+  EXPECT_THROW(b.dedicate_packet_ports(1), std::logic_error);
+}
+
+TEST(IdTest, ValidityAndComparison) {
+  BrickId invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_EQ(invalid.to_string(), "<invalid>");
+  BrickId a{3}, b{3}, c{4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  EXPECT_EQ(a.to_string(), "3");
+}
+
+TEST(IdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<BrickId, TrayId>);
+  static_assert(!std::is_same_v<SegmentId, PortId>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace dredbox::hw

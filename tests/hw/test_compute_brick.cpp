@@ -1,0 +1,99 @@
+#include "hw/compute_brick.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::hw {
+namespace {
+
+ComputeBrick make_brick() { return ComputeBrick{BrickId{1}, TrayId{1}}; }
+
+TEST(ComputeBrickTest, DefaultsMatchZynqUltrascale) {
+  auto b = make_brick();
+  EXPECT_EQ(b.apu_cores(), 4u);           // quad-core A53 APU
+  EXPECT_EQ(b.config().rpu_cores, 2u);    // dual-core R5 RPU
+  EXPECT_EQ(b.port_count(), 8u);          // GTH lanes
+  EXPECT_EQ(b.kind(), BrickKind::kCompute);
+}
+
+TEST(ComputeBrickTest, CoreReservation) {
+  auto b = make_brick();
+  EXPECT_EQ(b.cores_free(), 4u);
+  b.reserve_cores(3);
+  EXPECT_EQ(b.cores_in_use(), 3u);
+  EXPECT_EQ(b.cores_free(), 1u);
+  EXPECT_EQ(b.power_state(), PowerState::kActive);
+  b.release_cores(3);
+  EXPECT_EQ(b.cores_free(), 4u);
+  EXPECT_EQ(b.power_state(), PowerState::kIdle);
+}
+
+TEST(ComputeBrickTest, OverReservationThrows) {
+  auto b = make_brick();
+  b.reserve_cores(4);
+  EXPECT_THROW(b.reserve_cores(1), std::logic_error);
+  EXPECT_THROW(b.release_cores(5), std::logic_error);
+}
+
+TEST(ComputeBrickTest, ZeroCoreConfigRejected) {
+  ComputeBrickConfig cfg;
+  cfg.apu_cores = 0;
+  EXPECT_THROW(ComputeBrick(BrickId{1}, TrayId{1}, cfg), std::invalid_argument);
+}
+
+TEST(ComputeBrickTest, RemoteAddressDecode) {
+  auto b = make_brick();
+  const std::uint64_t base = b.config().remote_window_base;
+  EXPECT_FALSE(b.is_remote_address(0));
+  EXPECT_FALSE(b.is_remote_address(base - 1));
+  EXPECT_TRUE(b.is_remote_address(base));
+  EXPECT_TRUE(b.is_remote_address(base + (1ull << 30)));
+}
+
+TEST(ComputeBrickTest, FindRemoteWindowStartsAtBase) {
+  auto b = make_brick();
+  EXPECT_EQ(b.find_remote_window(1ull << 30), b.config().remote_window_base);
+}
+
+TEST(ComputeBrickTest, FindRemoteWindowSkipsMappedRanges) {
+  auto b = make_brick();
+  const std::uint64_t base = b.config().remote_window_base;
+  RmstEntry e;
+  e.segment = SegmentId{1};
+  e.base = base;
+  e.size = 2ull << 30;
+  e.dest_brick = BrickId{9};
+  b.tgl().rmst().insert(e);
+  EXPECT_EQ(b.find_remote_window(1ull << 30), base + (2ull << 30));
+}
+
+TEST(ComputeBrickTest, FindRemoteWindowFillsGaps) {
+  auto b = make_brick();
+  const std::uint64_t base = b.config().remote_window_base;
+  RmstEntry lo;
+  lo.segment = SegmentId{1};
+  lo.base = base;
+  lo.size = 1ull << 30;
+  lo.dest_brick = BrickId{9};
+  RmstEntry hi;
+  hi.segment = SegmentId{2};
+  hi.base = base + (4ull << 30);
+  hi.size = 1ull << 30;
+  hi.dest_brick = BrickId{9};
+  b.tgl().rmst().insert(lo);
+  b.tgl().rmst().insert(hi);
+  // A 3 GiB gap sits between the mappings; a 2 GiB request fits there.
+  EXPECT_EQ(b.find_remote_window(2ull << 30), base + (1ull << 30));
+  // An 8 GiB request does not fit in the gap and goes above.
+  EXPECT_EQ(b.find_remote_window(8ull << 30), base + (5ull << 30));
+}
+
+TEST(ComputeBrickTest, DescribeResourcesMentionsCounts) {
+  auto b = make_brick();
+  b.reserve_cores(2);
+  const std::string d = b.describe_resources();
+  EXPECT_NE(d.find("cores=2/4"), std::string::npos);
+  EXPECT_NE(d.find("rmst=0/"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dredbox::hw

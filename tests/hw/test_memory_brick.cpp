@@ -1,0 +1,172 @@
+#include "hw/memory_brick.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace dredbox::hw {
+namespace {
+
+MemoryBrick make_brick(std::uint64_t capacity = 32ull << 30) {
+  MemoryBrickConfig cfg;
+  cfg.capacity_bytes = capacity;
+  return MemoryBrick{BrickId{2}, TrayId{1}, cfg};
+}
+
+TEST(MemoryBrickTest, FreshBrickIsEmpty) {
+  auto b = make_brick();
+  EXPECT_EQ(b.allocated_bytes(), 0u);
+  EXPECT_EQ(b.free_bytes(), 32ull << 30);
+  EXPECT_EQ(b.largest_free_extent(), 32ull << 30);
+  EXPECT_TRUE(b.segments().empty());
+}
+
+TEST(MemoryBrickTest, AllocateCarvesSegment) {
+  auto b = make_brick();
+  auto seg = b.allocate(4ull << 30, BrickId{1});
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_EQ(seg->size, 4ull << 30);
+  EXPECT_EQ(seg->owner, BrickId{1});
+  EXPECT_EQ(b.allocated_bytes(), 4ull << 30);
+  EXPECT_EQ(b.free_bytes(), 28ull << 30);
+}
+
+TEST(MemoryBrickTest, AllocationsDoNotOverlap) {
+  auto b = make_brick();
+  auto s1 = b.allocate(1ull << 30, BrickId{1});
+  auto s2 = b.allocate(1ull << 30, BrickId{1});
+  ASSERT_TRUE(s1 && s2);
+  EXPECT_NE(s1->id, s2->id);
+  const bool disjoint = s1->end() <= s2->base || s2->end() <= s1->base;
+  EXPECT_TRUE(disjoint);
+}
+
+TEST(MemoryBrickTest, OversizedAllocationFailsCleanly) {
+  auto b = make_brick(2ull << 30);
+  EXPECT_FALSE(b.allocate(3ull << 30, BrickId{1}).has_value());
+  EXPECT_EQ(b.allocated_bytes(), 0u);
+}
+
+TEST(MemoryBrickTest, ZeroAllocationThrows) {
+  auto b = make_brick();
+  EXPECT_THROW(b.allocate(0, BrickId{1}), std::invalid_argument);
+}
+
+TEST(MemoryBrickTest, ReleaseReturnsCapacity) {
+  auto b = make_brick();
+  auto seg = b.allocate(8ull << 30, BrickId{1});
+  ASSERT_TRUE(seg);
+  EXPECT_TRUE(b.release(seg->id));
+  EXPECT_EQ(b.allocated_bytes(), 0u);
+  EXPECT_EQ(b.largest_free_extent(), 32ull << 30);
+  EXPECT_FALSE(b.release(seg->id));  // double release
+}
+
+TEST(MemoryBrickTest, FreeListCoalesces) {
+  auto b = make_brick(4ull << 30);
+  auto s1 = b.allocate(1ull << 30, BrickId{1});
+  auto s2 = b.allocate(1ull << 30, BrickId{1});
+  auto s3 = b.allocate(1ull << 30, BrickId{1});
+  auto s4 = b.allocate(1ull << 30, BrickId{1});
+  ASSERT_TRUE(s1 && s2 && s3 && s4);
+  EXPECT_EQ(b.largest_free_extent(), 0u);
+  // Release alternating then the middle: should coalesce back to one run.
+  b.release(s2->id);
+  b.release(s4->id);
+  EXPECT_EQ(b.largest_free_extent(), 1ull << 30);
+  b.release(s3->id);
+  EXPECT_EQ(b.largest_free_extent(), 3ull << 30);
+  b.release(s1->id);
+  EXPECT_EQ(b.largest_free_extent(), 4ull << 30);
+}
+
+TEST(MemoryBrickTest, FragmentationBlocksLargeAllocation) {
+  auto b = make_brick(3ull << 30);
+  auto s1 = b.allocate(1ull << 30, BrickId{1});
+  auto s2 = b.allocate(1ull << 30, BrickId{1});
+  auto s3 = b.allocate(1ull << 30, BrickId{1});
+  ASSERT_TRUE(s1 && s2 && s3);
+  b.release(s1->id);
+  b.release(s3->id);
+  // 2 GiB free but only 1 GiB contiguous.
+  EXPECT_EQ(b.free_bytes(), 2ull << 30);
+  EXPECT_EQ(b.largest_free_extent(), 1ull << 30);
+  EXPECT_FALSE(b.allocate(2ull << 30, BrickId{1}).has_value());
+}
+
+TEST(MemoryBrickTest, BytesOwnedByTracksPerConsumer) {
+  auto b = make_brick();
+  b.allocate(2ull << 30, BrickId{1});
+  b.allocate(3ull << 30, BrickId{5});
+  b.allocate(1ull << 30, BrickId{1});
+  EXPECT_EQ(b.bytes_owned_by(BrickId{1}), 3ull << 30);
+  EXPECT_EQ(b.bytes_owned_by(BrickId{5}), 3ull << 30);
+  EXPECT_EQ(b.bytes_owned_by(BrickId{7}), 0u);
+}
+
+TEST(MemoryBrickTest, ActiveWhenHoldingSegments) {
+  auto b = make_brick();
+  EXPECT_EQ(b.power_state(), PowerState::kIdle);
+  auto seg = b.allocate(1ull << 30, BrickId{1});
+  EXPECT_EQ(b.power_state(), PowerState::kActive);
+  b.release(seg->id);
+  EXPECT_EQ(b.power_state(), PowerState::kIdle);
+}
+
+TEST(MemoryBrickTest, TechnologyNames) {
+  EXPECT_EQ(to_string(MemoryTechnology::kDdr4), "DDR4");
+  EXPECT_EQ(to_string(MemoryTechnology::kHmc), "HMC");
+}
+
+TEST(MemoryBrickTest, ConfigValidation) {
+  MemoryBrickConfig cfg;
+  cfg.capacity_bytes = 0;
+  EXPECT_THROW(MemoryBrick(BrickId{1}, TrayId{1}, cfg), std::invalid_argument);
+  cfg.capacity_bytes = 1 << 30;
+  cfg.memory_controllers = 0;
+  EXPECT_THROW(MemoryBrick(BrickId{1}, TrayId{1}, cfg), std::invalid_argument);
+}
+
+/// Property: after any interleaving of allocations and releases, the
+/// accounting identities hold and no two live segments overlap.
+class MemoryBrickPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemoryBrickPropertyTest, AccountingInvariants) {
+  sim::Rng rng{GetParam()};
+  auto b = make_brick(16ull << 30);
+  std::vector<SegmentId> live;
+  for (int step = 0; step < 300; ++step) {
+    if (live.empty() || rng.chance(0.6)) {
+      const std::uint64_t size = (1ull << 20)
+                                 << static_cast<std::uint64_t>(rng.uniform_int(0, 10));
+      auto seg = b.allocate(size, BrickId{1});
+      if (seg) live.push_back(seg->id);
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      EXPECT_TRUE(b.release(live[idx]));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    // Identity: allocated + free == capacity.
+    EXPECT_EQ(b.allocated_bytes() + b.free_bytes(), b.capacity_bytes());
+    // Identity: sum of live segment sizes == allocated.
+    std::uint64_t sum = 0;
+    for (const auto& s : b.segments()) sum += s.size;
+    EXPECT_EQ(sum, b.allocated_bytes());
+    // No overlap among live segments.
+    const auto& segs = b.segments();
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      for (std::size_t j = i + 1; j < segs.size(); ++j) {
+        const bool disjoint =
+            segs[i].end() <= segs[j].base || segs[j].end() <= segs[i].base;
+        ASSERT_TRUE(disjoint);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryBrickPropertyTest,
+                         ::testing::Values(3u, 7u, 11u, 19u, 23u, 31u));
+
+}  // namespace
+}  // namespace dredbox::hw

@@ -1,0 +1,152 @@
+#include "hw/rmst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace dredbox::hw {
+namespace {
+
+RmstEntry entry(std::uint32_t seg, std::uint64_t base, std::uint64_t size) {
+  RmstEntry e;
+  e.segment = SegmentId{seg};
+  e.base = base;
+  e.size = size;
+  e.dest_brick = BrickId{9};
+  e.dest_base = 0x1000;
+  e.out_port = PortId{0};
+  e.circuit = CircuitId{1};
+  return e;
+}
+
+TEST(RmstTest, InsertAndLookup) {
+  Rmst rmst;
+  rmst.insert(entry(1, 0x1000, 0x1000));
+  auto hit = rmst.lookup(0x1800);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->segment, SegmentId{1});
+  EXPECT_FALSE(rmst.lookup(0x0FFF).has_value());
+  EXPECT_FALSE(rmst.lookup(0x2000).has_value());  // end is exclusive
+}
+
+TEST(RmstTest, LookupBoundaries) {
+  Rmst rmst;
+  rmst.insert(entry(1, 0x1000, 0x1000));
+  EXPECT_TRUE(rmst.lookup(0x1000).has_value());   // first byte
+  EXPECT_TRUE(rmst.lookup(0x1FFF).has_value());   // last byte
+}
+
+TEST(RmstTest, RejectsOverlap) {
+  Rmst rmst;
+  rmst.insert(entry(1, 0x1000, 0x1000));
+  EXPECT_THROW(rmst.insert(entry(2, 0x1800, 0x1000)), std::logic_error);  // tail overlap
+  EXPECT_THROW(rmst.insert(entry(2, 0x0800, 0x1000)), std::logic_error);  // head overlap
+  EXPECT_THROW(rmst.insert(entry(2, 0x1200, 0x0100)), std::logic_error);  // contained
+  EXPECT_THROW(rmst.insert(entry(2, 0x0000, 0x4000)), std::logic_error);  // containing
+}
+
+TEST(RmstTest, AdjacentWindowsAllowed) {
+  Rmst rmst;
+  rmst.insert(entry(1, 0x1000, 0x1000));
+  EXPECT_NO_THROW(rmst.insert(entry(2, 0x2000, 0x1000)));
+  EXPECT_NO_THROW(rmst.insert(entry(3, 0x0000, 0x1000)));
+}
+
+TEST(RmstTest, RejectsDuplicateSegment) {
+  Rmst rmst;
+  rmst.insert(entry(1, 0x1000, 0x1000));
+  EXPECT_THROW(rmst.insert(entry(1, 0x9000, 0x1000)), std::logic_error);
+}
+
+TEST(RmstTest, RejectsDegenerateEntries) {
+  Rmst rmst;
+  EXPECT_THROW(rmst.insert(entry(1, 0x1000, 0)), std::invalid_argument);
+  RmstEntry bad = entry(0, 0x1000, 0x100);
+  bad.segment = SegmentId{};
+  EXPECT_THROW(rmst.insert(bad), std::invalid_argument);
+  EXPECT_THROW(rmst.insert(entry(2, UINT64_MAX - 10, 0x100)), std::invalid_argument);
+}
+
+TEST(RmstTest, CapacityEnforced) {
+  Rmst rmst{2};
+  rmst.insert(entry(1, 0x0000, 0x100));
+  rmst.insert(entry(2, 0x1000, 0x100));
+  EXPECT_TRUE(rmst.full());
+  EXPECT_THROW(rmst.insert(entry(3, 0x2000, 0x100)), std::logic_error);
+}
+
+TEST(RmstTest, ZeroCapacityRejected) {
+  EXPECT_THROW(Rmst{0}, std::invalid_argument);
+}
+
+TEST(RmstTest, RemoveFreesSlot) {
+  Rmst rmst{1};
+  rmst.insert(entry(1, 0x0000, 0x100));
+  EXPECT_TRUE(rmst.remove(SegmentId{1}));
+  EXPECT_FALSE(rmst.remove(SegmentId{1}));
+  EXPECT_EQ(rmst.size(), 0u);
+  EXPECT_NO_THROW(rmst.insert(entry(2, 0x0000, 0x100)));
+}
+
+TEST(RmstTest, FindSegment) {
+  Rmst rmst;
+  rmst.insert(entry(7, 0x5000, 0x800));
+  auto found = rmst.find_segment(SegmentId{7});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->base, 0x5000u);
+  EXPECT_FALSE(rmst.find_segment(SegmentId{8}).has_value());
+}
+
+TEST(RmstTest, MappedBytes) {
+  Rmst rmst;
+  rmst.insert(entry(1, 0x0000, 0x100));
+  rmst.insert(entry(2, 0x1000, 0x200));
+  EXPECT_EQ(rmst.mapped_bytes(), 0x300u);
+  rmst.remove(SegmentId{1});
+  EXPECT_EQ(rmst.mapped_bytes(), 0x200u);
+}
+
+TEST(RmstTest, ClearEmptiesTable) {
+  Rmst rmst;
+  rmst.insert(entry(1, 0x0000, 0x100));
+  rmst.clear();
+  EXPECT_EQ(rmst.size(), 0u);
+  EXPECT_FALSE(rmst.lookup(0x50).has_value());
+}
+
+/// Property: for randomly inserted non-overlapping windows, every address
+/// inside a window resolves to that window and addresses in gaps miss.
+class RmstPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RmstPropertyTest, LookupMatchesGroundTruth) {
+  sim::Rng rng{GetParam()};
+  Rmst rmst{32};
+  std::vector<RmstEntry> truth;
+  // Windows at 1 MiB-aligned slots so non-overlap is easy to guarantee.
+  std::vector<std::uint64_t> slots;
+  for (std::uint64_t s = 0; s < 64; ++s) slots.push_back(s << 20);
+  rng.shuffle(slots);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    const std::uint64_t size = 1 + static_cast<std::uint64_t>(rng.uniform_int(0, (1 << 20) - 1));
+    auto e = entry(i + 1, slots[i], size);
+    rmst.insert(e);
+    truth.push_back(e);
+  }
+  for (const auto& e : truth) {
+    const std::uint64_t inside =
+        e.base + static_cast<std::uint64_t>(rng.uniform_int(0, static_cast<std::int64_t>(e.size) - 1));
+    auto hit = rmst.lookup(inside);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->segment, e.segment);
+    if (e.size < (1 << 20)) {
+      EXPECT_FALSE(rmst.lookup(e.base + e.size).has_value() &&
+                   rmst.lookup(e.base + e.size)->segment == e.segment);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RmstPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace dredbox::hw

@@ -1,0 +1,75 @@
+#include "hw/tgl.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::hw {
+namespace {
+
+RmstEntry entry(std::uint32_t seg, std::uint64_t base, std::uint64_t size,
+                std::uint64_t dest_base) {
+  RmstEntry e;
+  e.segment = SegmentId{seg};
+  e.base = base;
+  e.size = size;
+  e.dest_brick = BrickId{4};
+  e.dest_base = dest_base;
+  e.out_port = PortId{2};
+  e.circuit = CircuitId{5};
+  return e;
+}
+
+TEST(TglTest, RouteTranslatesAddress) {
+  TransactionGlueLogic tgl;
+  tgl.rmst().insert(entry(1, 0x10000, 0x1000, 0x500000));
+  auto route = tgl.route(0x10123);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->entry.segment, SegmentId{1});
+  EXPECT_EQ(route->remote_addr, 0x500123u);
+  EXPECT_EQ(route->entry.out_port, PortId{2});
+}
+
+TEST(TglTest, MissReturnsNullopt) {
+  TransactionGlueLogic tgl;
+  tgl.rmst().insert(entry(1, 0x10000, 0x1000, 0x500000));
+  EXPECT_FALSE(tgl.route(0x20000).has_value());
+}
+
+TEST(TglTest, CountersTrackHitsAndMisses) {
+  TransactionGlueLogic tgl;
+  tgl.rmst().insert(entry(1, 0x10000, 0x1000, 0));
+  tgl.route(0x10000);
+  tgl.route(0x10FFF);
+  tgl.route(0x99999);
+  EXPECT_EQ(tgl.hits(), 2u);
+  EXPECT_EQ(tgl.misses(), 1u);
+  tgl.reset_counters();
+  EXPECT_EQ(tgl.hits(), 0u);
+  EXPECT_EQ(tgl.misses(), 0u);
+}
+
+TEST(TglTest, MultipleSegmentsRouteIndependently) {
+  TransactionGlueLogic tgl;
+  tgl.rmst().insert(entry(1, 0x10000, 0x1000, 0xA0000));
+  tgl.rmst().insert(entry(2, 0x20000, 0x1000, 0xB0000));
+  auto r1 = tgl.route(0x10800);
+  auto r2 = tgl.route(0x20800);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(r1->remote_addr, 0xA0800u);
+  EXPECT_EQ(r2->remote_addr, 0xB0800u);
+}
+
+TEST(TglTest, RouteAfterRemoveMisses) {
+  TransactionGlueLogic tgl;
+  tgl.rmst().insert(entry(1, 0x10000, 0x1000, 0));
+  ASSERT_TRUE(tgl.route(0x10000).has_value());
+  tgl.rmst().remove(SegmentId{1});
+  EXPECT_FALSE(tgl.route(0x10000).has_value());
+}
+
+TEST(TglTest, CustomRmstCapacity) {
+  TransactionGlueLogic tgl{4};
+  EXPECT_EQ(tgl.rmst().capacity(), 4u);
+}
+
+}  // namespace
+}  // namespace dredbox::hw

@@ -1,0 +1,119 @@
+#include "hyp/vm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::hyp {
+namespace {
+
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+TEST(VmTest, BootDimmInstalledAtConstruction) {
+  VirtualMachine vm{hw::VmId{1}, 2, 2 * kGiB};
+  EXPECT_EQ(vm.vcpus(), 2u);
+  EXPECT_EQ(vm.installed_bytes(), 2 * kGiB);
+  EXPECT_EQ(vm.hotplugged_bytes(), 0u);
+  EXPECT_EQ(vm.dimms().size(), 1u);
+  EXPECT_EQ(vm.state(), VmState::kProvisioning);
+}
+
+TEST(VmTest, Validation) {
+  EXPECT_THROW(VirtualMachine(hw::VmId{1}, 0, kGiB), std::invalid_argument);
+  EXPECT_THROW(VirtualMachine(hw::VmId{1}, 1, 0), std::invalid_argument);
+}
+
+TEST(VmTest, StateTransitions) {
+  VirtualMachine vm{hw::VmId{1}, 1, kGiB};
+  vm.set_running();
+  EXPECT_EQ(vm.state(), VmState::kRunning);
+  vm.terminate();
+  EXPECT_EQ(vm.state(), VmState::kTerminated);
+  EXPECT_EQ(to_string(VmState::kRunning), "running");
+}
+
+TEST(VmTest, HotplugDimmGrowsGuest) {
+  VirtualMachine vm{hw::VmId{1}, 1, kGiB};
+  GuestDimm dimm;
+  dimm.size = 2 * kGiB;
+  dimm.hotplugged = true;
+  dimm.backing_segment = hw::SegmentId{7};
+  vm.add_dimm(dimm);
+  EXPECT_EQ(vm.installed_bytes(), 3 * kGiB);
+  EXPECT_EQ(vm.hotplugged_bytes(), 2 * kGiB);
+}
+
+TEST(VmTest, AddDimmValidation) {
+  VirtualMachine vm{hw::VmId{1}, 1, kGiB};
+  GuestDimm empty;
+  EXPECT_THROW(vm.add_dimm(empty), std::invalid_argument);
+  vm.terminate();
+  GuestDimm ok;
+  ok.size = kGiB;
+  EXPECT_THROW(vm.add_dimm(ok), std::logic_error);
+}
+
+TEST(VmTest, RemoveDimmBySegment) {
+  VirtualMachine vm{hw::VmId{1}, 1, kGiB};
+  GuestDimm dimm;
+  dimm.size = 2 * kGiB;
+  dimm.hotplugged = true;
+  dimm.backing_segment = hw::SegmentId{7};
+  vm.add_dimm(dimm);
+  EXPECT_EQ(vm.remove_dimm(hw::SegmentId{7}), 2 * kGiB);
+  EXPECT_EQ(vm.installed_bytes(), kGiB);
+  EXPECT_EQ(vm.remove_dimm(hw::SegmentId{7}), 0u);  // already gone
+}
+
+TEST(VmTest, RemoveDimmPicksMostRecent) {
+  VirtualMachine vm{hw::VmId{1}, 1, kGiB};
+  for (std::uint64_t s : {1, 2}) {
+    GuestDimm d;
+    d.size = s * kGiB;
+    d.hotplugged = true;
+    d.backing_segment = hw::SegmentId{9};
+    vm.add_dimm(d);
+  }
+  EXPECT_EQ(vm.remove_dimm(hw::SegmentId{9}), 2 * kGiB);  // the later one
+  EXPECT_EQ(vm.remove_dimm(hw::SegmentId{9}), 1 * kGiB);
+}
+
+TEST(VmTest, RemoveDimmRejectedWhileBalloonHoldsIt) {
+  VirtualMachine vm{hw::VmId{1}, 1, kGiB};
+  GuestDimm dimm;
+  dimm.size = 2 * kGiB;
+  dimm.hotplugged = true;
+  dimm.backing_segment = hw::SegmentId{7};
+  vm.add_dimm(dimm);
+  // Balloon claims most of the guest: hot-removing the 2 GiB DIMM would
+  // leave less memory than the balloon holds.
+  vm.balloon_inflate(2 * kGiB);
+  EXPECT_THROW(vm.remove_dimm(hw::SegmentId{7}), std::logic_error);
+  // Deflating first makes the removal legal.
+  vm.balloon_deflate(2 * kGiB);
+  EXPECT_EQ(vm.remove_dimm(hw::SegmentId{7}), 2 * kGiB);
+}
+
+TEST(VmTest, BalloonInflateDeflate) {
+  VirtualMachine vm{hw::VmId{1}, 1, 4 * kGiB};
+  vm.balloon_inflate(kGiB);
+  EXPECT_EQ(vm.balloon_bytes(), kGiB);
+  EXPECT_EQ(vm.usable_bytes(), 3 * kGiB);
+  vm.balloon_deflate(kGiB);
+  EXPECT_EQ(vm.usable_bytes(), 4 * kGiB);
+}
+
+TEST(VmTest, BalloonBounds) {
+  VirtualMachine vm{hw::VmId{1}, 1, 2 * kGiB};
+  EXPECT_THROW(vm.balloon_inflate(3 * kGiB), std::logic_error);
+  vm.balloon_inflate(kGiB);
+  EXPECT_THROW(vm.balloon_deflate(2 * kGiB), std::logic_error);
+}
+
+TEST(VmTest, DescribeMentionsShape) {
+  VirtualMachine vm{hw::VmId{3}, 2, kGiB};
+  const std::string d = vm.describe();
+  EXPECT_NE(d.find("vm#3"), std::string::npos);
+  EXPECT_NE(d.find("2 vCPUs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dredbox::hyp

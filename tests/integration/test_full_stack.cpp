@@ -1,0 +1,160 @@
+// The Fig. 9 stack, end to end: one scripted scenario exercises every
+// layer — OpenStack front-end, SDM-C, hypervisor, baremetal hotplug,
+// remote-memory fabric, DMA engines, optical switch — and checks the
+// cross-layer invariants after each step. This is the "day in the life of
+// a disaggregated rack" test.
+
+#include <gtest/gtest.h>
+
+#include "core/dredbox.hpp"
+
+namespace dredbox {
+namespace {
+
+using sim::Time;
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+class FullStackScenario : public ::testing::Test {
+ protected:
+  FullStackScenario() : dc_{config()} { dc_.tracer().enable(); }
+
+  static core::DatacenterConfig config() {
+    core::DatacenterConfig cfg;
+    cfg.trays = 2;
+    cfg.compute_bricks_per_tray = 2;
+    cfg.memory_bricks_per_tray = 2;
+    cfg.accelerator_bricks_per_tray = 1;
+    cfg.compute.local_memory_bytes = 4 * kGiB;
+    cfg.memory.capacity_bytes = 32 * kGiB;
+    cfg.optical_switch.ports = 96;
+    return cfg;
+  }
+
+  /// Cross-layer invariants that must hold at every quiescent point.
+  void check_rack_invariants() {
+    // Optical switch ports are exactly 2 per live circuit.
+    ASSERT_EQ(dc_.optical_switch().ports_in_use(), 2 * dc_.circuits().active_circuits());
+    // Fabric attachment bytes equal dMEMBRICK segment bytes.
+    std::uint64_t attached = 0;
+    for (hw::BrickId cb : dc_.compute_bricks()) attached += dc_.fabric().attached_bytes(cb);
+    std::uint64_t segments = 0;
+    for (hw::BrickId mb : dc_.memory_bricks()) {
+      segments += dc_.rack().memory_brick(mb).allocated_bytes();
+    }
+    ASSERT_EQ(attached, segments);
+    // Hypervisor commitments never exceed host memory (local + hot-added).
+    for (hw::BrickId cb : dc_.compute_bricks()) {
+      auto& hv = dc_.hypervisor_of(cb);
+      ASSERT_LE(hv.committed_bytes(),
+                dc_.os_of(cb).total_ram_bytes() + hv.ballooned_bytes());
+      // Remote bytes the kernel onlined match the fabric's view.
+      ASSERT_EQ(dc_.os_of(cb).remote_bytes(), dc_.fabric().attached_bytes(cb));
+    }
+  }
+
+  core::Datacenter dc_;
+};
+
+TEST_F(FullStackScenario, DayInTheLifeOfTheRack) {
+  // --- 08:00 tenants arrive through the OpenStack front-end ---
+  const auto web = dc_.boot_vm("web", 2, 2 * kGiB);
+  const auto db = dc_.boot_vm("db", 2, 2 * kGiB);
+  ASSERT_TRUE(web.ok && db.ok);
+  check_rack_invariants();
+
+  // --- 09:00 the database's working set grows: Scale-up API ---
+  dc_.advance_to(Time::sec(3600));
+  const auto grant = dc_.scale_up(db.vm, db.compute, 8 * kGiB);
+  ASSERT_TRUE(grant.ok) << grant.error;
+  EXPECT_LT(grant.delay(), Time::sec(5));
+  check_rack_invariants();
+
+  // --- 09:01 the database bulk-loads its dataset over DMA ---
+  dc_.advance_to(Time::sec(3660));
+  memsys::DmaEngine dma{dc_.simulator(), dc_.fabric(), db.compute, 2, 65536};
+  const auto attachment = dc_.fabric().attachments_of(db.compute).front();
+  memsys::DmaCompletion load;
+  memsys::DmaDescriptor desc;
+  desc.address = attachment.compute_base;
+  desc.bytes = 256ull << 20;  // 256 MiB load
+  dma.enqueue(desc, [&](const memsys::DmaCompletion& c) { load = c; });
+  dc_.simulator().run();
+  ASSERT_TRUE(load.ok) << load.error;
+  EXPECT_GT(load.effective_gbps(), 5.0);
+  check_rack_invariants();
+
+  // --- 10:00 ordinary traffic: remote reads stay sub-microsecond ---
+  dc_.advance_to(Time::sec(7200));
+  const auto tx = dc_.remote_read(db.compute, attachment.compute_base + 4096, 64);
+  ASSERT_TRUE(tx.ok());
+  EXPECT_LT(tx.round_trip(), Time::us(1));
+
+  // --- 11:00 maintenance: evacuate the db's brick via live migration ---
+  dc_.advance_to(Time::sec(10800));
+  hw::BrickId spare;
+  for (hw::BrickId cb : dc_.compute_bricks()) {
+    if (cb != web.compute && cb != db.compute) {
+      spare = cb;
+      break;
+    }
+  }
+  ASSERT_TRUE(spare.valid());
+  const auto move = dc_.migrate_vm(db.vm, db.compute, spare);
+  ASSERT_TRUE(move.ok) << move.error;
+  EXPECT_EQ(move.repointed_bytes, 8 * kGiB);  // dataset never copied
+  EXPECT_LT(move.downtime, Time::ms(200));
+  check_rack_invariants();
+
+  // --- 11:05 the migrated guest keeps serving from the same segments ---
+  const auto post = dc_.fabric().attachments_of(spare).front();
+  ASSERT_TRUE(dc_.remote_read(spare, post.compute_base, 64).ok());
+
+  // --- 18:00 load drains: scale down and consolidate ---
+  dc_.advance_to(Time::sec(18 * 3600));
+  const auto drop = dc_.scale_down(move.new_vm, spare, post.segment);
+  ASSERT_TRUE(drop.ok) << drop.error;
+  check_rack_invariants();
+  EXPECT_EQ(dc_.optical_switch().ports_in_use(), 0u);
+
+  // --- 23:00 power manager sweeps the idle bricks ---
+  dc_.advance_to(Time::sec(23 * 3600));
+  const std::size_t swept = dc_.power_manager().tick(dc_.simulator().now());
+  EXPECT_GT(swept, 0u);
+  const double draw = dc_.power_draw_watts();
+  EXPECT_LT(draw, 120.0);  // far below the all-on rack
+
+  // The tracer saw the whole day.
+  EXPECT_GE(dc_.tracer().size(), 5u);
+  EXPECT_FALSE(dc_.tracer().filter(sim::TraceCategory::kMigration).empty());
+}
+
+TEST_F(FullStackScenario, SurvivesFibreCutDuringOperation) {
+  const auto vm = dc_.boot_vm("victim", 1, kGiB);
+  ASSERT_TRUE(vm.ok);
+  // Force a cross-tray (optical) attachment by filling the same-tray pool.
+  const hw::TrayId home = dc_.rack().brick(vm.compute).tray();
+  for (hw::BrickId mb : dc_.memory_bricks()) {
+    if (dc_.rack().brick(mb).tray() == home) {
+      auto& brick = dc_.rack().memory_brick(mb);
+      ASSERT_TRUE(brick.allocate(brick.largest_free_extent(), hw::BrickId{}));
+    }
+  }
+  const auto grant = dc_.scale_up(vm.vm, vm.compute, 2 * kGiB);
+  ASSERT_TRUE(grant.ok);
+  const auto attachment = dc_.fabric().attachments_of(vm.compute).front();
+  ASSERT_EQ(attachment.medium, memsys::LinkMedium::kOptical);
+
+  // Fibre cut: transactions fail loudly, the data survives on the brick.
+  ASSERT_TRUE(dc_.fabric().fail_circuit(attachment.circuit));
+  const auto broken = dc_.remote_read(vm.compute, attachment.compute_base, 64);
+  EXPECT_EQ(broken.status, memsys::TransactionStatus::kCircuitDown);
+
+  // Repair re-wires and service resumes with the same window.
+  dc_.advance_to(Time::sec(10));
+  ASSERT_TRUE(dc_.fabric().repair(vm.compute, attachment.segment, dc_.simulator().now()));
+  const auto healed = dc_.remote_read(vm.compute, attachment.compute_base, 64);
+  EXPECT_TRUE(healed.ok());
+}
+
+}  // namespace
+}  // namespace dredbox

@@ -1,0 +1,174 @@
+#include "memsys/dma.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::memsys {
+namespace {
+
+using sim::Time;
+constexpr std::uint64_t kGiB = 1ull << 30;
+constexpr std::uint64_t kMiB = 1ull << 20;
+
+class DmaTest : public ::testing::Test {
+ protected:
+  DmaTest() : circuits_{switch_}, fabric_{rack_, circuits_} {
+    const hw::TrayId tray_a = rack_.add_tray();
+    const hw::TrayId tray_b = rack_.add_tray();
+    compute_ = rack_.add_compute_brick(tray_a).id();
+    membrick_ = rack_.add_memory_brick(tray_b).id();
+    AttachRequest req;
+    req.compute = compute_;
+    req.membrick = membrick_;
+    req.bytes = kGiB;
+    attachment_ = *fabric_.attach(req, Time::zero());
+  }
+
+  sim::Simulator sim_;
+  hw::Rack rack_;
+  optics::OpticalSwitch switch_;
+  optics::CircuitManager circuits_;
+  RemoteMemoryFabric fabric_;
+  hw::BrickId compute_;
+  hw::BrickId membrick_;
+  Attachment attachment_;
+};
+
+TEST_F(DmaTest, SingleTransferCompletes) {
+  DmaEngine dma{sim_, fabric_, compute_};
+  DmaCompletion result;
+  DmaDescriptor desc;
+  desc.address = attachment_.compute_base;
+  desc.bytes = 1 * kMiB;
+  dma.enqueue(desc, [&](const DmaCompletion& c) { result = c; });
+  sim_.run();
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.bytes, 1 * kMiB);
+  EXPECT_EQ(result.chunks, 256u);  // 1 MiB / 4 KiB
+  EXPECT_GT(result.completed_at, result.enqueued_at);
+  EXPECT_EQ(dma.completed_transfers(), 1u);
+  EXPECT_EQ(dma.in_flight(), 0u);
+}
+
+TEST_F(DmaTest, ThroughputApproachesLineRate) {
+  DmaEngine dma{sim_, fabric_, compute_, /*channels=*/1, /*chunk=*/65536};
+  DmaCompletion result;
+  DmaDescriptor desc;
+  desc.address = attachment_.compute_base;
+  desc.bytes = 16 * kMiB;
+  dma.enqueue(desc, [&](const DmaCompletion& c) { result = c; });
+  sim_.run();
+  ASSERT_TRUE(result.ok);
+  // 10 Gb/s line; big chunks amortise the per-chunk control latency.
+  EXPECT_GT(result.effective_gbps(), 6.0);
+  EXPECT_LT(result.effective_gbps(), 10.0);
+}
+
+TEST_F(DmaTest, SmallChunksPayMoreOverhead) {
+  DmaCompletion small, big;
+  {
+    DmaEngine dma{sim_, fabric_, compute_, 1, 1024};
+    DmaDescriptor d;
+    d.address = attachment_.compute_base;
+    d.bytes = 1 * kMiB;
+    dma.enqueue(d, [&](const DmaCompletion& c) { small = c; });
+    sim_.run();
+  }
+  {
+    DmaEngine dma{sim_, fabric_, compute_, 1, 65536};
+    DmaDescriptor d;
+    d.address = attachment_.compute_base + 512 * kMiB;
+    d.bytes = 1 * kMiB;
+    dma.enqueue(d, [&](const DmaCompletion& c) { big = c; });
+    sim_.run();
+  }
+  ASSERT_TRUE(small.ok && big.ok);
+  // 64 KiB chunks amortise the fixed per-chunk round-trip overhead far
+  // better than 1 KiB chunks (measured ~9.9 vs ~6.6 Gb/s on the 10 Gb/s
+  // line: the ~425 ns control overhead nearly halves tiny chunks).
+  EXPECT_GT(big.effective_gbps(), 1.3 * small.effective_gbps());
+}
+
+TEST_F(DmaTest, TwoChannelsOverlapTransfers) {
+  // Two jobs over two independent attachments (separate circuits would be
+  // ideal, but even one shared circuit pipelines request/response).
+  DmaEngine dual{sim_, fabric_, compute_, /*channels=*/2, 4096};
+  std::vector<DmaCompletion> done;
+  for (int i = 0; i < 2; ++i) {
+    DmaDescriptor d;
+    d.address = attachment_.compute_base + static_cast<std::uint64_t>(i) * 128 * kMiB;
+    d.bytes = 2 * kMiB;
+    dual.enqueue(d, [&](const DmaCompletion& c) { done.push_back(c); });
+  }
+  EXPECT_EQ(dual.in_flight(), 2u);
+  sim_.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_TRUE(done[0].ok && done[1].ok);
+}
+
+TEST_F(DmaTest, QueueDrainsInOrderOnOneChannel) {
+  DmaEngine dma{sim_, fabric_, compute_, /*channels=*/1, 4096};
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    DmaDescriptor d;
+    d.address = attachment_.compute_base + static_cast<std::uint64_t>(i) * kMiB;
+    d.bytes = 64 * 1024;
+    dma.enqueue(d, [&order, i](const DmaCompletion&) { order.push_back(i); });
+  }
+  EXPECT_EQ(dma.queued(), 2u);  // one running, two waiting
+  sim_.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(DmaTest, ReadDirectionWorks) {
+  DmaEngine dma{sim_, fabric_, compute_};
+  DmaCompletion result;
+  DmaDescriptor d;
+  d.address = attachment_.compute_base;
+  d.bytes = 256 * 1024;
+  d.direction = TransactionKind::kRead;
+  dma.enqueue(d, [&](const DmaCompletion& c) { result = c; });
+  sim_.run();
+  EXPECT_TRUE(result.ok);
+}
+
+TEST_F(DmaTest, UnmappedAddressFailsCleanly) {
+  DmaEngine dma{sim_, fabric_, compute_};
+  DmaCompletion result;
+  DmaDescriptor d;
+  d.address = 0xDEAD0000;  // not in the remote window
+  d.bytes = 8192;
+  dma.enqueue(d, [&](const DmaCompletion& c) { result = c; });
+  sim_.run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no-mapping"), std::string::npos);
+  EXPECT_EQ(result.bytes, 0u);
+  EXPECT_EQ(dma.in_flight(), 0u);  // channel released for the next job
+}
+
+TEST_F(DmaTest, FailedCircuitSurfacesMidTransfer) {
+  DmaEngine dma{sim_, fabric_, compute_};
+  DmaCompletion result;
+  DmaDescriptor d;
+  d.address = attachment_.compute_base;
+  d.bytes = 1 * kMiB;
+  dma.enqueue(d, [&](const DmaCompletion& c) { result = c; });
+  // Cut the fibre after ~50 us of simulated transfer.
+  sim_.after(Time::us(50), [&] { fabric_.fail_circuit(attachment_.circuit); });
+  sim_.run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("circuit-down"), std::string::npos);
+  EXPECT_GT(result.bytes, 0u);              // some chunks landed
+  EXPECT_LT(result.bytes, 1 * kMiB);        // but not all
+}
+
+TEST_F(DmaTest, Validation) {
+  EXPECT_THROW(DmaEngine(sim_, fabric_, compute_, 0, 4096), std::invalid_argument);
+  EXPECT_THROW(DmaEngine(sim_, fabric_, compute_, 2, 0), std::invalid_argument);
+  DmaEngine dma{sim_, fabric_, compute_};
+  DmaDescriptor empty;
+  empty.address = attachment_.compute_base;
+  EXPECT_THROW(dma.enqueue(empty, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dredbox::memsys

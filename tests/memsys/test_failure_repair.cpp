@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "memsys/remote_memory.hpp"
+
+namespace dredbox::memsys {
+namespace {
+
+using sim::Time;
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+class FailureRepairTest : public ::testing::Test {
+ protected:
+  FailureRepairTest() : circuits_{switch_}, fabric_{rack_, circuits_} {
+    const hw::TrayId tray_a = rack_.add_tray();
+    const hw::TrayId tray_b = rack_.add_tray();
+    compute_ = rack_.add_compute_brick(tray_a).id();
+    membrick_ = rack_.add_memory_brick(tray_b).id();
+  }
+
+  Attachment attach(std::uint64_t bytes = kGiB) {
+    AttachRequest req;
+    req.compute = compute_;
+    req.membrick = membrick_;
+    req.bytes = bytes;
+    auto a = fabric_.attach(req, Time::zero());
+    EXPECT_TRUE(a.has_value());
+    return *a;
+  }
+
+  hw::Rack rack_;
+  optics::OpticalSwitch switch_;
+  optics::CircuitManager circuits_;
+  RemoteMemoryFabric fabric_;
+  hw::BrickId compute_;
+  hw::BrickId membrick_;
+};
+
+TEST_F(FailureRepairTest, FailedCircuitSurfacesInTransactions) {
+  const auto a = attach();
+  ASSERT_TRUE(fabric_.fail_circuit(a.circuit));
+  const Transaction tx = fabric_.read(compute_, a.compute_base, 64, Time::sec(1));
+  EXPECT_FALSE(tx.ok());
+  EXPECT_EQ(tx.status, TransactionStatus::kCircuitDown);
+  // The fault released the switch cross-connects and the transceivers.
+  EXPECT_EQ(switch_.ports_in_use(), 0u);
+  EXPECT_EQ(rack_.brick(compute_).free_port_count(true), 8u);
+}
+
+TEST_F(FailureRepairTest, FailUnknownCircuitReturnsFalse) {
+  EXPECT_FALSE(fabric_.fail_circuit(hw::CircuitId{999}));
+}
+
+TEST_F(FailureRepairTest, RepairRestoresService) {
+  const auto a = attach();
+  fabric_.fail_circuit(a.circuit);
+  const auto healed = fabric_.repair(compute_, a.segment, Time::sec(2));
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_NE(healed->circuit, a.circuit);  // fresh circuit
+  EXPECT_EQ(switch_.ports_in_use(), 2u);
+  const Transaction tx = fabric_.read(compute_, a.compute_base, 64, Time::sec(3));
+  EXPECT_TRUE(tx.ok());
+  // The segment and window survived the fault: same address still maps.
+  EXPECT_EQ(tx.destination, membrick_);
+}
+
+TEST_F(FailureRepairTest, RepairHealsAllSharersOfTheCircuit) {
+  const auto a1 = attach();
+  const auto a2 = attach();
+  ASSERT_EQ(a1.circuit, a2.circuit);
+  fabric_.fail_circuit(a1.circuit);
+  ASSERT_TRUE(fabric_.repair(compute_, a1.segment, Time::sec(2)));
+  // Both attachments work again over the replacement circuit.
+  EXPECT_TRUE(fabric_.read(compute_, a1.compute_base, 64, Time::sec(3)).ok());
+  EXPECT_TRUE(fabric_.read(compute_, a2.compute_base, 64, Time::sec(4)).ok());
+  EXPECT_EQ(switch_.ports_in_use(), 2u);  // one shared replacement
+}
+
+TEST_F(FailureRepairTest, RepairOnHealthyAttachmentIsNoop) {
+  const auto a = attach();
+  const auto same = fabric_.repair(compute_, a.segment, Time::sec(1));
+  ASSERT_TRUE(same.has_value());
+  EXPECT_EQ(same->circuit, a.circuit);
+  EXPECT_EQ(switch_.ports_in_use(), 2u);
+}
+
+TEST_F(FailureRepairTest, RepairUnknownSegmentFails) {
+  EXPECT_FALSE(fabric_.repair(compute_, hw::SegmentId{12345}, Time::sec(1)).has_value());
+}
+
+TEST_F(FailureRepairTest, RepairFailsWhenSwitchExhausted) {
+  const auto a = attach();
+  fabric_.fail_circuit(a.circuit);
+  // Burn every switch port with unrelated cross-connects.
+  for (std::size_t p = 0; p < switch_.port_count(); p += 2) switch_.connect(p, p + 1);
+  EXPECT_FALSE(fabric_.repair(compute_, a.segment, Time::sec(2)).has_value());
+  EXPECT_EQ(fabric_.last_error(), AttachError::kNoSwitchPorts);
+}
+
+TEST_F(FailureRepairTest, BondedLinkFailsAsAWhole) {
+  AttachRequest req;
+  req.compute = compute_;
+  req.membrick = membrick_;
+  req.lanes = 3;
+  auto a = fabric_.attach(req, Time::zero());
+  ASSERT_TRUE(a);
+  ASSERT_EQ(switch_.ports_in_use(), 6u);
+  ASSERT_TRUE(fabric_.fail_circuit(a->circuit));
+  EXPECT_EQ(switch_.ports_in_use(), 0u);  // every lane dropped
+  EXPECT_FALSE(fabric_.read(compute_, a->compute_base, 64, Time::sec(1)).ok());
+  // Repair brings it back (as a single lane).
+  const auto healed = fabric_.repair(compute_, a->segment, Time::sec(2));
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(healed->lanes, 1u);
+  EXPECT_TRUE(fabric_.read(compute_, a->compute_base, 64, Time::sec(3)).ok());
+}
+
+TEST_F(FailureRepairTest, DetachAfterFailureStillCleansUp) {
+  const auto a = attach();
+  fabric_.fail_circuit(a.circuit);
+  EXPECT_TRUE(fabric_.detach(compute_, a.segment));
+  EXPECT_EQ(fabric_.attachment_count(), 0u);
+  EXPECT_EQ(rack_.memory_brick(membrick_).allocated_bytes(), 0u);
+  EXPECT_EQ(switch_.ports_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace dredbox::memsys

@@ -1,0 +1,420 @@
+#include "memsys/remote_memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::memsys {
+namespace {
+
+using sim::Time;
+
+class RemoteMemoryTest : public ::testing::Test {
+ protected:
+  RemoteMemoryTest() : circuits_{switch_}, fabric_{rack_, circuits_} {
+    // Compute and memory bricks on *different* trays: these tests exercise
+    // the cross-tray optical path. Intra-tray electrical behaviour has its
+    // own suite below.
+    const hw::TrayId tray_a = rack_.add_tray();
+    const hw::TrayId tray_b = rack_.add_tray();
+    compute_ = rack_.add_compute_brick(tray_a).id();
+    hw::MemoryBrickConfig mc;
+    mc.capacity_bytes = 16ull << 30;
+    membrick_ = rack_.add_memory_brick(tray_b, mc).id();
+  }
+
+  AttachRequest request(std::uint64_t bytes = 1ull << 30) {
+    AttachRequest req;
+    req.compute = compute_;
+    req.membrick = membrick_;
+    req.bytes = bytes;
+    return req;
+  }
+
+  hw::Rack rack_;
+  optics::OpticalSwitch switch_;
+  optics::CircuitManager circuits_;
+  RemoteMemoryFabric fabric_;
+  hw::BrickId compute_;
+  hw::BrickId membrick_;
+};
+
+TEST_F(RemoteMemoryTest, AttachWiresEverything) {
+  auto a = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->compute, compute_);
+  EXPECT_EQ(a->membrick, membrick_);
+  EXPECT_EQ(a->size, 1ull << 30);
+  // RMST entry installed on the compute brick.
+  const auto& rmst = rack_.compute_brick(compute_).tgl().rmst();
+  EXPECT_EQ(rmst.size(), 1u);
+  // Segment carved on the memory brick.
+  EXPECT_EQ(rack_.memory_brick(membrick_).allocated_bytes(), 1ull << 30);
+  // Circuit live on the optical switch.
+  EXPECT_EQ(switch_.ports_in_use(), 2u);
+  // Brick ports marked connected.
+  EXPECT_EQ(rack_.brick(compute_).free_port_count(true), 7u);
+  EXPECT_EQ(rack_.brick(membrick_).free_port_count(true), 7u);
+}
+
+TEST_F(RemoteMemoryTest, SecondAttachmentReusesCircuit) {
+  auto a1 = fabric_.attach(request(), Time::zero());
+  auto a2 = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a1 && a2);
+  EXPECT_EQ(a1->circuit, a2->circuit);
+  EXPECT_EQ(switch_.ports_in_use(), 2u);  // still one circuit
+  EXPECT_EQ(fabric_.attached_bytes(compute_), 2ull << 30);
+}
+
+TEST_F(RemoteMemoryTest, WindowsDoNotOverlap) {
+  auto a1 = fabric_.attach(request(2ull << 30), Time::zero());
+  auto a2 = fabric_.attach(request(1ull << 30), Time::zero());
+  ASSERT_TRUE(a1 && a2);
+  const bool disjoint = a1->compute_base + a1->size <= a2->compute_base ||
+                        a2->compute_base + a2->size <= a1->compute_base;
+  EXPECT_TRUE(disjoint);
+}
+
+TEST_F(RemoteMemoryTest, AttachFailsWhenMemoryExhausted) {
+  ASSERT_TRUE(fabric_.attach(request(16ull << 30), Time::zero()));
+  EXPECT_FALSE(fabric_.attach(request(1ull << 30), Time::zero()));
+  EXPECT_EQ(fabric_.last_error(), AttachError::kNoMemory);
+}
+
+TEST_F(RemoteMemoryTest, AttachFailsWhenSwitchExhausted) {
+  // Consume every switch port with unrelated circuits.
+  for (std::size_t p = 0; p < switch_.port_count(); p += 2) switch_.connect(p, p + 1);
+  EXPECT_FALSE(fabric_.attach(request(), Time::zero()));
+  EXPECT_EQ(fabric_.last_error(), AttachError::kNoSwitchPorts);
+}
+
+TEST_F(RemoteMemoryTest, AttachFailsWhenRmstFull) {
+  // Fill the RMST with tiny attachments.
+  const std::size_t cap = rack_.compute_brick(compute_).tgl().rmst().capacity();
+  for (std::size_t i = 0; i < cap; ++i) {
+    ASSERT_TRUE(fabric_.attach(request(1ull << 20), Time::zero()));
+  }
+  EXPECT_FALSE(fabric_.attach(request(1ull << 20), Time::zero()));
+  EXPECT_EQ(fabric_.last_error(), AttachError::kRmstFull);
+}
+
+TEST_F(RemoteMemoryTest, DetachUnwindsState) {
+  auto a = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(fabric_.detach(compute_, a->segment));
+  EXPECT_EQ(rack_.compute_brick(compute_).tgl().rmst().size(), 0u);
+  EXPECT_EQ(rack_.memory_brick(membrick_).allocated_bytes(), 0u);
+  EXPECT_EQ(switch_.ports_in_use(), 0u);  // last user tears the circuit down
+  EXPECT_EQ(rack_.brick(compute_).free_port_count(true), 8u);
+  EXPECT_FALSE(fabric_.detach(compute_, a->segment));
+}
+
+TEST_F(RemoteMemoryTest, DetachKeepsSharedCircuit) {
+  auto a1 = fabric_.attach(request(), Time::zero());
+  auto a2 = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a1 && a2);
+  fabric_.detach(compute_, a1->segment);
+  EXPECT_EQ(switch_.ports_in_use(), 2u);  // a2 still rides the circuit
+  fabric_.detach(compute_, a2->segment);
+  EXPECT_EQ(switch_.ports_in_use(), 0u);
+}
+
+TEST_F(RemoteMemoryTest, ReadTranslatesAndCompletes) {
+  auto a = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a);
+  const Transaction tx = fabric_.read(compute_, a->compute_base + 0x123, 64, Time::zero());
+  EXPECT_TRUE(tx.ok());
+  EXPECT_EQ(tx.destination, membrick_);
+  EXPECT_EQ(tx.remote_address, 0x123u);  // first segment starts at pool base 0
+  EXPECT_GT(tx.round_trip(), Time::zero());
+  EXPECT_EQ(tx.breakdown.total(), tx.round_trip());
+}
+
+TEST_F(RemoteMemoryTest, ReadBreakdownHasCircuitPathStages) {
+  auto a = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a);
+  const Transaction tx = fabric_.read(compute_, a->compute_base, 64, Time::zero());
+  EXPECT_TRUE(tx.breakdown.has("TGL lookup (RMST)"));
+  EXPECT_TRUE(tx.breakdown.has("GTH serdes (TX)"));
+  EXPECT_TRUE(tx.breakdown.has("optical propagation"));
+  EXPECT_TRUE(tx.breakdown.has("glue logic (dMEMBRICK)"));
+  EXPECT_TRUE(tx.breakdown.has("memory access"));
+  // No MAC framing on the circuit-switched mainline.
+  EXPECT_FALSE(tx.breakdown.has("MAC/PHY (dCOMPUBRICK)"));
+}
+
+TEST_F(RemoteMemoryTest, UnmappedAddressFaults) {
+  const Transaction tx = fabric_.read(compute_, 0xDEAD0000, 64, Time::zero());
+  EXPECT_FALSE(tx.ok());
+  EXPECT_EQ(tx.status, TransactionStatus::kNoMapping);
+}
+
+TEST_F(RemoteMemoryTest, WriteAndReadSymmetry) {
+  auto a = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a);
+  const Transaction rd = fabric_.read(compute_, a->compute_base, 256, Time::zero());
+  const Transaction wr = fabric_.write(compute_, a->compute_base, 256, Time::ms(1));
+  EXPECT_TRUE(rd.ok());
+  EXPECT_TRUE(wr.ok());
+  // Same payload each way: round trips match (no contention).
+  EXPECT_EQ(rd.round_trip(), wr.round_trip());
+}
+
+TEST_F(RemoteMemoryTest, CircuitContentionSerializes) {
+  auto a = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a);
+  const Transaction t1 = fabric_.write(compute_, a->compute_base, 65536, Time::zero());
+  const Transaction t2 = fabric_.write(compute_, a->compute_base, 65536, Time::zero());
+  EXPECT_GT(t2.round_trip(), t1.round_trip());
+  EXPECT_GT(t2.breakdown.of("circuit wait"), Time::zero());
+}
+
+TEST_F(RemoteMemoryTest, BondedLanesConsumePortsPerLane) {
+  auto req = request();
+  req.lanes = 4;
+  auto a = fabric_.attach(req, Time::zero());
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->lanes, 4u);
+  // 4 ports on each brick, 8 switch ports (2 per lane, 1 hop each).
+  EXPECT_EQ(rack_.brick(compute_).free_port_count(true), 4u);
+  EXPECT_EQ(rack_.brick(membrick_).free_port_count(true), 4u);
+  EXPECT_EQ(switch_.ports_in_use(), 8u);
+}
+
+TEST_F(RemoteMemoryTest, BondedLanesSpeedUpLargeTransfers) {
+  auto wide_req = request();
+  wide_req.lanes = 4;
+  auto wide = fabric_.attach(wide_req, Time::zero());
+  ASSERT_TRUE(wide);
+
+  // Independent single-lane fabric for the baseline.
+  hw::Rack rack2;
+  const hw::TrayId t1 = rack2.add_tray();
+  const hw::TrayId t2 = rack2.add_tray();
+  const hw::BrickId cpu2 = rack2.add_compute_brick(t1).id();
+  const hw::BrickId mem2 = rack2.add_memory_brick(t2).id();
+  optics::OpticalSwitch sw2;
+  optics::CircuitManager circuits2{sw2};
+  RemoteMemoryFabric fabric2{rack2, circuits2};
+  AttachRequest narrow_req;
+  narrow_req.compute = cpu2;
+  narrow_req.membrick = mem2;
+  auto narrow = fabric2.attach(narrow_req, Time::zero());
+  ASSERT_TRUE(narrow);
+
+  const auto wide_tx = fabric_.read(compute_, wide->compute_base, 16384, Time::zero());
+  const auto narrow_tx = fabric2.read(cpu2, narrow->compute_base, 16384, Time::zero());
+  ASSERT_TRUE(wide_tx.ok() && narrow_tx.ok());
+  // 16 KiB at 10 Gb/s: ~13.1 us single lane vs ~3.3 us over 4 lanes.
+  EXPECT_LT(wide_tx.round_trip(), sim::scale(narrow_tx.round_trip(), 0.5));
+}
+
+TEST_F(RemoteMemoryTest, BondTearsDownAllLanes) {
+  auto req = request();
+  req.lanes = 3;
+  auto a = fabric_.attach(req, Time::zero());
+  ASSERT_TRUE(a);
+  EXPECT_EQ(switch_.ports_in_use(), 6u);
+  EXPECT_TRUE(fabric_.detach(compute_, a->segment));
+  EXPECT_EQ(switch_.ports_in_use(), 0u);
+  EXPECT_EQ(rack_.brick(compute_).free_port_count(true), 8u);
+  EXPECT_EQ(rack_.brick(membrick_).free_port_count(true), 8u);
+}
+
+TEST_F(RemoteMemoryTest, BondRejectedWhenPortsShort) {
+  auto req = request();
+  req.lanes = 9;  // bricks only have 8 transceivers
+  EXPECT_FALSE(fabric_.attach(req, Time::zero()).has_value());
+  EXPECT_EQ(fabric_.last_error(), AttachError::kNoComputePort);
+  // Nothing leaked.
+  EXPECT_EQ(rack_.brick(compute_).free_port_count(true), 8u);
+  EXPECT_EQ(switch_.ports_in_use(), 0u);
+}
+
+TEST_F(RemoteMemoryTest, BondRejectedWhenSwitchShort) {
+  optics::OpticalSwitchConfig tiny;
+  tiny.ports = 4;
+  optics::OpticalSwitch small_switch{tiny};
+  optics::CircuitManager small_circuits{small_switch};
+  RemoteMemoryFabric fabric{rack_, small_circuits};
+  auto req = request();
+  req.lanes = 4;  // needs 8 switch ports, only 4 exist
+  EXPECT_FALSE(fabric.attach(req, Time::zero()).has_value());
+  EXPECT_EQ(fabric.last_error(), AttachError::kNoSwitchPorts);
+  EXPECT_EQ(small_switch.ports_in_use(), 0u);
+  EXPECT_EQ(rack_.brick(compute_).free_port_count(true), 8u);
+}
+
+TEST_F(RemoteMemoryTest, SecondAttachmentInheritsBondLanes) {
+  auto req = request();
+  req.lanes = 2;
+  auto a1 = fabric_.attach(req, Time::zero());
+  auto single = request();  // lanes = 1, but the pair link already exists
+  auto a2 = fabric_.attach(single, Time::zero());
+  ASSERT_TRUE(a1 && a2);
+  EXPECT_EQ(a2->lanes, 2u);
+  EXPECT_EQ(a1->circuit, a2->circuit);
+}
+
+TEST_F(RemoteMemoryTest, MemoryControllerContention) {
+  // Two compute bricks hammering one single-controller dMEMBRICK collide
+  // at the controller; dimensioning the brick with more controllers
+  // (Section II) absorbs the concurrency.
+  hw::Rack rack;
+  const hw::TrayId tray_a = rack.add_tray();
+  const hw::TrayId tray_b = rack.add_tray();
+  const hw::BrickId cpu1 = rack.add_compute_brick(tray_a).id();
+  const hw::BrickId cpu2 = rack.add_compute_brick(tray_a).id();
+  hw::MemoryBrickConfig one_mc;
+  one_mc.memory_controllers = 1;
+  const hw::BrickId mem1 = rack.add_memory_brick(tray_b, one_mc).id();
+  hw::MemoryBrickConfig four_mc;
+  four_mc.memory_controllers = 4;
+  const hw::BrickId mem4 = rack.add_memory_brick(tray_b, four_mc).id();
+
+  optics::OpticalSwitch sw;
+  optics::CircuitManager circuits{sw};
+  RemoteMemoryFabric fabric{rack, circuits};
+
+  auto attach = [&](hw::BrickId cpu, hw::BrickId mem) {
+    AttachRequest req;
+    req.compute = cpu;
+    req.membrick = mem;
+    req.bytes = 1ull << 30;
+    auto a = fabric.attach(req, Time::zero());
+    EXPECT_TRUE(a.has_value());
+    return *a;
+  };
+  const auto a1 = attach(cpu1, mem1);
+  const auto a2 = attach(cpu2, mem1);
+  const auto b1 = attach(cpu1, mem4);
+  const auto b2 = attach(cpu2, mem4);
+
+  // Same instant, addresses in different 4 KiB pages. One controller:
+  // the second read waits. Four controllers: both proceed in parallel.
+  const auto r1 = fabric.read(cpu1, a1.compute_base, 64, Time::zero());
+  const auto r2 = fabric.read(cpu2, a2.compute_base + 4096, 64, Time::zero());
+  EXPECT_GT(r2.breakdown.of("memory controller wait"), Time::zero());
+  EXPECT_GT(r2.round_trip(), r1.round_trip());
+
+  const auto q1 = fabric.read(cpu1, b1.compute_base, 64, Time::ms(1));
+  const auto q2 = fabric.read(cpu2, b2.compute_base + 4096, 64, Time::ms(1));
+  EXPECT_EQ(q2.breakdown.of("memory controller wait"), Time::zero());
+  EXPECT_EQ(q1.round_trip(), q2.round_trip());
+}
+
+TEST_F(RemoteMemoryTest, CircuitRoundTripBelowPacketPath) {
+  // The whole point of circuit switching: minimize remote-access latency.
+  auto a = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a);
+  const Transaction tx = fabric_.read(compute_, a->compute_base, 64, Time::zero());
+  EXPECT_LT(tx.round_trip(), Time::us(1));
+}
+
+TEST_F(RemoteMemoryTest, AttachmentsOfListsPerBrick) {
+  auto a1 = fabric_.attach(request(), Time::zero());
+  auto a2 = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a1 && a2);
+  EXPECT_EQ(fabric_.attachments_of(compute_).size(), 2u);
+  EXPECT_TRUE(fabric_.attachments_of(membrick_).empty());
+  EXPECT_EQ(fabric_.attachment_count(), 2u);
+}
+
+TEST_F(RemoteMemoryTest, CrossTrayAttachmentsAreOptical) {
+  auto a = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->medium, LinkMedium::kOptical);
+  EXPECT_EQ(fabric_.electrical_links(), 0u);
+}
+
+/// Intra-tray pairs: both bricks in one tray ride the electrical circuit
+/// (Section II) — no optical switch ports are consumed and the round trip
+/// is shorter.
+class IntraTrayMemoryTest : public ::testing::Test {
+ protected:
+  IntraTrayMemoryTest() : circuits_{switch_}, fabric_{rack_, circuits_} {
+    const hw::TrayId tray = rack_.add_tray();
+    compute_ = rack_.add_compute_brick(tray).id();
+    hw::MemoryBrickConfig mc;
+    mc.capacity_bytes = 16ull << 30;
+    membrick_ = rack_.add_memory_brick(tray, mc).id();
+  }
+
+  AttachRequest request(std::uint64_t bytes = 1ull << 30) {
+    AttachRequest req;
+    req.compute = compute_;
+    req.membrick = membrick_;
+    req.bytes = bytes;
+    return req;
+  }
+
+  hw::Rack rack_;
+  optics::OpticalSwitch switch_;
+  optics::CircuitManager circuits_;
+  RemoteMemoryFabric fabric_;
+  hw::BrickId compute_;
+  hw::BrickId membrick_;
+};
+
+TEST_F(IntraTrayMemoryTest, AttachUsesElectricalCircuit) {
+  auto a = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->medium, LinkMedium::kElectrical);
+  EXPECT_EQ(switch_.ports_in_use(), 0u);  // no optical switch involvement
+  EXPECT_EQ(fabric_.electrical_links(), 1u);
+  // Brick transceiver ports are still consumed (backplane lanes).
+  EXPECT_EQ(rack_.brick(compute_).free_port_count(true), 7u);
+  EXPECT_EQ(rack_.brick(membrick_).free_port_count(true), 7u);
+}
+
+TEST_F(IntraTrayMemoryTest, OpticalCanBeForced) {
+  auto req = request();
+  req.prefer_electrical_intra_tray = false;
+  auto a = fabric_.attach(req, Time::zero());
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->medium, LinkMedium::kOptical);
+  EXPECT_EQ(switch_.ports_in_use(), 2u);
+}
+
+TEST_F(IntraTrayMemoryTest, ElectricalReadFasterThanOptical) {
+  auto a = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a);
+  const Transaction tx = fabric_.read(compute_, a->compute_base, 64, Time::zero());
+  ASSERT_TRUE(tx.ok());
+  EXPECT_TRUE(tx.breakdown.has("electrical propagation"));
+  EXPECT_FALSE(tx.breakdown.has("optical propagation"));
+
+  // Same shape over the optical path, forced, through an independent
+  // fabric instance (the first pair already shares an electrical link, and
+  // attachments between the same pair reuse the established circuit).
+  RemoteMemoryFabric optical_fabric{rack_, circuits_};
+  auto req2 = request();
+  req2.prefer_electrical_intra_tray = false;
+  auto b = optical_fabric.attach(req2, Time::zero());
+  ASSERT_TRUE(b);
+  const Transaction opt = optical_fabric.read(compute_, b->compute_base, 64, Time::ms(1));
+  ASSERT_TRUE(opt.ok());
+  EXPECT_LT(tx.round_trip(), opt.round_trip());
+}
+
+TEST_F(IntraTrayMemoryTest, DetachReleasesElectricalLink) {
+  auto a = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a);
+  EXPECT_TRUE(fabric_.detach(compute_, a->segment));
+  EXPECT_EQ(fabric_.electrical_links(), 0u);
+  EXPECT_EQ(rack_.brick(compute_).free_port_count(true), 8u);
+  EXPECT_EQ(rack_.brick(membrick_).free_port_count(true), 8u);
+}
+
+TEST_F(IntraTrayMemoryTest, SecondSegmentSharesElectricalLink) {
+  auto a1 = fabric_.attach(request(), Time::zero());
+  auto a2 = fabric_.attach(request(), Time::zero());
+  ASSERT_TRUE(a1 && a2);
+  EXPECT_EQ(a1->circuit, a2->circuit);
+  EXPECT_EQ(fabric_.electrical_links(), 1u);
+  fabric_.detach(compute_, a1->segment);
+  EXPECT_EQ(fabric_.electrical_links(), 1u);  // still used by a2
+  fabric_.detach(compute_, a2->segment);
+  EXPECT_EQ(fabric_.electrical_links(), 0u);
+}
+
+}  // namespace
+}  // namespace dredbox::memsys

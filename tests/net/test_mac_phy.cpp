@@ -1,0 +1,45 @@
+#include "net/mac_phy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::net {
+namespace {
+
+using sim::Time;
+
+TEST(MacPhyTest, TraversalIsMacPlusPhy) {
+  PacketPathLatencies cfg;
+  cfg.mac = Time::ns(105);
+  cfg.phy = Time::ns(130);
+  MacPhy mp{cfg};
+  EXPECT_EQ(mp.traversal_latency(), Time::ns(235));
+}
+
+TEST(MacPhyTest, SerializationAtLineRate) {
+  PacketPathLatencies cfg;
+  cfg.line_rate_gbps = 10.0;
+  cfg.header_bytes = 8;
+  MacPhy mp{cfg};
+  // (64 + 8) bytes * 8 bits / 10 Gb/s = 57.6 ns.
+  EXPECT_EQ(mp.serialization_time(64), Time::ns(57.6));
+  // Header-only packet still costs the header.
+  EXPECT_EQ(mp.serialization_time(0), Time::ns(6.4));
+}
+
+TEST(MacPhyTest, FasterLineShortensSerialization) {
+  PacketPathLatencies slow;
+  slow.line_rate_gbps = 10.0;
+  PacketPathLatencies fast;
+  fast.line_rate_gbps = 25.0;
+  EXPECT_GT(MacPhy{slow}.serialization_time(1024), MacPhy{fast}.serialization_time(1024));
+}
+
+TEST(MacPhyTest, SerializationScalesLinearlyWithPayload) {
+  MacPhy mp{PacketPathLatencies{}};
+  const Time t1 = mp.serialization_time(1000);
+  const Time t2 = mp.serialization_time(2008);  // 2*(1000+8) = 2016 = 2008+8
+  EXPECT_EQ(t2, t1 * 2);
+}
+
+}  // namespace
+}  // namespace dredbox::net

@@ -1,0 +1,112 @@
+#include "net/packet_switch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::net {
+namespace {
+
+using sim::Time;
+
+TEST(PacketSwitchTest, UnprogrammedDestinationDrops) {
+  PacketSwitch sw{2, Time::ns(85)};
+  EXPECT_FALSE(sw.forward(hw::BrickId{9}, Time::zero(), Time::ns(51)).has_value());
+  EXPECT_EQ(sw.dropped(), 1u);
+  EXPECT_EQ(sw.forwarded(), 0u);
+}
+
+TEST(PacketSwitchTest, ProgrammedRouteForwards) {
+  PacketSwitch sw{2, Time::ns(85)};
+  sw.program_route(hw::BrickId{9}, 1);
+  auto r = sw.forward(hw::BrickId{9}, Time::zero(), Time::ns(51));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->port, 1u);
+  EXPECT_EQ(r->departure, Time::ns(85 + 51));
+  EXPECT_EQ(r->queueing, Time::zero());
+  EXPECT_EQ(sw.forwarded(), 1u);
+}
+
+TEST(PacketSwitchTest, OutputPortQueueing) {
+  PacketSwitch sw{1, Time::ns(10)};
+  sw.program_route(hw::BrickId{9}, 0);
+  auto first = sw.forward(hw::BrickId{9}, Time::zero(), Time::ns(100));
+  auto second = sw.forward(hw::BrickId{9}, Time::zero(), Time::ns(100));
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->departure, Time::ns(110));
+  // The second packet waits for the first to drain the port.
+  EXPECT_EQ(second->departure, Time::ns(210));
+  EXPECT_EQ(second->queueing, Time::ns(100));
+}
+
+TEST(PacketSwitchTest, NoQueueingWhenSpaced) {
+  PacketSwitch sw{1, Time::ns(10)};
+  sw.program_route(hw::BrickId{9}, 0);
+  sw.forward(hw::BrickId{9}, Time::zero(), Time::ns(50));
+  auto late = sw.forward(hw::BrickId{9}, Time::us(1), Time::ns(50));
+  ASSERT_TRUE(late);
+  EXPECT_EQ(late->queueing, Time::zero());
+}
+
+TEST(PacketSwitchTest, RoundRobinAcrossMultipath) {
+  PacketSwitch sw{3, Time::ns(10)};
+  sw.program_multipath(hw::BrickId{9}, {0, 1, 2});
+  std::vector<std::size_t> ports;
+  for (int i = 0; i < 6; ++i) {
+    auto r = sw.forward(hw::BrickId{9}, Time::zero(), Time::ns(10));
+    ASSERT_TRUE(r);
+    ports.push_back(r->port);
+  }
+  EXPECT_EQ(ports, (std::vector<std::size_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(PacketSwitchTest, MultipathSpreadsLoad) {
+  // Two parallel links halve the queueing of back-to-back packets.
+  PacketSwitch single{1, Time::ns(0)};
+  single.program_route(hw::BrickId{9}, 0);
+  PacketSwitch dual{2, Time::ns(0)};
+  dual.program_multipath(hw::BrickId{9}, {0, 1});
+  Time single_done, dual_done;
+  for (int i = 0; i < 8; ++i) {
+    single_done = single.forward(hw::BrickId{9}, Time::zero(), Time::ns(100))->departure;
+    dual_done = dual.forward(hw::BrickId{9}, Time::zero(), Time::ns(100))->departure;
+  }
+  EXPECT_EQ(single_done, Time::ns(800));
+  EXPECT_EQ(dual_done, Time::ns(400));
+}
+
+TEST(PacketSwitchTest, EraseRouteStopsForwarding) {
+  PacketSwitch sw{1, Time::ns(10)};
+  sw.program_route(hw::BrickId{9}, 0);
+  EXPECT_TRUE(sw.erase_route(hw::BrickId{9}));
+  EXPECT_FALSE(sw.erase_route(hw::BrickId{9}));
+  EXPECT_FALSE(sw.forward(hw::BrickId{9}, Time::zero(), Time::ns(10)).has_value());
+}
+
+TEST(PacketSwitchTest, LookupReflectsTable) {
+  PacketSwitch sw{4, Time::ns(10)};
+  EXPECT_FALSE(sw.lookup(hw::BrickId{1}).has_value());
+  sw.program_route(hw::BrickId{1}, 3);
+  EXPECT_EQ(sw.lookup(hw::BrickId{1}), 3u);
+  EXPECT_EQ(sw.table_size(), 1u);
+}
+
+TEST(PacketSwitchTest, Validation) {
+  EXPECT_THROW(PacketSwitch(0, Time::ns(1)), std::invalid_argument);
+  PacketSwitch sw{2, Time::ns(1)};
+  EXPECT_THROW(sw.program_route(hw::BrickId{1}, 2), std::out_of_range);
+  EXPECT_THROW(sw.program_multipath(hw::BrickId{1}, {}), std::invalid_argument);
+  EXPECT_THROW(sw.program_multipath(hw::BrickId{1}, {0, 5}), std::out_of_range);
+}
+
+TEST(PacketSwitchTest, ResetClearsState) {
+  PacketSwitch sw{1, Time::ns(10)};
+  sw.program_route(hw::BrickId{9}, 0);
+  sw.forward(hw::BrickId{9}, Time::zero(), Time::ns(100));
+  sw.reset();
+  EXPECT_EQ(sw.forwarded(), 0u);
+  auto r = sw.forward(hw::BrickId{9}, Time::zero(), Time::ns(100));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->queueing, Time::zero());  // busy-until cleared
+}
+
+}  // namespace
+}  // namespace dredbox::net

@@ -1,0 +1,52 @@
+#include "optics/link_budget.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::optics {
+namespace {
+
+TEST(LinkBudgetTest, NoLossesPassThrough) {
+  LinkBudget lb{-3.7};
+  EXPECT_DOUBLE_EQ(lb.launch_dbm(), -3.7);
+  EXPECT_DOUBLE_EQ(lb.total_loss_db(), 0.0);
+  EXPECT_DOUBLE_EQ(lb.received_dbm(), -3.7);
+}
+
+TEST(LinkBudgetTest, LossesAccumulate) {
+  LinkBudget lb{-3.7};
+  lb.add_loss("coupling", 1.2).add_loss("connector", 0.3);
+  EXPECT_DOUBLE_EQ(lb.total_loss_db(), 1.5);
+  EXPECT_DOUBLE_EQ(lb.received_dbm(), -5.2);
+}
+
+TEST(LinkBudgetTest, SwitchHopsMatchPaperBudget) {
+  // Section III: each hop through the optical switch introduces ~1 dB.
+  LinkBudget lb{-3.7};
+  lb.add_switch_hops(8);
+  EXPECT_DOUBLE_EQ(lb.total_loss_db(), 8.0);
+  EXPECT_DOUBLE_EQ(lb.received_dbm(), -11.7);
+  EXPECT_EQ(lb.losses().size(), 8u);
+}
+
+TEST(LinkBudgetTest, CustomPerHopLoss) {
+  LinkBudget lb{0.0};
+  lb.add_switch_hops(6, 0.8);
+  EXPECT_NEAR(lb.total_loss_db(), 4.8, 1e-12);
+}
+
+TEST(LinkBudgetTest, NegativeLossRejected) {
+  LinkBudget lb{0.0};
+  EXPECT_THROW(lb.add_loss("gain?", -1.0), std::invalid_argument);
+}
+
+TEST(LinkBudgetTest, ToStringShowsChain) {
+  LinkBudget lb{-3.7};
+  lb.add_loss("coupling", 1.2);
+  const std::string s = lb.to_string();
+  EXPECT_NE(s.find("-3.70 dBm"), std::string::npos);
+  EXPECT_NE(s.find("coupling"), std::string::npos);
+  EXPECT_NE(s.find("received"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dredbox::optics

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "optics/fec.hpp"
+#include "optics/mbo.hpp"
+#include "sim/random.hpp"
+
+namespace dredbox::optics {
+namespace {
+
+TEST(MboTest, DefaultsMatchPaper) {
+  sim::Rng rng{1};
+  MidBoardOptics mbo{MboConfig{}, rng};
+  EXPECT_EQ(mbo.channel_count(), 8u);          // 8 transceivers
+  EXPECT_DOUBLE_EQ(mbo.wavelength_nm(), 1310.0);  // shared 1310 nm laser
+  EXPECT_DOUBLE_EQ(mbo.config().mean_launch_dbm, -3.7);
+}
+
+TEST(MboTest, ChannelLaunchPowersVaryAroundMean) {
+  sim::Rng rng{2};
+  MboConfig cfg;
+  cfg.channel_spread_db = 0.25;
+  MidBoardOptics mbo{cfg, rng};
+  double sum = 0.0;
+  bool any_differs = false;
+  for (std::size_t i = 0; i < mbo.channel_count(); ++i) {
+    sum += mbo.channel(i).launch_dbm;
+    if (std::abs(mbo.channel(i).launch_dbm + 3.7) > 1e-9) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+  EXPECT_NEAR(sum / 8.0, -3.7, 0.5);
+}
+
+TEST(MboTest, ZeroSpreadGivesExactMean) {
+  sim::Rng rng{3};
+  MboConfig cfg;
+  cfg.channel_spread_db = 0.0;
+  MidBoardOptics mbo{cfg, rng};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(mbo.channel(i).launch_dbm, -3.7);
+  }
+}
+
+TEST(MboTest, AcquireReleaseChannels) {
+  sim::Rng rng{4};
+  MidBoardOptics mbo{MboConfig{}, rng};
+  auto* ch = mbo.acquire_channel();
+  ASSERT_NE(ch, nullptr);
+  EXPECT_EQ(ch->index, 0u);
+  EXPECT_TRUE(ch->in_use);
+  EXPECT_EQ(mbo.channels_in_use(), 1u);
+  mbo.release_channel(0);
+  EXPECT_EQ(mbo.channels_in_use(), 0u);
+  EXPECT_THROW(mbo.release_channel(0), std::logic_error);
+}
+
+TEST(MboTest, ExhaustionReturnsNull) {
+  sim::Rng rng{5};
+  MboConfig cfg;
+  cfg.channels = 2;
+  MidBoardOptics mbo{cfg, rng};
+  EXPECT_NE(mbo.acquire_channel(), nullptr);
+  EXPECT_NE(mbo.acquire_channel(), nullptr);
+  EXPECT_EQ(mbo.acquire_channel(), nullptr);
+}
+
+TEST(FecTest, FecFreeIsTransparent) {
+  FecModel fec{FecScheme::kNone};
+  EXPECT_EQ(fec.added_latency(), sim::Time::zero());
+  EXPECT_DOUBLE_EQ(fec.post_fec_ber(1e-5), 1e-5);
+  EXPECT_DOUBLE_EQ(fec.post_fec_ber(0.4), 0.4);
+}
+
+TEST(FecTest, RsFecAddsOver100ns) {
+  // Section III: FEC can introduce more than 100 ns of latency — the
+  // reason dReDBox requires a FEC-free interface.
+  EXPECT_GT(FecModel{FecScheme::kRsLight}.added_latency(), sim::Time::ns(100));
+  EXPECT_GT(FecModel{FecScheme::kRsStrong}.added_latency(), sim::Time::ns(100));
+}
+
+TEST(FecTest, WaterfallBehaviour) {
+  FecModel fec{FecScheme::kRsLight};
+  // Below threshold: corrected to the floor.
+  EXPECT_DOUBLE_EQ(fec.post_fec_ber(1e-5), 1e-15);
+  EXPECT_DOUBLE_EQ(fec.post_fec_ber(fec.correction_threshold()), 1e-15);
+  // Above threshold: correction collapses.
+  EXPECT_DOUBLE_EQ(fec.post_fec_ber(1e-2), 1e-2);
+}
+
+TEST(FecTest, StrongFecHasHigherThresholdAndLatency) {
+  FecModel light{FecScheme::kRsLight};
+  FecModel strong{FecScheme::kRsStrong};
+  EXPECT_GT(strong.correction_threshold(), light.correction_threshold());
+  EXPECT_GT(strong.added_latency(), light.added_latency());
+}
+
+TEST(FecTest, Names) {
+  EXPECT_EQ(to_string(FecScheme::kNone), "FEC-free");
+  EXPECT_NE(to_string(FecScheme::kRsLight).find("RS"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dredbox::optics

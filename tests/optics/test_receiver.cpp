@@ -1,0 +1,85 @@
+#include "optics/receiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "optics/link_budget.hpp"
+#include "optics/units.hpp"
+
+namespace dredbox::optics {
+namespace {
+
+TEST(ReceiverTest, BerAtSensitivityIsTarget) {
+  ReceiverModel rx{-14.0, 10.0};
+  EXPECT_NEAR(rx.ber(-14.0), 1e-12, 2e-13);
+}
+
+TEST(ReceiverTest, QScalesLinearlyWithReceivedPowerMw) {
+  ReceiverModel rx{-14.0};
+  const double q_ref = rx.q_factor(-14.0);
+  // +3 dB doubles the power, so Q doubles (thermal-noise-limited).
+  EXPECT_NEAR(rx.q_factor(-14.0 + 3.0103), 2.0 * q_ref, 1e-3 * q_ref);
+}
+
+TEST(ReceiverTest, MorePowerMeansLowerBer) {
+  ReceiverModel rx{-14.0};
+  double prev = 1.0;
+  for (double p = -22.0; p <= -8.0; p += 1.0) {
+    const double b = rx.ber(p);
+    EXPECT_LT(b, prev) << "at " << p << " dBm";
+    prev = b;
+  }
+}
+
+TEST(ReceiverTest, EightHopLinkOfFig7IsBelow1e12) {
+  // Fig. 7 setup: -3.7 dBm launch, 8 switch hops at 1 dB, coupling and
+  // connector losses — received near -14 dBm on a -14.5 dBm-sensitivity
+  // receiver keeps BER below the paper's 1e-12 line.
+  ReceiverModel rx{-14.5};
+  LinkBudget lb{-3.7};
+  lb.add_loss("TX coupling", 1.2).add_switch_hops(8).add_loss("RX coupling", 1.2);
+  EXPECT_LT(lb.received_dbm(), -13.0);
+  EXPECT_LT(rx.ber(lb.received_dbm()), 1e-12);
+}
+
+TEST(ReceiverTest, RequiredPowerInvertsSensitivity) {
+  ReceiverModel rx{-14.0};
+  EXPECT_NEAR(rx.required_power_dbm(1e-12), -14.0, 1e-6);
+  // A more demanding BER requires more power.
+  EXPECT_GT(rx.required_power_dbm(1e-15), rx.required_power_dbm(1e-9));
+}
+
+TEST(ReceiverTest, ExpectedErrorsScaleWithTimeAndRate) {
+  ReceiverModel rx{-14.0, 10.0};
+  const double e1 = rx.expected_errors(-14.0, 1.0);
+  const double e2 = rx.expected_errors(-14.0, 2.0);
+  EXPECT_NEAR(e2, 2.0 * e1, 1e-9 * e1);
+  // 1e-12 BER at 10 Gb/s -> ~0.01 errors/s.
+  EXPECT_NEAR(e1, 1e-12 * 10e9, 2e-3 * 1e-12 * 10e9 + 1e-3);
+}
+
+TEST(ReceiverTest, InvalidRateRejected) {
+  EXPECT_THROW(ReceiverModel(-14.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ReceiverModel(-14.0, -10.0), std::invalid_argument);
+}
+
+/// Property sweep: BER is monotone in hop count for any per-hop loss.
+class ReceiverHopSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReceiverHopSweep, BerWorsensWithHops) {
+  const double per_hop_db = GetParam();
+  ReceiverModel rx{-14.0};
+  double prev_ber = 0.0;
+  for (std::size_t hops = 0; hops <= 12; ++hops) {
+    LinkBudget lb{-3.7};
+    lb.add_loss("coupling", 2.4).add_switch_hops(hops, per_hop_db);
+    const double ber = rx.ber(lb.received_dbm());
+    EXPECT_GE(ber, prev_ber);
+    prev_ber = ber;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PerHopLoss, ReceiverHopSweep,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 1.5));
+
+}  // namespace
+}  // namespace dredbox::optics

@@ -1,0 +1,88 @@
+#include "optics/optical_switch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::optics {
+namespace {
+
+TEST(OpticalSwitchTest, DefaultsMatchPolatisModule) {
+  OpticalSwitch sw;
+  EXPECT_EQ(sw.port_count(), 48u);               // 48-port module
+  EXPECT_DOUBLE_EQ(sw.insertion_loss_db(), 1.0); // ~1 dB per hop
+  EXPECT_DOUBLE_EQ(sw.config().power_per_port_w, 0.1);  // ~100 mW/port
+}
+
+TEST(OpticalSwitchTest, ConnectPairsPorts) {
+  OpticalSwitch sw;
+  sw.connect(0, 5);
+  EXPECT_FALSE(sw.port_free(0));
+  EXPECT_FALSE(sw.port_free(5));
+  EXPECT_EQ(sw.peer(0), 5u);
+  EXPECT_EQ(sw.peer(5), 0u);
+  EXPECT_EQ(sw.ports_in_use(), 2u);
+}
+
+TEST(OpticalSwitchTest, ConnectValidation) {
+  OpticalSwitch sw;
+  sw.connect(0, 1);
+  EXPECT_THROW(sw.connect(0, 2), std::logic_error);     // port busy
+  EXPECT_THROW(sw.connect(3, 3), std::invalid_argument); // self loop
+  EXPECT_THROW(sw.connect(0, 48), std::out_of_range);   // out of range
+}
+
+TEST(OpticalSwitchTest, DisconnectFreesBothEnds) {
+  OpticalSwitch sw;
+  sw.connect(2, 7);
+  EXPECT_TRUE(sw.disconnect(7));  // disconnect via either end
+  EXPECT_TRUE(sw.port_free(2));
+  EXPECT_TRUE(sw.port_free(7));
+  EXPECT_FALSE(sw.disconnect(7));  // already free
+}
+
+TEST(OpticalSwitchTest, FindFreePortsReturnsLowest) {
+  OpticalSwitch sw;
+  sw.connect(0, 1);
+  const auto ports = sw.find_free_ports(3);
+  ASSERT_EQ(ports.size(), 3u);
+  EXPECT_EQ(ports[0], 2u);
+  EXPECT_EQ(ports[1], 3u);
+  EXPECT_EQ(ports[2], 4u);
+}
+
+TEST(OpticalSwitchTest, FindFreePortsEmptyWhenScarce) {
+  OpticalSwitchConfig cfg;
+  cfg.ports = 4;
+  OpticalSwitch sw{cfg};
+  sw.connect(0, 1);
+  sw.connect(2, 3);
+  EXPECT_TRUE(sw.find_free_ports(1).empty());
+}
+
+TEST(OpticalSwitchTest, PowerDrawTracksPortsInUse) {
+  OpticalSwitch sw;
+  EXPECT_DOUBLE_EQ(sw.power_draw_watts(), 0.0);
+  sw.connect(0, 1);
+  EXPECT_DOUBLE_EQ(sw.power_draw_watts(), 0.2);  // 2 ports x 100 mW
+  sw.connect(2, 3);
+  EXPECT_DOUBLE_EQ(sw.power_draw_watts(), 0.4);
+  sw.disconnect(0);
+  EXPECT_DOUBLE_EQ(sw.power_draw_watts(), 0.2);
+}
+
+TEST(OpticalSwitchTest, TinySwitchRejected) {
+  OpticalSwitchConfig cfg;
+  cfg.ports = 1;
+  EXPECT_THROW(OpticalSwitch{cfg}, std::invalid_argument);
+}
+
+TEST(OpticalSwitchTest, FullMeshOfPairs) {
+  OpticalSwitchConfig cfg;
+  cfg.ports = 48;
+  OpticalSwitch sw{cfg};
+  for (std::size_t p = 0; p < 48; p += 2) sw.connect(p, p + 1);
+  EXPECT_EQ(sw.free_ports(), 0u);
+  EXPECT_DOUBLE_EQ(sw.power_draw_watts(), 4.8);
+}
+
+}  // namespace
+}  // namespace dredbox::optics

@@ -1,0 +1,55 @@
+#include "optics/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::optics {
+namespace {
+
+TEST(UnitsTest, DbmMwConversions) {
+  EXPECT_DOUBLE_EQ(dbm_to_mw(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(dbm_to_mw(-10.0), 0.1);
+  EXPECT_NEAR(dbm_to_mw(-3.0), 0.501187, 1e-6);
+}
+
+TEST(UnitsTest, ConversionsRoundTrip) {
+  for (double dbm : {-30.0, -14.0, -3.7, 0.0, 5.0}) {
+    EXPECT_NEAR(mw_to_dbm(dbm_to_mw(dbm)), dbm, 1e-12);
+  }
+}
+
+TEST(UnitsTest, BerFromQKnownValues) {
+  // Q = 0 means a coin flip.
+  EXPECT_DOUBLE_EQ(ber_from_q(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(ber_from_q(-1.0), 0.5);
+  // Q ~ 7.03 is the textbook 1e-12 operating point.
+  EXPECT_NEAR(ber_from_q(7.033), 1e-12, 2e-13);
+  // Q = 6 -> ~1e-9.
+  EXPECT_NEAR(ber_from_q(6.0), 1e-9, 2e-10);
+}
+
+TEST(UnitsTest, BerMonotonicallyDecreasesWithQ) {
+  double prev = 1.0;
+  for (double q = 0.5; q < 12.0; q += 0.5) {
+    const double b = ber_from_q(q);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(UnitsTest, QFromBerInvertsBerFromQ) {
+  for (double ber : {1e-3, 1e-6, 1e-9, 1e-12, 1e-15}) {
+    const double q = q_from_ber(ber);
+    EXPECT_NEAR(ber_from_q(q), ber, ber * 1e-6);
+  }
+}
+
+TEST(UnitsTest, QFromBerValidation) {
+  EXPECT_THROW(q_from_ber(0.0), std::invalid_argument);
+  EXPECT_THROW(q_from_ber(0.5), std::invalid_argument);
+  EXPECT_THROW(q_from_ber(1.0), std::invalid_argument);
+  EXPECT_THROW(q_from_ber(-1e-9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dredbox::optics

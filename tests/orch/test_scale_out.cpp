@@ -1,0 +1,70 @@
+#include "orch/scale_out.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+namespace dredbox::orch {
+namespace {
+
+using sim::Time;
+
+TEST(ScaleOutTest, SingleSpawnTakesRoughlyAHundredSeconds) {
+  // Mao & Humphrey [13]: VM startup on public clouds is on the order of
+  // a hundred seconds.
+  ScaleOutBaseline baseline;
+  sim::Rng rng{1};
+  sim::SampleSet delays;
+  for (int i = 0; i < 100; ++i) {
+    baseline.reset();
+    delays.add(baseline.spawn(Time::zero(), rng).delay().as_sec());
+  }
+  EXPECT_GT(delays.mean(), 60.0);
+  EXPECT_LT(delays.mean(), 160.0);
+}
+
+TEST(ScaleOutTest, SchedulerSerializesConcurrentRequests) {
+  ScaleOutTiming timing;
+  timing.jitter_fraction = 0.0;
+  ScaleOutBaseline baseline{timing};
+  sim::Rng rng{2};
+  const auto r1 = baseline.spawn(Time::zero(), rng);
+  const auto r2 = baseline.spawn(Time::zero(), rng);
+  const auto r3 = baseline.spawn(Time::zero(), rng);
+  EXPECT_EQ(r2.delay() - r1.delay(), timing.placement_service);
+  EXPECT_EQ(r3.delay() - r2.delay(), timing.placement_service);
+}
+
+TEST(ScaleOutTest, SpacedRequestsDoNotQueue) {
+  ScaleOutTiming timing;
+  timing.jitter_fraction = 0.0;
+  ScaleOutBaseline baseline{timing};
+  sim::Rng rng{3};
+  const auto r1 = baseline.spawn(Time::zero(), rng);
+  const auto r2 = baseline.spawn(Time::sec(1000), rng);
+  EXPECT_EQ(r1.delay(), r2.delay());
+}
+
+TEST(ScaleOutTest, JitterVariesHostWork) {
+  ScaleOutBaseline baseline;
+  sim::Rng rng{4};
+  const auto a = baseline.spawn(Time::zero(), rng).delay();
+  baseline.reset();
+  const auto b = baseline.spawn(Time::zero(), rng).delay();
+  EXPECT_NE(a, b);
+}
+
+TEST(ScaleOutTest, ResetClearsSchedulerQueue) {
+  ScaleOutTiming timing;
+  timing.jitter_fraction = 0.0;
+  ScaleOutBaseline baseline{timing};
+  sim::Rng rng{5};
+  baseline.spawn(Time::zero(), rng);
+  baseline.reset();
+  const auto fresh = baseline.spawn(Time::zero(), rng);
+  EXPECT_EQ(fresh.delay(),
+            timing.placement_service + timing.image_provision + timing.guest_boot);
+}
+
+}  // namespace
+}  // namespace dredbox::orch

@@ -1,0 +1,125 @@
+#include "os/hotplug.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/compute_brick.hpp"
+#include "os/baremetal_os.hpp"
+
+namespace dredbox::os {
+namespace {
+
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+TEST(HotplugTest, HotAddCreatesOnlineRemoteRegion) {
+  PhysicalMemoryMap map;
+  MemoryHotplug hp{map};
+  const sim::Time latency = hp.hot_add(4 * kGiB, 2 * kGiB);
+  EXPECT_GT(latency, sim::Time::zero());
+  auto r = map.region_at(4 * kGiB);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->type, RegionType::kRemoteRam);
+  EXPECT_TRUE(r->online);
+  EXPECT_EQ(hp.hot_added_bytes(), 2 * kGiB);
+  EXPECT_EQ(hp.operations(), 1u);
+}
+
+TEST(HotplugTest, LatencyScalesWithSize) {
+  PhysicalMemoryMap map;
+  MemoryHotplug hp{map};
+  const sim::Time one = hp.hot_add(0, kGiB);
+  const sim::Time four = hp.hot_add(8 * kGiB, 4 * kGiB);
+  // fixed + 4x per-GiB > fixed + 1x per-GiB, and sublinear in the fixed part.
+  EXPECT_GT(four, one);
+  const HotplugTiming t;
+  EXPECT_EQ(one, t.fixed_cost + t.per_gib_cost);
+  EXPECT_EQ(four, t.fixed_cost + t.per_gib_cost * 4);
+}
+
+TEST(HotplugTest, MisalignedRequestsRejected) {
+  PhysicalMemoryMap map;
+  MemoryHotplug hp{map};
+  EXPECT_THROW(hp.hot_add(kGiB / 2, kGiB), std::invalid_argument);
+  EXPECT_THROW(hp.hot_add(0, kGiB + 5), std::invalid_argument);
+  EXPECT_THROW(hp.hot_add(0, 0), std::invalid_argument);
+}
+
+TEST(HotplugTest, OverlappingAddRejected) {
+  PhysicalMemoryMap map;
+  MemoryHotplug hp{map};
+  hp.hot_add(0, 2 * kGiB);
+  EXPECT_THROW(hp.hot_add(kGiB, kGiB), std::logic_error);
+}
+
+TEST(HotplugTest, HotRemoveExactRange) {
+  PhysicalMemoryMap map;
+  MemoryHotplug hp{map};
+  hp.hot_add(0, 2 * kGiB);
+  const sim::Time latency = hp.hot_remove(0, 2 * kGiB);
+  EXPECT_GT(latency, sim::Time::zero());
+  EXPECT_EQ(hp.hot_added_bytes(), 0u);
+}
+
+TEST(HotplugTest, HotRemoveValidation) {
+  PhysicalMemoryMap map;
+  MemoryHotplug hp{map};
+  hp.hot_add(0, 2 * kGiB);
+  EXPECT_THROW(hp.hot_remove(0, kGiB), std::logic_error);       // partial range
+  EXPECT_THROW(hp.hot_remove(4 * kGiB, kGiB), std::logic_error);  // unknown
+  // Local RAM cannot be hot-removed.
+  MemoryRegion local;
+  local.base = 8 * kGiB;
+  local.size = kGiB;
+  local.type = RegionType::kLocalRam;
+  map.add_region(local);
+  EXPECT_THROW(hp.hot_remove(8 * kGiB, kGiB), std::logic_error);
+}
+
+TEST(HotplugTest, BlockSizeMustBePowerOfTwo) {
+  PhysicalMemoryMap map;
+  EXPECT_THROW(MemoryHotplug(map, 3ull << 20), std::invalid_argument);
+  EXPECT_THROW(MemoryHotplug(map, 0), std::invalid_argument);
+  EXPECT_NO_THROW(MemoryHotplug(map, 128ull << 20));
+}
+
+TEST(HotplugTest, SmallerBlockGranularity) {
+  PhysicalMemoryMap map;
+  MemoryHotplug hp{map, 128ull << 20};  // 128 MiB sections
+  EXPECT_NO_THROW(hp.hot_add(128ull << 20, 384ull << 20));
+  EXPECT_EQ(hp.hot_added_bytes(), 384ull << 20);
+}
+
+TEST(BareMetalOsTest, BootsWithLocalRam) {
+  hw::ComputeBrick brick{hw::BrickId{1}, hw::TrayId{1}};
+  BareMetalOs os{brick};
+  EXPECT_EQ(os.brick(), brick.id());
+  EXPECT_EQ(os.local_bytes(), brick.local_memory_bytes());
+  EXPECT_EQ(os.remote_bytes(), 0u);
+  EXPECT_EQ(os.total_ram_bytes(), brick.local_memory_bytes());
+}
+
+TEST(BareMetalOsTest, AttachDetachRemoteMemory) {
+  hw::ComputeBrick brick{hw::BrickId{1}, hw::TrayId{1}};
+  BareMetalOs os{brick};
+  const std::uint64_t base = brick.config().remote_window_base;
+  const sim::Time add = os.attach_remote_memory(base, 2 * kGiB);
+  EXPECT_GT(add, sim::Time::zero());
+  EXPECT_EQ(os.remote_bytes(), 2 * kGiB);
+  EXPECT_EQ(os.total_ram_bytes(), os.local_bytes() + 2 * kGiB);
+  const sim::Time rm = os.detach_remote_memory(base, 2 * kGiB);
+  EXPECT_GT(rm, sim::Time::zero());
+  EXPECT_EQ(os.remote_bytes(), 0u);
+}
+
+TEST(BareMetalOsTest, MultipleAttachmentsCoexist) {
+  hw::ComputeBrick brick{hw::BrickId{1}, hw::TrayId{1}};
+  BareMetalOs os{brick};
+  const std::uint64_t base = brick.config().remote_window_base;
+  os.attach_remote_memory(base, kGiB);
+  os.attach_remote_memory(base + kGiB, kGiB);
+  os.attach_remote_memory(base + 4 * kGiB, 2 * kGiB);
+  EXPECT_EQ(os.remote_bytes(), 4 * kGiB);
+  EXPECT_EQ(os.hotplug().operations(), 3u);
+}
+
+}  // namespace
+}  // namespace dredbox::os

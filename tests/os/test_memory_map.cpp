@@ -1,0 +1,87 @@
+#include "os/memory_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::os {
+namespace {
+
+MemoryRegion region(std::uint64_t base, std::uint64_t size,
+                    RegionType type = RegionType::kLocalRam) {
+  MemoryRegion r;
+  r.base = base;
+  r.size = size;
+  r.type = type;
+  r.online = true;
+  return r;
+}
+
+TEST(MemoryMapTest, AddAndQuery) {
+  PhysicalMemoryMap map;
+  map.add_region(region(0x0, 0x1000));
+  auto r = map.region_at(0x800);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->base, 0x0u);
+  EXPECT_FALSE(map.region_at(0x1000).has_value());
+}
+
+TEST(MemoryMapTest, RegionsKeptSorted) {
+  PhysicalMemoryMap map;
+  map.add_region(region(0x2000, 0x1000));
+  map.add_region(region(0x0, 0x1000));
+  ASSERT_EQ(map.regions().size(), 2u);
+  EXPECT_EQ(map.regions()[0].base, 0x0u);
+  EXPECT_EQ(map.regions()[1].base, 0x2000u);
+}
+
+TEST(MemoryMapTest, OverlapRejected) {
+  PhysicalMemoryMap map;
+  map.add_region(region(0x1000, 0x1000));
+  EXPECT_THROW(map.add_region(region(0x1800, 0x1000)), std::logic_error);
+  EXPECT_THROW(map.add_region(region(0x0, 0x1001)), std::logic_error);
+  EXPECT_NO_THROW(map.add_region(region(0x2000, 0x1000)));  // adjacent ok
+}
+
+TEST(MemoryMapTest, DegenerateRegionsRejected) {
+  PhysicalMemoryMap map;
+  EXPECT_THROW(map.add_region(region(0x0, 0)), std::invalid_argument);
+  EXPECT_THROW(map.add_region(region(UINT64_MAX - 1, 0x10)), std::invalid_argument);
+}
+
+TEST(MemoryMapTest, RemoveRegion) {
+  PhysicalMemoryMap map;
+  map.add_region(region(0x0, 0x1000));
+  EXPECT_TRUE(map.remove_region(0x0));
+  EXPECT_FALSE(map.remove_region(0x0));
+  EXPECT_TRUE(map.regions().empty());
+}
+
+TEST(MemoryMapTest, TotalsByType) {
+  PhysicalMemoryMap map;
+  map.add_region(region(0x0, 0x1000, RegionType::kLocalRam));
+  map.add_region(region(0x2000, 0x3000, RegionType::kRemoteRam));
+  map.add_region(region(0x8000, 0x500, RegionType::kReserved));
+  EXPECT_EQ(map.total_bytes(RegionType::kLocalRam), 0x1000u);
+  EXPECT_EQ(map.total_bytes(RegionType::kRemoteRam), 0x3000u);
+  EXPECT_EQ(map.total_bytes(RegionType::kReserved), 0x500u);
+}
+
+TEST(MemoryMapTest, OnlineAccounting) {
+  PhysicalMemoryMap map;
+  map.add_region(region(0x0, 0x1000));
+  auto off = region(0x2000, 0x1000);
+  off.online = false;
+  map.add_region(off);
+  EXPECT_EQ(map.online_bytes(), 0x1000u);
+  map.set_online(0x2000, true);
+  EXPECT_EQ(map.online_bytes(), 0x2000u);
+  EXPECT_THROW(map.set_online(0x9999, true), std::out_of_range);
+}
+
+TEST(MemoryMapTest, RegionTypeNames) {
+  EXPECT_EQ(to_string(RegionType::kLocalRam), "local-ram");
+  EXPECT_EQ(to_string(RegionType::kRemoteRam), "remote-ram");
+  EXPECT_EQ(to_string(RegionType::kReserved), "reserved");
+}
+
+}  // namespace
+}  // namespace dredbox::os

@@ -1,0 +1,139 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dredbox::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.next_time(), Time::infinity());
+  EXPECT_FALSE(q.dispatch_one());
+}
+
+TEST(EventQueueTest, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::ns(30), [&] { order.push_back(3); });
+  q.schedule(Time::ns(10), [&] { order.push_back(1); });
+  q.schedule(Time::ns(20), [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(Time::ns(5), [&, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NowAdvancesWithDispatch) {
+  EventQueue q;
+  q.schedule(Time::ns(42), [] {});
+  q.dispatch_one();
+  EXPECT_EQ(q.now(), Time::ns(42));
+}
+
+TEST(EventQueueTest, RejectsSchedulingInThePast) {
+  EventQueue q;
+  q.schedule(Time::ns(100), [] {});
+  q.dispatch_one();
+  EXPECT_THROW(q.schedule(Time::ns(50), [] {}), std::invalid_argument);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(Time::ns(10), [&] {
+    ++fired;
+    q.schedule(Time::ns(20), [&] { ++fired; });
+  });
+  EXPECT_EQ(q.run(), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), Time::ns(20));
+}
+
+TEST(EventQueueTest, CancelPreventsDispatch) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(Time::ns(10), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  q.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule(Time::ns(10), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{999}));
+  EXPECT_FALSE(q.cancel(EventId{0}));
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(Time::ns(10), [&] { ++fired; });
+  q.schedule(Time::ns(20), [&] { ++fired; });
+  q.schedule(Time::ns(30), [&] { ++fired; });
+  EXPECT_EQ(q.run_until(Time::ns(20)), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), Time::ns(20));
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesTimeWhenIdle) {
+  EventQueue q;
+  q.run_until(Time::ms(5));
+  EXPECT_EQ(q.now(), Time::ms(5));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(Time::ns(10), [] {});
+  q.schedule(Time::ns(20), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), Time::ns(20));
+}
+
+TEST(EventQueueTest, ResetClearsEverything) {
+  EventQueue q;
+  q.schedule(Time::ns(10), [] {});
+  q.schedule(Time::ns(20), [] {});
+  q.dispatch_one();
+  q.reset();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), Time::zero());
+}
+
+TEST(EventQueueTest, ManyEventsStressOrder) {
+  EventQueue q;
+  Time last = Time::zero();
+  bool monotone = true;
+  for (int i = 0; i < 1000; ++i) {
+    // Pseudo-scattered times, deterministic.
+    const Time when = Time::ns((i * 7919) % 4096);
+    q.schedule(when, [&, when] {
+      if (q.now() < last) monotone = false;
+      last = q.now();
+    });
+  }
+  EXPECT_EQ(q.run(), 1000u);
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace dredbox::sim

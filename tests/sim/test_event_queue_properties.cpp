@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace dredbox::sim {
+namespace {
+
+/// Property: the event queue dispatches exactly the non-cancelled events
+/// in the order a reference model (stable sort by time) predicts.
+class EventQueuePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueuePropertyTest, MatchesReferenceModel) {
+  sim::Rng rng{GetParam()};
+  EventQueue queue;
+
+  struct Ref {
+    Time when;
+    int tag;
+    bool cancelled = false;
+  };
+  std::vector<Ref> reference;
+  std::vector<EventId> ids;
+  std::vector<int> dispatched;
+
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const Time when = Time::us(static_cast<double>(rng.uniform_int(0, 1000)));
+    reference.push_back(Ref{when, i});
+    ids.push_back(queue.schedule(when, [&dispatched, i] { dispatched.push_back(i); }));
+  }
+  // Cancel a random third of them.
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(1.0 / 3.0)) {
+      if (queue.cancel(ids[static_cast<std::size_t>(i)])) {
+        reference[static_cast<std::size_t>(i)].cancelled = true;
+      }
+    }
+  }
+
+  queue.run();
+
+  std::vector<Ref> expected;
+  for (const auto& r : reference) {
+    if (!r.cancelled) expected.push_back(r);
+  }
+  // FIFO tie-break == stable sort on time.
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Ref& a, const Ref& b) { return a.when < b.when; });
+
+  ASSERT_EQ(dispatched.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(dispatched[i], expected[i].tag) << "at position " << i;
+  }
+}
+
+TEST_P(EventQueuePropertyTest, CascadedSchedulingStaysMonotonic) {
+  sim::Rng rng{GetParam() ^ 0x5EEDu};
+  EventQueue queue;
+  Time last = Time::zero();
+  bool monotonic = true;
+  int fired = 0;
+
+  // Events re-schedule follow-ups at random future offsets; time must
+  // never go backwards and every event must fire.
+  std::function<void(int)> chain = [&](int depth) {
+    if (queue.now() < last) monotonic = false;
+    last = queue.now();
+    ++fired;
+    if (depth > 0) {
+      const Time offset = Time::ns(static_cast<double>(rng.uniform_int(0, 500)));
+      queue.schedule(queue.now() + offset, [&, depth] { chain(depth - 1); });
+    }
+  };
+  for (int i = 0; i < 20; ++i) {
+    queue.schedule(Time::us(static_cast<double>(i)), [&] { chain(10); });
+  }
+  queue.run();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(fired, 20 * 11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueuePropertyTest,
+                         ::testing::Values(2u, 29u, 71u, 113u));
+
+}  // namespace
+}  // namespace dredbox::sim

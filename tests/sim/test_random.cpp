@@ -1,0 +1,148 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace dredbox::sim {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1 << 30) == b.uniform_int(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng{7};
+  EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng{7};
+  EXPECT_THROW(rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng{9};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(1, 8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRealStaysInRange) {
+  Rng rng{11};
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, NormalHasRequestedMoments) {
+  Rng rng{13};
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng{17};
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  Rng rng{17};
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng{19};
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  EXPECT_FALSE(rng.chance(-0.5));
+  EXPECT_TRUE(rng.chance(1.5));
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng{23};
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng{29};
+  std::vector<double> weights{1.0, 3.0};
+  int ones = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.weighted_index(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, WeightedIndexRejectsBadInput) {
+  Rng rng{29};
+  EXPECT_THROW(rng.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW(rng.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng{31};
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, ForkProducesDecorrelatedStream) {
+  Rng parent{37};
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.uniform_int(0, 1 << 30) == child.uniform_int(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace dredbox::sim

@@ -1,0 +1,104 @@
+#include "sim/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+namespace dredbox::sim {
+namespace {
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable t{{"a", "b"}};
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t{{"workload", "off"}};
+  t.add_row({"High RAM", "86%"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("workload"), std::string::npos);
+  EXPECT_NE(out.find("High RAM"), std::string::npos);
+  EXPECT_NE(out.find("86%"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsWidenToContent) {
+  TextTable t{{"x"}};
+  t.add_row({"a-very-long-cell-value"});
+  const std::string out = t.to_string();
+  // Separator must be at least as wide as the longest cell.
+  const auto line_end = out.find('\n');
+  EXPECT_GE(line_end, std::string{"a-very-long-cell-value"}.size());
+}
+
+TEST(TextTableTest, NumberFormatters) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::pct(0.866, 1), "86.6%");
+  const std::string s = TextTable::sci(1.2e-12, 1);
+  EXPECT_NE(s.find("e-12"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvRendersHeaderAndRows) {
+  TextTable t{{"workload", "off"}};
+  t.add_row({"High RAM", "86%"});
+  t.add_row({"Random", "18%"});
+  EXPECT_EQ(t.to_csv(), "workload,off\nHigh RAM,86%\nRandom,18%\n");
+}
+
+TEST(TextTableTest, CsvQuotesSpecialCells) {
+  TextTable t{{"name", "note"}};
+  t.add_row({"a,b", "say \"hi\""});
+  EXPECT_EQ(t.to_csv(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvExportTest, NoopWithoutEnvVar) {
+  unsetenv("DREDBOX_CSV_DIR");
+  TextTable t{{"a"}};
+  t.add_row({"1"});
+  EXPECT_FALSE(maybe_write_csv("unused", t));
+}
+
+TEST(CsvExportTest, WritesFileWhenEnvSet) {
+  const std::string dir = ::testing::TempDir();
+  setenv("DREDBOX_CSV_DIR", dir.c_str(), 1);
+  TextTable t{{"a", "b"}};
+  t.add_row({"1", "2"});
+  EXPECT_TRUE(maybe_write_csv("csv_export_test", t));
+  unsetenv("DREDBOX_CSV_DIR");
+  std::ifstream in{dir + "/csv_export_test.csv"};
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+TEST(CsvExportTest, BadDirectoryThrows) {
+  setenv("DREDBOX_CSV_DIR", "/nonexistent-dredbox-dir", 1);
+  TextTable t{{"a"}};
+  t.add_row({"1"});
+  EXPECT_THROW(maybe_write_csv("x", t), std::runtime_error);
+  unsetenv("DREDBOX_CSV_DIR");
+}
+
+TEST(AsciiBarTest, ScalesToWidth) {
+  EXPECT_EQ(ascii_bar(1.0, 1.0, 10).size(), 10u);
+  EXPECT_EQ(ascii_bar(0.5, 1.0, 10).size(), 5u);
+  EXPECT_EQ(ascii_bar(0.0, 1.0, 10).size(), 0u);
+}
+
+TEST(AsciiBarTest, ClampsOutOfRange) {
+  EXPECT_EQ(ascii_bar(2.0, 1.0, 10).size(), 10u);
+  EXPECT_EQ(ascii_bar(-1.0, 1.0, 10).size(), 0u);
+  EXPECT_EQ(ascii_bar(1.0, 0.0, 10), "");
+}
+
+}  // namespace
+}  // namespace dredbox::sim

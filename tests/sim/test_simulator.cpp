@@ -1,0 +1,79 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Time::zero());
+}
+
+TEST(SimulatorTest, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.after(Time::ms(10), [&] {
+    order.push_back(1);
+    sim.after(Time::ms(5), [&] { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), Time::ms(15));
+}
+
+TEST(SimulatorTest, AtSchedulesAbsolute) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(Time::sec(1), [&] { fired = true; });
+  sim.run_until(Time::ms(500));
+  EXPECT_FALSE(fired);
+  sim.run_until(Time::sec(2));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), Time::sec(2));
+}
+
+TEST(SimulatorTest, CancelStopsEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.after(Time::ms(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, SeededRngIsDeterministic) {
+  Simulator a{99};
+  Simulator b{99};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.rng().uniform_int(0, 1 << 20), b.rng().uniform_int(0, 1 << 20));
+  }
+}
+
+TEST(SimulatorTest, ForkRngDecorrelates) {
+  Simulator sim{7};
+  Rng child = sim.fork_rng();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (sim.rng().uniform_int(0, 1 << 30) == child.uniform_int(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(SimulatorTest, ResetRestoresCleanState) {
+  Simulator sim{1};
+  sim.after(Time::sec(5), [] {});
+  sim.run_until(Time::sec(1));
+  sim.reset(2);
+  EXPECT_EQ(sim.now(), Time::zero());
+  EXPECT_EQ(sim.run(), 0u);  // pending event was dropped
+}
+
+TEST(SimulatorTest, RunReturnsDispatchCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.after(Time::ms(i + 1), [] {});
+  EXPECT_EQ(sim.run(), 7u);
+}
+
+}  // namespace
+}  // namespace dredbox::sim

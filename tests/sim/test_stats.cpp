@@ -1,0 +1,184 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace dredbox::sim {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  RunningStats a, b, all;
+  Rng rng{5};
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(SampleSetTest, QuantilesOfKnownSet) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.75), 4.0);
+}
+
+TEST(SampleSetTest, QuantileInterpolates) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.1), 1.0);
+}
+
+TEST(SampleSetTest, UnsortedInsertionHandled) {
+  SampleSet s;
+  for (double x : {9.0, 1.0, 5.0, 3.0, 7.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(SampleSetTest, QuantileValidation) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(SampleSetTest, BoxPlotFiveNumbers) {
+  SampleSet s;
+  for (int i = 1; i <= 101; ++i) s.add(static_cast<double>(i));
+  const BoxPlot b = s.box_plot();
+  EXPECT_DOUBLE_EQ(b.minimum, 1.0);
+  EXPECT_DOUBLE_EQ(b.q1, 26.0);
+  EXPECT_DOUBLE_EQ(b.median, 51.0);
+  EXPECT_DOUBLE_EQ(b.q3, 76.0);
+  EXPECT_DOUBLE_EQ(b.maximum, 101.0);
+  EXPECT_EQ(b.count, 101u);
+  EXPECT_DOUBLE_EQ(b.iqr(), 50.0);
+}
+
+TEST(SampleSetTest, BoxPlotOrderingInvariant) {
+  Rng rng{77};
+  SampleSet s;
+  for (int i = 0; i < 500; ++i) s.add(rng.normal(0.0, 1.0));
+  const BoxPlot b = s.box_plot();
+  EXPECT_LE(b.minimum, b.q1);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.q3, b.maximum);
+}
+
+TEST(SampleSetTest, PercentileAliasesQuantile) {
+  SampleSet s;
+  for (int i = 0; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(95.0), s.quantile(0.95));
+}
+
+TEST(SampleSetTest, StandardErrorAndCi95) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.standard_error(), 0.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.standard_error(), 0.0);  // one sample: undefined -> 0
+  for (double x : {2.0, 3.0, 4.0, 5.0}) s.add(x);
+  // stddev of {1..5} = sqrt(2.5); SE = sqrt(2.5)/sqrt(5) = sqrt(0.5).
+  EXPECT_NEAR(s.standard_error(), std::sqrt(0.5), 1e-12);
+  EXPECT_NEAR(s.ci95_halfwidth(), 1.96 * std::sqrt(0.5), 1e-12);
+}
+
+TEST(SampleSetTest, CiShrinksWithMoreSamples) {
+  Rng rng{42};
+  SampleSet small, large;
+  for (int i = 0; i < 30; ++i) small.add(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 3000; ++i) large.add(rng.normal(0.0, 1.0));
+  EXPECT_LT(large.ci95_halfwidth(), small.ci95_halfwidth());
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamps to bin 0
+  h.add(42.0);   // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h{0.0, 10.0, 5};
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(HistogramTest, Validation) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(5.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(HistogramTest, RendersOneLinePerBin) {
+  Histogram h{0.0, 4.0, 4};
+  h.add(1.0);
+  const std::string out = h.to_string();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace dredbox::sim

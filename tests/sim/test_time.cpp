@@ -1,0 +1,84 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::sim {
+namespace {
+
+TEST(TimeTest, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t.ticks(), 0);
+  EXPECT_EQ(t, Time::zero());
+}
+
+TEST(TimeTest, UnitConstructorsAgree) {
+  EXPECT_EQ(Time::ns(1).ticks(), 1000);
+  EXPECT_EQ(Time::us(1), Time::ns(1000));
+  EXPECT_EQ(Time::ms(1), Time::us(1000));
+  EXPECT_EQ(Time::sec(1), Time::ms(1000));
+}
+
+TEST(TimeTest, FractionalValuesRound) {
+  EXPECT_EQ(Time::ns(0.5).ticks(), 500);
+  EXPECT_EQ(Time::ns(0.0004).ticks(), 0);   // below a tick
+  EXPECT_EQ(Time::ns(0.0006).ticks(), 1);   // rounds up
+}
+
+TEST(TimeTest, Arithmetic) {
+  const Time a = Time::ns(100);
+  const Time b = Time::ns(40);
+  EXPECT_EQ((a + b).as_ns(), 140.0);
+  EXPECT_EQ((a - b).as_ns(), 60.0);
+  EXPECT_EQ((a * 3).as_ns(), 300.0);
+  EXPECT_EQ((a / 4).as_ns(), 25.0);
+}
+
+TEST(TimeTest, CompoundAssignment) {
+  Time t = Time::ns(10);
+  t += Time::ns(5);
+  EXPECT_EQ(t, Time::ns(15));
+  t -= Time::ns(10);
+  EXPECT_EQ(t, Time::ns(5));
+}
+
+TEST(TimeTest, Ordering) {
+  EXPECT_LT(Time::ns(1), Time::us(1));
+  EXPECT_GT(Time::sec(1), Time::ms(999));
+  EXPECT_LE(Time::zero(), Time::zero());
+}
+
+TEST(TimeTest, ConversionRoundTrip) {
+  const Time t = Time::us(123.456);
+  EXPECT_NEAR(t.as_us(), 123.456, 1e-9);
+  EXPECT_NEAR(t.as_ns(), 123456.0, 1e-6);
+  EXPECT_NEAR(t.as_sec(), 123.456e-6, 1e-15);
+}
+
+TEST(TimeTest, InfinityBehaviour) {
+  EXPECT_TRUE(Time::infinity().is_infinite());
+  EXPECT_FALSE(Time::sec(1e6).is_infinite());
+  EXPECT_GT(Time::infinity(), Time::sec(1e6));
+  EXPECT_EQ(Time::infinity().to_string(), "+inf");
+}
+
+TEST(TimeTest, NegativeDurationsAllowed) {
+  const Time d = Time::ns(10) - Time::ns(25);
+  EXPECT_EQ(d.as_ns(), -15.0);
+}
+
+TEST(TimeTest, ScaleHelper) {
+  EXPECT_EQ(scale(Time::ns(100), 0.5), Time::ns(50));
+  EXPECT_EQ(scale(Time::ns(100), 2.0), Time::ns(200));
+  EXPECT_EQ(scale(Time::zero(), 123.0), Time::zero());
+}
+
+TEST(TimeTest, ToStringSelectsUnit) {
+  EXPECT_EQ(Time::ps(500).to_string(), "500 ps");
+  EXPECT_NE(Time::ns(5).to_string().find("ns"), std::string::npos);
+  EXPECT_NE(Time::us(5).to_string().find("us"), std::string::npos);
+  EXPECT_NE(Time::ms(5).to_string().find("ms"), std::string::npos);
+  EXPECT_NE(Time::sec(5).to_string().find("s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dredbox::sim

@@ -1,0 +1,79 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::sim {
+namespace {
+
+TEST(TracerTest, DisabledByDefault) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.record(Time::ms(1), TraceCategory::kFabric, "ignored");
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TracerTest, RecordsWhenEnabled) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(Time::ms(1), TraceCategory::kFabric, "attached");
+  tracer.record(Time::ms(2), TraceCategory::kPower, "swept");
+  ASSERT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.events()[0].message, "attached");
+  EXPECT_EQ(tracer.events()[1].category, TraceCategory::kPower);
+}
+
+TEST(TracerTest, FilterByCategory) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(Time::ms(1), TraceCategory::kFabric, "a");
+  tracer.record(Time::ms(2), TraceCategory::kPower, "b");
+  tracer.record(Time::ms(3), TraceCategory::kFabric, "c");
+  const auto fabric = tracer.filter(TraceCategory::kFabric);
+  ASSERT_EQ(fabric.size(), 2u);
+  EXPECT_EQ(fabric[0].message, "a");
+  EXPECT_EQ(fabric[1].message, "c");
+}
+
+TEST(TracerTest, CapacityEvictsOldest) {
+  Tracer tracer{3};
+  tracer.enable();
+  for (int i = 0; i < 5; ++i) {
+    tracer.record(Time::ms(i), TraceCategory::kApplication, std::to_string(i));
+  }
+  EXPECT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+  EXPECT_EQ(tracer.events().front().message, "2");
+}
+
+TEST(TracerTest, ToStringRendersTimeline) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(Time::ms(5), TraceCategory::kHotplug, "hot-added 2 GiB");
+  const std::string out = tracer.to_string();
+  EXPECT_NE(out.find("hotplug"), std::string::npos);
+  EXPECT_NE(out.find("hot-added 2 GiB"), std::string::npos);
+  EXPECT_NE(out.find("5 ms"), std::string::npos);
+}
+
+TEST(TracerTest, ClearResets) {
+  Tracer tracer{2};
+  tracer.enable();
+  tracer.record(Time::ms(1), TraceCategory::kFabric, "a");
+  tracer.record(Time::ms(2), TraceCategory::kFabric, "b");
+  tracer.record(Time::ms(3), TraceCategory::kFabric, "c");
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(TracerTest, ZeroCapacityRejected) {
+  EXPECT_THROW(Tracer{0}, std::invalid_argument);
+}
+
+TEST(TracerTest, CategoryNames) {
+  EXPECT_EQ(to_string(TraceCategory::kMigration), "migration");
+  EXPECT_EQ(to_string(TraceCategory::kOrchestration), "orchestration");
+}
+
+}  // namespace
+}  // namespace dredbox::sim

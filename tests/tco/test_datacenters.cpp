@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "tco/conventional_dc.hpp"
+#include "tco/disaggregated_dc.hpp"
+
+namespace dredbox::tco {
+namespace {
+
+TEST(ConventionalDcTest, FirstFitPacksInOrder) {
+  ConventionalDatacenter dc{3, 32, 32};
+  EXPECT_EQ(dc.schedule({16, 16}), 0u);
+  EXPECT_EQ(dc.schedule({16, 16}), 0u);  // fills server 0
+  EXPECT_EQ(dc.schedule({16, 16}), 1u);  // spills to server 1
+  EXPECT_EQ(dc.idle_servers(), 1u);
+  EXPECT_EQ(dc.active_servers(), 2u);
+}
+
+TEST(ConventionalDcTest, BothDimensionsMustFit) {
+  ConventionalDatacenter dc{1, 32, 32};
+  ASSERT_TRUE(dc.schedule({4, 28}));
+  // 28 cores free but only 4 GB RAM free.
+  EXPECT_FALSE(dc.schedule({8, 8}).has_value());
+  EXPECT_TRUE(dc.schedule({8, 4}).has_value());
+}
+
+TEST(ConventionalDcTest, OversizedVmNeverFits) {
+  ConventionalDatacenter dc{4, 32, 32};
+  EXPECT_FALSE(dc.schedule({33, 1}).has_value());
+  EXPECT_FALSE(dc.schedule({1, 33}).has_value());
+}
+
+TEST(ConventionalDcTest, CouplingStrandsResources) {
+  // The Section VI fragmentation effect: RAM-heavy VMs strand cores.
+  ConventionalDatacenter dc{4, 32, 32};
+  int placed = 0;
+  while (dc.schedule({4, 28})) ++placed;
+  EXPECT_EQ(placed, 4);  // one per server (28+28 > 32)
+  EXPECT_EQ(dc.idle_servers(), 0u);
+  EXPECT_EQ(dc.used_cores(), 16u);       // 16 of 128 cores in use
+  EXPECT_EQ(dc.used_ram_gb(), 112u);
+}
+
+TEST(ConventionalDcTest, AccountingAndReset) {
+  ConventionalDatacenter dc{2, 32, 32};
+  dc.schedule({8, 8});
+  EXPECT_EQ(dc.scheduled_vms(), 1u);
+  EXPECT_EQ(dc.total_cores(), 64u);
+  EXPECT_EQ(dc.total_ram_gb(), 64u);
+  dc.reset();
+  EXPECT_EQ(dc.scheduled_vms(), 0u);
+  EXPECT_EQ(dc.idle_servers(), 2u);
+}
+
+TEST(ConventionalDcTest, Validation) {
+  EXPECT_THROW(ConventionalDatacenter(0, 32, 32), std::invalid_argument);
+  EXPECT_THROW(ConventionalDatacenter(1, 0, 32), std::invalid_argument);
+  EXPECT_THROW(ConventionalDatacenter(1, 32, 0), std::invalid_argument);
+}
+
+TEST(DisaggregatedDcTest, ResourcesAllocatedIndependently) {
+  DisaggregatedDatacenter dc{4, 8, 4, 8};  // 32 cores, 32 GB
+  auto p = dc.schedule({4, 28});
+  ASSERT_TRUE(p.has_value());
+  // RAM spans multiple memory bricks; cores sit on one compute brick.
+  EXPECT_EQ(p->compute.size(), 1u);
+  EXPECT_EQ(p->memory.size(), 4u);  // 28 GB over 8 GB bricks
+  EXPECT_EQ(dc.used_cores(), 4u);
+  EXPECT_EQ(dc.used_ram_gb(), 28u);
+}
+
+TEST(DisaggregatedDcTest, VmsCanSpanComputeBricks) {
+  DisaggregatedDatacenter dc{4, 8, 4, 8};
+  auto p = dc.schedule({20, 4});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->compute.size(), 3u);  // 8 + 8 + 4
+}
+
+TEST(DisaggregatedDcTest, PacksWarmBricksFirst) {
+  DisaggregatedDatacenter dc{4, 8, 4, 8};
+  ASSERT_TRUE(dc.schedule({2, 2}));
+  ASSERT_TRUE(dc.schedule({2, 2}));
+  // Both VMs share one compute brick and one memory brick.
+  EXPECT_EQ(dc.idle_compute_bricks(), 3u);
+  EXPECT_EQ(dc.idle_memory_bricks(), 3u);
+}
+
+TEST(DisaggregatedDcTest, AggregateShortageFailsAtomically) {
+  DisaggregatedDatacenter dc{2, 8, 2, 8};  // 16 cores, 16 GB
+  ASSERT_TRUE(dc.schedule({10, 10}));
+  const auto before_cores = dc.used_cores();
+  const auto before_ram = dc.used_ram_gb();
+  EXPECT_FALSE(dc.schedule({8, 2}).has_value());   // cores short
+  EXPECT_FALSE(dc.schedule({2, 8}).has_value());   // ram short
+  EXPECT_EQ(dc.used_cores(), before_cores);  // no partial allocation
+  EXPECT_EQ(dc.used_ram_gb(), before_ram);
+}
+
+TEST(DisaggregatedDcTest, IdleFractions) {
+  DisaggregatedDatacenter dc{4, 8, 4, 8};
+  dc.schedule({8, 4});
+  EXPECT_DOUBLE_EQ(dc.idle_compute_fraction(), 0.75);
+  EXPECT_DOUBLE_EQ(dc.idle_memory_fraction(), 0.75);
+  EXPECT_DOUBLE_EQ(dc.idle_combined_fraction(), 0.75);
+}
+
+TEST(DisaggregatedDcTest, UnbalancedWorkloadLeavesOnePoolIdle) {
+  // High-CPU VMs: memory bricks stay mostly idle -> can power off.
+  DisaggregatedDatacenter dc{8, 8, 8, 8};  // 64 cores, 64 GB
+  while (dc.schedule({8, 1})) {
+  }
+  EXPECT_EQ(dc.idle_compute_bricks(), 0u);
+  EXPECT_GE(dc.idle_memory_bricks(), 7u);  // 8 GB demand fits one brick
+}
+
+TEST(DisaggregatedDcTest, Validation) {
+  EXPECT_THROW(DisaggregatedDatacenter(0, 8, 4, 8), std::invalid_argument);
+  EXPECT_THROW(DisaggregatedDatacenter(4, 0, 4, 8), std::invalid_argument);
+  EXPECT_THROW(DisaggregatedDatacenter(4, 8, 0, 8), std::invalid_argument);
+  EXPECT_THROW(DisaggregatedDatacenter(4, 8, 4, 0), std::invalid_argument);
+}
+
+TEST(DisaggregatedDcTest, Reset) {
+  DisaggregatedDatacenter dc{2, 8, 2, 8};
+  dc.schedule({4, 4});
+  dc.reset();
+  EXPECT_EQ(dc.used_cores(), 0u);
+  EXPECT_EQ(dc.used_ram_gb(), 0u);
+  EXPECT_EQ(dc.scheduled_vms(), 0u);
+}
+
+}  // namespace
+}  // namespace dredbox::tco

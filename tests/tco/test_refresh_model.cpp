@@ -1,0 +1,88 @@
+#include "tco/refresh_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::tco {
+namespace {
+
+TcoConfig small_config() {
+  TcoConfig cfg;
+  cfg.servers = 32;
+  cfg.repetitions = 3;
+  return cfg;
+}
+
+TEST(RefreshStudyTest, CapexScalesWithUnits) {
+  const RefreshStudy study{small_config()};
+  const auto conv = study.conventional(WorkloadType::kRandom, 1.0);
+  const auto dd = study.dredbox(WorkloadType::kRandom, 1.0);
+  EXPECT_DOUBLE_EQ(conv.capex_usd, 32 * study.costs().server_cost);
+  EXPECT_DOUBLE_EQ(dd.capex_usd, 128 * study.costs().compute_brick_cost +
+                                     128 * study.costs().memory_brick_cost);
+}
+
+TEST(RefreshStudyTest, NoRefreshWithinFirstCadence) {
+  const RefreshStudy study{small_config()};
+  EXPECT_DOUBLE_EQ(study.conventional(WorkloadType::kRandom, 2.9).refresh_usd, 0.0);
+  EXPECT_DOUBLE_EQ(study.dredbox(WorkloadType::kRandom, 2.9).refresh_usd, 0.0);
+}
+
+TEST(RefreshStudyTest, ServerRefreshReplacesEverything) {
+  const RefreshStudy study{small_config()};
+  // 7-year horizon: servers refresh at years 3 and 6 (2 cycles).
+  const auto conv = study.conventional(WorkloadType::kRandom, 7.0);
+  const double per_cycle =
+      32 * study.costs().server_cost * (1.0 - study.costs().salvage_fraction);
+  EXPECT_DOUBLE_EQ(conv.refresh_usd, 2 * per_cycle);
+}
+
+TEST(RefreshStudyTest, ComponentRefreshSkipsYoungDram) {
+  const RefreshStudy study{small_config()};
+  // 7 years: compute bricks refresh twice (3, 6), memory bricks once (6).
+  const auto dd = study.dredbox(WorkloadType::kRandom, 7.0);
+  const double salvage = 1.0 - study.costs().salvage_fraction;
+  const double expected = 2 * 128 * study.costs().compute_brick_cost * salvage +
+                          1 * 128 * study.costs().memory_brick_cost * salvage;
+  EXPECT_DOUBLE_EQ(dd.refresh_usd, expected);
+}
+
+TEST(RefreshStudyTest, EnergyFollowsFig13) {
+  const RefreshStudy study{small_config()};
+  // High RAM powers off most compute bricks: dReDBox energy well below
+  // conventional.
+  const auto conv = study.conventional(WorkloadType::kHighRam, 5.0);
+  const auto dd = study.dredbox(WorkloadType::kHighRam, 5.0);
+  EXPECT_LT(dd.energy_usd, 0.7 * conv.energy_usd);
+  EXPECT_GT(dd.energy_usd, 0.0);
+}
+
+TEST(RefreshStudyTest, FiveYearSavingsOnEveryMix) {
+  const RefreshStudy study{small_config()};
+  for (WorkloadType type : all_workload_types()) {
+    EXPECT_GT(study.savings(type, 5.0), 0.0) << to_string(type);
+  }
+}
+
+TEST(RefreshStudyTest, SavingsGrowWithHorizon) {
+  // The refresh advantage compounds: each server cycle re-buys DRAM the
+  // brick model keeps.
+  const RefreshStudy study{small_config()};
+  const double y2 = study.savings(WorkloadType::kRandom, 2.0);
+  const double y7 = study.savings(WorkloadType::kRandom, 7.0);
+  EXPECT_GT(y7, y2);
+}
+
+TEST(RefreshStudyTest, TotalIsSumOfParts) {
+  const RefreshStudy study{small_config()};
+  const auto p = study.dredbox(WorkloadType::kHalfHalf, 5.0);
+  EXPECT_DOUBLE_EQ(p.total(), p.capex_usd + p.refresh_usd + p.energy_usd);
+}
+
+TEST(RefreshStudyTest, Validation) {
+  RefreshCosts bad;
+  bad.server_refresh_years = 0;
+  EXPECT_THROW(RefreshStudy(small_config(), bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dredbox::tco

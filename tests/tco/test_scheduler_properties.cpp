@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+#include "tco/conventional_dc.hpp"
+#include "tco/disaggregated_dc.hpp"
+#include "tco/workload.hpp"
+
+namespace dredbox::tco {
+namespace {
+
+/// Properties under random VM streams from any Table I mix:
+///  (1) neither datacenter ever over-commits a resource;
+///  (2) the pool scheduler never *false-rejects*: while aggregate cores
+///      and RAM suffice, it accepts (no internal fragmentation) — the
+///      conventional scheduler has no such guarantee, which is the whole
+///      Section VI argument;
+///  (3) until the pools first saturate, they absorb at least as much
+///      resource volume as the coupled servers (they accept a superset of
+///      whatever the coupled servers accept).
+class SchedulerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<WorkloadType, std::uint64_t>> {};
+
+TEST_P(SchedulerPropertyTest, NoOvercommitNoFalseRejects) {
+  const auto [type, seed] = GetParam();
+  sim::Rng rng{seed};
+  ConventionalDatacenter conv{16, 32, 32};
+  DisaggregatedDatacenter dd{64, 8, 64, 8};
+  const WorkloadGenerator gen{type};
+
+  std::size_t dd_accepted = 0;
+  bool dd_saturated = false;
+  for (int i = 0; i < 400; ++i) {
+    const VmSpec vm = gen.next(rng);
+    const bool fits_aggregate = dd.used_cores() + vm.vcpus <= dd.total_cores() &&
+                                dd.used_ram_gb() + vm.ram_gb <= dd.total_ram_gb();
+    conv.schedule(vm);
+    const bool dd_ok = dd.schedule(vm).has_value();
+    if (dd_ok) ++dd_accepted;
+    if (!dd_ok) dd_saturated = true;
+
+    // (2) no false rejects in the pools.
+    ASSERT_EQ(dd_ok, fits_aggregate) << to_string(type) << " vm " << i;
+
+    // (1) capacity invariants.
+    ASSERT_LE(conv.used_cores(), conv.total_cores());
+    ASSERT_LE(conv.used_ram_gb(), conv.total_ram_gb());
+    ASSERT_LE(dd.used_cores(), dd.total_cores());
+    ASSERT_LE(dd.used_ram_gb(), dd.total_ram_gb());
+
+    // (3) pre-saturation, the pools hold a superset of what the coupled
+    // servers hold.
+    if (!dd_saturated) {
+      ASSERT_GE(dd.used_cores(), conv.used_cores());
+      ASSERT_GE(dd.used_ram_gb(), conv.used_ram_gb());
+    }
+  }
+  EXPECT_GT(dd_accepted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MixesAndSeeds, SchedulerPropertyTest,
+    ::testing::Combine(::testing::ValuesIn(all_workload_types()),
+                       ::testing::Values(3u, 41u, 127u)),
+    [](const auto& info) {
+      std::string n = to_string(std::get<0>(info.param)) + "_seed" +
+                      std::to_string(std::get<1>(info.param));
+      for (auto& c : n) {
+        if (c == ' ') c = '_';
+      }
+      return n;
+    });
+
+}  // namespace
+}  // namespace dredbox::tco

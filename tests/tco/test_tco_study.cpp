@@ -1,0 +1,123 @@
+#include "tco/tco_study.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::tco {
+namespace {
+
+TcoConfig small_config() {
+  TcoConfig cfg;
+  cfg.servers = 32;
+  cfg.repetitions = 3;
+  return cfg;
+}
+
+TEST(TcoStudyTest, DatacentersHoldEqualAggregates) {
+  const TcoConfig cfg = small_config();
+  // Fig. 11: same aggregate compute and memory on both sides.
+  EXPECT_EQ(cfg.compute_bricks() * cfg.cores_per_compute_brick,
+            cfg.servers * cfg.cores_per_server);
+  EXPECT_EQ(cfg.memory_bricks() * cfg.ram_gb_per_memory_brick,
+            cfg.servers * cfg.ram_gb_per_server);
+}
+
+TEST(TcoStudyTest, MisalignedBrickSizesRejected) {
+  TcoConfig cfg;
+  cfg.cores_per_compute_brick = 5;  // does not divide 32
+  EXPECT_THROW(TcoStudy{cfg}, std::invalid_argument);
+}
+
+TEST(TcoStudyTest, ServerEquivalentPowerIsBrickSum) {
+  const TcoConfig cfg = small_config();
+  // 4 compute bricks + 4 memory bricks per server-equivalent.
+  EXPECT_DOUBLE_EQ(cfg.server_equivalent_w(),
+                   4 * cfg.power.compute_brick_w + 4 * cfg.power.memory_brick_w);
+}
+
+TEST(TcoStudyTest, HighRamPowersOffMostComputeBricks) {
+  const TcoStudy study{small_config()};
+  const PowerOffRow row = study.run_poweroff(WorkloadType::kHighRam);
+  // The Fig. 12 headline: up to ~88% of dCOMPUBRICKs can be powered off
+  // on RAM-bound mixes, while the conventional DC strands its cores
+  // inside busy servers.
+  EXPECT_GT(row.dd_compute_off, 0.75);
+  EXPECT_LT(row.conventional_off, 0.20);
+  EXPECT_LT(row.dd_memory_off, 0.25);  // memory pool is the busy one
+}
+
+TEST(TcoStudyTest, HighCpuPowersOffMostMemoryBricks) {
+  const TcoStudy study{small_config()};
+  const PowerOffRow row = study.run_poweroff(WorkloadType::kHighCpu);
+  EXPECT_GT(row.dd_memory_off, 0.75);
+  EXPECT_LT(row.dd_compute_off, 0.25);
+  EXPECT_LT(row.conventional_off, 0.20);
+}
+
+TEST(TcoStudyTest, BalancedMixesGiveLittleAdvantage) {
+  const TcoStudy study{small_config()};
+  const PowerOffRow row = study.run_poweroff(WorkloadType::kHalfHalf);
+  // Balanced demand: both datacenters pack comparably.
+  EXPECT_LT(row.dd_combined_off - row.conventional_off, 0.25);
+}
+
+TEST(TcoStudyTest, DisaggregatedNeverWorseOnCombinedPowerOff) {
+  const TcoStudy study{small_config()};
+  for (const auto& row : study.run_poweroff_all()) {
+    EXPECT_GE(row.dd_combined_off, row.conventional_off - 0.05)
+        << to_string(row.workload);
+  }
+}
+
+TEST(TcoStudyTest, UnbalancedMixesSaveRoughlyHalfTheEnergy) {
+  const TcoStudy study{small_config()};
+  const PowerRow high_ram = study.run_power(WorkloadType::kHighRam);
+  const PowerRow high_cpu = study.run_power(WorkloadType::kHighCpu);
+  // Fig. 13: "almost 50% energy savings depending on the workload".
+  EXPECT_GT(high_ram.savings(), 0.35);
+  EXPECT_LT(high_ram.savings(), 0.65);
+  EXPECT_GT(high_cpu.savings(), 0.35);
+  EXPECT_LT(high_cpu.savings(), 0.70);
+}
+
+TEST(TcoStudyTest, HalfHalfSavesLittle) {
+  const TcoStudy study{small_config()};
+  const PowerRow row = study.run_power(WorkloadType::kHalfHalf);
+  EXPECT_LT(row.savings(), 0.15);
+  EXPECT_DOUBLE_EQ(row.conventional_norm, 1.0);
+}
+
+TEST(TcoStudyTest, FewVmsDroppedFromEitherDatacenter) {
+  const TcoStudy study{small_config()};
+  for (const auto& row : study.run_poweroff_all()) {
+    EXPECT_LT(row.dd_dropped, 1.0) << to_string(row.workload);
+    // Conventional fragmentation may drop a handful on tight mixes, but
+    // the bounded workload (85%) should mostly fit.
+    EXPECT_LT(row.conventional_dropped / std::max(1.0, row.vms_scheduled), 0.15)
+        << to_string(row.workload);
+  }
+}
+
+TEST(TcoStudyTest, DeterministicForFixedSeed) {
+  const TcoStudy study{small_config()};
+  const PowerOffRow a = study.run_poweroff(WorkloadType::kRandom);
+  const PowerOffRow b = study.run_poweroff(WorkloadType::kRandom);
+  EXPECT_DOUBLE_EQ(a.dd_combined_off, b.dd_combined_off);
+  EXPECT_DOUBLE_EQ(a.conventional_off, b.conventional_off);
+}
+
+TEST(TcoStudyTest, RunsAllSixMixes) {
+  const TcoStudy study{small_config()};
+  EXPECT_EQ(study.run_poweroff_all().size(), 6u);
+  EXPECT_EQ(study.run_power_all().size(), 6u);
+}
+
+TEST(TcoStudyTest, DescribeMatchesFig11) {
+  const TcoStudy study{small_config()};
+  const std::string d = study.describe_datacenters();
+  EXPECT_NE(d.find("32 servers"), std::string::npos);
+  EXPECT_NE(d.find("128 dCOMPUBRICKs"), std::string::npos);
+  EXPECT_NE(d.find("equal aggregates"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dredbox::tco

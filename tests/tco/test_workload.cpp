@@ -1,0 +1,125 @@
+#include "tco/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dredbox::tco {
+namespace {
+
+TEST(WorkloadTest, TableOneRanges) {
+  // The exact rows of Table I.
+  auto r = ranges_for(WorkloadType::kRandom);
+  EXPECT_EQ(r.cpu_lo, 1u);
+  EXPECT_EQ(r.cpu_hi, 32u);
+  EXPECT_EQ(r.ram_lo_gb, 1u);
+  EXPECT_EQ(r.ram_hi_gb, 32u);
+
+  r = ranges_for(WorkloadType::kHighRam);
+  EXPECT_EQ(r.cpu_hi, 8u);
+  EXPECT_EQ(r.ram_lo_gb, 24u);
+
+  r = ranges_for(WorkloadType::kHighCpu);
+  EXPECT_EQ(r.cpu_lo, 24u);
+  EXPECT_EQ(r.ram_hi_gb, 8u);
+
+  r = ranges_for(WorkloadType::kHalfHalf);
+  EXPECT_EQ(r.cpu_lo, 16u);
+  EXPECT_EQ(r.cpu_hi, 16u);
+  EXPECT_EQ(r.ram_lo_gb, 16u);
+  EXPECT_EQ(r.ram_hi_gb, 16u);
+
+  r = ranges_for(WorkloadType::kMoreRam);
+  EXPECT_EQ(r.cpu_hi, 6u);
+  EXPECT_EQ(r.ram_lo_gb, 17u);
+
+  r = ranges_for(WorkloadType::kMoreCpu);
+  EXPECT_EQ(r.cpu_lo, 17u);
+  EXPECT_EQ(r.ram_hi_gb, 16u);
+}
+
+TEST(WorkloadTest, AllTypesListedOnce) {
+  const auto types = all_workload_types();
+  EXPECT_EQ(types.size(), 6u);
+}
+
+TEST(WorkloadTest, Names) {
+  EXPECT_EQ(to_string(WorkloadType::kRandom), "Random");
+  EXPECT_EQ(to_string(WorkloadType::kHighRam), "High RAM");
+  EXPECT_EQ(to_string(WorkloadType::kHalfHalf), "Half Half");
+}
+
+class WorkloadDrawTest : public ::testing::TestWithParam<WorkloadType> {};
+
+TEST_P(WorkloadDrawTest, DrawsStayInRange) {
+  const WorkloadGenerator gen{GetParam()};
+  const auto& r = gen.ranges();
+  sim::Rng rng{99};
+  for (int i = 0; i < 2000; ++i) {
+    const VmSpec vm = gen.next(rng);
+    EXPECT_GE(vm.vcpus, r.cpu_lo);
+    EXPECT_LE(vm.vcpus, r.cpu_hi);
+    EXPECT_GE(vm.ram_gb, r.ram_lo_gb);
+    EXPECT_LE(vm.ram_gb, r.ram_hi_gb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMixes, WorkloadDrawTest,
+                         ::testing::ValuesIn(all_workload_types()),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           for (auto& c : n) {
+                             if (c == ' ') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(WorkloadTest, HalfHalfIsDeterministic) {
+  const WorkloadGenerator gen{WorkloadType::kHalfHalf};
+  sim::Rng rng{1};
+  for (int i = 0; i < 10; ++i) {
+    const VmSpec vm = gen.next(rng);
+    EXPECT_EQ(vm.vcpus, 16u);
+    EXPECT_EQ(vm.ram_gb, 16u);
+  }
+}
+
+TEST(WorkloadTest, BoundedGenerationRespectsBudgets) {
+  const WorkloadGenerator gen{WorkloadType::kRandom};
+  sim::Rng rng{7};
+  const std::size_t total_cores = 2048;
+  const std::uint64_t total_ram = 2048;
+  const auto workload = gen.generate_bounded(rng, total_cores, total_ram, 0.85);
+  EXPECT_FALSE(workload.empty());
+  std::size_t cores = 0;
+  std::uint64_t ram = 0;
+  for (const auto& vm : workload) {
+    cores += vm.vcpus;
+    ram += vm.ram_gb;
+  }
+  EXPECT_LE(cores, static_cast<std::size_t>(0.85 * total_cores));
+  EXPECT_LE(ram, static_cast<std::uint64_t>(0.85 * total_ram));
+}
+
+TEST(WorkloadTest, BoundedGenerationBindsOnScarceResource) {
+  // High RAM fills the RAM budget long before the CPU budget.
+  const WorkloadGenerator gen{WorkloadType::kHighRam};
+  sim::Rng rng{7};
+  const auto workload = gen.generate_bounded(rng, 2048, 2048, 0.85);
+  std::size_t cores = 0;
+  std::uint64_t ram = 0;
+  for (const auto& vm : workload) {
+    cores += vm.vcpus;
+    ram += vm.ram_gb;
+  }
+  EXPECT_GT(ram, 1600u);       // close to the 85% RAM budget
+  EXPECT_LT(cores, 600u);      // CPUs barely used
+}
+
+TEST(WorkloadTest, BoundedGenerationValidation) {
+  const WorkloadGenerator gen{WorkloadType::kRandom};
+  sim::Rng rng{7};
+  EXPECT_THROW(gen.generate_bounded(rng, 100, 100, 0.0), std::invalid_argument);
+  EXPECT_THROW(gen.generate_bounded(rng, 100, 100, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dredbox::tco
