@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_app_slowdown.dir/abl_app_slowdown.cpp.o"
+  "CMakeFiles/abl_app_slowdown.dir/abl_app_slowdown.cpp.o.d"
+  "abl_app_slowdown"
+  "abl_app_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_app_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_circuit_vs_packet.dir/abl_circuit_vs_packet.cpp.o"
+  "CMakeFiles/abl_circuit_vs_packet.dir/abl_circuit_vs_packet.cpp.o.d"
+  "abl_circuit_vs_packet"
+  "abl_circuit_vs_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_circuit_vs_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_elasticity_tiers.dir/abl_elasticity_tiers.cpp.o"
+  "CMakeFiles/abl_elasticity_tiers.dir/abl_elasticity_tiers.cpp.o.d"
+  "abl_elasticity_tiers"
+  "abl_elasticity_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_elasticity_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

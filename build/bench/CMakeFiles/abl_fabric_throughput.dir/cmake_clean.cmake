@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fabric_throughput.dir/abl_fabric_throughput.cpp.o"
+  "CMakeFiles/abl_fabric_throughput.dir/abl_fabric_throughput.cpp.o.d"
+  "abl_fabric_throughput"
+  "abl_fabric_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fabric_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_fec_latency.dir/abl_fec_latency.cpp.o"
+  "CMakeFiles/abl_fec_latency.dir/abl_fec_latency.cpp.o.d"
+  "abl_fec_latency"
+  "abl_fec_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fec_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

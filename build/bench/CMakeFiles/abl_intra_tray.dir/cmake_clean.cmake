@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_intra_tray.dir/abl_intra_tray.cpp.o"
+  "CMakeFiles/abl_intra_tray.dir/abl_intra_tray.cpp.o.d"
+  "abl_intra_tray"
+  "abl_intra_tray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_intra_tray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

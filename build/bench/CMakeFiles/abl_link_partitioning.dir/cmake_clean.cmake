@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_link_partitioning.dir/abl_link_partitioning.cpp.o"
+  "CMakeFiles/abl_link_partitioning.dir/abl_link_partitioning.cpp.o.d"
+  "abl_link_partitioning"
+  "abl_link_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_link_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_memory_controllers.dir/abl_memory_controllers.cpp.o"
+  "CMakeFiles/abl_memory_controllers.dir/abl_memory_controllers.cpp.o.d"
+  "abl_memory_controllers"
+  "abl_memory_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_memory_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

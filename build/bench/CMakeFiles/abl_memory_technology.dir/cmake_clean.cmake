@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_memory_technology.dir/abl_memory_technology.cpp.o"
+  "CMakeFiles/abl_memory_technology.dir/abl_memory_technology.cpp.o.d"
+  "abl_memory_technology"
+  "abl_memory_technology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_memory_technology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

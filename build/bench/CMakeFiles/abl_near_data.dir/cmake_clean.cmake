@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_near_data.dir/abl_near_data.cpp.o"
+  "CMakeFiles/abl_near_data.dir/abl_near_data.cpp.o.d"
+  "abl_near_data"
+  "abl_near_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_near_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

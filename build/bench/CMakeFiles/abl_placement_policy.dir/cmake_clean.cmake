@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_placement_policy.dir/abl_placement_policy.cpp.o"
+  "CMakeFiles/abl_placement_policy.dir/abl_placement_policy.cpp.o.d"
+  "abl_placement_policy"
+  "abl_placement_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_placement_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

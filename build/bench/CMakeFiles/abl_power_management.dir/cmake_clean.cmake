@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_power_management.dir/abl_power_management.cpp.o"
+  "CMakeFiles/abl_power_management.dir/abl_power_management.cpp.o.d"
+  "abl_power_management"
+  "abl_power_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_power_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_tco_refresh.dir/abl_tco_refresh.cpp.o"
+  "CMakeFiles/abl_tco_refresh.dir/abl_tco_refresh.cpp.o.d"
+  "abl_tco_refresh"
+  "abl_tco_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_tco_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_scaleup.dir/fig10_scaleup.cpp.o"
+  "CMakeFiles/fig10_scaleup.dir/fig10_scaleup.cpp.o.d"
+  "fig10_scaleup"
+  "fig10_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

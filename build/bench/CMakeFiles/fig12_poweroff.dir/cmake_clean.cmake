@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_poweroff.dir/fig12_poweroff.cpp.o"
+  "CMakeFiles/fig12_poweroff.dir/fig12_poweroff.cpp.o.d"
+  "fig12_poweroff"
+  "fig12_poweroff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_poweroff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ber.dir/fig7_ber.cpp.o"
+  "CMakeFiles/fig7_ber.dir/fig7_ber.cpp.o.d"
+  "fig7_ber"
+  "fig7_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_probe.dir/network_probe.cpp.o"
+  "CMakeFiles/network_probe.dir/network_probe.cpp.o.d"
+  "network_probe"
+  "network_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_keyserver.dir/nfv_keyserver.cpp.o"
+  "CMakeFiles/nfv_keyserver.dir/nfv_keyserver.cpp.o.d"
+  "nfv_keyserver"
+  "nfv_keyserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_keyserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/oom_protection.cpp" "examples/CMakeFiles/oom_protection.dir/oom_protection.cpp.o" "gcc" "examples/CMakeFiles/oom_protection.dir/oom_protection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dredbox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/dredbox_tco.dir/DependInfo.cmake"
+  "/root/repo/build/src/orch/CMakeFiles/dredbox_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyp/CMakeFiles/dredbox_hyp.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dredbox_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/dredbox_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dredbox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/dredbox_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dredbox_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dredbox_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

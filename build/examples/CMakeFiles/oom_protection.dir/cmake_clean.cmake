@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oom_protection.dir/oom_protection.cpp.o"
+  "CMakeFiles/oom_protection.dir/oom_protection.cpp.o.d"
+  "oom_protection"
+  "oom_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oom_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rack_report.dir/rack_report.cpp.o"
+  "CMakeFiles/rack_report.dir/rack_report.cpp.o.d"
+  "rack_report"
+  "rack_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rack_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_performance.cpp" "src/core/CMakeFiles/dredbox_core.dir/app_performance.cpp.o" "gcc" "src/core/CMakeFiles/dredbox_core.dir/app_performance.cpp.o.d"
+  "/root/repo/src/core/datacenter.cpp" "src/core/CMakeFiles/dredbox_core.dir/datacenter.cpp.o" "gcc" "src/core/CMakeFiles/dredbox_core.dir/datacenter.cpp.o.d"
+  "/root/repo/src/core/pilots/network_analytics.cpp" "src/core/CMakeFiles/dredbox_core.dir/pilots/network_analytics.cpp.o" "gcc" "src/core/CMakeFiles/dredbox_core.dir/pilots/network_analytics.cpp.o.d"
+  "/root/repo/src/core/pilots/nfv.cpp" "src/core/CMakeFiles/dredbox_core.dir/pilots/nfv.cpp.o" "gcc" "src/core/CMakeFiles/dredbox_core.dir/pilots/nfv.cpp.o.d"
+  "/root/repo/src/core/pilots/video_analytics.cpp" "src/core/CMakeFiles/dredbox_core.dir/pilots/video_analytics.cpp.o" "gcc" "src/core/CMakeFiles/dredbox_core.dir/pilots/video_analytics.cpp.o.d"
+  "/root/repo/src/core/scaleup_experiment.cpp" "src/core/CMakeFiles/dredbox_core.dir/scaleup_experiment.cpp.o" "gcc" "src/core/CMakeFiles/dredbox_core.dir/scaleup_experiment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dredbox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dredbox_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/dredbox_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dredbox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/dredbox_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dredbox_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyp/CMakeFiles/dredbox_hyp.dir/DependInfo.cmake"
+  "/root/repo/build/src/orch/CMakeFiles/dredbox_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/dredbox_tco.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dredbox_core.dir/app_performance.cpp.o"
+  "CMakeFiles/dredbox_core.dir/app_performance.cpp.o.d"
+  "CMakeFiles/dredbox_core.dir/datacenter.cpp.o"
+  "CMakeFiles/dredbox_core.dir/datacenter.cpp.o.d"
+  "CMakeFiles/dredbox_core.dir/pilots/network_analytics.cpp.o"
+  "CMakeFiles/dredbox_core.dir/pilots/network_analytics.cpp.o.d"
+  "CMakeFiles/dredbox_core.dir/pilots/nfv.cpp.o"
+  "CMakeFiles/dredbox_core.dir/pilots/nfv.cpp.o.d"
+  "CMakeFiles/dredbox_core.dir/pilots/video_analytics.cpp.o"
+  "CMakeFiles/dredbox_core.dir/pilots/video_analytics.cpp.o.d"
+  "CMakeFiles/dredbox_core.dir/scaleup_experiment.cpp.o"
+  "CMakeFiles/dredbox_core.dir/scaleup_experiment.cpp.o.d"
+  "libdredbox_core.a"
+  "libdredbox_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dredbox_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accel_brick.cpp" "src/hw/CMakeFiles/dredbox_hw.dir/accel_brick.cpp.o" "gcc" "src/hw/CMakeFiles/dredbox_hw.dir/accel_brick.cpp.o.d"
+  "/root/repo/src/hw/brick.cpp" "src/hw/CMakeFiles/dredbox_hw.dir/brick.cpp.o" "gcc" "src/hw/CMakeFiles/dredbox_hw.dir/brick.cpp.o.d"
+  "/root/repo/src/hw/compute_brick.cpp" "src/hw/CMakeFiles/dredbox_hw.dir/compute_brick.cpp.o" "gcc" "src/hw/CMakeFiles/dredbox_hw.dir/compute_brick.cpp.o.d"
+  "/root/repo/src/hw/memory_brick.cpp" "src/hw/CMakeFiles/dredbox_hw.dir/memory_brick.cpp.o" "gcc" "src/hw/CMakeFiles/dredbox_hw.dir/memory_brick.cpp.o.d"
+  "/root/repo/src/hw/rack.cpp" "src/hw/CMakeFiles/dredbox_hw.dir/rack.cpp.o" "gcc" "src/hw/CMakeFiles/dredbox_hw.dir/rack.cpp.o.d"
+  "/root/repo/src/hw/rmst.cpp" "src/hw/CMakeFiles/dredbox_hw.dir/rmst.cpp.o" "gcc" "src/hw/CMakeFiles/dredbox_hw.dir/rmst.cpp.o.d"
+  "/root/repo/src/hw/tgl.cpp" "src/hw/CMakeFiles/dredbox_hw.dir/tgl.cpp.o" "gcc" "src/hw/CMakeFiles/dredbox_hw.dir/tgl.cpp.o.d"
+  "/root/repo/src/hw/tray.cpp" "src/hw/CMakeFiles/dredbox_hw.dir/tray.cpp.o" "gcc" "src/hw/CMakeFiles/dredbox_hw.dir/tray.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dredbox_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

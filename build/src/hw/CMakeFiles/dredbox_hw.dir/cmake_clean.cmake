@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dredbox_hw.dir/accel_brick.cpp.o"
+  "CMakeFiles/dredbox_hw.dir/accel_brick.cpp.o.d"
+  "CMakeFiles/dredbox_hw.dir/brick.cpp.o"
+  "CMakeFiles/dredbox_hw.dir/brick.cpp.o.d"
+  "CMakeFiles/dredbox_hw.dir/compute_brick.cpp.o"
+  "CMakeFiles/dredbox_hw.dir/compute_brick.cpp.o.d"
+  "CMakeFiles/dredbox_hw.dir/memory_brick.cpp.o"
+  "CMakeFiles/dredbox_hw.dir/memory_brick.cpp.o.d"
+  "CMakeFiles/dredbox_hw.dir/rack.cpp.o"
+  "CMakeFiles/dredbox_hw.dir/rack.cpp.o.d"
+  "CMakeFiles/dredbox_hw.dir/rmst.cpp.o"
+  "CMakeFiles/dredbox_hw.dir/rmst.cpp.o.d"
+  "CMakeFiles/dredbox_hw.dir/tgl.cpp.o"
+  "CMakeFiles/dredbox_hw.dir/tgl.cpp.o.d"
+  "CMakeFiles/dredbox_hw.dir/tray.cpp.o"
+  "CMakeFiles/dredbox_hw.dir/tray.cpp.o.d"
+  "libdredbox_hw.a"
+  "libdredbox_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dredbox_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dredbox_hyp.dir/hypervisor.cpp.o"
+  "CMakeFiles/dredbox_hyp.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/dredbox_hyp.dir/vm.cpp.o"
+  "CMakeFiles/dredbox_hyp.dir/vm.cpp.o.d"
+  "libdredbox_hyp.a"
+  "libdredbox_hyp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dredbox_hyp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

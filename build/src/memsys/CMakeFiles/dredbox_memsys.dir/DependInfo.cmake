@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsys/dma.cpp" "src/memsys/CMakeFiles/dredbox_memsys.dir/dma.cpp.o" "gcc" "src/memsys/CMakeFiles/dredbox_memsys.dir/dma.cpp.o.d"
+  "/root/repo/src/memsys/remote_memory.cpp" "src/memsys/CMakeFiles/dredbox_memsys.dir/remote_memory.cpp.o" "gcc" "src/memsys/CMakeFiles/dredbox_memsys.dir/remote_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dredbox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dredbox_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/dredbox_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dredbox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

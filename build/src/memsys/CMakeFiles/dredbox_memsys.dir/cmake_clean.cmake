@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dredbox_memsys.dir/dma.cpp.o"
+  "CMakeFiles/dredbox_memsys.dir/dma.cpp.o.d"
+  "CMakeFiles/dredbox_memsys.dir/remote_memory.cpp.o"
+  "CMakeFiles/dredbox_memsys.dir/remote_memory.cpp.o.d"
+  "libdredbox_memsys.a"
+  "libdredbox_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dredbox_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

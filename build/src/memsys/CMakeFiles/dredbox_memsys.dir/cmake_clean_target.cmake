@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdredbox_memsys.a"
+)

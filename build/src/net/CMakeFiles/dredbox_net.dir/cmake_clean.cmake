@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dredbox_net.dir/packet_network.cpp.o"
+  "CMakeFiles/dredbox_net.dir/packet_network.cpp.o.d"
+  "CMakeFiles/dredbox_net.dir/packet_switch.cpp.o"
+  "CMakeFiles/dredbox_net.dir/packet_switch.cpp.o.d"
+  "libdredbox_net.a"
+  "libdredbox_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dredbox_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

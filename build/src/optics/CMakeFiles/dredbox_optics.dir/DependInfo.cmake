@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optics/circuit.cpp" "src/optics/CMakeFiles/dredbox_optics.dir/circuit.cpp.o" "gcc" "src/optics/CMakeFiles/dredbox_optics.dir/circuit.cpp.o.d"
+  "/root/repo/src/optics/fec.cpp" "src/optics/CMakeFiles/dredbox_optics.dir/fec.cpp.o" "gcc" "src/optics/CMakeFiles/dredbox_optics.dir/fec.cpp.o.d"
+  "/root/repo/src/optics/link_budget.cpp" "src/optics/CMakeFiles/dredbox_optics.dir/link_budget.cpp.o" "gcc" "src/optics/CMakeFiles/dredbox_optics.dir/link_budget.cpp.o.d"
+  "/root/repo/src/optics/mbo.cpp" "src/optics/CMakeFiles/dredbox_optics.dir/mbo.cpp.o" "gcc" "src/optics/CMakeFiles/dredbox_optics.dir/mbo.cpp.o.d"
+  "/root/repo/src/optics/optical_switch.cpp" "src/optics/CMakeFiles/dredbox_optics.dir/optical_switch.cpp.o" "gcc" "src/optics/CMakeFiles/dredbox_optics.dir/optical_switch.cpp.o.d"
+  "/root/repo/src/optics/receiver.cpp" "src/optics/CMakeFiles/dredbox_optics.dir/receiver.cpp.o" "gcc" "src/optics/CMakeFiles/dredbox_optics.dir/receiver.cpp.o.d"
+  "/root/repo/src/optics/units.cpp" "src/optics/CMakeFiles/dredbox_optics.dir/units.cpp.o" "gcc" "src/optics/CMakeFiles/dredbox_optics.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dredbox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dredbox_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

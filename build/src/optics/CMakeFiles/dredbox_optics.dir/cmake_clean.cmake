@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dredbox_optics.dir/circuit.cpp.o"
+  "CMakeFiles/dredbox_optics.dir/circuit.cpp.o.d"
+  "CMakeFiles/dredbox_optics.dir/fec.cpp.o"
+  "CMakeFiles/dredbox_optics.dir/fec.cpp.o.d"
+  "CMakeFiles/dredbox_optics.dir/link_budget.cpp.o"
+  "CMakeFiles/dredbox_optics.dir/link_budget.cpp.o.d"
+  "CMakeFiles/dredbox_optics.dir/mbo.cpp.o"
+  "CMakeFiles/dredbox_optics.dir/mbo.cpp.o.d"
+  "CMakeFiles/dredbox_optics.dir/optical_switch.cpp.o"
+  "CMakeFiles/dredbox_optics.dir/optical_switch.cpp.o.d"
+  "CMakeFiles/dredbox_optics.dir/receiver.cpp.o"
+  "CMakeFiles/dredbox_optics.dir/receiver.cpp.o.d"
+  "CMakeFiles/dredbox_optics.dir/units.cpp.o"
+  "CMakeFiles/dredbox_optics.dir/units.cpp.o.d"
+  "libdredbox_optics.a"
+  "libdredbox_optics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dredbox_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orch/accel_manager.cpp" "src/orch/CMakeFiles/dredbox_orch.dir/accel_manager.cpp.o" "gcc" "src/orch/CMakeFiles/dredbox_orch.dir/accel_manager.cpp.o.d"
+  "/root/repo/src/orch/consolidator.cpp" "src/orch/CMakeFiles/dredbox_orch.dir/consolidator.cpp.o" "gcc" "src/orch/CMakeFiles/dredbox_orch.dir/consolidator.cpp.o.d"
+  "/root/repo/src/orch/demand_registry.cpp" "src/orch/CMakeFiles/dredbox_orch.dir/demand_registry.cpp.o" "gcc" "src/orch/CMakeFiles/dredbox_orch.dir/demand_registry.cpp.o.d"
+  "/root/repo/src/orch/migration.cpp" "src/orch/CMakeFiles/dredbox_orch.dir/migration.cpp.o" "gcc" "src/orch/CMakeFiles/dredbox_orch.dir/migration.cpp.o.d"
+  "/root/repo/src/orch/oom_guard.cpp" "src/orch/CMakeFiles/dredbox_orch.dir/oom_guard.cpp.o" "gcc" "src/orch/CMakeFiles/dredbox_orch.dir/oom_guard.cpp.o.d"
+  "/root/repo/src/orch/openstack.cpp" "src/orch/CMakeFiles/dredbox_orch.dir/openstack.cpp.o" "gcc" "src/orch/CMakeFiles/dredbox_orch.dir/openstack.cpp.o.d"
+  "/root/repo/src/orch/power_manager.cpp" "src/orch/CMakeFiles/dredbox_orch.dir/power_manager.cpp.o" "gcc" "src/orch/CMakeFiles/dredbox_orch.dir/power_manager.cpp.o.d"
+  "/root/repo/src/orch/scale_out.cpp" "src/orch/CMakeFiles/dredbox_orch.dir/scale_out.cpp.o" "gcc" "src/orch/CMakeFiles/dredbox_orch.dir/scale_out.cpp.o.d"
+  "/root/repo/src/orch/sdm_agent.cpp" "src/orch/CMakeFiles/dredbox_orch.dir/sdm_agent.cpp.o" "gcc" "src/orch/CMakeFiles/dredbox_orch.dir/sdm_agent.cpp.o.d"
+  "/root/repo/src/orch/sdm_controller.cpp" "src/orch/CMakeFiles/dredbox_orch.dir/sdm_controller.cpp.o" "gcc" "src/orch/CMakeFiles/dredbox_orch.dir/sdm_controller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dredbox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dredbox_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/dredbox_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/dredbox_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dredbox_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyp/CMakeFiles/dredbox_hyp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dredbox_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dredbox_orch.dir/accel_manager.cpp.o"
+  "CMakeFiles/dredbox_orch.dir/accel_manager.cpp.o.d"
+  "CMakeFiles/dredbox_orch.dir/consolidator.cpp.o"
+  "CMakeFiles/dredbox_orch.dir/consolidator.cpp.o.d"
+  "CMakeFiles/dredbox_orch.dir/demand_registry.cpp.o"
+  "CMakeFiles/dredbox_orch.dir/demand_registry.cpp.o.d"
+  "CMakeFiles/dredbox_orch.dir/migration.cpp.o"
+  "CMakeFiles/dredbox_orch.dir/migration.cpp.o.d"
+  "CMakeFiles/dredbox_orch.dir/oom_guard.cpp.o"
+  "CMakeFiles/dredbox_orch.dir/oom_guard.cpp.o.d"
+  "CMakeFiles/dredbox_orch.dir/openstack.cpp.o"
+  "CMakeFiles/dredbox_orch.dir/openstack.cpp.o.d"
+  "CMakeFiles/dredbox_orch.dir/power_manager.cpp.o"
+  "CMakeFiles/dredbox_orch.dir/power_manager.cpp.o.d"
+  "CMakeFiles/dredbox_orch.dir/scale_out.cpp.o"
+  "CMakeFiles/dredbox_orch.dir/scale_out.cpp.o.d"
+  "CMakeFiles/dredbox_orch.dir/sdm_agent.cpp.o"
+  "CMakeFiles/dredbox_orch.dir/sdm_agent.cpp.o.d"
+  "CMakeFiles/dredbox_orch.dir/sdm_controller.cpp.o"
+  "CMakeFiles/dredbox_orch.dir/sdm_controller.cpp.o.d"
+  "libdredbox_orch.a"
+  "libdredbox_orch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dredbox_orch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dredbox_orch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/baremetal_os.cpp" "src/os/CMakeFiles/dredbox_os.dir/baremetal_os.cpp.o" "gcc" "src/os/CMakeFiles/dredbox_os.dir/baremetal_os.cpp.o.d"
+  "/root/repo/src/os/hotplug.cpp" "src/os/CMakeFiles/dredbox_os.dir/hotplug.cpp.o" "gcc" "src/os/CMakeFiles/dredbox_os.dir/hotplug.cpp.o.d"
+  "/root/repo/src/os/memory_map.cpp" "src/os/CMakeFiles/dredbox_os.dir/memory_map.cpp.o" "gcc" "src/os/CMakeFiles/dredbox_os.dir/memory_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dredbox_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dredbox_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dredbox_os.dir/baremetal_os.cpp.o"
+  "CMakeFiles/dredbox_os.dir/baremetal_os.cpp.o.d"
+  "CMakeFiles/dredbox_os.dir/hotplug.cpp.o"
+  "CMakeFiles/dredbox_os.dir/hotplug.cpp.o.d"
+  "CMakeFiles/dredbox_os.dir/memory_map.cpp.o"
+  "CMakeFiles/dredbox_os.dir/memory_map.cpp.o.d"
+  "libdredbox_os.a"
+  "libdredbox_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dredbox_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dredbox_sim.dir/breakdown.cpp.o"
+  "CMakeFiles/dredbox_sim.dir/breakdown.cpp.o.d"
+  "CMakeFiles/dredbox_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dredbox_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dredbox_sim.dir/random.cpp.o"
+  "CMakeFiles/dredbox_sim.dir/random.cpp.o.d"
+  "CMakeFiles/dredbox_sim.dir/report.cpp.o"
+  "CMakeFiles/dredbox_sim.dir/report.cpp.o.d"
+  "CMakeFiles/dredbox_sim.dir/stats.cpp.o"
+  "CMakeFiles/dredbox_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/dredbox_sim.dir/time.cpp.o"
+  "CMakeFiles/dredbox_sim.dir/time.cpp.o.d"
+  "CMakeFiles/dredbox_sim.dir/trace.cpp.o"
+  "CMakeFiles/dredbox_sim.dir/trace.cpp.o.d"
+  "libdredbox_sim.a"
+  "libdredbox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dredbox_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tco/conventional_dc.cpp" "src/tco/CMakeFiles/dredbox_tco.dir/conventional_dc.cpp.o" "gcc" "src/tco/CMakeFiles/dredbox_tco.dir/conventional_dc.cpp.o.d"
+  "/root/repo/src/tco/disaggregated_dc.cpp" "src/tco/CMakeFiles/dredbox_tco.dir/disaggregated_dc.cpp.o" "gcc" "src/tco/CMakeFiles/dredbox_tco.dir/disaggregated_dc.cpp.o.d"
+  "/root/repo/src/tco/refresh_model.cpp" "src/tco/CMakeFiles/dredbox_tco.dir/refresh_model.cpp.o" "gcc" "src/tco/CMakeFiles/dredbox_tco.dir/refresh_model.cpp.o.d"
+  "/root/repo/src/tco/tco_study.cpp" "src/tco/CMakeFiles/dredbox_tco.dir/tco_study.cpp.o" "gcc" "src/tco/CMakeFiles/dredbox_tco.dir/tco_study.cpp.o.d"
+  "/root/repo/src/tco/workload.cpp" "src/tco/CMakeFiles/dredbox_tco.dir/workload.cpp.o" "gcc" "src/tco/CMakeFiles/dredbox_tco.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dredbox_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dredbox_tco.dir/conventional_dc.cpp.o"
+  "CMakeFiles/dredbox_tco.dir/conventional_dc.cpp.o.d"
+  "CMakeFiles/dredbox_tco.dir/disaggregated_dc.cpp.o"
+  "CMakeFiles/dredbox_tco.dir/disaggregated_dc.cpp.o.d"
+  "CMakeFiles/dredbox_tco.dir/refresh_model.cpp.o"
+  "CMakeFiles/dredbox_tco.dir/refresh_model.cpp.o.d"
+  "CMakeFiles/dredbox_tco.dir/tco_study.cpp.o"
+  "CMakeFiles/dredbox_tco.dir/tco_study.cpp.o.d"
+  "CMakeFiles/dredbox_tco.dir/workload.cpp.o"
+  "CMakeFiles/dredbox_tco.dir/workload.cpp.o.d"
+  "libdredbox_tco.a"
+  "libdredbox_tco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dredbox_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

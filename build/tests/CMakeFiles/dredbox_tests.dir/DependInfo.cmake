@@ -1,0 +1,85 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_app_performance.cpp" "tests/CMakeFiles/dredbox_tests.dir/core/test_app_performance.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/core/test_app_performance.cpp.o.d"
+  "/root/repo/tests/core/test_datacenter.cpp" "tests/CMakeFiles/dredbox_tests.dir/core/test_datacenter.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/core/test_datacenter.cpp.o.d"
+  "/root/repo/tests/core/test_datacenter_edge.cpp" "tests/CMakeFiles/dredbox_tests.dir/core/test_datacenter_edge.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/core/test_datacenter_edge.cpp.o.d"
+  "/root/repo/tests/core/test_facade_extensions.cpp" "tests/CMakeFiles/dredbox_tests.dir/core/test_facade_extensions.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/core/test_facade_extensions.cpp.o.d"
+  "/root/repo/tests/core/test_pilots.cpp" "tests/CMakeFiles/dredbox_tests.dir/core/test_pilots.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/core/test_pilots.cpp.o.d"
+  "/root/repo/tests/core/test_scaleup_experiment.cpp" "tests/CMakeFiles/dredbox_tests.dir/core/test_scaleup_experiment.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/core/test_scaleup_experiment.cpp.o.d"
+  "/root/repo/tests/core/test_umbrella.cpp" "tests/CMakeFiles/dredbox_tests.dir/core/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/core/test_umbrella.cpp.o.d"
+  "/root/repo/tests/hw/test_accel_brick.cpp" "tests/CMakeFiles/dredbox_tests.dir/hw/test_accel_brick.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/hw/test_accel_brick.cpp.o.d"
+  "/root/repo/tests/hw/test_brick.cpp" "tests/CMakeFiles/dredbox_tests.dir/hw/test_brick.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/hw/test_brick.cpp.o.d"
+  "/root/repo/tests/hw/test_compute_brick.cpp" "tests/CMakeFiles/dredbox_tests.dir/hw/test_compute_brick.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/hw/test_compute_brick.cpp.o.d"
+  "/root/repo/tests/hw/test_memory_brick.cpp" "tests/CMakeFiles/dredbox_tests.dir/hw/test_memory_brick.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/hw/test_memory_brick.cpp.o.d"
+  "/root/repo/tests/hw/test_rmst.cpp" "tests/CMakeFiles/dredbox_tests.dir/hw/test_rmst.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/hw/test_rmst.cpp.o.d"
+  "/root/repo/tests/hw/test_tgl.cpp" "tests/CMakeFiles/dredbox_tests.dir/hw/test_tgl.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/hw/test_tgl.cpp.o.d"
+  "/root/repo/tests/hw/test_tray_rack.cpp" "tests/CMakeFiles/dredbox_tests.dir/hw/test_tray_rack.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/hw/test_tray_rack.cpp.o.d"
+  "/root/repo/tests/hyp/test_balloon.cpp" "tests/CMakeFiles/dredbox_tests.dir/hyp/test_balloon.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/hyp/test_balloon.cpp.o.d"
+  "/root/repo/tests/hyp/test_hypervisor.cpp" "tests/CMakeFiles/dredbox_tests.dir/hyp/test_hypervisor.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/hyp/test_hypervisor.cpp.o.d"
+  "/root/repo/tests/hyp/test_hypervisor_properties.cpp" "tests/CMakeFiles/dredbox_tests.dir/hyp/test_hypervisor_properties.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/hyp/test_hypervisor_properties.cpp.o.d"
+  "/root/repo/tests/hyp/test_vm.cpp" "tests/CMakeFiles/dredbox_tests.dir/hyp/test_vm.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/hyp/test_vm.cpp.o.d"
+  "/root/repo/tests/integration/test_full_stack.cpp" "tests/CMakeFiles/dredbox_tests.dir/integration/test_full_stack.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/integration/test_full_stack.cpp.o.d"
+  "/root/repo/tests/memsys/test_dma.cpp" "tests/CMakeFiles/dredbox_tests.dir/memsys/test_dma.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/memsys/test_dma.cpp.o.d"
+  "/root/repo/tests/memsys/test_fabric_properties.cpp" "tests/CMakeFiles/dredbox_tests.dir/memsys/test_fabric_properties.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/memsys/test_fabric_properties.cpp.o.d"
+  "/root/repo/tests/memsys/test_failure_repair.cpp" "tests/CMakeFiles/dredbox_tests.dir/memsys/test_failure_repair.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/memsys/test_failure_repair.cpp.o.d"
+  "/root/repo/tests/memsys/test_packet_fallback.cpp" "tests/CMakeFiles/dredbox_tests.dir/memsys/test_packet_fallback.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/memsys/test_packet_fallback.cpp.o.d"
+  "/root/repo/tests/memsys/test_remote_memory.cpp" "tests/CMakeFiles/dredbox_tests.dir/memsys/test_remote_memory.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/memsys/test_remote_memory.cpp.o.d"
+  "/root/repo/tests/net/test_mac_phy.cpp" "tests/CMakeFiles/dredbox_tests.dir/net/test_mac_phy.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/net/test_mac_phy.cpp.o.d"
+  "/root/repo/tests/net/test_packet_network.cpp" "tests/CMakeFiles/dredbox_tests.dir/net/test_packet_network.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/net/test_packet_network.cpp.o.d"
+  "/root/repo/tests/net/test_packet_switch.cpp" "tests/CMakeFiles/dredbox_tests.dir/net/test_packet_switch.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/net/test_packet_switch.cpp.o.d"
+  "/root/repo/tests/optics/test_circuit.cpp" "tests/CMakeFiles/dredbox_tests.dir/optics/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/optics/test_circuit.cpp.o.d"
+  "/root/repo/tests/optics/test_link_budget.cpp" "tests/CMakeFiles/dredbox_tests.dir/optics/test_link_budget.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/optics/test_link_budget.cpp.o.d"
+  "/root/repo/tests/optics/test_mbo_fec.cpp" "tests/CMakeFiles/dredbox_tests.dir/optics/test_mbo_fec.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/optics/test_mbo_fec.cpp.o.d"
+  "/root/repo/tests/optics/test_receiver.cpp" "tests/CMakeFiles/dredbox_tests.dir/optics/test_receiver.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/optics/test_receiver.cpp.o.d"
+  "/root/repo/tests/optics/test_switch.cpp" "tests/CMakeFiles/dredbox_tests.dir/optics/test_switch.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/optics/test_switch.cpp.o.d"
+  "/root/repo/tests/optics/test_units.cpp" "tests/CMakeFiles/dredbox_tests.dir/optics/test_units.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/optics/test_units.cpp.o.d"
+  "/root/repo/tests/orch/test_accel_manager.cpp" "tests/CMakeFiles/dredbox_tests.dir/orch/test_accel_manager.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/orch/test_accel_manager.cpp.o.d"
+  "/root/repo/tests/orch/test_consolidator.cpp" "tests/CMakeFiles/dredbox_tests.dir/orch/test_consolidator.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/orch/test_consolidator.cpp.o.d"
+  "/root/repo/tests/orch/test_demand_registry.cpp" "tests/CMakeFiles/dredbox_tests.dir/orch/test_demand_registry.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/orch/test_demand_registry.cpp.o.d"
+  "/root/repo/tests/orch/test_migration.cpp" "tests/CMakeFiles/dredbox_tests.dir/orch/test_migration.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/orch/test_migration.cpp.o.d"
+  "/root/repo/tests/orch/test_power_manager.cpp" "tests/CMakeFiles/dredbox_tests.dir/orch/test_power_manager.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/orch/test_power_manager.cpp.o.d"
+  "/root/repo/tests/orch/test_rebalance_oom.cpp" "tests/CMakeFiles/dredbox_tests.dir/orch/test_rebalance_oom.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/orch/test_rebalance_oom.cpp.o.d"
+  "/root/repo/tests/orch/test_scale_out.cpp" "tests/CMakeFiles/dredbox_tests.dir/orch/test_scale_out.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/orch/test_scale_out.cpp.o.d"
+  "/root/repo/tests/orch/test_sdm_controller.cpp" "tests/CMakeFiles/dredbox_tests.dir/orch/test_sdm_controller.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/orch/test_sdm_controller.cpp.o.d"
+  "/root/repo/tests/os/test_hotplug.cpp" "tests/CMakeFiles/dredbox_tests.dir/os/test_hotplug.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/os/test_hotplug.cpp.o.d"
+  "/root/repo/tests/os/test_memory_map.cpp" "tests/CMakeFiles/dredbox_tests.dir/os/test_memory_map.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/os/test_memory_map.cpp.o.d"
+  "/root/repo/tests/sim/test_breakdown.cpp" "tests/CMakeFiles/dredbox_tests.dir/sim/test_breakdown.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/sim/test_breakdown.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/CMakeFiles/dredbox_tests.dir/sim/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/sim/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue_properties.cpp" "tests/CMakeFiles/dredbox_tests.dir/sim/test_event_queue_properties.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/sim/test_event_queue_properties.cpp.o.d"
+  "/root/repo/tests/sim/test_random.cpp" "tests/CMakeFiles/dredbox_tests.dir/sim/test_random.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/sim/test_random.cpp.o.d"
+  "/root/repo/tests/sim/test_report.cpp" "tests/CMakeFiles/dredbox_tests.dir/sim/test_report.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/sim/test_report.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/dredbox_tests.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_stats.cpp" "tests/CMakeFiles/dredbox_tests.dir/sim/test_stats.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/sim/test_stats.cpp.o.d"
+  "/root/repo/tests/sim/test_time.cpp" "tests/CMakeFiles/dredbox_tests.dir/sim/test_time.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/sim/test_time.cpp.o.d"
+  "/root/repo/tests/sim/test_trace.cpp" "tests/CMakeFiles/dredbox_tests.dir/sim/test_trace.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/sim/test_trace.cpp.o.d"
+  "/root/repo/tests/tco/test_datacenters.cpp" "tests/CMakeFiles/dredbox_tests.dir/tco/test_datacenters.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/tco/test_datacenters.cpp.o.d"
+  "/root/repo/tests/tco/test_refresh_model.cpp" "tests/CMakeFiles/dredbox_tests.dir/tco/test_refresh_model.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/tco/test_refresh_model.cpp.o.d"
+  "/root/repo/tests/tco/test_scheduler_properties.cpp" "tests/CMakeFiles/dredbox_tests.dir/tco/test_scheduler_properties.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/tco/test_scheduler_properties.cpp.o.d"
+  "/root/repo/tests/tco/test_tco_study.cpp" "tests/CMakeFiles/dredbox_tests.dir/tco/test_tco_study.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/tco/test_tco_study.cpp.o.d"
+  "/root/repo/tests/tco/test_workload.cpp" "tests/CMakeFiles/dredbox_tests.dir/tco/test_workload.cpp.o" "gcc" "tests/CMakeFiles/dredbox_tests.dir/tco/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dredbox_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tco/CMakeFiles/dredbox_tco.dir/DependInfo.cmake"
+  "/root/repo/build/src/orch/CMakeFiles/dredbox_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyp/CMakeFiles/dredbox_hyp.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dredbox_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/dredbox_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dredbox_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/dredbox_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dredbox_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dredbox_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
