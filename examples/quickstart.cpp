@@ -5,8 +5,10 @@
 //   $ ./quickstart
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/datacenter.hpp"
+#include "sim/trace_export.hpp"
 
 using namespace dredbox;
 
@@ -20,7 +22,7 @@ int main() {
   config.memory_bricks_per_tray = 2;
 
   core::Datacenter dc{config};
-  dc.tracer().enable();  // capture an operation timeline as we go
+  dc.telemetry().enable_all();  // capture metrics + an operation timeline
   std::printf("%s\n\n", dc.describe().c_str());
 
   // 2. Boot a commodity VM. The SDM controller picks a dCOMPUBRICK,
@@ -59,7 +61,20 @@ int main() {
   std::printf("scale-down completed in %s; rack draws %.1f W\n",
               down.delay().to_string().c_str(), dc.power_draw_watts());
 
-  // 6. The tracer captured the whole session.
+  // 6. The tracer captured the whole session, and every layer reported
+  //    into the shared metrics registry.
   std::printf("\noperation timeline:\n%s", dc.tracer().to_string().c_str());
+  std::printf("\ntelemetry snapshot:\n%s", dc.metrics().snapshot().to_string().c_str());
+
+  // 7. With DREDBOX_TRACE_FILE=/tmp/trace.json set, the span timeline is
+  //    exported as Chrome trace-event JSON (open it in ui.perfetto.dev).
+  try {
+    if (sim::maybe_write_trace(dc.tracer())) {
+      std::printf("\nwrote Chrome trace to %s\n", std::getenv(sim::kTraceFileEnv));
+    }
+  } catch (const std::exception& e) {
+    std::printf("\ntrace export failed: %s\n", e.what());
+    return 1;
+  }
   return 0;
 }

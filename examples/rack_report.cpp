@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/dredbox.hpp"
+#include "sim/trace_export.hpp"
 
 using namespace dredbox;
 constexpr std::uint64_t kGiB = 1ull << 30;
@@ -20,6 +21,7 @@ int main() {
   config.compute_bricks_per_tray = 2;
   config.memory_bricks_per_tray = 2;
   core::Datacenter dc{config};
+  dc.telemetry().enable_all();
 
   // Put the rack under some load: three tenants, one with remote memory
   // on another tray (an optical circuit), one intra-tray (electrical).
@@ -115,6 +117,18 @@ int main() {
   // --- power ---
   std::printf("\n== Power ==\n");
   std::printf("rack draw: %.1f W\n", dc.power_draw_watts());
+
+  // --- telemetry health snapshot: every named instrument the layers
+  // recorded while the load above ran (the dashboard's raw feed; also
+  // written to $DREDBOX_CSV_DIR/rack_telemetry.csv when that is set) ---
+  std::printf("\n== Telemetry ==\n%s", dc.metrics().snapshot().to_string().c_str());
+  try {
+    dc.metrics().write_csv("rack_telemetry");
+    sim::maybe_write_trace(dc.tracer());
+  } catch (const std::exception& e) {
+    std::printf("telemetry export failed: %s\n", e.what());
+    return 1;
+  }
 
   // --- CSV export of the inventory (for dashboards) ---
   std::printf("\n== Inventory CSV ==\n%s", inv.to_csv().c_str());

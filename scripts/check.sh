@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Full pre-merge check: the tier-1 suite twice — a plain Release build, then
+# an ASan+UBSan build (DREDBOX_SANITIZE) to catch memory and UB bugs the
+# plain run cannot see. Run from the repository root:
+#
+#   $ scripts/check.sh
+#
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_suite() {
+  build_dir=$1
+  shift
+  echo "== configure $build_dir ($*)"
+  cmake -B "$root/$build_dir" -S "$root" "$@"
+  echo "== build $build_dir"
+  cmake --build "$root/$build_dir" -j "$jobs"
+  echo "== test $build_dir"
+  (cd "$root/$build_dir" && ctest --output-on-failure -j "$jobs")
+}
+
+run_suite build
+run_suite build-asan -DDREDBOX_SANITIZE="address;undefined" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+echo "== all checks passed"

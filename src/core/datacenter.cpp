@@ -21,15 +21,28 @@ Datacenter::Datacenter(const DatacenterConfig& config)
     sdm_.set_power_manager(&power_mgr_);
   }
   fabric_.set_packet_network(&packet_net_);
+
+  // Wire the shared telemetry bundle into every layer. Each subsystem
+  // caches its instrument pointers now, so instrumented hot paths never
+  // do a registry lookup (and cost one branch while telemetry is off).
+  circuits_.set_telemetry(&telemetry_);
+  fabric_.set_telemetry(&telemetry_);
+  packet_net_.set_telemetry(&telemetry_);
+  sdm_.set_telemetry(&telemetry_);
+  migration_.set_telemetry(&telemetry_);
+  power_mgr_.set_telemetry(&telemetry_);
+
   for (std::size_t t = 0; t < config.trays; ++t) {
     const hw::TrayId tray = rack_.add_tray();
     for (std::size_t i = 0; i < config.compute_bricks_per_tray; ++i) {
       auto& brick = rack_.add_compute_brick(tray, config.compute);
+      brick.tgl().set_telemetry(&telemetry_);
       auto& stack = stacks_[brick.id()];
       stack.os = std::make_unique<os::BareMetalOs>(brick, os::MemoryHotplug::kDefaultBlockBytes,
                                                    config.hotplug);
       stack.hypervisor =
           std::make_unique<hyp::Hypervisor>(brick, *stack.os, config.hypervisor);
+      stack.hypervisor->set_telemetry(&telemetry_);
       stack.agent = std::make_unique<orch::SdmAgent>(*stack.hypervisor, *stack.os);
       sdm_.register_agent(*stack.agent);
       mbos_.emplace(brick.id(), std::make_unique<optics::MidBoardOptics>(config.mbo, sim_.rng()));
@@ -95,12 +108,12 @@ orch::AllocationResult Datacenter::boot_vm(const std::string& name, std::size_t 
                                            std::uint64_t memory_bytes) {
   auto result = openstack_.boot(name, vcpus, memory_bytes, sim_.now());
   if (result.ok) {
-    tracer_.record(result.completed_at, sim::TraceCategory::kOrchestration,
+    telemetry_.tracer().record(result.completed_at, sim::TraceCategory::kOrchestration,
                    "booted '" + name + "' as vm#" + result.vm.to_string() + " on brick " +
                        result.compute.to_string() + " (" +
                        std::to_string(result.remote_bytes >> 20) + " MiB remote)");
   } else {
-    tracer_.record(sim_.now(), sim::TraceCategory::kOrchestration,
+    telemetry_.tracer().record(sim_.now(), sim::TraceCategory::kOrchestration,
                    "boot of '" + name + "' failed: " + result.error);
   }
   return result;
@@ -115,12 +128,12 @@ orch::ScaleUpResult Datacenter::scale_up(hw::VmId vm, hw::BrickId compute,
   request.posted_at = sim_.now();
   auto result = sdm_.scale_up(request);
   if (result.ok) {
-    tracer_.record(result.completed_at, sim::TraceCategory::kFabric,
+    telemetry_.tracer().record(result.completed_at, sim::TraceCategory::kFabric,
                    "scale-up vm#" + vm.to_string() + " +" + std::to_string(bytes >> 20) +
                        " MiB from dMEMBRICK " + result.membrick.to_string() + " in " +
                        result.delay().to_string());
   } else {
-    tracer_.record(sim_.now(), sim::TraceCategory::kFabric,
+    telemetry_.tracer().record(sim_.now(), sim::TraceCategory::kFabric,
                    "scale-up vm#" + vm.to_string() + " failed: " + result.error);
   }
   return result;
@@ -130,7 +143,7 @@ orch::ScaleUpResult Datacenter::scale_down(hw::VmId vm, hw::BrickId compute,
                                            hw::SegmentId segment) {
   auto result = sdm_.scale_down(vm, compute, segment, sim_.now());
   if (result.ok) {
-    tracer_.record(result.completed_at, sim::TraceCategory::kFabric,
+    telemetry_.tracer().record(result.completed_at, sim::TraceCategory::kFabric,
                    "scale-down vm#" + vm.to_string() + " released segment " +
                        segment.to_string() + " in " + result.delay().to_string());
   }
@@ -145,7 +158,7 @@ memsys::Transaction Datacenter::remote_read(hw::BrickId compute, std::uint64_t a
 orch::MigrationResult Datacenter::migrate_vm(hw::VmId vm, hw::BrickId from, hw::BrickId to) {
   auto result = migration_.migrate(vm, from, to, sim_.now());
   if (result.ok) {
-    tracer_.record(sim_.now() + result.total_time, sim::TraceCategory::kMigration,
+    telemetry_.tracer().record(sim_.now() + result.total_time, sim::TraceCategory::kMigration,
                    "migrated vm#" + vm.to_string() + " brick " + from.to_string() + " -> " +
                        to.to_string() + " (copied " +
                        std::to_string(result.copied_bytes >> 20) + " MiB, re-pointed " +

@@ -20,6 +20,7 @@
 #include "orch/power_manager.hpp"
 #include "orch/sdm_controller.hpp"
 #include "os/baremetal_os.hpp"
+#include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -86,9 +87,20 @@ class Datacenter {
   orch::AcceleratorManager& accelerators() { return accel_mgr_; }
   orch::PowerManager& power_manager() { return power_mgr_; }
 
+  /// The rack's observability bundle: named metrics (counters, gauges,
+  /// latency histograms from every layer) plus the event/span tracer.
+  /// Disabled by default — call telemetry().enable_all() before driving
+  /// the rack; export with telemetry().metrics().snapshot()/write_csv()
+  /// and sim::maybe_write_trace(tracer()) (see README "Observability").
+  sim::Telemetry& telemetry() { return telemetry_; }
+  const sim::Telemetry& telemetry() const { return telemetry_; }
+
+  /// Shorthand for telemetry().metrics().
+  sim::metrics::MetricsRegistry& metrics() { return telemetry_.metrics(); }
+
   /// Event log of high-level operations (disabled by default; call
   /// tracer().enable() before driving the rack to capture a timeline).
-  sim::Tracer& tracer() { return tracer_; }
+  sim::Tracer& tracer() { return telemetry_.tracer(); }
 
   os::BareMetalOs& os_of(hw::BrickId compute);
   hyp::Hypervisor& hypervisor_of(hw::BrickId compute);
@@ -134,6 +146,9 @@ class Datacenter {
 
  private:
   DatacenterConfig config_;
+  /// Declared before every subsystem: each holds cached instrument
+  /// pointers into this registry, so it must outlive them all.
+  sim::Telemetry telemetry_;
   sim::Simulator sim_;
   hw::Rack rack_;
   optics::OpticalSwitch switch_;
@@ -146,7 +161,6 @@ class Datacenter {
   orch::OomGuard oom_guard_;
   orch::AcceleratorManager accel_mgr_;
   orch::PowerManager power_mgr_;
-  sim::Tracer tracer_;
 
   struct BrickStack {
     std::unique_ptr<os::BareMetalOs> os;

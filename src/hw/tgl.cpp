@@ -2,13 +2,25 @@
 
 namespace dredbox::hw {
 
+void TransactionGlueLogic::set_telemetry(sim::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    hits_metric_ = nullptr;
+    misses_metric_ = nullptr;
+    return;
+  }
+  hits_metric_ = &telemetry->metrics().counter("hw.tgl.lookup_hits");
+  misses_metric_ = &telemetry->metrics().counter("hw.tgl.lookup_misses");
+}
+
 std::optional<TglRoute> TransactionGlueLogic::route(std::uint64_t addr) {
   auto entry = rmst_.lookup(addr);
   if (!entry) {
     ++misses_;
+    if (misses_metric_ != nullptr) misses_metric_->add();
     return std::nullopt;
   }
   ++hits_;
+  if (hits_metric_ != nullptr) hits_metric_->add();
   return TglRoute{*entry, entry->dest_base + (addr - entry->base)};
 }
 

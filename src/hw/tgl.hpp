@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "hw/rmst.hpp"
+#include "sim/metrics.hpp"
 
 namespace dredbox::hw {
 
@@ -27,6 +28,11 @@ class TransactionGlueLogic {
   Rmst& rmst() { return rmst_; }
   const Rmst& rmst() const { return rmst_; }
 
+  /// Wires rack-wide telemetry in: every route() outcome also lands in
+  /// the shared "hw.tgl.*" counters (all TGLs aggregate into one rack
+  /// view; the per-brick hits()/misses() stay available for local debug).
+  void set_telemetry(sim::Telemetry* telemetry);
+
   /// Routes a brick-physical address. nullopt => address does not fall in
   /// any installed remote window (the access faults back to the APU).
   std::optional<TglRoute> route(std::uint64_t addr);
@@ -39,6 +45,8 @@ class TransactionGlueLogic {
   Rmst rmst_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  sim::metrics::Counter* hits_metric_ = nullptr;
+  sim::metrics::Counter* misses_metric_ = nullptr;
 };
 
 }  // namespace dredbox::hw

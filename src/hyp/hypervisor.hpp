@@ -9,6 +9,7 @@
 #include "hw/compute_brick.hpp"
 #include "hyp/vm.hpp"
 #include "os/baremetal_os.hpp"
+#include "sim/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace dredbox::hyp {
@@ -81,6 +82,12 @@ class Hypervisor {
 
   const HypervisorTiming& timing() const { return timing_; }
 
+  /// Wires rack-wide telemetry in: VM lifecycle counters, the aggregate
+  /// running-VM and committed-byte gauges (deltas, so every brick's
+  /// hypervisor folds into one rack view), balloon/DIMM event counters
+  /// and a kHypervisor span per guest expansion. Null detaches telemetry.
+  void set_telemetry(sim::Telemetry* telemetry);
+
  private:
   hw::ComputeBrick& brick_;
   os::BareMetalOs& os_;
@@ -88,6 +95,16 @@ class Hypervisor {
   std::unordered_map<hw::VmId, std::unique_ptr<VirtualMachine>> vms_;
   std::uint64_t committed_bytes_ = 0;
   std::uint32_t next_vm_ = 1;
+
+  sim::Telemetry* telemetry_ = nullptr;
+  sim::metrics::Counter* created_metric_ = nullptr;
+  sim::metrics::Counter* destroyed_metric_ = nullptr;
+  sim::metrics::Counter* dimms_added_metric_ = nullptr;
+  sim::metrics::Counter* dimms_removed_metric_ = nullptr;
+  sim::metrics::Counter* balloon_reclaims_metric_ = nullptr;
+  sim::metrics::Counter* balloon_returns_metric_ = nullptr;
+  sim::metrics::Gauge* running_metric_ = nullptr;
+  sim::metrics::Gauge* committed_metric_ = nullptr;
 };
 
 }  // namespace dredbox::hyp

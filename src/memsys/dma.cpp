@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/span.hpp"
+
 namespace dredbox::memsys {
 
 DmaEngine::DmaEngine(sim::Simulator& sim, RemoteMemoryFabric& fabric, hw::BrickId compute,
@@ -50,6 +52,20 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
     done.completed_at = sim_.now();
     channels_[channel].busy = false;
     ++completed_;
+    // Transfer-grained telemetry (inherited from the fabric; the per-chunk
+    // transactions already land in the memsys.* histograms).
+    if (sim::Telemetry* telemetry = fabric_.telemetry(); telemetry != nullptr) {
+      telemetry->metrics().counter("memsys.dma.transfers").add();
+      telemetry->metrics().counter("memsys.dma.bytes").add(done.bytes);
+      if (telemetry->tracing()) {
+        sim::Span span{telemetry->tracer(), sim::TraceCategory::kFabric, "dma transfer",
+                       done.enqueued_at};
+        span.arg("bytes", std::to_string(done.bytes))
+            .arg("chunks", std::to_string(done.chunks))
+            .arg("direction", to_string(job.descriptor.direction));
+        span.end(done.completed_at);
+      }
+    }
     if (job.callback) job.callback(done);
     pump();
     return;
@@ -69,6 +85,9 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
     failed.chunks = chunks;
     failed.enqueued_at = job.enqueued_at;
     failed.completed_at = sim_.now();
+    if (sim::Telemetry* telemetry = fabric_.telemetry(); telemetry != nullptr) {
+      telemetry->metrics().counter("memsys.dma.failed_transfers").add();
+    }
     channels_[channel].busy = false;
     if (job.callback) job.callback(failed);
     pump();

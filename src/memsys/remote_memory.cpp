@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/span.hpp"
+
 namespace dredbox::memsys {
 
 std::string to_string(TransactionKind kind) {
@@ -53,6 +55,30 @@ RemoteMemoryFabric::RemoteMemoryFabric(hw::Rack& rack, optics::CircuitManager& c
                                        const CircuitPathLatencies& latencies)
     : rack_{rack}, circuits_{circuits}, latencies_{latencies} {}
 
+void RemoteMemoryFabric::set_telemetry(sim::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    attaches_metric_ = attach_failures_metric_ = detaches_metric_ = nullptr;
+    transactions_metric_ = failed_tx_metric_ = nullptr;
+    read_latency_metric_ = write_latency_metric_ = nullptr;
+    rmst_entries_metric_ = rmst_mapped_metric_ = nullptr;
+    return;
+  }
+  auto& m = telemetry->metrics();
+  attaches_metric_ = &m.counter("memsys.fabric.attaches");
+  attach_failures_metric_ = &m.counter("memsys.fabric.attach_failures");
+  detaches_metric_ = &m.counter("memsys.fabric.detaches");
+  transactions_metric_ = &m.counter("memsys.fabric.transactions");
+  failed_tx_metric_ = &m.counter("memsys.fabric.failed_transactions");
+  // Round trips sit in the hundreds of ns (electrical / optical) up to a
+  // few us (packet fallback); RunningStats inside the histogram keeps the
+  // exact mean/min/max for out-of-range samples.
+  read_latency_metric_ = &m.histogram("memsys.read.latency_ns", 0.0, 10000.0, 50);
+  write_latency_metric_ = &m.histogram("memsys.write.latency_ns", 0.0, 10000.0, 50);
+  rmst_entries_metric_ = &m.gauge("hw.rmst.entries");
+  rmst_mapped_metric_ = &m.gauge("hw.rmst.mapped_bytes");
+}
+
 bool RemoteMemoryFabric::same_tray(hw::BrickId a, hw::BrickId b) const {
   return rack_.brick(a).tray() == rack_.brick(b).tray();
 }
@@ -74,6 +100,29 @@ const RemoteMemoryFabric::PacketLink* RemoteMemoryFabric::find_packet(hw::Circui
 
 std::optional<Attachment> RemoteMemoryFabric::attach(const AttachRequest& request,
                                                      sim::Time now) {
+  auto result = attach_impl(request, now);
+  if (telemetry_ != nullptr) {
+    if (result) {
+      attaches_metric_->add();
+      rmst_entries_metric_->add(1.0);
+      rmst_mapped_metric_->add(static_cast<double>(result->size));
+      if (telemetry_->tracing()) {
+        sim::Span span{telemetry_->tracer(), sim::TraceCategory::kFabric, "attach", now};
+        span.arg("compute", std::to_string(request.compute.value))
+            .arg("membrick", std::to_string(request.membrick.value))
+            .arg("bytes", std::to_string(result->size))
+            .arg("medium", to_string(result->medium));
+        span.end(now);
+      }
+    } else {
+      attach_failures_metric_->add();
+    }
+  }
+  return result;
+}
+
+std::optional<Attachment> RemoteMemoryFabric::attach_impl(const AttachRequest& request,
+                                                          sim::Time now) {
   auto& compute = rack_.compute_brick(request.compute);
   auto& membrick = rack_.memory_brick(request.membrick);
 
@@ -248,6 +297,12 @@ bool RemoteMemoryFabric::detach(hw::BrickId compute, hw::SegmentId segment) {
   auto& cb = rack_.compute_brick(removed.compute);
   cb.tgl().rmst().remove(segment);
   rack_.memory_brick(removed.membrick).release(segment);
+
+  if (telemetry_ != nullptr) {
+    detaches_metric_->add();
+    rmst_entries_metric_->add(-1.0);
+    rmst_mapped_metric_->add(-static_cast<double>(removed.size));
+  }
 
   // Tear the circuit down when no other attachment rides it.
   const bool circuit_still_used =
@@ -524,6 +579,28 @@ const Attachment* RemoteMemoryFabric::find_attachment(hw::BrickId compute,
 Transaction RemoteMemoryFabric::execute(TransactionKind kind, hw::BrickId compute,
                                         std::uint64_t address, std::uint32_t bytes,
                                         sim::Time when) {
+  Transaction tx = execute_path(kind, compute, address, bytes, when);
+  if (telemetry_ != nullptr) {
+    transactions_metric_->add();
+    if (tx.ok()) {
+      auto* latency = kind == TransactionKind::kRead ? read_latency_metric_ : write_latency_metric_;
+      latency->observe(tx.round_trip().as_ns());
+    } else {
+      failed_tx_metric_->add();
+    }
+    if (telemetry_->tracing()) {
+      sim::Span span{telemetry_->tracer(), sim::TraceCategory::kFabric,
+                     kind == TransactionKind::kRead ? "remote read" : "remote write", tx.issued_at};
+      span.arg("bytes", std::to_string(tx.bytes)).arg("status", to_string(tx.status));
+      span.end(tx.completed_at);
+    }
+  }
+  return tx;
+}
+
+Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId compute,
+                                             std::uint64_t address, std::uint32_t bytes,
+                                             sim::Time when) {
   Transaction tx;
   tx.kind = kind;
   tx.source = compute;

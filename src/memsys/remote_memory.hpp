@@ -10,6 +10,7 @@
 #include "memsys/transaction.hpp"
 #include "net/packet_network.hpp"
 #include "optics/circuit.hpp"
+#include "sim/metrics.hpp"
 
 namespace dredbox::memsys {
 
@@ -86,6 +87,16 @@ class RemoteMemoryFabric {
   /// tables (the Section III control-path role) on first use.
   void set_packet_network(net::PacketNetwork* network) { packet_net_ = network; }
   std::size_t packet_links() const { return packet_.size(); }
+
+  /// Wires rack-wide telemetry in: attach/detach counters, per-access
+  /// round-trip histograms ("memsys.read.latency_ns" — the Fig. 8
+  /// quantity), RMST occupancy gauges and kFabric trace spans. Null
+  /// detaches telemetry again. Instrument pointers are cached here so the
+  /// data-plane hot path never does a name lookup.
+  void set_telemetry(sim::Telemetry* telemetry);
+  /// The wired telemetry bundle (null when uninstrumented). Components
+  /// layered on top of the fabric (e.g. the DMA engine) inherit it.
+  sim::Telemetry* telemetry() const { return telemetry_; }
 
   // --- control plane ---
   std::optional<Attachment> attach(const AttachRequest& request, sim::Time now);
@@ -187,8 +198,22 @@ class RemoteMemoryFabric {
   std::uint32_t next_electrical_id_ = 0x40000000u;
   std::uint32_t next_packet_id_ = 0x80000000u;
 
+  sim::Telemetry* telemetry_ = nullptr;
+  sim::metrics::Counter* attaches_metric_ = nullptr;
+  sim::metrics::Counter* attach_failures_metric_ = nullptr;
+  sim::metrics::Counter* detaches_metric_ = nullptr;
+  sim::metrics::Counter* transactions_metric_ = nullptr;
+  sim::metrics::Counter* failed_tx_metric_ = nullptr;
+  sim::metrics::Histogram* read_latency_metric_ = nullptr;
+  sim::metrics::Histogram* write_latency_metric_ = nullptr;
+  sim::metrics::Gauge* rmst_entries_metric_ = nullptr;
+  sim::metrics::Gauge* rmst_mapped_metric_ = nullptr;
+
+  std::optional<Attachment> attach_impl(const AttachRequest& request, sim::Time now);
   Transaction execute(TransactionKind kind, hw::BrickId compute, std::uint64_t address,
                       std::uint32_t bytes, sim::Time when);
+  Transaction execute_path(TransactionKind kind, hw::BrickId compute, std::uint64_t address,
+                           std::uint32_t bytes, sim::Time when);
   sim::Time serialization_time(std::uint32_t bytes, LinkMedium medium,
                                std::size_t lanes) const;
   const Attachment* find_attachment(hw::BrickId compute, std::uint64_t address) const;

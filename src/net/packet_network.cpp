@@ -25,6 +25,20 @@ std::string to_string(PacketType type) {
 PacketNetwork::PacketNetwork(const PacketPathLatencies& latencies, optics::FecModel fec)
     : latencies_{latencies}, mac_phy_{latencies}, fec_{fec} {}
 
+void PacketNetwork::set_telemetry(sim::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    packets_metric_ = nullptr;
+    latency_metric_ = queueing_metric_ = nullptr;
+    return;
+  }
+  auto& m = telemetry->metrics();
+  packets_metric_ = &m.counter("net.packets.sent");
+  // Packet round trips land in the single-digit-us range (Fig. 8's packet
+  // column); queueing is sub-us unless an output port is congested.
+  latency_metric_ = &m.histogram("net.packet.latency_ns", 0.0, 20000.0, 50);
+  queueing_metric_ = &m.histogram("net.switch.queueing_ns", 0.0, 2000.0, 40);
+}
+
 void PacketNetwork::add_brick(hw::BrickId brick, std::size_t pbn_ports) {
   if (has_brick(brick)) {
     throw std::logic_error("PacketNetwork::add_brick: brick already registered");
@@ -97,6 +111,7 @@ sim::Time PacketNetwork::traverse(hw::BrickId src, hw::BrickId dst, std::uint32_
   }
   const sim::Time switch_cost = from_compute ? latencies_.compubrick_switch
                                              : latencies_.membrick_switch;
+  if (queueing_metric_ != nullptr) queueing_metric_->observe(fwd->queueing.as_ns());
   breakdown.charge(std::string{"on-brick switch ("} + side + ")", switch_cost + fwd->queueing);
   breakdown.charge("serialization", serialization);
   t = fwd->departure;
@@ -152,6 +167,10 @@ Packet PacketNetwork::remote_read(hw::BrickId src, hw::BrickId dst, std::uint64_
 
   pkt.delivered_at = t;
   pkt.type = PacketType::kMemReadResp;
+  if (packets_metric_ != nullptr) {
+    packets_metric_->add();
+    latency_metric_->observe((pkt.delivered_at - pkt.injected_at).as_ns());
+  }
   return pkt;
 }
 
@@ -180,6 +199,10 @@ Packet PacketNetwork::remote_write(hw::BrickId src, hw::BrickId dst, std::uint64
 
   pkt.delivered_at = t;
   pkt.type = PacketType::kMemWriteAck;
+  if (packets_metric_ != nullptr) {
+    packets_metric_->add();
+    latency_metric_->observe((pkt.delivered_at - pkt.injected_at).as_ns());
+  }
   return pkt;
 }
 

@@ -11,6 +11,7 @@
 #include "net/packet.hpp"
 #include "net/packet_switch.hpp"
 #include "optics/fec.hpp"
+#include "sim/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace dredbox::net {
@@ -63,6 +64,12 @@ class PacketNetwork {
 
   std::uint64_t packets_sent() const { return next_packet_ - 1; }
 
+  /// Wires rack-wide telemetry in: packet counter, end-to-end round-trip
+  /// latency histogram and the on-brick switch queueing-delay histogram
+  /// (the congestion signal of the exploratory packet mode). Null
+  /// detaches telemetry.
+  void set_telemetry(sim::Telemetry* telemetry);
+
  private:
   PacketPathLatencies latencies_;
   MacPhy mac_phy_;
@@ -70,6 +77,10 @@ class PacketNetwork {
   std::unordered_map<hw::BrickId, std::unique_ptr<PacketSwitch>> switches_;
   std::unordered_map<hw::BrickId, std::unordered_map<hw::BrickId, double>> fiber_m_;
   std::uint64_t next_packet_ = 1;
+
+  sim::metrics::Counter* packets_metric_ = nullptr;
+  sim::metrics::Histogram* latency_metric_ = nullptr;
+  sim::metrics::Histogram* queueing_metric_ = nullptr;
 
   sim::Time propagation(hw::BrickId a, hw::BrickId b) const;
 

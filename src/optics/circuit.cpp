@@ -4,11 +4,31 @@
 
 namespace dredbox::optics {
 
+void CircuitManager::set_telemetry(sim::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    established_metric_ = rejected_metric_ = torn_down_metric_ = nullptr;
+    active_metric_ = ports_in_use_metric_ = nullptr;
+    hops_metric_ = nullptr;
+    return;
+  }
+  auto& m = telemetry->metrics();
+  established_metric_ = &m.counter("optics.circuits.established");
+  rejected_metric_ = &m.counter("optics.circuits.rejected");
+  torn_down_metric_ = &m.counter("optics.circuits.torn_down");
+  active_metric_ = &m.gauge("optics.circuits.active");
+  ports_in_use_metric_ = &m.gauge("optics.switch.ports_in_use");
+  // The Fig. 7 testbed patches six to eight hops; one bin per hop count.
+  hops_metric_ = &m.histogram("optics.circuit.hops", 0.0, 8.0, 8);
+}
+
 std::optional<Circuit> CircuitManager::establish(const CircuitRequest& request) {
   if (request.hops == 0) throw std::invalid_argument("CircuitManager: zero-hop circuit");
   const std::size_t needed = 2 * request.hops;
   auto ports = switch_.find_free_ports(needed);
-  if (ports.empty()) return std::nullopt;
+  if (ports.empty()) {
+    if (rejected_metric_ != nullptr) rejected_metric_->add();
+    return std::nullopt;
+  }
 
   // Each hop pairs ports (2i, 2i+1); inter-hop patches are fixed fibre.
   for (std::size_t i = 0; i < request.hops; ++i) {
@@ -24,6 +44,12 @@ std::optional<Circuit> CircuitManager::establish(const CircuitRequest& request) 
   c.switch_ports = std::move(ports);
   connector_loss_db_ = request.connector_loss_db;
   circuits_.emplace(c.id.value, c);
+  if (established_metric_ != nullptr) {
+    established_metric_->add();
+    active_metric_->set(static_cast<double>(circuits_.size()));
+    ports_in_use_metric_->set(static_cast<double>(switch_.ports_in_use()));
+    hops_metric_->observe(static_cast<double>(c.hops));
+  }
   return c;
 }
 
@@ -35,6 +61,11 @@ bool CircuitManager::teardown(hw::CircuitId id) {
     switch_.disconnect(c.switch_ports[2 * i]);
   }
   circuits_.erase(it);
+  if (torn_down_metric_ != nullptr) {
+    torn_down_metric_->add();
+    active_metric_->set(static_cast<double>(circuits_.size()));
+    ports_in_use_metric_->set(static_cast<double>(switch_.ports_in_use()));
+  }
   return true;
 }
 

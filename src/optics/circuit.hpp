@@ -9,6 +9,7 @@
 #include "hw/ids.hpp"
 #include "optics/link_budget.hpp"
 #include "optics/optical_switch.hpp"
+#include "sim/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace dredbox::optics {
@@ -78,11 +79,23 @@ class CircuitManager {
 
   OpticalSwitch& optical_switch() { return switch_; }
 
+  /// Wires rack-wide telemetry in: establish/teardown counters, the
+  /// active-circuit and switch-port-occupancy gauges and a path-length
+  /// (hops) histogram. Null detaches telemetry.
+  void set_telemetry(sim::Telemetry* telemetry);
+
  private:
   OpticalSwitch& switch_;
   std::unordered_map<std::uint32_t, Circuit> circuits_;
   std::uint32_t next_id_ = 1;
   double connector_loss_db_ = 0.3;
+
+  sim::metrics::Counter* established_metric_ = nullptr;
+  sim::metrics::Counter* rejected_metric_ = nullptr;
+  sim::metrics::Counter* torn_down_metric_ = nullptr;
+  sim::metrics::Gauge* active_metric_ = nullptr;
+  sim::metrics::Gauge* ports_in_use_metric_ = nullptr;
+  sim::metrics::Histogram* hops_metric_ = nullptr;
 };
 
 }  // namespace dredbox::optics

@@ -57,6 +57,11 @@ class MigrationEngine {
   /// `to` under `new_vm` and the source instance is destroyed.
   MigrationResult migrate(hw::VmId vm, hw::BrickId from, hw::BrickId to, sim::Time now);
 
+  /// Wires rack-wide telemetry in: completion/failure counters, the
+  /// guest-visible downtime histogram, the zero-copy dividend (re-pointed
+  /// bytes) and a kMigration trace span per move. Null detaches telemetry.
+  void set_telemetry(sim::Telemetry* telemetry);
+
   /// What-if: predicted copy time if all of the VM's memory were local
   /// (the conventional mainboard-as-a-unit baseline).
   sim::Time conventional_copy_time(std::uint64_t total_bytes) const;
@@ -70,6 +75,14 @@ class MigrationEngine {
   SdmController& sdm_;
   MigrationConfig config_;
   std::size_t completed_ = 0;
+
+  sim::Telemetry* telemetry_ = nullptr;
+  sim::metrics::Counter* completed_metric_ = nullptr;
+  sim::metrics::Counter* failed_metric_ = nullptr;
+  sim::metrics::Counter* repointed_bytes_metric_ = nullptr;
+  sim::metrics::Histogram* downtime_metric_ = nullptr;
+
+  MigrationResult migrate_impl(hw::VmId vm, hw::BrickId from, hw::BrickId to, sim::Time now);
 
   double bandwidth_bytes_per_sec() const { return config_.network_bandwidth_gbps * 1e9 / 8.0; }
 };

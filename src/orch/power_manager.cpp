@@ -5,6 +5,20 @@ namespace dredbox::orch {
 PowerManager::PowerManager(hw::Rack& rack, const PowerPolicyConfig& config)
     : rack_{rack}, config_{config} {}
 
+void PowerManager::set_telemetry(sim::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    wake_ups_metric_ = power_offs_metric_ = sweeps_metric_ = nullptr;
+    bricks_off_metric_ = nullptr;
+    return;
+  }
+  auto& m = telemetry->metrics();
+  wake_ups_metric_ = &m.counter("orch.power.wake_ups");
+  power_offs_metric_ = &m.counter("orch.power.power_offs");
+  sweeps_metric_ = &m.counter("orch.power.sweeps");
+  bricks_off_metric_ = &m.gauge("orch.power.bricks_off");
+}
+
 void PowerManager::note_activity(hw::BrickId brick, sim::Time now) {
   last_active_[brick] = now;
 }
@@ -15,6 +29,14 @@ sim::Time PowerManager::ensure_powered(hw::BrickId brick, sim::Time now) {
   if (b.power_state() != hw::PowerState::kOff) return sim::Time::zero();
   b.power_on();
   ++wake_ups_;
+  if (wake_ups_metric_ != nullptr) {
+    wake_ups_metric_->add();
+    bricks_off_metric_->set(static_cast<double>(powered_off_bricks()));
+    if (telemetry_->tracing()) {
+      telemetry_->tracer().record(now, sim::TraceCategory::kPower,
+                                  "wake brick " + brick.to_string());
+    }
+  }
   return config_.wake_latency;
 }
 
@@ -39,6 +61,16 @@ std::size_t PowerManager::tick(sim::Time now) {
       b.power_off();
       ++power_offs_;
       ++swept;
+    }
+  }
+  if (telemetry_ != nullptr) {
+    sweeps_metric_->add();
+    power_offs_metric_->add(swept);
+    bricks_off_metric_->set(static_cast<double>(powered_off_bricks()));
+    if (swept > 0 && telemetry_->tracing()) {
+      telemetry_->tracer().record(now, sim::TraceCategory::kPower,
+                                  "idle sweep powered off " + std::to_string(swept) +
+                                      " brick(s)");
     }
   }
   return swept;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "hw/rack.hpp"
+#include "sim/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace dredbox::orch {
@@ -47,12 +48,23 @@ class PowerManager {
   std::size_t wake_ups() const { return wake_ups_; }
   std::size_t powered_off_bricks() const;
 
+  /// Wires rack-wide telemetry in: wake/power-off counters, the
+  /// bricks-off gauge and a kPower trace event per sweep that turned
+  /// anything off. Null detaches telemetry.
+  void set_telemetry(sim::Telemetry* telemetry);
+
  private:
   hw::Rack& rack_;
   PowerPolicyConfig config_;
   std::unordered_map<hw::BrickId, sim::Time> last_active_;
   std::size_t power_offs_ = 0;
   std::size_t wake_ups_ = 0;
+
+  sim::Telemetry* telemetry_ = nullptr;
+  sim::metrics::Counter* wake_ups_metric_ = nullptr;
+  sim::metrics::Counter* power_offs_metric_ = nullptr;
+  sim::metrics::Counter* sweeps_metric_ = nullptr;
+  sim::metrics::Gauge* bricks_off_metric_ = nullptr;
 
   bool eligible_for_poweroff(const hw::Brick& brick) const;
 };

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "sim/span.hpp"
+
 namespace dredbox::orch {
 
 SdmController::SdmController(hw::Rack& rack, memsys::RemoteMemoryFabric& fabric,
@@ -12,6 +14,27 @@ SdmController::SdmController(hw::Rack& rack, memsys::RemoteMemoryFabric& fabric,
 
 void SdmController::register_agent(SdmAgent& agent) {
   agents_[agent.brick()] = &agent;
+}
+
+void SdmController::set_telemetry(sim::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    allocations_metric_ = allocation_failures_metric_ = nullptr;
+    scale_ups_metric_ = scale_up_failures_metric_ = nullptr;
+    scale_downs_metric_ = rebalances_metric_ = nullptr;
+    scale_up_latency_metric_ = nullptr;
+    return;
+  }
+  auto& m = telemetry->metrics();
+  allocations_metric_ = &m.counter("orch.sdm.allocations");
+  allocation_failures_metric_ = &m.counter("orch.sdm.allocation_failures");
+  scale_ups_metric_ = &m.counter("orch.sdm.scale_ups");
+  scale_up_failures_metric_ = &m.counter("orch.sdm.scale_up_failures");
+  scale_downs_metric_ = &m.counter("orch.sdm.scale_downs");
+  rebalances_metric_ = &m.counter("orch.sdm.rebalances");
+  // End-to-end scale-up times are dominated by switch programming (25 ms)
+  // and kernel hotplug, i.e. tens to hundreds of ms (Fig. 10).
+  scale_up_latency_metric_ = &m.histogram("orch.scale_up.latency_ms", 0.0, 1000.0, 50);
 }
 
 SdmAgent& SdmController::agent_for(hw::BrickId compute) {
@@ -126,6 +149,26 @@ std::optional<hw::BrickId> SdmController::select_compute(std::size_t vcpus) cons
 }
 
 AllocationResult SdmController::allocate_vm(const AllocationRequest& request, sim::Time now) {
+  AllocationResult result = allocate_vm_impl(request, now);
+  if (telemetry_ != nullptr) {
+    (result.ok ? allocations_metric_ : allocation_failures_metric_)->add();
+    if (telemetry_->tracing()) {
+      sim::Span span{telemetry_->tracer(), sim::TraceCategory::kOrchestration, "allocate VM", now};
+      span.arg("vcpus", std::to_string(request.vcpus))
+          .arg("memory_mib", std::to_string(request.memory_bytes >> 20))
+          .arg("ok", result.ok ? "yes" : "no");
+      if (result.ok) {
+        span.arg("compute", result.compute.to_string())
+            .arg("remote_mib", std::to_string(result.remote_bytes >> 20));
+      }
+      span.end(result.completed_at);
+    }
+  }
+  return result;
+}
+
+AllocationResult SdmController::allocate_vm_impl(const AllocationRequest& request,
+                                                 sim::Time now) {
   AllocationResult result;
   sim::Breakdown breakdown;
   sim::Time t = controller_transaction(now + timing_.api_relay, breakdown);
@@ -194,6 +237,28 @@ AllocationResult SdmController::allocate_vm(const AllocationRequest& request, si
 }
 
 ScaleUpResult SdmController::scale_up(const ScaleUpRequest& request) {
+  ScaleUpResult result = scale_up_impl(request);
+  if (telemetry_ != nullptr) {
+    if (result.ok) {
+      scale_ups_metric_->add();
+      scale_up_latency_metric_->observe((result.completed_at - result.posted_at).as_ms());
+    } else {
+      scale_up_failures_metric_->add();
+    }
+    if (telemetry_->tracing()) {
+      sim::Span span{telemetry_->tracer(), sim::TraceCategory::kOrchestration, "scale up",
+                     result.posted_at};
+      span.arg("vm", request.vm.to_string())
+          .arg("bytes", std::to_string(request.bytes))
+          .arg("ok", result.ok ? "yes" : "no");
+      if (result.ok) span.arg("membrick", result.membrick.to_string());
+      span.end(result.completed_at);
+    }
+  }
+  return result;
+}
+
+ScaleUpResult SdmController::scale_up_impl(const ScaleUpRequest& request) {
   ScaleUpResult result;
   result.vm = request.vm;
   result.posted_at = request.posted_at;
@@ -242,6 +307,12 @@ ScaleUpResult SdmController::scale_up(const ScaleUpRequest& request) {
   const sim::Time hp_latency = agent.attach_physical(*attachment);
   result.breakdown.charge("baremetal hotplug", hp_latency);
   agent.set_busy_until(hp_start + hp_latency);
+  if (telemetry_ != nullptr && telemetry_->tracing()) {
+    telemetry_->tracer().record_span(hp_start, hp_start + hp_latency,
+                                     sim::TraceCategory::kHotplug, "kernel hot-add",
+                                     {{"brick", request.compute.to_string()},
+                                      {"bytes", std::to_string(request.bytes)}});
+  }
   t = hp_start + hp_latency;
 
   // Control handed back to the scale-up controller, which configures the
@@ -296,6 +367,7 @@ ScaleUpResult SdmController::scale_down(hw::VmId vm, hw::BrickId compute,
   }
   result.ok = true;
   result.completed_at = t;
+  if (scale_downs_metric_ != nullptr) scale_downs_metric_->add();
   return result;
 }
 
@@ -338,6 +410,14 @@ ScaleUpResult SdmController::rebalance(hw::VmId donor, hw::VmId recipient,
   result.ok = true;
   result.membrick = hw::BrickId{};  // no dMEMBRICK involved
   result.completed_at = t;
+  if (rebalances_metric_ != nullptr) rebalances_metric_->add();
+  if (telemetry_ != nullptr && telemetry_->tracing()) {
+    telemetry_->tracer().record_span(now, t, sim::TraceCategory::kOrchestration,
+                                     "balloon rebalance",
+                                     {{"donor", donor.to_string()},
+                                      {"recipient", recipient.to_string()},
+                                      {"bytes", std::to_string(bytes)}});
+  }
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "orch/power_manager.hpp"
 #include "orch/sdm_agent.hpp"
 #include "orch/sdm_types.hpp"
+#include "sim/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace dredbox::orch {
@@ -95,6 +96,12 @@ class SdmController {
   const SdmTiming& timing() const { return timing_; }
   std::uint64_t completed_scale_ups() const { return completed_scale_ups_; }
 
+  /// Wires rack-wide telemetry in: decision counters (allocations,
+  /// scale-ups/-downs, balloon rebalances), the end-to-end scale-up
+  /// latency histogram (the Fig. 10 quantity) and kOrchestration /
+  /// kHotplug trace spans. Null detaches telemetry.
+  void set_telemetry(sim::Telemetry* telemetry);
+
   /// Point-in-time view of one brick in the resource database.
   struct BrickStatus {
     hw::BrickId brick;
@@ -133,6 +140,18 @@ class SdmController {
   sim::Time controller_busy_until_;
   sim::Time switch_ctl_busy_until_;
   std::uint64_t completed_scale_ups_ = 0;
+
+  sim::Telemetry* telemetry_ = nullptr;
+  sim::metrics::Counter* allocations_metric_ = nullptr;
+  sim::metrics::Counter* allocation_failures_metric_ = nullptr;
+  sim::metrics::Counter* scale_ups_metric_ = nullptr;
+  sim::metrics::Counter* scale_up_failures_metric_ = nullptr;
+  sim::metrics::Counter* scale_downs_metric_ = nullptr;
+  sim::metrics::Counter* rebalances_metric_ = nullptr;
+  sim::metrics::Histogram* scale_up_latency_metric_ = nullptr;
+
+  AllocationResult allocate_vm_impl(const AllocationRequest& request, sim::Time now);
+  ScaleUpResult scale_up_impl(const ScaleUpRequest& request);
 
   /// Serialized inspect+reserve step; returns the time it completes and
   /// charges queueing + service into `breakdown`.

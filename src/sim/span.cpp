@@ -1,0 +1,11 @@
+#include "sim/span.hpp"
+
+namespace dredbox::sim {
+
+void Span::end(Time when) {
+  if (tracer_ == nullptr) return;
+  tracer_->record_span(begin_, when, category_, std::move(name_), std::move(args_));
+  tracer_ = nullptr;
+}
+
+}  // namespace dredbox::sim

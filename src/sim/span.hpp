@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace dredbox::sim {
+
+/// Scoped timing against the *simulated* clock: a Span opens at an
+/// explicit begin Time, collects key/value attributes, and records itself
+/// into the Tracer when end() is called (or on destruction, as an instant
+/// event, if the caller never learned a completion time).
+///
+/// Spans are inert when the tracer is null or disabled at construction —
+/// every method is then a no-op, so hot paths can create one
+/// unconditionally and pay a pointer test. Callers that must avoid even
+/// building the name string should branch on tracer.enabled() first.
+///
+/// Simulation models frequently *compute* an operation's completion time
+/// instead of advancing the clock across it, so end() takes the time
+/// explicitly rather than sampling a clock.
+class Span {
+ public:
+  Span(Tracer* tracer, TraceCategory category, std::string name, Time begin)
+      : tracer_{tracer != nullptr && tracer->enabled() ? tracer : nullptr},
+        category_{category},
+        begin_{begin},
+        name_{tracer_ != nullptr ? std::move(name) : std::string{}} {}
+
+  Span(Tracer& tracer, TraceCategory category, std::string name, Time begin)
+      : Span{&tracer, category, std::move(name), begin} {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept
+      : tracer_{other.tracer_},
+        category_{other.category_},
+        begin_{other.begin_},
+        name_{std::move(other.name_)},
+        args_{std::move(other.args_)} {
+    other.tracer_ = nullptr;
+  }
+
+  /// True when this span will record (tracer present and enabled).
+  bool active() const { return tracer_ != nullptr; }
+
+  /// Attaches an attribute (exported into the Chrome trace "args").
+  Span& arg(std::string key, std::string value) {
+    if (tracer_ != nullptr) args_.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// Closes the span at `when` and records it. Idempotent: only the first
+  /// end() records.
+  void end(Time when);
+
+  /// An un-ended span records as an instant at its begin time, so a span
+  /// abandoned on an error path still marks that the operation started.
+  ~Span() {
+    if (tracer_ != nullptr) end(begin_);
+  }
+
+ private:
+  Tracer* tracer_;
+  TraceCategory category_;
+  Time begin_;
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+}  // namespace dredbox::sim

@@ -106,6 +106,14 @@ void Histogram::add(double x) {
   ++total_;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size()) {
+    throw std::logic_error("Histogram::merge: bucket layouts differ");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 double Histogram::bin_low(std::size_t bin) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
 }

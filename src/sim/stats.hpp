@@ -88,6 +88,10 @@ class Histogram {
 
   void add(double x);
 
+  /// Folds another histogram's counts in. Throws std::logic_error when
+  /// the bucket layouts (range or bin count) differ.
+  void merge(const Histogram& other);
+
   std::size_t bin_count() const { return counts_.size(); }
   std::size_t count(std::size_t bin) const { return counts_.at(bin); }
   std::size_t total() const { return total_; }

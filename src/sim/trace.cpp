@@ -28,18 +28,51 @@ Tracer::Tracer(std::size_t capacity) : capacity_{capacity} {
   if (capacity == 0) throw std::invalid_argument("Tracer: capacity must be positive");
 }
 
-void Tracer::record(Time when, TraceCategory category, std::string message) {
-  if (!enabled_) return;
-  if (events_.size() >= capacity_) {
-    events_.erase(events_.begin());
-    ++dropped_;
+void Tracer::push(TraceEvent event) {
+  if (size_ < capacity_) {
+    const std::size_t slot = (head_ + size_) % capacity_;
+    if (slot < ring_.size()) {
+      ring_[slot] = std::move(event);
+    } else {
+      ring_.push_back(std::move(event));
+    }
+    ++size_;
+    return;
   }
-  events_.push_back(TraceEvent{when, category, std::move(message)});
+  // Full: overwrite the oldest slot and advance the head.
+  ring_[head_] = std::move(event);
+  head_ = (head_ + 1) % capacity_;
+  ++evicted_;
+}
+
+void Tracer::record(Time when, TraceCategory category, std::string message) {
+  if (!enabled_) {
+    ++dropped_while_disabled_;
+    return;
+  }
+  push(TraceEvent{when, category, std::move(message), Time::zero(), false, {}});
+}
+
+void Tracer::record_span(Time begin, Time end, TraceCategory category, std::string name,
+                         std::vector<std::pair<std::string, std::string>> args) {
+  if (!enabled_) {
+    ++dropped_while_disabled_;
+    return;
+  }
+  // end < begin is meaningless timing: clamp to an instant marker.
+  const bool is_span = end >= begin;
+  const Time duration = is_span ? end - begin : Time::zero();
+  push(TraceEvent{begin, category, std::move(name), duration, is_span, std::move(args)});
+}
+
+const TraceEvent& Tracer::event(std::size_t index) const {
+  if (index >= size_) throw std::out_of_range("Tracer::event: index past the retained log");
+  return ring_[(head_ + index) % capacity_];
 }
 
 std::vector<TraceEvent> Tracer::filter(TraceCategory category) const {
   std::vector<TraceEvent> out;
-  for (const auto& e : events_) {
+  for (const TraceEvent& e : events()) {
     if (e.category == category) out.push_back(e);
   }
   return out;
@@ -47,16 +80,22 @@ std::vector<TraceEvent> Tracer::filter(TraceCategory category) const {
 
 std::string Tracer::to_string() const {
   std::string out;
-  for (const auto& e : events_) {
+  for (const TraceEvent& e : events()) {
     out += "[" + e.when.to_string() + "] " + dredbox::sim::to_string(e.category) + ": " +
-           e.message + "\n";
+           e.message;
+    if (e.span && e.duration > Time::zero()) out += " (took " + e.duration.to_string() + ")";
+    for (const auto& [key, value] : e.args) out += " " + key + "=" + value;
+    out += "\n";
   }
   return out;
 }
 
 void Tracer::clear() {
-  events_.clear();
-  dropped_ = 0;
+  ring_.clear();
+  head_ = 0;
+  size_ = 0;
+  dropped_while_disabled_ = 0;
+  evicted_ = 0;
 }
 
 }  // namespace dredbox::sim

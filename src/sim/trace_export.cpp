@@ -1,0 +1,115 @@
+#include "sim/trace_export.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+
+namespace dredbox::sim {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string number(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const Tracer& tracer) {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+
+  // One named track (tid) per category that actually has events.
+  std::set<int> seen;
+  for (const TraceEvent& e : tracer.events()) seen.insert(static_cast<int>(e.category));
+  for (int category : seen) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" +
+           std::to_string(category) + ",\"args\":{\"name\":\"" +
+           json_escape(to_string(static_cast<TraceCategory>(category))) + "\"}}";
+  }
+
+  for (const TraceEvent& e : tracer.events()) {
+    comma();
+    const int tid = static_cast<int>(e.category);
+    out += "{\"name\":\"" + json_escape(e.message) + "\",\"cat\":\"" +
+           json_escape(to_string(e.category)) + "\",\"ph\":\"" + (e.span ? "X" : "i") +
+           "\",\"ts\":" + number(e.when.as_us()) + ",\"pid\":0,\"tid\":" + std::to_string(tid);
+    if (e.span) {
+      out += ",\"dur\":" + number(e.duration.as_us());
+    } else {
+      out += ",\"s\":\"g\"";  // global-scope instant marker
+    }
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"';
+        out += json_escape(e.args[i].first);
+        out += "\":\"";
+        out += json_escape(e.args[i].second);
+        out += '"';
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool maybe_write_trace(const Tracer& tracer) {
+  const char* path = std::getenv(kTraceFileEnv);
+  if (path == nullptr || *path == '\0') return false;
+  std::ofstream out{path};
+  if (!out) {
+    throw std::runtime_error(std::string{"maybe_write_trace: cannot open "} + path);
+  }
+  out << to_chrome_trace_json(tracer);
+  if (!out) {
+    throw std::runtime_error(std::string{"maybe_write_trace: write to "} + path + " failed");
+  }
+  return true;
+}
+
+}  // namespace dredbox::sim

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace dredbox::sim {
+
+/// JSON string escaping (quotes, backslashes, control characters) per
+/// RFC 8259; used by the trace exporter and handy for any ad-hoc JSON.
+std::string json_escape(const std::string& text);
+
+/// Renders the tracer's retained event log as Chrome trace-event JSON
+/// (the "JSON Object Format": {"traceEvents": [...]}), loadable in
+/// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+///
+/// Mapping: spans become complete events (ph "X") with their duration and
+/// args; instant events become ph "i". Timestamps are the simulated time
+/// in microseconds. Each TraceCategory gets its own tid plus a
+/// thread_name metadata record, so the viewer shows one labelled track
+/// per subsystem.
+std::string to_chrome_trace_json(const Tracer& tracer);
+
+/// Environment variable naming the trace output file.
+inline constexpr const char* kTraceFileEnv = "DREDBOX_TRACE_FILE";
+
+/// When DREDBOX_TRACE_FILE is set, writes the Chrome trace JSON there and
+/// returns true (mirroring the DREDBOX_CSV_DIR convention of
+/// maybe_write_csv). No-op returning false when the variable is unset;
+/// throws on I/O failure so silent data loss cannot happen.
+bool maybe_write_trace(const Tracer& tracer);
+
+}  // namespace dredbox::sim

@@ -86,9 +86,11 @@ TEST(FacadeExtensionsTest, TracerCapturesOperationTimeline) {
   ASSERT_TRUE(up.ok);
   dc.scale_down(vm.vm, vm.compute, up.segment);
 
+  // Lower bounds: the telemetry layer adds spans alongside the facade's
+  // own instants, so the timeline only ever gets denser.
   EXPECT_GE(dc.tracer().size(), 3u);
-  EXPECT_EQ(dc.tracer().filter(sim::TraceCategory::kOrchestration).size(), 1u);
-  EXPECT_EQ(dc.tracer().filter(sim::TraceCategory::kFabric).size(), 2u);
+  EXPECT_GE(dc.tracer().filter(sim::TraceCategory::kOrchestration).size(), 1u);
+  EXPECT_GE(dc.tracer().filter(sim::TraceCategory::kFabric).size(), 2u);
   const std::string timeline = dc.tracer().to_string();
   EXPECT_NE(timeline.find("booted 'traced'"), std::string::npos);
   EXPECT_NE(timeline.find("scale-up"), std::string::npos);

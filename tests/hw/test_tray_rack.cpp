@@ -99,11 +99,12 @@ TEST(RackTest, RemoveBrickChecksState) {
   Rack rack;
   const TrayId t = rack.add_tray();
   auto& cb = rack.add_compute_brick(t);
+  const BrickId id = cb.id();  // cb dies with remove_brick below
   cb.reserve_cores(1);
-  EXPECT_THROW(rack.remove_brick(cb.id()), std::logic_error);
+  EXPECT_THROW(rack.remove_brick(id), std::logic_error);
   cb.release_cores(1);
-  EXPECT_NO_THROW(rack.remove_brick(cb.id()));
-  EXPECT_FALSE(rack.has_brick(cb.id()));
+  EXPECT_NO_THROW(rack.remove_brick(id));
+  EXPECT_FALSE(rack.has_brick(id));
 }
 
 TEST(RackTest, RemoveMemoryBrickWithSegmentsRejected) {

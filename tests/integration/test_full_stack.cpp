@@ -6,7 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "core/dredbox.hpp"
+#include "sim/trace_export.hpp"
 
 namespace dredbox {
 namespace {
@@ -126,6 +134,69 @@ TEST_F(FullStackScenario, DayInTheLifeOfTheRack) {
   // The tracer saw the whole day.
   EXPECT_GE(dc_.tracer().size(), 5u);
   EXPECT_FALSE(dc_.tracer().filter(sim::TraceCategory::kMigration).empty());
+}
+
+TEST_F(FullStackScenario, TelemetryObservesEveryLayer) {
+  dc_.telemetry().enable_all();
+
+  // A quickstart-shaped run: boot, scale up over the fabric, touch the
+  // disaggregated memory a few times.
+  const auto vm = dc_.boot_vm("observed", 2, 2 * kGiB);
+  ASSERT_TRUE(vm.ok);
+  const auto grant = dc_.scale_up(vm.vm, vm.compute, 4 * kGiB);
+  ASSERT_TRUE(grant.ok) << grant.error;
+  const auto attachment = dc_.fabric().attachments_of(vm.compute).front();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(dc_.remote_read(vm.compute, attachment.compute_base + 64 * i, 64).ok());
+  }
+  ASSERT_TRUE(
+      dc_.fabric().write(vm.compute, attachment.compute_base, 64, dc_.simulator().now()).ok());
+
+  // Every layer reported into the shared registry under its own prefix.
+  auto& metrics = dc_.metrics();
+  EXPECT_GE(metrics.size(), 10u);
+  const auto names = metrics.names();
+  for (const std::string prefix : {"hw.", "memsys.", "optics.", "orch.", "hyp."}) {
+    EXPECT_TRUE(std::any_of(names.begin(), names.end(),
+                            [&](const std::string& n) { return n.rfind(prefix, 0) == 0; }))
+        << "no instrument under prefix " << prefix;
+  }
+  EXPECT_GT(metrics.find_counter("hw.tgl.lookup_hits")->value(), 0u);
+  EXPECT_GE(metrics.find_counter("memsys.fabric.transactions")->value(), 9u);
+  EXPECT_GE(metrics.find_histogram("memsys.read.latency_ns")->count(), 8u);
+  EXPECT_GT(metrics.find_gauge("hw.rmst.entries")->value(), 0.0);
+  EXPECT_EQ(metrics.find_counter("orch.sdm.scale_ups")->value(), 1u);
+  EXPECT_EQ(metrics.find_counter("hyp.vms.created")->value(), 1u);
+  EXPECT_GT(metrics.find_gauge("hyp.memory.committed_bytes")->value(), 0.0);
+
+  // The exported Chrome trace carries spans from at least four distinct
+  // subsystems on this one path (orchestration, hotplug, hypervisor,
+  // fabric), and it round-trips through DREDBOX_TRACE_FILE.
+  const std::string path = ::testing::TempDir() + "full_stack_trace.json";
+  ::setenv(sim::kTraceFileEnv, path.c_str(), /*overwrite=*/1);
+  ASSERT_TRUE(sim::maybe_write_trace(dc_.tracer()));
+  ::unsetenv(sim::kTraceFileEnv);
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  std::remove(path.c_str());
+
+  std::size_t categories_with_spans = 0;
+  for (const std::string cat :
+       {"orchestration", "hotplug", "hypervisor", "fabric", "power", "migration"}) {
+    if (json.find("\"cat\":\"" + cat + "\",\"ph\":\"X\"") != std::string::npos) {
+      ++categories_with_spans;
+    }
+  }
+  EXPECT_GE(categories_with_spans, 4u) << json;
+
+  // Cheap-when-off: disabling stops recording on the already-wired paths.
+  dc_.telemetry().disable_all();
+  const auto before = metrics.find_counter("memsys.fabric.transactions")->value();
+  ASSERT_TRUE(dc_.remote_read(vm.compute, attachment.compute_base, 64).ok());
+  EXPECT_EQ(metrics.find_counter("memsys.fabric.transactions")->value(), before);
 }
 
 TEST_F(FullStackScenario, SurvivesFibreCutDuringOperation) {

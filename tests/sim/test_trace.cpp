@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace dredbox::sim {
 namespace {
 
@@ -43,6 +46,66 @@ TEST(TracerTest, CapacityEvictsOldest) {
   EXPECT_EQ(tracer.size(), 3u);
   EXPECT_EQ(tracer.dropped(), 2u);
   EXPECT_EQ(tracer.events().front().message, "2");
+}
+
+TEST(TracerTest, RingWrapKeepsRecordingOrder) {
+  Tracer tracer{3};
+  tracer.enable();
+  for (int i = 0; i < 8; ++i) {
+    tracer.record(Time::ms(i), TraceCategory::kApplication, std::to_string(i));
+  }
+  ASSERT_EQ(tracer.size(), 3u);
+  // Oldest retained first, regardless of where the ring head points.
+  std::vector<std::string> seen;
+  for (const TraceEvent& e : tracer.events()) seen.push_back(e.message);
+  EXPECT_EQ(seen, (std::vector<std::string>{"5", "6", "7"}));
+  EXPECT_EQ(tracer.events().front().message, "5");
+  EXPECT_EQ(tracer.events().back().message, "7");
+  EXPECT_EQ(tracer.events()[1].message, "6");
+  EXPECT_THROW(tracer.event(3), std::out_of_range);
+}
+
+TEST(TracerTest, DroppedSplitsDisabledFromEvicted) {
+  Tracer tracer{2};
+  // Disabled records count separately from capacity evictions.
+  tracer.record(Time::ms(1), TraceCategory::kFabric, "while disabled");
+  EXPECT_EQ(tracer.dropped_while_disabled(), 1u);
+  EXPECT_EQ(tracer.evicted(), 0u);
+
+  tracer.enable();
+  tracer.record(Time::ms(2), TraceCategory::kFabric, "a");
+  tracer.record(Time::ms(3), TraceCategory::kFabric, "b");
+  tracer.record(Time::ms(4), TraceCategory::kFabric, "c");  // evicts "a"
+  EXPECT_EQ(tracer.dropped_while_disabled(), 1u);
+  EXPECT_EQ(tracer.evicted(), 1u);
+  EXPECT_EQ(tracer.dropped(), 2u);
+}
+
+TEST(TracerTest, RecordsSpansWithArgs) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record_span(Time::ms(10), Time::ms(35), TraceCategory::kHotplug, "hot-add",
+                     {{"bytes", "1073741824"}});
+  ASSERT_EQ(tracer.size(), 1u);
+  const TraceEvent& e = tracer.events().front();
+  EXPECT_TRUE(e.span);
+  EXPECT_EQ(e.when, Time::ms(10));
+  EXPECT_EQ(e.duration, Time::ms(25));
+  EXPECT_EQ(e.end(), Time::ms(35));
+  ASSERT_EQ(e.args.size(), 1u);
+  EXPECT_EQ(e.args[0].first, "bytes");
+  const std::string out = tracer.to_string();
+  EXPECT_NE(out.find("took"), std::string::npos);
+  EXPECT_NE(out.find("bytes=1073741824"), std::string::npos);
+}
+
+TEST(TracerTest, BackwardsSpanClampsToInstant) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record_span(Time::ms(10), Time::ms(5), TraceCategory::kFabric, "confused");
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_FALSE(tracer.events().front().span);
+  EXPECT_EQ(tracer.events().front().duration, Time::zero());
 }
 
 TEST(TracerTest, ToStringRendersTimeline) {

@@ -1,0 +1,176 @@
+#include "sim/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace dredbox::sim {
+namespace {
+
+// Minimal structural JSON check: balanced braces/brackets outside string
+// literals, escapes consumed, no trailing garbage. Enough to catch the
+// classic exporter bugs (stray commas are caught by the shape assertions
+// in the tests themselves, unbalanced nesting and broken escaping here).
+bool json_balanced(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak\ttab\rret"), "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(json_escape(std::string{"\x01"}), "\\u0001");
+}
+
+TEST(TraceExportTest, EmptyLogStillWellFormed) {
+  Tracer tracer;
+  const std::string json = to_chrome_trace_json(tracer);
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_EQ(json, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
+}
+
+TEST(TraceExportTest, SpansBecomeCompleteEvents) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record_span(Time::us(100), Time::us(350), TraceCategory::kHotplug, "kernel hot-add",
+                     {{"bytes", "1073741824"}});
+  const std::string json = to_chrome_trace_json(tracer);
+  EXPECT_TRUE(json_balanced(json));
+  // The span itself: complete event with microsecond ts/dur and its args.
+  EXPECT_NE(json.find("\"name\":\"kernel hot-add\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":100.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250.000"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"bytes\":\"1073741824\"}"), std::string::npos);
+  // Its track: one thread_name metadata record naming the category.
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"hotplug\"}"), std::string::npos);
+}
+
+TEST(TraceExportTest, InstantsBecomeGlobalMarkers) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(Time::ms(3), TraceCategory::kPower, "wake brick 7");
+  const std::string json = to_chrome_trace_json(tracer);
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"g\""), std::string::npos);
+  EXPECT_EQ(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":3000.000"), std::string::npos);
+}
+
+TEST(TraceExportTest, OneTrackPerCategoryWithEvents) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(Time::ms(1), TraceCategory::kFabric, "a");
+  tracer.record(Time::ms(2), TraceCategory::kFabric, "b");
+  tracer.record(Time::ms(3), TraceCategory::kMigration, "c");
+  const std::string json = to_chrome_trace_json(tracer);
+  EXPECT_TRUE(json_balanced(json));
+  // Two categories seen -> exactly two metadata records, shared tids.
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"thread_name\""), 2u);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"fabric\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"migration\"}"), std::string::npos);
+  // 2 metadata + 3 events.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":"), 5u);
+}
+
+TEST(TraceExportTest, MessagesWithQuotesStayValid) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(Time::ms(1), TraceCategory::kApplication, "tenant \"alpha\" {burst}");
+  const std::string json = to_chrome_trace_json(tracer);
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("tenant \\\"alpha\\\" {burst}"), std::string::npos);
+}
+
+class TraceFileEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv(kTraceFileEnv);
+    std::remove(path_.c_str());
+  }
+  const std::string path_ = ::testing::TempDir() + "dredbox_trace_export_test.json";
+};
+
+TEST_F(TraceFileEnvTest, NoOpWhenEnvUnset) {
+  ::unsetenv(kTraceFileEnv);
+  Tracer tracer;
+  tracer.enable();
+  tracer.record(Time::ms(1), TraceCategory::kFabric, "attach");
+  EXPECT_FALSE(maybe_write_trace(tracer));
+}
+
+TEST_F(TraceFileEnvTest, EmptyValueMeansUnset) {
+  ::setenv(kTraceFileEnv, "", /*overwrite=*/1);
+  Tracer tracer;
+  EXPECT_FALSE(maybe_write_trace(tracer));
+}
+
+TEST_F(TraceFileEnvTest, WritesFileWhenEnvSet) {
+  ::setenv(kTraceFileEnv, path_.c_str(), /*overwrite=*/1);
+  Tracer tracer;
+  tracer.enable();
+  tracer.record_span(Time::ms(1), Time::ms(2), TraceCategory::kOrchestration, "allocate VM");
+  ASSERT_TRUE(maybe_write_trace(tracer));
+
+  std::ifstream in{path_};
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string written = buffer.str();
+  EXPECT_EQ(written, to_chrome_trace_json(tracer));
+  EXPECT_TRUE(json_balanced(written));
+  EXPECT_NE(written.find("allocate VM"), std::string::npos);
+}
+
+TEST_F(TraceFileEnvTest, UnwritablePathThrows) {
+  ::setenv(kTraceFileEnv, "/nonexistent-dir/trace.json", /*overwrite=*/1);
+  Tracer tracer;
+  EXPECT_THROW(maybe_write_trace(tracer), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dredbox::sim
