@@ -1,7 +1,11 @@
 #!/usr/bin/env sh
-# Full pre-merge check: the tier-1 suite twice — a plain Release build, then
-# an ASan+UBSan build (DREDBOX_SANITIZE) to catch memory and UB bugs the
-# plain run cannot see. Run from the repository root:
+# Full pre-merge check: static analysis first (fail fast), then the tier-1
+# suite three ways — a plain Release build, an ASan+UBSan build
+# (DREDBOX_SANITIZE) to catch memory and UB bugs, and a DREDBOX_AUDIT=ON
+# build that turns on the contract/invariant layer so every deep
+# check_invariants() audit runs after every mutation. Finishes with the
+# determinism harness (same-seed double run must be byte-identical).
+# Run from the repository root:
 #
 #   $ scripts/check.sh
 #
@@ -10,11 +14,14 @@ set -eu
 root=$(cd "$(dirname "$0")/.." && pwd)
 jobs=$(nproc 2>/dev/null || echo 4)
 
+echo "== lint"
+sh "$root/scripts/lint.sh" --fast
+
 run_suite() {
   build_dir=$1
   shift
   echo "== configure $build_dir ($*)"
-  cmake -B "$root/$build_dir" -S "$root" "$@"
+  cmake -B "$root/$build_dir" -S "$root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "$@"
   echo "== build $build_dir"
   cmake --build "$root/$build_dir" -j "$jobs"
   echo "== test $build_dir"
@@ -24,5 +31,12 @@ run_suite() {
 run_suite build
 run_suite build-asan -DDREDBOX_SANITIZE="address;undefined" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
+run_suite build-audit -DDREDBOX_AUDIT=ON
+
+echo "== clang-tidy (over build/ compile database; skipped when not installed)"
+sh "$root/scripts/lint.sh" --tidy-only build
+
+echo "== determinism harness"
+sh "$root/scripts/determinism.sh" build
 
 echo "== all checks passed"

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Determinism harness: proves a seeded simulation is bit-reproducible.
+#
+# Two layers:
+#   1. ctest -R Determinism — the in-process double-run test
+#      (tests/integration/determinism_test.cpp): same seed => identical
+#      metrics/trace digests, different seed => divergent digests.
+#   2. Process-level: run the quickstart example twice in separate
+#      processes and byte-compare stdout. Catches nondeterminism the
+#      in-process test cannot see (ASLR-dependent ordering, locale,
+#      static-init order).
+#
+# Usage: scripts/determinism.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "determinism: $BUILD_DIR/ missing; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 2
+fi
+
+echo "== in-process determinism test =="
+ctest --test-dir "$BUILD_DIR" -R 'Determinism' --output-on-failure
+
+QUICKSTART="$BUILD_DIR/examples/quickstart"
+if [[ -x "$QUICKSTART" ]]; then
+  echo "== process-level double run (quickstart) =="
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  "$QUICKSTART" > "$tmp/run1.out" 2>&1
+  "$QUICKSTART" > "$tmp/run2.out" 2>&1
+  if cmp -s "$tmp/run1.out" "$tmp/run2.out"; then
+    echo "quickstart: two runs byte-identical ($(wc -c < "$tmp/run1.out") bytes)"
+  else
+    echo "quickstart: runs DIVERGED:" >&2
+    diff "$tmp/run1.out" "$tmp/run2.out" | head -40 >&2
+    exit 1
+  fi
+else
+  echo "== $QUICKSTART not built; skipping process-level check =="
+fi
+
+echo "determinism: OK"

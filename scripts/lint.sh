@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Static-analysis gate: dredbox-lint (always) + clang-tidy and
+# clang-format when the binaries exist. Exits non-zero on any finding.
+#
+# clang-tidy needs the compile database; configure first if build/ is
+# missing:  cmake -B build -S .   (CMakeLists.txt always exports
+# compile_commands.json).
+#
+# Usage: scripts/lint.sh [--tidy-only|--fast] [BUILD_DIR]
+#   --fast       skip clang-tidy (the slow stage); dredbox-lint + format only
+#   --tidy-only  skip dredbox-lint and clang-format
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_TIDY=1
+RUN_LINT=1
+RUN_FORMAT=1
+BUILD_DIR=build
+for arg in "$@"; do
+  case "$arg" in
+    --fast) RUN_TIDY=0 ;;
+    --tidy-only) RUN_LINT=0; RUN_FORMAT=0 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+status=0
+
+if [[ "$RUN_LINT" == 1 ]]; then
+  echo "== dredbox-lint =="
+  python3 scripts/dredbox_lint.py --root . || status=1
+fi
+
+if [[ "$RUN_FORMAT" == 1 ]]; then
+  if command -v clang-format >/dev/null 2>&1; then
+    echo "== clang-format (dry run) =="
+    # shellcheck disable=SC2046
+    if ! clang-format --dry-run --Werror \
+        $(find src tests examples bench -name '*.cpp' -o -name '*.hpp' 2>/dev/null); then
+      status=1
+    fi
+  else
+    echo "== clang-format not installed; skipping format check =="
+  fi
+fi
+
+if [[ "$RUN_TIDY" == 1 ]]; then
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "== clang-tidy not installed; skipping =="
+  elif [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    echo "== no $BUILD_DIR/compile_commands.json; run 'cmake -B $BUILD_DIR -S .' first; skipping clang-tidy =="
+  else
+    echo "== clang-tidy =="
+    mapfile -t sources < <(find src -name '*.cpp' | sort)
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -p "$BUILD_DIR" -quiet "${sources[@]}" || status=1
+    else
+      for f in "${sources[@]}"; do
+        clang-tidy -p "$BUILD_DIR" --quiet "$f" || status=1
+      done
+    fi
+  fi
+fi
+
+if [[ "$status" == 0 ]]; then
+  echo "lint: OK"
+else
+  echo "lint: FAILED" >&2
+fi
+exit "$status"

@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "hw/accel_brick.hpp"
@@ -68,7 +68,9 @@ class Rack {
   std::string describe() const;
 
  private:
-  std::unordered_map<BrickId, std::unique_ptr<Brick>> bricks_;
+  // Ordered by id so every rack-wide sweep (inventory, power sweeps,
+  // scheduling scans) enumerates bricks deterministically.
+  std::map<BrickId, std::unique_ptr<Brick>> bricks_;
   std::vector<Tray> trays_;
   std::uint32_t next_brick_ = 1;
   std::uint32_t next_tray_ = 1;

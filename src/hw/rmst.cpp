@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/contract.hpp"
+
 namespace dredbox::hw {
 
 Rmst::Rmst(std::size_t capacity) : capacity_{capacity} {
@@ -30,12 +32,14 @@ void Rmst::insert(const RmstEntry& entry) {
     }
   }
   entries_.push_back(entry);
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
 }
 
 bool Rmst::remove(SegmentId segment) {
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->segment == segment) {
       entries_.erase(it);
+      DREDBOX_AUDIT_INVARIANT(check_invariants());
       return true;
     }
   }
@@ -60,6 +64,30 @@ std::uint64_t Rmst::mapped_bytes() const {
   std::uint64_t total = 0;
   for (const auto& e : entries_) total += e.size;
   return total;
+}
+
+void Rmst::check_invariants() const {
+  DREDBOX_INVARIANT(entries_.size() <= capacity_,
+                    "RMST holds " + std::to_string(entries_.size()) +
+                        " entries, exceeding its associativity bound of " +
+                        std::to_string(capacity_));
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const RmstEntry& e = entries_[i];
+    DREDBOX_INVARIANT(e.segment.valid(), "entry " + std::to_string(i) + " has an invalid segment id");
+    DREDBOX_INVARIANT(e.size > 0, "segment " + e.segment.to_string() + " maps a zero-sized window");
+    DREDBOX_INVARIANT(e.base + e.size >= e.base,
+                      "segment " + e.segment.to_string() + " wraps the address space");
+    // Pairwise: unique segment ids and disjoint windows. n is bounded by the
+    // comparator budget (default 32), so O(n^2) is fine for an audit.
+    for (std::size_t j = i + 1; j < entries_.size(); ++j) {
+      const RmstEntry& f = entries_[j];
+      DREDBOX_INVARIANT(e.segment != f.segment,
+                        "duplicate segment id " + e.segment.to_string());
+      DREDBOX_INVARIANT(e.end() <= f.base || f.end() <= e.base,
+                        "windows of segments " + e.segment.to_string() + " and " +
+                            f.segment.to_string() + " overlap");
+    }
+  }
 }
 
 }  // namespace dredbox::hw

@@ -58,6 +58,14 @@ class Rmst {
 
   void clear() { entries_.clear(); }
 
+  /// Deep consistency audit: the associativity bound holds, every window is
+  /// well-formed (non-zero, non-wrapping, valid ids) and no two windows
+  /// overlap (overlap would mis-route in hardware). Throws
+  /// ContractViolation on the first broken invariant. Wired into every
+  /// mutation when built with -DDREDBOX_AUDIT=ON; callable directly in any
+  /// build.
+  void check_invariants() const;
+
  private:
   std::size_t capacity_;
   std::vector<RmstEntry> entries_;

@@ -1,5 +1,7 @@
 #include "hw/tgl.hpp"
 
+#include "sim/contract.hpp"
+
 namespace dredbox::hw {
 
 void TransactionGlueLogic::set_telemetry(sim::Telemetry* telemetry) {
@@ -13,6 +15,7 @@ void TransactionGlueLogic::set_telemetry(sim::Telemetry* telemetry) {
 }
 
 std::optional<TglRoute> TransactionGlueLogic::route(std::uint64_t addr) {
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   auto entry = rmst_.lookup(addr);
   if (!entry) {
     ++misses_;
@@ -21,7 +24,23 @@ std::optional<TglRoute> TransactionGlueLogic::route(std::uint64_t addr) {
   }
   ++hits_;
   if (hits_metric_ != nullptr) hits_metric_->add();
-  return TglRoute{*entry, entry->dest_base + (addr - entry->base)};
+  TglRoute out{*entry, entry->dest_base + (addr - entry->base)};
+  DREDBOX_ENSURE(out.remote_addr >= entry->dest_base &&
+                     out.remote_addr - entry->dest_base < entry->size,
+                 "routed address escapes the matched segment window");
+  return out;
+}
+
+void TransactionGlueLogic::check_invariants() const {
+  rmst_.check_invariants();
+  // Every installed mapping must point somewhere routable: a valid
+  // destination brick and an outgoing port the TGL can forward to.
+  for (const RmstEntry& e : rmst_.entries()) {
+    DREDBOX_INVARIANT(e.dest_brick.valid(),
+                      "segment " + e.segment.to_string() + " maps to an invalid dMEMBRICK");
+    DREDBOX_INVARIANT(e.dest_base + e.size >= e.dest_base,
+                      "segment " + e.segment.to_string() + " wraps the remote pool");
+  }
 }
 
 }  // namespace dredbox::hw

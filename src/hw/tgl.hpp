@@ -41,6 +41,11 @@ class TransactionGlueLogic {
   std::uint64_t misses() const { return misses_; }
   void reset_counters() { hits_ = misses_ = 0; }
 
+  /// Deep consistency audit of the glue logic and its RMST. Throws
+  /// ContractViolation on the first broken invariant; audited per route()
+  /// when built with -DDREDBOX_AUDIT=ON.
+  void check_invariants() const;
+
  private:
   Rmst rmst_;
   std::uint64_t hits_ = 0;

@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "hw/compute_brick.hpp"
@@ -92,7 +92,9 @@ class Hypervisor {
   hw::ComputeBrick& brick_;
   os::BareMetalOs& os_;
   HypervisorTiming timing_;
-  std::unordered_map<hw::VmId, std::unique_ptr<VirtualMachine>> vms_;
+  // Ordered by id so guest enumeration (balloon sweeps, vm_ids()) is
+  // deterministic.
+  std::map<hw::VmId, std::unique_ptr<VirtualMachine>> vms_;
   std::uint64_t committed_bytes_ = 0;
   std::uint32_t next_vm_ = 1;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/contract.hpp"
 #include "sim/span.hpp"
 
 namespace dredbox::memsys {
@@ -118,6 +119,7 @@ std::optional<Attachment> RemoteMemoryFabric::attach(const AttachRequest& reques
       attach_failures_metric_->add();
     }
   }
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   return result;
 }
 
@@ -349,6 +351,7 @@ bool RemoteMemoryFabric::detach(hw::BrickId compute, hw::SegmentId segment) {
       }
     }
   }
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   return true;
 }
 
@@ -461,6 +464,7 @@ std::optional<RemoteMemoryFabric::MigratedAttachment> RemoteMemoryFabric::migrat
     circuit_busy_until_.erase(old.circuit.value);
   }
 
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   return MigratedAttachment{updated, wired_fresh};
 }
 
@@ -485,6 +489,7 @@ bool RemoteMemoryFabric::fail_circuit(hw::CircuitId circuit) {
     circuit_busy_until_.erase(id.value);
     any = true;
   }
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   return any;
 }
 
@@ -537,6 +542,7 @@ std::optional<Attachment> RemoteMemoryFabric::repair(hw::BrickId compute,
       rmst.insert(updated);
     }
   }
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   return *it;
 }
 
@@ -722,6 +728,74 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
 
   tx.completed_at = t;
   return tx;
+}
+
+void RemoteMemoryFabric::check_invariants() const {
+  for (std::size_t i = 0; i < attachments_.size(); ++i) {
+    const Attachment& a = attachments_[i];
+    DREDBOX_INVARIANT(a.size > 0, "attachment maps zero bytes");
+    DREDBOX_INVARIANT(a.circuit.valid(), "attachment has no link record");
+    for (std::size_t j = i + 1; j < attachments_.size(); ++j) {
+      DREDBOX_INVARIANT(attachments_[j].compute != a.compute ||
+                            attachments_[j].segment != a.segment,
+                        "segment " + a.segment.to_string() + " attached twice to brick " +
+                            a.compute.to_string());
+    }
+
+    // The consuming side: a live dCOMPUBRICK with the RMST entry installed.
+    DREDBOX_INVARIANT(rack_.has_brick(a.compute) &&
+                          rack_.brick(a.compute).kind() == hw::BrickKind::kCompute,
+                      "attachment consumer " + a.compute.to_string() +
+                          " is not a live dCOMPUBRICK");
+    const auto entry = rack_.compute_brick(a.compute).tgl().rmst().find_segment(a.segment);
+    DREDBOX_INVARIANT(entry.has_value(), "segment " + a.segment.to_string() +
+                                             " has no RMST entry on brick " +
+                                             a.compute.to_string());
+    DREDBOX_INVARIANT(entry->base == a.compute_base && entry->size == a.size &&
+                          entry->dest_brick == a.membrick,
+                      "RMST entry for segment " + a.segment.to_string() +
+                          " disagrees with the attachment record");
+
+    // The serving side: every mapped segment is backed by a live dMEMBRICK
+    // that still carves that segment for this consumer.
+    DREDBOX_INVARIANT(rack_.has_brick(a.membrick) &&
+                          rack_.brick(a.membrick).kind() == hw::BrickKind::kMemory,
+                      "attachment server " + a.membrick.to_string() +
+                          " is not a live dMEMBRICK");
+    const auto segment = rack_.memory_brick(a.membrick).find_segment(a.segment);
+    DREDBOX_INVARIANT(segment.has_value(), "segment " + a.segment.to_string() +
+                                               " is not carved on dMEMBRICK " +
+                                               a.membrick.to_string());
+    DREDBOX_INVARIANT(segment->owner == a.compute && segment->size == a.size,
+                      "dMEMBRICK segment " + a.segment.to_string() +
+                          " disagrees with the attachment record");
+
+    // The link record matches the medium. Optical circuits may be absent
+    // (failed); electrical and packet links are fabric-owned and must exist.
+    switch (a.medium) {
+      case LinkMedium::kElectrical:
+        DREDBOX_INVARIANT(find_electrical(a.circuit) != nullptr,
+                          "electrical attachment without a backplane link record");
+        break;
+      case LinkMedium::kPacket:
+        DREDBOX_INVARIANT(find_packet(a.circuit) != nullptr,
+                          "packet attachment without a lookup-table link record");
+        break;
+      case LinkMedium::kOptical:
+        break;
+    }
+  }
+
+  // Fabric-owned link endpoints must still hold their transceiver ports.
+  for (const auto& link : electrical_) {
+    DREDBOX_INVARIANT(link.a_ports.size() == link.b_ports.size(),
+                      "electrical link with unbalanced lane bundles");
+    for (std::size_t l = 0; l < link.lanes(); ++l) {
+      DREDBOX_INVARIANT(rack_.brick(link.a).port(link.a_ports[l].value).connected &&
+                            rack_.brick(link.b).port(link.b_ports[l].value).connected,
+                        "electrical link lane rides a disconnected transceiver port");
+    }
+  }
 }
 
 Transaction RemoteMemoryFabric::read(hw::BrickId compute, std::uint64_t address,

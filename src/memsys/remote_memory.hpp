@@ -152,6 +152,18 @@ class RemoteMemoryFabric {
   /// Number of live electrical intra-tray links (for introspection).
   std::size_t electrical_links() const { return electrical_.size(); }
 
+  /// Deep consistency audit of the control-plane state: every attachment
+  /// references live bricks of the right kinds, its segment is really
+  /// carved on the dMEMBRICK for the attached dCOMPUBRICK, the matching
+  /// RMST entry is installed at the compute side, link records agree with
+  /// the medium, and no (compute, segment) pair is attached twice.
+  /// Optical circuits are allowed to be absent (fail_circuit() models
+  /// fibre cuts; transactions then report kCircuitDown). Throws
+  /// ContractViolation on the first broken invariant. Wired into every
+  /// control-plane mutation when built with -DDREDBOX_AUDIT=ON; callable
+  /// directly in any build.
+  void check_invariants() const;
+
  private:
   /// Intra-tray electrical cross-connect (fixed backplane wiring; no
   /// optical switch ports involved). May bond several backplane lanes.

@@ -1,6 +1,10 @@
 #include "optics/circuit.hpp"
 
 #include <stdexcept>
+#include <vector>
+
+#include "optics/receiver.hpp"
+#include "sim/contract.hpp"
 
 namespace dredbox::optics {
 
@@ -50,6 +54,7 @@ std::optional<Circuit> CircuitManager::establish(const CircuitRequest& request) 
     ports_in_use_metric_->set(static_cast<double>(switch_.ports_in_use()));
     hops_metric_->observe(static_cast<double>(c.hops));
   }
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   return c;
 }
 
@@ -66,6 +71,7 @@ bool CircuitManager::teardown(hw::CircuitId id) {
     active_metric_->set(static_cast<double>(circuits_.size()));
     ports_in_use_metric_->set(static_cast<double>(switch_.ports_in_use()));
   }
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   return true;
 }
 
@@ -88,6 +94,45 @@ LinkBudget CircuitManager::budget(const Circuit& circuit, bool from_a) const {
   lb.add_loss("RX connector", connector_loss_db_);
   lb.add_loss("RX MBO coupling", rx.coupling_loss_db);
   return lb;
+}
+
+void CircuitManager::check_invariants() const {
+  // Received power below this and even FEC cannot recover the link; the
+  // floor uses the calibrated receiver of the Fig. 7 testbed.
+  const double floor_dbm = ReceiverModel{}.required_power_dbm(kWorstCorrectablePreFecBer);
+  std::vector<bool> allocated(switch_.port_count(), false);
+  std::size_t ports_owned = 0;
+  // Order-independent audit over the circuit table.
+  // dredbox-lint: ignore[unordered-iteration]
+  for (const auto& [id, c] : circuits_) {
+    DREDBOX_INVARIANT(c.id.value == id, "circuit table key disagrees with the circuit id");
+    DREDBOX_INVARIANT(c.hops >= 1, "circuit " + c.id.to_string() + " has zero hops");
+    DREDBOX_INVARIANT(c.switch_ports.size() == 2 * c.hops,
+                      "circuit " + c.id.to_string() + " owns " +
+                          std::to_string(c.switch_ports.size()) + " switch ports for " +
+                          std::to_string(c.hops) + " hops");
+    for (std::size_t port : c.switch_ports) {
+      DREDBOX_INVARIANT(port < allocated.size(),
+                        "circuit " + c.id.to_string() + " references switch port " +
+                            std::to_string(port) + " beyond the port count");
+      DREDBOX_INVARIANT(!allocated[port], "switch port " + std::to_string(port) +
+                                              " is allocated to two circuits");
+      allocated[port] = true;
+      ++ports_owned;
+      DREDBOX_INVARIANT(switch_.peer(port).has_value(),
+                        "switch port " + std::to_string(port) + " owned by circuit " +
+                            c.id.to_string() + " is not cross-connected");
+    }
+    for (const bool from_a : {true, false}) {
+      const double received = budget(c, from_a).received_dbm();
+      DREDBOX_INVARIANT(received >= floor_dbm,
+                        "circuit " + c.id.to_string() + " is received at " +
+                            std::to_string(received) + " dBm, below the FEC-correctable " +
+                            std::to_string(floor_dbm) + " dBm floor");
+    }
+  }
+  DREDBOX_INVARIANT(switch_.ports_in_use() >= ports_owned,
+                    "switch reports fewer connected ports than circuits own");
 }
 
 }  // namespace dredbox::optics

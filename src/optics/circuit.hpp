@@ -84,6 +84,20 @@ class CircuitManager {
   /// (hops) histogram. Null detaches telemetry.
   void set_telemetry(sim::Telemetry* telemetry);
 
+  /// Worst pre-FEC BER the link-layer FEC can still correct; circuits whose
+  /// budget lands the received power below the power this BER requires are
+  /// dead links and fail the invariant audit.
+  static constexpr double kWorstCorrectablePreFecBer = 1e-3;
+
+  /// Deep consistency audit: every circuit owns 2*hops switch ports, no
+  /// port is allocated to two circuits, every owned port is actually
+  /// cross-connected in the switch, and both directions of every circuit
+  /// are received above the FEC-correctable floor (the optical power
+  /// budget closes). Throws ContractViolation on the first broken
+  /// invariant. Wired into establish/teardown when built with
+  /// -DDREDBOX_AUDIT=ON; callable directly in any build.
+  void check_invariants() const;
+
  private:
   OpticalSwitch& switch_;
   std::unordered_map<std::uint32_t, Circuit> circuits_;

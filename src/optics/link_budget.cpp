@@ -1,7 +1,8 @@
 #include "optics/link_budget.hpp"
 
-#include <cstdio>
 #include <stdexcept>
+
+#include "sim/format.hpp"
 
 namespace dredbox::optics {
 
@@ -25,15 +26,11 @@ double LinkBudget::total_loss_db() const {
 }
 
 std::string LinkBudget::to_string() const {
-  char buf[128];
-  std::snprintf(buf, sizeof buf, "launch %.2f dBm", launch_dbm_);
-  std::string out = buf;
+  std::string out = sim::strformat("launch %.2f dBm", launch_dbm_);
   for (const auto& [name, db] : losses_) {
-    std::snprintf(buf, sizeof buf, " - %.2f dB (%s)", db, name.c_str());
-    out += buf;
+    out += sim::strformat(" - %.2f dB (%s)", db, name.c_str());
   }
-  std::snprintf(buf, sizeof buf, " => %.2f dBm received", received_dbm());
-  out += buf;
+  out += sim::strformat(" => %.2f dBm received", received_dbm());
   return out;
 }
 

@@ -2,7 +2,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <map>
 
 #include "hw/ids.hpp"
 #include "sim/time.hpp"
@@ -44,7 +44,8 @@ class MemoryDemandRegistry {
   std::size_t tracked() const { return reports_.size(); }
 
  private:
-  std::unordered_map<hw::VmId, Report> reports_;
+  // Ordered by id: consolidation decisions scan all reports.
+  std::map<hw::VmId, Report> reports_;
 };
 
 }  // namespace dredbox::orch

@@ -1,5 +1,9 @@
 #include "orch/power_manager.hpp"
 
+#include <cmath>
+
+#include "sim/contract.hpp"
+
 namespace dredbox::orch {
 
 PowerManager::PowerManager(hw::Rack& rack, const PowerPolicyConfig& config)
@@ -37,6 +41,7 @@ sim::Time PowerManager::ensure_powered(hw::BrickId brick, sim::Time now) {
                                   "wake brick " + brick.to_string());
     }
   }
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   return config_.wake_latency;
 }
 
@@ -73,6 +78,7 @@ std::size_t PowerManager::tick(sim::Time now) {
                                       " brick(s)");
     }
   }
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   return swept;
 }
 
@@ -82,6 +88,31 @@ std::size_t PowerManager::powered_off_bricks() const {
     if (rack_.brick(id).power_state() == hw::PowerState::kOff) ++n;
   }
   return n;
+}
+
+void PowerManager::check_invariants() const {
+  const double draw = rack_.power_draw_watts(hw::PowerModel{});
+  DREDBOX_INVARIANT(std::isfinite(draw) && draw >= 0.0,
+                    "rack power draw is " + std::to_string(draw) + " W");
+  for (hw::BrickId id : rack_.all_bricks()) {
+    const hw::Brick& b = rack_.brick(id);
+    if (b.power_state() != hw::PowerState::kOff) continue;
+    for (const auto& port : b.ports()) {
+      DREDBOX_INVARIANT(!port.connected,
+                        "powered-off brick " + id.to_string() +
+                            " still has connected port " + port.id.to_string());
+    }
+  }
+  DREDBOX_INVARIANT(powered_off_bricks() <= rack_.brick_count(),
+                    "more powered-off bricks than bricks");
+  // Order-independent audit of the activity table.
+  // dredbox-lint: ignore[unordered-iteration]
+  for (const auto& [id, last] : last_active_) {
+    DREDBOX_INVARIANT(rack_.has_brick(id),
+                      "activity record for unknown brick " + id.to_string());
+    DREDBOX_INVARIANT(last >= sim::Time::zero() && !last.is_infinite(),
+                      "activity record for brick " + id.to_string() + " at invalid time");
+  }
 }
 
 }  // namespace dredbox::orch

@@ -53,6 +53,15 @@ class PowerManager {
   /// anything off. Null detaches telemetry.
   void set_telemetry(sim::Telemetry* telemetry);
 
+  /// Deep consistency audit: the rack power budget stays non-negative and
+  /// finite, every powered-off brick really is quiescent (no connected
+  /// ports — powering off a brick that still carries circuits would sever
+  /// live attachments), and every activity record points at a brick that
+  /// exists. Throws ContractViolation on the first broken invariant. Wired
+  /// into tick()/ensure_powered() when built with -DDREDBOX_AUDIT=ON;
+  /// callable directly in any build.
+  void check_invariants() const;
+
  private:
   hw::Rack& rack_;
   PowerPolicyConfig config_;

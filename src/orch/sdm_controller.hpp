@@ -2,7 +2,7 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "hw/rack.hpp"
@@ -136,7 +136,8 @@ class SdmController {
   SdmTiming timing_;
   PowerManager* power_mgr_ = nullptr;
   MemoryDemandRegistry demand_;
-  std::unordered_map<hw::BrickId, SdmAgent*> agents_;
+  // Ordered by id: rack-wide agent sweeps must be deterministic.
+  std::map<hw::BrickId, SdmAgent*> agents_;
   sim::Time controller_busy_until_;
   sim::Time switch_ctl_busy_until_;
   std::uint64_t completed_scale_ups_ = 0;

@@ -1,7 +1,8 @@
 #include "sim/breakdown.hpp"
 
 #include <algorithm>
-#include <cstdio>
+
+#include "sim/format.hpp"
 
 namespace dredbox::sim {
 
@@ -48,18 +49,14 @@ std::string Breakdown::to_string(std::size_t bar_width) const {
   for (const auto& [name, t] : parts_) widest = std::max(widest, name.size());
   for (const auto& [name, t] : parts_) {
     const double pct = total_ns > 0 ? 100.0 * t.as_ns() / total_ns : 0.0;
-    char head[224];
-    std::snprintf(head, sizeof head, "  %-*s %12s  %5.1f%%  |", static_cast<int>(widest),
-                  name.c_str(), t.to_string().c_str(), pct);
-    out += head;
+    out += strformat("  %-*s %12s  %5.1f%%  |", static_cast<int>(widest), name.c_str(),
+                     t.to_string().c_str(), pct);
     const auto bar = static_cast<std::size_t>(pct / 100.0 * static_cast<double>(bar_width) + 0.5);
     out.append(bar, '#');
     out += '\n';
   }
-  char foot[128];
-  std::snprintf(foot, sizeof foot, "  %-*s %12s  100.0%%\n", static_cast<int>(widest), "TOTAL",
-                total().to_string().c_str());
-  out += foot;
+  out += strformat("  %-*s %12s  100.0%%\n", static_cast<int>(widest), "TOTAL",
+                   total().to_string().c_str());
   return out;
 }
 

@@ -1,0 +1,13 @@
+#include "sim/digest.hpp"
+
+#include <string>
+
+#include "sim/format.hpp"
+
+namespace dredbox::sim {
+
+std::string Digest::to_string() const { return strformat("%016llx", static_cast<unsigned long long>(state_)); }
+
+std::uint64_t fnv1a(std::string_view bytes) { return Digest{}.update(bytes).value(); }
+
+}  // namespace dredbox::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dredbox::sim {
+
+/// 64-bit FNV-1a running digest. Used by the determinism harness to reduce a
+/// whole telemetry snapshot / trace timeline to one comparable fingerprint:
+/// two runs of the same seed must produce equal digests, two different seeds
+/// must not. Deterministic by construction (no randomized hashing).
+class Digest {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+  Digest& update(std::string_view bytes) {
+    for (unsigned char c : bytes) {
+      state_ ^= c;
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Digest& update(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= (v >> (8 * i)) & 0xffu;
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  std::uint64_t value() const { return state_; }
+
+  /// Fixed-width lowercase hex rendering of value().
+  std::string to_string() const;
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+/// One-shot convenience: FNV-1a of a byte string.
+std::uint64_t fnv1a(std::string_view bytes);
+
+}  // namespace dredbox::sim

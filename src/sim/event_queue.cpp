@@ -1,7 +1,8 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+
+#include "sim/contract.hpp"
 
 namespace dredbox::sim {
 
@@ -12,52 +13,42 @@ EventId EventQueue::schedule(Time when, Action action) {
   }
   EventId id{next_id_++};
   heap_.push(Entry{when, next_seq_++, id, std::move(action)});
-  ++live_count_;
+  pending_.insert(id.value);
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id.value == 0 || id.value >= next_id_) return false;
-  if (is_cancelled(id)) return false;
-  // We cannot remove from the middle of a priority_queue; record the id and
-  // skip the entry when it surfaces.
-  cancelled_.push_back(id.value);
-  if (live_count_ == 0) {
-    cancelled_.pop_back();
-    return false;
-  }
-  --live_count_;
+  // O(1): an id is cancellable iff it is still pending; fired, previously
+  // cancelled, and never-issued ids all miss the pending set.
+  auto it = pending_.find(id.value);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  cancelled_.insert(id.value);
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   return true;
 }
 
-bool EventQueue::is_cancelled(EventId id) const {
-  return std::find(cancelled_.begin(), cancelled_.end(), id.value) != cancelled_.end();
+void EventQueue::evict_cancelled_top() const {
+  // erase() doubles as the membership test: it returns 1 (and unlists the
+  // id) exactly when the top entry was cancelled.
+  while (!heap_.empty() && cancelled_.erase(heap_.top().id.value) > 0) heap_.pop();
 }
 
 Time EventQueue::next_time() const {
-  // Peek past cancelled entries without mutating: the heap top is the only
-  // thing we can see, so pop lazily in dispatch instead. A cancelled top is
-  // rare; accept a conservative answer here by scanning in dispatch_one.
-  auto* self = const_cast<EventQueue*>(this);
-  while (!self->heap_.empty() && self->is_cancelled(self->heap_.top().id)) {
-    auto& list = self->cancelled_;
-    list.erase(std::find(list.begin(), list.end(), self->heap_.top().id.value));
-    self->heap_.pop();
-  }
+  evict_cancelled_top();
   if (heap_.empty()) return Time::infinity();
   return heap_.top().when;
 }
 
 bool EventQueue::dispatch_one() {
-  while (!heap_.empty() && is_cancelled(heap_.top().id)) {
-    cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), heap_.top().id.value));
-    heap_.pop();
-  }
+  evict_cancelled_top();
   if (heap_.empty()) return false;
   Entry top = heap_.top();
   heap_.pop();
-  --live_count_;
+  pending_.erase(top.id.value);
   now_ = top.when;
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
   top.action();
   return true;
 }
@@ -80,9 +71,38 @@ std::size_t EventQueue::run() {
 
 void EventQueue::reset() {
   heap_ = {};
+  pending_.clear();
   cancelled_.clear();
-  live_count_ = 0;
   now_ = Time::zero();
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
+}
+
+void EventQueue::check_invariants() const {
+  DREDBOX_INVARIANT(heap_.size() == pending_.size() + cancelled_.size(),
+                    "heap holds " + std::to_string(heap_.size()) + " entries but " +
+                        std::to_string(pending_.size()) + " pending + " +
+                        std::to_string(cancelled_.size()) + " cancelled are tracked");
+  // Order-independent id-range audit over the hash sets.
+  // dredbox-lint: ignore[unordered-iteration]
+  for (std::uint64_t id : pending_) {
+    DREDBOX_INVARIANT(id >= 1 && id < next_id_,
+                      "pending id " + std::to_string(id) + " was never issued");
+    DREDBOX_INVARIANT(cancelled_.count(id) == 0,
+                      "id " + std::to_string(id) + " is both pending and cancelled");
+  }
+  // dredbox-lint: ignore[unordered-iteration]
+  for (std::uint64_t id : cancelled_) {
+    DREDBOX_INVARIANT(id >= 1 && id < next_id_,
+                      "cancelled id " + std::to_string(id) + " was never issued");
+  }
+  if (!heap_.empty()) {
+    // The heap pops in time order and cancelled tops are evicted before any
+    // later event dispatches, so even buried entries can never be stale.
+    DREDBOX_INVARIANT(heap_.top().when >= now_,
+                      "earliest heap entry at " + heap_.top().when.to_string() +
+                          " precedes now() = " + now_.to_string());
+    DREDBOX_INVARIANT(heap_.top().seq < next_seq_, "heap entry carries an unissued sequence");
+  }
 }
 
 }  // namespace dredbox::sim

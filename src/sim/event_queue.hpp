@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -21,6 +22,10 @@ struct EventId {
 /// (FIFO tie-break on a monotonically increasing sequence number), which
 /// makes every simulation in this repository bit-reproducible for a fixed
 /// seed regardless of heap internals.
+///
+/// Cancellation is O(1): a cancelled event's id moves from the pending set
+/// to the cancelled set, and its heap entry is dropped lazily when it
+/// surfaces at the top.
 class EventQueue {
  public:
   using Action = std::function<void()>;
@@ -34,9 +39,9 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no pending (non-cancelled) events remain.
-  bool empty() const { return live_count_ == 0; }
+  bool empty() const { return pending_.empty(); }
 
-  std::size_t pending() const { return live_count_; }
+  std::size_t pending() const { return pending_.size(); }
 
   /// Timestamp of the earliest pending event; Time::infinity() when empty.
   Time next_time() const;
@@ -58,6 +63,13 @@ class EventQueue {
   /// Drops every pending event and resets time to zero.
   void reset();
 
+  /// Deep consistency audit: heap/pending/cancelled bookkeeping agrees, ids
+  /// are within the issued range, and no buried event precedes now().
+  /// Throws ContractViolation on the first broken invariant. Wired into
+  /// every mutation when built with -DDREDBOX_AUDIT=ON; callable directly
+  /// (e.g. from tests) in any build.
+  void check_invariants() const;
+
  private:
   struct Entry {
     Time when;
@@ -72,14 +84,19 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry> heap_;
-  std::vector<std::uint64_t> cancelled_;  // sorted lazily only if it grows
+  // `mutable` because next_time() lazily evicts cancelled entries from the
+  // heap top: eviction changes only the physical representation, never the
+  // observable pending set or timestamps, so it is logically const.
+  mutable std::priority_queue<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;             // scheduled, not fired/cancelled
+  mutable std::unordered_set<std::uint64_t> cancelled_;   // cancelled, still buried in heap_
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
-  std::size_t live_count_ = 0;
   Time now_ = Time::zero();
 
-  bool is_cancelled(EventId id) const;
+  /// Pops heap entries whose id was cancelled until a live entry (or an
+  /// empty heap) surfaces.
+  void evict_cancelled_top() const;
 };
 
 }  // namespace dredbox::sim

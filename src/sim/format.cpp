@@ -1,0 +1,27 @@
+#include "sim/format.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace dredbox::sim {
+
+std::string strformat(const char* fmt, ...) {
+  char buf[256];
+  std::va_list args;
+  va_start(args, fmt);
+  // dredbox-lint: ignore[printf-family] — the sanctioned wrapper itself.
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n < 0) return {};
+  if (static_cast<std::size_t>(n) < sizeof buf) return std::string{buf, static_cast<std::size_t>(n)};
+  // Rare slow path: the rendering did not fit the stack buffer.
+  std::vector<char> big(static_cast<std::size_t>(n) + 1);
+  va_start(args, fmt);
+  // dredbox-lint: ignore[printf-family] — the sanctioned wrapper itself.
+  std::vsnprintf(big.data(), big.size(), fmt, args);
+  va_end(args);
+  return std::string{big.data(), static_cast<std::size_t>(n)};
+}
+
+}  // namespace dredbox::sim

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+
+namespace dredbox::sim {
+
+/// printf-style formatting into a std::string. This is the one sanctioned
+/// home of the printf family inside the libraries: call sites get compiler
+/// format/argument checking via the attribute, a bounds-safe buffer, and
+/// dredbox_lint can ban the raw snprintf-into-stack-buffer idiom everywhere
+/// else in src/.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace dredbox::sim

@@ -49,7 +49,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
   auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   check_free(name, "counter");
-  auto [pos, inserted] = counters_.emplace(name, std::unique_ptr<Counter>(new Counter{&enabled_}));
+  auto [pos, inserted] = counters_.emplace(name, std::make_unique<Counter>(RegistryKey{}, &enabled_));
   (void)inserted;
   return *pos->second;
 }
@@ -58,7 +58,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   check_free(name, "gauge");
-  auto [pos, inserted] = gauges_.emplace(name, std::unique_ptr<Gauge>(new Gauge{&enabled_}));
+  auto [pos, inserted] = gauges_.emplace(name, std::make_unique<Gauge>(RegistryKey{}, &enabled_));
   (void)inserted;
   return *pos->second;
 }
@@ -69,7 +69,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name, double lo, double
   if (it != histograms_.end()) return *it->second;
   check_free(name, "histogram");
   auto [pos, inserted] =
-      histograms_.emplace(name, std::unique_ptr<Histogram>(new Histogram{&enabled_, lo, hi, bins}));
+      histograms_.emplace(name, std::make_unique<Histogram>(RegistryKey{}, &enabled_, lo, hi, bins));
   (void)inserted;
   return *pos->second;
 }

@@ -14,6 +14,14 @@ namespace dredbox::sim::metrics {
 
 class MetricsRegistry;
 
+/// Passkey: instruments are constructible only by MetricsRegistry (which is
+/// the only code that can mint a key), but publicly enough for
+/// std::make_unique — no raw `new` behind friendship needed.
+class RegistryKey {
+  RegistryKey() = default;
+  friend class MetricsRegistry;
+};
+
 /// Monotonically increasing event count ("how many attaches happened").
 /// Recording is gated on the owning registry's enabled flag so that an
 /// instrumented hot path costs one predictable branch when telemetry is
@@ -25,9 +33,10 @@ class Counter {
   }
   std::uint64_t value() const { return value_; }
 
+  Counter(RegistryKey, const bool* enabled) : enabled_{enabled} {}
+
  private:
-  friend class MetricsRegistry;
-  explicit Counter(const bool* enabled) : enabled_{enabled} {}
+  friend class MetricsRegistry;  // reset() re-zeroes value_ in place
   const bool* enabled_;
   std::uint64_t value_ = 0;
 };
@@ -52,9 +61,10 @@ class Gauge {
   /// True once any set()/add() landed while the registry was enabled.
   bool written() const { return written_; }
 
+  Gauge(RegistryKey, const bool* enabled) : enabled_{enabled} {}
+
  private:
-  friend class MetricsRegistry;
-  explicit Gauge(const bool* enabled) : enabled_{enabled} {}
+  friend class MetricsRegistry;  // reset() re-zeroes value_/written_ in place
   const bool* enabled_;
   double value_ = 0.0;
   bool written_ = false;
@@ -87,10 +97,11 @@ class Histogram {
 
   std::string to_string(std::size_t width = 50) const { return buckets_.to_string(width); }
 
- private:
-  friend class MetricsRegistry;
-  Histogram(const bool* enabled, double lo, double hi, std::size_t bins)
+  Histogram(RegistryKey, const bool* enabled, double lo, double hi, std::size_t bins)
       : enabled_{enabled}, buckets_{lo, hi, bins} {}
+
+ private:
+  friend class MetricsRegistry;  // merge()/reset() touch the aggregates in place
   const bool* enabled_;
   RunningStats running_;
   sim::Histogram buckets_;

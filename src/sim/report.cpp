@@ -1,10 +1,11 @@
 #include "sim/report.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <stdexcept>
+
+#include "sim/format.hpp"
 
 namespace dredbox::sim {
 
@@ -19,22 +20,12 @@ void TextTable::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
-std::string TextTable::num(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
-  return buf;
-}
+std::string TextTable::num(double v, int precision) { return strformat("%.*f", precision, v); }
 
-std::string TextTable::sci(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
-  return buf;
-}
+std::string TextTable::sci(double v, int precision) { return strformat("%.*e", precision, v); }
 
 std::string TextTable::pct(double fraction, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
-  return buf;
+  return strformat("%.*f%%", precision, fraction * 100.0);
 }
 
 std::string TextTable::to_string() const {

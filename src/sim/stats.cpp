@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <stdexcept>
+
+#include "sim/format.hpp"
 
 namespace dredbox::sim {
 
@@ -45,10 +46,8 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 std::string BoxPlot::to_string() const {
-  char buf[160];
-  std::snprintf(buf, sizeof buf, "min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g (n=%zu)",
-                minimum, q1, median, q3, maximum, count);
-  return buf;
+  return strformat("min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g (n=%zu)", minimum, q1, median,
+                   q3, maximum, count);
 }
 
 void SampleSet::add(double x) {
@@ -122,9 +121,7 @@ std::string Histogram::to_string(std::size_t width) const {
   std::string out;
   const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    char head[64];
-    std::snprintf(head, sizeof head, "[%9.3g, %9.3g) %6zu |", bin_low(i), bin_high(i), counts_[i]);
-    out += head;
+    out += strformat("[%9.3g, %9.3g) %6zu |", bin_low(i), bin_high(i), counts_[i]);
     const std::size_t bar = peak ? counts_[i] * width / peak : 0;
     out.append(bar, '#');
     out += '\n';

@@ -1,7 +1,8 @@
 #include "sim/time.hpp"
 
 #include <cmath>
-#include <cstdio>
+
+#include "sim/format.hpp"
 
 namespace dredbox::sim {
 
@@ -9,19 +10,11 @@ std::string Time::to_string() const {
   if (is_infinite()) return "+inf";
   const double ps = as_ps();
   const double mag = std::fabs(ps);
-  char buf[64];
-  if (mag < 1e3) {
-    std::snprintf(buf, sizeof buf, "%.0f ps", ps);
-  } else if (mag < 1e6) {
-    std::snprintf(buf, sizeof buf, "%.3g ns", ps * 1e-3);
-  } else if (mag < 1e9) {
-    std::snprintf(buf, sizeof buf, "%.3g us", ps * 1e-6);
-  } else if (mag < 1e12) {
-    std::snprintf(buf, sizeof buf, "%.3g ms", ps * 1e-9);
-  } else {
-    std::snprintf(buf, sizeof buf, "%.4g s", ps * 1e-12);
-  }
-  return buf;
+  if (mag < 1e3) return strformat("%.0f ps", ps);
+  if (mag < 1e6) return strformat("%.3g ns", ps * 1e-3);
+  if (mag < 1e9) return strformat("%.3g us", ps * 1e-6);
+  if (mag < 1e12) return strformat("%.3g ms", ps * 1e-9);
+  return strformat("%.4g s", ps * 1e-12);
 }
 
 }  // namespace dredbox::sim

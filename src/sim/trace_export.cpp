@@ -1,10 +1,11 @@
 #include "sim/trace_export.hpp"
 
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <set>
 #include <stdexcept>
+
+#include "sim/format.hpp"
 
 namespace dredbox::sim {
 
@@ -30,9 +31,7 @@ std::string json_escape(const std::string& text) {
         break;
       default:
         if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
+          out += strformat("\\u%04x", c);
         } else {
           out += static_cast<char>(c);
         }
@@ -43,11 +42,7 @@ std::string json_escape(const std::string& text) {
 
 namespace {
 
-std::string number(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "%.3f", v);
-  return buf;
-}
+std::string number(double v) { return strformat("%.3f", v); }
 
 }  // namespace
 

@@ -1,0 +1,132 @@
+// Contract layer (src/sim/contract.hpp): DREDBOX_INVARIANT is always on;
+// DREDBOX_REQUIRE / DREDBOX_ENSURE / DREDBOX_AUDIT_INVARIANT exist only in
+// -DDREDBOX_AUDIT=ON builds and must compile out with *no side effects*
+// otherwise. This file is built in both flavours by scripts/check.sh, so
+// both halves of every #if here get exercised.
+
+#include "sim/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hw/rmst.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using dredbox::sim::ContractViolation;
+
+TEST(ContractTest, InvariantPassesSilently) {
+  EXPECT_NO_THROW(DREDBOX_INVARIANT(1 + 1 == 2));
+  EXPECT_NO_THROW(DREDBOX_INVARIANT(true, "never shown"));
+}
+
+TEST(ContractTest, InvariantThrowsWithLocationAndMessage) {
+  try {
+    DREDBOX_INVARIANT(2 + 2 == 5, "arithmetic still works");
+    FAIL() << "DREDBOX_INVARIANT(false) did not throw";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), "invariant");
+    EXPECT_EQ(v.expression(), "2 + 2 == 5");
+    EXPECT_EQ(v.message(), "arithmetic still works");
+    EXPECT_NE(v.file().find("test_contract.cpp"), std::string::npos);
+    EXPECT_GT(v.line(), 0);
+    EXPECT_FALSE(v.function().empty());
+    // what() alone must be enough to debug a violation from a CI log.
+    const std::string what = v.what();
+    EXPECT_NE(what.find("invariant violated"), std::string::npos);
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+    EXPECT_NE(what.find("arithmetic still works"), std::string::npos);
+  }
+}
+
+TEST(ContractTest, InvariantMessageIsOptional) {
+  try {
+    DREDBOX_INVARIANT(false);
+    FAIL() << "DREDBOX_INVARIANT(false) did not throw";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.message(), "");
+  }
+}
+
+TEST(ContractTest, ViolationIsALogicError) {
+  EXPECT_THROW(DREDBOX_INVARIANT(false), std::logic_error);
+}
+
+#if DREDBOX_AUDIT_ENABLED
+
+TEST(ContractTest, RequireAndEnsureFireWhenAuditsOn) {
+  EXPECT_NO_THROW(DREDBOX_REQUIRE(true));
+  EXPECT_NO_THROW(DREDBOX_ENSURE(true));
+  try {
+    DREDBOX_REQUIRE(false, "caller broke the deal");
+    FAIL() << "DREDBOX_REQUIRE(false) did not throw";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), "precondition");
+    EXPECT_EQ(v.message(), "caller broke the deal");
+  }
+  try {
+    DREDBOX_ENSURE(false);
+    FAIL() << "DREDBOX_ENSURE(false) did not throw";
+  } catch (const ContractViolation& v) {
+    EXPECT_EQ(v.kind(), "postcondition");
+  }
+}
+
+TEST(ContractTest, AuditInvariantRunsStatementWhenOn) {
+  int runs = 0;
+  DREDBOX_AUDIT_INVARIANT(++runs);
+  EXPECT_EQ(runs, 1);
+}
+
+#else  // !DREDBOX_AUDIT_ENABLED
+
+TEST(ContractTest, GatedChecksCompileOutWithoutSideEffects) {
+  int evaluations = 0;
+  // In an audit-off build none of these operands may run: the macros
+  // expand to static_cast<void>(0), not to a discarded expression.
+  DREDBOX_REQUIRE(++evaluations > 0, std::string(static_cast<std::size_t>(++evaluations), 'x'));
+  DREDBOX_ENSURE(++evaluations > 0);
+  DREDBOX_AUDIT_INVARIANT(++evaluations);
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractTest, GatedChecksIgnoreFalseConditionsWhenOff) {
+  EXPECT_NO_THROW(DREDBOX_REQUIRE(false, "unseen"));
+  EXPECT_NO_THROW(DREDBOX_ENSURE(false));
+}
+
+#endif  // DREDBOX_AUDIT_ENABLED
+
+// The deep audits are callable directly in every build flavour (their
+// bodies use the always-on DREDBOX_INVARIANT); only the per-mutation call
+// sites are gated. A healthy object must audit clean.
+
+TEST(ContractTest, HealthyEventQueueAuditsClean) {
+  dredbox::sim::EventQueue queue;
+  EXPECT_NO_THROW(queue.check_invariants());
+  int fired = 0;
+  const auto a = queue.schedule(dredbox::sim::Time::ns(10), [&] { ++fired; });
+  queue.schedule(dredbox::sim::Time::ns(20), [&] { ++fired; });
+  EXPECT_NO_THROW(queue.check_invariants());
+  queue.cancel(a);
+  EXPECT_NO_THROW(queue.check_invariants());
+  while (queue.dispatch_one()) {
+  }
+  EXPECT_NO_THROW(queue.check_invariants());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ContractTest, HealthyRmstAuditsClean) {
+  dredbox::hw::Rmst rmst{4};
+  EXPECT_NO_THROW(rmst.check_invariants());
+  rmst.insert({.segment = dredbox::hw::SegmentId{1},
+               .base = 0x1000,
+               .size = 0x1000,
+               .dest_brick = dredbox::hw::BrickId{7},
+               .dest_base = 0});
+  EXPECT_NO_THROW(rmst.check_invariants());
+}
+
+}  // namespace
