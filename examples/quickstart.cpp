@@ -3,11 +3,18 @@
 // touch the remote memory, and scale back down.
 //
 //   $ ./quickstart
+//
+// Set DREDBOX_FAULT_PLAN to run the same session under injected faults
+// (see sim/fault.hpp for the mini-language), e.g.
+//
+//   $ DREDBOX_FAULT_PLAN='link-flap@1ms+2ms;congestion@2ms+1ms:magnitude=4' ./quickstart
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "core/datacenter.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace_export.hpp"
 
 using namespace dredbox;
@@ -24,6 +31,21 @@ int main() {
   core::Datacenter dc{config};
   dc.telemetry().enable_all();  // capture metrics + an operation timeline
   std::printf("%s\n\n", dc.describe().c_str());
+
+  // Optional fault injection: with DREDBOX_FAULT_PLAN set, the scripted
+  // faults are scheduled on the simulation's event queue and land while
+  // the workload below runs — the rack is expected to ride them out.
+  std::optional<sim::FaultPlan> plan;
+  try {
+    plan = sim::fault_plan_from_env();
+    if (plan) {
+      std::printf("injecting fault plan: %s\n\n", plan->to_string().c_str());
+      dc.inject_faults(*plan);
+    }
+  } catch (const std::exception& e) {
+    std::printf("bad %s: %s\n", sim::kFaultPlanEnv, e.what());
+    return 1;
+  }
 
   // 2. Boot a commodity VM. The SDM controller picks a dCOMPUBRICK,
   //    reserves cores and memory, and the Type-1 hypervisor starts it.
@@ -48,6 +70,21 @@ int main() {
   }
   std::printf("\nscale-up completed in %s; control-path breakdown:\n%s\n",
               up.delay().to_string().c_str(), up.breakdown.to_string().c_str());
+
+  // With a fault plan loaded, run the simulation through it: every fault
+  // fires, the rack reacts (retry/backoff, re-provisioning, evacuation),
+  // and recoveries land before we touch the memory below.
+  if (plan) {
+    sim::Time horizon;
+    for (const auto& e : plan->events()) {
+      if (e.at + e.duration > horizon) horizon = e.at + e.duration;
+    }
+    dc.advance_to(horizon + sim::Time::ms(1));
+    std::printf("fault plan ran: %llu injected, %llu recovered, %llu still active\n\n",
+                static_cast<unsigned long long>(dc.faults().injected()),
+                static_cast<unsigned long long>(dc.faults().recovered()),
+                static_cast<unsigned long long>(dc.faults().active()));
+  }
 
   // 4. Touch the disaggregated memory: a 64 B read travels APU -> TGL ->
   //    circuit -> dMEMBRICK glue logic -> DDR and back.

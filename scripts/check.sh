@@ -4,7 +4,9 @@
 # (DREDBOX_SANITIZE) to catch memory and UB bugs, and a DREDBOX_AUDIT=ON
 # build that turns on the contract/invariant layer so every deep
 # check_invariants() audit runs after every mutation. Finishes with the
-# determinism harness (same-seed double run must be byte-identical).
+# determinism harness (same-seed double run must be byte-identical) and a
+# faults stage: the fault-scenario sweep re-run under the sanitizers and
+# the audit layer, plus a scripted-fault quickstart run.
 # Run from the repository root:
 #
 #   $ scripts/check.sh
@@ -15,7 +17,7 @@ root=$(cd "$(dirname "$0")/.." && pwd)
 jobs=$(nproc 2>/dev/null || echo 4)
 
 echo "== lint"
-sh "$root/scripts/lint.sh" --fast
+bash "$root/scripts/lint.sh" --fast
 
 run_suite() {
   build_dir=$1
@@ -34,9 +36,21 @@ run_suite build-asan -DDREDBOX_SANITIZE="address;undefined" \
 run_suite build-audit -DDREDBOX_AUDIT=ON
 
 echo "== clang-tidy (over build/ compile database; skipped when not installed)"
-sh "$root/scripts/lint.sh" --tidy-only build
+bash "$root/scripts/lint.sh" --tidy-only build
 
 echo "== determinism harness"
-sh "$root/scripts/determinism.sh" build
+bash "$root/scripts/determinism.sh" build
+
+echo "== faults: scenario sweep under ASan/UBSan"
+(cd "$root/build-asan" && ctest --output-on-failure -j "$jobs" \
+  -R 'Fault|Retry|FailureRepair')
+
+echo "== faults: scenario sweep with DREDBOX_AUDIT=ON invariants armed"
+(cd "$root/build-audit" && ctest --output-on-failure -j "$jobs" \
+  -R 'FaultScenario|DeterminismTest.Faulty')
+
+echo "== faults: scripted DREDBOX_FAULT_PLAN quickstart (sanitized)"
+DREDBOX_FAULT_PLAN='link-flap@1ms+2ms;congestion@2ms+1ms:magnitude=4;brick-crash@3ms+2ms' \
+  "$root/build-asan/examples/quickstart" > /dev/null
 
 echo "== all checks passed"

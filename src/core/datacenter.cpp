@@ -21,6 +21,7 @@ Datacenter::Datacenter(const DatacenterConfig& config)
     sdm_.set_power_manager(&power_mgr_);
   }
   fabric_.set_packet_network(&packet_net_);
+  fabric_.set_retry_policy(config.fabric_retry);
 
   // Wire the shared telemetry bundle into every layer. Each subsystem
   // caches its instrument pointers now, so instrumented hot paths never
@@ -67,6 +68,172 @@ Datacenter::Datacenter(const DatacenterConfig& config)
       packet_net_.connect(cb, mb);
     }
   }
+
+  injector_.set_telemetry(&telemetry_);
+  wire_fault_handlers();
+}
+
+void Datacenter::repair_all_down() {
+  // repair() heals every attachment sharing the re-provisioned circuit, so
+  // later entries of this deterministic record-order sweep usually find
+  // theirs healthy already.
+  for (const auto& a : fabric_.all_attachments()) {
+    if (a.medium != memsys::LinkMedium::kOptical) continue;
+    if (circuits_.find(a.circuit).has_value()) continue;
+    fabric_.repair(a.compute, a.segment, sim_.now());
+  }
+}
+
+void Datacenter::wire_fault_handlers() {
+  using sim::FaultKind;
+
+  // Link flap: one optical circuit drops (target = circuit id; 0 picks the
+  // first live optical attachment). Recovery re-provisions every downed
+  // attachment through the beam-steering switch.
+  injector_.on(FaultKind::kLinkFlap, [this](const sim::FaultEvent& e) {
+    hw::CircuitId victim{static_cast<std::uint32_t>(e.target)};
+    if (e.target == 0) {
+      victim = hw::CircuitId{};
+      for (const auto& a : fabric_.all_attachments()) {
+        if (a.medium == memsys::LinkMedium::kOptical && circuits_.find(a.circuit)) {
+          victim = a.circuit;
+          break;
+        }
+      }
+    }
+    if (victim.valid()) fabric_.fail_circuit(victim);
+  });
+  injector_.on_recover(FaultKind::kLinkFlap,
+                       [this](const sim::FaultEvent&) { repair_all_down(); });
+
+  // Insertion-loss drift: every port's loss rises by `magnitude` dB and
+  // circuits whose pre-FEC BER falls below the correctable floor are torn
+  // down. Recovery removes the drift and re-provisions.
+  injector_.on(FaultKind::kInsertionLossDrift, [this](const sim::FaultEvent& e) {
+    const double drift = e.magnitude != 0.0 ? e.magnitude : 1.0;
+    switch_.set_insertion_loss_drift_db(switch_.insertion_loss_drift_db() + drift);
+    fabric_.on_circuits_torn(circuits_.teardown_below_floor());
+  });
+  injector_.on_recover(FaultKind::kInsertionLossDrift, [this](const sim::FaultEvent& e) {
+    const double drift = e.magnitude != 0.0 ? e.magnitude : 1.0;
+    switch_.set_insertion_loss_drift_db(switch_.insertion_loss_drift_db() - drift);
+    repair_all_down();
+  });
+
+  // Switch-port failure: the port dies and every circuit (and bonded
+  // sibling lane) riding it is torn down. Recovery repairs failed ports
+  // and re-provisions downed attachments on fresh ports.
+  injector_.on(FaultKind::kSwitchPortFailure, [this](const sim::FaultEvent& e) {
+    std::size_t port = static_cast<std::size_t>(e.target);
+    if (e.target == 0 && !switch_.peer(0).has_value()) {
+      for (std::size_t p = 0; p < switch_.port_count(); ++p) {
+        if (switch_.peer(p).has_value()) {
+          port = p;
+          break;
+        }
+      }
+    }
+    if (port < switch_.port_count() && !switch_.port_failed(port)) {
+      fabric_.on_circuits_torn(circuits_.fail_switch_port(port));
+    }
+  });
+  injector_.on_recover(FaultKind::kSwitchPortFailure, [this](const sim::FaultEvent&) {
+    for (std::size_t p = 0; p < switch_.port_count(); ++p) {
+      if (switch_.port_failed(p)) circuits_.repair_switch_port(p);
+    }
+    repair_all_down();
+  });
+
+  // Packet-substrate bursts: congestion multiplies queueing/serialization,
+  // a loss burst charges `magnitude` retransmissions per packet.
+  injector_.on(FaultKind::kCongestionBurst, [this](const sim::FaultEvent& e) {
+    packet_net_.set_congestion_factor(e.magnitude > 1.0 ? e.magnitude : 4.0);
+  });
+  injector_.on_recover(FaultKind::kCongestionBurst, [this](const sim::FaultEvent&) {
+    packet_net_.set_congestion_factor(1.0);
+  });
+  injector_.on(FaultKind::kLossBurst, [this](const sim::FaultEvent& e) {
+    packet_net_.set_loss_retransmissions(e.magnitude > 0.0 ? e.magnitude : 2.0);
+  });
+  injector_.on_recover(FaultKind::kLossBurst, [this](const sim::FaultEvent&) {
+    packet_net_.set_loss_retransmissions(0.0);
+  });
+
+  // Brick crash: the brick goes dark; a crashed dMEMBRICK's segments are
+  // evacuated by the SDM-C (graceful degradation for whatever cannot be
+  // relocated). target = brick id; 0 picks the first dMEMBRICK serving an
+  // attachment, then the first live dMEMBRICK.
+  injector_.on(FaultKind::kBrickCrash, [this](const sim::FaultEvent& e) {
+    hw::BrickId victim{static_cast<std::uint32_t>(e.target)};
+    if (e.target == 0) {
+      victim = hw::BrickId{};
+      for (const auto& a : fabric_.all_attachments()) {
+        if (!rack_.brick(a.membrick).failed()) {
+          victim = a.membrick;
+          break;
+        }
+      }
+      if (!victim.valid()) {
+        for (hw::BrickId mb : memory_bricks()) {
+          if (!rack_.brick(mb).failed()) {
+            victim = mb;
+            break;
+          }
+        }
+      }
+    }
+    if (!victim.valid() || !rack_.has_brick(victim)) return;
+    hw::Brick& brick = rack_.brick(victim);
+    if (brick.failed()) return;
+    brick.fail();
+    if (brick.kind() == hw::BrickKind::kMemory) {
+      sdm_.evacuate_membrick(victim, sim_.now());
+    }
+  });
+  const auto restart = [this](const sim::FaultEvent& e) {
+    hw::BrickId victim{static_cast<std::uint32_t>(e.target)};
+    if (e.target == 0) {
+      victim = hw::BrickId{};
+      for (hw::BrickId id : rack_.all_bricks()) {
+        if (rack_.brick(id).failed()) {
+          victim = id;
+          break;
+        }
+      }
+    }
+    if (!victim.valid() || !rack_.has_brick(victim)) return;
+    hw::Brick& brick = rack_.brick(victim);
+    if (!brick.failed()) return;
+    brick.restore();
+    if (brick.kind() == hw::BrickKind::kMemory) {
+      sdm_.note_brick_recovered(victim);
+    }
+  };
+  injector_.on_recover(FaultKind::kBrickCrash, restart);
+  injector_.on(FaultKind::kBrickRestart, restart);
+
+  // RMST corruption: one translation entry on a dCOMPUBRICK is mangled
+  // (target = compute brick, 0 picks the first with attachments; aux =
+  // attachment ordinal). The fabric's scrub path repairs it on demand.
+  injector_.on(FaultKind::kRmstCorruption, [this](const sim::FaultEvent& e) {
+    hw::BrickId victim{static_cast<std::uint32_t>(e.target)};
+    if (e.target == 0) {
+      victim = hw::BrickId{};
+      for (const auto& a : fabric_.all_attachments()) {
+        victim = a.compute;
+        break;
+      }
+    }
+    if (victim.valid() && rack_.has_brick(victim)) {
+      fabric_.corrupt_rmst(victim, static_cast<std::size_t>(e.aux));
+    }
+  });
+
+  // SDM-C stall: the serialized inspect+reserve queue stops draining.
+  injector_.on(FaultKind::kControllerStall, [this](const sim::FaultEvent& e) {
+    sdm_.stall(sim_.now(),
+               e.duration > sim::Time::zero() ? e.duration : sim::Time::ms(10));
+  });
 }
 
 os::BareMetalOs& Datacenter::os_of(hw::BrickId compute) {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -20,7 +21,9 @@
 #include "orch/power_manager.hpp"
 #include "orch/sdm_controller.hpp"
 #include "os/baremetal_os.hpp"
+#include "sim/fault.hpp"
 #include "sim/metrics.hpp"
+#include "sim/retry.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
@@ -51,6 +54,12 @@ struct DatacenterConfig {
   /// When true the power manager is wired into the SDM-C from the start
   /// (wake latencies charged, idle sweeps on tick()).
   bool enable_power_management = false;
+
+  /// Data-plane retry policy installed into the fabric (retry with
+  /// exponential backoff, RMST scrubbing, circuit re-provisioning, packet
+  /// failover). Set to nullopt for the fail-fast behaviour of a rack with
+  /// no recovery logic.
+  std::optional<sim::RetryPolicy> fabric_retry = sim::RetryPolicy{};
 
   std::uint64_t seed = 1;
 };
@@ -86,6 +95,18 @@ class Datacenter {
   orch::OomGuard& oom_guard() { return oom_guard_; }
   orch::AcceleratorManager& accelerators() { return accel_mgr_; }
   orch::PowerManager& power_manager() { return power_mgr_; }
+
+  /// The rack's fault-injection engine, pre-wired with a handler (and,
+  /// where it makes sense, a recovery handler) for every FaultKind: link
+  /// flaps re-provision, loss drift tears circuits below the FEC floor,
+  /// brick crashes trigger SDM-C evacuation, and so on. Use it directly
+  /// for counters; schedule plans through inject_faults().
+  sim::FaultInjector& faults() { return injector_; }
+
+  /// Schedules a fault plan onto the simulation timeline (clamped to
+  /// now()). Returns the number of events scheduled; advance_to() makes
+  /// them land interleaved with the workload.
+  std::size_t inject_faults(const sim::FaultPlan& plan) { return injector_.schedule(plan); }
 
   /// The rack's observability bundle: named metrics (counters, gauges,
   /// latency histograms from every layer) plus the event/span tracer.
@@ -161,6 +182,13 @@ class Datacenter {
   orch::OomGuard oom_guard_;
   orch::AcceleratorManager accel_mgr_;
   orch::PowerManager power_mgr_;
+  sim::FaultInjector injector_{sim_};
+
+  /// Maps every FaultKind onto its owning subsystem (ctor-time).
+  void wire_fault_handlers();
+  /// Re-provisions every optical attachment whose circuit is gone (the
+  /// recovery sweep behind flap/drift/port-failure healing).
+  void repair_all_down();
 
   struct BrickStack {
     std::unique_ptr<os::BareMetalOs> os;

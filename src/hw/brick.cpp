@@ -87,7 +87,8 @@ void Brick::dedicate_packet_ports(std::size_t n) {
 
 std::string Brick::describe() const {
   return to_string(kind_) + "#" + id_.to_string() + " (tray " + tray_.to_string() + ", " +
-         std::to_string(ports_.size()) + " ports, " + to_string(power_) + ")";
+         std::to_string(ports_.size()) + " ports, " +
+         (failed_ ? std::string{"FAILED"} : to_string(power_)) + ")";
 }
 
 }  // namespace dredbox::hw

@@ -53,6 +53,22 @@ class Brick {
   void power_off();
   void set_active(bool active);
 
+  // --- crash/restart fault model ---
+  /// Marks the brick as crashed: power drops abruptly (no orderly circuit
+  /// teardown — transceiver ports keep their connections; the light path
+  /// just has no responder). The orchestrator is expected to evacuate
+  /// attachments and the fabric fails transactions towards a failed brick.
+  void fail() {
+    failed_ = true;
+    power_ = PowerState::kOff;
+  }
+  /// Brings a crashed brick back (cold boot into the idle state).
+  void restore() {
+    failed_ = false;
+    power_ = PowerState::kIdle;
+  }
+  bool failed() const { return failed_; }
+
   std::size_t port_count() const { return ports_.size(); }
   const TransceiverPort& port(std::size_t i) const { return ports_.at(i); }
   TransceiverPort& port(std::size_t i) { return ports_.at(i); }
@@ -73,6 +89,7 @@ class Brick {
   BrickKind kind_;
   TrayId tray_;
   PowerState power_ = PowerState::kIdle;
+  bool failed_ = false;
   std::vector<TransceiverPort> ports_;
 };
 

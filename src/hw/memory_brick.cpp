@@ -36,6 +36,7 @@ std::uint64_t MemoryBrick::largest_free_extent() const {
 
 std::optional<MemorySegment> MemoryBrick::allocate(std::uint64_t size, BrickId owner) {
   if (size == 0) throw std::invalid_argument("MemoryBrick::allocate: zero size");
+  if (failed()) return std::nullopt;  // a crashed brick carves nothing
   for (auto it = free_list_.begin(); it != free_list_.end(); ++it) {
     if (it->size < size) continue;
     MemorySegment seg;
@@ -62,7 +63,10 @@ bool MemoryBrick::release(SegmentId segment) {
   allocated_bytes_ -= it->size;
   segments_.erase(it);
   coalesce();
-  set_active(allocated_bytes_ > 0);
+  // Releasing a segment on a crashed (powered-off) brick is pure
+  // bookkeeping — the evacuation path reclaims the lost bytes without
+  // waking the brick — so only drive the power state while powered.
+  if (is_powered()) set_active(allocated_bytes_ > 0);
   return true;
 }
 

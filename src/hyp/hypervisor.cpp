@@ -1,5 +1,6 @@
 #include "hyp/hypervisor.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "sim/span.hpp"
@@ -22,7 +23,7 @@ void Hypervisor::set_telemetry(sim::Telemetry* telemetry) {
     created_metric_ = destroyed_metric_ = nullptr;
     dimms_added_metric_ = dimms_removed_metric_ = nullptr;
     balloon_reclaims_metric_ = balloon_returns_metric_ = nullptr;
-    running_metric_ = committed_metric_ = nullptr;
+    running_metric_ = committed_metric_ = degraded_metric_ = nullptr;
     return;
   }
   auto& m = telemetry->metrics();
@@ -34,6 +35,60 @@ void Hypervisor::set_telemetry(sim::Telemetry* telemetry) {
   balloon_returns_metric_ = &m.counter("hyp.balloon.returns");
   running_metric_ = &m.gauge("hyp.vms.running");
   committed_metric_ = &m.gauge("hyp.memory.committed_bytes");
+  degraded_metric_ = &m.gauge("hyp.vms.degraded");
+}
+
+std::size_t Hypervisor::rebind_dimm_backing(hw::SegmentId from, hw::SegmentId to) {
+  std::size_t rebound = 0;
+  for (auto& [id, vm] : vms_) {
+    rebound += vm->rebind_dimm(from, to);
+    auto lost = lost_backings_.find(id);
+    if (lost != lost_backings_.end()) {
+      lost->second.erase(std::remove(lost->second.begin(), lost->second.end(), from),
+                         lost->second.end());
+      refresh_degraded(*vm);
+    }
+  }
+  return rebound;
+}
+
+void Hypervisor::note_backing_lost(hw::SegmentId segment) {
+  for (auto& [id, vm] : vms_) {
+    if (!vm->has_dimm_backed_by(segment)) continue;
+    auto& lost = lost_backings_[id];
+    if (std::find(lost.begin(), lost.end(), segment) == lost.end()) lost.push_back(segment);
+    if (!vm->degraded()) {
+      vm->set_degraded(true);
+      if (degraded_metric_ != nullptr) degraded_metric_->add(1.0);
+    }
+  }
+}
+
+void Hypervisor::note_backing_restored(hw::SegmentId segment) {
+  for (auto& [id, vm] : vms_) {
+    auto lost = lost_backings_.find(id);
+    if (lost == lost_backings_.end()) continue;
+    lost->second.erase(std::remove(lost->second.begin(), lost->second.end(), segment),
+                       lost->second.end());
+    refresh_degraded(*vm);
+  }
+}
+
+void Hypervisor::refresh_degraded(VirtualMachine& vm) {
+  auto lost = lost_backings_.find(vm.id());
+  const bool still_degraded = lost != lost_backings_.end() && !lost->second.empty();
+  if (vm.degraded() && !still_degraded) {
+    vm.set_degraded(false);
+    if (degraded_metric_ != nullptr) degraded_metric_->add(-1.0);
+  }
+}
+
+std::size_t Hypervisor::degraded_vms() const {
+  std::size_t n = 0;
+  for (const auto& [id, vm] : vms_) {
+    if (vm->degraded()) ++n;
+  }
+  return n;
 }
 
 std::uint64_t Hypervisor::ballooned_bytes() const {

@@ -80,6 +80,25 @@ class Hypervisor {
   /// `segment`. Returns the latency; 0-size result means unknown segment.
   sim::Time shrink_vm_memory(hw::VmId vm, hw::SegmentId segment);
 
+  // --- fault recovery (graceful degradation) ---
+  /// Segment evacuation landed: every guest DIMM backed by `from` now
+  /// points at `to` (the bytes moved to another dMEMBRICK; the guest
+  /// topology is unchanged). Clears the degraded flag of VMs whose last
+  /// lost DIMM this was. Returns the number of DIMMs re-pointed.
+  std::size_t rebind_dimm_backing(hw::SegmentId from, hw::SegmentId to);
+
+  /// A dMEMBRICK crash took `segment`'s backing away before it could be
+  /// evacuated: the owning VM (if any) enters degraded mode but keeps
+  /// running on its remaining memory.
+  void note_backing_lost(hw::SegmentId segment);
+
+  /// The brick that backs `segment` came back: VMs whose only lost DIMMs
+  /// rode it leave degraded mode.
+  void note_backing_restored(hw::SegmentId segment);
+
+  /// VMs currently running in degraded mode on this brick.
+  std::size_t degraded_vms() const;
+
   const HypervisorTiming& timing() const { return timing_; }
 
   /// Wires rack-wide telemetry in: VM lifecycle counters, the aggregate
@@ -107,6 +126,13 @@ class Hypervisor {
   sim::metrics::Counter* balloon_returns_metric_ = nullptr;
   sim::metrics::Gauge* running_metric_ = nullptr;
   sim::metrics::Gauge* committed_metric_ = nullptr;
+  sim::metrics::Gauge* degraded_metric_ = nullptr;
+
+  /// Tracks segments whose backing is currently lost, per VM, so restore /
+  /// rebind can tell when a VM's last lost DIMM is healed.
+  std::map<hw::VmId, std::vector<hw::SegmentId>> lost_backings_;
+
+  void refresh_degraded(VirtualMachine& vm);
 };
 
 }  // namespace dredbox::hyp

@@ -67,6 +67,24 @@ std::uint64_t VirtualMachine::remove_dimm(hw::SegmentId segment) {
   return 0;
 }
 
+std::size_t VirtualMachine::rebind_dimm(hw::SegmentId from, hw::SegmentId to) {
+  std::size_t rebound = 0;
+  for (auto& dimm : dimms_) {
+    if (dimm.hotplugged && dimm.backing_segment == from) {
+      dimm.backing_segment = to;
+      ++rebound;
+    }
+  }
+  return rebound;
+}
+
+bool VirtualMachine::has_dimm_backed_by(hw::SegmentId segment) const {
+  for (const auto& dimm : dimms_) {
+    if (dimm.hotplugged && dimm.backing_segment == segment) return true;
+  }
+  return false;
+}
+
 void VirtualMachine::balloon_inflate(std::uint64_t bytes) {
   if (balloon_bytes_ + bytes > installed_bytes()) {
     throw std::logic_error("balloon_inflate: balloon cannot exceed installed memory");

@@ -36,6 +36,13 @@ class VirtualMachine {
   void set_running() { state_ = VmState::kRunning; }
   void terminate() { state_ = VmState::kTerminated; }
 
+  /// Degraded mode: one of the guest's disaggregated DIMMs lost its
+  /// backing (dMEMBRICK crash) and has not been re-homed yet. The VM keeps
+  /// running on its remaining memory; the orchestrator clears the flag
+  /// once every DIMM is backed again.
+  bool degraded() const { return degraded_; }
+  void set_degraded(bool degraded) { degraded_ = degraded; }
+
   // --- guest memory topology ---
   const std::vector<GuestDimm>& dimms() const { return dimms_; }
   std::uint64_t installed_bytes() const;
@@ -47,6 +54,14 @@ class VirtualMachine {
   /// Removes the most recent hotplugged DIMM backed by `segment`; returns
   /// its size, or 0 when no such DIMM exists.
   std::uint64_t remove_dimm(hw::SegmentId segment);
+
+  /// Re-points every DIMM backed by `from` at `to` (segment evacuation:
+  /// the bytes moved to another dMEMBRICK; the guest topology is
+  /// unchanged). Returns the number of DIMMs re-pointed.
+  std::size_t rebind_dimm(hw::SegmentId from, hw::SegmentId to);
+
+  /// True when any hotplugged DIMM is backed by `segment`.
+  bool has_dimm_backed_by(hw::SegmentId segment) const;
 
   // --- balloon (elastic redistribution of disaggregated memory) ---
   std::uint64_t balloon_bytes() const { return balloon_bytes_; }
@@ -63,6 +78,7 @@ class VirtualMachine {
   hw::VmId id_;
   std::size_t vcpus_;
   VmState state_ = VmState::kProvisioning;
+  bool degraded_ = false;
   std::vector<GuestDimm> dimms_;
   std::uint64_t balloon_bytes_ = 0;
 };

@@ -48,6 +48,7 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
     done.ok = true;
     done.bytes = job.descriptor.bytes;
     done.chunks = chunks;
+    done.retries = job.retries;
     done.enqueued_at = job.enqueued_at;
     done.completed_at = sim_.now();
     channels_[channel].busy = false;
@@ -78,11 +79,30 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
                              ? fabric_.write(compute_, addr, span, sim_.now())
                              : fabric_.read(compute_, addr, span, sim_.now());
   if (!tx.ok()) {
+    // Event-scheduled chunk retry: unlike the fabric's synchronous loop,
+    // waiting on the simulator timeline lets queued recovery (a fault
+    // plan's flap expiring, an orchestrator repair) land between attempts.
+    if (fabric_.retry_policy().has_value()) {
+      if (!job.backoff.has_value()) {
+        job.backoff.emplace(*fabric_.retry_policy(), sim_.now());
+      }
+      if (const auto delay = job.backoff->next(sim_.now())) {
+        ++job.retries;
+        if (sim::Telemetry* telemetry = fabric_.telemetry(); telemetry != nullptr) {
+          telemetry->metrics().counter("memsys.dma.retries").add();
+        }
+        sim_.after(*delay, [this, channel, job = std::move(job), offset, chunks]() mutable {
+          step(channel, std::move(job), offset, chunks);
+        });
+        return;
+      }
+    }
     DmaCompletion failed;
     failed.ok = false;
     failed.error = "chunk at 0x" + std::to_string(addr) + " failed: " + to_string(tx.status);
     failed.bytes = offset;
     failed.chunks = chunks;
+    failed.retries = job.retries;
     failed.enqueued_at = job.enqueued_at;
     failed.completed_at = sim_.now();
     if (sim::Telemetry* telemetry = fabric_.telemetry(); telemetry != nullptr) {
@@ -94,7 +114,9 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
     return;
   }
 
-  // Issue the next chunk the moment this one's round trip completes.
+  // Issue the next chunk the moment this one's round trip completes; the
+  // chunk landed, so the next one starts with a fresh backoff budget.
+  job.backoff.reset();
   sim_.at(tx.completed_at, [this, channel, job = std::move(job), offset, span, chunks]() mutable {
     step(channel, std::move(job), offset + span, chunks + 1);
   });

@@ -3,10 +3,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "memsys/remote_memory.hpp"
+#include "sim/retry.hpp"
 #include "sim/simulator.hpp"
 
 namespace dredbox::memsys {
@@ -24,6 +26,9 @@ struct DmaCompletion {
   std::string error;
   std::uint64_t bytes = 0;
   std::size_t chunks = 0;
+  /// Chunk retries the engine scheduled over the whole transfer (0 when
+  /// every chunk landed first try or no retry policy is set).
+  std::size_t retries = 0;
   sim::Time enqueued_at;
   sim::Time completed_at;
 
@@ -60,6 +65,10 @@ class DmaEngine {
     DmaDescriptor descriptor;
     Callback callback;
     sim::Time enqueued_at;
+    /// Backoff state for the chunk currently in flight; reset on every
+    /// chunk that completes, so each chunk gets the policy's full budget.
+    std::optional<sim::BackoffSchedule> backoff;
+    std::size_t retries = 0;
   };
   struct Channel {
     bool busy = false;

@@ -32,6 +32,10 @@ std::string to_string(TransactionStatus status) {
       return "no-mapping";
     case TransactionStatus::kCircuitDown:
       return "circuit-down";
+    case TransactionStatus::kCorruptMapping:
+      return "corrupt-mapping";
+    case TransactionStatus::kBrickFailed:
+      return "brick-failed";
   }
   return "<unknown status>";
 }
@@ -48,6 +52,8 @@ std::string to_string(AttachError err) {
       return "optical switch out of ports";
     case AttachError::kRmstFull:
       return "RMST full";
+    case AttachError::kBrickFailed:
+      return "dMEMBRICK has failed";
   }
   return "<unknown attach error>";
 }
@@ -63,6 +69,9 @@ void RemoteMemoryFabric::set_telemetry(sim::Telemetry* telemetry) {
     transactions_metric_ = failed_tx_metric_ = nullptr;
     read_latency_metric_ = write_latency_metric_ = nullptr;
     rmst_entries_metric_ = rmst_mapped_metric_ = nullptr;
+    retries_metric_ = retry_exhausted_metric_ = reprovisions_metric_ = nullptr;
+    packet_failovers_metric_ = rmst_scrubs_metric_ = rmst_corruptions_metric_ = nullptr;
+    relocations_metric_ = nullptr;
     return;
   }
   auto& m = telemetry->metrics();
@@ -78,6 +87,13 @@ void RemoteMemoryFabric::set_telemetry(sim::Telemetry* telemetry) {
   write_latency_metric_ = &m.histogram("memsys.write.latency_ns", 0.0, 10000.0, 50);
   rmst_entries_metric_ = &m.gauge("hw.rmst.entries");
   rmst_mapped_metric_ = &m.gauge("hw.rmst.mapped_bytes");
+  retries_metric_ = &m.counter("memsys.fabric.retries");
+  retry_exhausted_metric_ = &m.counter("memsys.fabric.retry_exhausted");
+  reprovisions_metric_ = &m.counter("memsys.fabric.reprovisions");
+  packet_failovers_metric_ = &m.counter("memsys.fabric.packet_failovers");
+  rmst_scrubs_metric_ = &m.counter("memsys.fabric.rmst_scrubs");
+  rmst_corruptions_metric_ = &m.counter("memsys.fabric.rmst_corruptions");
+  relocations_metric_ = &m.counter("memsys.fabric.relocations");
 }
 
 bool RemoteMemoryFabric::same_tray(hw::BrickId a, hw::BrickId b) const {
@@ -128,6 +144,10 @@ std::optional<Attachment> RemoteMemoryFabric::attach_impl(const AttachRequest& r
   auto& compute = rack_.compute_brick(request.compute);
   auto& membrick = rack_.memory_brick(request.membrick);
 
+  if (membrick.failed()) {
+    last_error_ = AttachError::kBrickFailed;
+    return std::nullopt;
+  }
   if (compute.tgl().rmst().full()) {
     last_error_ = AttachError::kRmstFull;
     return std::nullopt;
@@ -145,11 +165,15 @@ std::optional<Attachment> RemoteMemoryFabric::attach_impl(const AttachRequest& r
   hw::CircuitId circuit_id;
   LinkMedium medium = electrical ? LinkMedium::kElectrical : LinkMedium::kOptical;
   std::size_t lanes = std::max<std::size_t>(1, request.lanes);
+  std::size_t hops = request.switch_hops;
+  double fiber_m = request.fiber_length_m;
   for (const auto& a : attachments_) {
     if (a.compute == request.compute && a.membrick == request.membrick) {
       circuit_id = a.circuit;
       medium = a.medium;
       lanes = a.lanes;
+      hops = a.switch_hops;
+      fiber_m = a.fiber_length_m;
       break;
     }
   }
@@ -282,6 +306,8 @@ std::optional<Attachment> RemoteMemoryFabric::attach_impl(const AttachRequest& r
   a.circuit = circuit_id;
   a.medium = medium;
   a.lanes = medium == LinkMedium::kPacket ? 1 : lanes;
+  a.switch_hops = hops;
+  a.fiber_length_m = fiber_m;
   a.established_at = now;
   attachments_.push_back(a);
   return a;
@@ -306,53 +332,56 @@ bool RemoteMemoryFabric::detach(hw::BrickId compute, hw::SegmentId segment) {
     rmst_mapped_metric_->add(-static_cast<double>(removed.size));
   }
 
+  release_circuit_if_unused(removed);
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
+  return true;
+}
+
+void RemoteMemoryFabric::release_circuit_if_unused(const Attachment& removed) {
   // Tear the circuit down when no other attachment rides it.
   const bool circuit_still_used =
       std::any_of(attachments_.begin(), attachments_.end(),
                   [&](const Attachment& a) { return a.circuit == removed.circuit; });
-  if (!circuit_still_used) {
-    if (removed.medium == LinkMedium::kPacket) {
-      packet_.erase(std::remove_if(packet_.begin(), packet_.end(),
-                                   [&](const PacketLink& l) { return l.id == removed.circuit; }),
-                    packet_.end());
+  if (circuit_still_used) return;
+  if (removed.medium == LinkMedium::kPacket) {
+    packet_.erase(std::remove_if(packet_.begin(), packet_.end(),
+                                 [&](const PacketLink& l) { return l.id == removed.circuit; }),
+                  packet_.end());
+    circuit_busy_until_.erase(removed.circuit.value);
+  } else if (removed.medium == LinkMedium::kElectrical) {
+    const ElectricalLink* link = find_electrical(removed.circuit);
+    if (link != nullptr) {
+      for (std::size_t l = 0; l < link->lanes(); ++l) {
+        rack_.brick(link->a).port(link->a_ports[l].value).connected = false;
+        rack_.brick(link->b).port(link->b_ports[l].value).connected = false;
+      }
+      electrical_.erase(
+          std::remove_if(electrical_.begin(), electrical_.end(),
+                         [&](const ElectricalLink& l) { return l.id == removed.circuit; }),
+          electrical_.end());
       circuit_busy_until_.erase(removed.circuit.value);
-    } else if (removed.medium == LinkMedium::kElectrical) {
-      const ElectricalLink* link = find_electrical(removed.circuit);
-      if (link != nullptr) {
-        for (std::size_t l = 0; l < link->lanes(); ++l) {
-          rack_.brick(link->a).port(link->a_ports[l].value).connected = false;
-          rack_.brick(link->b).port(link->b_ports[l].value).connected = false;
-        }
-        electrical_.erase(
-            std::remove_if(electrical_.begin(), electrical_.end(),
-                           [&](const ElectricalLink& l) { return l.id == removed.circuit; }),
-            electrical_.end());
-        circuit_busy_until_.erase(removed.circuit.value);
-      }
-    } else {
-      // Optical: tear down every lane of the bond (single-lane links have
-      // no bond record and tear down just the primary circuit).
-      std::vector<hw::CircuitId> to_tear{removed.circuit};
-      for (auto bit = bonds_.begin(); bit != bonds_.end(); ++bit) {
-        if (bit->primary == removed.circuit) {
-          to_tear = bit->all;
-          bonds_.erase(bit);
-          break;
-        }
-      }
-      for (hw::CircuitId id : to_tear) {
-        auto circuit = circuits_.find(id);
-        if (circuit) {
-          rack_.brick(circuit->a.brick).port(circuit->a.port.value).connected = false;
-          rack_.brick(circuit->b.brick).port(circuit->b.port.value).connected = false;
-          circuits_.teardown(id);
-        }
-        circuit_busy_until_.erase(id.value);
+    }
+  } else {
+    // Optical: tear down every lane of the bond (single-lane links have
+    // no bond record and tear down just the primary circuit).
+    std::vector<hw::CircuitId> to_tear{removed.circuit};
+    for (auto bit = bonds_.begin(); bit != bonds_.end(); ++bit) {
+      if (bit->primary == removed.circuit) {
+        to_tear = bit->all;
+        bonds_.erase(bit);
+        break;
       }
     }
+    for (hw::CircuitId id : to_tear) {
+      auto circuit = circuits_.find(id);
+      if (circuit) {
+        rack_.brick(circuit->a.brick).port(circuit->a.port.value).connected = false;
+        rack_.brick(circuit->b.brick).port(circuit->b.port.value).connected = false;
+        circuits_.teardown(id);
+      }
+      circuit_busy_until_.erase(id.value);
+    }
   }
-  DREDBOX_AUDIT_INVARIANT(check_invariants());
-  return true;
 }
 
 std::optional<RemoteMemoryFabric::MigratedAttachment> RemoteMemoryFabric::migrate_attachment(
@@ -504,46 +533,318 @@ std::optional<Attachment> RemoteMemoryFabric::repair(hw::BrickId compute,
 
   auto& cb = rack_.compute_brick(compute);
   auto& mb = rack_.memory_brick(it->membrick);
-  auto* cport = cb.find_free_port(/*circuit_based=*/true);
-  auto* mport = mb.find_free_port(/*circuit_based=*/true);
-  if (cport == nullptr) {
-    last_error_ = AttachError::kNoComputePort;
-    return std::nullopt;
-  }
-  if (mport == nullptr) {
-    last_error_ = AttachError::kNoMemoryPort;
-    return std::nullopt;
-  }
-  optics::CircuitRequest creq;
-  creq.a = optics::CircuitEndpoint{compute, cport->id, -3.7, 1.2};
-  creq.b = optics::CircuitEndpoint{it->membrick, mport->id, -3.7, 1.2};
-  auto circuit = circuits_.establish(creq);
-  if (!circuit) {
-    last_error_ = AttachError::kNoSwitchPorts;
-    return std::nullopt;
-  }
-  cport->connected = true;
-  mport->connected = true;
 
-  // Heal every attachment (and RMST entry) that rode the dead circuit.
+  // Rebuild the exact pre-failure link: same hop count, same fibre run,
+  // re-bonding up to the original lane count (degrading gracefully to
+  // fewer lanes when ports ran scarce in the meantime, never below one).
+  const std::size_t want_lanes = std::max<std::size_t>(1, it->lanes);
+  OpticalBond bond;
+  std::vector<std::pair<hw::TransceiverPort*, hw::TransceiverPort*>> taken;
+  for (std::size_t l = 0; l < want_lanes; ++l) {
+    auto* cport = cb.find_free_port(/*circuit_based=*/true);
+    auto* mport = mb.find_free_port(/*circuit_based=*/true);
+    if (cport == nullptr || mport == nullptr) {
+      last_error_ =
+          cport == nullptr ? AttachError::kNoComputePort : AttachError::kNoMemoryPort;
+      break;
+    }
+    optics::CircuitRequest creq;
+    creq.a = optics::CircuitEndpoint{compute, cport->id, -3.7, 1.2};
+    creq.b = optics::CircuitEndpoint{it->membrick, mport->id, -3.7, 1.2};
+    creq.hops = it->switch_hops;
+    creq.fiber_length_m = it->fiber_length_m;
+    auto circuit = circuits_.establish(creq);
+    if (!circuit) {
+      last_error_ = AttachError::kNoSwitchPorts;
+      break;
+    }
+    cport->connected = true;
+    mport->connected = true;
+    taken.emplace_back(cport, mport);
+    bond.all.push_back(circuit->id);
+  }
+  if (bond.all.empty()) return std::nullopt;  // could not wire even one lane
+  bond.primary = bond.all.front();
+  if (bond.all.size() > 1) bonds_.push_back(bond);
+
+  // Heal every attachment (and RMST entry) that rode the dead circuit. The
+  // compute-side window must come back byte-identical: only the link
+  // record changes, never base or size.
   const hw::CircuitId dead = it->circuit;
+  const std::size_t healed_lanes = bond.all.size();
   for (auto& a : attachments_) {
     if (a.circuit != dead) continue;
-    a.circuit = circuit->id;
-    a.lanes = 1;  // repaired as a single fresh lane
+    a.circuit = bond.primary;
+    a.lanes = healed_lanes;
     a.established_at = now;
     auto& rmst = rack_.compute_brick(a.compute).tgl().rmst();
     auto entry = rmst.find_segment(a.segment);
     if (entry) {
       hw::RmstEntry updated = *entry;
-      updated.circuit = circuit->id;
-      updated.out_port = cport->id;
+      updated.circuit = bond.primary;
+      updated.out_port = taken.front().first->id;
       rmst.remove(a.segment);
       rmst.insert(updated);
+      DREDBOX_ENSURE(updated.base == a.compute_base && updated.size == a.size,
+                     "repair changed the RMST window of segment " + a.segment.to_string());
     }
   }
   DREDBOX_AUDIT_INVARIANT(check_invariants());
   return *it;
+}
+
+void RemoteMemoryFabric::on_circuits_torn(const std::vector<optics::Circuit>& torn) {
+  for (const auto& c : torn) {
+    rack_.brick(c.a.brick).port(c.a.port.value).connected = false;
+    rack_.brick(c.b.brick).port(c.b.port.value).connected = false;
+    circuit_busy_until_.erase(c.id.value);
+    // A bonded link dies as a whole: tear the surviving sibling lanes too.
+    for (auto bit = bonds_.begin(); bit != bonds_.end(); ++bit) {
+      if (std::find(bit->all.begin(), bit->all.end(), c.id) == bit->all.end()) continue;
+      const OpticalBond bond = *bit;
+      bonds_.erase(bit);
+      for (hw::CircuitId id : bond.all) {
+        if (id == c.id) continue;
+        if (auto live = circuits_.find(id)) {
+          rack_.brick(live->a.brick).port(live->a.port.value).connected = false;
+          rack_.brick(live->b.brick).port(live->b.port.value).connected = false;
+          circuits_.teardown(id);
+        }
+        circuit_busy_until_.erase(id.value);
+      }
+      break;
+    }
+  }
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
+}
+
+std::optional<Attachment> RemoteMemoryFabric::failover_to_packet(hw::BrickId compute,
+                                                                 hw::SegmentId segment,
+                                                                 sim::Time now) {
+  auto it = std::find_if(attachments_.begin(), attachments_.end(), [&](const Attachment& a) {
+    return a.compute == compute && a.segment == segment;
+  });
+  if (it == attachments_.end()) return std::nullopt;
+  if (it->medium == LinkMedium::kPacket) return *it;  // already failed over
+  if (packet_net_ == nullptr || !packet_net_->has_brick(compute) ||
+      !packet_net_->has_brick(it->membrick)) {
+    return std::nullopt;
+  }
+
+  // Reuse the pair's existing packet link or program a fresh lookup-table
+  // path (the Section III control-plane role).
+  hw::CircuitId packet_id;
+  for (const auto& link : packet_) {
+    if ((link.a == compute && link.b == it->membrick) ||
+        (link.a == it->membrick && link.b == compute)) {
+      packet_id = link.id;
+      break;
+    }
+  }
+  if (!packet_id.valid()) {
+    if (!packet_net_->connected(compute, it->membrick)) {
+      packet_net_->connect(compute, it->membrick, it->fiber_length_m);
+    }
+    packet_id = hw::CircuitId{next_packet_id_++};
+    packet_.push_back(PacketLink{packet_id, compute, it->membrick});
+  }
+
+  // Re-point the RMST entry; window and backing bytes stay untouched.
+  auto& rmst = rack_.compute_brick(compute).tgl().rmst();
+  if (auto entry = rmst.find_segment(segment)) {
+    hw::RmstEntry updated = *entry;
+    updated.circuit = packet_id;
+    rmst.remove(segment);
+    rmst.insert(updated);
+  }
+
+  const Attachment old = *it;
+  it->circuit = packet_id;
+  it->medium = LinkMedium::kPacket;
+  it->lanes = 1;
+  it->established_at = now;
+  const Attachment updated = *it;
+  release_circuit_if_unused(old);
+  if (packet_failovers_metric_ != nullptr) packet_failovers_metric_->add();
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
+  return updated;
+}
+
+std::optional<Attachment> RemoteMemoryFabric::relocate_segment(hw::BrickId compute,
+                                                               hw::SegmentId old_segment,
+                                                               hw::BrickId new_membrick,
+                                                               sim::Time now) {
+  auto it = std::find_if(attachments_.begin(), attachments_.end(), [&](const Attachment& a) {
+    return a.compute == compute && a.segment == old_segment;
+  });
+  if (it == attachments_.end()) return std::nullopt;
+  if (it->membrick == new_membrick) return *it;  // already there
+
+  auto& cb = rack_.compute_brick(compute);
+  auto& new_mb = rack_.memory_brick(new_membrick);
+  if (new_mb.failed()) {
+    last_error_ = AttachError::kBrickFailed;
+    return std::nullopt;
+  }
+  if (new_mb.largest_free_extent() < it->size) {
+    last_error_ = AttachError::kNoMemory;
+    return std::nullopt;
+  }
+
+  // Wire (or reuse) connectivity to the new dMEMBRICK before touching the
+  // old side, so failure leaves the attachment intact. Preference order:
+  // shared pair link, electrical intra-tray, optical, packet fallback.
+  hw::CircuitId new_circuit;
+  LinkMedium new_medium = LinkMedium::kOptical;
+  std::size_t new_lanes = 1;
+  hw::PortId new_out_port{0};
+  bool fresh_port = false;
+  for (const auto& a : attachments_) {
+    if (a.compute == compute && a.membrick == new_membrick) {
+      new_circuit = a.circuit;
+      new_medium = a.medium;
+      new_lanes = a.lanes;
+      break;
+    }
+  }
+  if (!new_circuit.valid()) {
+    auto* cport = cb.find_free_port(/*circuit_based=*/true);
+    auto* mport = new_mb.find_free_port(/*circuit_based=*/true);
+    if (cport != nullptr && mport != nullptr) {
+      if (same_tray(compute, new_membrick)) {
+        new_medium = LinkMedium::kElectrical;
+        new_circuit = hw::CircuitId{next_electrical_id_++};
+        electrical_.push_back(
+            ElectricalLink{new_circuit, compute, new_membrick, {cport->id}, {mport->id}});
+        cport->connected = true;
+        mport->connected = true;
+        new_out_port = cport->id;
+        fresh_port = true;
+      } else {
+        optics::CircuitRequest creq;
+        creq.a = optics::CircuitEndpoint{compute, cport->id, -3.7, 1.2};
+        creq.b = optics::CircuitEndpoint{new_membrick, mport->id, -3.7, 1.2};
+        creq.hops = it->switch_hops;
+        creq.fiber_length_m = it->fiber_length_m;
+        if (auto circuit = circuits_.establish(creq)) {
+          new_medium = LinkMedium::kOptical;
+          new_circuit = circuit->id;
+          cport->connected = true;
+          mport->connected = true;
+          new_out_port = cport->id;
+          fresh_port = true;
+        }
+      }
+    }
+    if (!new_circuit.valid()) {
+      // Circuit ports exhausted: packet substrate as the last resort.
+      if (packet_net_ == nullptr || !packet_net_->has_brick(compute) ||
+          !packet_net_->has_brick(new_membrick)) {
+        last_error_ = AttachError::kNoSwitchPorts;
+        return std::nullopt;
+      }
+      for (const auto& link : packet_) {
+        if ((link.a == compute && link.b == new_membrick) ||
+            (link.a == new_membrick && link.b == compute)) {
+          new_circuit = link.id;
+          break;
+        }
+      }
+      if (!new_circuit.valid()) {
+        if (!packet_net_->connected(compute, new_membrick)) {
+          packet_net_->connect(compute, new_membrick, it->fiber_length_m);
+        }
+        new_circuit = hw::CircuitId{next_packet_id_++};
+        packet_.push_back(PacketLink{new_circuit, compute, new_membrick});
+      }
+      new_medium = LinkMedium::kPacket;
+    }
+  }
+
+  // Carve the replacement segment (ids are namespaced by the carving
+  // brick, so relocation necessarily issues a new segment id).
+  auto new_seg = new_mb.allocate(it->size, compute);
+  if (!new_seg) {
+    last_error_ = AttachError::kNoMemory;
+    return std::nullopt;
+  }
+
+  // Re-point the RMST entry, keeping the compute-side window identical.
+  auto& rmst = cb.tgl().rmst();
+  const auto old_entry = rmst.find_segment(old_segment);
+  hw::RmstEntry entry;
+  entry.segment = new_seg->id;
+  entry.base = it->compute_base;
+  entry.size = it->size;
+  entry.dest_brick = new_membrick;
+  entry.dest_base = new_seg->base;
+  entry.out_port = fresh_port || !old_entry ? new_out_port : old_entry->out_port;
+  entry.circuit = new_circuit;
+  rmst.remove(old_segment);
+  rmst.insert(entry);
+
+  const Attachment old = *it;
+  it->membrick = new_membrick;
+  it->segment = new_seg->id;
+  it->circuit = new_circuit;
+  it->medium = new_medium;
+  it->lanes = new_medium == LinkMedium::kPacket ? 1 : new_lanes;
+  it->established_at = now;
+  const Attachment result = *it;
+
+  // Release the old backing bytes and the old link when last rider.
+  rack_.memory_brick(old.membrick).release(old_segment);
+  release_circuit_if_unused(old);
+  if (relocations_metric_ != nullptr) relocations_metric_->add();
+  DREDBOX_ENSURE(result.compute_base == old.compute_base && result.size == old.size,
+                 "relocation changed the compute-side window");
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
+  return result;
+}
+
+bool RemoteMemoryFabric::corrupt_rmst(hw::BrickId compute, std::size_t ordinal) {
+  auto& rmst = rack_.compute_brick(compute).tgl().rmst();
+  std::size_t seen = 0;
+  for (const auto& a : attachments_) {
+    if (a.compute != compute) continue;
+    if (seen++ != ordinal) continue;
+    auto entry = rmst.find_segment(a.segment);
+    if (!entry) return false;
+    hw::RmstEntry mangled = *entry;
+    // A modelled SEU in the PL's segment comparators: the destination
+    // offset picks up flipped bits, scattering accesses over wrong bytes.
+    mangled.dest_base ^= 0x5a5a000ull;
+    rmst.remove(a.segment);
+    rmst.insert(mangled);
+    if (rmst_corruptions_metric_ != nullptr) rmst_corruptions_metric_->add();
+    return true;
+  }
+  return false;
+}
+
+std::size_t RemoteMemoryFabric::scrub_rmst(hw::BrickId compute) {
+  auto& rmst = rack_.compute_brick(compute).tgl().rmst();
+  std::size_t rewritten = 0;
+  for (const auto& a : attachments_) {
+    if (a.compute != compute) continue;
+    const auto backing = rack_.memory_brick(a.membrick).find_segment(a.segment);
+    if (!backing) continue;
+    const auto entry = rmst.find_segment(a.segment);
+    hw::RmstEntry fixed;
+    fixed.segment = a.segment;
+    fixed.base = a.compute_base;
+    fixed.size = a.size;
+    fixed.dest_brick = a.membrick;
+    fixed.dest_base = backing->base;
+    fixed.out_port = entry ? entry->out_port : hw::PortId{0};
+    fixed.circuit = a.circuit;
+    rmst.remove(a.segment);
+    rmst.insert(fixed);
+    ++rewritten;
+  }
+  if (rewritten > 0 && rmst_scrubs_metric_ != nullptr) rmst_scrubs_metric_->add();
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
+  return rewritten;
 }
 
 std::vector<Attachment> RemoteMemoryFabric::attachments_of(hw::BrickId compute) const {
@@ -586,6 +887,60 @@ Transaction RemoteMemoryFabric::execute(TransactionKind kind, hw::BrickId comput
                                         std::uint64_t address, std::uint32_t bytes,
                                         sim::Time when) {
   Transaction tx = execute_path(kind, compute, address, bytes, when);
+
+  // Recovery loop: with a retry policy set, failed transactions back off
+  // exponentially and attack the cause — scrub a corrupted RMST, wire a
+  // replacement circuit, or fall back to the packet substrate. Attempts
+  // are bounded by the policy (count and hard deadline), so a transaction
+  // against a truly dead resource still completes, just not ok().
+  if (!tx.ok() && retry_policy_.has_value()) {
+    sim::BackoffSchedule schedule{*retry_policy_, when};
+    sim::Breakdown accumulated = tx.breakdown;
+    sim::Time t = tx.completed_at;
+    std::uint32_t retries = 0;
+    while (!tx.ok()) {
+      // A crashed dMEMBRICK is not recoverable from the data plane; the
+      // orchestrator has to evacuate the segment first.
+      if (tx.status == TransactionStatus::kBrickFailed) break;
+      const Attachment* a = find_attachment(compute, address);
+      if (a == nullptr) break;  // genuine decode fault: no window installed
+
+      const auto delay = schedule.next(t);
+      if (!delay) {
+        if (retry_exhausted_metric_ != nullptr) retry_exhausted_metric_->add();
+        break;
+      }
+      accumulated.charge("retry backoff", *delay);
+      t += *delay;
+
+      bool recovered = true;
+      if (tx.status == TransactionStatus::kCorruptMapping ||
+          tx.status == TransactionStatus::kNoMapping) {
+        scrub_rmst(compute);
+      } else if (tx.status == TransactionStatus::kCircuitDown) {
+        if (repair(compute, a->segment, t).has_value()) {
+          accumulated.charge("circuit re-provision", circuits_.setup_time());
+          t += circuits_.setup_time();
+          if (reprovisions_metric_ != nullptr) reprovisions_metric_->add();
+        } else if (!failover_to_packet(compute, a->segment, t).has_value()) {
+          recovered = false;  // no optical spare, no packet path: give up
+        }
+      }
+      if (!recovered) break;
+
+      ++retries;
+      if (retries_metric_ != nullptr) retries_metric_->add();
+      Transaction attempt = execute_path(kind, compute, address, bytes, t);
+      accumulated.merge(attempt.breakdown);
+      tx = attempt;
+      t = tx.completed_at;
+    }
+    tx.issued_at = when;
+    tx.completed_at = std::max(tx.completed_at, t);
+    tx.breakdown = accumulated;
+    tx.retries = retries;
+  }
+
   if (telemetry_ != nullptr) {
     transactions_metric_->add();
     if (tx.ok()) {
@@ -629,6 +984,24 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
   }
   tx.destination = route->entry.dest_brick;
   tx.remote_address = route->remote_addr;
+
+  // A crashed dMEMBRICK never answers: the transaction dies at the TGL
+  // (the modelled equivalent of an AXI timeout back to the APU).
+  if (rack_.brick(tx.destination).failed()) {
+    tx.status = TransactionStatus::kBrickFailed;
+    tx.completed_at = t;
+    return tx;
+  }
+
+  // Cross-check the RMST entry against the dMEMBRICK's segment table: a
+  // corrupted entry (SEU in the PL comparators) would scatter the access
+  // over the wrong backing bytes, so it is refused instead.
+  const auto backing = rack_.memory_brick(tx.destination).find_segment(route->entry.segment);
+  if (!backing || backing->owner != compute || backing->base != route->entry.dest_base) {
+    tx.status = TransactionStatus::kCorruptMapping;
+    tx.completed_at = t;
+    return tx;
+  }
 
   // Packet-substrate attachments delegate the whole round trip to the
   // packet network model (NI, on-brick switches, MAC/PHY).

@@ -11,6 +11,7 @@
 #include "net/packet_network.hpp"
 #include "optics/circuit.hpp"
 #include "sim/metrics.hpp"
+#include "sim/retry.hpp"
 
 namespace dredbox::memsys {
 
@@ -37,6 +38,10 @@ struct Attachment {
   /// Parallel lanes bonded into this pair's link (Section II: multiple
   /// links "can be used to provide more aggregate bandwidth").
   std::size_t lanes = 1;
+  /// Link parameters of the original provisioning, kept so repair() can
+  /// rebuild the exact pre-failure path (hop count and fibre run).
+  std::size_t switch_hops = 1;
+  double fiber_length_m = 10.0;
   sim::Time established_at;
 };
 
@@ -68,6 +73,7 @@ enum class AttachError {
   kNoSwitchPorts,   // optical switch exhausted ("running low in terms of
                     //  physical ports", Section III)
   kRmstFull,        // compute brick's segment table is full
+  kBrickFailed,     // serving dMEMBRICK has crashed
 };
 
 std::string to_string(AttachError err);
@@ -137,7 +143,53 @@ class RemoteMemoryFabric {
   /// nullopt when no spare ports exist.
   std::optional<Attachment> repair(hw::BrickId compute, hw::SegmentId segment, sim::Time now);
 
+  /// Reacts to circuits the CircuitManager tore down behind the fabric's
+  /// back (insertion-loss drift, switch-port failure): releases the brick
+  /// transceiver ports of every torn circuit, tears sibling lanes of any
+  /// bond a torn circuit belonged to (a bonded link dies as a whole) and
+  /// drops stale occupancy records. Attachments stay installed — their
+  /// transactions report kCircuitDown until repaired.
+  void on_circuits_torn(const std::vector<optics::Circuit>& torn);
+
+  /// Moves one attachment's traffic to the packet substrate (Section III
+  /// fallback) without touching the data: the RMST window, segment and
+  /// backing bytes are preserved; only the link record changes. Used when
+  /// a circuit cannot be re-provisioned. Returns the updated attachment or
+  /// nullopt (state unchanged) when no packet path exists.
+  std::optional<Attachment> failover_to_packet(hw::BrickId compute, hw::SegmentId segment,
+                                               sim::Time now);
+
+  /// Evacuates one attachment off its dMEMBRICK onto `new_membrick`: a new
+  /// segment is carved there, connectivity is wired (reusing any existing
+  /// pair link, else electrical/optical/packet in order of preference) and
+  /// the RMST entry is re-pointed while keeping the compute-side window
+  /// byte-identical. The old segment is released and its circuit torn when
+  /// last rider. The segment id changes (ids are brick-namespaced); the
+  /// returned attachment carries the new one. Nullopt => state unchanged.
+  std::optional<Attachment> relocate_segment(hw::BrickId compute, hw::SegmentId old_segment,
+                                             hw::BrickId new_membrick, sim::Time now);
+
+  // --- fault injection: RMST corruption & scrubbing ---
+  /// Flips dest_base bits of the `ordinal`-th RMST entry installed for
+  /// `compute` (a modelled SEU in the PL's segment table). Subsequent
+  /// transactions through the entry report kCorruptMapping until the table
+  /// is scrubbed. Returns false when the brick has no such entry.
+  bool corrupt_rmst(hw::BrickId compute, std::size_t ordinal = 0);
+
+  /// Rebuilds every RMST entry of `compute` from the fabric's attachment
+  /// records and the dMEMBRICK segment tables (the ground truth the
+  /// orchestrator holds). Returns the number of entries rewritten.
+  std::size_t scrub_rmst(hw::BrickId compute);
+
+  /// Retry policy for the data plane. Unset (default) => transactions fail
+  /// fast exactly as before; set => execute() retries recoverable statuses
+  /// with exponential backoff, scrubs corrupt RMST entries, re-provisions
+  /// dead circuits and falls back to the packet substrate.
+  void set_retry_policy(std::optional<sim::RetryPolicy> policy) { retry_policy_ = policy; }
+  const std::optional<sim::RetryPolicy>& retry_policy() const { return retry_policy_; }
+
   std::vector<Attachment> attachments_of(hw::BrickId compute) const;
+  const std::vector<Attachment>& all_attachments() const { return attachments_; }
   std::uint64_t attached_bytes(hw::BrickId compute) const;
   std::size_t attachment_count() const { return attachments_.size(); }
 
@@ -205,6 +257,7 @@ class RemoteMemoryFabric {
   /// memory controllers serves more concurrent transactions (Section II).
   std::unordered_map<std::uint64_t, sim::Time> controller_busy_until_;
   AttachError last_error_ = AttachError::kNoMemory;
+  std::optional<sim::RetryPolicy> retry_policy_;
   /// Electrical and packet link ids live in ranges the optical manager
   /// never uses.
   std::uint32_t next_electrical_id_ = 0x40000000u;
@@ -220,8 +273,19 @@ class RemoteMemoryFabric {
   sim::metrics::Histogram* write_latency_metric_ = nullptr;
   sim::metrics::Gauge* rmst_entries_metric_ = nullptr;
   sim::metrics::Gauge* rmst_mapped_metric_ = nullptr;
+  sim::metrics::Counter* retries_metric_ = nullptr;
+  sim::metrics::Counter* retry_exhausted_metric_ = nullptr;
+  sim::metrics::Counter* reprovisions_metric_ = nullptr;
+  sim::metrics::Counter* packet_failovers_metric_ = nullptr;
+  sim::metrics::Counter* rmst_scrubs_metric_ = nullptr;
+  sim::metrics::Counter* rmst_corruptions_metric_ = nullptr;
+  sim::metrics::Counter* relocations_metric_ = nullptr;
 
   std::optional<Attachment> attach_impl(const AttachRequest& request, sim::Time now);
+  /// Tears the link behind `removed` when no surviving attachment rides it
+  /// (all three media; optical bonds die whole). Shared by detach /
+  /// relocate / failover.
+  void release_circuit_if_unused(const Attachment& removed);
   Transaction execute(TransactionKind kind, hw::BrickId compute, std::uint64_t address,
                       std::uint32_t bytes, sim::Time when);
   Transaction execute_path(TransactionKind kind, hw::BrickId compute, std::uint64_t address,

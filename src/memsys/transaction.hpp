@@ -17,6 +17,8 @@ enum class TransactionStatus : std::uint8_t {
   kOk,
   kNoMapping,      // address missed the RMST (decode fault back to the APU)
   kCircuitDown,    // mapped segment's circuit was torn down
+  kCorruptMapping, // RMST entry disagrees with the dMEMBRICK's backing segment
+  kBrickFailed,    // serving dMEMBRICK has crashed
 };
 
 std::string to_string(TransactionStatus status);
@@ -34,6 +36,9 @@ struct Transaction {
   sim::Time issued_at;
   sim::Time completed_at;
   sim::Breakdown breakdown;
+  /// Recovery attempts the fabric made beyond the first issue (retry with
+  /// backoff, RMST scrub, circuit re-provision, packet failover).
+  std::uint32_t retries = 0;
 
   bool ok() const { return status == TransactionStatus::kOk; }
   sim::Time round_trip() const { return completed_at - issued_at; }

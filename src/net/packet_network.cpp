@@ -27,16 +27,35 @@ PacketNetwork::PacketNetwork(const PacketPathLatencies& latencies, optics::FecMo
 
 void PacketNetwork::set_telemetry(sim::Telemetry* telemetry) {
   if (telemetry == nullptr) {
-    packets_metric_ = nullptr;
+    packets_metric_ = retransmissions_metric_ = nullptr;
     latency_metric_ = queueing_metric_ = nullptr;
+    congestion_metric_ = nullptr;
     return;
   }
   auto& m = telemetry->metrics();
   packets_metric_ = &m.counter("net.packets.sent");
+  retransmissions_metric_ = &m.counter("net.packets.retransmitted");
   // Packet round trips land in the single-digit-us range (Fig. 8's packet
   // column); queueing is sub-us unless an output port is congested.
   latency_metric_ = &m.histogram("net.packet.latency_ns", 0.0, 20000.0, 50);
   queueing_metric_ = &m.histogram("net.switch.queueing_ns", 0.0, 2000.0, 40);
+  congestion_metric_ = &m.gauge("net.congestion_factor");
+  congestion_metric_->set(congestion_factor_);
+}
+
+void PacketNetwork::set_congestion_factor(double factor) {
+  if (factor < 1.0) {
+    throw std::invalid_argument("PacketNetwork::set_congestion_factor: factor below 1");
+  }
+  congestion_factor_ = factor;
+  if (congestion_metric_ != nullptr) congestion_metric_->set(factor);
+}
+
+void PacketNetwork::set_loss_retransmissions(double per_packet) {
+  if (per_packet < 0.0) {
+    throw std::invalid_argument("PacketNetwork::set_loss_retransmissions: negative rate");
+  }
+  loss_retransmissions_ = per_packet;
 }
 
 void PacketNetwork::add_brick(hw::BrickId brick, std::size_t pbn_ports) {
@@ -116,6 +135,15 @@ sim::Time PacketNetwork::traverse(hw::BrickId src, hw::BrickId dst, std::uint32_
   breakdown.charge("serialization", serialization);
   t = fwd->departure;
 
+  // Congestion burst: the switch fabric services this packet slower than
+  // nominal; the extra time shows up as its own breakdown stage.
+  if (congestion_factor_ > 1.0) {
+    const sim::Time penalty =
+        sim::scale(switch_cost + fwd->queueing + serialization, congestion_factor_ - 1.0);
+    breakdown.charge("congestion penalty", penalty);
+    t += penalty;
+  }
+
   // MAC + PHY on the transmit side.
   breakdown.charge(std::string{"MAC/PHY ("} + side + ")", mac_phy_.traversal_latency());
   t += mac_phy_.traversal_latency();
@@ -131,6 +159,15 @@ sim::Time PacketNetwork::traverse(hw::BrickId src, hw::BrickId dst, std::uint32_
   const sim::Time prop = propagation(src, dst);
   breakdown.charge("optical propagation", prop);
   t += prop;
+
+  // Loss burst: each modelled retransmission re-pays serialization plus
+  // the wire (deterministic mean-rate model, no per-packet dice).
+  if (loss_retransmissions_ > 0.0) {
+    const sim::Time penalty = sim::scale(serialization + prop, loss_retransmissions_);
+    breakdown.charge("loss retransmissions", penalty);
+    t += penalty;
+    if (retransmissions_metric_ != nullptr) retransmissions_metric_->add();
+  }
 
   // MAC + PHY on the receive side.
   const char* rx_side = from_compute ? "dMEMBRICK" : "dCOMPUBRICK";

@@ -64,6 +64,21 @@ class PacketNetwork {
 
   std::uint64_t packets_sent() const { return next_packet_ - 1; }
 
+  // --- fault model ---
+  /// Congestion burst: scales the on-brick switch cost (arbitration +
+  /// queueing + serialization) of every traversal by `factor` (>= 1; 1.0
+  /// restores nominal service). The extra time is charged as its own
+  /// "congestion" breakdown stage so Fig. 8-style reports show the burst.
+  void set_congestion_factor(double factor);
+  double congestion_factor() const { return congestion_factor_; }
+
+  /// Loss burst: models `per_packet` link-layer retransmissions per
+  /// traversal (deterministic mean-rate model, so faulty runs stay
+  /// digest-reproducible). Each retransmission re-pays serialization plus
+  /// the wire propagation. 0 restores a loss-free link.
+  void set_loss_retransmissions(double per_packet);
+  double loss_retransmissions() const { return loss_retransmissions_; }
+
   /// Wires rack-wide telemetry in: packet counter, end-to-end round-trip
   /// latency histogram and the on-brick switch queueing-delay histogram
   /// (the congestion signal of the exploratory packet mode). Null
@@ -77,10 +92,14 @@ class PacketNetwork {
   std::unordered_map<hw::BrickId, std::unique_ptr<PacketSwitch>> switches_;
   std::unordered_map<hw::BrickId, std::unordered_map<hw::BrickId, double>> fiber_m_;
   std::uint64_t next_packet_ = 1;
+  double congestion_factor_ = 1.0;
+  double loss_retransmissions_ = 0.0;
 
   sim::metrics::Counter* packets_metric_ = nullptr;
+  sim::metrics::Counter* retransmissions_metric_ = nullptr;
   sim::metrics::Histogram* latency_metric_ = nullptr;
   sim::metrics::Histogram* queueing_metric_ = nullptr;
+  sim::metrics::Gauge* congestion_metric_ = nullptr;
 
   sim::Time propagation(hw::BrickId a, hw::BrickId b) const;
 

@@ -1,5 +1,6 @@
 #include "optics/circuit.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -73,6 +74,67 @@ bool CircuitManager::teardown(hw::CircuitId id) {
   }
   DREDBOX_AUDIT_INVARIANT(check_invariants());
   return true;
+}
+
+std::vector<Circuit> CircuitManager::teardown_below_floor() {
+  const double floor_dbm = ReceiverModel{}.required_power_dbm(kWorstCorrectablePreFecBer);
+  std::vector<Circuit> torn;
+  // Collect first (deterministically, by id), erase after: the audit runs
+  // once at the end, never against a table where one dead circuit is gone
+  // and its equally-dead sibling still fails the budget-floor invariant.
+  std::vector<std::uint32_t> dead;
+  // dredbox-lint: ignore[unordered-iteration] -- ids are sorted below.
+  for (const auto& [id, c] : circuits_) {
+    if (budget(c, true).received_dbm() < floor_dbm ||
+        budget(c, false).received_dbm() < floor_dbm) {
+      dead.push_back(id);
+    }
+  }
+  std::sort(dead.begin(), dead.end());
+  for (std::uint32_t id : dead) {
+    auto it = circuits_.find(id);
+    torn.push_back(it->second);
+    for (std::size_t i = 0; i < it->second.hops; ++i) {
+      switch_.disconnect(it->second.switch_ports[2 * i]);
+    }
+    circuits_.erase(it);
+    if (torn_down_metric_ != nullptr) torn_down_metric_->add();
+  }
+  if (active_metric_ != nullptr && !torn.empty()) {
+    active_metric_->set(static_cast<double>(circuits_.size()));
+    ports_in_use_metric_->set(static_cast<double>(switch_.ports_in_use()));
+  }
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
+  return torn;
+}
+
+std::vector<Circuit> CircuitManager::fail_switch_port(std::size_t port) {
+  std::vector<Circuit> torn;
+  std::vector<std::uint32_t> dead;
+  // dredbox-lint: ignore[unordered-iteration] -- ids are sorted below.
+  for (const auto& [id, c] : circuits_) {
+    if (std::find(c.switch_ports.begin(), c.switch_ports.end(), port) !=
+        c.switch_ports.end()) {
+      dead.push_back(id);
+    }
+  }
+  std::sort(dead.begin(), dead.end());
+  for (std::uint32_t id : dead) {
+    auto it = circuits_.find(id);
+    torn.push_back(it->second);
+    for (std::size_t i = 0; i < it->second.hops; ++i) {
+      switch_.disconnect(it->second.switch_ports[2 * i]);
+    }
+    circuits_.erase(it);
+    if (torn_down_metric_ != nullptr) torn_down_metric_->add();
+  }
+  switch_.fail_port(port);
+  if (active_metric_ != nullptr && !torn.empty()) {
+    active_metric_->set(static_cast<double>(circuits_.size()));
+    ports_in_use_metric_->set(static_cast<double>(switch_.ports_in_use()));
+  }
+  DREDBOX_AUDIT_INVARIANT(check_invariants());
+  return torn;
 }
 
 std::optional<Circuit> CircuitManager::find(hw::CircuitId id) const {

@@ -67,6 +67,23 @@ class CircuitManager {
   /// the id is unknown.
   bool teardown(hw::CircuitId id);
 
+  // --- fault model ---
+  /// Tears down every circuit whose link budget no longer closes (either
+  /// direction received below the FEC-correctable floor) — the reaction to
+  /// insertion-loss drift. All dead circuits are removed in one pass so the
+  /// audit never observes a half-cleaned table. Returns the torn circuits;
+  /// the caller (fabric) must release the brick-side transceiver ports.
+  std::vector<Circuit> teardown_below_floor();
+
+  /// One beam-steering switch port dies: every circuit crossing it is torn
+  /// down and the port is taken out of service (excluded from future
+  /// establish calls). Returns the torn circuits for brick-side cleanup.
+  std::vector<Circuit> fail_switch_port(std::size_t port);
+
+  /// Returns a failed switch port to service. Returns false when the port
+  /// was healthy.
+  bool repair_switch_port(std::size_t port) { return switch_.repair_port(port); }
+
   std::optional<Circuit> find(hw::CircuitId id) const;
   std::size_t active_circuits() const { return circuits_.size(); }
 

@@ -8,13 +8,19 @@ namespace dredbox::optics {
 OpticalSwitch::OpticalSwitch(const OpticalSwitchConfig& config) : config_{config} {
   if (config.ports < 2) throw std::invalid_argument("OpticalSwitch: needs at least two ports");
   peer_.resize(config.ports);
+  failed_.resize(config.ports, false);
 }
 
-bool OpticalSwitch::port_free(std::size_t port) const { return !peer_.at(port).has_value(); }
+bool OpticalSwitch::port_free(std::size_t port) const {
+  return !peer_.at(port).has_value() && !failed_.at(port);
+}
 
 std::size_t OpticalSwitch::free_ports() const {
-  return static_cast<std::size_t>(
-      std::count_if(peer_.begin(), peer_.end(), [](const auto& p) { return !p.has_value(); }));
+  std::size_t n = 0;
+  for (std::size_t p = 0; p < peer_.size(); ++p) {
+    if (port_free(p)) ++n;
+  }
+  return n;
 }
 
 void OpticalSwitch::connect(std::size_t a, std::size_t b) {
@@ -25,8 +31,38 @@ void OpticalSwitch::connect(std::size_t a, std::size_t b) {
   if (peer_[a] || peer_[b]) {
     throw std::logic_error("OpticalSwitch::connect: port already connected");
   }
+  if (failed_[a] || failed_[b]) {
+    throw std::logic_error("OpticalSwitch::connect: port is out of service");
+  }
   peer_[a] = b;
   peer_[b] = a;
+}
+
+std::size_t OpticalSwitch::ports_in_use() const {
+  return static_cast<std::size_t>(
+      std::count_if(peer_.begin(), peer_.end(), [](const auto& p) { return p.has_value(); }));
+}
+
+bool OpticalSwitch::fail_port(std::size_t port) {
+  if (port >= failed_.size()) {
+    throw std::out_of_range("OpticalSwitch::fail_port: port out of range");
+  }
+  if (failed_[port]) return false;
+  failed_[port] = true;
+  return true;
+}
+
+bool OpticalSwitch::repair_port(std::size_t port) {
+  if (port >= failed_.size()) {
+    throw std::out_of_range("OpticalSwitch::repair_port: port out of range");
+  }
+  if (!failed_[port]) return false;
+  failed_[port] = false;
+  return true;
+}
+
+std::size_t OpticalSwitch::failed_ports() const {
+  return static_cast<std::size_t>(std::count(failed_.begin(), failed_.end(), true));
 }
 
 bool OpticalSwitch::disconnect(std::size_t port) {
@@ -43,7 +79,7 @@ std::optional<std::size_t> OpticalSwitch::peer(std::size_t port) const { return 
 std::vector<std::size_t> OpticalSwitch::find_free_ports(std::size_t n) const {
   std::vector<std::size_t> out;
   for (std::size_t p = 0; p < peer_.size() && out.size() < n; ++p) {
-    if (!peer_[p]) out.push_back(p);
+    if (port_free(p)) out.push_back(p);
   }
   if (out.size() < n) out.clear();
   return out;

@@ -32,7 +32,9 @@ class OpticalSwitch {
 
   bool port_free(std::size_t port) const;
   std::size_t free_ports() const;
-  std::size_t ports_in_use() const { return port_count() - free_ports(); }
+  /// Ports carrying a cross-connection (failed-but-idle ports count as
+  /// neither free nor in use).
+  std::size_t ports_in_use() const;
 
   /// Cross-connects two free ports. Throws when either is busy or out of
   /// range, or when a == b.
@@ -48,7 +50,28 @@ class OpticalSwitch {
   /// Finds `n` free ports (lowest-numbered first). Empty when scarce.
   std::vector<std::size_t> find_free_ports(std::size_t n) const;
 
-  double insertion_loss_db() const { return config_.insertion_loss_db; }
+  // --- fault model ---
+  /// Marks a port as failed: it is excluded from free-port searches and
+  /// connect() refuses it. A connected port stays cross-connected — the
+  /// CircuitManager is responsible for tearing the circuits that ride it
+  /// (CircuitManager::fail_switch_port does both in one step). Returns
+  /// false when the port was already failed.
+  bool fail_port(std::size_t port);
+  /// Returns a failed port to service. Returns false when it was healthy.
+  bool repair_port(std::size_t port);
+  bool port_failed(std::size_t port) const { return failed_.at(port); }
+  std::size_t failed_ports() const;
+
+  /// Uniform insertion-loss drift added on top of the nominal per-hop loss
+  /// (ageing/misalignment of the beam-steering elements). Negative drift is
+  /// clamped to the nominal loss floor.
+  void set_insertion_loss_drift_db(double drift_db) { loss_drift_db_ = drift_db; }
+  double insertion_loss_drift_db() const { return loss_drift_db_; }
+
+  double insertion_loss_db() const {
+    const double loss = config_.insertion_loss_db + loss_drift_db_;
+    return loss > 0.0 ? loss : 0.0;
+  }
   double power_draw_watts() const {
     return static_cast<double>(ports_in_use()) * config_.power_per_port_w;
   }
@@ -58,6 +81,8 @@ class OpticalSwitch {
  private:
   OpticalSwitchConfig config_;
   std::vector<std::optional<std::size_t>> peer_;
+  std::vector<bool> failed_;
+  double loss_drift_db_ = 0.0;
 };
 
 }  // namespace dredbox::optics

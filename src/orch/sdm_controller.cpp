@@ -23,6 +23,8 @@ void SdmController::set_telemetry(sim::Telemetry* telemetry) {
     scale_ups_metric_ = scale_up_failures_metric_ = nullptr;
     scale_downs_metric_ = rebalances_metric_ = nullptr;
     scale_up_latency_metric_ = nullptr;
+    stalls_metric_ = evacuated_metric_ = evacuation_failures_metric_ = nullptr;
+    degraded_membricks_metric_ = nullptr;
     return;
   }
   auto& m = telemetry->metrics();
@@ -35,6 +37,10 @@ void SdmController::set_telemetry(sim::Telemetry* telemetry) {
   // End-to-end scale-up times are dominated by switch programming (25 ms)
   // and kernel hotplug, i.e. tens to hundreds of ms (Fig. 10).
   scale_up_latency_metric_ = &m.histogram("orch.scale_up.latency_ms", 0.0, 1000.0, 50);
+  stalls_metric_ = &m.counter("orch.sdm.stalls");
+  evacuated_metric_ = &m.counter("orch.sdm.evacuated_segments");
+  evacuation_failures_metric_ = &m.counter("orch.sdm.evacuation_failures");
+  degraded_membricks_metric_ = &m.gauge("orch.sdm.degraded_membricks");
 }
 
 SdmAgent& SdmController::agent_for(hw::BrickId compute) {
@@ -101,6 +107,7 @@ std::optional<hw::BrickId> SdmController::select_membrick(std::uint64_t bytes,
 
   for (hw::BrickId id : rack_.bricks_of_kind(hw::BrickKind::kMemory)) {
     const auto& mb = rack_.memory_brick(id);
+    if (mb.failed()) continue;  // crashed bricks serve nothing
     const std::uint64_t extent = mb.largest_free_extent();
     if (extent < bytes) continue;
     int base;
@@ -489,6 +496,64 @@ void SdmController::reset_queues() {
   controller_busy_until_ = sim::Time::zero();
   switch_ctl_busy_until_ = sim::Time::zero();
   for (auto& [id, agent] : agents_) agent->set_busy_until(sim::Time::zero());
+}
+
+void SdmController::stall(sim::Time now, sim::Time duration) {
+  const sim::Time resume = now + duration;
+  if (resume > controller_busy_until_) controller_busy_until_ = resume;
+  if (stalls_metric_ != nullptr) stalls_metric_->add();
+}
+
+std::size_t SdmController::evacuate_membrick(hw::BrickId membrick, sim::Time now) {
+  refresh_degraded_membricks();
+  std::size_t evacuated = 0;
+  // Deterministic sweep: compute bricks in id order, attachments in the
+  // fabric's stable record order.
+  for (hw::BrickId cb : rack_.bricks_of_kind(hw::BrickKind::kCompute)) {
+    for (const auto& a : fabric_.attachments_of(cb)) {
+      if (a.membrick != membrick) continue;
+      const auto replacement = select_membrick(a.size, cb);
+      std::optional<memsys::Attachment> moved;
+      if (replacement) {
+        sim::Breakdown breakdown;
+        wake_brick(*replacement, now, breakdown);
+        moved = fabric_.relocate_segment(cb, a.segment, *replacement, now);
+      }
+      if (moved) {
+        ++evacuated;
+        if (evacuated_metric_ != nullptr) evacuated_metric_->add();
+        if (has_agent(cb)) {
+          agent_for(cb).hypervisor().rebind_dimm_backing(a.segment, moved->segment);
+        }
+      } else {
+        if (evacuation_failures_metric_ != nullptr) evacuation_failures_metric_->add();
+        if (has_agent(cb)) agent_for(cb).hypervisor().note_backing_lost(a.segment);
+      }
+    }
+  }
+  return evacuated;
+}
+
+void SdmController::note_brick_recovered(hw::BrickId membrick) {
+  refresh_degraded_membricks();
+  // Segments that never got evacuated are served again: lift degradation.
+  for (hw::BrickId cb : rack_.bricks_of_kind(hw::BrickKind::kCompute)) {
+    if (!has_agent(cb)) continue;
+    for (const auto& a : fabric_.attachments_of(cb)) {
+      if (a.membrick == membrick) {
+        agent_for(cb).hypervisor().note_backing_restored(a.segment);
+      }
+    }
+  }
+}
+
+void SdmController::refresh_degraded_membricks() {
+  if (degraded_membricks_metric_ == nullptr) return;
+  std::size_t failed = 0;
+  for (hw::BrickId id : rack_.bricks_of_kind(hw::BrickKind::kMemory)) {
+    if (rack_.brick(id).failed()) ++failed;
+  }
+  degraded_membricks_metric_->set(static_cast<double>(failed));
 }
 
 }  // namespace dredbox::orch

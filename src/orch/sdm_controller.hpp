@@ -93,6 +93,25 @@ class SdmController {
   /// Picks a hosting dCOMPUBRICK for a VM, packing active bricks first.
   std::optional<hw::BrickId> select_compute(std::size_t vcpus) const;
 
+  // --- fault reaction (graceful degradation) ---
+  /// SDM-C service stall (software fault / overload in the controller
+  /// node): the serialized inspect+reserve queue stops draining for
+  /// `duration`; requests arriving meanwhile queue up behind it.
+  void stall(sim::Time now, sim::Time duration);
+
+  /// Reaction to a dMEMBRICK crash: walks every attachment served by
+  /// `membrick` (deterministically, by compute-brick id) and relocates its
+  /// segment to a replacement brick chosen by the usual power-conscious
+  /// policy. Guests whose DIMMs rode an evacuated segment are re-bound;
+  /// segments with no replacement brick are reported lost to the
+  /// hypervisor, which degrades the owning VM instead of killing it.
+  /// Returns the number of segments successfully evacuated.
+  std::size_t evacuate_membrick(hw::BrickId membrick, sim::Time now);
+
+  /// A crashed dMEMBRICK came back (restart): refreshes the degraded-mode
+  /// gauge and lifts degradation from VMs whose segments still live there.
+  void note_brick_recovered(hw::BrickId membrick);
+
   const SdmTiming& timing() const { return timing_; }
   std::uint64_t completed_scale_ups() const { return completed_scale_ups_; }
 
@@ -150,6 +169,12 @@ class SdmController {
   sim::metrics::Counter* scale_downs_metric_ = nullptr;
   sim::metrics::Counter* rebalances_metric_ = nullptr;
   sim::metrics::Histogram* scale_up_latency_metric_ = nullptr;
+  sim::metrics::Counter* stalls_metric_ = nullptr;
+  sim::metrics::Counter* evacuated_metric_ = nullptr;
+  sim::metrics::Counter* evacuation_failures_metric_ = nullptr;
+  sim::metrics::Gauge* degraded_membricks_metric_ = nullptr;
+
+  void refresh_degraded_membricks();
 
   AllocationResult allocate_vm_impl(const AllocationRequest& request, sim::Time now);
   ScaleUpResult scale_up_impl(const ScaleUpRequest& request);

@@ -1,0 +1,59 @@
+#include "sim/retry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/format.hpp"
+
+namespace dredbox::sim {
+
+void RetryPolicy::validate() const {
+  if (max_attempts == 0) {
+    throw std::invalid_argument("RetryPolicy: max_attempts must be at least 1");
+  }
+  if (initial_backoff < Time::zero()) {
+    throw std::invalid_argument("RetryPolicy: negative initial backoff");
+  }
+  if (multiplier < 1.0) {
+    throw std::invalid_argument("RetryPolicy: multiplier below 1 would shrink delays");
+  }
+  if (max_backoff < initial_backoff) {
+    throw std::invalid_argument("RetryPolicy: max_backoff below initial_backoff");
+  }
+  if (timeout <= Time::zero()) {
+    throw std::invalid_argument("RetryPolicy: timeout must be positive");
+  }
+}
+
+std::string RetryPolicy::to_string() const {
+  return strformat("retry(max_attempts=%zu, initial=%s, x%.2f, cap=%s, timeout=%s)",
+                   max_attempts, initial_backoff.to_string().c_str(), multiplier,
+                   max_backoff.to_string().c_str(), timeout.to_string().c_str());
+}
+
+BackoffSchedule::BackoffSchedule(const RetryPolicy& policy, Time first_issue)
+    : policy_{policy},
+      deadline_{first_issue + policy.timeout},
+      next_backoff_{policy.initial_backoff} {
+  policy.validate();
+}
+
+std::optional<Time> BackoffSchedule::next(Time now) {
+  if (exhausted_) return std::nullopt;
+  if (attempts_ >= policy_.max_attempts || expired(now)) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  const Time delay = next_backoff_;
+  // The timeout always fires: a retry that would start at or past the
+  // deadline is never issued, even when attempts remain.
+  if (now + delay >= deadline_) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  ++attempts_;
+  next_backoff_ = std::min(policy_.max_backoff, scale(next_backoff_, policy_.multiplier));
+  return delay;
+}
+
+}  // namespace dredbox::sim

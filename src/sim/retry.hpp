@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace dredbox::sim {
+
+/// Retry-with-exponential-backoff policy for unreliable rack operations
+/// (remote transactions over a flapping circuit, DMA chunks, agent RPCs).
+/// Purely arithmetic and seeded by nothing: the same failure history always
+/// produces the same retry schedule, so faulty runs stay digest-reproducible.
+struct RetryPolicy {
+  /// Total tries including the first; 1 means "no retries".
+  std::size_t max_attempts = 4;
+  /// Delay before the first retry.
+  Time initial_backoff = Time::us(10);
+  /// Geometric growth factor applied per retry. Must be >= 1.
+  double multiplier = 2.0;
+  /// Cap on any single backoff delay.
+  Time max_backoff = Time::ms(1);
+  /// Hard deadline measured from the first attempt's issue time: no retry
+  /// is ever scheduled at or past it, no matter how many attempts remain.
+  Time timeout = Time::ms(50);
+
+  /// Throws std::invalid_argument on a malformed policy (zero attempts,
+  /// negative delays, multiplier below 1, non-positive timeout).
+  void validate() const;
+
+  std::string to_string() const;
+};
+
+/// One in-flight retry sequence under a RetryPolicy. The caller issues the
+/// first attempt itself, reports each failure through next(), and either
+/// receives the backoff delay to wait before retrying or nullopt when the
+/// sequence is over (attempts exhausted, or the deadline would be crossed).
+///
+/// Guaranteed properties (covered by tests/memsys/test_retry_properties.cpp):
+///   - at most policy.max_attempts attempts are ever issued,
+///   - successive backoff delays are monotonically non-decreasing,
+///   - the deadline always fires: next() never schedules a retry at or past
+///     first_issue + policy.timeout, and returns nullopt forever after it.
+class BackoffSchedule {
+ public:
+  BackoffSchedule(const RetryPolicy& policy, Time first_issue);
+
+  /// Reports that the attempt in flight failed at `now`. Returns the delay
+  /// to wait before the next attempt, or nullopt when no further attempt is
+  /// permitted. Once nullopt is returned, every later call returns nullopt.
+  std::optional<Time> next(Time now);
+
+  /// Attempts issued so far (the first attempt counts as 1).
+  std::size_t attempts() const { return attempts_; }
+
+  /// True when next() can never grant another attempt.
+  bool exhausted() const { return exhausted_; }
+
+  /// Absolute deadline (first issue + timeout).
+  Time deadline() const { return deadline_; }
+
+  /// True when `now` is at or past the deadline.
+  bool expired(Time now) const { return now >= deadline_; }
+
+ private:
+  RetryPolicy policy_;
+  Time deadline_;
+  Time next_backoff_;
+  std::size_t attempts_ = 1;
+  bool exhausted_ = false;
+};
+
+}  // namespace dredbox::sim

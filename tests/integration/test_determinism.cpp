@@ -13,6 +13,7 @@
 
 #include "core/datacenter.hpp"
 #include "sim/digest.hpp"
+#include "sim/fault.hpp"
 #include "sim/format.hpp"
 #include "sim/trace_export.hpp"
 
@@ -80,8 +81,71 @@ std::uint64_t run_scenario(std::uint64_t seed) {
   return digest.value();
 }
 
+/// Same scenario, but with a generated fault plan landing mid-workload:
+/// link flaps, bursts, brick crashes and the recovery machinery (retry
+/// backoff, re-provisioning, evacuation) must all be as reproducible as
+/// the fault-free path.
+std::uint64_t run_faulty_scenario(std::uint64_t seed) {
+  core::DatacenterConfig config;
+  config.trays = 2;
+  config.compute_bricks_per_tray = 2;
+  config.memory_bricks_per_tray = 2;
+  config.seed = seed;
+
+  core::Datacenter dc{config};
+  dc.telemetry().enable_all();
+
+  sim::Digest digest;
+  const auto vm = dc.boot_vm("faulty-guest", /*vcpus=*/2, /*memory=*/2ull << 30);
+  EXPECT_TRUE(vm.ok) << vm.error;
+  if (!vm.ok) return digest.value();
+  const auto up = dc.scale_up(vm.vm, vm.compute, 4ull << 30);
+  EXPECT_TRUE(up.ok) << up.error;
+  if (!up.ok) return digest.value();
+
+  // The plan itself is drawn from the seeded simulation rng, so it is part
+  // of the reproducible state under test.
+  sim::FaultPlan::GeneratorConfig knobs;
+  knobs.events = 6;
+  knobs.horizon = sim::Time::ms(40);
+  const auto plan = sim::FaultPlan::generate(dc.simulator().rng(), knobs);
+  digest.update(plan.to_string());
+  dc.inject_faults(plan);
+
+  // Traffic interleaves with the fault arrivals on the event queue.
+  const auto attachment = dc.fabric().attachments_of(vm.compute).front();
+  auto& rng = dc.simulator().rng();
+  for (int i = 0; i < 32; ++i) {
+    dc.advance_to(dc.simulator().now() + sim::Time::ms(2));
+    const auto offset =
+        static_cast<std::uint64_t>(rng.uniform_int(0, (1 << 20) - 1)) & ~std::uint64_t{0x3F};
+    const auto tx = dc.remote_read(vm.compute, attachment.compute_base + offset, 64);
+    digest.update(offset);
+    digest.update(std::string{memsys::to_string(tx.status)});
+    digest.update(tx.retries);
+    digest.update(tx.round_trip().to_string());
+  }
+  dc.advance_to(dc.simulator().now() + sim::Time::ms(100));
+
+  digest.update(dc.faults().injected());
+  digest.update(dc.faults().recovered());
+  digest.update(dc.faults().skipped());
+  dc.faults().check_invariants();
+  digest.update(dc.metrics().snapshot().to_string());
+  digest.update(dc.tracer().to_string());
+  return digest.value();
+}
+
 TEST(DeterminismTest, SameSeedIsByteIdentical) {
   EXPECT_EQ(run_scenario(42), run_scenario(42));
+}
+
+TEST(DeterminismTest, FaultyRunSameSeedIsByteIdentical) {
+  EXPECT_EQ(run_faulty_scenario(42), run_faulty_scenario(42));
+}
+
+TEST(DeterminismTest, FaultyRunsDivergeAcrossSeeds) {
+  EXPECT_NE(run_faulty_scenario(42), run_faulty_scenario(1337));
 }
 
 TEST(DeterminismTest, DefaultSeedIsByteIdentical) {

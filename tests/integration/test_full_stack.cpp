@@ -215,16 +215,24 @@ TEST_F(FullStackScenario, SurvivesFibreCutDuringOperation) {
   const auto attachment = dc_.fabric().attachments_of(vm.compute).front();
   ASSERT_EQ(attachment.medium, memsys::LinkMedium::kOptical);
 
-  // Fibre cut: transactions fail loudly, the data survives on the brick.
+  // Fibre cut: the fabric's default retry policy re-provisions the circuit
+  // transparently, so the read completes after a bounded number of retries.
   ASSERT_TRUE(dc_.fabric().fail_circuit(attachment.circuit));
-  const auto broken = dc_.remote_read(vm.compute, attachment.compute_base, 64);
-  EXPECT_EQ(broken.status, memsys::TransactionStatus::kCircuitDown);
-
-  // Repair re-wires and service resumes with the same window.
-  dc_.advance_to(Time::sec(10));
-  ASSERT_TRUE(dc_.fabric().repair(vm.compute, attachment.segment, dc_.simulator().now()));
   const auto healed = dc_.remote_read(vm.compute, attachment.compute_base, 64);
   EXPECT_TRUE(healed.ok());
+  EXPECT_GE(healed.retries, 1u);
+
+  // Fail-fast rack (no retry policy): the cut surfaces loudly, the data
+  // survives on the brick, and an explicit repair restores service.
+  dc_.fabric().set_retry_policy(std::nullopt);
+  const auto rewired = dc_.fabric().attachments_of(vm.compute).front();
+  ASSERT_TRUE(dc_.fabric().fail_circuit(rewired.circuit));
+  const auto broken = dc_.remote_read(vm.compute, rewired.compute_base, 64);
+  EXPECT_EQ(broken.status, memsys::TransactionStatus::kCircuitDown);
+
+  dc_.advance_to(Time::sec(10));
+  ASSERT_TRUE(dc_.fabric().repair(vm.compute, rewired.segment, dc_.simulator().now()));
+  EXPECT_TRUE(dc_.remote_read(vm.compute, rewired.compute_base, 64).ok());
 }
 
 }  // namespace

@@ -107,7 +107,49 @@ TEST_F(FailureRepairTest, BondedLinkFailsAsAWhole) {
   ASSERT_TRUE(fabric_.fail_circuit(a->circuit));
   EXPECT_EQ(switch_.ports_in_use(), 0u);  // every lane dropped
   EXPECT_FALSE(fabric_.read(compute_, a->compute_base, 64, Time::sec(1)).ok());
-  // Repair brings it back (as a single lane).
+  // Repair rebuilds the exact pre-failure link: all three bonded lanes.
+  const auto healed = fabric_.repair(compute_, a->segment, Time::sec(2));
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(healed->lanes, 3u);
+  EXPECT_EQ(switch_.ports_in_use(), 6u);
+  EXPECT_TRUE(fabric_.read(compute_, a->compute_base, 64, Time::sec(3)).ok());
+}
+
+TEST_F(FailureRepairTest, RepairRestoresExactWindowAndLinkParameters) {
+  AttachRequest req;
+  req.compute = compute_;
+  req.membrick = membrick_;
+  req.bytes = kGiB;
+  req.switch_hops = 3;
+  req.fiber_length_m = 42.0;
+  const auto a = fabric_.attach(req, Time::zero());
+  ASSERT_TRUE(a);
+  fabric_.fail_circuit(a->circuit);
+  const auto healed = fabric_.repair(compute_, a->segment, Time::sec(2));
+  ASSERT_TRUE(healed.has_value());
+  // The RMST window is byte-identical and the link parameters of the
+  // original provisioning (hop count, fibre run) are carried over.
+  EXPECT_EQ(healed->compute_base, a->compute_base);
+  EXPECT_EQ(healed->size, a->size);
+  EXPECT_EQ(healed->switch_hops, 3u);
+  EXPECT_DOUBLE_EQ(healed->fiber_length_m, 42.0);
+  const auto circuit = circuits_.find(healed->circuit);
+  ASSERT_TRUE(circuit.has_value());
+  EXPECT_EQ(circuit->hops, 3u);
+  EXPECT_DOUBLE_EQ(circuit->fiber_length_m, 42.0);
+}
+
+TEST_F(FailureRepairTest, RepairDegradesBondGracefullyUnderPortScarcity) {
+  AttachRequest req;
+  req.compute = compute_;
+  req.membrick = membrick_;
+  req.lanes = 3;
+  const auto a = fabric_.attach(req, Time::zero());
+  ASSERT_TRUE(a);
+  fabric_.fail_circuit(a->circuit);
+  // Leave only two free switch ports: a full 3-lane rebuild is impossible,
+  // but repair still restores service on the lanes it can wire.
+  for (std::size_t p = 0; p < switch_.port_count() - 2; p += 2) switch_.connect(p, p + 1);
   const auto healed = fabric_.repair(compute_, a->segment, Time::sec(2));
   ASSERT_TRUE(healed.has_value());
   EXPECT_EQ(healed->lanes, 1u);

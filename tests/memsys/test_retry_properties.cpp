@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/retry.hpp"
+
+// Property coverage for sim::BackoffSchedule, exercised across a sweep of
+// policies and failure timings. These are the guarantees retry.hpp
+// documents: bounded attempts, monotone non-decreasing delays, and a
+// deadline that always fires.
+
+namespace dredbox::sim {
+namespace {
+
+std::vector<RetryPolicy> policy_sweep() {
+  std::vector<RetryPolicy> policies;
+  for (std::size_t attempts : {1u, 2u, 4u, 8u, 32u}) {
+    for (double multiplier : {1.0, 1.5, 2.0, 10.0}) {
+      RetryPolicy p;
+      p.max_attempts = attempts;
+      p.multiplier = multiplier;
+      policies.push_back(p);
+      RetryPolicy tight = p;
+      tight.timeout = Time::us(25);  // deadline binds before attempts do
+      policies.push_back(tight);
+      RetryPolicy capped = p;
+      capped.max_backoff = Time::us(15);  // cap binds quickly
+      policies.push_back(capped);
+    }
+  }
+  return policies;
+}
+
+/// Drains a schedule: reports a failure immediately after every granted
+/// delay elapses, collecting the granted delays.
+std::vector<Time> drain(BackoffSchedule& schedule, Time first_issue,
+                        Time attempt_cost = Time::zero()) {
+  std::vector<Time> delays;
+  Time now = first_issue + attempt_cost;
+  while (auto delay = schedule.next(now)) {
+    delays.push_back(*delay);
+    now = now + *delay + attempt_cost;
+    if (delays.size() > 1000) break;  // safety net; never hit if bounded
+  }
+  return delays;
+}
+
+TEST(RetryProperties, AtMostMaxAttemptsAreEverIssued) {
+  for (const RetryPolicy& policy : policy_sweep()) {
+    BackoffSchedule schedule{policy, Time::ms(1)};
+    const auto delays = drain(schedule, Time::ms(1));
+    // First attempt + one per granted delay.
+    EXPECT_LE(1 + delays.size(), policy.max_attempts) << policy.to_string();
+    EXPECT_LE(schedule.attempts(), policy.max_attempts) << policy.to_string();
+    EXPECT_TRUE(schedule.exhausted());
+  }
+}
+
+TEST(RetryProperties, DelaysAreMonotonicallyNonDecreasing) {
+  for (const RetryPolicy& policy : policy_sweep()) {
+    BackoffSchedule schedule{policy, Time::zero()};
+    const auto delays = drain(schedule, Time::zero());
+    for (std::size_t i = 1; i < delays.size(); ++i) {
+      EXPECT_GE(delays[i], delays[i - 1]) << policy.to_string() << " at retry " << i;
+    }
+  }
+}
+
+TEST(RetryProperties, DelaysNeverExceedTheCap) {
+  for (const RetryPolicy& policy : policy_sweep()) {
+    BackoffSchedule schedule{policy, Time::zero()};
+    for (const Time delay : drain(schedule, Time::zero())) {
+      EXPECT_LE(delay, policy.max_backoff) << policy.to_string();
+    }
+  }
+}
+
+TEST(RetryProperties, DeadlineAlwaysFires) {
+  // No retry is ever scheduled at or past first_issue + timeout, even when
+  // each attempt itself burns time.
+  for (const RetryPolicy& policy : policy_sweep()) {
+    for (const Time cost : {Time::zero(), Time::us(3), Time::ms(20)}) {
+      const Time first_issue = Time::ms(5);
+      BackoffSchedule schedule{policy, first_issue};
+      const Time deadline = first_issue + policy.timeout;
+      EXPECT_EQ(schedule.deadline(), deadline);
+      Time now = first_issue + cost;
+      while (auto delay = schedule.next(now)) {
+        now = now + *delay;
+        EXPECT_LT(now, deadline) << policy.to_string();
+        now = now + cost;
+      }
+    }
+  }
+}
+
+TEST(RetryProperties, NulloptIsSticky) {
+  for (const RetryPolicy& policy : policy_sweep()) {
+    BackoffSchedule schedule{policy, Time::zero()};
+    drain(schedule, Time::zero());
+    ASSERT_TRUE(schedule.exhausted());
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_FALSE(schedule.next(Time::us(i)).has_value());
+    }
+  }
+}
+
+TEST(RetryProperties, FailurePastDeadlineGrantsNothing) {
+  RetryPolicy policy;
+  BackoffSchedule schedule{policy, Time::zero()};
+  EXPECT_TRUE(schedule.expired(policy.timeout));
+  EXPECT_FALSE(schedule.next(policy.timeout + Time::us(1)).has_value());
+  EXPECT_TRUE(schedule.exhausted());
+}
+
+TEST(RetryProperties, SingleAttemptPolicyNeverRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  BackoffSchedule schedule{policy, Time::zero()};
+  EXPECT_FALSE(schedule.next(Time::us(1)).has_value());
+  EXPECT_EQ(schedule.attempts(), 1u);
+}
+
+TEST(RetryProperties, ValidateRejectsMalformedPolicies) {
+  RetryPolicy ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  RetryPolicy zero_attempts;
+  zero_attempts.max_attempts = 0;
+  EXPECT_THROW(zero_attempts.validate(), std::invalid_argument);
+
+  RetryPolicy shrinking;
+  shrinking.multiplier = 0.5;
+  EXPECT_THROW(shrinking.validate(), std::invalid_argument);
+
+  RetryPolicy no_deadline;
+  no_deadline.timeout = Time::zero();
+  EXPECT_THROW(no_deadline.validate(), std::invalid_argument);
+
+  RetryPolicy negative_backoff;
+  negative_backoff.initial_backoff = Time::zero() - Time::us(1);
+  EXPECT_THROW(negative_backoff.validate(), std::invalid_argument);
+}
+
+TEST(RetryProperties, SameHistorySameSchedule) {
+  // Purely arithmetic: two schedules fed identical failure times agree on
+  // every delay (the digest-reproducibility requirement).
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  BackoffSchedule a{policy, Time::ms(3)};
+  BackoffSchedule b{policy, Time::ms(3)};
+  Time now = Time::ms(3);
+  for (;;) {
+    const auto da = a.next(now);
+    const auto db = b.next(now);
+    ASSERT_EQ(da.has_value(), db.has_value());
+    if (!da) break;
+    EXPECT_EQ(*da, *db);
+    now = now + *da + Time::us(2);
+  }
+}
+
+}  // namespace
+}  // namespace dredbox::sim
