@@ -5,8 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "hw/rmst.hpp"
 #include "memsys/dma.hpp"
+#include "sim/breakdown.hpp"
 #include "memsys/remote_memory.hpp"
 #include "net/packet_network.hpp"
 #include "sim/event_queue.hpp"
@@ -37,6 +40,66 @@ void BM_RmstLookup(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_RmstLookup)->Arg(4)->Arg(16)->Arg(32);
+
+// Same table, but every lookup targets a different segment than the last,
+// defeating the one-entry MRU cache: this measures the base-sorted
+// interval index alone (the worst case for clustered remote traffic).
+void BM_RmstLookupStrided(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  hw::Rmst rmst{entries};
+  std::vector<std::uint64_t> addrs;
+  for (std::size_t i = 0; i < entries; ++i) {
+    hw::RmstEntry e;
+    e.segment = hw::SegmentId{static_cast<std::uint32_t>(i + 1)};
+    e.base = (1ull << 40) + (static_cast<std::uint64_t>(i) << 30);
+    e.size = 1ull << 30;
+    e.dest_brick = hw::BrickId{1};
+    rmst.insert(e);
+    addrs.push_back(e.base + 64);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rmst.find(addrs[i]));
+    i = (i + 1) % addrs.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RmstLookupStrided)->Arg(4)->Arg(16)->Arg(32);
+
+// Address below every window: the miss path (MRU miss + one index probe).
+void BM_RmstLookupMiss(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  hw::Rmst rmst{entries};
+  for (std::size_t i = 0; i < entries; ++i) {
+    hw::RmstEntry e;
+    e.segment = hw::SegmentId{static_cast<std::uint32_t>(i + 1)};
+    e.base = (1ull << 40) + (static_cast<std::uint64_t>(i) << 30);
+    e.size = 1ull << 30;
+    e.dest_brick = hw::BrickId{1};
+    rmst.insert(e);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rmst.find(0x1000));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RmstLookupMiss)->Arg(32);
+
+// Breakdown::charge with literal labels: every transaction in the datapath
+// charges several components, so this path must not allocate per call.
+void BM_BreakdownCharge(benchmark::State& state) {
+  sim::Breakdown breakdown;
+  breakdown.charge("serialization", sim::Time::ns(1));
+  breakdown.charge("optical propagation", sim::Time::ns(1));
+  breakdown.charge("MAC/PHY (dCOMPUBRICK)", sim::Time::ns(1));
+  breakdown.charge("MAC/PHY (dMEMBRICK)", sim::Time::ns(1));
+  for (auto _ : state) {
+    breakdown.charge("MAC/PHY (dMEMBRICK)", sim::Time::ns(1));
+    benchmark::DoNotOptimize(breakdown);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BreakdownCharge);
 
 void BM_EventQueueScheduleDispatch(benchmark::State& state) {
   const auto batch = static_cast<int>(state.range(0));

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Reduce benchmark runs into a BENCH_*.json perf-trajectory point, and
+validate such files against the dredbox-bench/v1 schema.
+
+The repo's perf north star ("as fast as the hardware allows", ROADMAP.md)
+is tracked as a series of checked-in BENCH_<tag>.json files, one per PR
+that claims a performance change. Each point records:
+
+  * micro       — google-benchmark results (op latency, items/sec) from
+                  bench/micro_benchmarks,
+  * end_to_end  — wall time + exit status + paper-shape check lines from a
+                  fixed set of end-to-end reproduction benches,
+  * baseline    — optional pre-change reference numbers for the headline
+                  benchmarks, so the claimed improvement is auditable.
+
+Usage:
+  bench_reduce.py reduce --tag pr4 --micro MICRO.json \
+      --e2e NAME=WALL_SECONDS=EXIT=STDOUT_PATH ... \
+      [--baseline 'BM_Foo/32=21.5=note'] -o BENCH_pr4.json
+  bench_reduce.py validate BENCH_pr4.json [...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+SCHEMA = "dredbox-bench/v1"
+
+# End-to-end bench stdout lines worth keeping in the record: the paper
+# shape checks and the headline summary figures.
+CHECK_RE = re.compile(r"REPRODUCED|NOT reproduced|Round trip:|speedup")
+
+
+def reduce_point(args: argparse.Namespace) -> dict:
+    micro_raw = json.loads(Path(args.micro).read_text(encoding="utf-8"))
+    context = micro_raw.get("context", {})
+    micro = []
+    for b in micro_raw.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        entry = {
+            "name": b["name"],
+            "real_time": b["real_time"],
+            "cpu_time": b["cpu_time"],
+            "time_unit": b.get("time_unit", "ns"),
+        }
+        for rate_key in ("items_per_second", "bytes_per_second"):
+            if rate_key in b:
+                entry[rate_key] = b[rate_key]
+        micro.append(entry)
+
+    end_to_end = []
+    for spec in args.e2e or []:
+        name, wall, exit_code, stdout_path = spec.split("=", 3)
+        checks = []
+        text = Path(stdout_path).read_text(encoding="utf-8", errors="replace")
+        for line in text.splitlines():
+            if CHECK_RE.search(line):
+                checks.append(line.strip())
+        end_to_end.append(
+            {
+                "name": name,
+                "wall_seconds": float(wall),
+                "exit_code": int(exit_code),
+                "checks": checks,
+            }
+        )
+
+    baseline = {}
+    for spec in args.baseline or []:
+        name, value, note = (spec.split("=", 2) + [""])[:3]
+        baseline[name] = {"real_time": float(value), "time_unit": "ns", "note": note}
+
+    point = {
+        "schema": SCHEMA,
+        "tag": args.tag,
+        "host": {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "library_build_type": context.get("library_build_type"),
+        },
+        "micro": micro,
+        "end_to_end": end_to_end,
+    }
+    if baseline:
+        point["baseline"] = baseline
+    return point
+
+
+def validate_point(path: Path) -> list[str]:
+    errors: list[str] = []
+
+    def err(msg: str) -> None:
+        errors.append(f"{path}: {msg}")
+
+    try:
+        point = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable ({exc})"]
+
+    if point.get("schema") != SCHEMA:
+        err(f"schema is {point.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(point.get("tag"), str) or not point.get("tag"):
+        err("tag must be a non-empty string")
+
+    micro = point.get("micro")
+    if not isinstance(micro, list) or not micro:
+        err("micro must be a non-empty list")
+        micro = []
+    names = set()
+    for b in micro:
+        for key in ("name", "real_time", "cpu_time", "time_unit"):
+            if key not in b:
+                err(f"micro entry {b.get('name', '?')} missing {key}")
+        if not isinstance(b.get("real_time"), (int, float)) or b.get("real_time", -1) < 0:
+            err(f"micro entry {b.get('name', '?')} real_time must be >= 0")
+        names.add(b.get("name"))
+    if "BM_RmstLookup/32" not in names:
+        err("micro must include the headline BM_RmstLookup/32 point")
+
+    e2e = point.get("end_to_end")
+    if not isinstance(e2e, list) or len(e2e) < 3:
+        err("end_to_end must list at least 3 benches")
+        e2e = []
+    for b in e2e:
+        if not isinstance(b.get("name"), str):
+            err("end_to_end entry missing name")
+        if not isinstance(b.get("wall_seconds"), (int, float)) or b.get("wall_seconds", -1) < 0:
+            err(f"end_to_end {b.get('name', '?')} wall_seconds must be >= 0")
+        if b.get("exit_code") != 0:
+            err(f"end_to_end {b.get('name', '?')} recorded a non-zero exit")
+
+    for name, ref in (point.get("baseline") or {}).items():
+        if not isinstance(ref.get("real_time"), (int, float)):
+            err(f"baseline {name} missing real_time")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    reduce_p = sub.add_parser("reduce", help="merge bench outputs into one point")
+    reduce_p.add_argument("--tag", required=True)
+    reduce_p.add_argument("--micro", required=True, help="google-benchmark JSON output")
+    reduce_p.add_argument("--e2e", action="append", metavar="NAME=WALL=EXIT=STDOUT")
+    reduce_p.add_argument("--baseline", action="append", metavar="NAME=NS[=NOTE]")
+    reduce_p.add_argument("-o", "--out", required=True)
+
+    validate_p = sub.add_parser("validate", help="check BENCH_*.json schema")
+    validate_p.add_argument("files", nargs="+")
+
+    args = parser.parse_args(argv)
+    if args.mode == "reduce":
+        point = reduce_point(args)
+        Path(args.out).write_text(json.dumps(point, indent=2) + "\n", encoding="utf-8")
+        print(f"bench-reduce: wrote {args.out} "
+              f"({len(point['micro'])} micro, {len(point['end_to_end'])} end-to-end)")
+        return 0
+
+    all_errors: list[str] = []
+    for f in args.files:
+        all_errors.extend(validate_point(Path(f)))
+    for e in all_errors:
+        print(e, file=sys.stderr)
+    if not all_errors:
+        print(f"bench-reduce: {len(args.files)} file(s) valid against {SCHEMA}")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -53,4 +53,8 @@ echo "== faults: scripted DREDBOX_FAULT_PLAN quickstart (sanitized)"
 DREDBOX_FAULT_PLAN='link-flap@1ms+2ms;congestion@2ms+1ms:magnitude=4;brick-crash@3ms+2ms' \
   "$root/build-asan/examples/quickstart" > /dev/null
 
+echo "== bench: micro + end-to-end smoke, BENCH_*.json schema"
+bash "$root/scripts/bench.sh" --quick --tag smoke -o "$root/build/BENCH_smoke.json"
+python3 "$root/scripts/bench_reduce.py" validate "$root"/BENCH_*.json
+
 echo "== all checks passed"

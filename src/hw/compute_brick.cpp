@@ -35,7 +35,13 @@ void ComputeBrick::release_cores(std::size_t n) {
 std::uint64_t ComputeBrick::find_remote_window(std::uint64_t size) const {
   // Collect occupied windows sorted by base, then first-fit scan the gaps.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> used;  // (base, end)
-  for (const auto& e : tgl_.rmst().entries()) used.emplace_back(e.base, e.end());
+  for (const auto& e : tgl_.rmst().entries()) {
+    // A window ending exactly at 2^64 is valid; clamp its exclusive end so
+    // the gap scan never sees a wrapped (tiny) end.
+    const std::uint64_t end =
+        e.size > UINT64_MAX - e.base ? UINT64_MAX : e.base + e.size;
+    used.emplace_back(e.base, end);
+  }
   std::sort(used.begin(), used.end());
 
   std::uint64_t cursor = config_.remote_window_base;

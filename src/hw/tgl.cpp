@@ -16,15 +16,15 @@ void TransactionGlueLogic::set_telemetry(sim::Telemetry* telemetry) {
 
 std::optional<TglRoute> TransactionGlueLogic::route(std::uint64_t addr) {
   DREDBOX_AUDIT_INVARIANT(check_invariants());
-  auto entry = rmst_.lookup(addr);
-  if (!entry) {
+  const RmstEntry* entry = rmst_.find(addr);
+  if (entry == nullptr) {
     ++misses_;
     if (misses_metric_ != nullptr) misses_metric_->add();
     return std::nullopt;
   }
   ++hits_;
   if (hits_metric_ != nullptr) hits_metric_->add();
-  TglRoute out{*entry, entry->dest_base + (addr - entry->base)};
+  TglRoute out{entry, entry->dest_base + (addr - entry->base)};
   DREDBOX_ENSURE(out.remote_addr >= entry->dest_base &&
                      out.remote_addr - entry->dest_base < entry->size,
                  "routed address escapes the matched segment window");
@@ -38,7 +38,7 @@ void TransactionGlueLogic::check_invariants() const {
   for (const RmstEntry& e : rmst_.entries()) {
     DREDBOX_INVARIANT(e.dest_brick.valid(),
                       "segment " + e.segment.to_string() + " maps to an invalid dMEMBRICK");
-    DREDBOX_INVARIANT(e.dest_base + e.size >= e.dest_base,
+    DREDBOX_INVARIANT(window_fits(e.dest_base, e.size),
                       "segment " + e.segment.to_string() + " wraps the remote pool");
   }
 }

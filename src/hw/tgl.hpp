@@ -9,10 +9,12 @@
 namespace dredbox::hw {
 
 /// Routing decision produced by the Transaction Glue Logic for one memory
-/// transaction entering from the APU master ports.
+/// transaction entering from the APU master ports. `entry` points into the
+/// RMST (no copy on the hot path) and stays valid until the next RMST
+/// mutation — consume the route before installing or removing segments.
 struct TglRoute {
-  RmstEntry entry;           // matched remote segment
-  std::uint64_t remote_addr = 0;  // address within the dMEMBRICK pool
+  const RmstEntry* entry = nullptr;  // matched remote segment
+  std::uint64_t remote_addr = 0;     // address within the dMEMBRICK pool
 };
 
 /// Transaction Glue Logic (Section II): sits on the data path between the

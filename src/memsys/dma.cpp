@@ -15,6 +15,22 @@ DmaEngine::DmaEngine(sim::Simulator& sim, RemoteMemoryFabric& fabric, hw::BrickI
   channels_.resize(channels);
 }
 
+sim::Telemetry* DmaEngine::bind_telemetry() {
+  sim::Telemetry* telemetry = fabric_.telemetry();
+  if (telemetry == wired_telemetry_) return telemetry;
+  wired_telemetry_ = telemetry;
+  if (telemetry == nullptr) {
+    transfers_metric_ = bytes_metric_ = retries_metric_ = failed_metric_ = nullptr;
+    return nullptr;
+  }
+  auto& m = telemetry->metrics();
+  transfers_metric_ = &m.counter("memsys.dma.transfers");
+  bytes_metric_ = &m.counter("memsys.dma.bytes");
+  retries_metric_ = &m.counter("memsys.dma.retries");
+  failed_metric_ = &m.counter("memsys.dma.failed_transfers");
+  return telemetry;
+}
+
 std::size_t DmaEngine::in_flight() const {
   return static_cast<std::size_t>(
       std::count_if(channels_.begin(), channels_.end(), [](const Channel& c) { return c.busy; }));
@@ -55,9 +71,9 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
     ++completed_;
     // Transfer-grained telemetry (inherited from the fabric; the per-chunk
     // transactions already land in the memsys.* histograms).
-    if (sim::Telemetry* telemetry = fabric_.telemetry(); telemetry != nullptr) {
-      telemetry->metrics().counter("memsys.dma.transfers").add();
-      telemetry->metrics().counter("memsys.dma.bytes").add(done.bytes);
+    if (sim::Telemetry* telemetry = bind_telemetry(); telemetry != nullptr) {
+      transfers_metric_->add();
+      bytes_metric_->add(done.bytes);
       if (telemetry->tracing()) {
         sim::Span span{telemetry->tracer(), sim::TraceCategory::kFabric, "dma transfer",
                        done.enqueued_at};
@@ -88,9 +104,7 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
       }
       if (const auto delay = job.backoff->next(sim_.now())) {
         ++job.retries;
-        if (sim::Telemetry* telemetry = fabric_.telemetry(); telemetry != nullptr) {
-          telemetry->metrics().counter("memsys.dma.retries").add();
-        }
+        if (bind_telemetry() != nullptr) retries_metric_->add();
         sim_.after(*delay, [this, channel, job = std::move(job), offset, chunks]() mutable {
           step(channel, std::move(job), offset, chunks);
         });
@@ -105,9 +119,7 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
     failed.retries = job.retries;
     failed.enqueued_at = job.enqueued_at;
     failed.completed_at = sim_.now();
-    if (sim::Telemetry* telemetry = fabric_.telemetry(); telemetry != nullptr) {
-      telemetry->metrics().counter("memsys.dma.failed_transfers").add();
-    }
+    if (bind_telemetry() != nullptr) failed_metric_->add();
     channels_[channel].busy = false;
     if (job.callback) job.callback(failed);
     pump();

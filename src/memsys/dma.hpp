@@ -82,9 +82,21 @@ class DmaEngine {
   std::deque<Job> queue_;
   std::uint64_t completed_ = 0;
 
+  /// Cached instrument handles, re-resolved only when the fabric's
+  /// telemetry bundle changes — the per-transfer/per-retry path must not
+  /// pay a name lookup in the registry map.
+  sim::Telemetry* wired_telemetry_ = nullptr;
+  sim::metrics::Counter* transfers_metric_ = nullptr;
+  sim::metrics::Counter* bytes_metric_ = nullptr;
+  sim::metrics::Counter* retries_metric_ = nullptr;
+  sim::metrics::Counter* failed_metric_ = nullptr;
+
   void pump();
   void run_job(std::size_t channel, Job job);
   void step(std::size_t channel, Job job, std::uint64_t offset, std::size_t chunks);
+  /// Returns the fabric's current telemetry (null when uninstrumented),
+  /// rebinding the cached counter handles when it changed.
+  sim::Telemetry* bind_telemetry();
 };
 
 }  // namespace dredbox::memsys

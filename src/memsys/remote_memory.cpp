@@ -982,7 +982,7 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
     tx.completed_at = t;
     return tx;
   }
-  tx.destination = route->entry.dest_brick;
+  tx.destination = route->entry->dest_brick;
   tx.remote_address = route->remote_addr;
 
   // A crashed dMEMBRICK never answers: the transaction dies at the TGL
@@ -996,8 +996,8 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
   // Cross-check the RMST entry against the dMEMBRICK's segment table: a
   // corrupted entry (SEU in the PL comparators) would scatter the access
   // over the wrong backing bytes, so it is refused instead.
-  const auto backing = rack_.memory_brick(tx.destination).find_segment(route->entry.segment);
-  if (!backing || backing->owner != compute || backing->base != route->entry.dest_base) {
+  const auto backing = rack_.memory_brick(tx.destination).find_segment(route->entry->segment);
+  if (!backing || backing->owner != compute || backing->base != route->entry->dest_base) {
     tx.status = TransactionStatus::kCorruptMapping;
     tx.completed_at = t;
     return tx;
@@ -1005,7 +1005,7 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
 
   // Packet-substrate attachments delegate the whole round trip to the
   // packet network model (NI, on-brick switches, MAC/PHY).
-  if (find_packet(route->entry.circuit) != nullptr) {
+  if (find_packet(route->entry->circuit) != nullptr) {
     net::Packet pkt =
         kind == TransactionKind::kRead
             ? packet_net_->remote_read(compute, tx.destination, tx.remote_address, bytes, t,
@@ -1021,11 +1021,11 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
   // fabric itself; optical circuits by the circuit manager.
   LinkMedium medium = LinkMedium::kOptical;
   sim::Time propagation;
-  if (const ElectricalLink* link = find_electrical(route->entry.circuit); link != nullptr) {
+  if (const ElectricalLink* link = find_electrical(route->entry->circuit); link != nullptr) {
     medium = LinkMedium::kElectrical;
     propagation = latencies_.electrical_propagation;
   } else {
-    auto circuit = circuits_.find(route->entry.circuit);
+    auto circuit = circuits_.find(route->entry->circuit);
     if (!circuit) {
       tx.status = TransactionStatus::kCircuitDown;
       tx.completed_at = t;
@@ -1041,7 +1041,7 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
   // Bonded-lane count for this circuit (attachments on the pair carry it).
   std::size_t lanes = 1;
   for (const auto& a : attachments_) {
-    if (a.circuit == route->entry.circuit) {
+    if (a.circuit == route->entry->circuit) {
       lanes = a.lanes;
       break;
     }
@@ -1058,7 +1058,7 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
   // Outbound: request (write carries payload; read is header-only).
   const std::uint32_t out_bytes = kind == TransactionKind::kWrite ? bytes : 0;
   const sim::Time out_ser = serialization_time(out_bytes, medium, lanes);
-  sim::Time& busy = circuit_busy_until_[route->entry.circuit.value];
+  sim::Time& busy = circuit_busy_until_[route->entry->circuit.value];
   const sim::Time start = std::max(t, busy);
   tx.breakdown.charge("circuit wait", start - t);
   tx.breakdown.charge("serialization", out_ser);

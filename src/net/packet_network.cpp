@@ -112,7 +112,12 @@ sim::Time PacketNetwork::memory_access_time(hw::MemoryTechnology tech) const {
 sim::Time PacketNetwork::traverse(hw::BrickId src, hw::BrickId dst, std::uint32_t bytes,
                                   sim::Time start, bool from_compute,
                                   sim::Breakdown& breakdown) {
-  const char* side = from_compute ? "dCOMPUBRICK" : "dMEMBRICK";
+  // Static per-direction labels: building "... (side)" strings here would
+  // allocate on every packet of the exploratory-path datapath.
+  const char* switch_label = from_compute ? "on-brick switch (dCOMPUBRICK)"
+                                          : "on-brick switch (dMEMBRICK)";
+  const char* mac_phy_tx_label = from_compute ? "MAC/PHY (dCOMPUBRICK)" : "MAC/PHY (dMEMBRICK)";
+  const char* mac_phy_rx_label = from_compute ? "MAC/PHY (dMEMBRICK)" : "MAC/PHY (dCOMPUBRICK)";
   sim::Time t = start;
 
   if (from_compute) {
@@ -131,7 +136,7 @@ sim::Time PacketNetwork::traverse(hw::BrickId src, hw::BrickId dst, std::uint32_
   const sim::Time switch_cost = from_compute ? latencies_.compubrick_switch
                                              : latencies_.membrick_switch;
   if (queueing_metric_ != nullptr) queueing_metric_->observe(fwd->queueing.as_ns());
-  breakdown.charge(std::string{"on-brick switch ("} + side + ")", switch_cost + fwd->queueing);
+  breakdown.charge(switch_label, switch_cost + fwd->queueing);
   breakdown.charge("serialization", serialization);
   t = fwd->departure;
 
@@ -145,7 +150,7 @@ sim::Time PacketNetwork::traverse(hw::BrickId src, hw::BrickId dst, std::uint32_
   }
 
   // MAC + PHY on the transmit side.
-  breakdown.charge(std::string{"MAC/PHY ("} + side + ")", mac_phy_.traversal_latency());
+  breakdown.charge(mac_phy_tx_label, mac_phy_.traversal_latency());
   t += mac_phy_.traversal_latency();
 
   // Optional FEC encode (the architecture requires FEC-free; modelled for
@@ -170,8 +175,7 @@ sim::Time PacketNetwork::traverse(hw::BrickId src, hw::BrickId dst, std::uint32_
   }
 
   // MAC + PHY on the receive side.
-  const char* rx_side = from_compute ? "dMEMBRICK" : "dCOMPUBRICK";
-  breakdown.charge(std::string{"MAC/PHY ("} + rx_side + ")", mac_phy_.traversal_latency());
+  breakdown.charge(mac_phy_rx_label, mac_phy_.traversal_latency());
   t += mac_phy_.traversal_latency();
 
   return t;

@@ -6,14 +6,14 @@
 
 namespace dredbox::sim {
 
-void Breakdown::charge(const std::string& component, Time amount) {
+void Breakdown::charge(std::string_view component, Time amount) {
   for (auto& [name, t] : parts_) {
     if (name == component) {
       t += amount;
       return;
     }
   }
-  parts_.emplace_back(component, amount);
+  parts_.emplace_back(std::string{component}, amount);
 }
 
 Time Breakdown::total() const {
@@ -22,14 +22,14 @@ Time Breakdown::total() const {
   return sum;
 }
 
-Time Breakdown::of(const std::string& component) const {
+Time Breakdown::of(std::string_view component) const {
   for (const auto& [name, t] : parts_) {
     if (name == component) return t;
   }
   return Time::zero();
 }
 
-bool Breakdown::has(const std::string& component) const {
+bool Breakdown::has(std::string_view component) const {
   return std::any_of(parts_.begin(), parts_.end(),
                      [&](const auto& p) { return p.first == component; });
 }

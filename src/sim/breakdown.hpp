@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -15,15 +16,18 @@ namespace dredbox::sim {
 class Breakdown {
  public:
   /// Adds `amount` under `component`, creating the component on first use.
-  void charge(const std::string& component, Time amount);
+  /// Takes a string_view so the (very hot) charge sites in the datapath
+  /// compare against literals without materializing a temporary string; a
+  /// copy is only made the first time a component appears.
+  void charge(std::string_view component, Time amount);
 
   /// Sum over all components.
   Time total() const;
 
   /// Contribution of one component; Time::zero() if absent.
-  Time of(const std::string& component) const;
+  Time of(std::string_view component) const;
 
-  bool has(const std::string& component) const;
+  bool has(std::string_view component) const;
 
   const std::vector<std::pair<std::string, Time>>& components() const { return parts_; }
 

@@ -23,6 +23,11 @@ void RetryPolicy::validate() const {
   if (timeout <= Time::zero()) {
     throw std::invalid_argument("RetryPolicy: timeout must be positive");
   }
+  if (max_backoff.is_infinite() || timeout.is_infinite()) {
+    throw std::invalid_argument(
+        "RetryPolicy: max_backoff and timeout must be finite (deadline and "
+        "backoff arithmetic would overflow)");
+  }
 }
 
 std::string RetryPolicy::to_string() const {
@@ -52,7 +57,18 @@ std::optional<Time> BackoffSchedule::next(Time now) {
     return std::nullopt;
   }
   ++attempts_;
-  next_backoff_ = std::min(policy_.max_backoff, scale(next_backoff_, policy_.multiplier));
+  // Saturating growth: once the cap is reached the delay stays there. The
+  // candidate is compared in double before converting back to ticks, so a
+  // large multiplier (or many attempts) can never overflow Time's integer
+  // range and wrap a delay negative.
+  if (next_backoff_ >= policy_.max_backoff) {
+    next_backoff_ = policy_.max_backoff;
+  } else {
+    const double grown = static_cast<double>(next_backoff_.ticks()) * policy_.multiplier;
+    next_backoff_ = grown >= static_cast<double>(policy_.max_backoff.ticks())
+                        ? policy_.max_backoff
+                        : scale(next_backoff_, policy_.multiplier);
+  }
   return delay;
 }
 

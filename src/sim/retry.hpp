@@ -26,7 +26,8 @@ struct RetryPolicy {
   Time timeout = Time::ms(50);
 
   /// Throws std::invalid_argument on a malformed policy (zero attempts,
-  /// negative delays, multiplier below 1, non-positive timeout).
+  /// negative delays, multiplier below 1, non-positive or infinite
+  /// timeout, infinite max_backoff).
   void validate() const;
 
   std::string to_string() const;
@@ -40,6 +41,8 @@ struct RetryPolicy {
 /// Guaranteed properties (covered by tests/memsys/test_retry_properties.cpp):
 ///   - at most policy.max_attempts attempts are ever issued,
 ///   - successive backoff delays are monotonically non-decreasing,
+///   - delays saturate at policy.max_backoff and never wrap, no matter how
+///     many attempts run or how aggressive the multiplier is,
 ///   - the deadline always fires: next() never schedules a retry at or past
 ///     first_issue + policy.timeout, and returns nullopt forever after it.
 class BackoffSchedule {

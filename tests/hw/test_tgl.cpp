@@ -23,9 +23,9 @@ TEST(TglTest, RouteTranslatesAddress) {
   tgl.rmst().insert(entry(1, 0x10000, 0x1000, 0x500000));
   auto route = tgl.route(0x10123);
   ASSERT_TRUE(route.has_value());
-  EXPECT_EQ(route->entry.segment, SegmentId{1});
+  EXPECT_EQ(route->entry->segment, SegmentId{1});
   EXPECT_EQ(route->remote_addr, 0x500123u);
-  EXPECT_EQ(route->entry.out_port, PortId{2});
+  EXPECT_EQ(route->entry->out_port, PortId{2});
 }
 
 TEST(TglTest, MissReturnsNullopt) {

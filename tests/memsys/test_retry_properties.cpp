@@ -143,6 +143,77 @@ TEST(RetryProperties, ValidateRejectsMalformedPolicies) {
   EXPECT_THROW(negative_backoff.validate(), std::invalid_argument);
 }
 
+TEST(RetryProperties, DelaysSaturateAtCapAcrossManyAttempts) {
+  // Drive 64+ attempts under aggressive multipliers: once the geometric
+  // growth reaches max_backoff the delay must stay pinned there exactly —
+  // never negative, never wrapped, never above the cap. Before the fix,
+  // next_backoff_ kept multiplying past the cap and the int64 tick count
+  // could overflow negative.
+  for (double multiplier : {1.5, 2.0, 1e3, 1e9, 1e18}) {
+    RetryPolicy policy;
+    policy.max_attempts = 80;
+    policy.initial_backoff = Time::ns(1);
+    policy.multiplier = multiplier;
+    policy.max_backoff = Time::us(10);
+    policy.timeout = Time::sec(10);  // never binds: 80 * 10us << 10s
+    BackoffSchedule schedule{policy, Time::zero()};
+    std::vector<Time> delays;
+    Time now = Time::zero();
+    while (auto delay = schedule.next(now)) {
+      delays.push_back(*delay);
+      now = now + *delay;
+    }
+    // Attempts were the binding limit, so every retry was granted.
+    ASSERT_EQ(delays.size(), policy.max_attempts - 1) << policy.to_string();
+    bool saturated = false;
+    for (std::size_t i = 0; i < delays.size(); ++i) {
+      EXPECT_GE(delays[i], Time::zero()) << policy.to_string() << " at retry " << i;
+      EXPECT_LE(delays[i], policy.max_backoff) << policy.to_string() << " at retry " << i;
+      if (i > 0) {
+        EXPECT_GE(delays[i], delays[i - 1]) << policy.to_string() << " at retry " << i;
+      }
+      if (saturated) {
+        EXPECT_EQ(delays[i], policy.max_backoff)
+            << policy.to_string() << " left the cap at retry " << i;
+      }
+      saturated = saturated || delays[i] == policy.max_backoff;
+    }
+    EXPECT_TRUE(saturated) << policy.to_string() << " never reached the cap";
+  }
+}
+
+TEST(RetryProperties, HugeInitialBackoffTimesHugeMultiplierDoesNotWrap) {
+  // next_backoff_ * multiplier overflows int64 ticks on the very first
+  // growth step; the schedule must clamp to the cap instead of wrapping.
+  RetryPolicy policy;
+  policy.max_attempts = 70;
+  policy.initial_backoff = Time::ms(400);
+  policy.multiplier = 1e18;
+  policy.max_backoff = Time::ms(500);
+  policy.timeout = Time::sec(3600);
+  BackoffSchedule schedule{policy, Time::zero()};
+  Time now = Time::zero();
+  std::size_t granted = 0;
+  while (auto delay = schedule.next(now)) {
+    EXPECT_GE(*delay, Time::zero());
+    EXPECT_LE(*delay, policy.max_backoff);
+    now = now + *delay;
+    ++granted;
+  }
+  EXPECT_EQ(granted, policy.max_attempts - 1);
+}
+
+TEST(RetryProperties, ValidateRejectsInfinitePolicies) {
+  // Infinite caps or timeouts would overflow deadline/backoff arithmetic.
+  RetryPolicy infinite_cap;
+  infinite_cap.max_backoff = Time::infinity();
+  EXPECT_THROW(infinite_cap.validate(), std::invalid_argument);
+
+  RetryPolicy infinite_timeout;
+  infinite_timeout.timeout = Time::infinity();
+  EXPECT_THROW(infinite_timeout.validate(), std::invalid_argument);
+}
+
 TEST(RetryProperties, SameHistorySameSchedule) {
   // Purely arithmetic: two schedules fed identical failure times agree on
   // every delay (the digest-reproducibility requirement).

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "sim/random.hpp"
 
@@ -119,6 +121,89 @@ TEST(SampleSetTest, BoxPlotOrderingInvariant) {
   EXPECT_LE(b.q1, b.median);
   EXPECT_LE(b.median, b.q3);
   EXPECT_LE(b.q3, b.maximum);
+}
+
+// Property coverage for quantile() at the edges the interpolation formula
+// is most likely to get wrong: the extremes, a single sample, and
+// duplicate-heavy sets where many ranks share one value.
+
+TEST(SampleSetQuantileProperty, ExtremesEqualMinAndMax) {
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    Rng rng{seed};
+    SampleSet s;
+    const int n = 1 + static_cast<int>(rng.uniform_int(0, 200));
+    for (int i = 0; i < n; ++i) {
+      s.add(static_cast<double>(rng.uniform_int(-1000, 1000)) / 8.0);
+    }
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), s.min()) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), s.max()) << "seed " << seed;
+  }
+}
+
+TEST(SampleSetQuantileProperty, SingleSampleIsEveryQuantile) {
+  SampleSet s;
+  s.add(3.25);
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), 3.25) << "q=" << q;
+  }
+}
+
+TEST(SampleSetQuantileProperty, AllDuplicatesCollapseToTheValue) {
+  SampleSet s;
+  for (int i = 0; i < 64; ++i) s.add(-2.5);
+  for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), -2.5) << "q=" << q;
+  }
+}
+
+TEST(SampleSetQuantileProperty, DuplicateHeavySetsStayMonotoneAndBounded) {
+  for (std::uint64_t seed : {3u, 9u, 27u}) {
+    Rng rng{seed};
+    SampleSet s;
+    // ~8 distinct values spread over 300 samples: long runs of equal ranks.
+    for (int i = 0; i < 300; ++i) {
+      s.add(static_cast<double>(rng.uniform_int(0, 7)));
+    }
+    double prev = s.quantile(0.0);
+    for (int step = 0; step <= 100; ++step) {
+      const double q = static_cast<double>(step) / 100.0;
+      const double v = s.quantile(q);
+      EXPECT_GE(v, s.min()) << "seed " << seed << " q=" << q;
+      EXPECT_LE(v, s.max()) << "seed " << seed << " q=" << q;
+      EXPECT_GE(v, prev) << "quantile not monotone at seed " << seed << " q=" << q;
+      prev = v;
+    }
+    // With >= 100 samples per distinct value on average, the median of a
+    // duplicate-heavy set must itself be one of the sample values.
+    const double med = s.quantile(0.5);
+    EXPECT_DOUBLE_EQ(med, std::floor(med));
+  }
+}
+
+TEST(SampleSetQuantileProperty, InterleavedAddsDoNotDisturbQuantiles) {
+  // quantile() sorts lazily; interleaving add() and quantile() must keep
+  // answers consistent with a from-scratch sorted copy.
+  Rng rng{5};
+  SampleSet s;
+  std::vector<double> mirror;
+  for (int i = 0; i < 120; ++i) {
+    const double x = static_cast<double>(rng.uniform_int(-50, 50));
+    s.add(x);
+    mirror.push_back(x);
+    if (i % 10 == 9) {
+      std::vector<double> sorted = mirror;
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_DOUBLE_EQ(s.quantile(0.0), sorted.front());
+      EXPECT_DOUBLE_EQ(s.quantile(1.0), sorted.back());
+      const double pos = 0.5 * static_cast<double>(sorted.size() - 1);
+      const auto idx = static_cast<std::size_t>(pos);
+      const double frac = pos - static_cast<double>(idx);
+      const double expect = idx + 1 < sorted.size()
+                                ? sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac
+                                : sorted.back();
+      EXPECT_DOUBLE_EQ(s.quantile(0.5), expect);
+    }
+  }
 }
 
 TEST(SampleSetTest, PercentileAliasesQuantile) {
