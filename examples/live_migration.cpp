@@ -8,20 +8,19 @@
 
 #include <cstdio>
 
-#include "core/datacenter.hpp"
+#include "core/scenario.hpp"
 #include "sim/report.hpp"
 
 using namespace dredbox;
 constexpr std::uint64_t kGiB = 1ull << 30;
 
 int main() {
-  core::DatacenterConfig config;
-  config.trays = 2;
-  config.compute_bricks_per_tray = 1;
-  config.memory_bricks_per_tray = 2;
-  config.compute.local_memory_bytes = 8 * kGiB;
-  config.memory.capacity_bytes = 32 * kGiB;
-  core::Datacenter dc{config};
+  auto scenario = core::ScenarioBuilder{}
+                      .racks(/*trays=*/2, /*compute_per_tray=*/1, /*memory_per_tray=*/2)
+                      .compute_local_memory_bytes(8 * kGiB)
+                      .memory_pool_bytes(32 * kGiB)
+                      .build();
+  core::Datacenter& dc = scenario.datacenter();
   std::printf("%s\n\n", dc.describe().c_str());
 
   // Boot a VM with 2 GiB local memory and grow it with 6 GiB of

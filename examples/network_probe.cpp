@@ -10,19 +10,19 @@
 #include <cstdio>
 
 #include "core/pilots/network_analytics.hpp"
+#include "core/scenario.hpp"
 #include "sim/report.hpp"
 
 using namespace dredbox;
 
 int main() {
-  core::DatacenterConfig dc_config;
-  dc_config.trays = 2;
-  dc_config.compute_bricks_per_tray = 1;
-  dc_config.memory_bricks_per_tray = 3;
-  dc_config.accelerator_bricks_per_tray = 1;
-  dc_config.memory.capacity_bytes = 64ull << 30;
-  dc_config.optical_switch.ports = 96;
-  core::Datacenter dc{dc_config};
+  auto scenario = core::ScenarioBuilder{}
+                      .racks(/*trays=*/2, /*compute_per_tray=*/1, /*memory_per_tray=*/3,
+                             /*accel_per_tray=*/1)
+                      .memory_pool_bytes(64ull << 30)
+                      .switch_ports(96)
+                      .build();
+  core::Datacenter& dc = scenario.datacenter();
   std::printf("%s\n\n", dc.describe().c_str());
 
   core::pilots::NetworkAnalyticsConfig config;

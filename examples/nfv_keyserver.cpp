@@ -10,17 +10,17 @@
 #include <cstdio>
 
 #include "core/pilots/nfv.hpp"
+#include "core/scenario.hpp"
 #include "sim/report.hpp"
 
 using namespace dredbox;
 
 int main() {
-  core::DatacenterConfig dc_config;
-  dc_config.trays = 2;
-  dc_config.compute_bricks_per_tray = 1;
-  dc_config.memory_bricks_per_tray = 2;
-  dc_config.memory.capacity_bytes = 32ull << 30;
-  core::Datacenter dc{dc_config};
+  auto scenario = core::ScenarioBuilder{}
+                      .racks(/*trays=*/2, /*compute_per_tray=*/1, /*memory_per_tray=*/2)
+                      .memory_pool_bytes(32ull << 30)
+                      .build();
+  core::Datacenter& dc = scenario.datacenter();
   std::printf("%s\n\n", dc.describe().c_str());
 
   core::pilots::NfvConfig config;

@@ -12,23 +12,24 @@
 #include <string>
 #include <cstdio>
 
-#include "core/datacenter.hpp"
+#include "core/scenario.hpp"
 #include "sim/report.hpp"
 
 using namespace dredbox;
 constexpr std::uint64_t kGiB = 1ull << 30;
 
 int main() {
-  core::DatacenterConfig config;
-  config.trays = 2;
-  config.compute_bricks_per_tray = 1;
-  config.memory_bricks_per_tray = 2;
-  config.oom_guard.pressure_threshold = 0.8;  // act with head-room
-  config.oom_guard.relax_threshold = 0.4;
-  config.oom_guard.scale_chunk_bytes = 2 * kGiB;
-  config.oom_guard.cooldown = sim::Time::sec(5);
-  core::Datacenter dc{config};
-  dc.tracer().enable();
+  orch::OomGuardConfig guard;
+  guard.pressure_threshold = 0.8;  // act with head-room
+  guard.relax_threshold = 0.4;
+  guard.scale_chunk_bytes = 2 * kGiB;
+  guard.cooldown = sim::Time::sec(5);
+  auto scenario = core::ScenarioBuilder{}
+                      .racks(/*trays=*/2, /*compute_per_tray=*/1, /*memory_per_tray=*/2)
+                      .oom_guard(guard)
+                      .tracing()
+                      .build();
+  core::Datacenter& dc = scenario.datacenter();
 
   const auto vm = dc.boot_vm("batch-job", 2, 2 * kGiB);
   if (!vm.ok) {
@@ -37,8 +38,7 @@ int main() {
   }
   dc.oom_guard().watch(vm.vm, vm.compute);
   std::printf("guest booted with 2 GiB; OOM guard armed (grow at %.0f%%, relax at %.0f%%)\n\n",
-              config.oom_guard.pressure_threshold * 100,
-              config.oom_guard.relax_threshold * 100);
+              guard.pressure_threshold * 100, guard.relax_threshold * 100);
 
   // The job's working set: ramps to 13 GiB over 10 minutes, holds, drains.
   auto usage_gib = [](double minute) {

@@ -13,7 +13,7 @@
 #include <cstdlib>
 #include <optional>
 
-#include "core/datacenter.hpp"
+#include "core/scenario.hpp"
 #include "sim/fault.hpp"
 #include "sim/trace_export.hpp"
 
@@ -22,29 +22,27 @@ using namespace dredbox;
 int main() {
   // 1. Describe the deployment: 2 trays, each carrying 2 dCOMPUBRICKs
   //    (quad-core A53, 4 GiB local DDR) and 2 dMEMBRICKs (32 GiB pool),
-  //    interconnected through a 48-port optical circuit switch.
-  core::DatacenterConfig config;
-  config.trays = 2;
-  config.compute_bricks_per_tray = 2;
-  config.memory_bricks_per_tray = 2;
-
-  core::Datacenter dc{config};
-  dc.telemetry().enable_all();  // capture metrics + an operation timeline
-  std::printf("%s\n\n", dc.describe().c_str());
-
-  // Optional fault injection: with DREDBOX_FAULT_PLAN set, the scripted
-  // faults are scheduled on the simulation's event queue and land while
-  // the workload below runs — the rack is expected to ride them out.
-  std::optional<sim::FaultPlan> plan;
+  //    interconnected through a 48-port optical circuit switch. The
+  //    builder validates the shape, assembles the rack, enables metrics +
+  //    an operation timeline, and — with DREDBOX_FAULT_PLAN set (see
+  //    sim/fault.hpp for the mini-language) — schedules the scripted
+  //    faults so they land while the workload below runs.
+  std::optional<core::Scenario> scenario;
   try {
-    plan = sim::fault_plan_from_env();
-    if (plan) {
-      std::printf("injecting fault plan: %s\n\n", plan->to_string().c_str());
-      dc.inject_faults(*plan);
-    }
+    scenario = core::ScenarioBuilder{}
+                   .racks(/*trays=*/2, /*compute_per_tray=*/2, /*memory_per_tray=*/2)
+                   .telemetry()
+                   .fault_plan_from_env()
+                   .build();
   } catch (const std::exception& e) {
     std::printf("bad %s: %s\n", sim::kFaultPlanEnv, e.what());
     return 1;
+  }
+  core::Datacenter& dc = scenario->datacenter();
+  std::printf("%s\n\n", dc.describe().c_str());
+
+  if (scenario->fault_plan()) {
+    std::printf("injecting fault plan: %s\n\n", scenario->fault_plan()->to_string().c_str());
   }
 
   // 2. Boot a commodity VM. The SDM controller picks a dCOMPUBRICK,
@@ -74,12 +72,8 @@ int main() {
   // With a fault plan loaded, run the simulation through it: every fault
   // fires, the rack reacts (retry/backoff, re-provisioning, evacuation),
   // and recoveries land before we touch the memory below.
-  if (plan) {
-    sim::Time horizon;
-    for (const auto& e : plan->events()) {
-      if (e.at + e.duration > horizon) horizon = e.at + e.duration;
-    }
-    dc.advance_to(horizon + sim::Time::ms(1));
+  if (scenario->fault_plan()) {
+    scenario->run_fault_plan();
     std::printf("fault plan ran: %llu injected, %llu recovered, %llu still active\n\n",
                 static_cast<unsigned long long>(dc.faults().injected()),
                 static_cast<unsigned long long>(dc.faults().recovered()),

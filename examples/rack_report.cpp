@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/dredbox.hpp"
+#include "core/scenario.hpp"
 #include "sim/trace_export.hpp"
 
 using namespace dredbox;
@@ -16,12 +17,8 @@ constexpr std::uint64_t kGiB = 1ull << 30;
 int main() {
   std::printf("dReDBox rack report (library v%s)\n", kVersionString);
 
-  core::DatacenterConfig config;
-  config.trays = 2;
-  config.compute_bricks_per_tray = 2;
-  config.memory_bricks_per_tray = 2;
-  core::Datacenter dc{config};
-  dc.telemetry().enable_all();
+  auto scenario = core::ScenarioBuilder{}.racks(2, 2, 2).telemetry().build();
+  core::Datacenter& dc = scenario.datacenter();
 
   // Put the rack under some load: three tenants, one with remote memory
   // on another tray (an optical circuit), one intra-tray (electrical).

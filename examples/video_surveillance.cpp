@@ -10,18 +10,18 @@
 #include <cstdio>
 
 #include "core/pilots/video_analytics.hpp"
+#include "core/scenario.hpp"
 #include "sim/report.hpp"
 
 using namespace dredbox;
 
 int main() {
-  core::DatacenterConfig dc_config;
-  dc_config.trays = 2;
-  dc_config.compute_bricks_per_tray = 2;
-  dc_config.memory_bricks_per_tray = 4;
-  dc_config.memory.capacity_bytes = 64ull << 30;  // 512 GiB pool
-  dc_config.optical_switch.ports = 96;
-  core::Datacenter dc{dc_config};
+  auto scenario = core::ScenarioBuilder{}
+                      .racks(/*trays=*/2, /*compute_per_tray=*/2, /*memory_per_tray=*/4)
+                      .memory_pool_bytes(64ull << 30)  // 512 GiB pool
+                      .switch_ports(96)
+                      .build();
+  core::Datacenter& dc = scenario.datacenter();
   std::printf("%s\n\n", dc.describe().c_str());
 
   core::pilots::VideoAnalyticsConfig config;

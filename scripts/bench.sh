@@ -6,11 +6,15 @@
 # same host differ only by timer noise.
 #
 # Usage: scripts/bench.sh [--tag TAG] [-o OUT] [--build-dir DIR] [--quick]
-#                         [--baseline 'NAME=NS[=NOTE]']...
+#                         [--sweep] [--baseline 'NAME=NS[=NOTE]']...
 #   --tag TAG    label for the point (default: local); OUT defaults to
 #                BENCH_<tag>.json in the repo root
 #   --quick      short micro timings (~seconds total); for CI smoke, not
 #                for checked-in points
+#   --sweep      also run the examples/sweep parameter sweep (sequential +
+#                4-thread parallel, digest-checked) and fold its summary —
+#                speedup, digest verdict, latency percentiles — into the
+#                point
 #   --baseline   record a pre-change reference number for a headline
 #                benchmark alongside the measured results
 set -euo pipefail
@@ -21,6 +25,7 @@ TAG=local
 BUILD_DIR=build
 OUT=""
 MIN_TIME=0.5
+RUN_SWEEP=0
 BASELINE_ARGS=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -28,6 +33,7 @@ while [[ $# -gt 0 ]]; do
     -o) OUT="$2"; shift 2 ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
     --quick) MIN_TIME=0.05; shift ;;
+    --sweep) RUN_SWEEP=1; shift ;;
     --baseline) BASELINE_ARGS+=(--baseline "$2"); shift 2 ;;
     *) echo "bench.sh: unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -44,9 +50,11 @@ if [[ ! -d "$BUILD_DIR" ]]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 fi
 echo "== build bench targets"
+SWEEP_TARGET=""
+[[ "$RUN_SWEEP" == 1 ]] && SWEEP_TARGET="sweep"
 # shellcheck disable=SC2086
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" \
-  --target micro_benchmarks $E2E_BENCHES
+  --target micro_benchmarks $E2E_BENCHES $SWEEP_TARGET
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -74,6 +82,14 @@ for bench in $E2E_BENCHES; do
   E2E_ARGS+=(--e2e "$bench=$wall=$rc=$tmp/$bench.out")
 done
 
+SWEEP_ARGS=()
+if [[ "$RUN_SWEEP" == 1 ]]; then
+  echo "== parameter sweep (sequential + 4-thread parallel, digest-checked)"
+  "$BUILD_DIR/examples/sweep" --threads 4 --out "$tmp/sweep.json"
+  SWEEP_ARGS=(--sweep "$tmp/sweep.json")
+fi
+
 python3 scripts/bench_reduce.py reduce --tag "$TAG" --micro "$tmp/micro.json" \
-  "${E2E_ARGS[@]}" ${BASELINE_ARGS[@]+"${BASELINE_ARGS[@]}"} -o "$OUT"
+  "${E2E_ARGS[@]}" ${SWEEP_ARGS[@]+"${SWEEP_ARGS[@]}"} \
+  ${BASELINE_ARGS[@]+"${BASELINE_ARGS[@]}"} -o "$OUT"
 python3 scripts/bench_reduce.py validate "$OUT"

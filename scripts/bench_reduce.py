@@ -1,6 +1,8 @@
 #!/usr/bin/env python3
 """Reduce benchmark runs into a BENCH_*.json perf-trajectory point, and
-validate such files against the dredbox-bench/v1 schema.
+validate such files against the dredbox-bench/v1 schema (or, for raw
+parameter-sweep reports from examples/sweep, the dredbox-sweep/v1 schema —
+`validate` dispatches on the file's "schema" field).
 
 The repo's perf north star ("as fast as the hardware allows", ROADMAP.md)
 is tracked as a series of checked-in BENCH_<tag>.json files, one per PR
@@ -10,14 +12,18 @@ that claims a performance change. Each point records:
                   bench/micro_benchmarks,
   * end_to_end  — wall time + exit status + paper-shape check lines from a
                   fixed set of end-to-end reproduction benches,
+  * sweep       — optional summary of a SweepRunner run (examples/sweep
+                  --out): parallel speedup, digest verdict, per-cell
+                  latency percentiles,
   * baseline    — optional pre-change reference numbers for the headline
                   benchmarks, so the claimed improvement is auditable.
 
 Usage:
   bench_reduce.py reduce --tag pr4 --micro MICRO.json \
       --e2e NAME=WALL_SECONDS=EXIT=STDOUT_PATH ... \
-      [--baseline 'BM_Foo/32=21.5=note'] -o BENCH_pr4.json
-  bench_reduce.py validate BENCH_pr4.json [...]
+      [--sweep SWEEP.json] [--baseline 'BM_Foo/32=21.5=note'] \
+      -o BENCH_pr4.json
+  bench_reduce.py validate BENCH_pr4.json SWEEP.json [...]
 """
 
 from __future__ import annotations
@@ -29,6 +35,13 @@ import sys
 from pathlib import Path
 
 SCHEMA = "dredbox-bench/v1"
+SWEEP_SCHEMA = "dredbox-sweep/v1"
+
+# Minimum parallel speedup the acceptance bar demands of a sweep — only
+# enforceable when the host actually has at least as many cores as the
+# sweep used threads (a 4-thread sweep on a 1-core CI box is legitimately
+# ~1x; the report still records the honest numbers).
+MIN_SWEEP_SPEEDUP = 2.0
 
 # End-to-end bench stdout lines worth keeping in the record: the paper
 # shape checks and the headline summary figures.
@@ -86,9 +99,143 @@ def reduce_point(args: argparse.Namespace) -> dict:
         "micro": micro,
         "end_to_end": end_to_end,
     }
+    if args.sweep:
+        point["sweep"] = summarize_sweep(Path(args.sweep))
     if baseline:
         point["baseline"] = baseline
     return point
+
+
+def summarize_sweep(path: Path) -> dict:
+    """Reduce an examples/sweep --out report to the summary embedded in a
+    bench point: the parallel-speedup evidence plus aggregate latency."""
+    sweep = json.loads(path.read_text(encoding="utf-8"))
+    errors = validate_sweep(path, sweep)
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        raise SystemExit(f"bench-reduce: {path} is not a valid {SWEEP_SCHEMA} report")
+
+    seq = sweep.get("sequential_wall_seconds")
+    wall = sweep["wall_seconds"]
+    summary = {
+        "cells": sweep["aggregate"]["cells"],
+        "cells_ok": sweep["aggregate"]["cells_ok"],
+        "threads": sweep["threads"],
+        "wall_seconds": wall,
+        "digests_match": sweep.get("digests_match", True),
+        "throughput_hz": sweep["aggregate"]["throughput_hz"],
+        "p99_us": sweep["aggregate"]["p99_us"],
+        "latency_percentiles": [
+            {
+                "cell": f"seed={c['seed']} trays={c['trays']} remote={c['remote_ratio']}",
+                **c["latency_us"],
+            }
+            for c in sweep["cells"]
+            if c.get("ok")
+        ],
+    }
+    if seq is not None:
+        summary["sequential_wall_seconds"] = seq
+        summary["speedup"] = seq / wall if wall > 0 else 0.0
+    if "host" in sweep:
+        summary["host"] = sweep["host"]
+    return summary
+
+
+def validate_sweep(path: Path, sweep: dict) -> list[str]:
+    """Validate a dredbox-sweep/v1 report (examples/sweep --out)."""
+    errors: list[str] = []
+
+    def err(msg: str) -> None:
+        errors.append(f"{path}: {msg}")
+
+    if sweep.get("schema") != SWEEP_SCHEMA:
+        err(f"schema is {sweep.get('schema')!r}, want {SWEEP_SCHEMA!r}")
+
+    threads = sweep.get("threads")
+    if not isinstance(threads, int) or threads < 1:
+        err("threads must be a positive integer")
+    wall = sweep.get("wall_seconds")
+    if not isinstance(wall, (int, float)) or wall < 0:
+        err("wall_seconds must be >= 0")
+
+    grid = sweep.get("grid")
+    if not isinstance(grid, dict):
+        err("grid must be an object")
+        grid = {}
+    expected_cells = 1
+    for axis in ("seeds", "rack_trays", "remote_ratios", "fault_plans"):
+        values = grid.get(axis)
+        if not isinstance(values, list) or not values:
+            err(f"grid.{axis} must be a non-empty list")
+            expected_cells = None
+        elif expected_cells is not None:
+            expected_cells *= len(values)
+
+    cells = sweep.get("cells")
+    if not isinstance(cells, list) or not cells:
+        err("cells must be a non-empty list")
+        cells = []
+    if expected_cells is not None and cells and len(cells) != expected_cells:
+        err(f"cells has {len(cells)} entries, grid implies {expected_cells}")
+    for i, c in enumerate(cells):
+        if c.get("index") != i:
+            err(f"cells[{i}] index is {c.get('index')!r}, want grid order")
+        if not c.get("ok"):
+            err(f"cells[{i}] failed: {c.get('error', '?')}")
+            continue
+        digest = c.get("digest")
+        if not isinstance(digest, str) or not re.fullmatch(r"[0-9a-f]{16}", digest):
+            err(f"cells[{i}] digest must be a 16-digit lowercase hex string")
+        latency = c.get("latency_us")
+        if not isinstance(latency, dict) or not all(
+            isinstance(latency.get(p), (int, float)) for p in ("p50", "p95", "p99")
+        ):
+            err(f"cells[{i}] latency_us must carry numeric p50/p95/p99")
+        for key in ("offered", "completed", "failed"):
+            if not isinstance(c.get(key), int) or c.get(key, -1) < 0:
+                err(f"cells[{i}] {key} must be a non-negative integer")
+
+    aggregate = sweep.get("aggregate")
+    if not isinstance(aggregate, dict):
+        err("aggregate must be an object")
+    else:
+        if aggregate.get("cells") != len(cells):
+            err("aggregate.cells disagrees with the cells array")
+        if aggregate.get("cells_ok") != sum(1 for c in cells if c.get("ok")):
+            err("aggregate.cells_ok disagrees with the cells array")
+        for key in ("throughput_hz", "p99_us"):
+            if not isinstance(aggregate.get(key), dict):
+                err(f"aggregate.{key} must be an object")
+
+    # Fields spliced in by the examples/sweep CLI (absent when to_json()
+    # was emitted directly, e.g. from a unit test).
+    if "digests_match" in sweep and sweep["digests_match"] is not True:
+        err("digests_match is false: parallel run diverged from sequential")
+    seq = sweep.get("sequential_wall_seconds")
+    if seq is not None:
+        if not isinstance(seq, (int, float)) or seq < 0:
+            err("sequential_wall_seconds must be >= 0")
+        else:
+            num_cpus = (sweep.get("host") or {}).get("num_cpus")
+            # The >=2x speedup bar only binds when the host can actually
+            # run the sweep's threads in parallel.
+            if (
+                isinstance(threads, int)
+                and isinstance(num_cpus, int)
+                and threads > 1
+                and threads <= num_cpus
+                and isinstance(wall, (int, float))
+                and wall > 0
+                and seq / wall < MIN_SWEEP_SPEEDUP
+            ):
+                err(
+                    f"parallel speedup {seq / wall:.2f}x below the "
+                    f"{MIN_SWEEP_SPEEDUP}x bar ({threads} threads on "
+                    f"{num_cpus} cpus)"
+                )
+    return errors
 
 
 def validate_point(path: Path) -> list[str]:
@@ -101,6 +248,10 @@ def validate_point(path: Path) -> list[str]:
         point = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         return [f"{path}: unreadable ({exc})"]
+
+    # Raw sweep reports are their own schema; dispatch on the marker.
+    if point.get("schema") == SWEEP_SCHEMA:
+        return validate_sweep(path, point)
 
     if point.get("schema") != SCHEMA:
         err(f"schema is {point.get('schema')!r}, want {SCHEMA!r}")
@@ -134,6 +285,23 @@ def validate_point(path: Path) -> list[str]:
         if b.get("exit_code") != 0:
             err(f"end_to_end {b.get('name', '?')} recorded a non-zero exit")
 
+    sweep = point.get("sweep")
+    if sweep is not None:
+        if not isinstance(sweep, dict):
+            err("sweep must be an object")
+        else:
+            for key in ("cells", "cells_ok", "threads", "wall_seconds", "digests_match"):
+                if key not in sweep:
+                    err(f"sweep summary missing {key}")
+            if sweep.get("digests_match") is not True:
+                err("sweep.digests_match must be true")
+            if sweep.get("cells") != sweep.get("cells_ok"):
+                err("sweep recorded failed cells")
+            if not isinstance(sweep.get("latency_percentiles"), list) or not sweep.get(
+                "latency_percentiles"
+            ):
+                err("sweep.latency_percentiles must be a non-empty list")
+
     for name, ref in (point.get("baseline") or {}).items():
         if not isinstance(ref.get("real_time"), (int, float)):
             err(f"baseline {name} missing real_time")
@@ -148,6 +316,8 @@ def main(argv: list[str]) -> int:
     reduce_p.add_argument("--tag", required=True)
     reduce_p.add_argument("--micro", required=True, help="google-benchmark JSON output")
     reduce_p.add_argument("--e2e", action="append", metavar="NAME=WALL=EXIT=STDOUT")
+    reduce_p.add_argument("--sweep", metavar="SWEEP_JSON",
+                          help="examples/sweep --out report to summarize into the point")
     reduce_p.add_argument("--baseline", action="append", metavar="NAME=NS[=NOTE]")
     reduce_p.add_argument("-o", "--out", required=True)
 
@@ -158,8 +328,11 @@ def main(argv: list[str]) -> int:
     if args.mode == "reduce":
         point = reduce_point(args)
         Path(args.out).write_text(json.dumps(point, indent=2) + "\n", encoding="utf-8")
-        print(f"bench-reduce: wrote {args.out} "
-              f"({len(point['micro'])} micro, {len(point['end_to_end'])} end-to-end)")
+        parts = f"{len(point['micro'])} micro, {len(point['end_to_end'])} end-to-end"
+        if "sweep" in point:
+            sweep = point["sweep"]
+            parts += f", sweep {sweep['cells_ok']}/{sweep['cells']} cells"
+        print(f"bench-reduce: wrote {args.out} ({parts})")
         return 0
 
     all_errors: list[str] = []
@@ -168,7 +341,8 @@ def main(argv: list[str]) -> int:
     for e in all_errors:
         print(e, file=sys.stderr)
     if not all_errors:
-        print(f"bench-reduce: {len(args.files)} file(s) valid against {SCHEMA}")
+        print(f"bench-reduce: {len(args.files)} file(s) valid "
+              f"against {SCHEMA}/{SWEEP_SCHEMA}")
     return 1 if all_errors else 0
 
 

@@ -6,7 +6,9 @@
 # check_invariants() audit runs after every mutation. Finishes with the
 # determinism harness (same-seed double run must be byte-identical) and a
 # faults stage: the fault-scenario sweep re-run under the sanitizers and
-# the audit layer, plus a scripted-fault quickstart run.
+# the audit layer, plus a scripted-fault quickstart run. A sweep stage then
+# proves the parallel SweepRunner bit-identical to a sequential pass on a
+# small grid before the bench smoke runs.
 # Run from the repository root:
 #
 #   $ scripts/check.sh
@@ -52,6 +54,11 @@ echo "== faults: scenario sweep with DREDBOX_AUDIT=ON invariants armed"
 echo "== faults: scripted DREDBOX_FAULT_PLAN quickstart (sanitized)"
 DREDBOX_FAULT_PLAN='link-flap@1ms+2ms;congestion@2ms+1ms:magnitude=4;brick-crash@3ms+2ms' \
   "$root/build-asan/examples/quickstart" > /dev/null
+
+echo "== sweep: 2x2 grid on 2 threads, digests must match sequential"
+"$root/build/examples/sweep" --threads 2 --seeds 1,2 --trays 1,2 \
+  --ratios 0.5 --duration-ms 2 --out "$root/build/sweep_smoke.json"
+python3 "$root/scripts/bench_reduce.py" validate "$root/build/sweep_smoke.json"
 
 echo "== bench: micro + end-to-end smoke, BENCH_*.json schema"
 bash "$root/scripts/bench.sh" --quick --tag smoke -o "$root/build/BENCH_smoke.json"

@@ -1,11 +1,209 @@
 #include "core/datacenter.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "sim/format.hpp"
 
 namespace dredbox::core {
 
+namespace {
+
+/// Worst plausible receiver sensitivity: no deployable photodetector
+/// recovers a signal this faint, so a link budget that lands below it is
+/// a configuration error, not a marginal design.
+constexpr double kAbsurdSensitivityDbm = -40.0;
+
+void require(std::vector<std::string>& errors, bool ok, const std::string& message) {
+  if (!ok) errors.push_back(message);
+}
+
+void require_non_negative(std::vector<std::string>& errors, sim::Time t, const char* field) {
+  if (t < sim::Time::zero()) {
+    errors.push_back(sim::strformat("%s: control-path time must be non-negative, got %s",
+                                    field, t.to_string().c_str()));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> DatacenterConfig::validate() const {
+  std::vector<std::string> errors;
+
+  // --- rack shape ---
+  require(errors, trays >= 1, "trays: rack must carry at least one tray");
+  const std::size_t bricks_per_tray =
+      compute_bricks_per_tray + memory_bricks_per_tray + accelerator_bricks_per_tray;
+  require(errors, trays == 0 || bricks_per_tray >= 1,
+          "compute_bricks_per_tray/memory_bricks_per_tray/accelerator_bricks_per_tray: "
+          "zero-brick rack (every per-tray brick count is 0)");
+
+  // --- optical switch ---
+  require(errors, optical_switch.ports >= 2,
+          sim::strformat("optical_switch.ports: switch radix must be >= 2, got %zu",
+                         optical_switch.ports));
+  require(errors,
+          std::isfinite(optical_switch.insertion_loss_db) &&
+              optical_switch.insertion_loss_db >= 0.0,
+          sim::strformat("optical_switch.insertion_loss_db: must be finite and >= 0, got %g",
+                         optical_switch.insertion_loss_db));
+  require(errors, optical_switch.power_per_port_w >= 0.0,
+          sim::strformat("optical_switch.power_per_port_w: must be >= 0, got %g",
+                         optical_switch.power_per_port_w));
+  require_non_negative(errors, optical_switch.reconfiguration_time,
+                       "optical_switch.reconfiguration_time");
+
+  // --- per-brick resources (checked only for brick kinds the rack hosts) ---
+  const auto check_ports = [&](std::size_t ports, const char* field) {
+    require(errors, ports >= 1,
+            sim::strformat("%s: brick needs at least one circuit-facing port", field));
+    require(errors, ports <= optical_switch.ports,
+            sim::strformat("%s: %zu transceiver lanes exceed the optical switch radix "
+                           "(optical_switch.ports = %zu)",
+                           field, ports, optical_switch.ports));
+  };
+  if (compute_bricks_per_tray > 0) {
+    require(errors, compute.apu_cores >= 1, "compute.apu_cores: must be >= 1");
+    require(errors, compute.local_memory_bytes > 0,
+            "compute.local_memory_bytes: brick-local DDR must be non-empty");
+    check_ports(compute.transceiver_ports, "compute.transceiver_ports");
+    require(errors, compute.port_rate_gbps > 0.0,
+            sim::strformat("compute.port_rate_gbps: line rate must be positive, got %g",
+                           compute.port_rate_gbps));
+    require(errors, compute.rmst_entries >= 1,
+            "compute.rmst_entries: the segment table needs at least one entry");
+    require(errors, compute.remote_window_base > compute.local_memory_bytes,
+            "compute.remote_window_base: remote window must sit above local DDR");
+  }
+  if (memory_bricks_per_tray > 0) {
+    require(errors, memory.capacity_bytes > 0,
+            "memory.capacity_bytes: dMEMBRICK pool must be non-empty");
+    require(errors, memory.memory_controllers >= 1,
+            "memory.memory_controllers: must be >= 1");
+    check_ports(memory.transceiver_ports, "memory.transceiver_ports");
+    require(errors, memory.port_rate_gbps > 0.0,
+            sim::strformat("memory.port_rate_gbps: line rate must be positive, got %g",
+                           memory.port_rate_gbps));
+  }
+  if (accelerator_bricks_per_tray > 0) {
+    require(errors, accelerator.pl_ddr_bytes > 0,
+            "accelerator.pl_ddr_bytes: accelerator-local DDR must be non-empty");
+    check_ports(accelerator.transceiver_ports, "accelerator.transceiver_ports");
+    require(errors, accelerator.port_rate_gbps > 0.0,
+            sim::strformat("accelerator.port_rate_gbps: line rate must be positive, got %g",
+                           accelerator.port_rate_gbps));
+    require(errors, accelerator.pcap_bandwidth_bytes_per_sec > 0.0,
+            "accelerator.pcap_bandwidth_bytes_per_sec: PCAP rate must be positive");
+  }
+
+  // --- mid-board optics & link budget ---
+  require(errors, mbo.channels >= 1, "mbo.channels: MBO needs at least one transceiver");
+  require(errors, mbo.channels <= optical_switch.ports,
+          sim::strformat("mbo.channels: %zu channels exceed the optical switch radix "
+                         "(optical_switch.ports = %zu)",
+                         mbo.channels, optical_switch.ports));
+  require(errors, mbo.rate_gbps > 0.0,
+          sim::strformat("mbo.rate_gbps: line rate must be positive, got %g", mbo.rate_gbps));
+  require(errors, std::isfinite(mbo.coupling_loss_db) && mbo.coupling_loss_db >= 0.0,
+          sim::strformat("mbo.coupling_loss_db: must be finite and >= 0, got %g",
+                         mbo.coupling_loss_db));
+  require(errors, mbo.channel_spread_db >= 0.0,
+          sim::strformat("mbo.channel_spread_db: must be >= 0, got %g", mbo.channel_spread_db));
+  require(errors, mbo.wavelength_nm > 0.0,
+          sim::strformat("mbo.wavelength_nm: must be positive, got %g", mbo.wavelength_nm));
+  if (std::isfinite(mbo.mean_launch_dbm) && std::isfinite(mbo.coupling_loss_db) &&
+      std::isfinite(optical_switch.insertion_loss_db)) {
+    // Single-hop budget: launch power minus both fibre couplings and one
+    // switch traversal. A non-positive budget (below any receiver) means
+    // the configured losses consume the whole launch power.
+    const double received_dbm = mbo.mean_launch_dbm - 2.0 * mbo.coupling_loss_db -
+                                optical_switch.insertion_loss_db;
+    require(errors, received_dbm > kAbsurdSensitivityDbm,
+            sim::strformat("mbo.mean_launch_dbm: single-hop link budget is not positive "
+                           "(%.1f dBm launch - %.1f dB coupling - %.1f dB insertion = "
+                           "%.1f dBm received, below the %.1f dBm floor)",
+                           mbo.mean_launch_dbm, 2.0 * mbo.coupling_loss_db,
+                           optical_switch.insertion_loss_db, received_dbm,
+                           kAbsurdSensitivityDbm));
+  } else {
+    require(errors, false, "mbo.mean_launch_dbm: link-budget terms must be finite");
+  }
+
+  // --- data-path latency models ---
+  require_non_negative(errors, circuit_path.tgl_lookup, "circuit_path.tgl_lookup");
+  require_non_negative(errors, circuit_path.serdes, "circuit_path.serdes");
+  require_non_negative(errors, circuit_path.glue_logic, "circuit_path.glue_logic");
+  require_non_negative(errors, circuit_path.ddr_access, "circuit_path.ddr_access");
+  require_non_negative(errors, circuit_path.hmc_access, "circuit_path.hmc_access");
+  require(errors, circuit_path.line_rate_gbps > 0.0,
+          "circuit_path.line_rate_gbps: must be positive");
+  require(errors, circuit_path.ddr_bandwidth_gbps > 0.0,
+          "circuit_path.ddr_bandwidth_gbps: must be positive");
+  require(errors, circuit_path.hmc_bandwidth_gbps > 0.0,
+          "circuit_path.hmc_bandwidth_gbps: must be positive");
+  require(errors, circuit_path.electrical_rate_gbps > 0.0,
+          "circuit_path.electrical_rate_gbps: must be positive");
+
+  // --- control-path service times ---
+  require_non_negative(errors, sdm.api_relay, "sdm.api_relay");
+  require_non_negative(errors, sdm.inspect_and_select, "sdm.inspect_and_select");
+  require_non_negative(errors, sdm.agent_rpc, "sdm.agent_rpc");
+  require_non_negative(errors, sdm.glue_configure, "sdm.glue_configure");
+  require_non_negative(errors, sdm.hypervisor_handoff, "sdm.hypervisor_handoff");
+  require_non_negative(errors, hotplug.fixed_cost, "hotplug.fixed_cost");
+  require_non_negative(errors, hotplug.per_gib_cost, "hotplug.per_gib_cost");
+  require_non_negative(errors, hotplug.remove_fixed_cost, "hotplug.remove_fixed_cost");
+  require_non_negative(errors, hotplug.remove_per_gib_cost, "hotplug.remove_per_gib_cost");
+  require_non_negative(errors, hypervisor.dimm_insert_fixed, "hypervisor.dimm_insert_fixed");
+  require_non_negative(errors, hypervisor.guest_online_per_gib,
+                       "hypervisor.guest_online_per_gib");
+  require_non_negative(errors, hypervisor.balloon_per_gib, "hypervisor.balloon_per_gib");
+
+  // --- orchestration policies ---
+  require(errors, migration.network_bandwidth_gbps > 0.0,
+          "migration.network_bandwidth_gbps: must be positive");
+  require(errors, migration.max_precopy_iterations >= 1,
+          "migration.max_precopy_iterations: must be >= 1");
+  require(errors,
+          oom_guard.pressure_threshold > 0.0 && oom_guard.pressure_threshold <= 1.0,
+          sim::strformat("oom_guard.pressure_threshold: must be in (0, 1], got %g",
+                         oom_guard.pressure_threshold));
+  require(errors, oom_guard.relax_threshold < oom_guard.pressure_threshold,
+          sim::strformat("oom_guard.relax_threshold: must be below pressure_threshold "
+                         "(%g >= %g)",
+                         oom_guard.relax_threshold, oom_guard.pressure_threshold));
+  require(errors, oom_guard.scale_chunk_bytes > 0,
+          "oom_guard.scale_chunk_bytes: must be positive");
+
+  // --- retry policy ---
+  if (fabric_retry) {
+    try {
+      fabric_retry->validate();
+    } catch (const std::invalid_argument& e) {
+      errors.push_back(std::string{"fabric_retry: "} + e.what());
+    }
+  }
+  return errors;
+}
+
+namespace {
+
+/// Gate run before any hardware is assembled: every validate() finding is
+/// reported at once, so a caller fixing a config sees the whole list.
+DatacenterConfig checked(const DatacenterConfig& config) {
+  const auto errors = config.validate();
+  if (!errors.empty()) {
+    std::string message = "invalid DatacenterConfig:";
+    for (const auto& e : errors) message += "\n  - " + e;
+    throw std::invalid_argument(message);
+  }
+  return config;
+}
+
+}  // namespace
+
 Datacenter::Datacenter(const DatacenterConfig& config)
-    : config_{config},
+    : config_{checked(config)},
       sim_{config.seed},
       switch_{config.optical_switch},
       circuits_{switch_},
@@ -269,6 +467,22 @@ optics::MidBoardOptics& Datacenter::mbo_of(hw::BrickId brick) {
     throw std::out_of_range("Datacenter::mbo_of: unknown brick " + brick.to_string());
   }
   return *it->second;
+}
+
+const os::BareMetalOs& Datacenter::os_of(hw::BrickId compute) const {
+  return const_cast<Datacenter*>(this)->os_of(compute);  // NOLINT: shares lookup/throw path
+}
+
+const hyp::Hypervisor& Datacenter::hypervisor_of(hw::BrickId compute) const {
+  return const_cast<Datacenter*>(this)->hypervisor_of(compute);  // NOLINT
+}
+
+const orch::SdmAgent& Datacenter::agent_of(hw::BrickId compute) const {
+  return const_cast<Datacenter*>(this)->agent_of(compute);  // NOLINT
+}
+
+const optics::MidBoardOptics& Datacenter::mbo_of(hw::BrickId brick) const {
+  return const_cast<Datacenter*>(this)->mbo_of(brick);  // NOLINT
 }
 
 orch::AllocationResult Datacenter::boot_vm(const std::string& name, std::size_t vcpus,

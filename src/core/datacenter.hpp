@@ -62,6 +62,21 @@ struct DatacenterConfig {
   std::optional<sim::RetryPolicy> fabric_retry = sim::RetryPolicy{};
 
   std::uint64_t seed = 1;
+
+  /// Checks the whole deployment shape for physical and numerical sanity
+  /// before any hardware is assembled. Returns one human-readable error
+  /// per offending field, each prefixed with the dotted field name (e.g.
+  /// "compute.transceiver_ports: ..."), so callers can surface precise
+  /// diagnostics. An empty vector means the config is constructible.
+  ///
+  /// Rejected shapes include: zero-brick racks (no bricks of any kind, or
+  /// zero trays), brick port counts exceeding the optical switch radix,
+  /// non-positive line rates/bandwidths, negative optical losses or
+  /// control-path timings, link budgets whose fixed losses exceed the
+  /// launch power by any plausible receiver margin, and malformed retry
+  /// policies. The Datacenter constructor calls this and throws
+  /// std::invalid_argument listing every error at once.
+  std::vector<std::string> validate() const;
 };
 
 /// The full-stack rack-scale system: hardware (bricks, trays, optical
@@ -83,18 +98,33 @@ class Datacenter {
   const DatacenterConfig& config() const { return config_; }
 
   // --- layers ---
+  // Every accessor has a const overload so read-only consumers (the sweep
+  // reducer holds `const Datacenter&` per completed run) can introspect a
+  // finished rack without write access.
   sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
   hw::Rack& rack() { return rack_; }
+  const hw::Rack& rack() const { return rack_; }
   optics::OpticalSwitch& optical_switch() { return switch_; }
+  const optics::OpticalSwitch& optical_switch() const { return switch_; }
   optics::CircuitManager& circuits() { return circuits_; }
+  const optics::CircuitManager& circuits() const { return circuits_; }
   memsys::RemoteMemoryFabric& fabric() { return fabric_; }
+  const memsys::RemoteMemoryFabric& fabric() const { return fabric_; }
   net::PacketNetwork& packet_network() { return packet_net_; }
+  const net::PacketNetwork& packet_network() const { return packet_net_; }
   orch::SdmController& sdm() { return sdm_; }
+  const orch::SdmController& sdm() const { return sdm_; }
   orch::OpenStackFrontend& openstack() { return openstack_; }
+  const orch::OpenStackFrontend& openstack() const { return openstack_; }
   orch::MigrationEngine& migration() { return migration_; }
+  const orch::MigrationEngine& migration() const { return migration_; }
   orch::OomGuard& oom_guard() { return oom_guard_; }
+  const orch::OomGuard& oom_guard() const { return oom_guard_; }
   orch::AcceleratorManager& accelerators() { return accel_mgr_; }
+  const orch::AcceleratorManager& accelerators() const { return accel_mgr_; }
   orch::PowerManager& power_manager() { return power_mgr_; }
+  const orch::PowerManager& power_manager() const { return power_mgr_; }
 
   /// The rack's fault-injection engine, pre-wired with a handler (and,
   /// where it makes sense, a recovery handler) for every FaultKind: link
@@ -102,6 +132,7 @@ class Datacenter {
   /// brick crashes trigger SDM-C evacuation, and so on. Use it directly
   /// for counters; schedule plans through inject_faults().
   sim::FaultInjector& faults() { return injector_; }
+  const sim::FaultInjector& faults() const { return injector_; }
 
   /// Schedules a fault plan onto the simulation timeline (clamped to
   /// now()). Returns the number of events scheduled; advance_to() makes
@@ -118,15 +149,21 @@ class Datacenter {
 
   /// Shorthand for telemetry().metrics().
   sim::metrics::MetricsRegistry& metrics() { return telemetry_.metrics(); }
+  const sim::metrics::MetricsRegistry& metrics() const { return telemetry_.metrics(); }
 
   /// Event log of high-level operations (disabled by default; call
   /// tracer().enable() before driving the rack to capture a timeline).
   sim::Tracer& tracer() { return telemetry_.tracer(); }
+  const sim::Tracer& tracer() const { return telemetry_.tracer(); }
 
   os::BareMetalOs& os_of(hw::BrickId compute);
+  const os::BareMetalOs& os_of(hw::BrickId compute) const;
   hyp::Hypervisor& hypervisor_of(hw::BrickId compute);
+  const hyp::Hypervisor& hypervisor_of(hw::BrickId compute) const;
   orch::SdmAgent& agent_of(hw::BrickId compute);
+  const orch::SdmAgent& agent_of(hw::BrickId compute) const;
   optics::MidBoardOptics& mbo_of(hw::BrickId brick);
+  const optics::MidBoardOptics& mbo_of(hw::BrickId brick) const;
 
   std::vector<hw::BrickId> compute_bricks() const {
     return rack_.bricks_of_kind(hw::BrickKind::kCompute);

@@ -1,0 +1,146 @@
+#include "core/scenario.hpp"
+
+namespace dredbox::core {
+
+sim::Time Scenario::fault_horizon() const {
+  sim::Time horizon;
+  if (fault_plan_) {
+    for (const auto& e : fault_plan_->events()) {
+      if (e.at + e.duration > horizon) horizon = e.at + e.duration;
+    }
+  }
+  return horizon;
+}
+
+void Scenario::run_fault_plan() {
+  if (fault_plan_) dc_->advance_to(fault_horizon() + sim::Time::ms(1));
+}
+
+ScenarioBuilder& ScenarioBuilder::trays(std::size_t n) {
+  config_.trays = n;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::compute_bricks_per_tray(std::size_t n) {
+  config_.compute_bricks_per_tray = n;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::memory_bricks_per_tray(std::size_t n) {
+  config_.memory_bricks_per_tray = n;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::accelerator_bricks_per_tray(std::size_t n) {
+  config_.accelerator_bricks_per_tray = n;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::racks(std::size_t trays, std::size_t compute_per_tray,
+                                        std::size_t memory_per_tray,
+                                        std::size_t accel_per_tray) {
+  config_.trays = trays;
+  config_.compute_bricks_per_tray = compute_per_tray;
+  config_.memory_bricks_per_tray = memory_per_tray;
+  config_.accelerator_bricks_per_tray = accel_per_tray;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::compute_cores(std::size_t apu_cores) {
+  config_.compute.apu_cores = apu_cores;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::compute_local_memory_bytes(std::uint64_t bytes) {
+  config_.compute.local_memory_bytes = bytes;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::memory_pool_bytes(std::uint64_t bytes) {
+  config_.memory.capacity_bytes = bytes;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::switch_ports(std::size_t ports) {
+  config_.optical_switch.ports = ports;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t seed) {
+  config_.seed = seed;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::telemetry(bool on) {
+  enable_telemetry_ = on;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::tracing(bool on) {
+  enable_tracing_ = on;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::power_management(bool on) {
+  config_.enable_power_management = on;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::fabric_retry(std::optional<sim::RetryPolicy> policy) {
+  config_.fabric_retry = policy;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::oom_guard(const orch::OomGuardConfig& guard) {
+  config_.oom_guard = guard;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::fault_plan(sim::FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+  fault_spec_.reset();
+  fault_plan_env_ = false;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::fault_plan(const std::string& spec) {
+  fault_spec_ = spec;
+  fault_plan_.reset();
+  fault_plan_env_ = false;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::fault_plan_from_env() {
+  fault_plan_env_ = true;
+  fault_plan_.reset();
+  fault_spec_.reset();
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::configure(const std::function<void(DatacenterConfig&)>& fn) {
+  fn(config_);
+  return *this;
+}
+
+Scenario ScenarioBuilder::build() const {
+  // Resolve the fault plan first: a bad spec should fail the build before
+  // a rack is assembled.
+  std::optional<sim::FaultPlan> plan = fault_plan_;
+  if (fault_spec_) plan = sim::FaultPlan::parse(*fault_spec_);
+  if (fault_plan_env_) plan = sim::fault_plan_from_env();
+
+  Scenario scenario;
+  scenario.dc_ = std::make_unique<Datacenter>(config_);  // ctor validates
+  if (enable_telemetry_) {
+    scenario.dc_->telemetry().enable_all();
+  } else if (enable_tracing_) {
+    scenario.dc_->tracer().enable();
+  }
+  if (plan) {
+    scenario.fault_plan_ = std::move(plan);
+    scenario.faults_scheduled_ = scenario.dc_->inject_faults(*scenario.fault_plan_);
+  }
+  return scenario;
+}
+
+}  // namespace dredbox::core

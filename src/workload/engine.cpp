@@ -1,0 +1,293 @@
+#include "workload/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/format.hpp"
+
+namespace dredbox::workload {
+
+namespace {
+
+/// Uniform 64-byte-aligned offset so a request of `bytes` fits inside a
+/// window of `size`. Validation guarantees bytes <= size.
+std::uint64_t aligned_offset(sim::Rng& rng, std::uint64_t size, std::uint64_t bytes) {
+  const std::uint64_t span = (size - bytes) / 64;
+  return static_cast<std::uint64_t>(rng.uniform_int(0, static_cast<std::int64_t>(span))) * 64;
+}
+
+}  // namespace
+
+std::vector<std::string> WorkloadConfig::errors() const {
+  std::vector<std::string> out;
+  if (tenants.empty()) out.push_back("tenants: workload needs at least one tenant class");
+  if (duration <= sim::Time::zero()) {
+    out.push_back("duration: generation window must be positive");
+  }
+  if (drain_grace < sim::Time::zero()) {
+    out.push_back("drain_grace: drain window cannot be negative");
+  }
+  for (const auto& tenant : tenants) {
+    auto tenant_errors = tenant.errors();
+    out.insert(out.end(), tenant_errors.begin(), tenant_errors.end());
+  }
+  return out;
+}
+
+std::string WorkloadResult::summary() const {
+  std::string out = sim::strformat(
+      "vms %zu/%zu booted (%zu boot, %zu scale-up failures)\n"
+      "offered %llu requests (%.0f req/s), completed %llu (%.0f req/s), failed %llu, "
+      "retries %llu\n"
+      "mix: %llu reads, %llu writes, %llu DMA transfers\n",
+      vms_booted, vms_requested, boot_failures, scale_up_failures,
+      static_cast<unsigned long long>(offered), offered_rate_hz(),
+      static_cast<unsigned long long>(completed), throughput_hz(),
+      static_cast<unsigned long long>(failed), static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(reads), static_cast<unsigned long long>(writes),
+      static_cast<unsigned long long>(dmas));
+  if (!latency_us.empty()) {
+    out += sim::strformat("read/write latency: p50 %.2f us  p95 %.2f us  p99 %.2f us\n",
+                          latency_us.percentile(50), latency_us.percentile(95),
+                          latency_us.percentile(99));
+  }
+  if (!dma_latency_us.empty()) {
+    out += sim::strformat("DMA latency: p50 %.2f us  p95 %.2f us  p99 %.2f us\n",
+                          dma_latency_us.percentile(50), dma_latency_us.percentile(95),
+                          dma_latency_us.percentile(99));
+  }
+  if (!power_w.empty()) {
+    out += sim::strformat("rack power: mean %.1f W  max %.1f W\n", power_w.mean(),
+                          power_w.max());
+  }
+  out += sim::strformat("digest %016llx", static_cast<unsigned long long>(digest));
+  return out;
+}
+
+WorkloadEngine::WorkloadEngine(core::Datacenter& dc, WorkloadConfig config)
+    : dc_{dc}, config_{std::move(config)} {
+  const auto errors = config_.errors();
+  if (!errors.empty()) {
+    std::string message = "invalid WorkloadConfig:";
+    for (const auto& e : errors) message += "\n  - " + e;
+    throw std::invalid_argument(message);
+  }
+}
+
+void WorkloadEngine::boot_tenants() {
+  sim::Time ready = dc_.simulator().now();
+  for (const auto& spec : config_.tenants) {
+    for (std::size_t i = 0; i < spec.vms; ++i) {
+      ++result_.vms_requested;
+      const std::string vm_name = spec.name + "-" + std::to_string(i);
+      const auto boot = dc_.boot_vm(vm_name, spec.vcpus, spec.local_bytes);
+      if (!boot.ok) {
+        ++result_.boot_failures;
+        digest_.update("boot-failed").update(vm_name);
+        continue;
+      }
+      const auto up = dc_.scale_up(boot.vm, boot.compute, spec.remote_bytes);
+      if (!up.ok) {
+        ++result_.scale_up_failures;
+        digest_.update("scale-up-failed").update(vm_name);
+        continue;
+      }
+      // Locate the window the scale-up installed: the attachment whose
+      // segment the SDM-C reported back.
+      auto driver = std::make_unique<VmDriver>(spec, ArrivalClock{spec, dc_.simulator().fork_rng()});
+      driver->vm = boot.vm;
+      driver->compute = boot.compute;
+      for (const auto& attachment : dc_.fabric().attachments_of(boot.compute)) {
+        if (attachment.segment == up.segment && attachment.membrick == up.membrick) {
+          driver->window_base = attachment.compute_base;
+          driver->window_size = attachment.size;
+        }
+      }
+      if (driver->window_size == 0) {
+        // Scale-up reported ok but the attachment is not visible — treat
+        // as a scale-up failure rather than issuing unmapped traffic.
+        ++result_.scale_up_failures;
+        digest_.update("window-missing").update(vm_name);
+        continue;
+      }
+      if (spec.mix.dma > 0.0) {
+        // DMA engines are per-brick hardware (Fig. 3: two per dCOMPUBRICK),
+        // so tenants co-located on a brick share one engine and contend for
+        // its channels — exactly the multi-tenant interference of interest.
+        auto& engine = dma_engines_[driver->compute];
+        if (!engine) {
+          engine = std::make_unique<memsys::DmaEngine>(dc_.simulator(), dc_.fabric(),
+                                                       driver->compute);
+        }
+        driver->dma = engine.get();
+      }
+      ++result_.vms_booted;
+      if (up.completed_at > ready) ready = up.completed_at;
+      if (boot.completed_at > ready) ready = boot.completed_at;
+      digest_.update("vm").update(vm_name).update(driver->window_base)
+          .update(driver->window_size);
+      drivers_.push_back(std::move(driver));
+    }
+  }
+  boot_ready_ = ready;
+}
+
+void WorkloadEngine::start_streams(sim::Time t0) {
+  auto& sim = dc_.simulator();
+  for (auto& owned : drivers_) {
+    VmDriver* driver = owned.get();
+    if (driver->spec.loop == LoopMode::kOpen) {
+      const sim::Time first = t0 + driver->clock.next_gap(t0);
+      if (first < end_) {
+        sim.at(first, [this, driver] { open_arrival(*driver); });
+      }
+    } else {
+      for (std::size_t window = 0; window < driver->spec.outstanding; ++window) {
+        const sim::Time first = t0 + driver->clock.next_gap(t0);
+        if (first < end_) {
+          sim.at(first, [this, driver] { closed_issue(*driver); });
+        }
+      }
+    }
+  }
+}
+
+void WorkloadEngine::schedule_power_samples(sim::Time t0) {
+  if (config_.power_samples == 0) return;
+  auto& sim = dc_.simulator();
+  const auto n = static_cast<std::int64_t>(config_.power_samples);
+  for (std::int64_t j = 1; j <= n; ++j) {
+    sim.at(t0 + config_.duration * j / n, [this] {
+      const double watts = dc_.power_draw_watts();
+      result_.power_w.add(watts);
+      digest_.update("power").update(static_cast<std::uint64_t>(watts * 1e3));
+    });
+  }
+}
+
+void WorkloadEngine::open_arrival(VmDriver& driver) {
+  auto& sim = dc_.simulator();
+  const sim::Time now = sim.now();
+  if (now >= end_) return;
+  // Chain the next arrival first so pacing is independent of what this
+  // request turns out to be.
+  const sim::Time next = now + driver.clock.next_gap(now);
+  if (next < end_) {
+    sim.at(next, [this, d = &driver] { open_arrival(*d); });
+  }
+  perform_op(driver, /*closed_loop=*/false);
+}
+
+void WorkloadEngine::closed_issue(VmDriver& driver) {
+  if (dc_.simulator().now() >= end_) return;
+  perform_op(driver, /*closed_loop=*/true);
+}
+
+void WorkloadEngine::perform_op(VmDriver& driver, bool closed_loop) {
+  auto& sim = dc_.simulator();
+  auto& rng = driver.clock.rng();
+  const sim::Time now = sim.now();
+  ++result_.offered;
+
+  const auto& mix = driver.spec.mix;
+  const std::size_t kind = rng.weighted_index({mix.read, mix.write, mix.dma});
+
+  if (kind == 2) {
+    // Bulk transfer through the brick's shared DMA engines. Direction
+    // follows the read/write ratio of the mix (pull vs push).
+    ++result_.dmas;
+    memsys::DmaDescriptor descriptor;
+    descriptor.address =
+        driver.window_base + aligned_offset(rng, driver.window_size, driver.spec.dma_bytes);
+    descriptor.bytes = driver.spec.dma_bytes;
+    const double rw = mix.read + mix.write;
+    const bool pull = rw > 0.0 ? rng.chance(mix.read / rw) : false;
+    descriptor.direction =
+        pull ? memsys::TransactionKind::kRead : memsys::TransactionKind::kWrite;
+    driver.dma->enqueue(descriptor,
+                        [this, d = &driver, closed_loop](const memsys::DmaCompletion& done) {
+                          record_dma(*d, done);
+                          if (closed_loop) {
+                            const sim::Time next =
+                                done.completed_at + d->clock.next_gap(done.completed_at);
+                            if (next < end_) {
+                              dc_.simulator().at(next, [this, d] { closed_issue(*d); });
+                            }
+                          }
+                        });
+    return;
+  }
+
+  const std::uint64_t address =
+      driver.window_base + aligned_offset(rng, driver.window_size, driver.spec.op_bytes);
+  memsys::Transaction tx;
+  if (kind == 0) {
+    ++result_.reads;
+    tx = dc_.fabric().read(driver.compute, address, driver.spec.op_bytes, now);
+  } else {
+    ++result_.writes;
+    tx = dc_.fabric().write(driver.compute, address, driver.spec.op_bytes, now);
+  }
+  record_sync_op(tx);
+  if (closed_loop) {
+    const sim::Time done = tx.completed_at > now ? tx.completed_at : now;
+    const sim::Time next = done + driver.clock.next_gap(done);
+    if (next < end_) {
+      sim.at(next, [this, d = &driver] { closed_issue(*d); });
+    }
+  }
+}
+
+void WorkloadEngine::record_sync_op(const memsys::Transaction& tx) {
+  result_.retries += tx.retries;
+  if (tx.ok()) {
+    ++result_.completed;
+    result_.latency_us.add(tx.round_trip().as_us());
+  } else {
+    ++result_.failed;
+  }
+  digest_.update(tx.kind == memsys::TransactionKind::kRead ? "r" : "w")
+      .update(tx.address)
+      .update(static_cast<std::uint64_t>(tx.status))
+      .update(static_cast<std::uint64_t>(tx.round_trip().ticks()));
+}
+
+void WorkloadEngine::record_dma(VmDriver& driver, const memsys::DmaCompletion& done) {
+  result_.retries += done.retries;
+  if (done.ok) {
+    ++result_.completed;
+    result_.dma_latency_us.add((done.completed_at - done.enqueued_at).as_us());
+  } else {
+    ++result_.failed;
+  }
+  digest_.update("d")
+      .update(driver.window_base)
+      .update(done.bytes)
+      .update(static_cast<std::uint64_t>(done.ok ? 1 : 0))
+      .update(static_cast<std::uint64_t>((done.completed_at - done.enqueued_at).ticks()));
+}
+
+WorkloadResult WorkloadEngine::run() {
+  if (ran_) throw std::logic_error("WorkloadEngine::run() may only be called once");
+  ran_ = true;
+
+  boot_tenants();
+  dc_.advance_to(boot_ready_);
+  const sim::Time t0 = dc_.simulator().now();
+  end_ = t0 + config_.duration;
+
+  schedule_power_samples(t0);
+  start_streams(t0);
+  dc_.advance_to(end_ + config_.drain_grace);
+
+  result_.duration_s = config_.duration.as_sec();
+  digest_.update("totals")
+      .update(result_.offered)
+      .update(result_.completed)
+      .update(result_.failed)
+      .update(result_.retries);
+  result_.digest = digest_.value();
+  return result_;
+}
+
+}  // namespace dredbox::workload

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/datacenter.hpp"
+#include "memsys/dma.hpp"
+#include "sim/digest.hpp"
+#include "sim/stats.hpp"
+#include "workload/tenant.hpp"
+
+namespace dredbox::workload {
+
+/// A whole multi-tenant load session: the tenant classes to expand into
+/// VMs plus the generation window.
+struct WorkloadConfig {
+  std::vector<TenantSpec> tenants;
+  /// Length of the request-generation window (measured in simulated time,
+  /// starting after every tenant booted and scaled up).
+  sim::Time duration = sim::Time::ms(20);
+  /// Extra simulated time after the window for in-flight DMA transfers and
+  /// closed-loop tails to land.
+  sim::Time drain_grace = sim::Time::ms(5);
+  /// Rack power-draw samples taken across the window (0 disables).
+  std::size_t power_samples = 8;
+
+  /// Field-naming validation errors; empty means the config is runnable.
+  std::vector<std::string> errors() const;
+};
+
+/// Everything a load session measured. The digest is an exact FNV-1a fold
+/// of the full op stream (kind, VM, address, status, latency ticks), so
+/// two runs are byte-identical iff their digests match — the property the
+/// sweep runner's sequential-vs-parallel check rests on.
+struct WorkloadResult {
+  std::size_t vms_requested = 0;
+  std::size_t vms_booted = 0;
+  std::size_t boot_failures = 0;
+  std::size_t scale_up_failures = 0;
+
+  /// Requests generated inside the window (open-loop arrivals plus
+  /// closed-loop issues).
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t dmas = 0;
+  /// Data-plane recovery attempts the fabric charged across all requests.
+  std::uint64_t retries = 0;
+
+  /// Read/write round trips, microseconds.
+  sim::SampleSet latency_us;
+  /// DMA enqueue-to-completion, microseconds.
+  sim::SampleSet dma_latency_us;
+  /// Rack power draw sampled across the window, watts.
+  sim::SampleSet power_w;
+
+  double duration_s = 0.0;
+  std::uint64_t digest = 0;
+
+  double offered_rate_hz() const {
+    return duration_s > 0.0 ? static_cast<double>(offered) / duration_s : 0.0;
+  }
+  double throughput_hz() const {
+    return duration_s > 0.0 ? static_cast<double>(completed) / duration_s : 0.0;
+  }
+
+  /// Human-readable block for examples and reports.
+  std::string summary() const;
+};
+
+/// Drives a declared multi-tenant workload against one Datacenter: boots
+/// every tenant VM through the OpenStack front-end, attaches its
+/// disaggregated footprint through the SDM-C (exactly the control path a
+/// real tenant exercises), then generates the request streams on the
+/// simulation's event queue so arrivals, faults and recoveries interleave
+/// on one timeline.
+///
+/// The engine owns no threads and touches nothing outside the Datacenter
+/// it was handed, so any number of engines may run concurrently against
+/// fully independent Datacenters (the sweep runner does exactly that).
+class WorkloadEngine {
+ public:
+  /// Throws std::invalid_argument listing every config error.
+  WorkloadEngine(core::Datacenter& dc, WorkloadConfig config);
+
+  WorkloadEngine(const WorkloadEngine&) = delete;
+  WorkloadEngine& operator=(const WorkloadEngine&) = delete;
+
+  const WorkloadConfig& config() const { return config_; }
+
+  /// Boots, generates, drains, reduces. One call per engine.
+  WorkloadResult run();
+
+ private:
+  /// One booted VM driving requests: placement, its remote window, its
+  /// pacing clock and its brick's DMA engine.
+  struct VmDriver {
+    const TenantSpec& spec;
+    hw::VmId vm;
+    hw::BrickId compute;
+    std::uint64_t window_base = 0;
+    std::uint64_t window_size = 0;
+    ArrivalClock clock;
+    /// The hosting brick's shared DMA engine (null when the mix has no DMA).
+    memsys::DmaEngine* dma = nullptr;
+
+    VmDriver(const TenantSpec& s, ArrivalClock c) : spec{s}, clock{std::move(c)} {}
+  };
+
+  core::Datacenter& dc_;
+  WorkloadConfig config_;
+  std::vector<std::unique_ptr<VmDriver>> drivers_;
+  /// One DMA engine per dCOMPUBRICK, shared by all co-located tenants
+  /// (never iterated — lookup only, so no ordering nondeterminism).
+  std::unordered_map<hw::BrickId, std::unique_ptr<memsys::DmaEngine>> dma_engines_;
+  WorkloadResult result_;
+  sim::Digest digest_;
+  sim::Time boot_ready_;
+  sim::Time end_;
+  bool ran_ = false;
+
+  void boot_tenants();
+  void start_streams(sim::Time t0);
+  void schedule_power_samples(sim::Time t0);
+  void open_arrival(VmDriver& driver);
+  void closed_issue(VmDriver& driver);
+  /// Issues one request at the current simulated time; closed-loop callers
+  /// get their next issue chained off the completion.
+  void perform_op(VmDriver& driver, bool closed_loop);
+  void record_sync_op(const memsys::Transaction& tx);
+  void record_dma(VmDriver& driver, const memsys::DmaCompletion& done);
+};
+
+}  // namespace dredbox::workload

@@ -1,0 +1,60 @@
+#include "workload/sweep_body.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dredbox::workload {
+
+core::CellStats reduce_to_cell_stats(const WorkloadResult& result) {
+  core::CellStats stats;
+  stats.digest = result.digest;
+  stats.offered = result.offered;
+  stats.completed = result.completed;
+  stats.failed = result.failed;
+  stats.offered_rate_hz = result.offered_rate_hz();
+  stats.throughput_hz = result.throughput_hz();
+  if (!result.latency_us.empty()) {
+    stats.p50_us = result.latency_us.percentile(50);
+    stats.p95_us = result.latency_us.percentile(95);
+    stats.p99_us = result.latency_us.percentile(99);
+  }
+  if (!result.dma_latency_us.empty()) {
+    stats.dma_p99_us = result.dma_latency_us.percentile(99);
+  }
+  if (!result.power_w.empty()) {
+    stats.power_mean_w = result.power_w.mean();
+    stats.power_max_w = result.power_w.max();
+  }
+  return stats;
+}
+
+core::SweepRunner::CellBody make_sweep_body(SweepWorkload shape) {
+  if (shape.align_bytes == 0 || shape.footprint_bytes < 2 * shape.align_bytes) {
+    throw std::invalid_argument(
+        "SweepWorkload: footprint_bytes must cover at least two align_bytes blocks "
+        "(one local, one remote)");
+  }
+  return [shape](const core::SweepCell& cell, core::Datacenter& dc) {
+    WorkloadConfig config;
+    config.duration = shape.duration;
+    config.drain_grace = shape.drain_grace;
+    config.power_samples = shape.power_samples;
+    config.tenants.reserve(shape.tenants.size());
+    for (TenantSpec spec : shape.tenants) {
+      const std::uint64_t align = shape.align_bytes;
+      auto blocks = static_cast<std::uint64_t>(
+          static_cast<double>(shape.footprint_bytes) * cell.remote_ratio /
+              static_cast<double>(align) +
+          0.5);
+      const std::uint64_t total_blocks = shape.footprint_bytes / align;
+      blocks = std::clamp<std::uint64_t>(blocks, 1, total_blocks - 1);
+      spec.remote_bytes = blocks * align;
+      spec.local_bytes = shape.footprint_bytes - spec.remote_bytes;
+      config.tenants.push_back(std::move(spec));
+    }
+    WorkloadEngine engine{dc, config};
+    return reduce_to_cell_stats(engine.run());
+  };
+}
+
+}  // namespace dredbox::workload

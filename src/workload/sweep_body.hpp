@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "workload/engine.hpp"
+
+namespace dredbox::workload {
+
+/// Shape of the standard sweep workload: tenant classes whose per-VM
+/// footprint is split between local DDR and disaggregated memory by each
+/// cell's remote_ratio (the local_bytes/remote_bytes of the specs are
+/// overridden per cell; everything else is taken as declared).
+struct SweepWorkload {
+  std::vector<TenantSpec> tenants;
+  /// Per-VM total footprint a cell splits into local + remote.
+  std::uint64_t footprint_bytes = 4ull << 30;
+  /// Granularity the remote half is rounded to: the disaggregated window
+  /// is hotplugged into the guest kernel, which only accepts block-aligned
+  /// sizes (os/hotplug.hpp, 1 GiB blocks). Both halves are clamped to at
+  /// least one block, so ratio 0 or 1 still yields a constructible VM
+  /// with a non-empty remote window to drive.
+  std::uint64_t align_bytes = 1ull << 30;
+  sim::Time duration = sim::Time::ms(10);
+  sim::Time drain_grace = sim::Time::ms(5);
+  std::size_t power_samples = 8;
+};
+
+/// Reduces a finished workload run to the sweep's per-cell stats.
+core::CellStats reduce_to_cell_stats(const WorkloadResult& result);
+
+/// The standard sweep cell body: instantiates the shaped workload against
+/// the cell's Datacenter and reduces the result. The returned callable is
+/// re-entrant (all state lives on the stack of each invocation), as
+/// SweepRunner requires.
+core::SweepRunner::CellBody make_sweep_body(SweepWorkload shape);
+
+}  // namespace dredbox::workload

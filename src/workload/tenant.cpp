@@ -1,0 +1,77 @@
+#include "workload/tenant.hpp"
+
+#include "sim/format.hpp"
+
+namespace dredbox::workload {
+
+std::string to_string(LoopMode mode) {
+  return mode == LoopMode::kOpen ? "open" : "closed";
+}
+
+std::string to_string(ArrivalProcess process) {
+  return process == ArrivalProcess::kPoisson ? "poisson" : "mmpp";
+}
+
+std::vector<std::string> TenantSpec::errors() const {
+  std::vector<std::string> out;
+  const auto bad = [&](const char* field, const std::string& why) {
+    out.push_back(name + "." + field + ": " + why);
+  };
+  if (name.empty()) out.push_back("name: tenant class needs a non-empty name");
+  if (vms == 0) bad("vms", "tenant class must boot at least one VM");
+  if (vcpus == 0) bad("vcpus", "VMs need at least one vCPU");
+  if (local_bytes == 0) bad("local_bytes", "VMs need a non-empty boot footprint");
+  if (remote_bytes == 0) {
+    bad("remote_bytes", "requests target the disaggregated window; it must be non-empty");
+  }
+  if (!(rate_hz > 0.0)) bad("rate_hz", sim::strformat("rate must be positive, got %g", rate_hz));
+  if (loop == LoopMode::kClosed && outstanding == 0) {
+    bad("outstanding", "closed loop needs at least one request window");
+  }
+  if (!(mix.total() > 0.0)) bad("mix", "read+write+dma weights must be positive");
+  if (mix.read < 0.0 || mix.write < 0.0 || mix.dma < 0.0) {
+    bad("mix", "individual weights must be non-negative");
+  }
+  if (op_bytes == 0) bad("op_bytes", "reads/writes must move at least one byte");
+  if (mix.dma > 0.0 && dma_bytes == 0) {
+    bad("dma_bytes", "DMA transfers must move at least one byte");
+  }
+  if (op_bytes > remote_bytes) bad("op_bytes", "request larger than the remote window");
+  if (mix.dma > 0.0 && dma_bytes > remote_bytes) {
+    bad("dma_bytes", "DMA transfer larger than the remote window");
+  }
+  if (arrivals == ArrivalProcess::kMmpp) {
+    if (!(mmpp.burst_multiplier >= 1.0)) {
+      bad("mmpp.burst_multiplier", "burst state must be at least the quiet rate");
+    }
+    if (mmpp.mean_burst <= sim::Time::zero() || mmpp.mean_quiet <= sim::Time::zero()) {
+      bad("mmpp", "state dwell times must be positive");
+    }
+  }
+  return out;
+}
+
+ArrivalClock::ArrivalClock(const TenantSpec& spec, sim::Rng rng)
+    : spec_{spec}, rng_{rng} {}
+
+double ArrivalClock::current_rate(sim::Time now) {
+  if (spec_.arrivals != ArrivalProcess::kMmpp) return spec_.rate_hz;
+  // Advance the two-state modulation chain past `now`, drawing each
+  // state's dwell from its exponential. Multiple expirations are replayed
+  // in order so the state at `now` is exactly what a continuous chain
+  // would be in.
+  while (state_until_ <= now) {
+    if (started_) in_burst_ = !in_burst_;  // entering the other state
+    started_ = true;
+    const sim::Time dwell = in_burst_ ? spec_.mmpp.mean_burst : spec_.mmpp.mean_quiet;
+    state_until_ += sim::Time::sec(rng_.exponential(dwell.as_sec()));
+  }
+  return in_burst_ ? spec_.rate_hz * spec_.mmpp.burst_multiplier : spec_.rate_hz;
+}
+
+sim::Time ArrivalClock::next_gap(sim::Time now) {
+  const double rate = current_rate(now);
+  return sim::Time::sec(rng_.exponential(1.0 / rate));
+}
+
+}  // namespace dredbox::workload

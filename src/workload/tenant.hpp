@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::workload {
+
+/// How a tenant's request stream is paced.
+///
+/// kOpen: requests arrive from "outside" at a configured rate regardless
+/// of how fast the rack serves them (the YCSB/memcached-pressure shape the
+/// paper's Fig. 10-12 experiments imply — millions of users do not wait
+/// for each other).
+///
+/// kClosed: each in-flight window issues its next request only after the
+/// previous one completed plus an exponentially distributed think time
+/// (the classic closed-loop client).
+enum class LoopMode : std::uint8_t { kOpen, kClosed };
+
+/// Arrival process for open-loop tenants (and think-time draws for closed
+/// ones).
+///
+/// kPoisson: memoryless arrivals at rate_hz.
+///
+/// kMmpp: two-state Markov-modulated Poisson process — a bursty stream
+/// that alternates between a quiet state at rate_hz and a burst state at
+/// rate_hz * burst_multiplier, with exponentially distributed dwell times.
+/// Bursty tenants are what make multi-tenant interference interesting.
+enum class ArrivalProcess : std::uint8_t { kPoisson, kMmpp };
+
+std::string to_string(LoopMode mode);
+std::string to_string(ArrivalProcess process);
+
+/// Request type mix. Fractions are weights (they need not sum to 1; only
+/// their ratio matters) over single-word reads, single-word writes and
+/// bulk DMA transfers through the brick's DMA engines.
+struct OpMix {
+  double read = 0.70;
+  double write = 0.25;
+  double dma = 0.05;
+
+  double total() const { return read + write + dma; }
+};
+
+/// Two-state MMPP modulation parameters (used when arrivals == kMmpp).
+struct MmppParams {
+  /// Burst-state arrival rate as a multiple of the quiet rate_hz.
+  double burst_multiplier = 8.0;
+  /// Mean dwell time in the burst state.
+  sim::Time mean_burst = sim::Time::ms(2);
+  /// Mean dwell time in the quiet state.
+  sim::Time mean_quiet = sim::Time::ms(8);
+};
+
+/// One tenant class: how many VMs it boots, their footprint (local DDR at
+/// boot plus a disaggregated scale-up), and the request stream each VM
+/// drives against its remote memory. A WorkloadConfig holds one spec per
+/// tenant class; the engine expands specs into per-VM drivers.
+struct TenantSpec {
+  std::string name = "tenant";
+  std::size_t vms = 1;
+  std::size_t vcpus = 1;
+  /// Booted footprint, served from the dCOMPUBRICK's local DDR.
+  std::uint64_t local_bytes = 1ull << 30;
+  /// Disaggregated footprint, attached through the Scale-up API right
+  /// after boot; all requests target this window.
+  std::uint64_t remote_bytes = 1ull << 30;
+
+  LoopMode loop = LoopMode::kClosed;
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// Per-VM request rate: open-loop arrival rate, or the closed loop's
+  /// think rate (mean think time = 1/rate_hz).
+  double rate_hz = 20000.0;
+  /// Closed loop only: concurrent request windows per VM.
+  std::size_t outstanding = 1;
+  MmppParams mmpp;
+
+  OpMix mix;
+  /// Bytes per read/write request (a cache-line-ish touch).
+  std::uint32_t op_bytes = 64;
+  /// Bytes per DMA transfer (bulk traffic through the DMA engines).
+  std::uint64_t dma_bytes = 64ull << 10;
+
+  /// Field-naming validation errors; empty means the spec is runnable.
+  std::vector<std::string> errors() const;
+};
+
+/// Per-VM arrival pacing state: owns the VM's decorrelated RNG stream and
+/// draws the next inter-arrival (or think) gap according to the spec's
+/// process, flipping MMPP states as their dwell times expire.
+class ArrivalClock {
+ public:
+  ArrivalClock(const TenantSpec& spec, sim::Rng rng);
+
+  /// Time gap to the next arrival, drawn at `now`. Advances the MMPP
+  /// modulation state as a side effect.
+  sim::Time next_gap(sim::Time now);
+
+  /// The VM's private RNG stream (address picks, op-kind draws).
+  sim::Rng& rng() { return rng_; }
+
+  bool in_burst() const { return in_burst_; }
+
+ private:
+  const TenantSpec& spec_;
+  sim::Rng rng_;
+  bool in_burst_ = false;
+  bool started_ = false;
+  /// When the current MMPP state expires (zero until first use).
+  sim::Time state_until_;
+
+  double current_rate(sim::Time now);
+};
+
+}  // namespace dredbox::workload

@@ -1,0 +1,146 @@
+// DatacenterConfig::validate(): every physically or numerically absurd
+// deployment shape is rejected with a field-named error before any
+// hardware is assembled, and the Datacenter constructor surfaces the
+// whole list at once.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/datacenter.hpp"
+
+namespace dredbox {
+namespace {
+
+bool mentions(const std::vector<std::string>& errors, const std::string& needle) {
+  return std::any_of(errors.begin(), errors.end(), [&](const std::string& e) {
+    return e.find(needle) != std::string::npos;
+  });
+}
+
+TEST(ConfigValidate, DefaultConfigIsValid) {
+  EXPECT_TRUE(core::DatacenterConfig{}.validate().empty());
+}
+
+TEST(ConfigValidate, RejectsZeroTrays) {
+  core::DatacenterConfig config;
+  config.trays = 0;
+  EXPECT_TRUE(mentions(config.validate(), "trays:"));
+}
+
+TEST(ConfigValidate, RejectsZeroBrickRack) {
+  core::DatacenterConfig config;
+  config.compute_bricks_per_tray = 0;
+  config.memory_bricks_per_tray = 0;
+  config.accelerator_bricks_per_tray = 0;
+  EXPECT_TRUE(mentions(config.validate(), "zero-brick rack"));
+}
+
+TEST(ConfigValidate, DegradedRacksStayValid) {
+  // Racks with only one brick kind are legitimate test/degraded shapes
+  // (tests/core/test_datacenter_edge.cpp constructs them).
+  core::DatacenterConfig no_compute;
+  no_compute.compute_bricks_per_tray = 0;
+  EXPECT_TRUE(no_compute.validate().empty());
+
+  core::DatacenterConfig no_memory;
+  no_memory.memory_bricks_per_tray = 0;
+  EXPECT_TRUE(no_memory.validate().empty());
+}
+
+TEST(ConfigValidate, RejectsPortCountBeyondSwitchRadix) {
+  core::DatacenterConfig config;
+  config.optical_switch.ports = 4;
+  config.compute.transceiver_ports = 8;
+  const auto errors = config.validate();
+  EXPECT_TRUE(mentions(errors, "compute.transceiver_ports"));
+  EXPECT_TRUE(mentions(errors, "exceed the optical switch radix"));
+}
+
+TEST(ConfigValidate, SkipsBrickChecksForAbsentKinds) {
+  // An accelerator misconfiguration must not matter on a rack without
+  // accelerator bricks.
+  core::DatacenterConfig config;
+  config.accelerator_bricks_per_tray = 0;
+  config.accelerator.pl_ddr_bytes = 0;
+  EXPECT_TRUE(config.validate().empty());
+
+  config.accelerator_bricks_per_tray = 1;
+  EXPECT_TRUE(mentions(config.validate(), "accelerator.pl_ddr_bytes"));
+}
+
+TEST(ConfigValidate, RejectsNonPositiveLineRates) {
+  core::DatacenterConfig config;
+  config.compute.port_rate_gbps = 0.0;
+  EXPECT_TRUE(mentions(config.validate(), "compute.port_rate_gbps"));
+
+  core::DatacenterConfig circuit;
+  circuit.circuit_path.line_rate_gbps = -1.0;
+  EXPECT_TRUE(mentions(circuit.validate(), "circuit_path.line_rate_gbps"));
+}
+
+TEST(ConfigValidate, RejectsNonPositiveLinkBudget) {
+  core::DatacenterConfig config;
+  config.mbo.coupling_loss_db = 30.0;  // 2 x 30 dB eats any launch power
+  const auto errors = config.validate();
+  EXPECT_TRUE(mentions(errors, "mbo.mean_launch_dbm"));
+  EXPECT_TRUE(mentions(errors, "link budget"));
+}
+
+TEST(ConfigValidate, RejectsNegativeControlPathTimings) {
+  core::DatacenterConfig config;
+  config.sdm.api_relay = sim::Time::ms(-1);
+  EXPECT_TRUE(mentions(config.validate(), "sdm.api_relay"));
+
+  core::DatacenterConfig hp;
+  hp.hotplug.per_gib_cost = sim::Time::us(-5);
+  EXPECT_TRUE(mentions(hp.validate(), "hotplug.per_gib_cost"));
+}
+
+TEST(ConfigValidate, RejectsBadOomGuardThresholds) {
+  core::DatacenterConfig config;
+  config.oom_guard.pressure_threshold = 1.5;
+  EXPECT_TRUE(mentions(config.validate(), "oom_guard.pressure_threshold"));
+
+  core::DatacenterConfig relax;
+  relax.oom_guard.relax_threshold = relax.oom_guard.pressure_threshold;
+  EXPECT_TRUE(mentions(relax.validate(), "oom_guard.relax_threshold"));
+}
+
+TEST(ConfigValidate, ReportsEveryErrorAtOnce) {
+  core::DatacenterConfig config;
+  config.trays = 0;
+  config.compute.apu_cores = 0;
+  config.memory.capacity_bytes = 0;
+  config.migration.network_bandwidth_gbps = 0.0;
+  const auto errors = config.validate();
+  EXPECT_GE(errors.size(), 4u);
+  EXPECT_TRUE(mentions(errors, "trays:"));
+  EXPECT_TRUE(mentions(errors, "compute.apu_cores"));
+  EXPECT_TRUE(mentions(errors, "memory.capacity_bytes"));
+  EXPECT_TRUE(mentions(errors, "migration.network_bandwidth_gbps"));
+}
+
+TEST(ConfigValidate, DatacenterCtorThrowsWithFieldNames) {
+  core::DatacenterConfig config;
+  config.optical_switch.ports = 1;
+  try {
+    core::Datacenter dc{config};
+    FAIL() << "constructor accepted an invalid config";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invalid DatacenterConfig"), std::string::npos);
+    EXPECT_NE(what.find("optical_switch.ports"), std::string::npos);
+  }
+}
+
+TEST(ConfigValidate, ValidConfigStillConstructs) {
+  core::DatacenterConfig config;
+  config.trays = 1;
+  EXPECT_NO_THROW(core::Datacenter{config});
+}
+
+}  // namespace
+}  // namespace dredbox

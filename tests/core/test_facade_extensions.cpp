@@ -107,6 +107,12 @@ TEST(FacadeExtensionsTest, TracerOffByDefault) {
 TEST(FacadeExtensionsTest, PacketFallbackThroughScaleUp) {
   DatacenterConfig cfg = facade_config();
   cfg.optical_switch.ports = 2;  // room for exactly one optical circuit
+  // Shrink the per-brick lane counts to the switch radix so the shape
+  // stays valid under DatacenterConfig::validate().
+  cfg.compute.transceiver_ports = 2;
+  cfg.memory.transceiver_ports = 2;
+  cfg.accelerator.transceiver_ports = 2;
+  cfg.mbo.channels = 2;
   // Separate compute/memory trays so nothing can go electrical.
   cfg.compute_bricks_per_tray = 1;
   cfg.memory_bricks_per_tray = 2;

@@ -1,0 +1,160 @@
+// ScenarioBuilder / Scenario: the declarative front door that replaced
+// hand-wired DatacenterConfig setup, plus the const accessor surface a
+// read-only consumer (the sweep reducer) programs against.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace dredbox {
+namespace {
+
+TEST(ScenarioBuilder, BuildsTheDeclaredShape) {
+  auto scenario = core::ScenarioBuilder{}
+                      .racks(3, 2, 1, 1)
+                      .compute_cores(8)
+                      .compute_local_memory_bytes(8ull << 30)
+                      .memory_pool_bytes(64ull << 30)
+                      .switch_ports(96)
+                      .seed(42)
+                      .build();
+  const core::Datacenter& dc = scenario.datacenter();
+  EXPECT_EQ(dc.config().trays, 3u);
+  EXPECT_EQ(dc.config().compute_bricks_per_tray, 2u);
+  EXPECT_EQ(dc.config().memory_bricks_per_tray, 1u);
+  EXPECT_EQ(dc.config().accelerator_bricks_per_tray, 1u);
+  EXPECT_EQ(dc.config().compute.apu_cores, 8u);
+  EXPECT_EQ(dc.config().memory.capacity_bytes, 64ull << 30);
+  EXPECT_EQ(dc.config().optical_switch.ports, 96u);
+  EXPECT_EQ(dc.config().seed, 42u);
+  EXPECT_EQ(dc.compute_bricks().size(), 6u);
+  EXPECT_EQ(dc.memory_bricks().size(), 3u);
+}
+
+TEST(ScenarioBuilder, ValidateSurfacesConfigErrors) {
+  core::ScenarioBuilder builder;
+  builder.switch_ports(1);
+  const auto errors = builder.validate();
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors.front().find("optical_switch.ports"), std::string::npos);
+  EXPECT_THROW(builder.build(), std::invalid_argument);
+}
+
+TEST(ScenarioBuilder, ConfigureEscapeHatchReachesAnyField) {
+  auto scenario = core::ScenarioBuilder{}
+                      .configure([](core::DatacenterConfig& c) {
+                        c.compute.rmst_entries = 5;
+                        c.sdm.api_relay = sim::Time::us(10);
+                      })
+                      .build();
+  EXPECT_EQ(scenario->config().compute.rmst_entries, 5u);
+  EXPECT_EQ(scenario->config().sdm.api_relay, sim::Time::us(10));
+}
+
+TEST(ScenarioBuilder, FaultPlanSpecIsScheduledAtBuild) {
+  auto scenario =
+      core::ScenarioBuilder{}.racks(2, 2, 2).fault_plan("link-flap@1ms+2ms").build();
+  ASSERT_TRUE(scenario.fault_plan().has_value());
+  EXPECT_GE(scenario.faults_scheduled(), 1u);
+  EXPECT_EQ(scenario.fault_horizon(), sim::Time::ms(3));
+
+  scenario.run_fault_plan();
+  EXPECT_GT(scenario->simulator().now(), sim::Time::ms(3));
+  EXPECT_GE(scenario->faults().injected(), 1u);
+}
+
+TEST(ScenarioBuilder, BadFaultSpecFailsTheBuild) {
+  core::ScenarioBuilder builder;
+  builder.fault_plan("not-a-fault@@@");
+  EXPECT_THROW(builder.build(), std::invalid_argument);
+}
+
+TEST(ScenarioBuilder, NoFaultPlanMeansNoneScheduled) {
+  auto scenario = core::ScenarioBuilder{}.build();
+  EXPECT_FALSE(scenario.fault_plan().has_value());
+  EXPECT_EQ(scenario.faults_scheduled(), 0u);
+  EXPECT_EQ(scenario.fault_horizon(), sim::Time::zero());
+  scenario.run_fault_plan();  // no-op
+  EXPECT_EQ(scenario->simulator().now(), sim::Time::zero());
+}
+
+TEST(ScenarioBuilder, TelemetryAndTracingFlags) {
+  auto off = core::ScenarioBuilder{}.build();
+  EXPECT_FALSE(off->metrics().enabled());
+  EXPECT_FALSE(off->tracer().enabled());
+
+  auto metered = core::ScenarioBuilder{}.telemetry().build();
+  EXPECT_TRUE(metered->metrics().enabled());
+  EXPECT_TRUE(metered->tracer().enabled());
+
+  auto traced = core::ScenarioBuilder{}.tracing().build();
+  EXPECT_FALSE(traced->metrics().enabled());
+  EXPECT_TRUE(traced->tracer().enabled());
+}
+
+TEST(ScenarioBuilder, ReusedBuilderYieldsIndependentRacks) {
+  core::ScenarioBuilder builder;
+  builder.racks(1, 1, 1).seed(7);
+  auto first = builder.build();
+  auto second = builder.build();
+  EXPECT_NE(&first.datacenter(), &second.datacenter());
+
+  // Driving one rack must not advance the other.
+  const auto vm = first->boot_vm("only-here", 1, 1ull << 30);
+  ASSERT_TRUE(vm.ok);
+  first->advance_to(vm.completed_at);
+  EXPECT_GT(first->simulator().now(), sim::Time::zero());
+  EXPECT_EQ(second->simulator().now(), sim::Time::zero());
+  EXPECT_EQ(second->openstack().instances().size(), 0u);
+}
+
+TEST(ScenarioBuilder, BaseConfigConstructorStartsFromIt) {
+  core::DatacenterConfig base;
+  base.trays = 4;
+  base.seed = 99;
+  auto scenario = core::ScenarioBuilder{base}.compute_cores(2).build();
+  EXPECT_EQ(scenario->config().trays, 4u);
+  EXPECT_EQ(scenario->config().seed, 99u);
+  EXPECT_EQ(scenario->config().compute.apu_cores, 2u);
+}
+
+TEST(ConstAccessors, ReadOnlyConsumersCanIntrospectAFinishedRack) {
+  auto scenario = core::ScenarioBuilder{}.racks(1, 1, 1).telemetry().build();
+  core::Datacenter& dc = scenario.datacenter();
+  const auto vm = dc.boot_vm("ro", 1, 1ull << 30);
+  ASSERT_TRUE(vm.ok);
+  const auto up = dc.scale_up(vm.vm, vm.compute, 1ull << 30);
+  ASSERT_TRUE(up.ok);
+  dc.advance_to(up.completed_at);
+
+  // Everything below goes through const overloads only.
+  const core::Datacenter& ro = dc;
+  EXPECT_GT(ro.simulator().now(), sim::Time::zero());
+  EXPECT_EQ(ro.rack().bricks_of_kind(hw::BrickKind::kCompute).size(), 1u);
+  EXPECT_GE(ro.optical_switch().port_count(), 2u);
+  EXPECT_GE(ro.fabric().attachment_count(), 1u);
+  EXPECT_FALSE(ro.fabric().attachments_of(vm.compute).empty());
+  EXPECT_EQ(ro.sdm().inventory().size(), 2u);
+  EXPECT_EQ(ro.openstack().instances().size(), 1u);
+  EXPECT_EQ(ro.faults().injected(), 0u);
+  EXPECT_TRUE(ro.metrics().enabled());
+  EXPECT_GT(ro.power_draw_watts(), 0.0);
+  (void)ro.circuits();
+  (void)ro.packet_network();
+  (void)ro.migration();
+  (void)ro.oom_guard();
+  (void)ro.accelerators();
+  (void)ro.power_manager();
+  (void)ro.telemetry();
+  (void)ro.tracer();
+  (void)ro.os_of(vm.compute);
+  (void)ro.hypervisor_of(vm.compute);
+  (void)ro.agent_of(vm.compute);
+  (void)ro.mbo_of(vm.compute);
+}
+
+}  // namespace
+}  // namespace dredbox

@@ -1,0 +1,246 @@
+// SweepRunner: grid expansion, validation, and the load-bearing guarantee
+// that a parallel sweep is bit-identical to a sequential one (per-cell
+// determinism digests), plus the "dredbox-sweep/v1" JSON shape.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "core/sweep.hpp"
+#include "sim/digest.hpp"
+#include "workload/sweep_body.hpp"
+
+namespace dredbox {
+namespace {
+
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+bool mentions(const std::vector<std::string>& errors, const std::string& needle) {
+  return std::any_of(errors.begin(), errors.end(), [&](const std::string& e) {
+    return e.find(needle) != std::string::npos;
+  });
+}
+
+/// A cheap deterministic body: fingerprints the cell parameters and the
+/// rack's seed-dependent boot behaviour without a full workload.
+core::CellStats cheap_body(const core::SweepCell& cell, core::Datacenter& dc) {
+  const auto vm = dc.boot_vm("probe", 1, 1ull * kGiB);
+  core::CellStats stats;
+  sim::Digest digest;
+  digest.update("cell").update(cell.seed).update(cell.trays);
+  digest.update(static_cast<std::uint64_t>(cell.remote_ratio * 1e6));
+  digest.update(cell.fault_plan);
+  digest.update(vm.ok ? "ok" : "fail");
+  digest.update(static_cast<std::uint64_t>(vm.completed_at.ticks()));
+  stats.digest = digest.value();
+  stats.offered = 1;
+  stats.completed = vm.ok ? 1 : 0;
+  return stats;
+}
+
+/// The real multi-tenant body, shrunk to a few hundred microseconds of
+/// simulated time per cell so the determinism tests stay fast.
+core::SweepRunner::CellBody tiny_workload_body() {
+  workload::SweepWorkload shape;
+  shape.duration = sim::Time::us(400);
+  shape.drain_grace = sim::Time::us(200);
+  shape.footprint_bytes = 2ull * kGiB;
+  workload::TenantSpec spec;
+  spec.name = "t";
+  spec.vms = 1;
+  spec.rate_hz = 50000.0;
+  spec.mix = {0.6, 0.3, 0.1};
+  shape.tenants.push_back(spec);
+  return workload::make_sweep_body(shape);
+}
+
+core::ScenarioBuilder roomy_base() {
+  core::ScenarioBuilder base;
+  base.compute_local_memory_bytes(8ull * kGiB).memory_pool_bytes(32ull * kGiB);
+  return base;
+}
+
+// --- grid ---
+
+TEST(SweepGrid, ExpandsRowMajorWithStableIndices) {
+  core::SweepGrid grid;
+  grid.seeds = {1, 2};
+  grid.rack_trays = {1, 2};
+  grid.remote_ratios = {0.25};
+  grid.fault_plans = {""};
+  ASSERT_EQ(grid.size(), 4u);
+
+  const auto cells = grid.expand();
+  ASSERT_EQ(cells.size(), 4u);
+  for (std::size_t i = 0; i < cells.size(); ++i) EXPECT_EQ(cells[i].index, i);
+  // Seeds outermost: the first two cells share seed 1.
+  EXPECT_EQ(cells[0].seed, 1u);
+  EXPECT_EQ(cells[1].seed, 1u);
+  EXPECT_EQ(cells[2].seed, 2u);
+  EXPECT_EQ(cells[0].trays, 1u);
+  EXPECT_EQ(cells[1].trays, 2u);
+}
+
+TEST(SweepGrid, ValidationNamesTheOffendingAxis) {
+  core::SweepGrid grid;
+  grid.seeds = {};
+  EXPECT_TRUE(mentions(grid.errors(), "seeds"));
+
+  core::SweepGrid trays;
+  trays.rack_trays = {0};
+  EXPECT_TRUE(mentions(trays.errors(), "rack_trays"));
+
+  core::SweepGrid ratios;
+  ratios.remote_ratios = {1.5};
+  EXPECT_TRUE(mentions(ratios.errors(), "remote_ratios"));
+
+  core::SweepGrid faults;
+  faults.fault_plans = {"bogus@@@"};
+  EXPECT_TRUE(mentions(faults.errors(), "fault_plans"));
+
+  EXPECT_TRUE(core::SweepGrid{}.errors().empty());
+}
+
+TEST(SweepRunner, CtorRejectsABadGrid) {
+  core::SweepGrid grid;
+  grid.remote_ratios = {-0.1};
+  EXPECT_THROW((core::SweepRunner{grid, cheap_body}), std::invalid_argument);
+}
+
+// --- determinism ---
+
+TEST(SweepRunner, ParallelMatchesSequentialPerCell) {
+  core::SweepGrid grid;
+  grid.seeds = {1, 2};
+  grid.rack_trays = {1, 2};
+  grid.remote_ratios = {0.5};
+  core::SweepRunner runner{grid, tiny_workload_body()};
+  runner.set_base(roomy_base());
+
+  const auto sequential = runner.run(1);
+  const auto parallel = runner.run(4);
+
+  ASSERT_EQ(sequential.cells.size(), 4u);
+  ASSERT_EQ(parallel.cells.size(), 4u);
+  EXPECT_EQ(sequential.cells_ok(), 4u);
+  EXPECT_EQ(parallel.cells_ok(), 4u);
+  EXPECT_EQ(parallel.threads, 4u);
+  EXPECT_TRUE(core::digests_match(sequential, parallel));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sequential.cells[i].stats.digest, parallel.cells[i].stats.digest) << i;
+    EXPECT_EQ(sequential.cells[i].stats.offered, parallel.cells[i].stats.offered) << i;
+    EXPECT_EQ(sequential.cells[i].stats.completed, parallel.cells[i].stats.completed) << i;
+  }
+}
+
+TEST(SweepRunner, RepeatedRunsAreByteIdentical) {
+  core::SweepGrid grid;
+  grid.seeds = {3};
+  grid.remote_ratios = {0.25, 0.75};
+  core::SweepRunner runner{grid, tiny_workload_body()};
+  runner.set_base(roomy_base());
+  const auto first = runner.run(2);
+  const auto second = runner.run(2);
+  EXPECT_TRUE(core::digests_match(first, second));
+}
+
+TEST(SweepRunner, SeedsActuallyDiverge) {
+  core::SweepGrid grid;
+  grid.seeds = {1, 2};
+  core::SweepRunner runner{grid, tiny_workload_body()};
+  runner.set_base(roomy_base());
+  const auto report = runner.run(1);
+  ASSERT_EQ(report.cells_ok(), 2u);
+  EXPECT_NE(report.cells[0].stats.digest, report.cells[1].stats.digest);
+}
+
+TEST(SweepRunner, CellSeesItsOwnParameters) {
+  core::SweepGrid grid;
+  grid.seeds = {9};
+  grid.rack_trays = {1};
+  core::SweepRunner runner{grid, [](const core::SweepCell& cell, core::Datacenter& dc) {
+                             EXPECT_EQ(cell.seed, 9u);
+                             EXPECT_EQ(dc.config().seed, 9u);
+                             EXPECT_EQ(dc.config().trays, 1u);
+                             return core::CellStats{};
+                           }};
+  EXPECT_EQ(runner.run(1).cells_ok(), 1u);
+}
+
+// --- failure isolation ---
+
+TEST(SweepRunner, ThrowingCellFailsAloneNotTheSweep) {
+  core::SweepGrid grid;
+  grid.seeds = {1, 2, 3};
+  core::SweepRunner runner{grid, [](const core::SweepCell& cell, core::Datacenter& dc) {
+                             if (cell.seed == 2) throw std::runtime_error("cell exploded");
+                             return cheap_body(cell, dc);
+                           }};
+  const auto report = runner.run(2);
+  ASSERT_EQ(report.cells.size(), 3u);
+  EXPECT_EQ(report.cells_ok(), 2u);
+  EXPECT_TRUE(report.cells[0].ok);
+  EXPECT_FALSE(report.cells[1].ok);
+  EXPECT_NE(report.cells[1].error.find("cell exploded"), std::string::npos);
+  EXPECT_TRUE(report.cells[2].ok);
+}
+
+TEST(SweepRunner, FaultPlanCellsInjectFaults) {
+  core::SweepGrid grid;
+  grid.fault_plans = {"", "link-flap@100us+200us"};
+  core::SweepRunner runner{grid, [](const core::SweepCell& cell, core::Datacenter& dc) {
+                             dc.advance_to(sim::Time::ms(1));
+                             core::CellStats stats;
+                             stats.offered = dc.faults().injected();
+                             stats.digest = cell.index + 1;
+                             return stats;
+                           }};
+  const auto report = runner.run(1);
+  ASSERT_EQ(report.cells_ok(), 2u);
+  EXPECT_EQ(report.cells[0].stats.offered, 0u);
+  EXPECT_GE(report.cells[1].stats.offered, 1u);
+}
+
+// --- report ---
+
+TEST(SweepReport, JsonCarriesTheSchemaAndEveryCell) {
+  core::SweepGrid grid;
+  grid.seeds = {1, 2};
+  core::SweepRunner runner{grid, cheap_body};
+  const auto report = runner.run(1);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"dredbox-sweep/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"threads\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells\""), std::string::npos);
+  EXPECT_NE(json.find("\"digest\""), std::string::npos);
+  // One digest string per cell, rendered as fixed-width hex.
+  std::size_t digests = 0;
+  for (std::size_t pos = json.find("\"digest\""); pos != std::string::npos;
+       pos = json.find("\"digest\"", pos + 1)) {
+    ++digests;
+  }
+  EXPECT_EQ(digests, report.cells.size());
+}
+
+TEST(SweepReport, DigestsMatchRejectsMismatchedGridsAndDigests) {
+  core::SweepGrid grid;
+  grid.seeds = {1};
+  core::SweepRunner runner{grid, cheap_body};
+  auto a = runner.run(1);
+  auto b = runner.run(1);
+  EXPECT_TRUE(core::digests_match(a, b));
+
+  b.cells[0].stats.digest ^= 1;
+  EXPECT_FALSE(core::digests_match(a, b));
+
+  auto c = a;
+  c.cells.pop_back();
+  EXPECT_FALSE(core::digests_match(a, c));
+}
+
+}  // namespace
+}  // namespace dredbox
