@@ -5,8 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
+#include "core/datacenter.hpp"
 #include "hw/rmst.hpp"
 #include "memsys/dma.hpp"
 #include "sim/breakdown.hpp"
@@ -18,9 +22,28 @@
 #include "tco/disaggregated_dc.hpp"
 #include "tco/workload.hpp"
 
+// Process-wide heap-allocation counter, so the telemetry benches can
+// prove the disabled-tracing hot path allocation-free rather than assert
+// it. This binary is standalone, so replacing global new/delete here
+// cannot leak into the library or tests.
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace {
 
 using namespace dredbox;
+
+std::uint64_t heap_allocs() { return g_heap_allocs.load(std::memory_order_relaxed); }
 
 void BM_RmstLookup(benchmark::State& state) {
   const auto entries = static_cast<std::size_t>(state.range(0));
@@ -194,6 +217,100 @@ void BM_DmaMegabyteTransfer(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * (1 << 20));
 }
 BENCHMARK(BM_DmaMegabyteTransfer);
+
+// --- telemetry overhead ---
+//
+// The observability contract has two halves. (1) The causal-tracing
+// machinery on the dispatch path — enabled() guards and trace-context
+// minting/propagation — must cost < 5% of an event dispatch whether the
+// tracer is on or off, and the disabled path must never touch the heap
+// (BM_EventDispatchTraceContext, BM_TracerDisabledHotPath). (2) Actually
+// recording spans is opt-in and priced separately: the per-span cost
+// (BM_TracerEnabledRecordSpan) and the full end-to-end price of a traced
+// remote read with its 12-arg critical-path breakdown
+// (BM_RemoteReadTelemetry/1 vs /0) are informational, not bounded.
+
+void BM_EventDispatchTraceContext(benchmark::State& state) {
+  const bool tracing = state.range(0) != 0;
+  const int batch = 1000;
+  sim::Tracer tracer;
+  tracer.seed_trace_ids(1);
+  if (tracing) tracer.enable();
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::TraceContext root = tracer.begin_trace();
+    for (int i = 0; i < batch; ++i) {
+      q.schedule(sim::Time::ns((i * 7919) % 100000), [&tracer, &root] {
+        // The per-event share of causal tracing: one guard plus one
+        // context derivation, exactly what an instrumented action pays
+        // before deciding whether to record anything.
+        sim::TraceContext ctx = tracer.child_of(root);
+        benchmark::DoNotOptimize(ctx);
+      });
+    }
+    benchmark::DoNotOptimize(q.run());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventDispatchTraceContext)->Arg(0)->Arg(1);
+
+void BM_RemoteReadTelemetry(benchmark::State& state) {
+  const bool tracing = state.range(0) != 0;
+  core::DatacenterConfig config;
+  config.trays = 2;
+  config.compute_bricks_per_tray = 2;
+  config.memory_bricks_per_tray = 2;
+  core::Datacenter dc{config};
+  // Metrics stay on in both variants so the /0-vs-/1 delta isolates the
+  // causal-tracing machinery alone.
+  dc.metrics().enable();
+  if (tracing) dc.tracer().enable();
+  const auto vm = dc.boot_vm("bench-guest", /*vcpus=*/2, /*memory=*/2ull << 30);
+  const auto up = dc.scale_up(vm.vm, vm.compute, 2ull << 30);
+  benchmark::DoNotOptimize(up.ok);
+  const auto attachment = dc.fabric().attachments_of(vm.compute).front();
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dc.remote_read(vm.compute, attachment.compute_base + (offset & 0xFFC0), 64));
+    offset += 64;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RemoteReadTelemetry)->Arg(0)->Arg(1);
+
+void BM_TracerDisabledHotPath(benchmark::State& state) {
+  sim::Tracer tracer;  // never enabled: every call must be a cheap no-op
+  tracer.seed_trace_ids(1);
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = heap_allocs();
+    const auto ctx = tracer.begin_trace();
+    tracer.record_span(sim::Time::us(1), sim::Time::us(2), sim::TraceCategory::kFabric,
+                       "remote read", {}, ctx);
+    tracer.record(sim::Time::us(3), sim::TraceCategory::kFabric, "retry");
+    allocs += heap_allocs() - before;
+    benchmark::DoNotOptimize(&tracer);
+  }
+  // Must stay 0.0: a disabled tracer that heap-allocates is a regression.
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerDisabledHotPath);
+
+void BM_TracerEnabledRecordSpan(benchmark::State& state) {
+  sim::Tracer tracer;
+  tracer.seed_trace_ids(1);
+  tracer.enable();
+  const auto root = tracer.begin_trace();
+  for (auto _ : state) {
+    tracer.record_span(sim::Time::us(1), sim::Time::us(2), sim::TraceCategory::kFabric,
+                       "remote read", {}, tracer.child_of(root));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TracerEnabledRecordSpan);
 
 void BM_FcfsScheduling(benchmark::State& state) {
   const tco::WorkloadGenerator gen{tco::WorkloadType::kRandom};

@@ -12,9 +12,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <vector>
 
 #include "core/scenario.hpp"
+#include "sim/digest.hpp"
 #include "sim/fault.hpp"
+#include "sim/run_report.hpp"
+#include "sim/timeseries.hpp"
 #include "sim/trace_export.hpp"
 
 using namespace dredbox;
@@ -28,11 +32,18 @@ int main() {
   //    sim/fault.hpp for the mini-language) — schedules the scripted
   //    faults so they land while the workload below runs.
   std::optional<core::Scenario> scenario;
+  std::optional<sim::FaultPlan> fault_plan;
   try {
+    // The plan is parsed here but injected later, shifted to the start of
+    // the read window (step 4), so its faults land while reads are in
+    // flight rather than during the (long) boot + scale-up control path.
+    fault_plan = sim::fault_plan_from_env();
     scenario = core::ScenarioBuilder{}
                    .racks(/*trays=*/2, /*compute_per_tray=*/2, /*memory_per_tray=*/2)
                    .telemetry()
-                   .fault_plan_from_env()
+                   .prefer_optical()  // attachments ride real circuits, so
+                                      // link-flap faults have a victim
+                   .profile_kernel_from_env()
                    .build();
   } catch (const std::exception& e) {
     std::printf("bad %s: %s\n", sim::kFaultPlanEnv, e.what());
@@ -40,10 +51,6 @@ int main() {
   }
   core::Datacenter& dc = scenario->datacenter();
   std::printf("%s\n\n", dc.describe().c_str());
-
-  if (scenario->fault_plan()) {
-    std::printf("injecting fault plan: %s\n\n", scenario->fault_plan()->to_string().c_str());
-  }
 
   // 2. Boot a commodity VM. The SDM controller picks a dCOMPUBRICK,
   //    reserves cores and memory, and the Type-1 hypervisor starts it.
@@ -69,23 +76,67 @@ int main() {
   std::printf("\nscale-up completed in %s; control-path breakdown:\n%s\n",
               up.delay().to_string().c_str(), up.breakdown.to_string().c_str());
 
-  // With a fault plan loaded, run the simulation through it: every fault
-  // fires, the rack reacts (retry/backoff, re-provisioning, evacuation),
-  // and recoveries land before we touch the memory below.
-  if (scenario->fault_plan()) {
-    scenario->run_fault_plan();
+  // 4. Touch the disaggregated memory while the fault plan (if any) runs:
+  //    64 B reads are paced every 250 us across the fault horizon, so with
+  //    a plan loaded some land mid-fault and ride the recovery ladder
+  //    (retry backoff -> RMST scrub / circuit re-provision / packet
+  //    failover) to completion. Every read travels APU -> TGL -> circuit
+  //    -> dMEMBRICK glue logic -> DDR and back; the tracer captures each
+  //    as a causal span tree.
+  const auto attachment = dc.fabric().attachments_of(vm.compute).front();
+  const sim::Time t0 = dc.simulator().now();
+  sim::Time fault_end = t0;
+  if (fault_plan) {
+    const sim::FaultPlan shifted = fault_plan->shifted(t0);
+    dc.inject_faults(shifted);
+    fault_end = shifted.horizon();
+    std::printf("\ninjecting fault plan (relative to the read window): %s\n",
+                fault_plan->to_string().c_str());
+  }
+  const sim::Time window_end =
+      std::max(fault_end + sim::Time::ms(1), t0 + sim::Time::ms(2));
+
+  // Metric time series: snapshot every registered instrument each 250 us
+  // of simulated time while the reads run.
+  const sim::Time sample_period = sim::Time::us(250);
+  sim::TimeSeriesSampler sampler{dc.simulator(), dc.metrics(), sample_period};
+  sampler.start(window_end);
+
+  sim::Digest digest;  // determinism fingerprint of the whole read stream
+  std::vector<memsys::Transaction> reads;
+  for (sim::Time t = t0; t < window_end; t += sim::Time::us(250)) {
+    dc.simulator().at(t, [&dc, &digest, &reads, &vm, &attachment] {
+      const auto tx =
+          dc.remote_read(vm.compute, attachment.compute_base + 0x40, 64);
+      digest.update("read")
+          .update(static_cast<std::uint64_t>(tx.status))
+          .update(static_cast<std::uint64_t>(tx.round_trip().ticks()))
+          .update(static_cast<std::uint64_t>(tx.retries));
+      reads.push_back(tx);
+    }, "quickstart.remote_read");
+  }
+  dc.advance_to(window_end);
+
+  std::uint64_t ok = 0, failed = 0, retries = 0;
+  for (const auto& tx : reads) {
+    (tx.ok() ? ok : failed) += 1;
+    retries += tx.retries;
+  }
+  std::printf("issued %zu remote 64 B reads: %llu ok, %llu failed, %llu retries\n",
+              reads.size(), static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(failed),
+              static_cast<unsigned long long>(retries));
+  if (!reads.empty()) {
+    const auto& tx = reads.front();
+    std::printf("first read: %s round trip\n%s\n", tx.round_trip().to_string().c_str(),
+                tx.breakdown.to_string().c_str());
+  }
+  if (fault_plan) {
     std::printf("fault plan ran: %llu injected, %llu recovered, %llu still active\n\n",
                 static_cast<unsigned long long>(dc.faults().injected()),
                 static_cast<unsigned long long>(dc.faults().recovered()),
                 static_cast<unsigned long long>(dc.faults().active()));
   }
-
-  // 4. Touch the disaggregated memory: a 64 B read travels APU -> TGL ->
-  //    circuit -> dMEMBRICK glue logic -> DDR and back.
-  const auto attachment = dc.fabric().attachments_of(vm.compute).front();
-  const auto tx = dc.remote_read(vm.compute, attachment.compute_base + 0x40, 64);
-  std::printf("remote 64 B read: %s round trip\n%s\n", tx.round_trip().to_string().c_str(),
-              tx.breakdown.to_string().c_str());
 
   // 5. Give the memory back.
   const auto down = dc.scale_down(vm.vm, vm.compute, up.segment);
@@ -97,14 +148,45 @@ int main() {
   std::printf("\noperation timeline:\n%s", dc.tracer().to_string().c_str());
   std::printf("\ntelemetry snapshot:\n%s", dc.metrics().snapshot().to_string().c_str());
 
-  // 7. With DREDBOX_TRACE_FILE=/tmp/trace.json set, the span timeline is
-  //    exported as Chrome trace-event JSON (open it in ui.perfetto.dev).
+  // 7. Export the observability artifacts (each gated on its env var):
+  //    - DREDBOX_TRACE_FILE: Chrome trace-event JSON with causal flow
+  //      links (open in ui.perfetto.dev),
+  //    - DREDBOX_OPENMETRICS_FILE: the sampled time series as OpenMetrics
+  //      text,
+  //    - DREDBOX_REPORT_FILE: the dredbox-report/v1 run artifact (config
+  //      digest, determinism digest, metric finals, slowest span trees;
+  //      kernel profile when DREDBOX_PROFILE is also set).
   try {
     if (sim::maybe_write_trace(dc.tracer())) {
       std::printf("\nwrote Chrome trace to %s\n", std::getenv(sim::kTraceFileEnv));
     }
+    const sim::TimeSeriesSet series = sampler.take();
+    if (sim::maybe_write_openmetrics(series)) {
+      std::printf("wrote OpenMetrics series to %s\n",
+                  std::getenv(sim::kOpenMetricsFileEnv));
+    }
+    sim::RunReport report;
+    report.tag("quickstart")
+        .seed(dc.config().seed)
+        .config_digest(dc.config().digest())
+        .determinism_digest(digest.value())
+        .fault_plan(fault_plan ? fault_plan->to_string() : "")
+        .duration(dc.simulator().now())
+        .note("reads", static_cast<std::uint64_t>(reads.size()))
+        .note("reads_ok", ok)
+        .note("reads_failed", failed)
+        .note("read_retries", retries)
+        .metrics(dc.metrics())
+        .timeseries(series, sample_period)
+        .traces(dc.tracer());
+    if (std::getenv(sim::kProfileEnv) != nullptr) {
+      report.kernel_profile(dc.simulator().queue());
+    }
+    if (report.maybe_write()) {
+      std::printf("wrote run report to %s\n", std::getenv(sim::kReportFileEnv));
+    }
   } catch (const std::exception& e) {
-    std::printf("\ntrace export failed: %s\n", e.what());
+    std::printf("\nartifact export failed: %s\n", e.what());
     return 1;
   }
   return 0;

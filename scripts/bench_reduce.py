@@ -1,8 +1,10 @@
 #!/usr/bin/env python3
 """Reduce benchmark runs into a BENCH_*.json perf-trajectory point, and
-validate such files against the dredbox-bench/v1 schema (or, for raw
-parameter-sweep reports from examples/sweep, the dredbox-sweep/v1 schema —
-`validate` dispatches on the file's "schema" field).
+validate observability artifacts. `validate` dispatches on the file's
+shape: dredbox-bench/v1 points, dredbox-sweep/v1 reports from
+examples/sweep, dredbox-report/v1 run reports (DREDBOX_REPORT_FILE),
+Chrome trace-event JSON (DREDBOX_TRACE_FILE) and OpenMetrics text
+(DREDBOX_OPENMETRICS_FILE).
 
 The repo's perf north star ("as fast as the hardware allows", ROADMAP.md)
 is tracked as a series of checked-in BENCH_<tag>.json files, one per PR
@@ -36,6 +38,7 @@ from pathlib import Path
 
 SCHEMA = "dredbox-bench/v1"
 SWEEP_SCHEMA = "dredbox-sweep/v1"
+REPORT_SCHEMA = "dredbox-report/v1"
 
 # Minimum parallel speedup the acceptance bar demands of a sweep — only
 # enforceable when the host actually has at least as many cores as the
@@ -238,6 +241,163 @@ def validate_sweep(path: Path, sweep: dict) -> list[str]:
     return errors
 
 
+HEX_DIGEST_RE = re.compile(r"^[0-9a-f]{1,16}$")
+OM_SAMPLE_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]* -?[0-9.eE+-]+( [0-9.]+)?$")
+OM_TYPE_RE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge)$")
+
+
+def _validate_span(path: Path, span: dict, parent_span_id: str | None,
+                   errors: list[str]) -> None:
+    where = f"{path}: slowest_traces span {span.get('span_id', '?')}"
+    for key in ("name", "category", "begin_us", "duration_us", "span_id"):
+        if key not in span:
+            errors.append(f"{where} missing {key}")
+    if not isinstance(span.get("duration_us"), (int, float)) or span.get("duration_us", -1) < 0:
+        errors.append(f"{where} duration_us must be >= 0")
+    if parent_span_id is not None and span.get("parent_span_id") != parent_span_id:
+        errors.append(f"{where} parent_span_id does not point at its parent")
+    for child in span.get("children", []):
+        _validate_span(path, child, span.get("span_id"), errors)
+
+
+def validate_report(path: Path, report: dict) -> list[str]:
+    """dredbox-report/v1: the standardized per-run artifact."""
+    errors: list[str] = []
+
+    def err(msg: str) -> None:
+        errors.append(f"{path}: {msg}")
+
+    if not isinstance(report.get("tag"), str) or not report.get("tag"):
+        err("tag must be a non-empty string")
+    if not isinstance(report.get("seed"), int):
+        err("seed must be an integer")
+    for key in ("config_digest", "determinism_digest"):
+        if not isinstance(report.get(key), str) or not HEX_DIGEST_RE.match(report.get(key) or ""):
+            err(f"{key} must be a lower-case hex string")
+    if not isinstance(report.get("fault_plan"), str):
+        err("fault_plan must be a string (empty = healthy run)")
+    if not isinstance(report.get("tracing"), bool):
+        err("tracing must be a boolean")
+    if not isinstance(report.get("duration_us"), (int, float)) or report.get("duration_us", -1) < 0:
+        err("duration_us must be a number >= 0")
+
+    # metrics / tracer / slowest_traces are per-rack sections; aggregate
+    # reports (e.g. the sweep's) legitimately omit them.
+    metrics = report.get("metrics")
+    if metrics is not None and not isinstance(metrics, list):
+        err("metrics must be a list")
+    elif metrics is not None:
+        for row in metrics:
+            if not isinstance(row.get("name"), str) or row.get("type") not in (
+                    "counter", "gauge", "histogram"):
+                err(f"metrics row {row.get('name', '?')} malformed")
+        names = [row.get("name") for row in metrics]
+        if names != sorted(names):
+            err("metrics rows must be name-sorted")
+
+    tracer = report.get("tracer")
+    if tracer is not None and not isinstance(tracer, dict):
+        err("tracer accounting block malformed")
+    elif tracer is not None:
+        for key in ("capacity", "retained", "dropped_while_disabled", "evicted"):
+            if not isinstance(tracer.get(key), int) or tracer.get(key, -1) < 0:
+                err(f"tracer.{key} must be a non-negative integer")
+
+    traces = report.get("slowest_traces")
+    if traces is not None and not isinstance(traces, list):
+        err("slowest_traces must be a list")
+    elif traces is not None:
+        last = None
+        for entry in traces:
+            if not isinstance(entry.get("trace_id"), str):
+                errors.append(f"{path}: slowest_traces entry missing trace_id")
+            if not isinstance(entry.get("root"), dict):
+                errors.append(f"{path}: slowest_traces entry missing root span")
+            else:
+                _validate_span(path, entry["root"], None, errors)
+            dur = entry.get("duration_us")
+            if last is not None and isinstance(dur, (int, float)) and dur > last:
+                err("slowest_traces must be sorted by duration descending")
+            if isinstance(dur, (int, float)):
+                last = dur
+
+    ts = report.get("timeseries")
+    if ts is not None:
+        if not isinstance(ts, dict) or "period_us" not in ts or not isinstance(
+                ts.get("series"), list):
+            err("timeseries must be {period_us, series: [...]}")
+
+    profile = report.get("kernel_profile")
+    if profile is not None:
+        for row in profile if isinstance(profile, list) else []:
+            for key in ("label", "dispatches", "host_ns"):
+                if key not in row:
+                    err(f"kernel_profile row missing {key}")
+    return errors
+
+
+def validate_trace(path: Path, trace: dict) -> list[str]:
+    """Chrome trace-event JSON as written by sim::write_trace_file."""
+    errors: list[str] = []
+
+    def err(msg: str) -> None:
+        errors.append(f"{path}: {msg}")
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents must be a list"]
+    meta = trace.get("metadata", {}).get("tracer")
+    if not isinstance(meta, dict):
+        err("metadata.tracer accounting block missing")
+    else:
+        for key in ("capacity", "retained", "dropped_while_disabled", "evicted"):
+            if not isinstance(meta.get(key), int):
+                err(f"metadata.tracer.{key} must be an integer")
+    flow_starts, flow_ends = set(), set()
+    for ev in events:
+        if not isinstance(ev.get("ph"), str):
+            err("event missing ph")
+            continue
+        if ev["ph"] in ("X", "i", "s", "f") and not isinstance(ev.get("ts"), (int, float)):
+            err(f"{ev.get('name', '?')} event missing ts")
+        if ev["ph"] == "s":
+            flow_starts.add(ev.get("id"))
+        elif ev["ph"] == "f":
+            flow_ends.add(ev.get("id"))
+    if flow_ends - flow_starts:
+        err(f"flow ends without a matching start: {sorted(flow_ends - flow_starts)[:3]}")
+    if flow_starts - flow_ends:
+        err(f"flow starts without a matching end: {sorted(flow_starts - flow_ends)[:3]}")
+    return errors
+
+
+def validate_openmetrics(path: Path, text: str) -> list[str]:
+    """OpenMetrics text exposition as written by TimeSeriesSet::to_openmetrics."""
+    errors: list[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        errors.append(f"{path}: must end with '# EOF'")
+    typed: set[str] = set()
+    for num, line in enumerate(lines, start=1):
+        if not line or line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            if not OM_TYPE_RE.match(line):
+                errors.append(f"{path}:{num}: malformed TYPE line")
+            else:
+                typed.add(line.split()[2])
+        elif line.startswith("#"):
+            continue
+        elif OM_SAMPLE_RE.match(line):
+            name = line.split()[0]
+            base = name[: -len("_total")] if name.endswith("_total") else name
+            if name not in typed and base not in typed:
+                errors.append(f"{path}:{num}: sample for {name} before its # TYPE line")
+        else:
+            errors.append(f"{path}:{num}: unparseable line {line[:60]!r}")
+    return errors
+
+
 def validate_point(path: Path) -> list[str]:
     errors: list[str] = []
 
@@ -245,13 +405,28 @@ def validate_point(path: Path) -> list[str]:
         errors.append(f"{path}: {msg}")
 
     try:
-        point = json.loads(path.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as exc:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
         return [f"{path}: unreadable ({exc})"]
 
-    # Raw sweep reports are their own schema; dispatch on the marker.
+    # OpenMetrics expositions are plain text, not JSON.
+    stripped = text.lstrip()
+    if path.suffix == ".om" or stripped.startswith("# TYPE"):
+        return validate_openmetrics(path, text)
+
+    try:
+        point = json.loads(text)
+    except json.JSONDecodeError as exc:
+        return [f"{path}: unreadable ({exc})"]
+
+    # Chrome trace-event files carry no schema marker; dispatch on shape,
+    # then on the "schema" field for the dredbox JSON artifacts.
+    if isinstance(point, dict) and "traceEvents" in point:
+        return validate_trace(path, point)
     if point.get("schema") == SWEEP_SCHEMA:
         return validate_sweep(path, point)
+    if point.get("schema") == REPORT_SCHEMA:
+        return validate_report(path, point)
 
     if point.get("schema") != SCHEMA:
         err(f"schema is {point.get('schema')!r}, want {SCHEMA!r}")
@@ -341,8 +516,8 @@ def main(argv: list[str]) -> int:
     for e in all_errors:
         print(e, file=sys.stderr)
     if not all_errors:
-        print(f"bench-reduce: {len(args.files)} file(s) valid "
-              f"against {SCHEMA}/{SWEEP_SCHEMA}")
+        print(f"bench-reduce: {len(args.files)} file(s) valid against "
+              f"{SCHEMA}/{SWEEP_SCHEMA}/{REPORT_SCHEMA}/trace/openmetrics")
     return 1 if all_errors else 0
 
 

@@ -8,7 +8,9 @@
 # faults stage: the fault-scenario sweep re-run under the sanitizers and
 # the audit layer, plus a scripted-fault quickstart run. A sweep stage then
 # proves the parallel SweepRunner bit-identical to a sequential pass on a
-# small grid before the bench smoke runs.
+# small grid, an obs stage schema-validates the three observability
+# artifacts (Chrome trace, OpenMetrics, dredbox-report/v1) from a faulty
+# quickstart, and the bench smoke finishes.
 # Run from the repository root:
 #
 #   $ scripts/check.sh
@@ -59,6 +61,16 @@ echo "== sweep: 2x2 grid on 2 threads, digests must match sequential"
 "$root/build/examples/sweep" --threads 2 --seeds 1,2 --trays 1,2 \
   --ratios 0.5 --duration-ms 2 --out "$root/build/sweep_smoke.json"
 python3 "$root/scripts/bench_reduce.py" validate "$root/build/sweep_smoke.json"
+
+echo "== obs: faulty quickstart must emit schema-valid trace/OpenMetrics/report"
+DREDBOX_FAULT_PLAN='link-flap@1ms+2ms;congestion@2ms+1ms:magnitude=4' \
+  DREDBOX_TRACE_FILE="$root/build/obs.trace.json" \
+  DREDBOX_OPENMETRICS_FILE="$root/build/obs.om" \
+  DREDBOX_REPORT_FILE="$root/build/obs.report.json" \
+  DREDBOX_PROFILE=1 \
+  "$root/build/examples/quickstart" > /dev/null
+python3 "$root/scripts/bench_reduce.py" validate \
+  "$root/build/obs.trace.json" "$root/build/obs.om" "$root/build/obs.report.json"
 
 echo "== bench: micro + end-to-end smoke, BENCH_*.json schema"
 bash "$root/scripts/bench.sh" --quick --tag smoke -o "$root/build/BENCH_smoke.json"

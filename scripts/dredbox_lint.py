@@ -26,6 +26,13 @@ tool knows about:
                        code bypasses sim::strformat (the bounds-checked
                        formatting wrapper) and writes to streams the
                        determinism harness cannot capture.
+  metric-name          Instrument names registered on MetricsRegistry
+                       must be dotted lower-case with at least three
+                       components ("sub.system.metric"), so OpenMetrics /
+                       report exports group deterministically and rename
+                       collisions stay visible. Checked for literal names
+                       in .counter("...")/.gauge("...")/.histogram("...")
+                       calls in library code.
 
 Suppress a finding with:  // dredbox-lint: ignore[<rule>]
 (with a reason after the closing bracket, by convention). On a line of its
@@ -65,6 +72,11 @@ UNORDERED_DECL_RE = re.compile(
     r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s+(\w+)\s*[;{=]"
 )
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*(?:const\s+)?auto\s*&{0,2}\s*(?:\[[^\]]*\]|\w+)\s*:\s*([A-Za-z_][\w.:\->]*)\s*\)")
+# Literal instrument registrations; the name itself lives in the raw line
+# because strip_comments_and_strings blanks string contents.
+METRIC_REG_CALL_RE = re.compile(r"\.(?:counter|gauge|histogram)\s*\(")
+METRIC_REG_NAME_RE = re.compile(r"\.(?:counter|gauge|histogram)\s*\(\s*\"([^\"]*)\"")
+METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_]+){2,}$")
 
 # Declarations allowed to use banned constructs because they ARE the
 # sanctioned wrapper (relative to repo root).
@@ -188,6 +200,14 @@ def lint_file(
                         f"range-for over unordered container '{base}': iteration order is "
                         "implementation-defined; use std::map, sort first, or suppress with "
                         "a reason if order provably cannot leak into simulation state")
+            if METRIC_REG_CALL_RE.search(line):
+                raw_line = raw_lines[idx - 1] if idx - 1 < len(raw_lines) else ""
+                for m in METRIC_REG_NAME_RE.finditer(raw_line):
+                    name = m.group(1)
+                    if not METRIC_NAME_RE.match(name):
+                        add(idx, "metric-name",
+                            f"instrument name '{name}' must be dotted lower-case with >= 3 "
+                            "components, e.g. 'memsys.fabric.retries'")
     return findings
 
 

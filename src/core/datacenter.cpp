@@ -1,8 +1,10 @@
 #include "core/datacenter.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
+#include "sim/digest.hpp"
 #include "sim/format.hpp"
 
 namespace dredbox::core {
@@ -186,6 +188,54 @@ std::vector<std::string> DatacenterConfig::validate() const {
   return errors;
 }
 
+std::uint64_t DatacenterConfig::digest() const {
+  sim::Digest d;
+  const auto fold_double = [&d](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    d.update(bits);
+  };
+  const auto fold_time = [&d](sim::Time t) {
+    d.update(static_cast<std::uint64_t>(t.ticks()));
+  };
+  d.update(static_cast<std::uint64_t>(trays));
+  d.update(static_cast<std::uint64_t>(compute_bricks_per_tray));
+  d.update(static_cast<std::uint64_t>(memory_bricks_per_tray));
+  d.update(static_cast<std::uint64_t>(accelerator_bricks_per_tray));
+  d.update(seed);
+  d.update(static_cast<std::uint64_t>(enable_power_management ? 1 : 0));
+  d.update(static_cast<std::uint64_t>(compute.apu_cores));
+  d.update(compute.local_memory_bytes);
+  d.update(static_cast<std::uint64_t>(compute.transceiver_ports));
+  fold_double(compute.port_rate_gbps);
+  d.update(memory.capacity_bytes);
+  d.update(static_cast<std::uint64_t>(memory.technology == hw::MemoryTechnology::kHmc ? 1 : 0));
+  d.update(static_cast<std::uint64_t>(optical_switch.ports));
+  fold_double(optical_switch.insertion_loss_db);
+  fold_time(optical_switch.reconfiguration_time);
+  fold_time(circuit_path.tgl_lookup);
+  fold_time(circuit_path.serdes);
+  fold_time(circuit_path.glue_logic);
+  fold_time(circuit_path.ddr_access);
+  fold_double(circuit_path.line_rate_gbps);
+  fold_time(packet_path.tgl_inject);
+  fold_time(packet_path.compubrick_switch);
+  fold_time(packet_path.membrick_switch);
+  fold_time(sdm.api_relay);
+  fold_time(sdm.inspect_and_select);
+  fold_time(sdm.agent_rpc);
+  fold_time(hotplug.fixed_cost);
+  fold_time(hypervisor.dimm_insert_fixed);
+  d.update(static_cast<std::uint64_t>(prefer_optical_attach ? 1 : 0));
+  d.update(static_cast<std::uint64_t>(fabric_retry.has_value() ? 1 : 0));
+  if (fabric_retry) {
+    d.update(static_cast<std::uint64_t>(fabric_retry->max_attempts));
+    fold_time(fabric_retry->initial_backoff);
+    fold_time(fabric_retry->timeout);
+  }
+  return d.value();
+}
+
 namespace {
 
 /// Gate run before any hardware is assembled: every validate() finding is
@@ -220,10 +270,15 @@ Datacenter::Datacenter(const DatacenterConfig& config)
   }
   fabric_.set_packet_network(&packet_net_);
   fabric_.set_retry_policy(config.fabric_retry);
+  sdm_.set_prefer_optical(config.prefer_optical_attach);
 
   // Wire the shared telemetry bundle into every layer. Each subsystem
   // caches its instrument pointers now, so instrumented hot paths never
   // do a registry lookup (and cost one branch while telemetry is off).
+  // Trace-id minting rides its own splitmix64 stream seeded from the run
+  // seed: deterministic span identities without touching the sim Rng.
+  telemetry_.tracer().seed_trace_ids(config.seed);
+
   circuits_.set_telemetry(&telemetry_);
   fabric_.set_telemetry(&telemetry_);
   packet_net_.set_telemetry(&telemetry_);

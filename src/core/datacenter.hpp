@@ -55,6 +55,13 @@ struct DatacenterConfig {
   /// (wake latencies charged, idle sweeps on tick()).
   bool enable_power_management = false;
 
+  /// When true the SDM-C wires every remote-memory attachment as an
+  /// optical circuit through the beam-steering switch, even for intra-tray
+  /// pairs that could ride the tray's electrical wiring. Burns switch
+  /// ports but exercises the paper's optical data path (and its
+  /// re-provisioning recovery ladder) on any rack shape.
+  bool prefer_optical_attach = false;
+
   /// Data-plane retry policy installed into the fabric (retry with
   /// exponential backoff, RMST scrubbing, circuit re-provisioning, packet
   /// failover). Set to nullopt for the fail-fast behaviour of a rack with
@@ -77,6 +84,12 @@ struct DatacenterConfig {
   /// policies. The Datacenter constructor calls this and throws
   /// std::invalid_argument listing every error at once.
   std::vector<std::string> validate() const;
+
+  /// FNV-1a fingerprint of the deployment shape (rack counts, seed, data-
+  /// and control-path timing models). Two runs whose reports carry the
+  /// same config digest were driven against the same rack; the run-report
+  /// artifact embeds it so results stay attributable to a configuration.
+  std::uint64_t digest() const;
 };
 
 /// The full-stack rack-scale system: hardware (bricks, trays, optical

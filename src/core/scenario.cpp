@@ -1,15 +1,11 @@
 #include "core/scenario.hpp"
 
+#include <cstdlib>
+
 namespace dredbox::core {
 
 sim::Time Scenario::fault_horizon() const {
-  sim::Time horizon;
-  if (fault_plan_) {
-    for (const auto& e : fault_plan_->events()) {
-      if (e.at + e.duration > horizon) horizon = e.at + e.duration;
-    }
-  }
-  return horizon;
+  return fault_plan_ ? fault_plan_->horizon() : sim::Time::zero();
 }
 
 void Scenario::run_fault_plan() {
@@ -86,6 +82,11 @@ ScenarioBuilder& ScenarioBuilder::power_management(bool on) {
   return *this;
 }
 
+ScenarioBuilder& ScenarioBuilder::prefer_optical(bool on) {
+  config_.prefer_optical_attach = on;
+  return *this;
+}
+
 ScenarioBuilder& ScenarioBuilder::fabric_retry(std::optional<sim::RetryPolicy> policy) {
   config_.fabric_retry = policy;
   return *this;
@@ -93,6 +94,17 @@ ScenarioBuilder& ScenarioBuilder::fabric_retry(std::optional<sim::RetryPolicy> p
 
 ScenarioBuilder& ScenarioBuilder::oom_guard(const orch::OomGuardConfig& guard) {
   config_.oom_guard = guard;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::profile_kernel(bool on) {
+  enable_profiling_ = on;
+  profile_env_ = false;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::profile_kernel_from_env() {
+  profile_env_ = true;
   return *this;
 }
 
@@ -135,6 +147,10 @@ Scenario ScenarioBuilder::build() const {
     scenario.dc_->telemetry().enable_all();
   } else if (enable_tracing_) {
     scenario.dc_->tracer().enable();
+  }
+  if (enable_profiling_ ||
+      (profile_env_ && std::getenv(sim::kProfileEnv) != nullptr)) {
+    scenario.dc_->simulator().queue().enable_profiling();
   }
   if (plan) {
     scenario.fault_plan_ = std::move(plan);

@@ -92,8 +92,19 @@ class ScenarioBuilder {
   /// Enables only the tracer (operation timeline, no metrics).
   ScenarioBuilder& tracing(bool on = true);
   ScenarioBuilder& power_management(bool on = true);
+  /// Wire every attachment as an optical circuit, even intra-tray (see
+  /// DatacenterConfig::prefer_optical_attach).
+  ScenarioBuilder& prefer_optical(bool on = true);
   ScenarioBuilder& fabric_retry(std::optional<sim::RetryPolicy> policy);
   ScenarioBuilder& oom_guard(const orch::OomGuardConfig& guard);
+  /// Enables the event-kernel self-profiler (per-event-type dispatch
+  /// counts and host-time attribution; see EventQueue::profile_to_string).
+  /// Host timings never feed digests, so profiling cannot perturb a run's
+  /// determinism contract — only its wall-clock cost.
+  ScenarioBuilder& profile_kernel(bool on = true);
+  /// Enables the profiler iff $DREDBOX_PROFILE is set (to anything) at
+  /// build() time.
+  ScenarioBuilder& profile_kernel_from_env();
 
   // --- faults ---
   ScenarioBuilder& fault_plan(sim::FaultPlan plan);
@@ -123,6 +134,8 @@ class ScenarioBuilder {
   DatacenterConfig config_;
   bool enable_telemetry_ = false;
   bool enable_tracing_ = false;
+  bool enable_profiling_ = false;
+  bool profile_env_ = false;
   std::optional<sim::FaultPlan> fault_plan_;
   std::optional<std::string> fault_spec_;
   bool fault_plan_env_ = false;

@@ -180,7 +180,8 @@ std::vector<hw::VmId> Hypervisor::vms() const {
 }
 
 sim::Time Hypervisor::expand_vm_memory(hw::VmId vm_id, std::uint64_t size,
-                                       hw::SegmentId segment, sim::Time now) {
+                                       hw::SegmentId segment, sim::Time now,
+                                       const sim::TraceContext& ctx) {
   if (size > available_bytes()) {
     throw std::logic_error(
         "Hypervisor::expand_vm_memory: host has insufficient memory; attach remote "
@@ -205,6 +206,8 @@ sim::Time Hypervisor::expand_vm_memory(hw::VmId vm_id, std::uint64_t size,
     if (telemetry_->tracing()) {
       sim::Span span{telemetry_->tracer(), sim::TraceCategory::kHypervisor,
                      "DIMM add + guest online", now};
+      span.context(ctx.valid() ? telemetry_->tracer().child_of(ctx)
+                               : telemetry_->tracer().begin_trace());
       span.arg("vm", vm_id.to_string())
           .arg("bytes", std::to_string(size))
           .arg("brick", brick_.id().to_string());

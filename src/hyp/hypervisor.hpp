@@ -11,6 +11,7 @@
 #include "os/baremetal_os.hpp"
 #include "sim/metrics.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace dredbox::hyp {
 
@@ -72,9 +73,11 @@ class Hypervisor {
   /// Hypervisor half of the scale-up path: after the baremetal OS onlines
   /// remote memory, plug a new DIMM of `size` bytes (backed by `segment`)
   /// into the guest and online it there. Returns the hypervisor+guest
-  /// latency. Throws when the host lacks the memory.
+  /// latency. Throws when the host lacks the memory. `ctx`, when valid,
+  /// nests the recorded DIMM-add span under the caller's trace (the SDM-C
+  /// passes its scale-up root).
   sim::Time expand_vm_memory(hw::VmId vm, std::uint64_t size, hw::SegmentId segment,
-                             sim::Time now);
+                             sim::Time now, const sim::TraceContext& ctx = {});
 
   /// Scale-down: balloon out `size` bytes then remove the DIMM backed by
   /// `segment`. Returns the latency; 0-size result means unknown segment.

@@ -77,9 +77,11 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
       if (telemetry->tracing()) {
         sim::Span span{telemetry->tracer(), sim::TraceCategory::kFabric, "dma transfer",
                        done.enqueued_at};
+        span.context(telemetry->tracer().child_of(job.descriptor.ctx));
         span.arg("bytes", std::to_string(done.bytes))
             .arg("chunks", std::to_string(done.chunks))
             .arg("direction", to_string(job.descriptor.direction));
+        if (done.retries > 0) span.arg("retries", std::to_string(done.retries));
         span.end(done.completed_at);
       }
     }
@@ -92,8 +94,8 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
       std::min<std::uint64_t>(chunk_bytes_, job.descriptor.bytes - offset));
   const std::uint64_t addr = job.descriptor.address + offset;
   const Transaction tx = job.descriptor.direction == TransactionKind::kWrite
-                             ? fabric_.write(compute_, addr, span, sim_.now())
-                             : fabric_.read(compute_, addr, span, sim_.now());
+                             ? fabric_.write(compute_, addr, span, sim_.now(), job.descriptor.ctx)
+                             : fabric_.read(compute_, addr, span, sim_.now(), job.descriptor.ctx);
   if (!tx.ok()) {
     // Event-scheduled chunk retry: unlike the fabric's synchronous loop,
     // waiting on the simulator timeline lets queued recovery (a fault
@@ -107,7 +109,7 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
         if (bind_telemetry() != nullptr) retries_metric_->add();
         sim_.after(*delay, [this, channel, job = std::move(job), offset, chunks]() mutable {
           step(channel, std::move(job), offset, chunks);
-        });
+        }, "memsys.dma.retry");
         return;
       }
     }
@@ -131,7 +133,7 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
   job.backoff.reset();
   sim_.at(tx.completed_at, [this, channel, job = std::move(job), offset, span, chunks]() mutable {
     step(channel, std::move(job), offset + span, chunks + 1);
-  });
+  }, "memsys.dma.step");
 }
 
 }  // namespace dredbox::memsys

@@ -18,6 +18,9 @@ struct DmaDescriptor {
   std::uint64_t address = 0;   // brick-physical address in the remote window
   std::uint64_t bytes = 0;
   TransactionKind direction = TransactionKind::kWrite;  // write = push to remote
+  /// Caller's trace context; when valid, the transfer span and every
+  /// chunk's fabric span nest under it.
+  sim::TraceContext ctx;
 };
 
 /// Completion report delivered to the requester's callback.

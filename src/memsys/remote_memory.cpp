@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/contract.hpp"
+#include "sim/format.hpp"
 #include "sim/span.hpp"
 
 namespace dredbox::memsys {
@@ -885,8 +886,19 @@ const Attachment* RemoteMemoryFabric::find_attachment(hw::BrickId compute,
 
 Transaction RemoteMemoryFabric::execute(TransactionKind kind, hw::BrickId compute,
                                         std::uint64_t address, std::uint32_t bytes,
-                                        sim::Time when) {
-  Transaction tx = execute_path(kind, compute, address, bytes, when);
+                                        sim::Time when, const sim::TraceContext& parent) {
+  // The fabric span's causal identity: nested under the caller's trace
+  // when one was passed (workload op, DMA chunk), a fresh root otherwise.
+  // Minting never draws from the simulation Rng, so tracing on/off leaves
+  // the op stream and digests untouched.
+  sim::TraceContext ctx;
+  const bool tracing = telemetry_ != nullptr && telemetry_->tracing();
+  if (tracing) {
+    auto& tracer = telemetry_->tracer();
+    ctx = parent.valid() ? tracer.child_of(parent) : tracer.begin_trace();
+  }
+
+  Transaction tx = execute_path(kind, compute, address, bytes, when, ctx);
 
   // Recovery loop: with a retry policy set, failed transactions back off
   // exponentially and attack the cause — scrub a corrupted RMST, wire a
@@ -911,18 +923,40 @@ Transaction RemoteMemoryFabric::execute(TransactionKind kind, hw::BrickId comput
         break;
       }
       accumulated.charge("retry backoff", *delay);
+      if (tracing) {
+        telemetry_->tracer().record_span(t, t + *delay, sim::TraceCategory::kFabric,
+                                         "retry backoff",
+                                         {{"status", to_string(tx.status)}},
+                                         telemetry_->tracer().child_of(ctx));
+      }
       t += *delay;
 
       bool recovered = true;
       if (tx.status == TransactionStatus::kCorruptMapping ||
           tx.status == TransactionStatus::kNoMapping) {
         scrub_rmst(compute);
+        if (tracing) {
+          telemetry_->tracer().record_span(t, t, sim::TraceCategory::kFabric, "RMST scrub", {},
+                                           telemetry_->tracer().child_of(ctx));
+        }
       } else if (tx.status == TransactionStatus::kCircuitDown) {
         if (repair(compute, a->segment, t).has_value()) {
           accumulated.charge("circuit re-provision", circuits_.setup_time());
+          if (tracing) {
+            telemetry_->tracer().record_span(t, t + circuits_.setup_time(),
+                                             sim::TraceCategory::kFabric,
+                                             "circuit re-provision", {},
+                                             telemetry_->tracer().child_of(ctx));
+          }
           t += circuits_.setup_time();
           if (reprovisions_metric_ != nullptr) reprovisions_metric_->add();
-        } else if (!failover_to_packet(compute, a->segment, t).has_value()) {
+        } else if (failover_to_packet(compute, a->segment, t).has_value()) {
+          if (tracing) {
+            telemetry_->tracer().record_span(t, t, sim::TraceCategory::kFabric,
+                                             "packet failover", {},
+                                             telemetry_->tracer().child_of(ctx));
+          }
+        } else {
           recovered = false;  // no optical spare, no packet path: give up
         }
       }
@@ -930,7 +964,7 @@ Transaction RemoteMemoryFabric::execute(TransactionKind kind, hw::BrickId comput
 
       ++retries;
       if (retries_metric_ != nullptr) retries_metric_->add();
-      Transaction attempt = execute_path(kind, compute, address, bytes, t);
+      Transaction attempt = execute_path(kind, compute, address, bytes, t, ctx);
       accumulated.merge(attempt.breakdown);
       tx = attempt;
       t = tx.completed_at;
@@ -952,16 +986,24 @@ Transaction RemoteMemoryFabric::execute(TransactionKind kind, hw::BrickId comput
     if (telemetry_->tracing()) {
       sim::Span span{telemetry_->tracer(), sim::TraceCategory::kFabric,
                      kind == TransactionKind::kRead ? "remote read" : "remote write", tx.issued_at};
+      span.context(ctx);
       span.arg("bytes", std::to_string(tx.bytes)).arg("status", to_string(tx.status));
+      if (tx.retries > 0) span.arg("retries", std::to_string(tx.retries));
+      // Per-op critical-path breakdown, keyed on the span itself so a
+      // report reader sees where this transaction's round trip went.
+      for (const auto& [component, amount] : tx.breakdown.components()) {
+        span.arg("bd." + component, sim::strformat("%.3f", amount.as_ns()));
+      }
       span.end(tx.completed_at);
     }
   }
+  tx.ctx = ctx;
   return tx;
 }
 
 Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId compute,
                                              std::uint64_t address, std::uint32_t bytes,
-                                             sim::Time when) {
+                                             sim::Time when, const sim::TraceContext& ctx) {
   Transaction tx;
   tx.kind = kind;
   tx.source = compute;
@@ -1009,9 +1051,10 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
     net::Packet pkt =
         kind == TransactionKind::kRead
             ? packet_net_->remote_read(compute, tx.destination, tx.remote_address, bytes, t,
-                                       rack_.memory_brick(tx.destination).config().technology)
+                                       rack_.memory_brick(tx.destination).config().technology, ctx)
             : packet_net_->remote_write(compute, tx.destination, tx.remote_address, bytes, t,
-                                        rack_.memory_brick(tx.destination).config().technology);
+                                        rack_.memory_brick(tx.destination).config().technology,
+                                        ctx);
     tx.breakdown.merge(pkt.breakdown);
     tx.completed_at = pkt.delivered_at;
     return tx;
@@ -1172,13 +1215,15 @@ void RemoteMemoryFabric::check_invariants() const {
 }
 
 Transaction RemoteMemoryFabric::read(hw::BrickId compute, std::uint64_t address,
-                                     std::uint32_t bytes, sim::Time when) {
-  return execute(TransactionKind::kRead, compute, address, bytes, when);
+                                     std::uint32_t bytes, sim::Time when,
+                                     const sim::TraceContext& ctx) {
+  return execute(TransactionKind::kRead, compute, address, bytes, when, ctx);
 }
 
 Transaction RemoteMemoryFabric::write(hw::BrickId compute, std::uint64_t address,
-                                      std::uint32_t bytes, sim::Time when) {
-  return execute(TransactionKind::kWrite, compute, address, bytes, when);
+                                      std::uint32_t bytes, sim::Time when,
+                                      const sim::TraceContext& ctx) {
+  return execute(TransactionKind::kWrite, compute, address, bytes, when, ctx);
 }
 
 }  // namespace dredbox::memsys

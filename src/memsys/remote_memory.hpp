@@ -194,10 +194,15 @@ class RemoteMemoryFabric {
   std::size_t attachment_count() const { return attachments_.size(); }
 
   // --- data plane ---
+  /// `ctx`, when valid, parents the recorded fabric span (and every
+  /// recovery event of the retry loop) under the caller's trace — the
+  /// workload-op → transaction → retry/fallback → completion chain. The
+  /// default (invalid) context makes each traced transaction its own
+  /// trace root.
   Transaction read(hw::BrickId compute, std::uint64_t address, std::uint32_t bytes,
-                   sim::Time when);
+                   sim::Time when, const sim::TraceContext& ctx = {});
   Transaction write(hw::BrickId compute, std::uint64_t address, std::uint32_t bytes,
-                    sim::Time when);
+                    sim::Time when, const sim::TraceContext& ctx = {});
 
   const CircuitPathLatencies& latencies() const { return latencies_; }
 
@@ -287,9 +292,9 @@ class RemoteMemoryFabric {
   /// relocate / failover.
   void release_circuit_if_unused(const Attachment& removed);
   Transaction execute(TransactionKind kind, hw::BrickId compute, std::uint64_t address,
-                      std::uint32_t bytes, sim::Time when);
+                      std::uint32_t bytes, sim::Time when, const sim::TraceContext& parent);
   Transaction execute_path(TransactionKind kind, hw::BrickId compute, std::uint64_t address,
-                           std::uint32_t bytes, sim::Time when);
+                           std::uint32_t bytes, sim::Time when, const sim::TraceContext& ctx);
   sim::Time serialization_time(std::uint32_t bytes, LinkMedium medium,
                                std::size_t lanes) const;
   const Attachment* find_attachment(hw::BrickId compute, std::uint64_t address) const;

@@ -6,6 +6,7 @@
 #include "hw/ids.hpp"
 #include "sim/breakdown.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace dredbox::memsys {
 
@@ -39,6 +40,10 @@ struct Transaction {
   /// Recovery attempts the fabric made beyond the first issue (retry with
   /// backoff, RMST scrub, circuit re-provision, packet failover).
   std::uint32_t retries = 0;
+  /// Causal identity of the fabric span recorded for this transaction
+  /// (child of the caller's context when one was passed; invalid when
+  /// tracing is off). Callers nest deeper work under it.
+  sim::TraceContext ctx;
 
   bool ok() const { return status == TransactionStatus::kOk; }
   sim::Time round_trip() const { return completed_at - issued_at; }

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "optics/circuit.hpp"
+#include "sim/span.hpp"
 
 namespace dredbox::net {
 
@@ -26,6 +27,7 @@ PacketNetwork::PacketNetwork(const PacketPathLatencies& latencies, optics::FecMo
     : latencies_{latencies}, mac_phy_{latencies}, fec_{fec} {}
 
 void PacketNetwork::set_telemetry(sim::Telemetry* telemetry) {
+  telemetry_ = telemetry;
   if (telemetry == nullptr) {
     packets_metric_ = retransmissions_metric_ = nullptr;
     latency_metric_ = queueing_metric_ = nullptr;
@@ -39,7 +41,7 @@ void PacketNetwork::set_telemetry(sim::Telemetry* telemetry) {
   // column); queueing is sub-us unless an output port is congested.
   latency_metric_ = &m.histogram("net.packet.latency_ns", 0.0, 20000.0, 50);
   queueing_metric_ = &m.histogram("net.switch.queueing_ns", 0.0, 2000.0, 40);
-  congestion_metric_ = &m.gauge("net.congestion_factor");
+  congestion_metric_ = &m.gauge("net.packet.congestion_factor");
   congestion_metric_->set(congestion_factor_);
 }
 
@@ -183,7 +185,7 @@ sim::Time PacketNetwork::traverse(hw::BrickId src, hw::BrickId dst, std::uint32_
 
 Packet PacketNetwork::remote_read(hw::BrickId src, hw::BrickId dst, std::uint64_t address,
                                   std::uint32_t payload_bytes, sim::Time when,
-                                  hw::MemoryTechnology tech) {
+                                  hw::MemoryTechnology tech, const sim::TraceContext& ctx) {
   Packet pkt;
   pkt.id = next_packet_++;
   pkt.type = PacketType::kMemReadReq;
@@ -212,12 +214,13 @@ Packet PacketNetwork::remote_read(hw::BrickId src, hw::BrickId dst, std::uint64_
     packets_metric_->add();
     latency_metric_->observe((pkt.delivered_at - pkt.injected_at).as_ns());
   }
+  record_packet_span(pkt, ctx);
   return pkt;
 }
 
 Packet PacketNetwork::remote_write(hw::BrickId src, hw::BrickId dst, std::uint64_t address,
                                    std::uint32_t payload_bytes, sim::Time when,
-                                   hw::MemoryTechnology tech) {
+                                   hw::MemoryTechnology tech, const sim::TraceContext& ctx) {
   Packet pkt;
   pkt.id = next_packet_++;
   pkt.type = PacketType::kMemWriteReq;
@@ -244,7 +247,20 @@ Packet PacketNetwork::remote_write(hw::BrickId src, hw::BrickId dst, std::uint64
     packets_metric_->add();
     latency_metric_->observe((pkt.delivered_at - pkt.injected_at).as_ns());
   }
+  record_packet_span(pkt, ctx);
   return pkt;
+}
+
+void PacketNetwork::record_packet_span(const Packet& pkt, const sim::TraceContext& ctx) {
+  if (telemetry_ == nullptr || !telemetry_->tracing()) return;
+  sim::Span span{telemetry_->tracer(), sim::TraceCategory::kFabric, "packet round trip",
+                 pkt.injected_at};
+  span.context(telemetry_->tracer().child_of(ctx));
+  span.arg("type", to_string(pkt.type))
+      .arg("bytes", std::to_string(pkt.payload_bytes))
+      .arg("src", std::to_string(pkt.src.value))
+      .arg("dst", std::to_string(pkt.dst.value));
+  span.end(pkt.delivered_at);
 }
 
 }  // namespace dredbox::net

@@ -13,6 +13,7 @@
 #include "optics/fec.hpp"
 #include "sim/metrics.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace dredbox::net {
 
@@ -52,15 +53,20 @@ class PacketNetwork {
   PacketSwitch& switch_of(hw::BrickId brick);
 
   /// One remote read round trip: request out, `payload_bytes` back.
-  /// `when` is the instant the APU issues the transaction.
+  /// `when` is the instant the APU issues the transaction. `ctx`, when
+  /// valid, nests the recorded packet span under the caller's trace (the
+  /// fabric passes its transaction span when a packet-substrate
+  /// attachment delegates here).
   Packet remote_read(hw::BrickId src, hw::BrickId dst, std::uint64_t address,
                      std::uint32_t payload_bytes, sim::Time when,
-                     hw::MemoryTechnology tech = hw::MemoryTechnology::kDdr4);
+                     hw::MemoryTechnology tech = hw::MemoryTechnology::kDdr4,
+                     const sim::TraceContext& ctx = {});
 
   /// One remote write round trip: payload out, short ack back.
   Packet remote_write(hw::BrickId src, hw::BrickId dst, std::uint64_t address,
                       std::uint32_t payload_bytes, sim::Time when,
-                      hw::MemoryTechnology tech = hw::MemoryTechnology::kDdr4);
+                      hw::MemoryTechnology tech = hw::MemoryTechnology::kDdr4,
+                      const sim::TraceContext& ctx = {});
 
   std::uint64_t packets_sent() const { return next_packet_ - 1; }
 
@@ -95,6 +101,7 @@ class PacketNetwork {
   double congestion_factor_ = 1.0;
   double loss_retransmissions_ = 0.0;
 
+  sim::Telemetry* telemetry_ = nullptr;
   sim::metrics::Counter* packets_metric_ = nullptr;
   sim::metrics::Counter* retransmissions_metric_ = nullptr;
   sim::metrics::Histogram* latency_metric_ = nullptr;
@@ -110,6 +117,10 @@ class PacketNetwork {
                      bool from_compute, sim::Breakdown& breakdown);
 
   sim::Time memory_access_time(hw::MemoryTechnology tech) const;
+
+  /// Records the delivered packet as a span nested under `ctx` (no-op when
+  /// telemetry is detached or tracing is disabled).
+  void record_packet_span(const Packet& pkt, const sim::TraceContext& ctx);
 };
 
 }  // namespace dredbox::net

@@ -16,8 +16,8 @@ sim::Time SdmAgent::attach_physical(const memsys::Attachment& attachment) {
 }
 
 sim::Time SdmAgent::expand_guest(hw::VmId vm, const memsys::Attachment& attachment,
-                                 sim::Time now) {
-  return hypervisor_.expand_vm_memory(vm, attachment.size, attachment.segment, now);
+                                 sim::Time now, const sim::TraceContext& ctx) {
+  return hypervisor_.expand_vm_memory(vm, attachment.size, attachment.segment, now, ctx);
 }
 
 sim::Time SdmAgent::shrink_guest(hw::VmId vm, const memsys::Attachment& attachment) {

@@ -26,8 +26,10 @@ class SdmAgent {
   /// Baremetal attach: online the hot-added range. Returns kernel latency.
   sim::Time attach_physical(const memsys::Attachment& attachment);
 
-  /// Guest expansion: plug the DIMM and online it in the guest.
-  sim::Time expand_guest(hw::VmId vm, const memsys::Attachment& attachment, sim::Time now);
+  /// Guest expansion: plug the DIMM and online it in the guest. `ctx`
+  /// nests the hypervisor's DIMM-add span under the caller's trace.
+  sim::Time expand_guest(hw::VmId vm, const memsys::Attachment& attachment, sim::Time now,
+                         const sim::TraceContext& ctx = {});
 
   /// Reverse path for scale-down: shrink guest, offline the range.
   sim::Time shrink_guest(hw::VmId vm, const memsys::Attachment& attachment);

@@ -161,6 +161,7 @@ AllocationResult SdmController::allocate_vm(const AllocationRequest& request, si
     (result.ok ? allocations_metric_ : allocation_failures_metric_)->add();
     if (telemetry_->tracing()) {
       sim::Span span{telemetry_->tracer(), sim::TraceCategory::kOrchestration, "allocate VM", now};
+      span.context(telemetry_->tracer().begin_trace());
       span.arg("vcpus", std::to_string(request.vcpus))
           .arg("memory_mib", std::to_string(request.memory_bytes >> 20))
           .arg("ok", result.ok ? "yes" : "no");
@@ -205,16 +206,19 @@ AllocationResult SdmController::allocate_vm_impl(const AllocationRequest& reques
       return result;
     }
     t = wake_brick(*membrick, t, breakdown);
-    // Intra-tray pairs ride the tray's fixed electrical wiring: nothing to
-    // program on the optical switch.
-    const bool new_circuit = !circuit_exists(*compute, *membrick) &&
-                             rack_.brick(*compute).tray() != rack_.brick(*membrick).tray();
+    // Intra-tray pairs ride the tray's fixed electrical wiring (nothing to
+    // program on the optical switch) unless optical is preferred.
+    const bool new_circuit =
+        !circuit_exists(*compute, *membrick) &&
+        (prefer_optical_ ||
+         rack_.brick(*compute).tray() != rack_.brick(*membrick).tray());
     t = program_switch(t, new_circuit, breakdown);
 
     memsys::AttachRequest areq;
     areq.compute = *compute;
     areq.membrick = *membrick;
     areq.bytes = chunk;
+    areq.prefer_electrical_intra_tray = !prefer_optical_;
     auto attachment = fabric_.attach(areq, t);
     if (!attachment) {
       result.error = "attach failed: " + memsys::to_string(fabric_.last_error());
@@ -244,7 +248,13 @@ AllocationResult SdmController::allocate_vm_impl(const AllocationRequest& reques
 }
 
 ScaleUpResult SdmController::scale_up(const ScaleUpRequest& request) {
-  ScaleUpResult result = scale_up_impl(request);
+  // Trace root for the whole control-plane flow: the kernel hot-add and
+  // the hypervisor's DIMM-add spans nest under it.
+  sim::TraceContext ctx;
+  if (telemetry_ != nullptr && telemetry_->tracing()) {
+    ctx = telemetry_->tracer().begin_trace();
+  }
+  ScaleUpResult result = scale_up_impl(request, ctx);
   if (telemetry_ != nullptr) {
     if (result.ok) {
       scale_ups_metric_->add();
@@ -255,6 +265,7 @@ ScaleUpResult SdmController::scale_up(const ScaleUpRequest& request) {
     if (telemetry_->tracing()) {
       sim::Span span{telemetry_->tracer(), sim::TraceCategory::kOrchestration, "scale up",
                      result.posted_at};
+      span.context(ctx);
       span.arg("vm", request.vm.to_string())
           .arg("bytes", std::to_string(request.bytes))
           .arg("ok", result.ok ? "yes" : "no");
@@ -265,7 +276,8 @@ ScaleUpResult SdmController::scale_up(const ScaleUpRequest& request) {
   return result;
 }
 
-ScaleUpResult SdmController::scale_up_impl(const ScaleUpRequest& request) {
+ScaleUpResult SdmController::scale_up_impl(const ScaleUpRequest& request,
+                                           const sim::TraceContext& ctx) {
   ScaleUpResult result;
   result.vm = request.vm;
   result.posted_at = request.posted_at;
@@ -283,17 +295,19 @@ ScaleUpResult SdmController::scale_up_impl(const ScaleUpRequest& request) {
   }
   t = wake_brick(*membrick, t, result.breakdown);
 
-  // Intra-tray pairs ride the tray's fixed electrical wiring: nothing to
-  // program on the optical switch.
+  // Intra-tray pairs ride the tray's fixed electrical wiring (nothing to
+  // program on the optical switch) unless optical is preferred.
   const bool new_circuit =
       !circuit_exists(request.compute, *membrick) &&
-      rack_.brick(request.compute).tray() != rack_.brick(*membrick).tray();
+      (prefer_optical_ ||
+       rack_.brick(request.compute).tray() != rack_.brick(*membrick).tray());
   t = program_switch(t, new_circuit, result.breakdown);
 
   memsys::AttachRequest areq;
   areq.compute = request.compute;
   areq.membrick = *membrick;
   areq.bytes = request.bytes;
+  areq.prefer_electrical_intra_tray = !prefer_optical_;
   areq.allow_packet_fallback = request.allow_packet_fallback;
   auto attachment = fabric_.attach(areq, t);
   if (!attachment) {
@@ -318,7 +332,8 @@ ScaleUpResult SdmController::scale_up_impl(const ScaleUpRequest& request) {
     telemetry_->tracer().record_span(hp_start, hp_start + hp_latency,
                                      sim::TraceCategory::kHotplug, "kernel hot-add",
                                      {{"brick", request.compute.to_string()},
-                                      {"bytes", std::to_string(request.bytes)}});
+                                      {"bytes", std::to_string(request.bytes)}},
+                                     telemetry_->tracer().child_of(ctx));
   }
   t = hp_start + hp_latency;
 
@@ -326,7 +341,7 @@ ScaleUpResult SdmController::scale_up_impl(const ScaleUpRequest& request) {
   // hypervisor to expand the guest's physical memory.
   result.breakdown.charge("hypervisor handoff", timing_.hypervisor_handoff);
   t += timing_.hypervisor_handoff;
-  const sim::Time hv_latency = agent.expand_guest(request.vm, *attachment, t);
+  const sim::Time hv_latency = agent.expand_guest(request.vm, *attachment, t, ctx);
   result.breakdown.charge("QEMU DIMM add + guest online", hv_latency);
   t += hv_latency;
 
@@ -423,7 +438,8 @@ ScaleUpResult SdmController::rebalance(hw::VmId donor, hw::VmId recipient,
                                      "balloon rebalance",
                                      {{"donor", donor.to_string()},
                                       {"recipient", recipient.to_string()},
-                                      {"bytes", std::to_string(bytes)}});
+                                      {"bytes", std::to_string(bytes)}},
+                                     telemetry_->tracer().begin_trace());
   }
   return result;
 }
@@ -507,6 +523,13 @@ void SdmController::stall(sim::Time now, sim::Time duration) {
 std::size_t SdmController::evacuate_membrick(hw::BrickId membrick, sim::Time now) {
   refresh_degraded_membricks();
   std::size_t evacuated = 0;
+  std::size_t lost = 0;
+  // Trace root for the whole fault response: each attachment's rebind (or
+  // loss) is a child, so a report reader can follow a brick crash down to
+  // the guests it touched.
+  sim::TraceContext ctx;
+  const bool tracing = telemetry_ != nullptr && telemetry_->tracing();
+  if (tracing) ctx = telemetry_->tracer().begin_trace();
   // Deterministic sweep: compute bricks in id order, attachments in the
   // fabric's stable record order.
   for (hw::BrickId cb : rack_.bricks_of_kind(hw::BrickKind::kCompute)) {
@@ -525,11 +548,36 @@ std::size_t SdmController::evacuate_membrick(hw::BrickId membrick, sim::Time now
         if (has_agent(cb)) {
           agent_for(cb).hypervisor().rebind_dimm_backing(a.segment, moved->segment);
         }
+        if (tracing) {
+          telemetry_->tracer().record_span(now, now, sim::TraceCategory::kOrchestration,
+                                           "segment rebind",
+                                           {{"compute", cb.to_string()},
+                                            {"from", a.segment.to_string()},
+                                            {"to", moved->segment.to_string()},
+                                            {"membrick", moved->membrick.to_string()}},
+                                           telemetry_->tracer().child_of(ctx));
+        }
       } else {
+        ++lost;
         if (evacuation_failures_metric_ != nullptr) evacuation_failures_metric_->add();
         if (has_agent(cb)) agent_for(cb).hypervisor().note_backing_lost(a.segment);
+        if (tracing) {
+          telemetry_->tracer().record_span(now, now, sim::TraceCategory::kOrchestration,
+                                           "backing lost",
+                                           {{"compute", cb.to_string()},
+                                            {"segment", a.segment.to_string()}},
+                                           telemetry_->tracer().child_of(ctx));
+        }
       }
     }
+  }
+  if (tracing && (evacuated > 0 || lost > 0)) {
+    telemetry_->tracer().record_span(now, now, sim::TraceCategory::kOrchestration,
+                                     "evacuate membrick",
+                                     {{"membrick", membrick.to_string()},
+                                      {"evacuated", std::to_string(evacuated)},
+                                      {"lost", std::to_string(lost)}},
+                                     ctx);
   }
   return evacuated;
 }

@@ -43,6 +43,11 @@ class SdmController {
   /// reports activity so idle bricks can be swept). Without one, bricks
   /// power on instantly (the Fig. 10 configuration).
   void set_power_manager(PowerManager* manager) { power_mgr_ = manager; }
+
+  /// When on, attachments are wired as optical circuits even for
+  /// intra-tray pairs (switch programmed, ports burned) instead of riding
+  /// the tray's electrical wiring. See DatacenterConfig::prefer_optical_attach.
+  void set_prefer_optical(bool on) { prefer_optical_ = on; }
   SdmAgent& agent_for(hw::BrickId compute);
   bool has_agent(hw::BrickId compute) const { return agents_.count(compute) != 0; }
 
@@ -154,6 +159,7 @@ class SdmController {
   optics::CircuitManager& circuits_;
   SdmTiming timing_;
   PowerManager* power_mgr_ = nullptr;
+  bool prefer_optical_ = false;
   MemoryDemandRegistry demand_;
   // Ordered by id: rack-wide agent sweeps must be deterministic.
   std::map<hw::BrickId, SdmAgent*> agents_;
@@ -177,7 +183,7 @@ class SdmController {
   void refresh_degraded_membricks();
 
   AllocationResult allocate_vm_impl(const AllocationRequest& request, sim::Time now);
-  ScaleUpResult scale_up_impl(const ScaleUpRequest& request);
+  ScaleUpResult scale_up_impl(const ScaleUpRequest& request, const sim::TraceContext& ctx);
 
   /// Serialized inspect+reserve step; returns the time it completes and
   /// charges queueing + service into `breakdown`.

@@ -1,18 +1,21 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "sim/contract.hpp"
+#include "sim/format.hpp"
 
 namespace dredbox::sim {
 
-EventId EventQueue::schedule(Time when, Action action) {
+EventId EventQueue::schedule(Time when, Action action, const char* label) {
   if (when < now_) {
     throw std::invalid_argument("EventQueue::schedule: time " + when.to_string() +
                                 " precedes current time " + now_.to_string());
   }
   EventId id{next_id_++};
-  heap_.push(Entry{when, next_seq_++, id, std::move(action)});
+  heap_.push(Entry{when, next_seq_++, id, label, std::move(action)});
   pending_.insert(id.value);
   DREDBOX_AUDIT_INVARIANT(check_invariants());
   return id;
@@ -49,6 +52,20 @@ bool EventQueue::dispatch_one() {
   pending_.erase(top.id.value);
   now_ = top.when;
   DREDBOX_AUDIT_INVARIANT(check_invariants());
+  if (profiling_) {
+    // Host-clock attribution for the self-profile only: the measurement
+    // never reaches simulation state, digests, or scheduling decisions.
+    // dredbox-lint: ignore[wall-clock]
+    const auto host_begin = std::chrono::steady_clock::now();
+    top.action();
+    // dredbox-lint: ignore[wall-clock]
+    const auto host_end = std::chrono::steady_clock::now();
+    ProfileCell& cell = profile_[top.label != nullptr ? top.label : "(unlabeled)"];
+    ++cell.dispatches;
+    cell.host_ns += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(host_end - host_begin).count());
+    return true;
+  }
   top.action();
   return true;
 }
@@ -74,7 +91,38 @@ void EventQueue::reset() {
   pending_.clear();
   cancelled_.clear();
   now_ = Time::zero();
+  profile_.clear();
   DREDBOX_AUDIT_INVARIANT(check_invariants());
+}
+
+std::vector<KernelProfileEntry> EventQueue::kernel_profile() const {
+  std::vector<KernelProfileEntry> out;
+  out.reserve(profile_.size());
+  for (const auto& [label, cell] : profile_) {
+    out.push_back(KernelProfileEntry{label, cell.dispatches, cell.host_ns});
+  }
+  return out;
+}
+
+std::string EventQueue::profile_to_string() const {
+  auto rows = kernel_profile();
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.host_ns > b.host_ns;
+  });
+  std::string out = "event kernel profile (host time, excludes queue bookkeeping)\n";
+  std::uint64_t total_dispatches = 0;
+  double total_ns = 0.0;
+  for (const auto& row : rows) {
+    total_dispatches += row.dispatches;
+    total_ns += row.host_ns;
+    out += strformat("  %-32s %10llu dispatches  %10.0f ns total  %8.1f ns/event\n",
+                     row.label.c_str(), (unsigned long long)row.dispatches, row.host_ns,
+                     row.ns_per_dispatch());
+  }
+  out += strformat("  %-32s %10llu dispatches  %10.0f ns total  %8.1f ns/event", "TOTAL",
+                   (unsigned long long)total_dispatches, total_ns,
+                   total_dispatches > 0 ? total_ns / static_cast<double>(total_dispatches) : 0.0);
+  return out;
 }
 
 void EventQueue::check_invariants() const {

@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <queue>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -14,6 +16,27 @@ namespace dredbox::sim {
 struct EventId {
   std::uint64_t value = 0;
   constexpr auto operator<=>(const EventId&) const = default;
+};
+
+/// Environment variable that, when set (to anything non-empty), asks the
+/// top-level entry points (ScenarioBuilder, examples) to turn on the
+/// event-kernel self-profiler. The queue itself never reads the
+/// environment — tests flip profiling explicitly.
+inline constexpr const char* kProfileEnv = "DREDBOX_PROFILE";
+
+/// One row of the event-kernel self-profile: how many events of one label
+/// dispatched and how much *host* time their actions consumed. Host time
+/// is wall-clock measurement of this process and is therefore not part of
+/// any determinism contract — it exists to locate the ~250 ns/event
+/// kernel overhead (ROADMAP item 1), not to feed digests.
+struct KernelProfileEntry {
+  std::string label;
+  std::uint64_t dispatches = 0;
+  double host_ns = 0.0;
+
+  double ns_per_dispatch() const {
+    return dispatches > 0 ? host_ns / static_cast<double>(dispatches) : 0.0;
+  }
 };
 
 /// Deterministic discrete-event queue.
@@ -31,8 +54,10 @@ class EventQueue {
   using Action = std::function<void()>;
 
   /// Schedules `action` at absolute time `when`. `when` must not precede
-  /// the timestamp of the event currently being dispatched.
-  EventId schedule(Time when, Action action);
+  /// the timestamp of the event currently being dispatched. `label`, when
+  /// given, must be a string with static storage duration (a literal);
+  /// it names the event type in the kernel self-profile.
+  EventId schedule(Time when, Action action, const char* label = nullptr);
 
   /// Cancels a pending event. Returns false if the event already fired,
   /// was cancelled before, or never existed.
@@ -70,11 +95,27 @@ class EventQueue {
   /// (e.g. from tests) in any build.
   void check_invariants() const;
 
+  /// Turns the self-profiler on: every subsequent dispatch is counted per
+  /// label and its action timed against the host clock. Off by default —
+  /// the disabled hot path costs one branch.
+  void enable_profiling() { profiling_ = true; }
+  void disable_profiling() { profiling_ = false; }
+  bool profiling_enabled() const { return profiling_; }
+
+  /// The accumulated self-profile, one row per distinct label (unlabeled
+  /// events fold into "(unlabeled)"), sorted by label for deterministic
+  /// iteration. Empty when profiling never ran.
+  std::vector<KernelProfileEntry> kernel_profile() const;
+
+  /// Human-readable profile table sorted by total host time descending.
+  std::string profile_to_string() const;
+
  private:
   struct Entry {
     Time when;
     std::uint64_t seq;
     EventId id;
+    const char* label;
     Action action;
 
     // Min-heap via std::priority_queue, so greater-than ordering.
@@ -93,6 +134,13 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   Time now_ = Time::zero();
+  bool profiling_ = false;
+  struct ProfileCell {
+    std::uint64_t dispatches = 0;
+    double host_ns = 0.0;
+  };
+  /// Keyed by label text; std::map so exported rows are label-sorted.
+  std::map<std::string, ProfileCell> profile_;
 
   /// Pops heap entries whose id was cancelled until a live entry (or an
   /// empty heap) surfaces.

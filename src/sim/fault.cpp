@@ -164,6 +164,23 @@ FaultPlan& FaultPlan::add(const FaultEvent& event) {
   return *this;
 }
 
+FaultPlan FaultPlan::shifted(Time offset) const {
+  FaultPlan plan;
+  for (FaultEvent event : events_) {
+    event.at = event.at + offset;
+    plan.add(event);
+  }
+  return plan;
+}
+
+Time FaultPlan::horizon() const {
+  Time horizon;
+  for (const FaultEvent& event : events_) {
+    if (event.at + event.duration > horizon) horizon = event.at + event.duration;
+  }
+  return horizon;
+}
+
 std::string FaultPlan::to_string() const {
   std::string out;
   for (const FaultEvent& event : events_) {

@@ -69,6 +69,15 @@ class FaultPlan {
   bool empty() const { return events_.empty(); }
   std::size_t size() const { return events_.size(); }
 
+  /// A copy with every event moved `offset` later. Plans are written in
+  /// plan-relative time; shift one to land relative to "now" (e.g. the
+  /// start of a measurement window) before scheduling it.
+  FaultPlan shifted(Time offset) const;
+
+  /// Latest end time of any event (at + duration); zero for an empty plan.
+  /// Advance past this and every fault has fired and auto-recovered.
+  Time horizon() const;
+
   /// Textual form: events joined by ';'. Round-trips through parse().
   std::string to_string() const;
 

@@ -66,7 +66,20 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 Histogram& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
                                       std::size_t bins) {
   auto it = histograms_.find(name);
-  if (it != histograms_.end()) return *it->second;
+  if (it != histograms_.end()) {
+    Histogram& existing = *it->second;
+    // A re-registration asking for a different bucket layout is a naming
+    // collision between two call sites, not a lookup — silently keeping
+    // the first layout would misattribute one site's samples.
+    if (existing.low() != lo || existing.high() != hi || existing.bucket_count() != bins) {
+      throw std::logic_error(
+          "MetricsRegistry: histogram '" + name + "' already registered with bounds [" +
+          TextTable::num(existing.low(), 3) + ", " + TextTable::num(existing.high(), 3) +
+          ")/" + std::to_string(existing.bucket_count()) + " bins; re-registration asked for [" +
+          TextTable::num(lo, 3) + ", " + TextTable::num(hi, 3) + ")/" + std::to_string(bins));
+    }
+    return existing;
+  }
   check_free(name, "histogram");
   auto [pos, inserted] =
       histograms_.emplace(name, std::make_unique<Histogram>(RegistryKey{}, &enabled_, lo, hi, bins));
@@ -140,13 +153,16 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
     if (g->written()) gauge(name).set(g->value());
   }
   for (const auto& [name, h] : other.histograms_) {
-    Histogram& mine = histogram(name, h->low(), h->high(), h->bucket_count());
-    if (mine.bucket_count() != h->bucket_count() || mine.low() != h->low() ||
-        mine.high() != h->high()) {
+    // Layout check up front (histogram() would also throw on mismatch,
+    // but from inside the loop the enabled_ restore below would be lost).
+    if (const Histogram* mine = find_histogram(name);
+        mine != nullptr && (mine->bucket_count() != h->bucket_count() ||
+                            mine->low() != h->low() || mine->high() != h->high())) {
       enabled_ = was_enabled;
       throw std::logic_error("MetricsRegistry::merge: histogram '" + name +
                              "' has mismatched bucket layout");
     }
+    Histogram& mine = histogram(name, h->low(), h->high(), h->bucket_count());
     mine.running_.merge(h->running_);
     mine.buckets_.merge(h->buckets_);
   }

@@ -128,11 +128,14 @@ class MetricsRegistry {
   bool enabled() const { return enabled_; }
 
   /// Get-or-create. Throws std::logic_error when the name already exists
-  /// as a different instrument type.
+  /// as a different instrument type. Names are dotted lower-case with at
+  /// least three components ("sub.system.metric"); scripts/dredbox_lint.py
+  /// enforces the scheme at registration call sites.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
-  /// For an existing name the original bounds are kept (the first
-  /// registration wins); bounds of later calls are ignored.
+  /// Get-or-create; a lookup must repeat the original bucket layout.
+  /// Throws std::logic_error (naming the instrument) when an existing
+  /// histogram is re-registered with different lo/hi/bins.
   Histogram& histogram(const std::string& name, double lo, double hi, std::size_t bins = 32);
 
   bool has(const std::string& name) const;

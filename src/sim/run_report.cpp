@@ -1,0 +1,257 @@
+#include "sim/run_report.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "sim/format.hpp"
+#include "sim/trace_export.hpp"
+
+namespace dredbox::sim {
+
+namespace {
+
+std::string json_number(double v) { return strformat("%.9g", v); }
+std::string json_us(Time t) { return strformat("%.3f", t.as_us()); }
+std::string hex16(std::uint64_t v) { return strformat("%016llx", (unsigned long long)v); }
+
+}  // namespace
+
+RunReport& RunReport::tag(std::string value) {
+  tag_ = std::move(value);
+  return *this;
+}
+
+RunReport& RunReport::seed(std::uint64_t value) {
+  seed_ = value;
+  return *this;
+}
+
+RunReport& RunReport::config_digest(std::uint64_t value) {
+  config_digest_ = value;
+  return *this;
+}
+
+RunReport& RunReport::determinism_digest(std::uint64_t value) {
+  determinism_digest_ = value;
+  return *this;
+}
+
+RunReport& RunReport::fault_plan(std::string spec) {
+  fault_plan_ = std::move(spec);
+  return *this;
+}
+
+RunReport& RunReport::duration(Time simulated) {
+  duration_ = simulated;
+  return *this;
+}
+
+RunReport& RunReport::note(const std::string& key, std::uint64_t value) {
+  notes_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+RunReport& RunReport::note(const std::string& key, double value) {
+  notes_.emplace_back(key, json_number(value));
+  return *this;
+}
+
+RunReport& RunReport::metrics(const metrics::MetricsRegistry& registry) {
+  std::string out = "[";
+  bool first = true;
+  for (const std::string& name : registry.names()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    {\"name\":\"" + json_escape(name) + "\",";
+    if (const auto* counter = registry.find_counter(name)) {
+      out += "\"type\":\"counter\",\"value\":" + std::to_string(counter->value());
+    } else if (const auto* gauge = registry.find_gauge(name)) {
+      out += "\"type\":\"gauge\",\"value\":" + json_number(gauge->value());
+    } else if (const auto* histogram = registry.find_histogram(name)) {
+      const bool filled = histogram->count() > 0;
+      out += "\"type\":\"histogram\",\"count\":" + std::to_string(histogram->count());
+      out += ",\"mean\":" + json_number(filled ? histogram->mean() : 0.0);
+      out += ",\"min\":" + json_number(filled ? histogram->min() : 0.0);
+      out += ",\"max\":" + json_number(filled ? histogram->max() : 0.0);
+      out += ",\"p50\":" + json_number(histogram->quantile(0.50));
+      out += ",\"p95\":" + json_number(histogram->quantile(0.95));
+      out += ",\"p99\":" + json_number(histogram->quantile(0.99));
+    }
+    out += '}';
+  }
+  out += first ? "]" : "\n  ]";
+  metrics_json_ = out;
+  return *this;
+}
+
+RunReport& RunReport::timeseries(const TimeSeriesSet& set, Time period) {
+  std::string out = "{\"period_us\":" + json_us(period) + ",\"series\":[";
+  bool first = true;
+  set.for_each([&](const TimeSeries& s) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    {\"name\":\"" + json_escape(s.name()) + "\",\"kind\":\"" +
+           to_string(s.kind()) + "\",\"evicted\":" + std::to_string(s.evicted()) +
+           ",\"points\":[";
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (i > 0) out += ',';
+      const SeriesPoint& p = s.point(i);
+      out += '[' + json_us(p.when) + ',' + json_number(p.value) + ']';
+    }
+    out += "]}";
+  });
+  out += first ? "]}" : "\n  ]}";
+  timeseries_json_ = out;
+  return *this;
+}
+
+namespace {
+
+/// Renders one reconstructed span-tree node; recursion bounded by the
+/// visited set (span ids are unique, so genuine traces never cycle).
+void render_span(std::string& out, const Tracer& tracer,
+                 const std::map<std::uint64_t, std::vector<std::size_t>>& children_of,
+                 std::set<std::uint64_t>& visited, std::size_t index) {
+  const TraceEvent& e = tracer.event(index);
+  out += "{\"name\":\"" + json_escape(e.message) + "\",\"category\":\"" +
+         json_escape(to_string(e.category)) + "\",\"begin_us\":" + json_us(e.when) +
+         ",\"duration_us\":" + json_us(e.duration) + ",\"span_id\":\"" + hex16(e.ctx.span_id) +
+         "\"";
+  if (e.ctx.parent_span_id != 0) {
+    out += ",\"parent_span_id\":\"" + hex16(e.ctx.parent_span_id) + "\"";
+  }
+  if (!e.args.empty()) {
+    out += ",\"args\":{";
+    for (std::size_t i = 0; i < e.args.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '"' + json_escape(e.args[i].first) + "\":\"" + json_escape(e.args[i].second) + '"';
+    }
+    out += '}';
+  }
+  const auto kids = children_of.find(e.ctx.span_id);
+  if (kids != children_of.end() && visited.insert(e.ctx.span_id).second) {
+    out += ",\"children\":[";
+    bool first = true;
+    for (std::size_t child : kids->second) {
+      if (!first) out += ',';
+      first = false;
+      render_span(out, tracer, children_of, visited, child);
+    }
+    out += ']';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+RunReport& RunReport::traces(const Tracer& tracer, std::size_t top_n) {
+  tracing_ = tracer.enabled();
+  tracer_json_ = "{\"capacity\":" + std::to_string(tracer.capacity()) +
+                 ",\"retained\":" + std::to_string(tracer.size()) +
+                 ",\"dropped_while_disabled\":" + std::to_string(tracer.dropped_while_disabled()) +
+                 ",\"evicted\":" + std::to_string(tracer.evicted()) + "}";
+
+  // Index the causal structure: first event per span id, children per
+  // parent id (ring order — i.e. recording order — within one parent).
+  std::map<std::uint64_t, std::size_t> event_of;
+  std::map<std::uint64_t, std::vector<std::size_t>> children_of;
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < tracer.size(); ++i) {
+    const TraceEvent& e = tracer.event(i);
+    if (!e.ctx.valid()) continue;
+    event_of.emplace(e.ctx.span_id, i);
+    if (e.ctx.parent_span_id != 0) {
+      children_of[e.ctx.parent_span_id].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::stable_sort(roots.begin(), roots.end(), [&](std::size_t a, std::size_t b) {
+    const TraceEvent& ea = tracer.event(a);
+    const TraceEvent& eb = tracer.event(b);
+    if (ea.duration != eb.duration) return ea.duration > eb.duration;
+    if (ea.when != eb.when) return ea.when < eb.when;
+    return ea.ctx.span_id < eb.ctx.span_id;
+  });
+  if (roots.size() > top_n) roots.resize(top_n);
+
+  std::string out = "[";
+  bool first = true;
+  for (std::size_t index : roots) {
+    if (!first) out += ',';
+    first = false;
+    const TraceEvent& e = tracer.event(index);
+    out += "\n    {\"trace_id\":\"" + hex16(e.ctx.trace_id) +
+           "\",\"duration_us\":" + json_us(e.duration) + ",\"root\":";
+    std::set<std::uint64_t> visited;
+    render_span(out, tracer, children_of, visited, index);
+    out += '}';
+  }
+  out += first ? "]" : "\n  ]";
+  traces_json_ = out;
+  return *this;
+}
+
+RunReport& RunReport::kernel_profile(const EventQueue& queue) {
+  std::string out = "[";
+  bool first = true;
+  for (const KernelProfileEntry& row : queue.kernel_profile()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    {\"label\":\"" + json_escape(row.label) +
+           "\",\"dispatches\":" + std::to_string(row.dispatches) +
+           ",\"host_ns\":" + json_number(row.host_ns) +
+           ",\"ns_per_dispatch\":" + json_number(row.ns_per_dispatch()) + '}';
+  }
+  out += first ? "]" : "\n  ]";
+  profile_json_ = out;
+  return *this;
+}
+
+std::string RunReport::to_json() const {
+  std::string out = "{\n";
+  out += "  \"schema\": \"" + std::string{kReportSchema} + "\",\n";
+  out += "  \"tag\": \"" + json_escape(tag_) + "\",\n";
+  out += "  \"seed\": " + std::to_string(seed_) + ",\n";
+  out += "  \"config_digest\": \"" + hex16(config_digest_) + "\",\n";
+  out += "  \"determinism_digest\": \"" + hex16(determinism_digest_) + "\",\n";
+  out += "  \"fault_plan\": \"" + json_escape(fault_plan_) + "\",\n";
+  out += "  \"tracing\": " + std::string{tracing_ ? "true" : "false"} + ",\n";
+  out += "  \"duration_us\": " + json_us(duration_);
+  if (!notes_.empty()) {
+    out += ",\n  \"totals\": {";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "\n    \"" + json_escape(notes_[i].first) + "\": " + notes_[i].second;
+    }
+    out += "\n  }";
+  }
+  if (!metrics_json_.empty()) out += ",\n  \"metrics\": " + metrics_json_;
+  if (!timeseries_json_.empty()) out += ",\n  \"timeseries\": " + timeseries_json_;
+  if (!tracer_json_.empty()) out += ",\n  \"tracer\": " + tracer_json_;
+  if (!traces_json_.empty()) out += ",\n  \"slowest_traces\": " + traces_json_;
+  if (!profile_json_.empty()) out += ",\n  \"kernel_profile\": " + profile_json_;
+  out += "\n}\n";
+  return out;
+}
+
+bool RunReport::maybe_write() const {
+  const char* path = std::getenv(kReportFileEnv);
+  if (path == nullptr || *path == '\0') return false;
+  std::ofstream out{path};
+  if (!out) {
+    throw std::runtime_error(std::string{"RunReport::maybe_write: cannot open "} + path);
+  }
+  out << to_json();
+  if (!out) {
+    throw std::runtime_error(std::string{"RunReport::maybe_write: write to "} + path +
+                             " failed");
+  }
+  return true;
+}
+
+}  // namespace dredbox::sim

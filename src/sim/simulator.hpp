@@ -17,12 +17,14 @@ class Simulator {
 
   Time now() const { return queue_.now(); }
 
-  EventId at(Time when, EventQueue::Action action) {
-    return queue_.schedule(when, std::move(action));
+  /// `label` (a string literal, optional) names the event type in the
+  /// kernel self-profile; see EventQueue::schedule.
+  EventId at(Time when, EventQueue::Action action, const char* label = nullptr) {
+    return queue_.schedule(when, std::move(action), label);
   }
 
-  EventId after(Time delay, EventQueue::Action action) {
-    return queue_.schedule(queue_.now() + delay, std::move(action));
+  EventId after(Time delay, EventQueue::Action action, const char* label = nullptr) {
+    return queue_.schedule(queue_.now() + delay, std::move(action), label);
   }
 
   bool cancel(EventId id) { return queue_.cancel(id); }

@@ -4,7 +4,7 @@ namespace dredbox::sim {
 
 void Span::end(Time when) {
   if (tracer_ == nullptr) return;
-  tracer_->record_span(begin_, when, category_, std::move(name_), std::move(args_));
+  tracer_->record_span(begin_, when, category_, std::move(name_), std::move(args_), ctx_);
   tracer_ = nullptr;
 }
 

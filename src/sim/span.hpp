@@ -40,7 +40,8 @@ class Span {
         category_{other.category_},
         begin_{other.begin_},
         name_{std::move(other.name_)},
-        args_{std::move(other.args_)} {
+        args_{std::move(other.args_)},
+        ctx_{other.ctx_} {
     other.tracer_ = nullptr;
   }
 
@@ -52,6 +53,16 @@ class Span {
     if (tracer_ != nullptr) args_.emplace_back(std::move(key), std::move(value));
     return *this;
   }
+
+  /// Links the span into a causal trace (see TraceContext). A default
+  /// (invalid) context leaves the span unlinked.
+  Span& context(const TraceContext& ctx) {
+    if (tracer_ != nullptr) ctx_ = ctx;
+    return *this;
+  }
+
+  /// The context attached via context() — invalid when none was set.
+  const TraceContext& ctx() const { return ctx_; }
 
   /// Closes the span at `when` and records it. Idempotent: only the first
   /// end() records.
@@ -69,6 +80,7 @@ class Span {
   Time begin_;
   std::string name_;
   std::vector<std::pair<std::string, std::string>> args_;
+  TraceContext ctx_;
 };
 
 }  // namespace dredbox::sim

@@ -1,0 +1,180 @@
+#include "sim/timeseries.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/format.hpp"
+
+namespace dredbox::sim {
+
+std::string to_string(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounter:
+      return "counter";
+    case SeriesKind::kGauge:
+      return "gauge";
+  }
+  return "<unknown kind>";
+}
+
+TimeSeries::TimeSeries(std::string name, SeriesKind kind, std::size_t capacity)
+    : name_{std::move(name)}, kind_{kind}, capacity_{capacity} {
+  if (capacity == 0) throw std::invalid_argument("TimeSeries: capacity must be positive");
+}
+
+void TimeSeries::append(Time when, double value) {
+  if (size_ < capacity_) {
+    const std::size_t slot = (head_ + size_) % capacity_;
+    if (slot < ring_.size()) {
+      ring_[slot] = SeriesPoint{when, value};
+    } else {
+      ring_.push_back(SeriesPoint{when, value});
+    }
+    ++size_;
+    return;
+  }
+  ring_[head_] = SeriesPoint{when, value};
+  head_ = (head_ + 1) % capacity_;
+  ++evicted_;
+}
+
+const SeriesPoint& TimeSeries::point(std::size_t index) const {
+  if (index >= size_) throw std::out_of_range("TimeSeries::point: index past retained window");
+  return ring_[(head_ + index) % capacity_];
+}
+
+TimeSeries& TimeSeriesSet::series(const std::string& name, SeriesKind kind,
+                                  std::size_t capacity) {
+  auto it = series_.find(name);
+  if (it != series_.end()) {
+    if (it->second.kind() != kind) {
+      throw std::logic_error("TimeSeriesSet: series '" + name + "' already exists as a " +
+                             to_string(it->second.kind()) + ", requested " + to_string(kind));
+    }
+    return it->second;
+  }
+  return series_.emplace(name, TimeSeries{name, kind, capacity}).first->second;
+}
+
+const TimeSeries* TimeSeriesSet::find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it != series_.end() ? &it->second : nullptr;
+}
+
+std::vector<std::string> TimeSeriesSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+/// "memsys.read.latency_ns.p99" -> "dredbox_memsys_read_latency_ns_p99".
+std::string openmetrics_name(const std::string& dotted) {
+  std::string out = "dredbox_";
+  for (char c : dotted) out += c == '.' ? '_' : c;
+  return out;
+}
+
+std::string openmetrics_value(double v) { return strformat("%.9g", v); }
+
+/// Sim-clock timestamp in seconds (OpenMetrics timestamps are seconds).
+std::string openmetrics_ts(Time t) { return strformat("%.9f", t.as_sec()); }
+
+}  // namespace
+
+std::string TimeSeriesSet::to_openmetrics() const {
+  std::string out;
+  for (const auto& [dotted, s] : series_) {
+    const std::string name = openmetrics_name(dotted);
+    out += "# TYPE " + name + " " + to_string(s.kind()) + "\n";
+    // OpenMetrics counters expose their sample under `_total`.
+    const std::string sample_name =
+        s.kind() == SeriesKind::kCounter ? name + "_total" : name;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const SeriesPoint& p = s.point(i);
+      out += sample_name + " " + openmetrics_value(p.value) + " " + openmetrics_ts(p.when) +
+             "\n";
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+TextTable TimeSeriesSet::to_table() const {
+  TextTable table{{"series", "kind", "t_us", "value"}};
+  for (const auto& [name, s] : series_) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const SeriesPoint& p = s.point(i);
+      table.add_row({name, to_string(s.kind()), strformat("%.3f", p.when.as_us()),
+                     openmetrics_value(p.value)});
+    }
+  }
+  return table;
+}
+
+bool maybe_write_openmetrics(const TimeSeriesSet& set) {
+  const char* path = std::getenv(kOpenMetricsFileEnv);
+  if (path == nullptr || *path == '\0') return false;
+  std::ofstream out{path};
+  if (!out) {
+    throw std::runtime_error(std::string{"maybe_write_openmetrics: cannot open "} + path);
+  }
+  out << set.to_openmetrics();
+  if (!out) {
+    throw std::runtime_error(std::string{"maybe_write_openmetrics: write to "} + path +
+                             " failed");
+  }
+  return true;
+}
+
+TimeSeriesSampler::TimeSeriesSampler(Simulator& sim, const metrics::MetricsRegistry& registry,
+                                     Time period, std::size_t capacity_per_series)
+    : sim_{sim}, registry_{registry}, period_{period}, capacity_{capacity_per_series} {
+  if (period <= Time::zero()) {
+    throw std::invalid_argument("TimeSeriesSampler: period must be positive");
+  }
+}
+
+void TimeSeriesSampler::start(Time end) {
+  end_ = end;
+  const Time first = sim_.now() + period_;
+  if (first <= end_) {
+    sim_.at(first, [this] { tick(); }, "sim.timeseries.tick");
+  }
+}
+
+void TimeSeriesSampler::sample_now() {
+  const Time now = sim_.now();
+  for (const std::string& name : registry_.names()) {
+    if (const auto* counter = registry_.find_counter(name)) {
+      series_.series(name, SeriesKind::kCounter, capacity_)
+          .append(now, static_cast<double>(counter->value()));
+    } else if (const auto* gauge = registry_.find_gauge(name)) {
+      series_.series(name, SeriesKind::kGauge, capacity_).append(now, gauge->value());
+    } else if (const auto* histogram = registry_.find_histogram(name)) {
+      auto put = [&](const char* suffix, double value) {
+        series_.series(name + "." + suffix, SeriesKind::kGauge, capacity_).append(now, value);
+      };
+      put("count", static_cast<double>(histogram->count()));
+      put("mean", histogram->count() > 0 ? histogram->mean() : 0.0);
+      put("p50", histogram->quantile(0.50));
+      put("p99", histogram->quantile(0.99));
+      put("max", histogram->count() > 0 ? histogram->max() : 0.0);
+    }
+  }
+  ++ticks_;
+}
+
+void TimeSeriesSampler::tick() {
+  sample_now();
+  const Time next = sim_.now() + period_;
+  if (next <= end_) {
+    sim_.at(next, [this] { tick(); }, "sim.timeseries.tick");
+  }
+}
+
+}  // namespace dredbox::sim

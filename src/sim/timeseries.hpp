@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "sim/report.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::sim {
+
+/// Environment variable naming the file the OpenMetrics rendering of a
+/// run's time series is written to (same convention as
+/// DREDBOX_TRACE_FILE; unset means no file is produced).
+inline constexpr const char* kOpenMetricsFileEnv = "DREDBOX_OPENMETRICS_FILE";
+
+/// How a sampled series behaves over time; steers the OpenMetrics # TYPE
+/// line (counters are monotone totals, everything else is a level).
+enum class SeriesKind : std::uint8_t {
+  kCounter,
+  kGauge,
+};
+
+std::string to_string(SeriesKind kind);
+
+/// One timestamped sample of one series, against the simulated clock.
+struct SeriesPoint {
+  Time when;
+  double value = 0.0;
+};
+
+/// One named, ring-buffered series: appending past capacity overwrites
+/// the oldest point in O(1) (the Tracer ring discipline), so a sampler
+/// left running on a long simulation holds the newest window and counts
+/// what it lost.
+class TimeSeries {
+ public:
+  TimeSeries(std::string name, SeriesKind kind, std::size_t capacity);
+
+  const std::string& name() const { return name_; }
+  SeriesKind kind() const { return kind_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Points overwritten after the ring reached capacity.
+  std::size_t evicted() const { return evicted_; }
+
+  void append(Time when, double value);
+
+  /// `index` counts from the oldest retained point (0) to the newest.
+  const SeriesPoint& point(std::size_t index) const;
+  const SeriesPoint& front() const { return point(0); }
+  const SeriesPoint& back() const { return point(size_ - 1); }
+
+ private:
+  std::string name_;
+  SeriesKind kind_;
+  std::size_t capacity_;
+  std::vector<SeriesPoint> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t evicted_ = 0;
+};
+
+/// The series of one run, keyed by name (sorted, so every export walks in
+/// a deterministic order). Copyable: a WorkloadResult carries its run's
+/// series by value.
+class TimeSeriesSet {
+ public:
+  /// Get-or-create. Throws std::logic_error when the name exists with a
+  /// different kind.
+  TimeSeries& series(const std::string& name, SeriesKind kind, std::size_t capacity);
+
+  const TimeSeries* find(const std::string& name) const;
+  bool empty() const { return series_.empty(); }
+  std::size_t size() const { return series_.size(); }
+  /// All series names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Deterministic walk in name order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [name, s] : series_) fn(s);
+  }
+
+  /// OpenMetrics text exposition: one `# TYPE` block per series
+  /// ("memsys.read.latency_ns.p99" becomes
+  /// `dredbox_memsys_read_latency_ns_p99`), one sample line per retained
+  /// point with the sim-clock timestamp in seconds, terminated by `# EOF`.
+  /// Byte-identical across same-seed runs.
+  std::string to_openmetrics() const;
+
+  /// Long-format table (series, kind, t_us, value) — one row per point —
+  /// for the DREDBOX_CSV_DIR convention.
+  TextTable to_table() const;
+  bool write_csv(const std::string& name) const { return maybe_write_csv(name, to_table()); }
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+};
+
+/// Writes to_openmetrics() to $DREDBOX_OPENMETRICS_FILE when set; returns
+/// whether a file was produced. Throws on I/O failure.
+bool maybe_write_openmetrics(const TimeSeriesSet& set);
+
+/// Samples every instrument of a MetricsRegistry on the simulation's own
+/// event queue: one tick per `period` of *simulated* time, each snapshot
+/// appending to ring-buffered series (counters and gauges one series
+/// each; histograms expand to .count/.mean/.p50/.p99/.max). Instruments
+/// that appear mid-run simply start sampling at the next tick.
+///
+/// The sampler draws nothing from the simulation Rng and mutates no model
+/// state, so enabling it never changes a run's op stream or digest.
+class TimeSeriesSampler {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  TimeSeriesSampler(Simulator& sim, const metrics::MetricsRegistry& registry, Time period,
+                    std::size_t capacity_per_series = kDefaultCapacity);
+
+  /// Schedules ticks at now+period, now+2·period, ... while they land at
+  /// or before `end` (`end` itself included — a period that does not
+  /// divide the window evenly simply yields a short final gap).
+  void start(Time end);
+
+  /// Takes one snapshot immediately at the current simulated time.
+  void sample_now();
+
+  Time period() const { return period_; }
+  std::size_t ticks() const { return ticks_; }
+  const TimeSeriesSet& series() const { return series_; }
+  /// Moves the collected series out (the sampler is done after this).
+  TimeSeriesSet take() { return std::move(series_); }
+
+ private:
+  Simulator& sim_;
+  const metrics::MetricsRegistry& registry_;
+  Time period_;
+  std::size_t capacity_;
+  Time end_ = Time::zero();
+  std::size_t ticks_ = 0;
+  TimeSeriesSet series_;
+
+  void tick();
+};
+
+}  // namespace dredbox::sim

@@ -54,7 +54,8 @@ void Tracer::record(Time when, TraceCategory category, std::string message) {
 }
 
 void Tracer::record_span(Time begin, Time end, TraceCategory category, std::string name,
-                         std::vector<std::pair<std::string, std::string>> args) {
+                         std::vector<std::pair<std::string, std::string>> args,
+                         TraceContext ctx) {
   if (!enabled_) {
     ++dropped_while_disabled_;
     return;
@@ -62,7 +63,45 @@ void Tracer::record_span(Time begin, Time end, TraceCategory category, std::stri
   // end < begin is meaningless timing: clamp to an instant marker.
   const bool is_span = end >= begin;
   const Time duration = is_span ? end - begin : Time::zero();
-  push(TraceEvent{begin, category, std::move(name), duration, is_span, std::move(args)});
+  push(TraceEvent{begin, category, std::move(name), duration, is_span, std::move(args), ctx});
+}
+
+namespace {
+
+/// splitmix64 step: a full-period, well-mixed 64-bit stream. Cheap enough
+/// to mint per-op, and entirely separate from the simulation Rng so
+/// enabling tracing never shifts a workload's random draws.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;  // 0 is reserved for "untraced"
+}
+
+}  // namespace
+
+void Tracer::seed_trace_ids(std::uint64_t seed) {
+  // Pre-mix so seed 0 and seed 1 produce unrelated streams.
+  id_state_ = seed ^ 0x64726564626f78ull;
+}
+
+TraceContext Tracer::begin_trace() {
+  if (!enabled_) return {};
+  TraceContext ctx;
+  ctx.trace_id = splitmix64(id_state_);
+  ctx.span_id = splitmix64(id_state_);
+  return ctx;
+}
+
+TraceContext Tracer::child_of(const TraceContext& parent) {
+  if (!enabled_ || !parent.valid()) return {};
+  TraceContext ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = splitmix64(id_state_);
+  ctx.parent_span_id = parent.span_id;
+  return ctx;
 }
 
 const TraceEvent& Tracer::event(std::size_t index) const {

@@ -24,8 +24,28 @@ enum class TraceCategory : std::uint8_t {
 
 std::string to_string(TraceCategory category);
 
+/// Causal identity of one traced operation. A root context (minted by
+/// Tracer::begin_trace()) starts a trace; child contexts (child_of())
+/// share the trace_id and point back at their parent span, so an exported
+/// timeline can be reassembled into per-operation span trees: workload op
+/// -> fabric transaction -> retry/repair/failover -> completion.
+///
+/// Ids are minted from a splitmix64 stream seeded from the simulation
+/// seed — deterministic across runs, never derived from the wall clock.
+/// An all-zero context is "untraced" (valid() == false); every recording
+/// API accepts it and simply leaves the event unlinked.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+  bool root() const { return valid() && parent_span_id == 0; }
+};
+
 /// One recorded event: an instant marker (duration == 0 and span == false)
-/// or a timed span with optional key/value attributes.
+/// or a timed span with optional key/value attributes, optionally carrying
+/// the causal context that links it into a span tree.
 struct TraceEvent {
   Time when;
   TraceCategory category;
@@ -33,6 +53,7 @@ struct TraceEvent {
   Time duration = Time::zero();
   bool span = false;
   std::vector<std::pair<std::string, std::string>> args;
+  TraceContext ctx;
 
   Time end() const { return when + duration; }
 };
@@ -60,11 +81,26 @@ class Tracer {
   /// oldest event is evicted (counted in evicted()).
   void record(Time when, TraceCategory category, std::string message);
 
-  /// Records a completed span [begin, end] with optional attributes. The
-  /// same drop/evict accounting as record() applies. `end < begin` is
-  /// clamped to an instant at `begin`.
+  /// Records a completed span [begin, end] with optional attributes and an
+  /// optional causal context. The same drop/evict accounting as record()
+  /// applies. `end < begin` is clamped to an instant at `begin`.
   void record_span(Time begin, Time end, TraceCategory category, std::string name,
-                   std::vector<std::pair<std::string, std::string>> args = {});
+                   std::vector<std::pair<std::string, std::string>> args = {},
+                   TraceContext ctx = {});
+
+  /// Seeds the deterministic trace-id stream (call once per simulation,
+  /// with the simulation seed, before any trace is minted). Without a
+  /// seed the stream starts from a fixed default, still deterministic.
+  void seed_trace_ids(std::uint64_t seed);
+
+  /// Mints a root context for a new trace. Returns an invalid (all-zero)
+  /// context — without consuming ids — while the tracer is disabled, so
+  /// toggling tracing never perturbs anything downstream of the id stream.
+  TraceContext begin_trace();
+
+  /// Mints a child context under `parent` (same trace, fresh span id).
+  /// Invalid parents and a disabled tracer both yield an invalid context.
+  TraceContext child_of(const TraceContext& parent);
 
   std::size_t size() const { return size_; }
   std::size_t capacity() const { return capacity_; }
@@ -139,6 +175,7 @@ class Tracer {
  private:
   std::size_t capacity_;
   bool enabled_ = false;
+  std::uint64_t id_state_ = 0x64726564626f78ull;  // "dredbox" default stream
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  // index of the oldest retained event
   std::size_t size_ = 0;

@@ -1,7 +1,9 @@
 #include "sim/trace_export.hpp"
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <set>
 #include <stdexcept>
 
@@ -44,10 +46,19 @@ namespace {
 
 std::string number(double v) { return strformat("%.3f", v); }
 
+std::string hex_id(std::uint64_t id) { return strformat("%016llx", (unsigned long long)id); }
+
 }  // namespace
 
 std::string to_chrome_trace_json(const Tracer& tracer) {
-  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  // Truncation accounting up front so a Perfetto user can tell "span was
+  // never recorded" apart from "span fell out of the ring".
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"metadata\":{\"tracer\":{";
+  out += "\"capacity\":" + std::to_string(tracer.capacity());
+  out += ",\"retained\":" + std::to_string(tracer.size());
+  out += ",\"dropped_while_disabled\":" + std::to_string(tracer.dropped_while_disabled());
+  out += ",\"evicted\":" + std::to_string(tracer.evicted());
+  out += "}},\"traceEvents\":[";
   bool first = true;
   auto comma = [&] {
     if (!first) out += ',';
@@ -64,6 +75,17 @@ std::string to_chrome_trace_json(const Tracer& tracer) {
            json_escape(to_string(static_cast<TraceCategory>(category))) + "\"}}";
   }
 
+  // First event index per span id, so flow arrows are only emitted for
+  // edges whose parent event survived ring eviction.
+  std::map<std::uint64_t, std::size_t> parent_of;
+  {
+    std::size_t index = 0;
+    for (const TraceEvent& e : tracer.events()) {
+      if (e.ctx.valid()) parent_of.emplace(e.ctx.span_id, index);
+      ++index;
+    }
+  }
+
   for (const TraceEvent& e : tracer.events()) {
     comma();
     const int tid = static_cast<int>(e.category);
@@ -75,19 +97,45 @@ std::string to_chrome_trace_json(const Tracer& tracer) {
     } else {
       out += ",\"s\":\"g\"";  // global-scope instant marker
     }
-    if (!e.args.empty()) {
+    if (!e.args.empty() || e.ctx.valid()) {
       out += ",\"args\":{";
-      for (std::size_t i = 0; i < e.args.size(); ++i) {
-        if (i > 0) out += ',';
+      bool first_arg = true;
+      auto put = [&](const std::string& key, const std::string& value) {
+        if (!first_arg) out += ',';
+        first_arg = false;
         out += '"';
-        out += json_escape(e.args[i].first);
+        out += json_escape(key);
         out += "\":\"";
-        out += json_escape(e.args[i].second);
+        out += json_escape(value);
         out += '"';
+      };
+      if (e.ctx.valid()) {
+        put("trace_id", hex_id(e.ctx.trace_id));
+        put("span_id", hex_id(e.ctx.span_id));
+        if (e.ctx.parent_span_id != 0) put("parent_span_id", hex_id(e.ctx.parent_span_id));
       }
+      for (const auto& [key, value] : e.args) put(key, value);
       out += '}';
     }
     out += '}';
+  }
+
+  // Parent/child flow links: one s->f arrow per retained edge, keyed by
+  // the child's span id (unique per minted context).
+  for (const TraceEvent& child : tracer.events()) {
+    if (!child.ctx.valid() || child.ctx.parent_span_id == 0) continue;
+    const auto found = parent_of.find(child.ctx.parent_span_id);
+    if (found == parent_of.end()) continue;
+    const TraceEvent& parent = tracer.event(found->second);
+    const std::string id = "\"id\":\"" + hex_id(child.ctx.span_id) + "\"";
+    comma();
+    out += "{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"s\",\"ts\":" +
+           number(parent.when.as_us()) + ",\"pid\":0,\"tid\":" +
+           std::to_string(static_cast<int>(parent.category)) + "," + id + "}";
+    comma();
+    out += "{\"name\":\"causal\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"ts\":" +
+           number(child.when.as_us()) + ",\"pid\":0,\"tid\":" +
+           std::to_string(static_cast<int>(child.category)) + "," + id + "}";
   }
   out += "]}";
   return out;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/format.hpp"
+#include "sim/span.hpp"
 
 namespace dredbox::workload {
 
@@ -26,6 +27,9 @@ std::vector<std::string> WorkloadConfig::errors() const {
   }
   if (drain_grace < sim::Time::zero()) {
     out.push_back("drain_grace: drain window cannot be negative");
+  }
+  if (sample_period < sim::Time::zero()) {
+    out.push_back("sample_period: sampling period cannot be negative");
   }
   for (const auto& tenant : tenants) {
     auto tenant_errors = tenant.errors();
@@ -139,13 +143,13 @@ void WorkloadEngine::start_streams(sim::Time t0) {
     if (driver->spec.loop == LoopMode::kOpen) {
       const sim::Time first = t0 + driver->clock.next_gap(t0);
       if (first < end_) {
-        sim.at(first, [this, driver] { open_arrival(*driver); });
+        sim.at(first, [this, driver] { open_arrival(*driver); }, "workload.open_arrival");
       }
     } else {
       for (std::size_t window = 0; window < driver->spec.outstanding; ++window) {
         const sim::Time first = t0 + driver->clock.next_gap(t0);
         if (first < end_) {
-          sim.at(first, [this, driver] { closed_issue(*driver); });
+          sim.at(first, [this, driver] { closed_issue(*driver); }, "workload.closed_issue");
         }
       }
     }
@@ -161,7 +165,7 @@ void WorkloadEngine::schedule_power_samples(sim::Time t0) {
       const double watts = dc_.power_draw_watts();
       result_.power_w.add(watts);
       digest_.update("power").update(static_cast<std::uint64_t>(watts * 1e3));
-    });
+    }, "workload.power_sample");
   }
 }
 
@@ -173,7 +177,7 @@ void WorkloadEngine::open_arrival(VmDriver& driver) {
   // request turns out to be.
   const sim::Time next = now + driver.clock.next_gap(now);
   if (next < end_) {
-    sim.at(next, [this, d = &driver] { open_arrival(*d); });
+    sim.at(next, [this, d = &driver] { open_arrival(*d); }, "workload.open_arrival");
   }
   perform_op(driver, /*closed_loop=*/false);
 }
@@ -188,6 +192,14 @@ void WorkloadEngine::perform_op(VmDriver& driver, bool closed_loop) {
   auto& rng = driver.clock.rng();
   const sim::Time now = sim.now();
   ++result_.offered;
+
+  // Root of the op's causal tree: the fabric transaction, its retries,
+  // fallbacks, and packet or DMA legs all nest under this trace id. The
+  // id stream is separate from the workload Rng, so tracing on/off never
+  // moves a random draw.
+  sim::TraceContext ctx;
+  sim::Telemetry& telemetry = dc_.telemetry();
+  if (telemetry.tracing()) ctx = telemetry.tracer().begin_trace();
 
   const auto& mix = driver.spec.mix;
   const std::size_t kind = rng.weighted_index({mix.read, mix.write, mix.dma});
@@ -204,17 +216,26 @@ void WorkloadEngine::perform_op(VmDriver& driver, bool closed_loop) {
     const bool pull = rw > 0.0 ? rng.chance(mix.read / rw) : false;
     descriptor.direction =
         pull ? memsys::TransactionKind::kRead : memsys::TransactionKind::kWrite;
-    driver.dma->enqueue(descriptor,
-                        [this, d = &driver, closed_loop](const memsys::DmaCompletion& done) {
-                          record_dma(*d, done);
-                          if (closed_loop) {
-                            const sim::Time next =
-                                done.completed_at + d->clock.next_gap(done.completed_at);
-                            if (next < end_) {
-                              dc_.simulator().at(next, [this, d] { closed_issue(*d); });
-                            }
-                          }
-                        });
+    descriptor.ctx = ctx;
+    driver.dma->enqueue(
+        descriptor,
+        [this, d = &driver, closed_loop, ctx, now](const memsys::DmaCompletion& done) {
+          record_dma(*d, done);
+          if (ctx.valid()) {
+            sim::Span span{dc_.telemetry().tracer(), sim::TraceCategory::kApplication,
+                           "op dma", now};
+            span.context(ctx);
+            span.arg("vm", d->vm.to_string()).arg("ok", done.ok ? "yes" : "no");
+            span.end(done.completed_at);
+          }
+          if (closed_loop) {
+            const sim::Time next = done.completed_at + d->clock.next_gap(done.completed_at);
+            if (next < end_) {
+              dc_.simulator().at(next, [this, d] { closed_issue(*d); },
+                                 "workload.closed_issue");
+            }
+          }
+        });
     return;
   }
 
@@ -223,17 +244,24 @@ void WorkloadEngine::perform_op(VmDriver& driver, bool closed_loop) {
   memsys::Transaction tx;
   if (kind == 0) {
     ++result_.reads;
-    tx = dc_.fabric().read(driver.compute, address, driver.spec.op_bytes, now);
+    tx = dc_.fabric().read(driver.compute, address, driver.spec.op_bytes, now, ctx);
   } else {
     ++result_.writes;
-    tx = dc_.fabric().write(driver.compute, address, driver.spec.op_bytes, now);
+    tx = dc_.fabric().write(driver.compute, address, driver.spec.op_bytes, now, ctx);
   }
   record_sync_op(tx);
+  if (ctx.valid()) {
+    sim::Span span{telemetry.tracer(), sim::TraceCategory::kApplication,
+                   kind == 0 ? "op read" : "op write", now};
+    span.context(ctx);
+    span.arg("vm", driver.vm.to_string()).arg("status", memsys::to_string(tx.status));
+    span.end(tx.completed_at);
+  }
   if (closed_loop) {
     const sim::Time done = tx.completed_at > now ? tx.completed_at : now;
     const sim::Time next = done + driver.clock.next_gap(done);
     if (next < end_) {
-      sim.at(next, [this, d = &driver] { closed_issue(*d); });
+      sim.at(next, [this, d = &driver] { closed_issue(*d); }, "workload.closed_issue");
     }
   }
 }
@@ -276,10 +304,19 @@ WorkloadResult WorkloadEngine::run() {
   const sim::Time t0 = dc_.simulator().now();
   end_ = t0 + config_.duration;
 
+  if (config_.sample_period > sim::Time::zero()) {
+    sampler_ = std::make_unique<sim::TimeSeriesSampler>(dc_.simulator(), dc_.metrics(),
+                                                        config_.sample_period);
+    sampler_->start(end_ + config_.drain_grace);
+  }
   schedule_power_samples(t0);
   start_streams(t0);
   dc_.advance_to(end_ + config_.drain_grace);
 
+  if (sampler_ != nullptr) {
+    result_.timeseries = sampler_->take();
+    sampler_.reset();
+  }
   result_.duration_s = config_.duration.as_sec();
   digest_.update("totals")
       .update(result_.offered)
@@ -288,6 +325,32 @@ WorkloadResult WorkloadEngine::run() {
       .update(result_.retries);
   result_.digest = digest_.value();
   return result_;
+}
+
+sim::RunReport make_run_report(const core::Datacenter& dc, const WorkloadConfig& config,
+                               const WorkloadResult& result, const std::string& tag,
+                               const std::string& fault_plan) {
+  sim::RunReport report;
+  report.tag(tag)
+      .seed(dc.config().seed)
+      .config_digest(dc.config().digest())
+      .determinism_digest(result.digest)
+      .fault_plan(fault_plan)
+      .duration(dc.simulator().now())
+      .note("vms_booted", static_cast<std::uint64_t>(result.vms_booted))
+      .note("offered", result.offered)
+      .note("completed", result.completed)
+      .note("failed", result.failed)
+      .note("reads", result.reads)
+      .note("writes", result.writes)
+      .note("dmas", result.dmas)
+      .note("retries", result.retries)
+      .metrics(dc.metrics())
+      .traces(dc.tracer());
+  if (!result.timeseries.empty()) {
+    report.timeseries(result.timeseries, config.sample_period);
+  }
+  return report;
 }
 
 }  // namespace dredbox::workload

@@ -9,7 +9,9 @@
 #include "core/datacenter.hpp"
 #include "memsys/dma.hpp"
 #include "sim/digest.hpp"
+#include "sim/run_report.hpp"
 #include "sim/stats.hpp"
+#include "sim/timeseries.hpp"
 #include "workload/tenant.hpp"
 
 namespace dredbox::workload {
@@ -26,6 +28,12 @@ struct WorkloadConfig {
   sim::Time drain_grace = sim::Time::ms(5);
   /// Rack power-draw samples taken across the window (0 disables).
   std::size_t power_samples = 8;
+  /// Sim-clock period of the metric time-series sampler (zero disables,
+  /// the default). When set, every registered instrument is snapshotted
+  /// into ring-buffered series each period across the window plus drain;
+  /// the result lands in WorkloadResult::timeseries. Sampling draws
+  /// nothing from the Rng, so it never changes the op stream or digest.
+  sim::Time sample_period = sim::Time::zero();
 
   /// Field-naming validation errors; empty means the config is runnable.
   std::vector<std::string> errors() const;
@@ -58,6 +66,9 @@ struct WorkloadResult {
   sim::SampleSet dma_latency_us;
   /// Rack power draw sampled across the window, watts.
   sim::SampleSet power_w;
+  /// Metric time series sampled at WorkloadConfig::sample_period (empty
+  /// when sampling was disabled). Export with to_openmetrics()/write_csv().
+  sim::TimeSeriesSet timeseries;
 
   double duration_s = 0.0;
   std::uint64_t digest = 0;
@@ -123,6 +134,8 @@ class WorkloadEngine {
   sim::Time boot_ready_;
   sim::Time end_;
   bool ran_ = false;
+  /// Live only while run() executes and sample_period > 0.
+  std::unique_ptr<sim::TimeSeriesSampler> sampler_;
 
   void boot_tenants();
   void start_streams(sim::Time t0);
@@ -135,5 +148,16 @@ class WorkloadEngine {
   void record_sync_op(const memsys::Transaction& tx);
   void record_dma(VmDriver& driver, const memsys::DmaCompletion& done);
 };
+
+/// Builds the standardized dredbox-report/v1 artifact for one finished
+/// load session: config + determinism digests, every metric final, the
+/// sampled time series (when WorkloadConfig::sample_period was set) and
+/// the slowest causal span trees. Callers write it with
+/// RunReport::maybe_write() or embed to_json() in a larger document.
+/// `fault_plan` is the spec string the run was injected with ("" =
+/// healthy).
+sim::RunReport make_run_report(const core::Datacenter& dc, const WorkloadConfig& config,
+                               const WorkloadResult& result, const std::string& tag,
+                               const std::string& fault_plan = "");
 
 }  // namespace dredbox::workload

@@ -119,6 +119,44 @@ TEST(EventQueueTest, ResetClearsEverything) {
   EXPECT_EQ(q.now(), Time::zero());
 }
 
+TEST(EventQueueProfilerTest, DisabledByDefault) {
+  EventQueue q;
+  q.schedule(Time::us(1), [] {}, "tick");
+  q.run();
+  EXPECT_TRUE(q.kernel_profile().empty());
+}
+
+TEST(EventQueueProfilerTest, AggregatesPerLabel) {
+  EventQueue q;
+  q.enable_profiling();
+  q.schedule(Time::us(1), [] {}, "fabric.read");
+  q.schedule(Time::us(2), [] {}, "fabric.read");
+  q.schedule(Time::us(3), [] {}, "sampler.tick");
+  q.schedule(Time::us(4), [] {});  // unlabeled
+  q.run();
+
+  const auto rows = q.kernel_profile();
+  ASSERT_EQ(rows.size(), 3u);
+  // Label-sorted for deterministic iteration; "(unlabeled)" sorts first.
+  EXPECT_EQ(rows[0].label, "(unlabeled)");
+  EXPECT_EQ(rows[1].label, "fabric.read");
+  EXPECT_EQ(rows[1].dispatches, 2u);
+  EXPECT_EQ(rows[2].label, "sampler.tick");
+  EXPECT_EQ(rows[2].dispatches, 1u);
+  for (const auto& row : rows) EXPECT_GE(row.host_ns, 0.0);
+
+  const std::string table = q.profile_to_string();
+  EXPECT_NE(table.find("fabric.read"), std::string::npos);
+}
+
+TEST(EventQueueProfilerTest, NsPerDispatchHandlesZero) {
+  KernelProfileEntry row;
+  EXPECT_EQ(row.ns_per_dispatch(), 0.0);
+  row.dispatches = 4;
+  row.host_ns = 1000.0;
+  EXPECT_EQ(row.ns_per_dispatch(), 250.0);
+}
+
 TEST(EventQueueTest, ManyEventsStressOrder) {
   EventQueue q;
   Time last = Time::zero();

@@ -54,12 +54,17 @@ TEST(MetricsTest, GetOrCreateReturnsSameInstrument) {
   EXPECT_EQ(&a, &b);
   a.add();
   EXPECT_EQ(b.value(), 1u);
-  // First registration wins histogram bounds.
-  auto& h1 = registry.histogram("x.latency", 0.0, 100.0, 10);
-  auto& h2 = registry.histogram("x.latency", 0.0, 999.0, 50);
+  // A histogram lookup must repeat the original bucket layout; asking for
+  // a different one is a naming collision and is rejected by name.
+  auto& h1 = registry.histogram("x.latency.ns", 0.0, 100.0, 10);
+  auto& h2 = registry.histogram("x.latency.ns", 0.0, 100.0, 10);
   EXPECT_EQ(&h1, &h2);
-  EXPECT_DOUBLE_EQ(h2.high(), 100.0);
-  EXPECT_EQ(h2.bucket_count(), 10u);
+  try {
+    registry.histogram("x.latency.ns", 0.0, 999.0, 50);
+    FAIL() << "mismatched re-registration must throw";
+  } catch (const std::logic_error& error) {
+    EXPECT_NE(std::string{error.what()}.find("x.latency.ns"), std::string::npos);
+  }
 }
 
 TEST(MetricsTest, CrossTypeNameCollisionThrows) {

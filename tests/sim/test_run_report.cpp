@@ -1,0 +1,168 @@
+#include "sim/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
+
+namespace dredbox::sim {
+namespace {
+
+RunReport small_report() {
+  RunReport report;
+  report.tag("unit")
+      .seed(7)
+      .config_digest(0xabcd)
+      .determinism_digest(0x1234)
+      .fault_plan("link-flap@1ms+2ms")
+      .duration(Time::ms(3))
+      .note("reads", std::uint64_t{16})
+      .note("p99_us", 12.5);
+  return report;
+}
+
+TEST(RunReportTest, CarriesSchemaAndHeaderFields) {
+  const std::string json = small_report().to_json();
+  EXPECT_NE(json.find("\"schema\": \"dredbox-report/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"tag\": \"unit\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"config_digest\": \"000000000000abcd\""), std::string::npos);
+  EXPECT_NE(json.find("\"determinism_digest\": \"0000000000001234\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault_plan\": \"link-flap@1ms+2ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"reads\": 16"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\": 12.5"), std::string::npos);
+}
+
+TEST(RunReportTest, RendersByteIdentically) {
+  EXPECT_EQ(small_report().to_json(), small_report().to_json());
+}
+
+TEST(RunReportTest, MetricsFinalsAreNameSorted) {
+  metrics::MetricsRegistry registry;
+  registry.enable();
+  registry.counter("z.last.counter").add(2);
+  registry.gauge("a.first.gauge").set(1.5);
+  RunReport report;
+  report.metrics(registry);
+  const std::string json = report.to_json();
+  const std::size_t first = json.find("a.first.gauge");
+  const std::size_t last = json.find("z.last.counter");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_LT(first, last);
+}
+
+TEST(RunReportTest, TracesEmbedSpanTrees) {
+  Tracer tracer;
+  tracer.seed_trace_ids(3);
+  tracer.enable();
+  const TraceContext root = tracer.begin_trace();
+  const TraceContext child = tracer.child_of(root);
+  tracer.record_span(Time::us(0), Time::us(40), TraceCategory::kApplication, "op read", {},
+                     root);
+  tracer.record_span(Time::us(5), Time::us(20), TraceCategory::kFabric, "retry backoff", {},
+                     child);
+
+  RunReport report;
+  report.traces(tracer);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"tracing\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"op read\""), std::string::npos);
+  EXPECT_NE(json.find("\"children\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"retry backoff\""), std::string::npos);
+  // Tracer accounting rides along.
+  EXPECT_NE(json.find("\"retained\":2"), std::string::npos);
+}
+
+TEST(RunReportTest, SlowestTracesAreDurationSorted) {
+  Tracer tracer;
+  tracer.enable();
+  const TraceContext fast = tracer.begin_trace();
+  const TraceContext slow = tracer.begin_trace();
+  tracer.record_span(Time::us(0), Time::us(5), TraceCategory::kFabric, "fast op", {}, fast);
+  tracer.record_span(Time::us(0), Time::us(500), TraceCategory::kFabric, "slow op", {}, slow);
+  RunReport report;
+  report.traces(tracer, /*top_n=*/2);
+  const std::string json = report.to_json();
+  const std::size_t slow_at = json.find("slow op");
+  const std::size_t fast_at = json.find("fast op");
+  ASSERT_NE(slow_at, std::string::npos);
+  ASSERT_NE(fast_at, std::string::npos);
+  EXPECT_LT(slow_at, fast_at);
+}
+
+TEST(RunReportTest, TopNTruncates) {
+  Tracer tracer;
+  tracer.enable();
+  for (int i = 0; i < 5; ++i) {
+    tracer.record_span(Time::us(0), Time::us(10 + i), TraceCategory::kFabric,
+                       "op " + std::to_string(i), {}, tracer.begin_trace());
+  }
+  RunReport report;
+  report.traces(tracer, /*top_n=*/2);
+  const std::string json = report.to_json();
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("\"trace_id\""); pos != std::string::npos;
+       pos = json.find("\"trace_id\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(RunReportTest, KernelProfileOnlyWhenAdded) {
+  EXPECT_EQ(small_report().to_json().find("kernel_profile"), std::string::npos);
+
+  EventQueue queue;
+  queue.enable_profiling();
+  queue.schedule(Time::us(1), [] {}, "test.tick");
+  queue.run_until(Time::us(2));
+  RunReport report = small_report();
+  report.kernel_profile(queue);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"kernel_profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.tick\""), std::string::npos);
+  EXPECT_NE(json.find("\"dispatches\":1"), std::string::npos);
+}
+
+TEST(RunReportTest, TimeseriesSectionRendersPeriodAndPoints) {
+  TimeSeriesSet set;
+  set.series("a.b.c", SeriesKind::kGauge, 4).append(Time::us(250), 2.0);
+  RunReport report;
+  report.timeseries(set, Time::us(250));
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"period_us\":250.000"), std::string::npos);
+  EXPECT_NE(json.find("\"a.b.c\""), std::string::npos);
+}
+
+class ReportFileEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv(kReportFileEnv);
+    std::remove(path_.c_str());
+  }
+  const std::string path_ = ::testing::TempDir() + "dredbox_run_report_test.json";
+};
+
+TEST_F(ReportFileEnvTest, NoOpWhenUnset) {
+  ::unsetenv(kReportFileEnv);
+  EXPECT_FALSE(small_report().maybe_write());
+}
+
+TEST_F(ReportFileEnvTest, WritesJsonWhenSet) {
+  ::setenv(kReportFileEnv, path_.c_str(), /*overwrite=*/1);
+  const RunReport report = small_report();
+  ASSERT_TRUE(report.maybe_write());
+  std::ifstream in{path_};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), report.to_json());
+}
+
+}  // namespace
+}  // namespace dredbox::sim

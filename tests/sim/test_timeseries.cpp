@@ -1,0 +1,173 @@
+#include "sim/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace dredbox::sim {
+namespace {
+
+TEST(TimeSeriesTest, AppendsAndIndexesOldestFirst) {
+  TimeSeries s{"a.b.c", SeriesKind::kGauge, 8};
+  s.append(Time::us(1), 10.0);
+  s.append(Time::us(2), 20.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.front().when, Time::us(1));
+  EXPECT_EQ(s.back().value, 20.0);
+  EXPECT_EQ(s.evicted(), 0u);
+}
+
+TEST(TimeSeriesTest, RingEvictsOldestPastCapacity) {
+  TimeSeries s{"a.b.c", SeriesKind::kCounter, 3};
+  for (int i = 0; i < 5; ++i) s.append(Time::us(i), static_cast<double>(i));
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.evicted(), 2u);
+  EXPECT_EQ(s.front().value, 2.0);  // 0 and 1 overwritten
+  EXPECT_EQ(s.back().value, 4.0);
+}
+
+TEST(TimeSeriesSetTest, GetOrCreateRejectsKindMismatch) {
+  TimeSeriesSet set;
+  set.series("x.y.z", SeriesKind::kCounter, 8);
+  EXPECT_NO_THROW(set.series("x.y.z", SeriesKind::kCounter, 8));
+  EXPECT_THROW(set.series("x.y.z", SeriesKind::kGauge, 8), std::logic_error);
+}
+
+TEST(TimeSeriesSetTest, NamesAreSorted) {
+  TimeSeriesSet set;
+  set.series("b.b.b", SeriesKind::kGauge, 4);
+  set.series("a.a.a", SeriesKind::kGauge, 4);
+  const auto names = set.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a.a.a");
+  EXPECT_EQ(names[1], "b.b.b");
+}
+
+TEST(TimeSeriesSetTest, OpenMetricsShapeAndDeterminism) {
+  auto build = [] {
+    TimeSeriesSet set;
+    auto& c = set.series("memsys.fabric.retries", SeriesKind::kCounter, 8);
+    c.append(Time::us(250), 1.0);
+    c.append(Time::us(500), 3.0);
+    auto& g = set.series("optics.circuits.active", SeriesKind::kGauge, 8);
+    g.append(Time::us(250), 2.0);
+    return set.to_openmetrics();
+  };
+  const std::string om = build();
+  EXPECT_EQ(om, build());  // byte-identical render
+
+  EXPECT_NE(om.find("# TYPE dredbox_memsys_fabric_retries counter"), std::string::npos);
+  EXPECT_NE(om.find("dredbox_memsys_fabric_retries_total 1 0.000250000"), std::string::npos);
+  EXPECT_NE(om.find("# TYPE dredbox_optics_circuits_active gauge"), std::string::npos);
+  EXPECT_NE(om.find("dredbox_optics_circuits_active 2 0.000250000"), std::string::npos);
+  // Terminated by the OpenMetrics end marker.
+  const std::string tail = "# EOF\n";
+  ASSERT_GE(om.size(), tail.size());
+  EXPECT_EQ(om.substr(om.size() - tail.size()), tail);
+}
+
+TEST(TimeSeriesSamplerTest, TicksAtPeriodOnSimClock) {
+  Simulator sim{1};
+  metrics::MetricsRegistry registry;
+  registry.enable();
+  auto& gauge = registry.gauge("test.sampler.level");
+
+  TimeSeriesSampler sampler{sim, registry, Time::us(100)};
+  sampler.start(Time::us(500));
+  sim.at(Time::us(150), [&gauge] { gauge.set(7.0); });
+  sim.run_until(Time::ms(1));
+
+  EXPECT_EQ(sampler.ticks(), 5u);  // 100..500 us inclusive
+  const TimeSeries* series = sampler.series().find("test.sampler.level");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 5u);
+  EXPECT_EQ(series->point(0).value, 0.0);   // at 100 us, before the set
+  EXPECT_EQ(series->point(1).value, 7.0);   // at 200 us
+  EXPECT_EQ(series->point(1).when, Time::us(200));
+}
+
+TEST(TimeSeriesSamplerTest, PeriodNotDividingWindowLeavesShortGap) {
+  Simulator sim{1};
+  metrics::MetricsRegistry registry;
+  registry.enable();
+  registry.counter("test.sampler.ticks");
+
+  // 300 us period across a 1 ms window: ticks at 300/600/900 only.
+  TimeSeriesSampler sampler{sim, registry, Time::us(300)};
+  sampler.start(Time::ms(1));
+  sim.run_until(Time::ms(2));
+  EXPECT_EQ(sampler.ticks(), 3u);
+  const TimeSeries* series = sampler.series().find("test.sampler.ticks");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->back().when, Time::us(900));
+}
+
+TEST(TimeSeriesSamplerTest, HistogramsExpandToSummarySeries) {
+  Simulator sim{1};
+  metrics::MetricsRegistry registry;
+  registry.enable();
+  auto& h = registry.histogram("test.lat.ns", 0.0, 1000.0);
+  h.observe(100.0);
+  h.observe(300.0);
+
+  TimeSeriesSampler sampler{sim, registry, Time::us(10)};
+  sampler.start(Time::us(10));
+  sim.run_until(Time::us(20));
+
+  for (const char* suffix : {".count", ".mean", ".p50", ".p99", ".max"}) {
+    EXPECT_NE(sampler.series().find(std::string{"test.lat.ns"} + suffix), nullptr)
+        << suffix;
+  }
+  EXPECT_EQ(sampler.series().find("test.lat.ns.count")->back().value, 2.0);
+}
+
+TEST(TimeSeriesSamplerTest, SampleNowSnapshotsImmediately) {
+  Simulator sim{1};
+  metrics::MetricsRegistry registry;
+  registry.enable();
+  auto& c = registry.counter("test.now.count");
+  c.add(3);
+  TimeSeriesSampler sampler{sim, registry, Time::us(100)};
+  sampler.sample_now();
+  const TimeSeries* series = sampler.series().find("test.now.count");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 1u);
+  EXPECT_EQ(series->back().value, 3.0);
+}
+
+class OpenMetricsFileEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv(kOpenMetricsFileEnv);
+    std::remove(path_.c_str());
+  }
+  const std::string path_ = ::testing::TempDir() + "dredbox_timeseries_test.om";
+};
+
+TEST_F(OpenMetricsFileEnvTest, NoOpWhenUnset) {
+  ::unsetenv(kOpenMetricsFileEnv);
+  TimeSeriesSet set;
+  EXPECT_FALSE(maybe_write_openmetrics(set));
+}
+
+TEST_F(OpenMetricsFileEnvTest, WritesRenderWhenSet) {
+  ::setenv(kOpenMetricsFileEnv, path_.c_str(), /*overwrite=*/1);
+  TimeSeriesSet set;
+  set.series("a.b.c", SeriesKind::kGauge, 4).append(Time::us(1), 5.0);
+  ASSERT_TRUE(maybe_write_openmetrics(set));
+  std::ifstream in{path_};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), set.to_openmetrics());
+}
+
+}  // namespace
+}  // namespace dredbox::sim

@@ -138,5 +138,93 @@ TEST(TracerTest, CategoryNames) {
   EXPECT_EQ(to_string(TraceCategory::kOrchestration), "orchestration");
 }
 
+TEST(TraceContextTest, DefaultIsUntraced) {
+  TraceContext ctx;
+  EXPECT_FALSE(ctx.valid());
+  EXPECT_FALSE(ctx.root());
+}
+
+TEST(TraceContextTest, BeginTraceMintsRoots) {
+  Tracer tracer;
+  tracer.enable();
+  const TraceContext a = tracer.begin_trace();
+  const TraceContext b = tracer.begin_trace();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(a.root());
+  EXPECT_NE(a.trace_id, 0u);
+  EXPECT_NE(a.span_id, 0u);
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_NE(a.span_id, b.span_id);
+}
+
+TEST(TraceContextTest, ChildSharesTraceAndPointsAtParent) {
+  Tracer tracer;
+  tracer.enable();
+  const TraceContext root = tracer.begin_trace();
+  const TraceContext child = tracer.child_of(root);
+  EXPECT_TRUE(child.valid());
+  EXPECT_FALSE(child.root());
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_EQ(child.parent_span_id, root.span_id);
+  EXPECT_NE(child.span_id, root.span_id);
+}
+
+TEST(TraceContextTest, ChildOfInvalidParentIsInvalid) {
+  Tracer tracer;
+  tracer.enable();
+  EXPECT_FALSE(tracer.child_of(TraceContext{}).valid());
+}
+
+TEST(TraceContextTest, DisabledTracerMintsNothing) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.begin_trace().valid());
+
+  // Disabled minting must not consume ids: the next enabled mint matches
+  // what a tracer that was never disabled would have produced.
+  Tracer reference;
+  reference.seed_trace_ids(7);
+  reference.enable();
+  const TraceContext want = reference.begin_trace();
+
+  Tracer toggled;
+  toggled.seed_trace_ids(7);
+  (void)toggled.begin_trace();  // disabled: dropped, no id consumed
+  toggled.enable();
+  const TraceContext got = toggled.begin_trace();
+  EXPECT_EQ(got.trace_id, want.trace_id);
+  EXPECT_EQ(got.span_id, want.span_id);
+}
+
+TEST(TraceContextTest, IdStreamIsSeedDeterministic) {
+  Tracer a, b, c;
+  a.seed_trace_ids(42);
+  b.seed_trace_ids(42);
+  c.seed_trace_ids(43);
+  a.enable();
+  b.enable();
+  c.enable();
+  const TraceContext ca = a.begin_trace();
+  const TraceContext cb = b.begin_trace();
+  const TraceContext cc = c.begin_trace();
+  EXPECT_EQ(ca.trace_id, cb.trace_id);
+  EXPECT_EQ(ca.span_id, cb.span_id);
+  EXPECT_NE(ca.trace_id, cc.trace_id);
+}
+
+TEST(TraceContextTest, RecordSpanCarriesContext) {
+  Tracer tracer;
+  tracer.enable();
+  const TraceContext root = tracer.begin_trace();
+  const TraceContext child = tracer.child_of(root);
+  tracer.record_span(Time::us(1), Time::us(9), TraceCategory::kFabric, "remote read", {},
+                     root);
+  tracer.record_span(Time::us(2), Time::us(5), TraceCategory::kFabric, "retry backoff", {},
+                     child);
+  ASSERT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.events()[0].ctx.span_id, root.span_id);
+  EXPECT_EQ(tracer.events()[1].ctx.parent_span_id, root.span_id);
+  EXPECT_EQ(tracer.events()[1].ctx.trace_id, root.trace_id);
+}
+
 }  // namespace
 }  // namespace dredbox::sim

@@ -68,7 +68,10 @@ TEST(TraceExportTest, EmptyLogStillWellFormed) {
   Tracer tracer;
   const std::string json = to_chrome_trace_json(tracer);
   EXPECT_TRUE(json_balanced(json));
-  EXPECT_EQ(json, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
+  EXPECT_EQ(json,
+            "{\"displayTimeUnit\":\"ns\",\"metadata\":{\"tracer\":{\"capacity\":65536,"
+            "\"retained\":0,\"dropped_while_disabled\":0,\"evicted\":0}},"
+            "\"traceEvents\":[]}");
 }
 
 TEST(TraceExportTest, SpansBecomeCompleteEvents) {
@@ -170,6 +173,65 @@ TEST_F(TraceFileEnvTest, UnwritablePathThrows) {
   ::setenv(kTraceFileEnv, "/nonexistent-dir/trace.json", /*overwrite=*/1);
   Tracer tracer;
   EXPECT_THROW(maybe_write_trace(tracer), std::runtime_error);
+}
+
+TEST(TraceExportTest, MetadataRecordsTruncationAccounting) {
+  Tracer tracer{4};
+  tracer.record(Time::us(1), TraceCategory::kFabric, "dropped while disabled");
+  tracer.enable();
+  for (int i = 0; i < 6; ++i) {
+    tracer.record(Time::us(10 + i), TraceCategory::kFabric, "evictor");
+  }
+  const std::string json = to_chrome_trace_json(tracer);
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"capacity\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"retained\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_while_disabled\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"evicted\":2"), std::string::npos);
+}
+
+TEST(TraceExportTest, ParentChildSpansEmitFlowLinks) {
+  Tracer tracer;
+  tracer.enable();
+  const TraceContext root = tracer.begin_trace();
+  const TraceContext child = tracer.child_of(root);
+  tracer.record_span(Time::us(1), Time::us(9), TraceCategory::kFabric, "remote read", {},
+                     root);
+  tracer.record_span(Time::us(2), Time::us(5), TraceCategory::kFabric, "retry backoff", {},
+                     child);
+  const std::string json = to_chrome_trace_json(tracer);
+  EXPECT_TRUE(json_balanced(json));
+  // One flow start at the parent, one flow finish at the child, sharing
+  // the child's span id as the flow id.
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"s\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"f\""), 1u);
+  char id[32];
+  std::snprintf(id, sizeof id, "%016llx", static_cast<unsigned long long>(child.span_id));
+  EXPECT_EQ(count_occurrences(json, std::string{"\"id\":\""} + id + "\""), 2u);
+}
+
+TEST(TraceExportTest, NoFlowLinksWithoutContexts) {
+  Tracer tracer;
+  tracer.enable();
+  tracer.record_span(Time::us(1), Time::us(2), TraceCategory::kFabric, "plain span");
+  const std::string json = to_chrome_trace_json(tracer);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"s\""), 0u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"f\""), 0u);
+}
+
+TEST(TraceExportTest, ExportIsDeterministic) {
+  auto build = [] {
+    Tracer tracer;
+    tracer.seed_trace_ids(9);
+    tracer.enable();
+    const TraceContext root = tracer.begin_trace();
+    tracer.record_span(Time::us(3), Time::us(7), TraceCategory::kApplication, "op read",
+                       {{"vm", "1"}}, root);
+    tracer.record_span(Time::us(4), Time::us(6), TraceCategory::kFabric, "remote read", {},
+                       tracer.child_of(root));
+    return to_chrome_trace_json(tracer);
+  };
+  EXPECT_EQ(build(), build());
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+// Export determinism: the observability pipeline must be a pure function
+// of (config, seed). Two same-seed load sessions render byte-identical
+// OpenMetrics text and run-report JSON — including under a fault plan and
+// with sampler periods that do not divide the window evenly — and turning
+// tracing on or off must not perturb the op-stream digest.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "core/scenario.hpp"
+#include "sim/run_report.hpp"
+#include "workload/engine.hpp"
+#include "workload/tenant.hpp"
+
+namespace dredbox {
+namespace {
+
+constexpr std::uint64_t kGiB = 1ull << 30;
+
+workload::TenantSpec small_tenant() {
+  workload::TenantSpec spec;
+  spec.name = "obs";
+  spec.vms = 2;
+  spec.local_bytes = kGiB;
+  spec.remote_bytes = kGiB;
+  spec.rate_hz = 20000.0;
+  return spec;
+}
+
+struct RenderedRun {
+  std::string openmetrics;
+  std::string report;
+  std::uint64_t digest = 0;
+  std::uint64_t retries = 0;
+};
+
+/// One full load session rendered to its export surfaces. A fresh rack is
+/// built per call so the two runs being compared share nothing but the
+/// configuration.
+RenderedRun run_once(std::uint64_t seed, sim::Time sample_period,
+                     const std::string& fault_spec, bool tracing = true) {
+  core::ScenarioBuilder builder;
+  builder.racks(1, 2, 2)
+      .compute_local_memory_bytes(16ull * kGiB)
+      .memory_pool_bytes(64ull * kGiB)
+      .seed(seed);
+  if (tracing) builder.telemetry();
+  if (!fault_spec.empty()) builder.fault_plan(fault_spec);
+  core::Scenario rack = builder.build();
+
+  workload::WorkloadConfig config;
+  config.tenants = {small_tenant()};
+  config.duration = sim::Time::ms(5);
+  config.sample_period = sample_period;
+  workload::WorkloadEngine engine{rack.datacenter(), config};
+  workload::WorkloadResult result = engine.run();
+
+  RenderedRun out;
+  out.openmetrics = result.timeseries.to_openmetrics();
+  out.report =
+      workload::make_run_report(rack.datacenter(), config, result, "test", fault_spec)
+          .to_json();
+  out.digest = result.digest;
+  out.retries = result.retries;
+  return out;
+}
+
+TEST(ObservabilityDeterminism, SameSeedRendersIdenticalArtifacts) {
+  // 700 us does not divide the 5 ms window: the sampler's last tick lands
+  // short of the edge and the renders must still agree byte for byte.
+  const RenderedRun a = run_once(7, sim::Time::us(700), "");
+  const RenderedRun b = run_once(7, sim::Time::us(700), "");
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.openmetrics, b.openmetrics);
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_NE(a.openmetrics.find("# EOF"), std::string::npos);
+  EXPECT_NE(a.report.find("\"schema\": \"dredbox-report/v1\""), std::string::npos);
+}
+
+TEST(ObservabilityDeterminism, DifferentSeedsDiverge) {
+  const RenderedRun a = run_once(7, sim::Time::us(700), "");
+  const RenderedRun b = run_once(8, sim::Time::us(700), "");
+  EXPECT_NE(a.digest, b.digest);
+}
+
+TEST(ObservabilityDeterminism, HoldsUnderFaultPlan) {
+  // A long flap plus a congestion burst: wherever they land relative to
+  // the boot-delayed window, both runs must see exactly the same thing.
+  const std::string plan = "link-flap@1ms+2000ms;congestion@2ms+2000ms:magnitude=4";
+  const RenderedRun a = run_once(11, sim::Time::us(500), plan);
+  const RenderedRun b = run_once(11, sim::Time::us(500), plan);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.openmetrics, b.openmetrics);
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_NE(a.report.find("link-flap@1ms+2000ms"), std::string::npos);
+}
+
+TEST(ObservabilityDeterminism, TracingOnOrOffSameOpStreamDigest) {
+  // The tracer must observe, never steer: disabling it (ids not consumed,
+  // spans dropped) cannot change what the workload did.
+  const RenderedRun traced = run_once(13, sim::Time::zero(), "", /*tracing=*/true);
+  const RenderedRun dark = run_once(13, sim::Time::zero(), "", /*tracing=*/false);
+  EXPECT_EQ(traced.digest, dark.digest);
+}
+
+TEST(ObservabilityDeterminism, SamplingDoesNotPerturbTheRun) {
+  const RenderedRun sampled = run_once(17, sim::Time::us(250), "");
+  const RenderedRun unsampled = run_once(17, sim::Time::zero(), "");
+  EXPECT_EQ(sampled.digest, unsampled.digest);
+}
+
+TEST(PreferOpticalAttach, IntraTrayPairsGetCircuits) {
+  // One tray: the placement is forcibly intra-tray, which normally rides
+  // the electrical backplane. The knob must route it through the optical
+  // switch instead.
+  core::Scenario rack = core::ScenarioBuilder{}
+                            .racks(1, 2, 2)
+                            .compute_local_memory_bytes(16ull * kGiB)
+                            .memory_pool_bytes(64ull * kGiB)
+                            .seed(3)
+                            .prefer_optical()
+                            .build();
+  auto& dc = rack.datacenter();
+  const auto vm = dc.boot_vm("optical-guest", 2, 2ull * kGiB);
+  ASSERT_TRUE(vm.ok) << vm.error;
+  const auto up = dc.scale_up(vm.vm, vm.compute, 2ull * kGiB);
+  ASSERT_TRUE(up.ok) << up.error;
+  const auto attachments = dc.fabric().attachments_of(vm.compute);
+  ASSERT_FALSE(attachments.empty());
+  EXPECT_EQ(attachments.front().medium, memsys::LinkMedium::kOptical);
+}
+
+TEST(PreferOpticalAttach, DefaultStillUsesElectricalIntraTray) {
+  core::Scenario rack = core::ScenarioBuilder{}
+                            .racks(1, 2, 2)
+                            .compute_local_memory_bytes(16ull * kGiB)
+                            .memory_pool_bytes(64ull * kGiB)
+                            .seed(3)
+                            .build();
+  auto& dc = rack.datacenter();
+  const auto vm = dc.boot_vm("electrical-guest", 2, 2ull * kGiB);
+  ASSERT_TRUE(vm.ok) << vm.error;
+  const auto up = dc.scale_up(vm.vm, vm.compute, 2ull * kGiB);
+  ASSERT_TRUE(up.ok) << up.error;
+  const auto attachments = dc.fabric().attachments_of(vm.compute);
+  ASSERT_FALSE(attachments.empty());
+  EXPECT_EQ(attachments.front().medium, memsys::LinkMedium::kElectrical);
+}
+
+TEST(PreferOpticalAttach, KnobIsPartOfTheConfigDigest) {
+  core::DatacenterConfig plain;
+  core::DatacenterConfig optical;
+  optical.prefer_optical_attach = true;
+  EXPECT_NE(plain.digest(), optical.digest());
+}
+
+}  // namespace
+}  // namespace dredbox
