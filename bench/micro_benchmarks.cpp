@@ -137,6 +137,29 @@ void BM_EventQueueScheduleDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleDispatch)->Arg(100)->Arg(10000);
 
+// Same schedule/dispatch load with the schedule auditor's batch path armed
+// (kIdentity = collect + FIFO dispatch, no reordering). Compare against
+// BM_EventQueueScheduleDispatch: the gap is the price of a perturbed audit
+// run, and the *absence* of movement in BM_EventQueueScheduleDispatch
+// across PRs pins the auditor-off hot path at zero added cost (the armed
+// check is one branch).
+void BM_EventQueuePerturbedDispatch(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::SchedulePerturbation perturbation;
+    perturbation.mode = sim::SchedulePerturbation::Mode::kIdentity;
+    q.set_perturbation(perturbation);
+    for (int i = 0; i < batch; ++i) {
+      // Four-way timestamp ties so batches actually form.
+      q.schedule(sim::Time::ns(((i / 4) * 7919) % 100000), [] {});
+    }
+    benchmark::DoNotOptimize(q.run());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePerturbedDispatch)->Arg(100)->Arg(10000);
+
 void BM_MemoryBrickAllocRelease(benchmark::State& state) {
   hw::MemoryBrickConfig cfg;
   cfg.capacity_bytes = 64ull << 30;

@@ -3,7 +3,12 @@
 # suite three ways — a plain Release build, an ASan+UBSan build
 # (DREDBOX_SANITIZE) to catch memory and UB bugs, and a DREDBOX_AUDIT=ON
 # build that turns on the contract/invariant layer so every deep
-# check_invariants() audit runs after every mutation. Finishes with the
+# check_invariants() audit runs after every mutation. A tsan stage rebuilds
+# with DREDBOX_SANITIZE=thread and re-runs the concurrency-touching tests
+# (SweepRunner, workload engine, schedule audit) under ThreadSanitizer, and
+# a thread-safety stage builds with clang -Wthread-safety -Werror over the
+# sim/annotations.hpp capability layer (skipped when clang++ is not
+# installed — gcc compiles the annotations to no-ops). Then the
 # determinism harness (same-seed double run must be byte-identical) and a
 # faults stage: the fault-scenario sweep re-run under the sanitizers and
 # the audit layer, plus a scripted-fault quickstart run. A sweep stage then
@@ -38,6 +43,23 @@ run_suite build
 run_suite build-asan -DDREDBOX_SANITIZE="address;undefined" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 run_suite build-audit -DDREDBOX_AUDIT=ON
+
+echo "== tsan: concurrency-touching tests under ThreadSanitizer"
+cmake -B "$root/build-tsan" -S "$root" -DDREDBOX_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$root/build-tsan" -j "$jobs"
+(cd "$root/build-tsan" && \
+  TSAN_OPTIONS="suppressions=$root/tsan.supp" ctest --output-on-failure -j "$jobs" \
+    -R 'Sweep|Workload|ScheduleAudit|EventQueue')
+
+echo "== thread-safety: clang -Wthread-safety -Werror over the annotations"
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B "$root/build-threadsafety" -S "$root" -DDREDBOX_WERROR=ON \
+    -DCMAKE_CXX_COMPILER=clang++
+  cmake --build "$root/build-threadsafety" -j "$jobs"
+else
+  echo "   clang++ not installed; skipping (CI's thread-safety job enforces this)"
+fi
 
 echo "== clang-tidy (over build/ compile database; skipped when not installed)"
 bash "$root/scripts/lint.sh" --tidy-only build

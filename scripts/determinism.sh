@@ -6,9 +6,13 @@
 #      (tests/integration/determinism_test.cpp): same seed => identical
 #      metrics/trace digests, different seed => divergent digests.
 #   2. Process-level: run the quickstart example twice in separate
-#      processes and byte-compare stdout. Catches nondeterminism the
-#      in-process test cannot see (ASLR-dependent ordering, locale,
-#      static-init order).
+#      processes and byte-compare stdout PLUS every exported observability
+#      artifact — the Chrome trace JSON, the OpenMetrics series and the
+#      dredbox-report/v1 run report. Catches nondeterminism the in-process
+#      test cannot see (ASLR-dependent ordering, locale, static-init
+#      order) anywhere in the export pipeline, not just on stdout.
+#      DREDBOX_PROFILE stays unset: the kernel self-profile is host
+#      wall-clock data and legitimately differs between runs.
 #
 # Usage: scripts/determinism.sh [BUILD_DIR]   (default: build)
 set -euo pipefail
@@ -26,18 +30,31 @@ ctest --test-dir "$BUILD_DIR" -R 'Determinism' --output-on-failure
 
 QUICKSTART="$BUILD_DIR/examples/quickstart"
 if [[ -x "$QUICKSTART" ]]; then
-  echo "== process-level double run (quickstart) =="
+  echo "== process-level double run (quickstart + artifacts) =="
   tmp="$(mktemp -d)"
   trap 'rm -rf "$tmp"' EXIT
-  "$QUICKSTART" > "$tmp/run1.out" 2>&1
-  "$QUICKSTART" > "$tmp/run2.out" 2>&1
-  if cmp -s "$tmp/run1.out" "$tmp/run2.out"; then
-    echo "quickstart: two runs byte-identical ($(wc -c < "$tmp/run1.out") bytes)"
-  else
-    echo "quickstart: runs DIVERGED:" >&2
-    diff "$tmp/run1.out" "$tmp/run2.out" | head -40 >&2
-    exit 1
-  fi
+  quickstart_abs="$(cd "$(dirname "$QUICKSTART")" && pwd)/$(basename "$QUICKSTART")"
+  # Relative artifact paths + a per-run cwd keep the two runs' environments
+  # (and therefore their stdout, which echoes the paths) byte-identical.
+  for run in 1 2; do
+    mkdir -p "$tmp/run$run"
+    (cd "$tmp/run$run" && \
+      DREDBOX_TRACE_FILE=trace.json \
+      DREDBOX_OPENMETRICS_FILE=series.om \
+      DREDBOX_REPORT_FILE=report.json \
+      "$quickstart_abs" > stdout.txt 2>&1)
+  done
+  status=0
+  for artifact in stdout.txt trace.json series.om report.json; do
+    if cmp -s "$tmp/run1/$artifact" "$tmp/run2/$artifact"; then
+      echo "quickstart $artifact: byte-identical ($(wc -c < "$tmp/run1/$artifact") bytes)"
+    else
+      echo "quickstart $artifact: runs DIVERGED:" >&2
+      diff "$tmp/run1/$artifact" "$tmp/run2/$artifact" | head -40 >&2
+      status=1
+    fi
+  done
+  [[ "$status" == 0 ]] || exit 1
 else
   echo "== $QUICKSTART not built; skipping process-level check =="
 fi

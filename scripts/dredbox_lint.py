@@ -33,6 +33,22 @@ tool knows about:
                        collisions stay visible. Checked for literal names
                        in .counter("...")/.gauge("...")/.histogram("...")
                        calls in library code.
+  include-layering     src/ is a DAG of layers (sim -> hw -> {optics, net,
+                       memsys} / {os, hyp} -> orch -> core -> workload,
+                       with tco off sim); a file under src/<layer>/ may
+                       #include "other/..." only when <layer> is allowed
+                       to depend on `other`. Keeps the simulation kernel
+                       reusable and upward dependencies (the cycles that
+                       break incremental testing) out.
+  mutable-global       `static`/`inline` non-const data (namespace-scope
+                       globals, class statics, function-local statics) is
+                       shared mutable state: it leaks simulation results
+                       across runs within one process and races under the
+                       parallel sweep runner. State belongs in objects
+                       owned by a Datacenter; genuinely immutable tables
+                       must be `static const`/`static constexpr`.
+                       (Heuristic skips declarations whose first
+                       punctuation is `(` — i.e. functions.)
 
 Suppress a finding with:  // dredbox-lint: ignore[<rule>]
 (with a reason after the closing bracket, by convention). On a line of its
@@ -81,6 +97,40 @@ METRIC_NAME_RE = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_]+){2,}$")
 # Declarations allowed to use banned constructs because they ARE the
 # sanctioned wrapper (relative to repo root).
 RNG_ALLOWED = {"src/sim/random.hpp", "src/sim/random.cpp"}
+
+# The architecture DAG: src/<layer>/ may include headers only from these
+# layers. sim is the dependency-free kernel; hw models sit on it; the
+# fabric stack (optics -> net -> memsys) and the software stack (os ->
+# hyp) build on hw; orch coordinates both; tco is an independent model off
+# sim; core composes everything; workload drives core.
+LAYER_DEPS: dict[str, set[str]] = {
+    "sim": {"sim"},
+    "hw": {"sim", "hw"},
+    "optics": {"sim", "hw", "optics"},
+    "net": {"sim", "hw", "optics", "net"},
+    "memsys": {"sim", "hw", "optics", "net", "memsys"},
+    "os": {"sim", "hw", "os"},
+    "hyp": {"sim", "hw", "os", "hyp"},
+    "orch": {"sim", "hw", "optics", "net", "memsys", "os", "hyp", "orch"},
+    "tco": {"sim", "tco"},
+    "core": {"sim", "hw", "optics", "net", "memsys", "os", "hyp", "orch", "tco", "core"},
+    "workload": {"sim", "hw", "optics", "net", "memsys", "os", "hyp", "orch", "tco",
+                 "core", "workload"},
+}
+# Quoted project include whose first path component is a known layer.
+# Matched on the RAW line: string stripping blanks the path out.
+PROJECT_INCLUDE_RE = re.compile(r'#include\s+"([a-z]+)/')
+
+# `static`/`inline` data declarations that are not immutable. The first
+# punctuation after the declarator decides: `(` is a function (skipped),
+# `; = {` is data (flagged). Misses pathological cases like
+# `static std::function<void()> f;` (a `(` inside template args), which a
+# review catches; the rule exists to stop the easy 95%.
+MUTABLE_GLOBAL_RE = re.compile(
+    r"^\s*(?:(?:inline|static)\s+){1,2}"
+    r"(?!(?:const|constexpr|constinit|consteval|thread_local|struct|class|enum|union)\b)"
+)
+MUTABLE_GLOBAL_KEYWORD_RE = re.compile(r"\b(?:static|inline)\s")
 
 
 class Finding:
@@ -175,7 +225,27 @@ def lint_file(
         if not suppressed(lineno, rule):
             findings.append(Finding(rel, lineno, rule, message))
 
+    # Layer of a src/<layer>/... file, for include-layering.
+    parts = rel.split("/")
+    layer = parts[1] if len(parts) >= 3 and parts[0] == "src" and parts[1] in LAYER_DEPS else None
+
     for idx, line in enumerate(stripped_lines, start=1):
+        if layer is not None:
+            raw_line = raw_lines[idx - 1] if idx - 1 < len(raw_lines) else ""
+            for m in PROJECT_INCLUDE_RE.finditer(raw_line):
+                included = m.group(1)
+                if included in LAYER_DEPS and included not in LAYER_DEPS[layer]:
+                    add(idx, "include-layering",
+                        f"src/{layer}/ must not include \"{included}/...\": the layer DAG "
+                        f"allows {layer} -> {{{', '.join(sorted(LAYER_DEPS[layer]))}}}")
+        if in_lib and MUTABLE_GLOBAL_RE.match(line):
+            decl = MUTABLE_GLOBAL_KEYWORD_RE.sub("", line, count=2)
+            first_punct = next((c for c in decl if c in "(;={"), None)
+            if first_punct in {";", "=", "{"}:
+                add(idx, "mutable-global",
+                    "static/inline non-const data is shared mutable state (races under "
+                    "the parallel sweep, leaks across runs); move it into an object or "
+                    "declare it static const/constexpr")
         if WALL_CLOCK_RE.search(line):
             add(idx, "wall-clock",
                 "host clock source in simulation code; use sim::Time / Simulator::now()")

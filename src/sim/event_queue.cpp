@@ -9,6 +9,48 @@
 
 namespace dredbox::sim {
 
+namespace {
+
+/// splitmix64 step — the same tiny deterministic stream the tracer uses
+/// for ids. Perturbation shuffles must not touch the simulation's
+/// sim::Rng (a shuffle that consumed simulation entropy would itself
+/// perturb the run it is auditing).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+const char* mode_name(SchedulePerturbation::Mode mode) {
+  switch (mode) {
+    case SchedulePerturbation::Mode::kNone: return "none";
+    case SchedulePerturbation::Mode::kIdentity: return "identity";
+    case SchedulePerturbation::Mode::kReverse: return "reverse";
+    case SchedulePerturbation::Mode::kRotate: return "rotate";
+    case SchedulePerturbation::Mode::kShuffle: return "shuffle";
+    case SchedulePerturbation::Mode::kSwapAdjacent: return "swap-adjacent";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string SchedulePerturbation::to_string() const {
+  std::string out = mode_name(mode);
+  if (mode == Mode::kNone) return out;
+  if (first_batch != 0 || last_batch != UINT64_MAX) {
+    out += strformat("[%llu,", static_cast<unsigned long long>(first_batch));
+    out += last_batch == UINT64_MAX
+               ? "inf)"
+               : strformat("%llu)", static_cast<unsigned long long>(last_batch));
+  }
+  if (mode == Mode::kShuffle) out += strformat(" seed=%llu", static_cast<unsigned long long>(seed));
+  if (mode == Mode::kSwapAdjacent) out += strformat(" swap=%zu", swap_position);
+  return out;
+}
+
 EventId EventQueue::schedule(Time when, Action action, const char* label) {
   if (when < now_) {
     throw std::invalid_argument("EventQueue::schedule: time " + when.to_string() +
@@ -38,36 +80,144 @@ void EventQueue::evict_cancelled_top() const {
   while (!heap_.empty() && cancelled_.erase(heap_.top().id.value) > 0) heap_.pop();
 }
 
+void EventQueue::skip_cancelled_batch() const {
+  while (batch_pos_ < batch_.size() && cancelled_.erase(batch_[batch_pos_].id.value) > 0) {
+    ++batch_pos_;
+  }
+}
+
 Time EventQueue::next_time() const {
+  skip_cancelled_batch();
+  if (batch_pos_ < batch_.size()) return batch_[batch_pos_].when;
   evict_cancelled_top();
   if (heap_.empty()) return Time::infinity();
   return heap_.top().when;
 }
 
-bool EventQueue::dispatch_one() {
-  evict_cancelled_top();
-  if (heap_.empty()) return false;
-  Entry top = heap_.top();
-  heap_.pop();
-  pending_.erase(top.id.value);
-  now_ = top.when;
+void EventQueue::fire(Entry& entry) {
+  now_ = entry.when;
   DREDBOX_AUDIT_INVARIANT(check_invariants());
   if (profiling_) {
     // Host-clock attribution for the self-profile only: the measurement
     // never reaches simulation state, digests, or scheduling decisions.
     // dredbox-lint: ignore[wall-clock]
     const auto host_begin = std::chrono::steady_clock::now();
-    top.action();
+    entry.action();
     // dredbox-lint: ignore[wall-clock]
     const auto host_end = std::chrono::steady_clock::now();
-    ProfileCell& cell = profile_[top.label != nullptr ? top.label : "(unlabeled)"];
+    ProfileCell& cell = profile_[entry.label != nullptr ? entry.label : "(unlabeled)"];
     ++cell.dispatches;
     cell.host_ns += static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(host_end - host_begin).count());
-    return true;
+    return;
   }
-  top.action();
+  entry.action();
+}
+
+bool EventQueue::dispatch_one() {
+  if (perturb_.enabled()) return dispatch_one_perturbed();
+  evict_cancelled_top();
+  if (heap_.empty()) return false;
+  Entry top = heap_.top();
+  heap_.pop();
+  pending_.erase(top.id.value);
+  fire(top);
   return true;
+}
+
+void EventQueue::collect_batch() {
+  const Time when = heap_.top().when;
+  while (!heap_.empty() && heap_.top().when == when) {
+    if (cancelled_.erase(heap_.top().id.value) > 0) {
+      heap_.pop();
+      continue;
+    }
+    // Copy out of the heap: priority_queue::top() is const, and auditor
+    // mode is a test harness — std::function copies are acceptable there
+    // and never paid on the unperturbed path.
+    batch_.push_back(heap_.top());
+    heap_.pop();
+  }
+  if (batch_.size() < 2) return;  // a singleton cannot be reordered
+
+  // Same-timestamp heap pops surface in seq order, so batch_ is FIFO here.
+  const std::uint64_t index = batches_collected_++;
+  std::vector<std::size_t> order(batch_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (index >= perturb_.first_batch && index < perturb_.last_batch) {
+    switch (perturb_.mode) {
+      case SchedulePerturbation::Mode::kNone:
+      case SchedulePerturbation::Mode::kIdentity:
+        break;
+      case SchedulePerturbation::Mode::kReverse:
+        std::reverse(order.begin(), order.end());
+        break;
+      case SchedulePerturbation::Mode::kRotate:
+        std::rotate(order.begin(), order.begin() + 1, order.end());
+        break;
+      case SchedulePerturbation::Mode::kShuffle: {
+        // Keyed by (seed, batch index) so each batch's permutation is
+        // independent of how many batches preceded it.
+        std::uint64_t state = perturb_.seed ^ (index * 0x9e3779b97f4a7c15ull);
+        for (std::size_t i = order.size(); i > 1; --i) {
+          const std::size_t j = static_cast<std::size_t>(splitmix64(state) % i);
+          std::swap(order[i - 1], order[j]);
+        }
+        break;
+      }
+      case SchedulePerturbation::Mode::kSwapAdjacent:
+        if (perturb_.swap_position + 1 < order.size()) {
+          std::swap(order[perturb_.swap_position], order[perturb_.swap_position + 1]);
+        }
+        break;
+    }
+  }
+  if (perturb_.capture_batch && *perturb_.capture_batch == index) {
+    ScheduleBatchRecord record;
+    record.index = index;
+    record.when = when;
+    record.fifo_labels.reserve(batch_.size());
+    for (const Entry& entry : batch_) {
+      record.fifo_labels.emplace_back(entry.label != nullptr ? entry.label : "(unlabeled)");
+    }
+    record.dispatch_order = order;
+    captured_ = std::move(record);
+  }
+  std::vector<Entry> permuted;
+  permuted.reserve(batch_.size());
+  for (std::size_t fifo_pos : order) permuted.push_back(std::move(batch_[fifo_pos]));
+  batch_ = std::move(permuted);
+}
+
+bool EventQueue::dispatch_one_perturbed() {
+  skip_cancelled_batch();
+  if (batch_pos_ >= batch_.size()) {
+    batch_.clear();
+    batch_pos_ = 0;
+    evict_cancelled_top();
+    if (heap_.empty()) return false;
+    collect_batch();
+  }
+  // Move out of the batch slot: the action may mutate the queue (schedule,
+  // cancel, even reset), so it must not run through a reference into batch_.
+  Entry entry = std::move(batch_[batch_pos_++]);
+  pending_.erase(entry.id.value);
+  fire(entry);
+  return true;
+}
+
+void EventQueue::set_perturbation(const SchedulePerturbation& perturbation) {
+  skip_cancelled_batch();
+  if (batch_pos_ < batch_.size()) {
+    throw std::logic_error(
+        "EventQueue::set_perturbation: a same-timestamp batch is mid-dispatch; "
+        "arm or disarm perturbations only between runs");
+  }
+  batch_.clear();
+  batch_pos_ = 0;
+  perturb_ = perturbation;
+  batches_collected_ = 0;
+  captured_.reset();
 }
 
 std::size_t EventQueue::run_until(Time until) {
@@ -92,6 +242,12 @@ void EventQueue::reset() {
   cancelled_.clear();
   now_ = Time::zero();
   profile_.clear();
+  // The armed perturbation survives a reset (it is harness configuration,
+  // not simulation state); the batch in flight and its accounting do not.
+  batch_.clear();
+  batch_pos_ = 0;
+  batches_collected_ = 0;
+  captured_.reset();
   DREDBOX_AUDIT_INVARIANT(check_invariants());
 }
 
@@ -126,10 +282,19 @@ std::string EventQueue::profile_to_string() const {
 }
 
 void EventQueue::check_invariants() const {
-  DREDBOX_INVARIANT(heap_.size() == pending_.size() + cancelled_.size(),
-                    "heap holds " + std::to_string(heap_.size()) + " entries but " +
+  // Live + cancelled-but-unevicted entries live either in the heap or in
+  // the undispatched tail of the current same-timestamp batch.
+  const std::size_t batched = batch_.size() - batch_pos_;
+  DREDBOX_INVARIANT(heap_.size() + batched == pending_.size() + cancelled_.size(),
+                    "heap holds " + std::to_string(heap_.size()) + " entries + " +
+                        std::to_string(batched) + " batched but " +
                         std::to_string(pending_.size()) + " pending + " +
                         std::to_string(cancelled_.size()) + " cancelled are tracked");
+  for (std::size_t i = batch_pos_; i < batch_.size(); ++i) {
+    DREDBOX_INVARIANT(batch_[i].when >= now_,
+                      "batched entry at " + batch_[i].when.to_string() +
+                          " precedes now() = " + now_.to_string());
+  }
   // Order-independent id-range audit over the hash sets.
   // dredbox-lint: ignore[unordered-iteration]
   for (std::uint64_t id : pending_) {

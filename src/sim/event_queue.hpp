@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <queue>
 #include <string>
 #include <unordered_set>
@@ -16,6 +17,63 @@ namespace dredbox::sim {
 struct EventId {
   std::uint64_t value = 0;
   constexpr auto operator<=>(const EventId&) const = default;
+};
+
+/// Specification of a same-timestamp dispatch-order perturbation — the
+/// schedule auditor's probe (see sim/schedule_audit.hpp).
+///
+/// The queue's documented contract is FIFO-within-timestamp, but no code
+/// in this repository may *rely* on that incidental order for its
+/// simulation outcome: same-timestamp events must be independent (or
+/// ordered through explicit timestamps). A perturbation makes the queue
+/// collect each group of >= 2 events sharing the earliest pending
+/// timestamp into a "batch" and dispatch the batch in a permuted order; a
+/// scenario whose canonical digest survives every permutation provably
+/// does not depend on tie order. kIdentity exercises the batch-collection
+/// machinery without reordering (the batch path itself must be
+/// digest-neutral) and is how the auditor counts batches for bisection.
+struct SchedulePerturbation {
+  enum class Mode : std::uint8_t {
+    kNone,          // normal FIFO dispatch, no batch collection
+    kIdentity,      // collect batches, dispatch in FIFO order
+    kReverse,       // dispatch each batch back-to-front
+    kRotate,        // rotate each batch left by one
+    kShuffle,       // seeded Fisher-Yates per batch
+    kSwapAdjacent,  // swap FIFO positions (swap_position, swap_position+1)
+  };
+
+  Mode mode = Mode::kNone;
+  /// Stream seed for kShuffle; each batch derives its own permutation
+  /// from (seed, batch index), so shuffles are run-order independent.
+  std::uint64_t seed = 1;
+  /// Only batches with index in [first_batch, last_batch) are permuted
+  /// (all are still collected and counted). The auditor's bisection
+  /// narrows this window to isolate the first order-sensitive batch.
+  std::uint64_t first_batch = 0;
+  std::uint64_t last_batch = UINT64_MAX;
+  /// FIFO position swapped with its successor under kSwapAdjacent
+  /// (out-of-range positions leave the batch untouched).
+  std::size_t swap_position = 0;
+  /// When set, the queue records this batch's composition (timestamp,
+  /// FIFO labels, dispatch order) into captured_batch().
+  std::optional<std::uint64_t> capture_batch;
+
+  bool enabled() const { return mode != Mode::kNone; }
+  /// Human-readable "reverse[3,4) seed=7" rendering for audit reports.
+  std::string to_string() const;
+};
+
+/// Composition of one same-timestamp batch the queue collected while a
+/// perturbation was active; captured on request (capture_batch) so the
+/// auditor can name the events of an order-sensitive batch.
+struct ScheduleBatchRecord {
+  std::uint64_t index = 0;
+  Time when;
+  /// Event labels in FIFO (scheduling) order; "(unlabeled)" when the
+  /// schedule site passed no label.
+  std::vector<std::string> fifo_labels;
+  /// dispatch_order[k] is the FIFO position dispatched k-th.
+  std::vector<std::size_t> dispatch_order;
 };
 
 /// Environment variable that, when set (to anything non-empty), asks the
@@ -102,6 +160,23 @@ class EventQueue {
   void disable_profiling() { profiling_ = false; }
   bool profiling_enabled() const { return profiling_; }
 
+  /// Arms (or, with Mode::kNone, disarms) a schedule perturbation. Must
+  /// not be called while a collected batch is mid-dispatch (throws
+  /// std::logic_error) — arm before running the scenario. Resets the
+  /// batch counter and any captured record. Off by default: the
+  /// unperturbed dispatch path costs one branch (see
+  /// BM_EventQueueScheduleDispatch, which pins the overhead at zero).
+  void set_perturbation(const SchedulePerturbation& perturbation);
+  const SchedulePerturbation& perturbation() const { return perturb_; }
+
+  /// Multi-event same-timestamp batches collected since the perturbation
+  /// was armed (singleton "batches" cannot be reordered and don't count).
+  std::uint64_t batches_collected() const { return batches_collected_; }
+
+  /// The batch requested via SchedulePerturbation::capture_batch, once it
+  /// has been collected; nullopt before then (or when capture is unset).
+  const std::optional<ScheduleBatchRecord>& captured_batch() const { return captured_; }
+
   /// The accumulated self-profile, one row per distinct label (unlabeled
   /// events fold into "(unlabeled)"), sorted by label for deterministic
   /// iteration. Empty when profiling never ran.
@@ -130,11 +205,23 @@ class EventQueue {
   // observable pending set or timestamps, so it is logically const.
   mutable std::priority_queue<Entry> heap_;
   std::unordered_set<std::uint64_t> pending_;             // scheduled, not fired/cancelled
-  mutable std::unordered_set<std::uint64_t> cancelled_;   // cancelled, still buried in heap_
+  // Cancelled ids still physically buried in heap_ or in the batch tail.
+  mutable std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   Time now_ = Time::zero();
   bool profiling_ = false;
+
+  // --- schedule-perturbation state (inert while perturb_.mode == kNone) ---
+  SchedulePerturbation perturb_;
+  // The same-timestamp batch currently being drained, in dispatch order;
+  // entries before batch_pos_ already fired. `mutable` for the same
+  // lazy-eviction reason as heap_/cancelled_: next_time() skips cancelled
+  // batch entries without changing anything observable.
+  mutable std::vector<Entry> batch_;
+  mutable std::size_t batch_pos_ = 0;
+  std::uint64_t batches_collected_ = 0;
+  std::optional<ScheduleBatchRecord> captured_;
   struct ProfileCell {
     std::uint64_t dispatches = 0;
     double host_ns = 0.0;
@@ -145,6 +232,24 @@ class EventQueue {
   /// Pops heap entries whose id was cancelled until a live entry (or an
   /// empty heap) surfaces.
   void evict_cancelled_top() const;
+
+  /// Skips batch entries cancelled after collection (an earlier event in
+  /// the batch may cancel a later one — that contract survives
+  /// perturbation because cancellation is checked at fire time).
+  void skip_cancelled_batch() const;
+
+  /// Collects every pending event sharing the earliest timestamp into
+  /// batch_, applies the armed permutation, and updates the batch
+  /// accounting. Requires a non-empty heap with a live top.
+  void collect_batch();
+
+  /// Dispatch path while a perturbation is armed. set_perturbation refuses
+  /// to disarm mid-batch, so the unperturbed path never sees batch_ state.
+  bool dispatch_one_perturbed();
+
+  /// Runs one entry's action with profiling attribution; shared by both
+  /// dispatch paths. The entry must already be removed from pending_.
+  void fire(Entry& entry);
 };
 
 }  // namespace dredbox::sim

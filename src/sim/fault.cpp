@@ -271,7 +271,14 @@ void FaultInjector::set_telemetry(Telemetry* telemetry) {
 std::size_t FaultInjector::schedule(const FaultPlan& plan) {
   std::size_t count = 0;
   for (const FaultEvent& event : plan.events()) {
-    const Time when = std::max(event.at, sim_.now());
+    // Fault transitions take effect strictly *after* any operation issued
+    // at the same nominal instant: skew by one tick so a fault at t never
+    // ties with workload events at t. Without the skew the outcome of an
+    // operation colliding with a fault's timestamp would be decided by the
+    // queue's incidental FIFO tie-break — the schedule auditor
+    // (sim/schedule_audit.hpp) flags exactly that. Recovery, scheduled via
+    // after(duration) from the skewed injection, inherits the offset.
+    const Time when = std::max(event.at, sim_.now()) + Time::ps(1);
     sim_.at(when, [this, event] { fire(event); });
     ++scheduled_;
     ++count;

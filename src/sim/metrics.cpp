@@ -46,6 +46,7 @@ void MetricsRegistry::check_free(const std::string& name, const char* wanted) co
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  confined_.assert_confined("MetricsRegistry::counter");
   auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   check_free(name, "counter");
@@ -55,6 +56,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  confined_.assert_confined("MetricsRegistry::gauge");
   auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   check_free(name, "gauge");
@@ -65,6 +67,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
                                       std::size_t bins) {
+  confined_.assert_confined("MetricsRegistry::histogram");
   auto it = histograms_.find(name);
   if (it != histograms_.end()) {
     Histogram& existing = *it->second;
@@ -144,6 +147,7 @@ TextTable MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
+  confined_.assert_confined("MetricsRegistry::merge");
   // Merge must land regardless of the local enabled flag: it folds
   // already-recorded data, it does not record new samples.
   const bool was_enabled = enabled_;
@@ -170,6 +174,7 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
 }
 
 void MetricsRegistry::reset() {
+  confined_.assert_confined("MetricsRegistry::reset");
   for (auto& [name, c] : counters_) c->value_ = 0;
   for (auto& [name, g] : gauges_) {
     g->value_ = 0.0;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/annotations.hpp"
 #include "sim/report.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -172,6 +173,13 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Instrument maps and instrument state are lock-free because a registry
+  // belongs to one Datacenter and therefore to one thread (the sweep
+  // runner's no-sharing contract); registration, merge and reset assert
+  // that in audit builds. Instrument add()/observe() stay unchecked — they
+  // are the hot path, and a foreign thread would have had to cross one of
+  // the checked registration points to obtain the reference.
+  ThreadConfined confined_;
 
   void check_free(const std::string& name, const char* wanted) const;
 };

@@ -46,6 +46,7 @@ void Tracer::push(TraceEvent event) {
 }
 
 void Tracer::record(Time when, TraceCategory category, std::string message) {
+  confined_.assert_confined("Tracer::record");
   if (!enabled_) {
     ++dropped_while_disabled_;
     return;
@@ -56,6 +57,7 @@ void Tracer::record(Time when, TraceCategory category, std::string message) {
 void Tracer::record_span(Time begin, Time end, TraceCategory category, std::string name,
                          std::vector<std::pair<std::string, std::string>> args,
                          TraceContext ctx) {
+  confined_.assert_confined("Tracer::record_span");
   if (!enabled_) {
     ++dropped_while_disabled_;
     return;
@@ -83,11 +85,13 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 }  // namespace
 
 void Tracer::seed_trace_ids(std::uint64_t seed) {
+  confined_.assert_confined("Tracer::seed_trace_ids");
   // Pre-mix so seed 0 and seed 1 produce unrelated streams.
   id_state_ = seed ^ 0x64726564626f78ull;
 }
 
 TraceContext Tracer::begin_trace() {
+  confined_.assert_confined("Tracer::begin_trace");
   if (!enabled_) return {};
   TraceContext ctx;
   ctx.trace_id = splitmix64(id_state_);
@@ -96,6 +100,7 @@ TraceContext Tracer::begin_trace() {
 }
 
 TraceContext Tracer::child_of(const TraceContext& parent) {
+  confined_.assert_confined("Tracer::child_of");
   if (!enabled_ || !parent.valid()) return {};
   TraceContext ctx;
   ctx.trace_id = parent.trace_id;
@@ -130,6 +135,7 @@ std::string Tracer::to_string() const {
 }
 
 void Tracer::clear() {
+  confined_.assert_confined("Tracer::clear");
   ring_.clear();
   head_ = 0;
   size_ = 0;

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/annotations.hpp"
 #include "sim/time.hpp"
 
 namespace dredbox::sim {
@@ -181,6 +182,10 @@ class Tracer {
   std::size_t size_ = 0;
   std::size_t dropped_while_disabled_ = 0;
   std::size_t evicted_ = 0;
+  // The ring is lock-free because a Tracer belongs to one Datacenter and
+  // therefore to one thread (the sweep runner's no-sharing contract); every
+  // mutation asserts that in audit builds. Copies start unconfined.
+  ThreadConfined confined_;
 
   void push(TraceEvent event);
 };

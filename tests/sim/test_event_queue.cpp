@@ -157,6 +157,85 @@ TEST(EventQueueProfilerTest, NsPerDispatchHandlesZero) {
   EXPECT_EQ(row.ns_per_dispatch(), 250.0);
 }
 
+// --- FIFO-within-timestamp contract regressions -------------------------
+//
+// The documented tie-break is scheduling order (FIFO). These tests pin the
+// contract through every path that could plausibly disturb it —
+// cancellation holes, cancel-and-reschedule, interleaved timestamps, and
+// events scheduled from inside a tie — so the planned calendar-queue
+// kernel rewrite (ROADMAP item 1) inherits an executable spec.
+
+TEST(EventQueueFifoContractTest, SurvivesCancellationHoles) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(q.schedule(Time::ns(5), [&, i] { order.push_back(i); }));
+  }
+  // Punch holes at both ends and the middle; survivors keep FIFO order.
+  q.cancel(ids[0]);
+  q.cancel(ids[3]);
+  q.cancel(ids[7]);
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4, 5, 6}));
+}
+
+TEST(EventQueueFifoContractTest, RescheduleMovesToBackOfTie) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::ns(5), [&] { order.push_back(0); });
+  const EventId id = q.schedule(Time::ns(5), [&] { order.push_back(1); });
+  q.schedule(Time::ns(5), [&] { order.push_back(2); });
+  // Cancel + re-schedule is the idiomatic "reschedule"; the new event is a
+  // fresh scheduling and therefore joins the *back* of the tie.
+  ASSERT_TRUE(q.cancel(id));
+  q.schedule(Time::ns(5), [&] { order.push_back(1); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(EventQueueFifoContractTest, InterleavedTimestampsKeepPerTimeFifo) {
+  EventQueue q;
+  std::vector<std::pair<int, int>> order;  // (time-ns, sequence-within-time)
+  // Schedule ties for t=20 and t=10 interleaved; FIFO must hold per
+  // timestamp even though scheduling alternated between the two.
+  q.schedule(Time::ns(20), [&] { order.push_back({20, 0}); });
+  q.schedule(Time::ns(10), [&] { order.push_back({10, 0}); });
+  q.schedule(Time::ns(20), [&] { order.push_back({20, 1}); });
+  q.schedule(Time::ns(10), [&] { order.push_back({10, 1}); });
+  q.schedule(Time::ns(20), [&] { order.push_back({20, 2}); });
+  q.run();
+  const std::vector<std::pair<int, int>> expected{{10, 0}, {10, 1}, {20, 0}, {20, 1}, {20, 2}};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueFifoContractTest, EventsScheduledInsideTieJoinItsBack) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(Time::ns(5), [&] {
+    order.push_back(0);
+    // Scheduled mid-tie at the same timestamp: fires after every event
+    // that was already waiting at t=5.
+    q.schedule(Time::ns(5), [&] { order.push_back(9); });
+  });
+  q.schedule(Time::ns(5), [&] { order.push_back(1); });
+  q.schedule(Time::ns(5), [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+}
+
+TEST(EventQueueFifoContractTest, EarlierTieMemberCanCancelLater) {
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ids.push_back(q.schedule(Time::ns(5), [&, i] { order.push_back(i); }));
+  }
+  q.schedule(Time::ns(4), [&] { EXPECT_TRUE(q.cancel(ids[2])); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 3}));
+}
+
 TEST(EventQueueTest, ManyEventsStressOrder) {
   EventQueue q;
   Time last = Time::zero();

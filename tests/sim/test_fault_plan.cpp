@@ -133,8 +133,11 @@ TEST(FaultInjectorTest, RecoveryFiresDurationAfterInjection) {
   injector.schedule(plan);
   sim.run();
 
-  EXPECT_EQ(injected_at, Time::ms(2));
-  EXPECT_EQ(recovered_at, Time::ms(2) + Time::us(500));
+  // Injection lands one tick past the nominal instant so fault transitions
+  // never tie with workload events scheduled at the same timestamp; recovery
+  // inherits the skew.
+  EXPECT_EQ(injected_at, Time::ms(2) + Time::ps(1));
+  EXPECT_EQ(recovered_at, Time::ms(2) + Time::us(500) + Time::ps(1));
   EXPECT_EQ(injector.recovered(), 1u);
   EXPECT_EQ(injector.active(), 0u);
   injector.check_invariants();
@@ -177,7 +180,7 @@ TEST(FaultInjectorTest, PastEventsClampToNow) {
   plan.add({Time::ms(2), FaultKind::kLinkFlap});  // already in the past
   injector.schedule(plan);
   sim.run();
-  EXPECT_EQ(fired_at, Time::ms(10));
+  EXPECT_EQ(fired_at, Time::ms(10) + Time::ps(1));
 }
 
 TEST(FaultInjectorTest, TelemetryCountsInjectionsAndRecoveries) {
