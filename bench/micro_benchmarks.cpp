@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
@@ -16,6 +17,8 @@
 #include "sim/breakdown.hpp"
 #include "memsys/remote_memory.hpp"
 #include "net/packet_network.hpp"
+#include "reference_event_queue.hpp"
+#include "sim/arena.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "tco/conventional_dc.hpp"
@@ -124,6 +127,15 @@ void BM_BreakdownCharge(benchmark::State& state) {
 }
 BENCHMARK(BM_BreakdownCharge);
 
+// Repetition-minimum aggregate for the queue benches: this host is shared,
+// so per-repetition means carry neighbor steal time (observed up to ~2x).
+// The min across repetitions approximates the contention-free cost and is
+// the statistic the old-vs-new kernel comparison quotes; bench_reduce.py
+// records it alongside the median.
+double stat_min(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
 void BM_EventQueueScheduleDispatch(benchmark::State& state) {
   const auto batch = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -135,7 +147,65 @@ void BM_EventQueueScheduleDispatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * batch);
 }
-BENCHMARK(BM_EventQueueScheduleDispatch)->Arg(100)->Arg(10000);
+// Many short repetitions rather than the global default: neighbor-steal
+// bursts on this host last seconds, so a 0.5 s repetition mean can be
+// inflated end to end. 25 x 50 ms repetitions give the min aggregate a
+// real chance of landing inside clean windows (the median still reflects
+// typical load).
+BENCHMARK(BM_EventQueueScheduleDispatch)
+    ->Arg(100)
+    ->Arg(10000)
+    ->MinTime(0.05)
+    ->Repetitions(25)
+    ->ComputeStatistics("min", stat_min);
+
+// The retired binary-heap kernel (tests/sim/reference_event_queue.hpp)
+// under the identical load, in the same process. The in-binary ratio
+// BM_ReferenceQueueScheduleDispatch / BM_EventQueueScheduleDispatch is the
+// calendar-queue speedup with host-load noise cancelled out — both benches
+// see the same machine conditions, unlike cross-run comparisons against a
+// checked-in BENCH_pr7 number recorded under different load.
+void BM_ReferenceQueueScheduleDispatch(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::ReferenceEventQueue q;
+    for (int i = 0; i < batch; ++i) {
+      q.schedule(sim::Time::ns((i * 7919) % 100000), [] {});
+    }
+    benchmark::DoNotOptimize(q.run());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ReferenceQueueScheduleDispatch)
+    ->Arg(100)
+    ->Arg(10000)
+    ->MinTime(0.05)
+    ->Repetitions(25)
+    ->ComputeStatistics("min", stat_min);
+
+// The event kernel's node pool in isolation: steady-state create/destroy
+// (freelist pop/push, no growth) over a working set that spans several
+// chunks. Complements BM_EventQueueScheduleDispatch by separating allocator
+// cost from calendar bookkeeping.
+void BM_ArenaAllocFree(benchmark::State& state) {
+  struct NodeSized {
+    std::uint64_t payload[10];  // ~the event node footprint
+  };
+  sim::IndexedArena<NodeSized> arena;
+  constexpr int kWorkingSet = 1024;
+  std::vector<std::uint32_t> slots;
+  slots.reserve(kWorkingSet);
+  for (int i = 0; i < kWorkingSet; ++i) slots.push_back(arena.create().second);
+  int cursor = 0;
+  for (auto _ : state) {
+    arena.destroy(slots[static_cast<std::size_t>(cursor)]);
+    slots[static_cast<std::size_t>(cursor)] = arena.create().second;
+    benchmark::DoNotOptimize(slots.data());
+    cursor = (cursor + 1) % kWorkingSet;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ArenaAllocFree);
 
 // Same schedule/dispatch load with the schedule auditor's batch path armed
 // (kIdentity = collect + FIFO dispatch, no reordering). Compare against
@@ -158,7 +228,12 @@ void BM_EventQueuePerturbedDispatch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * batch);
 }
-BENCHMARK(BM_EventQueuePerturbedDispatch)->Arg(100)->Arg(10000);
+BENCHMARK(BM_EventQueuePerturbedDispatch)
+    ->Arg(100)
+    ->Arg(10000)
+    ->MinTime(0.05)
+    ->Repetitions(25)
+    ->ComputeStatistics("min", stat_min);
 
 void BM_MemoryBrickAllocRelease(benchmark::State& state) {
   hw::MemoryBrickConfig cfg;

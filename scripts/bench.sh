@@ -25,6 +25,10 @@ TAG=local
 BUILD_DIR=build
 OUT=""
 MIN_TIME=0.5
+# Median of several repetitions, not one long run: the host is shared, so a
+# single repetition's mean can be inflated ~2x by neighbor load. The reducer
+# keeps the median aggregate when repetitions > 1.
+REPETITIONS=5
 RUN_SWEEP=0
 BASELINE_ARGS=()
 while [[ $# -gt 0 ]]; do
@@ -32,7 +36,7 @@ while [[ $# -gt 0 ]]; do
     --tag) TAG="$2"; shift 2 ;;
     -o) OUT="$2"; shift 2 ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
-    --quick) MIN_TIME=0.05; shift ;;
+    --quick) MIN_TIME=0.05; REPETITIONS=1; shift ;;
     --sweep) RUN_SWEEP=1; shift ;;
     --baseline) BASELINE_ARGS+=(--baseline "$2"); shift 2 ;;
     *) echo "bench.sh: unknown argument: $1" >&2; exit 2 ;;
@@ -54,17 +58,22 @@ SWEEP_TARGET=""
 [[ "$RUN_SWEEP" == 1 ]] && SWEEP_TARGET="sweep"
 # shellcheck disable=SC2086
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 4)" \
-  --target micro_benchmarks $E2E_BENCHES $SWEEP_TARGET
+  --target micro_benchmarks quickstart $E2E_BENCHES $SWEEP_TARGET
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== micro benchmarks (min_time=${MIN_TIME}s)"
+echo "== micro benchmarks (min_time=${MIN_TIME}s, repetitions=${REPETITIONS})"
 "$BUILD_DIR/bench/micro_benchmarks" \
   --benchmark_format=json \
   --benchmark_out="$tmp/micro.json" \
   --benchmark_out_format=json \
+  --benchmark_repetitions="$REPETITIONS" \
   --benchmark_min_time="$MIN_TIME" > /dev/null
+
+echo "== event-kernel dispatch profile (quickstart, DREDBOX_PROFILE=1)"
+DREDBOX_PROFILE=1 DREDBOX_REPORT_FILE="$tmp/profile_report.json" \
+  "$BUILD_DIR/examples/quickstart" > /dev/null
 
 E2E_ARGS=()
 for bench in $E2E_BENCHES; do
@@ -90,6 +99,7 @@ if [[ "$RUN_SWEEP" == 1 ]]; then
 fi
 
 python3 scripts/bench_reduce.py reduce --tag "$TAG" --micro "$tmp/micro.json" \
+  --kernel-profile "$tmp/profile_report.json" \
   "${E2E_ARGS[@]}" ${SWEEP_ARGS[@]+"${SWEEP_ARGS[@]}"} \
   ${BASELINE_ARGS[@]+"${BASELINE_ARGS[@]}"} -o "$OUT"
 python3 scripts/bench_reduce.py validate "$OUT"

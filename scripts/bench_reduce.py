@@ -23,7 +23,8 @@ that claims a performance change. Each point records:
 Usage:
   bench_reduce.py reduce --tag pr4 --micro MICRO.json \
       --e2e NAME=WALL_SECONDS=EXIT=STDOUT_PATH ... \
-      [--sweep SWEEP.json] [--baseline 'BM_Foo/32=21.5=note'] \
+      [--sweep SWEEP.json] [--kernel-profile REPORT.json] \
+      [--baseline 'BM_Foo/32=21.5=note'] \
       -o BENCH_pr4.json
   bench_reduce.py validate BENCH_pr4.json SWEEP.json [...]
 """
@@ -54,20 +55,44 @@ CHECK_RE = re.compile(r"REPRODUCED|NOT reproduced|Round trip:|speedup")
 def reduce_point(args: argparse.Namespace) -> dict:
     micro_raw = json.loads(Path(args.micro).read_text(encoding="utf-8"))
     context = micro_raw.get("context", {})
-    micro = []
+    # One row per benchmark. When the run used --benchmark_repetitions, the
+    # median aggregate supersedes the per-repetition rows (the host is
+    # shared, so a single repetition's mean can be inflated ~2x by neighbor
+    # load; the median across repetitions is the stable point).
+    micro_by_name: dict[str, dict] = {}
+    micro_order: list[str] = []
+    # Custom "min" aggregates (the queue benches register one): the min
+    # across repetitions approximates the contention-free cost on a shared
+    # host, so it rides along as real_time_min next to the median.
+    min_by_name: dict[str, float] = {}
     for b in micro_raw.get("benchmarks", []):
-        if b.get("run_type", "iteration") != "iteration":
+        run_type = b.get("run_type", "iteration")
+        if run_type == "aggregate" and b.get("aggregate_name") == "min":
+            min_by_name[b.get("run_name", b["name"])] = b["real_time"]
             continue
+        if run_type == "aggregate" and b.get("aggregate_name") != "median":
+            continue
+        name = b.get("run_name", b["name"]) if run_type == "aggregate" else b["name"]
+        if name in micro_by_name and run_type != "aggregate":
+            continue  # later repetition of an already-recorded bench
         entry = {
-            "name": b["name"],
+            "name": name,
             "real_time": b["real_time"],
             "cpu_time": b["cpu_time"],
             "time_unit": b.get("time_unit", "ns"),
         }
+        if run_type == "aggregate":
+            entry["aggregate"] = "median"
         for rate_key in ("items_per_second", "bytes_per_second"):
             if rate_key in b:
                 entry[rate_key] = b[rate_key]
-        micro.append(entry)
+        if name not in micro_by_name:
+            micro_order.append(name)
+        micro_by_name[name] = entry
+    for name, real_time_min in min_by_name.items():
+        if name in micro_by_name:
+            micro_by_name[name]["real_time_min"] = real_time_min
+    micro = [micro_by_name[name] for name in micro_order]
 
     end_to_end = []
     for spec in args.e2e or []:
@@ -104,9 +129,46 @@ def reduce_point(args: argparse.Namespace) -> dict:
     }
     if args.sweep:
         point["sweep"] = summarize_sweep(Path(args.sweep))
+    if args.kernel_profile:
+        point["kernel_profile"] = summarize_kernel_profile(Path(args.kernel_profile))
     if baseline:
         point["baseline"] = baseline
     return point
+
+
+def summarize_kernel_profile(path: Path) -> dict:
+    """Reduce a dredbox-report/v1 run artifact (DREDBOX_REPORT_FILE written
+    with DREDBOX_PROFILE=1) to the event-kernel dispatch profile embedded in
+    a bench point: per-label dispatch counts and ns/dispatch, so the cost of
+    each event family is tracked PR over PR alongside the micro benches."""
+    report = json.loads(path.read_text(encoding="utf-8"))
+    errors = validate_report(path, report)
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        raise SystemExit(f"bench-reduce: {path} is not a valid {REPORT_SCHEMA} report")
+    rows = report.get("kernel_profile") or []
+    if not rows:
+        raise SystemExit(
+            f"bench-reduce: {path} has no kernel_profile rows — "
+            "was the run made with DREDBOX_PROFILE=1?"
+        )
+    out_rows = []
+    for row in sorted(rows, key=lambda r: r.get("host_ns", 0), reverse=True):
+        dispatches = row.get("dispatches", 0)
+        out_rows.append(
+            {
+                "label": row["label"],
+                "dispatches": dispatches,
+                "host_ns": row["host_ns"],
+                "ns_per_dispatch": (row["host_ns"] / dispatches) if dispatches else 0.0,
+            }
+        )
+    return {
+        "source": report.get("tag", ""),
+        "total_dispatches": sum(r["dispatches"] for r in out_rows),
+        "rows": out_rows,
+    }
 
 
 def summarize_sweep(path: Path) -> dict:
@@ -477,6 +539,18 @@ def validate_point(path: Path) -> list[str]:
             ):
                 err("sweep.latency_percentiles must be a non-empty list")
 
+    profile = point.get("kernel_profile")
+    if profile is not None:
+        if not isinstance(profile, dict) or not isinstance(profile.get("rows"), list):
+            err("kernel_profile must be {source, total_dispatches, rows}")
+        else:
+            for row in profile["rows"]:
+                for key in ("label", "dispatches", "host_ns", "ns_per_dispatch"):
+                    if key not in row:
+                        err(f"kernel_profile row {row.get('label', '?')} missing {key}")
+            if not isinstance(profile.get("total_dispatches"), int):
+                err("kernel_profile.total_dispatches must be an integer")
+
     for name, ref in (point.get("baseline") or {}).items():
         if not isinstance(ref.get("real_time"), (int, float)):
             err(f"baseline {name} missing real_time")
@@ -493,6 +567,10 @@ def main(argv: list[str]) -> int:
     reduce_p.add_argument("--e2e", action="append", metavar="NAME=WALL=EXIT=STDOUT")
     reduce_p.add_argument("--sweep", metavar="SWEEP_JSON",
                           help="examples/sweep --out report to summarize into the point")
+    reduce_p.add_argument("--kernel-profile", metavar="REPORT_JSON",
+                          help="dredbox-report/v1 artifact from a DREDBOX_PROFILE=1 "
+                               "run; its per-label dispatch profile is embedded as "
+                               "ns/dispatch rows")
     reduce_p.add_argument("--baseline", action="append", metavar="NAME=NS[=NOTE]")
     reduce_p.add_argument("-o", "--out", required=True)
 

@@ -8,7 +8,9 @@
 # (SweepRunner, workload engine, schedule audit) under ThreadSanitizer, and
 # a thread-safety stage builds with clang -Wthread-safety -Werror over the
 # sim/annotations.hpp capability layer (skipped when clang++ is not
-# installed — gcc compiles the annotations to no-ops). Then the
+# installed — gcc compiles the annotations to no-ops). A queue-differential
+# stage re-runs the calendar-queue-vs-reference-heap oracle and the arena
+# property suite under the sanitizers and the audit layer. Then the
 # determinism harness (same-seed double run must be byte-identical) and a
 # faults stage: the fault-scenario sweep re-run under the sanitizers and
 # the audit layer, plus a scripted-fault quickstart run. A sweep stage then
@@ -63,6 +65,16 @@ fi
 
 echo "== clang-tidy (over build/ compile database; skipped when not installed)"
 bash "$root/scripts/lint.sh" --tidy-only build
+
+echo "== queue-differential: calendar kernel vs reference-heap oracle"
+# The randomized differential oracle (tests/sim/test_event_queue_differential)
+# and the arena property suite, re-run under ASan/UBSan and under the
+# DREDBOX_AUDIT deep-invariant layer. The TSan stage above already matches
+# these via its EventQueue filter.
+(cd "$root/build-asan" && ctest --output-on-failure -j "$jobs" \
+  -R 'EventQueueDifferential|Arena')
+(cd "$root/build-audit" && ctest --output-on-failure -j "$jobs" \
+  -R 'EventQueueDifferential|Arena')
 
 echo "== determinism harness"
 bash "$root/scripts/determinism.sh" build

@@ -1,6 +1,7 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <stdexcept>
 
@@ -35,6 +36,17 @@ const char* mode_name(SchedulePerturbation::Mode mode) {
   return "?";
 }
 
+// Initial calendar geometry: 4096 buckets of 2^15 ps (~33 ns) cover the
+// first ~134 us of sim time — wide enough that schedule-heavy micro
+// workloads never re-span, narrow enough that one day holds only a
+// handful of events.
+constexpr std::size_t kInitialBuckets = 4096;
+constexpr int kInitialShift = 15;
+// Re-span bounds: aim at one bucket per live event, clamped so degenerate
+// rungs (a single far-future timer / a million same-day events) stay sane.
+constexpr std::size_t kMinBuckets = 64;
+constexpr std::size_t kMaxBuckets = 32768;
+
 }  // namespace
 
 std::string SchedulePerturbation::to_string() const {
@@ -51,96 +63,276 @@ std::string SchedulePerturbation::to_string() const {
   return out;
 }
 
+EventQueue::EventQueue()
+    : buckets_(kInitialBuckets, nullptr), occupancy_(kInitialBuckets / 64, 0) {
+  bucket_shift_ = kInitialShift;
+  win_last_ = (static_cast<std::int64_t>(kInitialBuckets) << kInitialShift) - 1;
+}
+
 EventId EventQueue::schedule(Time when, Action action, const char* label) {
   if (when < now_) {
     throw std::invalid_argument("EventQueue::schedule: time " + when.to_string() +
                                 " precedes current time " + now_.to_string());
   }
-  EventId id{next_id_++};
-  heap_.push(Entry{when, next_seq_++, id, label, std::move(action)});
-  pending_.insert(id.value);
+  auto [node, slot] = arena_.create(when, next_seq_++, std::move(action), label);
+  node->slot = slot;
+  insert_node(node);
+  ++pending_count_;
   DREDBOX_AUDIT_INVARIANT(check_invariants());
-  return id;
+  // slot+1 keeps every issued handle non-zero (slot 0 is a valid slot,
+  // EventId{0} is the reserved null handle).
+  return EventId{((static_cast<std::uint64_t>(slot) + 1) << 32) | arena_.generation(slot)};
 }
 
 bool EventQueue::cancel(EventId id) {
-  // O(1): an id is cancellable iff it is still pending; fired, previously
-  // cancelled, and never-issued ids all miss the pending set.
-  auto it = pending_.find(id.value);
-  if (it == pending_.end()) return false;
-  pending_.erase(it);
-  cancelled_.insert(id.value);
+  // O(1): unpack the handle into (slot, generation) and probe the arena.
+  // Fired and previously cancelled events bumped (or will bump) their
+  // slot's generation, so their handles miss; never-issued handles carry
+  // a zero slot field or a generation the slot never had.
+  const std::uint64_t slot_plus_1 = id.value >> 32;
+  const std::uint32_t generation = static_cast<std::uint32_t>(id.value & 0xffffffffull);
+  if (slot_plus_1 == 0 || generation == 0) return false;
+  const std::uint32_t slot = static_cast<std::uint32_t>(slot_plus_1 - 1);
+  Node* node = arena_.get(slot);
+  if (node == nullptr || arena_.generation(slot) != generation || node->cancelled) return false;
+  node->cancelled = true;  // the block is reclaimed lazily, at service time
+  --pending_count_;
+  ++cancelled_count_;
   DREDBOX_AUDIT_INVARIANT(check_invariants());
   return true;
 }
 
-void EventQueue::evict_cancelled_top() const {
-  // erase() doubles as the membership test: it returns 1 (and unlists the
-  // id) exactly when the top entry was cancelled.
-  while (!heap_.empty() && cancelled_.erase(heap_.top().id.value) > 0) heap_.pop();
+void EventQueue::insert_node(Node* node) const {
+  const std::int64_t t = node->when.ticks();
+  if (t > win_last_) {
+    // Beyond the year: park on the overflow rung; the rung is re-spanned
+    // into a fresh window in bulk once the current one exhausts.
+    node->next = overflow_;
+    overflow_ = node;
+    ++overflow_count_;
+    return;
+  }
+  const std::size_t index = bucket_index(t);
+  if (drain_bucket_ >= 0 && index == static_cast<std::size_t>(drain_bucket_)) {
+    // The open day: merge in sorted position, so an event lands at the
+    // back of its tie group even while that group is being dispatched.
+    drain_insert(node);
+    return;
+  }
+  if (index < cursor_) {
+    // The cursor already passed this day (the window re-spanned from
+    // now(), or service ran ahead of now() through empty days). Rewind —
+    // dispatched events can never be revisited because when >= now() is
+    // already enforced; the open day (if any) returns to its bucket and
+    // is re-sorted when the cursor comes back to it.
+    if (drain_bucket_ >= 0) flush_drain();
+    cursor_ = index;
+  }
+  bucket_prepend(index, node);
 }
 
-void EventQueue::skip_cancelled_batch() const {
-  while (batch_pos_ < batch_.size() && cancelled_.erase(batch_[batch_pos_].id.value) > 0) {
-    ++batch_pos_;
+void EventQueue::drain_insert(Node* node) const {
+  const DrainEntry entry{node->when, node->seq, node};
+  const auto pos = std::lower_bound(
+      drain_.begin(), drain_.end(), entry, [](const DrainEntry& a, const DrainEntry& b) {
+        if (a.when != b.when) return a.when > b.when;
+        return a.seq > b.seq;
+      });
+  drain_.insert(pos, entry);
+}
+
+void EventQueue::flush_drain() const {
+  const auto index = static_cast<std::size_t>(drain_bucket_);
+  for (const DrainEntry& entry : drain_) bucket_prepend(index, entry.node);
+  drain_.clear();
+  drain_bucket_ = -1;
+}
+
+std::size_t EventQueue::next_occupied(std::size_t from) const {
+  const std::size_t size = buckets_.size();
+  if (from >= size) return size;
+  std::size_t word = from >> 6;
+  std::uint64_t bits = occupancy_[word] & (~std::uint64_t{0} << (from & 63));
+  const std::size_t words = occupancy_.size();
+  while (bits == 0) {
+    if (++word == words) return size;
+    bits = occupancy_[word];
+  }
+  return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+}
+
+void EventQueue::ensure_drain() const {
+  for (;;) {
+    while (!drain_.empty() && drain_.back().node->cancelled) {
+      Node* node = drain_.back().node;
+      drain_.pop_back();
+      reclaim_cancelled(node);
+    }
+    if (!drain_.empty()) return;
+    drain_bucket_ = -1;
+    cursor_ = next_occupied(cursor_);
+    if (cursor_ == buckets_.size()) {
+      if (overflow_ == nullptr) return;  // no nodes anywhere: truly empty
+      rebuild_from_overflow();
+      continue;
+    }
+    load_bucket(cursor_);
+    ++cursor_;
   }
 }
 
-Time EventQueue::next_time() const {
-  skip_cancelled_batch();
-  if (batch_pos_ < batch_.size()) return batch_[batch_pos_].when;
-  evict_cancelled_top();
-  if (heap_.empty()) return Time::infinity();
-  return heap_.top().when;
+void EventQueue::load_bucket(std::size_t index) const {
+  Node* node = buckets_[index];
+  buckets_[index] = nullptr;
+  occupancy_[index >> 6] &= ~(std::uint64_t{1} << (index & 63));
+  while (node != nullptr) {
+    Node* next = node->next;
+    if (node->cancelled) {
+      reclaim_cancelled(node);
+    } else {
+      node->next = nullptr;
+      drain_.push_back(DrainEntry{node->when, node->seq, node});
+    }
+    node = next;
+  }
+  std::sort(drain_.begin(), drain_.end(), [](const DrainEntry& a, const DrainEntry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  });
+  drain_bucket_ = static_cast<std::ptrdiff_t>(index);
+  ++bucket_loads_;
 }
 
-void EventQueue::fire(Entry& entry) {
-  now_ = entry.when;
+void EventQueue::rebuild_from_overflow() const {
+  // Reclaim cancelled rung nodes and measure the span of the live ones.
+  Node* live = nullptr;
+  std::size_t live_count = 0;
+  std::int64_t hi = 0;
+  Node* node = overflow_;
+  while (node != nullptr) {
+    Node* next = node->next;
+    if (node->cancelled) {
+      reclaim_cancelled(node);
+    } else {
+      node->next = live;
+      live = node;
+      ++live_count;
+      hi = std::max(hi, node->when.ticks());
+    }
+    node = next;
+  }
+  overflow_ = nullptr;
+  overflow_count_ = 0;
+  if (live == nullptr) return;  // the rung was all cancellations
+
+  // Re-span the year from now(). The window start can never sit past
+  // now(), so no later schedule() — whose time is >= now() — can land
+  // before bucket 0. now() itself cannot have passed any rung node: the
+  // rung only becomes serviceable once every earlier (in-window) event
+  // has dispatched, and run_until() stops advancing now() strictly below
+  // the earliest remaining event.
+  win_start_ = now_.ticks();
+  const std::size_t want = std::clamp(std::bit_ceil(live_count), kMinBuckets, kMaxBuckets);
+  if (buckets_.size() != want) buckets_.assign(want, nullptr);
+  occupancy_.assign(want / 64, 0);
+  // Smallest day width such that the farthest event fits the window:
+  // ((hi - win_start_) >> shift) < want. Saturating win_last_ at the
+  // tick type's maximum is safe — when want << shift overshoots
+  // INT64_MAX the buckets physically cover every representable tick, so
+  // any index computed against the saturated window stays in range. This
+  // is what lets Time::infinity() timers park and re-span exactly once
+  // instead of bouncing on the rung forever.
+  const std::uint64_t distance = static_cast<std::uint64_t>(hi - win_start_);
+  int shift = 0;
+  while ((distance >> shift) >= want) ++shift;
+  bucket_shift_ = shift;
+  const unsigned __int128 last = static_cast<unsigned __int128>(win_start_) +
+                                 (static_cast<unsigned __int128>(want) << shift) - 1;
+  win_last_ = last > static_cast<unsigned __int128>(INT64_MAX) ? INT64_MAX
+                                                               : static_cast<std::int64_t>(last);
+  cursor_ = 0;
+  ++rebuilds_;
+  while (live != nullptr) {
+    Node* next = live->next;
+    bucket_prepend(bucket_index(live->when.ticks()), live);
+    live = next;
+  }
+}
+
+void EventQueue::free_node(Node* node) const { arena_.destroy(node->slot); }
+
+void EventQueue::reclaim_cancelled(Node* node) const {
+  --cancelled_count_;
+  free_node(node);
+}
+
+void EventQueue::fire_node(Node* node) {
+  now_ = node->when;
+  const char* label = node->label;
+  Action action = std::move(node->action);
+  // Free before running: the action may schedule, cancel, or even reset
+  // the queue, and must never observe its own node as live.
+  free_node(node);
   DREDBOX_AUDIT_INVARIANT(check_invariants());
   if (profiling_) {
     // Host-clock attribution for the self-profile only: the measurement
     // never reaches simulation state, digests, or scheduling decisions.
     // dredbox-lint: ignore[wall-clock]
     const auto host_begin = std::chrono::steady_clock::now();
-    entry.action();
+    action();
     // dredbox-lint: ignore[wall-clock]
     const auto host_end = std::chrono::steady_clock::now();
-    ProfileCell& cell = profile_[entry.label != nullptr ? entry.label : "(unlabeled)"];
+    ProfileCell& cell = profile_[label != nullptr ? label : "(unlabeled)"];
     ++cell.dispatches;
     cell.host_ns += static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(host_end - host_begin).count());
     return;
   }
-  entry.action();
+  action();
 }
 
 bool EventQueue::dispatch_one() {
   if (perturb_.enabled()) return dispatch_one_perturbed();
-  evict_cancelled_top();
-  if (heap_.empty()) return false;
-  Entry top = heap_.top();
-  heap_.pop();
-  pending_.erase(top.id.value);
-  fire(top);
+  ensure_drain();
+  if (drain_.empty()) return false;
+  Node* node = drain_.back().node;
+  drain_.pop_back();
+  --pending_count_;
+  fire_node(node);
   return true;
 }
 
+Time EventQueue::next_time() const {
+  if (perturb_.enabled()) {
+    skip_cancelled_batch();
+    if (batch_pos_ < batch_.size()) return batch_[batch_pos_]->when;
+  }
+  ensure_drain();
+  if (drain_.empty()) return Time::infinity();
+  return drain_.back().when;
+}
+
+void EventQueue::skip_cancelled_batch() const {
+  while (batch_pos_ < batch_.size() && batch_[batch_pos_]->cancelled) {
+    reclaim_cancelled(batch_[batch_pos_]);
+    ++batch_pos_;
+  }
+}
+
 void EventQueue::collect_batch() {
-  const Time when = heap_.top().when;
-  while (!heap_.empty() && heap_.top().when == when) {
-    if (cancelled_.erase(heap_.top().id.value) > 0) {
-      heap_.pop();
+  const Time when = drain_.back().when;
+  while (!drain_.empty() && drain_.back().when == when) {
+    Node* node = drain_.back().node;
+    drain_.pop_back();
+    if (node->cancelled) {
+      reclaim_cancelled(node);
       continue;
     }
-    // Copy out of the heap: priority_queue::top() is const, and auditor
-    // mode is a test harness — std::function copies are acceptable there
-    // and never paid on the unperturbed path.
-    batch_.push_back(heap_.top());
-    heap_.pop();
+    batch_.push_back(node);
   }
   if (batch_.size() < 2) return;  // a singleton cannot be reordered
 
-  // Same-timestamp heap pops surface in seq order, so batch_ is FIFO here.
+  // Same-timestamp drain pops surface in seq order, so batch_ is FIFO here.
   const std::uint64_t index = batches_collected_++;
   std::vector<std::size_t> order(batch_.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -177,15 +369,15 @@ void EventQueue::collect_batch() {
     record.index = index;
     record.when = when;
     record.fifo_labels.reserve(batch_.size());
-    for (const Entry& entry : batch_) {
-      record.fifo_labels.emplace_back(entry.label != nullptr ? entry.label : "(unlabeled)");
+    for (const Node* node : batch_) {
+      record.fifo_labels.emplace_back(node->label != nullptr ? node->label : "(unlabeled)");
     }
     record.dispatch_order = order;
     captured_ = std::move(record);
   }
-  std::vector<Entry> permuted;
+  std::vector<Node*> permuted;
   permuted.reserve(batch_.size());
-  for (std::size_t fifo_pos : order) permuted.push_back(std::move(batch_[fifo_pos]));
+  for (std::size_t fifo_pos : order) permuted.push_back(batch_[fifo_pos]);
   batch_ = std::move(permuted);
 }
 
@@ -194,15 +386,15 @@ bool EventQueue::dispatch_one_perturbed() {
   if (batch_pos_ >= batch_.size()) {
     batch_.clear();
     batch_pos_ = 0;
-    evict_cancelled_top();
-    if (heap_.empty()) return false;
+    ensure_drain();
+    if (drain_.empty()) return false;
     collect_batch();
   }
-  // Move out of the batch slot: the action may mutate the queue (schedule,
-  // cancel, even reset), so it must not run through a reference into batch_.
-  Entry entry = std::move(batch_[batch_pos_++]);
-  pending_.erase(entry.id.value);
-  fire(entry);
+  // Pop before firing: the action may mutate the queue (schedule, cancel,
+  // even reset), so nothing may run through a reference into batch_.
+  Node* node = batch_[batch_pos_++];
+  --pending_count_;
+  fire_node(node);
   return true;
 }
 
@@ -237,9 +429,24 @@ std::size_t EventQueue::run() {
 }
 
 void EventQueue::reset() {
-  heap_ = {};
-  pending_.clear();
-  cancelled_.clear();
+  // Destroys every node — bucketed, drained, overflowed, and the
+  // undispatched batch tail — in one arena sweep (chunks are retained for
+  // the next run; geometry returns to the initial window).
+  arena_.clear();
+  buckets_.assign(kInitialBuckets, nullptr);
+  occupancy_.assign(kInitialBuckets / 64, 0);
+  overflow_ = nullptr;
+  overflow_count_ = 0;
+  drain_.clear();
+  drain_bucket_ = -1;
+  cursor_ = 0;
+  win_start_ = 0;
+  bucket_shift_ = kInitialShift;
+  win_last_ = (static_cast<std::int64_t>(kInitialBuckets) << kInitialShift) - 1;
+  rebuilds_ = 0;
+  bucket_loads_ = 0;
+  pending_count_ = 0;
+  cancelled_count_ = 0;
   now_ = Time::zero();
   profile_.clear();
   // The armed perturbation survives a reset (it is harness configuration,
@@ -249,6 +456,20 @@ void EventQueue::reset() {
   batches_collected_ = 0;
   captured_.reset();
   DREDBOX_AUDIT_INVARIANT(check_invariants());
+}
+
+CalendarStats EventQueue::calendar_stats() const {
+  CalendarStats stats;
+  stats.window_start_ps = win_start_;
+  stats.window_last_ps = win_last_;
+  stats.bucket_width_ps = static_cast<std::int64_t>(1) << bucket_shift_;
+  stats.buckets = buckets_.size();
+  stats.cursor = cursor_;
+  stats.in_overflow = overflow_count_;
+  stats.in_drain = drain_.size();
+  stats.rebuilds = rebuilds_;
+  stats.bucket_loads = bucket_loads_;
+  return stats;
 }
 
 std::vector<KernelProfileEntry> EventQueue::kernel_profile() const {
@@ -282,40 +503,90 @@ std::string EventQueue::profile_to_string() const {
 }
 
 void EventQueue::check_invariants() const {
-  // Live + cancelled-but-unevicted entries live either in the heap or in
-  // the undispatched tail of the current same-timestamp batch.
-  const std::size_t batched = batch_.size() - batch_pos_;
-  DREDBOX_INVARIANT(heap_.size() + batched == pending_.size() + cancelled_.size(),
-                    "heap holds " + std::to_string(heap_.size()) + " entries + " +
-                        std::to_string(batched) + " batched but " +
-                        std::to_string(pending_.size()) + " pending + " +
-                        std::to_string(cancelled_.size()) + " cancelled are tracked");
-  for (std::size_t i = batch_pos_; i < batch_.size(); ++i) {
-    DREDBOX_INVARIANT(batch_[i].when >= now_,
-                      "batched entry at " + batch_[i].when.to_string() +
-                          " precedes now() = " + now_.to_string());
+  // --- geometry ---
+  DREDBOX_INVARIANT(std::has_single_bit(buckets_.size()),
+                    "bucket count " + std::to_string(buckets_.size()) + " is not a power of two");
+  DREDBOX_INVARIANT(cursor_ <= buckets_.size(), "cursor beyond the bucket array");
+  DREDBOX_INVARIANT(win_start_ <= now_.ticks(),
+                    "window starts at " + std::to_string(win_start_) +
+                        " after now() = " + now_.to_string());
+  DREDBOX_INVARIANT(win_last_ >= win_start_, "window ends before it starts");
+  DREDBOX_INVARIANT(
+      drain_bucket_ == -1 || drain_bucket_ == static_cast<std::ptrdiff_t>(cursor_) - 1,
+      "open day " + std::to_string(drain_bucket_) + " is not the day before cursor " +
+          std::to_string(cursor_));
+  DREDBOX_INVARIANT(drain_.empty() || drain_bucket_ >= 0, "drained nodes without an open day");
+  DREDBOX_INVARIANT(occupancy_.size() * 64 == buckets_.size(),
+                    "occupancy bitmap does not cover the bucket array");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const bool marked = (occupancy_[i >> 6] >> (i & 63)) & 1;
+    DREDBOX_INVARIANT(marked == (buckets_[i] != nullptr),
+                      "occupancy bit for day " + std::to_string(i) +
+                          " disagrees with its chain");
   }
-  // Order-independent id-range audit over the hash sets.
-  // dredbox-lint: ignore[unordered-iteration]
-  for (std::uint64_t id : pending_) {
-    DREDBOX_INVARIANT(id >= 1 && id < next_id_,
-                      "pending id " + std::to_string(id) + " was never issued");
-    DREDBOX_INVARIANT(cancelled_.count(id) == 0,
-                      "id " + std::to_string(id) + " is both pending and cancelled");
+
+  // --- reachability sweep: every arena-live node is linked exactly once
+  // from a day bucket, the drain, the overflow rung, or the batch tail ---
+  std::size_t live = 0;
+  std::size_t cancelled = 0;
+  const auto check_node = [&](const Node* node, const char* where) {
+    DREDBOX_INVARIANT(node->seq < next_seq_,
+                      std::string(where) + " node carries an unissued sequence");
+    DREDBOX_INVARIANT(node->when >= now_, std::string(where) + " node at " +
+                                              node->when.to_string() +
+                                              " precedes now() = " + now_.to_string());
+    if (node->cancelled) {
+      ++cancelled;
+    } else {
+      ++live;
+    }
+  };
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (i < cursor_ && static_cast<std::ptrdiff_t>(i) != drain_bucket_) {
+      DREDBOX_INVARIANT(buckets_[i] == nullptr,
+                        "bucket " + std::to_string(i) + " behind cursor " +
+                            std::to_string(cursor_) + " is not empty");
+    }
+    for (const Node* node = buckets_[i]; node != nullptr; node = node->next) {
+      check_node(node, "bucket");
+      DREDBOX_INVARIANT(node->when.ticks() <= win_last_, "bucketed node beyond the window");
+      DREDBOX_INVARIANT(bucket_index(node->when.ticks()) == i,
+                        "node at " + node->when.to_string() + " filed under the wrong day " +
+                            std::to_string(i));
+    }
   }
-  // dredbox-lint: ignore[unordered-iteration]
-  for (std::uint64_t id : cancelled_) {
-    DREDBOX_INVARIANT(id >= 1 && id < next_id_,
-                      "cancelled id " + std::to_string(id) + " was never issued");
+  for (std::size_t i = 0; i < drain_.size(); ++i) {
+    const Node* node = drain_[i].node;
+    check_node(node, "drain");
+    DREDBOX_INVARIANT(drain_[i].when == node->when && drain_[i].seq == node->seq,
+                      "drain entry key disagrees with its node");
+    DREDBOX_INVARIANT(
+        bucket_index(node->when.ticks()) == static_cast<std::size_t>(drain_bucket_),
+        "drained node at " + node->when.to_string() + " is outside the open day");
+    if (i + 1 < drain_.size()) {
+      const DrainEntry& later = drain_[i + 1];
+      DREDBOX_INVARIANT(node->when > later.when ||
+                            (node->when == later.when && node->seq > later.seq),
+                        "drain is not sorted descending by (when, seq)");
+    }
   }
-  if (!heap_.empty()) {
-    // The heap pops in time order and cancelled tops are evicted before any
-    // later event dispatches, so even buried entries can never be stale.
-    DREDBOX_INVARIANT(heap_.top().when >= now_,
-                      "earliest heap entry at " + heap_.top().when.to_string() +
-                          " precedes now() = " + now_.to_string());
-    DREDBOX_INVARIANT(heap_.top().seq < next_seq_, "heap entry carries an unissued sequence");
+  for (const Node* node = overflow_; node != nullptr; node = node->next) {
+    check_node(node, "overflow");
+    DREDBOX_INVARIANT(node->when.ticks() > win_last_, "overflow node inside the window");
   }
+  for (std::size_t i = batch_pos_; i < batch_.size(); ++i) check_node(batch_[i], "batch");
+
+  // --- counts agree with each other and with the arena ---
+  DREDBOX_INVARIANT(live == pending_count_,
+                    "reachable live nodes " + std::to_string(live) + " != pending count " +
+                        std::to_string(pending_count_));
+  DREDBOX_INVARIANT(cancelled == cancelled_count_,
+                    "reachable cancelled nodes " + std::to_string(cancelled) +
+                        " != cancelled count " + std::to_string(cancelled_count_));
+  DREDBOX_INVARIANT(arena_.live() == live + cancelled,
+                    "arena holds " + std::to_string(arena_.live()) + " nodes but " +
+                        std::to_string(live + cancelled) + " are reachable");
+  arena_.check_invariants();
 }
 
 }  // namespace dredbox::sim

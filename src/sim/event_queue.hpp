@@ -4,16 +4,18 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <queue>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/time.hpp"
 
 namespace dredbox::sim {
 
 /// Opaque handle identifying a scheduled event; usable for cancellation.
+/// The value packs the event node's arena slot and generation, so stale
+/// handles (fired, cancelled, or recycled events) are rejected in O(1)
+/// without any hash lookup. Zero is never a valid handle.
 struct EventId {
   std::uint64_t value = 0;
   constexpr auto operator<=>(const EventId&) const = default;
@@ -85,8 +87,8 @@ inline constexpr const char* kProfileEnv = "DREDBOX_PROFILE";
 /// One row of the event-kernel self-profile: how many events of one label
 /// dispatched and how much *host* time their actions consumed. Host time
 /// is wall-clock measurement of this process and is therefore not part of
-/// any determinism contract — it exists to locate the ~250 ns/event
-/// kernel overhead (ROADMAP item 1), not to feed digests.
+/// any determinism contract — it exists to locate the per-event kernel
+/// overhead (ROADMAP item 1), not to feed digests.
 struct KernelProfileEntry {
   std::string label;
   std::uint64_t dispatches = 0;
@@ -97,19 +99,52 @@ struct KernelProfileEntry {
   }
 };
 
-/// Deterministic discrete-event queue.
+/// Snapshot of the calendar geometry and its lifetime counters, exposed
+/// for the bucket-boundary regression tests and the kernel profile. All
+/// values describe physical layout only — none of them may influence a
+/// simulation outcome.
+struct CalendarStats {
+  std::int64_t window_start_ps = 0;   // first tick covered by bucket 0
+  std::int64_t window_last_ps = 0;    // last tick covered by the window (inclusive)
+  std::int64_t bucket_width_ps = 0;   // calendar day length (power of two)
+  std::size_t buckets = 0;            // bucket count (power of two)
+  std::size_t cursor = 0;             // next bucket index to be serviced
+  std::size_t in_overflow = 0;        // nodes parked on the ladder rung
+  std::size_t in_drain = 0;           // nodes in the loaded (sorted) bucket
+  std::uint64_t rebuilds = 0;         // ladder refills (window re-spans)
+  std::uint64_t bucket_loads = 0;     // buckets sorted into the drain
+};
+
+/// Deterministic discrete-event queue — a calendar queue with an overflow
+/// ladder rung, backed by a fixed-block arena (sim/arena.hpp).
 ///
 /// Events scheduled for the same timestamp fire in scheduling order
 /// (FIFO tie-break on a monotonically increasing sequence number), which
 /// makes every simulation in this repository bit-reproducible for a fixed
-/// seed regardless of heap internals.
+/// seed regardless of queue internals. The binary-heap implementation this
+/// kernel replaced is retained, verbatim, as the differential test oracle
+/// (tests/sim/reference_event_queue.hpp): a randomized operation-sequence
+/// harness asserts dispatch-stream equality between the two across
+/// adversarial tie/boundary/cancel interleavings.
 ///
-/// Cancellation is O(1): a cancelled event's id moves from the pending set
-/// to the cancelled set, and its heap entry is dropped lazily when it
-/// surfaces at the top.
+/// Geometry: the "year" [window_start, window_last] is split into
+/// power-of-two-width day buckets; an event lands in its day's unsorted
+/// chain in O(1). Events past the year go to an unsorted overflow rung;
+/// when the year is exhausted the window re-spans from the overflow
+/// (adaptive bucket count/width), so refills amortize to O(1) per event.
+/// A day is sorted once when the cursor reaches it, into a descending
+/// "drain" serviced back-to-front — so a whole same-timestamp tie-batch
+/// is dispatched without re-touching the priority structure, and events
+/// an action schedules into the open day merge by binary insertion.
+///
+/// Cancellation is O(1): the handle's slot+generation resolve to the
+/// node, which is flagged and reclaimed lazily when its bucket is
+/// serviced (or its rung re-spanned).
 class EventQueue {
  public:
   using Action = std::function<void()>;
+
+  EventQueue();
 
   /// Schedules `action` at absolute time `when`. `when` must not precede
   /// the timestamp of the event currently being dispatched. `label`, when
@@ -122,9 +157,9 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no pending (non-cancelled) events remain.
-  bool empty() const { return pending_.empty(); }
+  bool empty() const { return pending_count_ == 0; }
 
-  std::size_t pending() const { return pending_.size(); }
+  std::size_t pending() const { return pending_count_; }
 
   /// Timestamp of the earliest pending event; Time::infinity() when empty.
   Time next_time() const;
@@ -146,12 +181,18 @@ class EventQueue {
   /// Drops every pending event and resets time to zero.
   void reset();
 
-  /// Deep consistency audit: heap/pending/cancelled bookkeeping agrees, ids
-  /// are within the issued range, and no buried event precedes now().
-  /// Throws ContractViolation on the first broken invariant. Wired into
-  /// every mutation when built with -DDREDBOX_AUDIT=ON; callable directly
-  /// (e.g. from tests) in any build.
+  /// Deep consistency audit: every node is reachable exactly once from a
+  /// bucket, the drain, the overflow rung or the perturbation batch;
+  /// counts agree with the arena; nothing precedes now(); buckets match
+  /// their time ranges; the drain is sorted. Throws ContractViolation on
+  /// the first broken invariant. Wired into every mutation when built
+  /// with -DDREDBOX_AUDIT=ON; callable directly (e.g. from tests) in any
+  /// build.
   void check_invariants() const;
+
+  /// Physical-layout snapshot (window, bucket geometry, refill counters)
+  /// for tests and diagnostics.
+  CalendarStats calendar_stats() const;
 
   /// Turns the self-profiler on: every subsequent dispatch is counted per
   /// label and its action timed against the host clock. Off by default —
@@ -186,70 +227,124 @@ class EventQueue {
   std::string profile_to_string() const;
 
  private:
-  struct Entry {
+  /// One scheduled event. Pool-allocated; chained intrusively through a
+  /// day bucket or the overflow rung until its day is serviced.
+  struct Node {
+    Node(Time w, std::uint64_t s, Action a, const char* l)
+        : when{w}, seq{s}, action{std::move(a)}, label{l} {}
+
     Time when;
     std::uint64_t seq;
-    EventId id;
-    const char* label;
+    Node* next = nullptr;
     Action action;
-
-    // Min-heap via std::priority_queue, so greater-than ordering.
-    bool operator<(const Entry& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
-    }
+    const char* label;
+    std::uint32_t slot = 0;    // arena slot backing this node
+    bool cancelled = false;    // flagged by cancel(); reclaimed lazily
   };
 
-  // `mutable` because next_time() lazily evicts cancelled entries from the
-  // heap top: eviction changes only the physical representation, never the
-  // observable pending set or timestamps, so it is logically const.
-  mutable std::priority_queue<Entry> heap_;
-  std::unordered_set<std::uint64_t> pending_;             // scheduled, not fired/cancelled
-  // Cancelled ids still physically buried in heap_ or in the batch tail.
-  mutable std::unordered_set<std::uint64_t> cancelled_;
+  // --- placement (every structural member is mutable because next_time()
+  // lazily sorts days, reclaims cancelled nodes and re-spans the ladder:
+  // those change only the physical representation, never the observable
+  // pending set or timestamps, so they are logically const) ---
+
+  void insert_node(Node* node) const;
+  /// Sort key + node for the open day: the drain is sorted and peeked
+  /// through these 24-byte entries so ordering never chases node pointers.
+  struct DrainEntry {
+    Time when;
+    std::uint64_t seq;
+    Node* node;
+  };
+
+  /// Binary-inserts into the open day's descending drain.
+  void drain_insert(Node* node) const;
+  /// Returns the loaded day's nodes to their bucket (physical move only);
+  /// used when a schedule rewinds the cursor to an earlier day.
+  void flush_drain() const;
+  /// Advances the cursor to the next non-empty day and sorts it into the
+  /// drain; re-spans the window from the overflow rung when the year is
+  /// exhausted. Postcondition: drain tail is a live node, or the queue
+  /// holds no nodes at all.
+  void ensure_drain() const;
+  void load_bucket(std::size_t index) const;
+  void rebuild_from_overflow() const;
+
+  std::size_t bucket_index(std::int64_t ticks) const {
+    return static_cast<std::size_t>((ticks - win_start_) >> bucket_shift_);
+  }
+
+  void bucket_prepend(std::size_t index, Node* node) const {
+    Node*& head = buckets_[index];
+    if (head == nullptr) occupancy_[index >> 6] |= std::uint64_t{1} << (index & 63);
+    node->next = head;
+    head = node;
+  }
+
+  /// First non-empty bucket at or after `from`; buckets_.size() when none.
+  std::size_t next_occupied(std::size_t from) const;
+
+  /// Destroys a node and returns its block to the pool.
+  void free_node(Node* node) const;
+  /// free_node for a node that was cancelled (keeps the count honest).
+  void reclaim_cancelled(Node* node) const;
+
+  /// Pops `node` (already unlinked, still pending) and runs its action
+  /// with profiling attribution; shared by both dispatch paths. The node
+  /// is freed *before* the action runs — the action may schedule, cancel,
+  /// or even reset the queue.
+  void fire_node(Node* node);
+
+  // --- perturbation machinery (inert while perturb_.mode == kNone) ---
+
+  /// Skips batch entries cancelled after collection (an earlier event in
+  /// the batch may cancel a later one — that contract survives
+  /// perturbation because cancellation is checked at fire time).
+  void skip_cancelled_batch() const;
+  /// Collects every pending event sharing the earliest timestamp into
+  /// batch_, applies the armed permutation, and updates the batch
+  /// accounting. Requires a non-empty drain with a live tail.
+  void collect_batch();
+  /// Dispatch path while a perturbation is armed. set_perturbation refuses
+  /// to disarm mid-batch, so the unperturbed path never sees batch_ state.
+  bool dispatch_one_perturbed();
+
+  mutable IndexedArena<Node> arena_;
+  mutable std::vector<Node*> buckets_;   // unsorted intrusive day chains
+  // One bit per bucket (bit set <=> chain non-empty), so the cursor skips
+  // runs of empty days a word at a time instead of probing every chain.
+  mutable std::vector<std::uint64_t> occupancy_;
+  mutable Node* overflow_ = nullptr;     // unsorted ladder rung (beyond the year)
+  mutable std::size_t overflow_count_ = 0;
+  mutable std::vector<DrainEntry> drain_;  // open day, descending (when, seq)
+  mutable std::ptrdiff_t drain_bucket_ = -1;  // day loaded into drain_; -1 none
+  mutable std::size_t cursor_ = 0;       // next day to service
+  mutable std::int64_t win_start_ = 0;   // tick of bucket 0 (<= now())
+  mutable std::int64_t win_last_ = 0;    // last tick in the window, inclusive
+  mutable int bucket_shift_ = 0;         // day width = 1 << bucket_shift_ ticks
+  mutable std::uint64_t rebuilds_ = 0;
+  mutable std::uint64_t bucket_loads_ = 0;
+
+  std::size_t pending_count_ = 0;        // scheduled, not fired/cancelled
+  mutable std::size_t cancelled_count_ = 0;  // cancelled, not yet reclaimed
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   Time now_ = Time::zero();
   bool profiling_ = false;
 
-  // --- schedule-perturbation state (inert while perturb_.mode == kNone) ---
   SchedulePerturbation perturb_;
   // The same-timestamp batch currently being drained, in dispatch order;
-  // entries before batch_pos_ already fired. `mutable` for the same
-  // lazy-eviction reason as heap_/cancelled_: next_time() skips cancelled
-  // batch entries without changing anything observable.
-  mutable std::vector<Entry> batch_;
+  // entries before batch_pos_ already fired or were reclaimed. Nodes stay
+  // arena-live while batched so they remain cancellable.
+  mutable std::vector<Node*> batch_;
   mutable std::size_t batch_pos_ = 0;
   std::uint64_t batches_collected_ = 0;
   std::optional<ScheduleBatchRecord> captured_;
+
   struct ProfileCell {
     std::uint64_t dispatches = 0;
     double host_ns = 0.0;
   };
   /// Keyed by label text; std::map so exported rows are label-sorted.
   std::map<std::string, ProfileCell> profile_;
-
-  /// Pops heap entries whose id was cancelled until a live entry (or an
-  /// empty heap) surfaces.
-  void evict_cancelled_top() const;
-
-  /// Skips batch entries cancelled after collection (an earlier event in
-  /// the batch may cancel a later one — that contract survives
-  /// perturbation because cancellation is checked at fire time).
-  void skip_cancelled_batch() const;
-
-  /// Collects every pending event sharing the earliest timestamp into
-  /// batch_, applies the armed permutation, and updates the batch
-  /// accounting. Requires a non-empty heap with a live top.
-  void collect_batch();
-
-  /// Dispatch path while a perturbation is armed. set_perturbation refuses
-  /// to disarm mid-batch, so the unperturbed path never sees batch_ state.
-  bool dispatch_one_perturbed();
-
-  /// Runs one entry's action with profiling attribution; shared by both
-  /// dispatch paths. The entry must already be removed from pending_.
-  void fire(Entry& entry);
 };
 
 }  // namespace dredbox::sim

@@ -1,0 +1,70 @@
+#include "reference_event_queue.hpp"
+
+#include <stdexcept>
+
+namespace dredbox::sim {
+
+ReferenceEventQueue::EventId ReferenceEventQueue::schedule(Time when, Action action) {
+  if (when < now_) {
+    throw std::invalid_argument("ReferenceEventQueue::schedule: time " + when.to_string() +
+                                " precedes current time " + now_.to_string());
+  }
+  EventId id{next_id_++};
+  heap_.push(Entry{when, next_seq_++, id, std::move(action)});
+  pending_.insert(id.value);
+  return id;
+}
+
+bool ReferenceEventQueue::cancel(EventId id) {
+  auto it = pending_.find(id.value);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+void ReferenceEventQueue::evict_cancelled_top() const {
+  while (!heap_.empty() && cancelled_.erase(heap_.top().id.value) > 0) heap_.pop();
+}
+
+Time ReferenceEventQueue::next_time() const {
+  evict_cancelled_top();
+  if (heap_.empty()) return Time::infinity();
+  return heap_.top().when;
+}
+
+bool ReferenceEventQueue::dispatch_one() {
+  evict_cancelled_top();
+  if (heap_.empty()) return false;
+  Entry top = heap_.top();
+  heap_.pop();
+  pending_.erase(top.id.value);
+  now_ = top.when;
+  top.action();
+  return true;
+}
+
+std::size_t ReferenceEventQueue::run_until(Time until) {
+  std::size_t dispatched = 0;
+  while (next_time() <= until) {
+    if (!dispatch_one()) break;
+    ++dispatched;
+  }
+  if (now_ < until && !until.is_infinite()) now_ = until;
+  return dispatched;
+}
+
+std::size_t ReferenceEventQueue::run() {
+  std::size_t dispatched = 0;
+  while (dispatch_one()) ++dispatched;
+  return dispatched;
+}
+
+void ReferenceEventQueue::reset() {
+  heap_ = {};
+  pending_.clear();
+  cancelled_.clear();
+  now_ = Time::zero();
+}
+
+}  // namespace dredbox::sim

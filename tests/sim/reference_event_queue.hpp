@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+
+#include "sim/time.hpp"
+
+namespace dredbox::sim {
+
+/// The binary-heap event queue that sim::EventQueue replaced — retained
+/// verbatim (minus the perturbation/profiler harness) as the differential
+/// test oracle. This is a TEST-ONLY type: it is compiled into the test and
+/// bench binaries, never into dredbox_sim, and exists so a randomized
+/// operation-sequence harness (tests/sim/test_event_queue_differential.cpp)
+/// can assert that the calendar-queue kernel produces byte-for-byte the
+/// same dispatch stream as the original heap under adversarial
+/// schedule/cancel/tie/boundary interleavings — and so the micro benches
+/// can record the old-vs-new throughput ratio inside one process, immune
+/// to host-load swings between runs.
+///
+/// Contract (identical to the production queue): strict (when, seq) order,
+/// FIFO within a timestamp, O(1) cancellation with lazy eviction,
+/// schedule() refuses times before now(), run_until() advances now() to
+/// the horizon when it stops early.
+class ReferenceEventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  struct EventId {
+    std::uint64_t value = 0;
+  };
+
+  EventId schedule(Time when, Action action);
+
+  bool cancel(EventId id);
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t pending() const { return pending_.size(); }
+
+  Time next_time() const;
+
+  bool dispatch_one();
+
+  Time now() const { return now_; }
+
+  std::size_t run_until(Time until);
+  std::size_t run();
+
+  void reset();
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    EventId id;
+    Action action;
+
+    // Min-heap via std::priority_queue, so greater-than ordering.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void evict_cancelled_top() const;
+
+  mutable std::priority_queue<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  Time now_ = Time::zero();
+};
+
+}  // namespace dredbox::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace dredbox::sim {
@@ -234,6 +236,128 @@ TEST(EventQueueFifoContractTest, EarlierTieMemberCanCancelLater) {
   q.schedule(Time::ns(4), [&] { EXPECT_TRUE(q.cancel(ids[2])); });
   q.run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 3}));
+}
+
+// --- Calendar-geometry FIFO regressions ---------------------------------
+//
+// The calendar kernel partitions sim time into power-of-two "days"
+// (buckets) and parks far-future events on an overflow ladder rung that is
+// re-spanned into a fresh window once the current one drains. These tests
+// aim tie groups directly at those seams — the places where a bucketed
+// structure could plausibly lose the (when, seq) contract even though the
+// plain in-bucket paths keep it.
+
+TEST(EventQueueFifoContractTest, TiesStraddlingBucketBoundariesStayOrdered) {
+  EventQueue q;
+  const auto stats = q.calendar_stats();
+  ASSERT_GT(stats.bucket_width_ps, 0);
+  std::vector<std::pair<std::int64_t, int>> order;  // (fire ticks, seq-within-time)
+  // Tie groups one tick before, exactly on, and one tick after a day
+  // boundary, with the schedules of all three groups interleaved so the
+  // kernel cannot rely on insertion locality.
+  const std::int64_t boundary = 3 * stats.bucket_width_ps;
+  const std::int64_t times[] = {boundary - 1, boundary, boundary + 1};
+  for (int seq = 0; seq < 4; ++seq) {
+    for (const std::int64_t t : times) {
+      q.schedule(Time::ps(t), [&, t, seq] { order.push_back({t, seq}); });
+    }
+  }
+  EXPECT_EQ(q.run(), 12u);
+  std::vector<std::pair<std::int64_t, int>> expected;
+  for (const std::int64_t t : times) {
+    for (int seq = 0; seq < 4; ++seq) expected.push_back({t, seq});
+  }
+  EXPECT_EQ(order, expected);
+  q.check_invariants();
+}
+
+TEST(EventQueueFifoContractTest, TiesSurviveLadderSpillAndRefill) {
+  EventQueue q;
+  const auto stats = q.calendar_stats();
+  // Past the window end: these land on the overflow rung, in scheduling
+  // order 0..7, and are only bucketed when the re-span (rebuild) runs.
+  const Time far = Time::ps(stats.window_last_ps + 5 * stats.bucket_width_ps);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(far, [&, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(q.calendar_stats().in_overflow, 8u);
+  // An in-window event first, so the spill is refilled mid-run rather than
+  // from a pristine queue.
+  q.schedule(Time::ns(1), [&] { order.push_back(-1); });
+  EXPECT_EQ(q.run(), 9u);
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_GE(q.calendar_stats().rebuilds, 1u);
+  q.check_invariants();
+}
+
+TEST(EventQueueFifoContractTest, CancelsAcrossLadderSpillRespected) {
+  EventQueue q;
+  const auto stats = q.calendar_stats();
+  const Time far = Time::ps(stats.window_last_ps + 7 * stats.bucket_width_ps);
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(q.schedule(far, [&, i] { order.push_back(i); }));
+  }
+  // Cancel overflow-resident events before AND after the rebuild: punch a
+  // hole while they sit on the rung, then another from an event that fires
+  // first (by which time the survivors have been re-bucketed).
+  ASSERT_TRUE(q.cancel(ids[1]));
+  q.schedule(Time::ns(1), [&] { EXPECT_TRUE(q.cancel(ids[4])); });
+  EXPECT_EQ(q.run(), 5u);
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 5}));
+  q.check_invariants();
+}
+
+TEST(EventQueueFifoContractTest, TieGroupSpanningWindowAndLadderReunites) {
+  EventQueue q;
+  const auto stats = q.calendar_stats();
+  // Same timestamp, scheduled in two phases: the first half while the time
+  // is past the window (ladder), the second half after a rebuild has pulled
+  // the window forward so the same time is now in-bucket. FIFO must hold
+  // across the two residencies.
+  const std::int64_t t = stats.window_last_ps + 2 * stats.bucket_width_ps;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    q.schedule(Time::ps(t), [&, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(q.calendar_stats().in_overflow, 3u);
+  // Advancing past an empty stretch forces nothing; the rebuild happens
+  // when the far events become next. Schedule a nearer event whose action
+  // appends the second half of the tie group.
+  q.schedule(Time::ns(1), [&] {
+    for (int i = 3; i < 6; ++i) {
+      q.schedule(Time::ps(t), [&, i] { order.push_back(i); });
+    }
+  });
+  EXPECT_EQ(q.run(), 7u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  q.check_invariants();
+}
+
+TEST(EventQueueCalendarTest, StatsReflectGeometryAndActivity) {
+  EventQueue q;
+  const auto fresh = q.calendar_stats();
+  EXPECT_EQ(fresh.window_start_ps, 0);
+  EXPECT_GT(fresh.buckets, 0u);
+  EXPECT_EQ(fresh.window_last_ps,
+            static_cast<std::int64_t>(fresh.buckets) * fresh.bucket_width_ps - 1);
+  EXPECT_EQ(fresh.in_overflow, 0u);
+  EXPECT_EQ(fresh.rebuilds, 0u);
+  q.schedule(Time::ps(fresh.window_last_ps), [] {});  // last in-window tick
+  q.schedule(Time::ps(fresh.window_last_ps) + Time::ps(1), [] {});  // first ladder tick
+  const auto loaded = q.calendar_stats();
+  EXPECT_EQ(loaded.in_overflow, 1u);
+  q.run();
+  const auto drained = q.calendar_stats();
+  EXPECT_GE(drained.rebuilds, 1u);
+  EXPECT_GE(drained.bucket_loads, 1u);
+  q.reset();
+  const auto reset_stats = q.calendar_stats();
+  EXPECT_EQ(reset_stats.window_start_ps, 0);
+  EXPECT_EQ(reset_stats.in_overflow, 0u);
+  EXPECT_EQ(reset_stats.rebuilds, 0u);
 }
 
 TEST(EventQueueTest, ManyEventsStressOrder) {
