@@ -24,6 +24,7 @@
 #include "tco/conventional_dc.hpp"
 #include "tco/disaggregated_dc.hpp"
 #include "tco/workload.hpp"
+#include "workload/engine.hpp"
 
 // Process-wide heap-allocation counter, so the telemetry benches can
 // prove the disabled-tracing hot path allocation-free rather than assert
@@ -409,6 +410,123 @@ void BM_TracerEnabledRecordSpan(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TracerEnabledRecordSpan);
+
+// --- allocation-free hot datapath (ISSUE 9) ---
+//
+// The op datapath — issue, fabric walk, breakdown charging, completion,
+// retry bookkeeping — must not touch the heap in steady state. These
+// benches measure it directly with the global-new counter: after a short
+// warm-up (arena chunks, RMST tables, metric registrations, queue
+// capacity all settle), allocs_per_op must read exactly 0.0. The reducer
+// (scripts/bench_reduce.py) fails the run otherwise.
+
+void BM_RemoteReadSteadyStateAllocs(benchmark::State& state) {
+  core::DatacenterConfig config;
+  config.trays = 2;
+  config.compute_bricks_per_tray = 2;
+  config.memory_bricks_per_tray = 2;
+  core::Datacenter dc{config};
+  dc.metrics().enable();
+  const auto vm = dc.boot_vm("bench-guest", /*vcpus=*/2, /*memory=*/2ull << 30);
+  const auto up = dc.scale_up(vm.vm, vm.compute, 2ull << 30);
+  benchmark::DoNotOptimize(up.ok);
+  const auto attachment = dc.fabric().attachments_of(vm.compute).front();
+  std::uint64_t offset = 0;
+  // Warm-up: first touches grow arenas and intern labels; steady state
+  // starts once every pool has reached its working-set size.
+  for (int i = 0; i < 256; ++i) {
+    benchmark::DoNotOptimize(
+        dc.remote_read(vm.compute, attachment.compute_base + (offset & 0xFFC0), 64));
+    offset += 64;
+  }
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = heap_allocs();
+    benchmark::DoNotOptimize(
+        dc.remote_read(vm.compute, attachment.compute_base + (offset & 0xFFC0), 64));
+    allocs += heap_allocs() - before;
+    offset += 64;
+  }
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RemoteReadSteadyStateAllocs);
+
+void BM_DmaSteadyStateAllocs(benchmark::State& state) {
+  hw::Rack rack;
+  const hw::TrayId tray_a = rack.add_tray();
+  const hw::TrayId tray_b = rack.add_tray();
+  const hw::BrickId cpu = rack.add_compute_brick(tray_a).id();
+  hw::MemoryBrickConfig mc;
+  mc.capacity_bytes = 8ull << 30;
+  const hw::BrickId mem = rack.add_memory_brick(tray_b, mc).id();
+  optics::OpticalSwitch sw;
+  optics::CircuitManager circuits{sw};
+  memsys::RemoteMemoryFabric fabric{rack, circuits};
+  memsys::AttachRequest req;
+  req.compute = cpu;
+  req.membrick = mem;
+  req.bytes = 1ull << 30;
+  const auto attachment = fabric.attach(req, sim::Time::zero());
+  sim::Simulator sim;
+  memsys::DmaEngine dma{sim, fabric, cpu, 2, 65536};
+  const auto transfer = [&] {
+    memsys::DmaDescriptor d;
+    d.address = attachment->compute_base;
+    d.bytes = 256 << 10;  // 4 chunks through the pooled job machinery
+    bool done = false;
+    dma.enqueue(d, [&done](const memsys::DmaCompletion& c) { done = c.ok; });
+    sim.run();
+    return done;
+  };
+  for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(transfer());  // warm-up
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = heap_allocs();
+    benchmark::DoNotOptimize(transfer());
+    allocs += heap_allocs() - before;
+  }
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+  state.SetBytesProcessed(state.iterations() * (256 << 10));
+}
+BENCHMARK(BM_DmaSteadyStateAllocs);
+
+// End-to-end load-session throughput: a full WorkloadEngine run (mixed
+// closed + open tenants, sync ops and DMA) per iteration, items = ops the
+// engine completed. This is the number the allocation-free datapath is
+// supposed to move: compare ops/sec against the previous PR's bench file.
+void BM_WorkloadEngineSteadyState(benchmark::State& state) {
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    core::DatacenterConfig config;
+    config.trays = 2;
+    config.compute_bricks_per_tray = 2;
+    config.memory_bricks_per_tray = 2;
+    core::Datacenter dc{config};
+    workload::WorkloadConfig wc;
+    workload::TenantSpec closed;
+    closed.name = "bench-closed";
+    closed.vms = 2;
+    closed.outstanding = 2;
+    closed.mix = {0.6, 0.3, 0.1};
+    workload::TenantSpec open;
+    open.name = "bench-open";
+    open.loop = workload::LoopMode::kOpen;
+    open.rate_hz = 30000.0;
+    open.mix = {0.7, 0.3, 0.0};
+    wc.tenants = {closed, open};
+    wc.duration = sim::Time::ms(4);
+    wc.power_samples = 0;
+    workload::WorkloadEngine engine{dc, wc};
+    const workload::WorkloadResult result = engine.run();
+    benchmark::DoNotOptimize(result.digest);
+    completed += result.completed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+}
+BENCHMARK(BM_WorkloadEngineSteadyState);
 
 void BM_FcfsScheduling(benchmark::State& state) {
   const tco::WorkloadGenerator gen{tco::WorkloadType::kRandom};

@@ -86,6 +86,11 @@ def reduce_point(args: argparse.Namespace) -> dict:
         for rate_key in ("items_per_second", "bytes_per_second"):
             if rate_key in b:
                 entry[rate_key] = b[rate_key]
+        # Allocation counters (the steady-state-allocs benches): carried
+        # into the point so validation can hold the 0-allocs/op line.
+        for key, value in b.items():
+            if key.startswith("allocs"):
+                entry[key] = value
         if name not in micro_by_name:
             micro_order.append(name)
         micro_by_name[name] = entry
@@ -506,6 +511,13 @@ def validate_point(path: Path) -> list[str]:
                 err(f"micro entry {b.get('name', '?')} missing {key}")
         if not isinstance(b.get("real_time"), (int, float)) or b.get("real_time", -1) < 0:
             err(f"micro entry {b.get('name', '?')} real_time must be >= 0")
+        # The allocation-free hot-datapath contract (PR 9): every recorded
+        # allocs* counter must be exactly zero. Older points without the
+        # counters pass vacuously; a new point with a nonzero counter is a
+        # steady-state heap regression, not noise.
+        for key, value in b.items():
+            if key.startswith("allocs") and value != 0:
+                err(f"micro entry {b.get('name', '?')} {key} must be 0, got {value}")
         names.add(b.get("name"))
     if "BM_RmstLookup/32" not in names:
         err("micro must include the headline BM_RmstLookup/32 point")

@@ -50,6 +50,19 @@ tool knows about:
                        (Heuristic skips declarations whose first
                        punctuation is `(` — i.e. functions.)
 
+  hot-path-alloc       The op datapath is allocation-free in steady state
+                       (the BM_*SteadyStateAllocs benches pin it at 0
+                       allocs/op); code between
+                       `// dredbox-lint: hot-path-begin` and
+                       `// dredbox-lint: hot-path-end` markers must not
+                       reach for heap-allocating constructs: make_unique /
+                       make_shared, std::function (type-erased heap
+                       fallback; use sim::InplaceFunction), or std::string
+                       temporaries (std::string{...}, std::to_string).
+                       Cold branches inside a hot region (error-string
+                       assembly, tracing-gated telemetry) carry a
+                       suppression with the reason.
+
 Suppress a finding with:  // dredbox-lint: ignore[<rule>]
 (with a reason after the closing bracket, by convention). On a line of its
 own the suppression applies to the next line; trailing a statement it
@@ -75,6 +88,19 @@ ALL_DIRS = ("src", "tests", "examples", "bench")
 EXTENSIONS = {".cpp", ".hpp", ".cc", ".hh", ".h"}
 
 SUPPRESS_RE = re.compile(r"//\s*dredbox-lint:\s*ignore\[([a-z-]+(?:\s*,\s*[a-z-]+)*)\]")
+
+# Hot-datapath region markers (matched on RAW lines, so they read as plain
+# comments to the compiler). Between a begin and its end, heap-allocating
+# constructs are findings under `hot-path-alloc`.
+HOT_PATH_BEGIN_RE = re.compile(r"//\s*dredbox-lint:\s*hot-path-begin\b")
+HOT_PATH_END_RE = re.compile(r"//\s*dredbox-lint:\s*hot-path-end\b")
+HOT_ALLOC_RE = re.compile(
+    r"\bstd::make_unique\s*<"
+    r"|\bstd::make_shared\s*<"
+    r"|\bstd::function\s*<"
+    r"|\bstd::string\s*[({]"
+    r"|\bstd::to_string\s*\("
+)
 
 WALL_CLOCK_RE = re.compile(
     r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
@@ -229,7 +255,28 @@ def lint_file(
     parts = rel.split("/")
     layer = parts[1] if len(parts) >= 3 and parts[0] == "src" and parts[1] in LAYER_DEPS else None
 
+    # Hot-datapath regions: lines between begin/end markers (raw lines —
+    # the markers are comments, which stripping blanks out).
+    hot_lines: set[int] = set()
+    in_hot = False
+    for idx, line in enumerate(raw_lines, start=1):
+        if HOT_PATH_END_RE.search(line):
+            in_hot = False
+        elif HOT_PATH_BEGIN_RE.search(line):
+            in_hot = True
+        elif in_hot:
+            hot_lines.add(idx)
+    if in_hot:
+        add(len(raw_lines), "hot-path-alloc",
+            "unterminated hot-path-begin marker (missing hot-path-end)")
+
     for idx, line in enumerate(stripped_lines, start=1):
+        if idx in hot_lines and HOT_ALLOC_RE.search(line):
+            add(idx, "hot-path-alloc",
+                "heap-allocating construct inside a hot-path region; the op "
+                "datapath is allocation-free in steady state — use "
+                "sim::InplaceFunction, interned ComponentIds, or pooled storage "
+                "(or suppress with the reason this branch is cold)")
         if layer is not None:
             raw_line = raw_lines[idx - 1] if idx - 1 < len(raw_lines) else ""
             for m in PROJECT_INCLUDE_RE.finditer(raw_line):

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
+#include "sim/contract.hpp"
 #include "sim/span.hpp"
 
 namespace dredbox::memsys {
@@ -36,29 +38,54 @@ std::size_t DmaEngine::in_flight() const {
       std::count_if(channels_.begin(), channels_.end(), [](const Channel& c) { return c.busy; }));
 }
 
+// dredbox-lint: hot-path-begin — enqueue/pump/step/finish run once (or
+// more) per transfer chunk in steady state and must stay allocation-free;
+// cold branches below carry per-line suppressions.
 void DmaEngine::enqueue(const DmaDescriptor& descriptor, Callback callback) {
   if (descriptor.bytes == 0) {
     throw std::invalid_argument("DmaEngine::enqueue: zero-byte transfer");
   }
-  queue_.push_back(Job{descriptor, std::move(callback), sim_.now()});
+  const auto [job, slot] = jobs_.create(Job{descriptor, std::move(callback), sim_.now()});
+  (void)job;
+  queue_.push_back(JobHandle{slot, jobs_.generation(slot)});
   pump();
 }
 
 void DmaEngine::pump() {
-  for (std::size_t c = 0; c < channels_.size() && !queue_.empty(); ++c) {
+  for (std::size_t c = 0; c < channels_.size() && queue_head_ < queue_.size(); ++c) {
     if (channels_[c].busy) continue;
-    Job job = std::move(queue_.front());
-    queue_.pop_front();
+    const JobHandle handle = queue_[queue_head_++];
     channels_[c].busy = true;
-    run_job(c, std::move(job));
+    step(c, handle, 0, 0);
+  }
+  if (queue_head_ == queue_.size() && queue_head_ != 0) {
+    queue_.clear();  // rewind; capacity is kept, so steady state is alloc-free
+    queue_head_ = 0;
   }
 }
 
-void DmaEngine::run_job(std::size_t channel, Job job) {
-  step(channel, std::move(job), 0, 0);
+DmaEngine::Job& DmaEngine::job_ref(JobHandle handle) {
+  Job* job = jobs_.get(handle.slot);
+  DREDBOX_INVARIANT(job != nullptr && jobs_.generation(handle.slot) == handle.generation,
+                    "DmaEngine: stale job handle fired — a scheduled chunk event "
+                    "outlived its pooled job");
+  return *job;
 }
 
-void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::size_t chunks) {
+void DmaEngine::finish(std::size_t channel, JobHandle handle, const DmaCompletion& done) {
+  // Reclaim the slot before delivering the completion: the callback may
+  // reentrantly enqueue (closed-loop workloads do) and is entitled to
+  // reuse the slot; the moved-out callback survives the destroy.
+  Callback callback = std::move(job_ref(handle).callback);
+  jobs_.destroy(handle.slot);
+  channels_[channel].busy = false;
+  if (callback) callback(done);
+  pump();
+}
+
+void DmaEngine::step(std::size_t channel, JobHandle handle, std::uint64_t offset,
+                     std::size_t chunks) {
+  Job& job = job_ref(handle);
   if (offset >= job.descriptor.bytes) {
     DmaCompletion done;
     done.ok = true;
@@ -67,26 +94,26 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
     done.retries = job.retries;
     done.enqueued_at = job.enqueued_at;
     done.completed_at = sim_.now();
-    channels_[channel].busy = false;
     ++completed_;
     // Transfer-grained telemetry (inherited from the fabric; the per-chunk
-    // transactions already land in the memsys.* histograms).
+    // transactions already land in the memsys.* histograms). Reads the job,
+    // so it runs before finish() reclaims the slot.
     if (sim::Telemetry* telemetry = bind_telemetry(); telemetry != nullptr) {
       transfers_metric_->add();
       bytes_metric_->add(done.bytes);
-      if (telemetry->tracing()) {
+      if (telemetry->tracing()) {  // cold: tracing is opt-in, off on measured runs
         sim::Span span{telemetry->tracer(), sim::TraceCategory::kFabric, "dma transfer",
                        done.enqueued_at};
         span.context(telemetry->tracer().child_of(job.descriptor.ctx));
-        span.arg("bytes", std::to_string(done.bytes))
-            .arg("chunks", std::to_string(done.chunks))
+        span.arg("bytes", std::to_string(done.bytes))  // dredbox-lint: ignore[hot-path-alloc] tracing-gated
+            .arg("chunks", std::to_string(done.chunks))  // dredbox-lint: ignore[hot-path-alloc] tracing-gated
             .arg("direction", to_string(job.descriptor.direction));
+        // dredbox-lint: ignore[hot-path-alloc] tracing-gated
         if (done.retries > 0) span.arg("retries", std::to_string(done.retries));
         span.end(done.completed_at);
       }
     }
-    if (job.callback) job.callback(done);
-    pump();
+    finish(channel, handle, done);
     return;
   }
 
@@ -107,14 +134,15 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
       if (const auto delay = job.backoff->next(sim_.now())) {
         ++job.retries;
         if (bind_telemetry() != nullptr) retries_metric_->add();
-        sim_.after(*delay, [this, channel, job = std::move(job), offset, chunks]() mutable {
-          step(channel, std::move(job), offset, chunks);
+        sim_.after(*delay, [this, channel, handle, offset, chunks] {
+          step(channel, handle, offset, chunks);
         }, "memsys.dma.retry");
         return;
       }
     }
     DmaCompletion failed;
     failed.ok = false;
+    // dredbox-lint: ignore[hot-path-alloc] cold: retry-exhausted failure, not steady state
     failed.error = "chunk at 0x" + std::to_string(addr) + " failed: " + to_string(tx.status);
     failed.bytes = offset;
     failed.chunks = chunks;
@@ -122,18 +150,17 @@ void DmaEngine::step(std::size_t channel, Job job, std::uint64_t offset, std::si
     failed.enqueued_at = job.enqueued_at;
     failed.completed_at = sim_.now();
     if (bind_telemetry() != nullptr) failed_metric_->add();
-    channels_[channel].busy = false;
-    if (job.callback) job.callback(failed);
-    pump();
+    finish(channel, handle, failed);
     return;
   }
 
   // Issue the next chunk the moment this one's round trip completes; the
   // chunk landed, so the next one starts with a fresh backoff budget.
   job.backoff.reset();
-  sim_.at(tx.completed_at, [this, channel, job = std::move(job), offset, span, chunks]() mutable {
-    step(channel, std::move(job), offset + span, chunks + 1);
+  sim_.at(tx.completed_at, [this, channel, handle, offset, span, chunks] {
+    step(channel, handle, offset + span, chunks + 1);
   }, "memsys.dma.step");
 }
+// dredbox-lint: hot-path-end
 
 }  // namespace dredbox::memsys

@@ -1,13 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "memsys/remote_memory.hpp"
+#include "sim/arena.hpp"
+#include "sim/inplace_action.hpp"
 #include "sim/retry.hpp"
 #include "sim/simulator.hpp"
 
@@ -47,9 +47,19 @@ struct DmaCompletion {
 /// MTU-sized chunks, fully event-driven on the shared simulator timeline.
 /// Multiple engines drain the queue concurrently, so bulk traffic
 /// overlaps the way the hardware's dual engines allow.
+///
+/// Jobs are pooled through sim::IndexedArena (ISSUE 9c): the scheduled
+/// chunk events carry a (slot, generation) handle instead of moving the
+/// whole Job through the event queue, so steady-state transfers allocate
+/// nothing and an abandoned transfer (fault-exhausted retries) reclaims
+/// its slot with a generation bump — a stale handle to the slot's next
+/// tenant is an invariant violation, not a silent misfire.
 class DmaEngine {
  public:
-  using Callback = std::function<void(const DmaCompletion&)>;
+  /// Completion callbacks ride the same inline-storage budget as event
+  /// actions: a capture list over 48 bytes is a compile error at the
+  /// enqueue site, never a heap fallback.
+  using Callback = sim::InplaceFunction<void(const DmaCompletion&)>;
 
   DmaEngine(sim::Simulator& sim, RemoteMemoryFabric& fabric, hw::BrickId compute,
             std::size_t channels = 2, std::uint32_t chunk_bytes = 4096);
@@ -59,9 +69,16 @@ class DmaEngine {
   void enqueue(const DmaDescriptor& descriptor, Callback callback);
 
   std::size_t channels() const { return channels_.size(); }
-  std::size_t queued() const { return queue_.size(); }
+  std::size_t queued() const { return queue_.size() - queue_head_; }
   std::size_t in_flight() const;
   std::uint64_t completed_transfers() const { return completed_; }
+
+  /// Jobs currently pooled (queued + in flight). Test hook for the
+  /// fault-abandonment suite: after a failed transfer's callback fires,
+  /// its slot must be reclaimed, i.e. this drops back to zero.
+  std::size_t jobs_live() const { return jobs_.live(); }
+  /// Current generation of a job slot (test hook; see IndexedArena).
+  std::uint32_t job_generation(std::uint32_t slot) const { return jobs_.generation(slot); }
 
  private:
   struct Job {
@@ -73,6 +90,12 @@ class DmaEngine {
     std::optional<sim::BackoffSchedule> backoff;
     std::size_t retries = 0;
   };
+  /// Generation-checked handle to a pooled Job — what the queue and the
+  /// scheduled chunk events carry instead of the Job itself.
+  struct JobHandle {
+    std::uint32_t slot = 0;
+    std::uint32_t generation = 0;
+  };
   struct Channel {
     bool busy = false;
   };
@@ -82,7 +105,13 @@ class DmaEngine {
   hw::BrickId compute_;
   std::uint32_t chunk_bytes_;
   std::vector<Channel> channels_;
-  std::deque<Job> queue_;
+  sim::IndexedArena<Job> jobs_;
+  /// FIFO over a recycled vector: pop advances queue_head_, and the
+  /// vector rewinds (clear, keep capacity) once drained. A std::deque
+  /// here allocates a fresh node block every ~64 push/pop cycles as the
+  /// cursor walks forward, which breaks the 0-allocs/op steady state.
+  std::vector<JobHandle> queue_;
+  std::size_t queue_head_ = 0;
   std::uint64_t completed_ = 0;
 
   /// Cached instrument handles, re-resolved only when the fabric's
@@ -95,8 +124,15 @@ class DmaEngine {
   sim::metrics::Counter* failed_metric_ = nullptr;
 
   void pump();
-  void run_job(std::size_t channel, Job job);
-  void step(std::size_t channel, Job job, std::uint64_t offset, std::size_t chunks);
+  /// Resolves a handle to its live Job; a dangling or stale-generation
+  /// handle is an invariant violation (the engine never leaves one in
+  /// flight past the job's destruction).
+  Job& job_ref(JobHandle handle);
+  /// Destroys the pooled job, frees its channel, and delivers `done` to
+  /// the moved-out callback (after the slot is reclaimed, so a reentrant
+  /// enqueue from the callback can reuse it immediately).
+  void finish(std::size_t channel, JobHandle handle, const DmaCompletion& done);
+  void step(std::size_t channel, JobHandle handle, std::uint64_t offset, std::size_t chunks);
   /// Returns the fabric's current telemetry (null when uninstrumented),
   /// rebinding the cached counter handles when it changed.
   sim::Telemetry* bind_telemetry();

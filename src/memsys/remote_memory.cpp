@@ -9,6 +9,27 @@
 
 namespace dredbox::memsys {
 
+namespace {
+
+// Interned breakdown components for the per-transaction datapath: resolved
+// once at startup so execute_path() charges by 2-byte id instead of paying
+// a registry scan per stage per transaction (ISSUE 9b).
+const sim::ComponentId kBdTglLookup = sim::component_id("TGL lookup (RMST)");
+const sim::ComponentId kBdCircuitWait = sim::component_id("circuit wait");
+const sim::ComponentId kBdSerialization = sim::component_id("serialization");
+const sim::ComponentId kBdSerdesTx = sim::component_id("GTH serdes (TX)");
+const sim::ComponentId kBdSerdesRx = sim::component_id("GTH serdes (RX)");
+const sim::ComponentId kBdSerdesReturn = sim::component_id("GTH serdes (return)");
+const sim::ComponentId kBdOpticalProp = sim::component_id("optical propagation");
+const sim::ComponentId kBdElectricalProp = sim::component_id("electrical propagation");
+const sim::ComponentId kBdGlueLogic = sim::component_id("glue logic (dMEMBRICK)");
+const sim::ComponentId kBdMcWait = sim::component_id("memory controller wait");
+const sim::ComponentId kBdMemAccess = sim::component_id("memory access");
+const sim::ComponentId kBdRetryBackoff = sim::component_id("retry backoff");
+const sim::ComponentId kBdReprovision = sim::component_id("circuit re-provision");
+
+}  // namespace
+
 std::string to_string(TransactionKind kind) {
   return kind == TransactionKind::kRead ? "read" : "write";
 }
@@ -884,6 +905,10 @@ const Attachment* RemoteMemoryFabric::find_attachment(hw::BrickId compute,
   return nullptr;
 }
 
+// dredbox-lint: hot-path-begin — execute()/execute_path() are the per-op
+// datapath (one traversal per remote read/write, plus one per retry
+// attempt); steady state must not allocate. Tracing-gated telemetry and
+// the fault-recovery branches are cold and carry suppressions.
 Transaction RemoteMemoryFabric::execute(TransactionKind kind, hw::BrickId compute,
                                         std::uint64_t address, std::uint32_t bytes,
                                         sim::Time when, const sim::TraceContext& parent) {
@@ -922,7 +947,7 @@ Transaction RemoteMemoryFabric::execute(TransactionKind kind, hw::BrickId comput
         if (retry_exhausted_metric_ != nullptr) retry_exhausted_metric_->add();
         break;
       }
-      accumulated.charge("retry backoff", *delay);
+      accumulated.charge(kBdRetryBackoff, *delay);
       if (tracing) {
         telemetry_->tracer().record_span(t, t + *delay, sim::TraceCategory::kFabric,
                                          "retry backoff",
@@ -941,7 +966,7 @@ Transaction RemoteMemoryFabric::execute(TransactionKind kind, hw::BrickId comput
         }
       } else if (tx.status == TransactionStatus::kCircuitDown) {
         if (repair(compute, a->segment, t).has_value()) {
-          accumulated.charge("circuit re-provision", circuits_.setup_time());
+          accumulated.charge(kBdReprovision, circuits_.setup_time());
           if (tracing) {
             telemetry_->tracer().record_span(t, t + circuits_.setup_time(),
                                              sim::TraceCategory::kFabric,
@@ -987,12 +1012,13 @@ Transaction RemoteMemoryFabric::execute(TransactionKind kind, hw::BrickId comput
       sim::Span span{telemetry_->tracer(), sim::TraceCategory::kFabric,
                      kind == TransactionKind::kRead ? "remote read" : "remote write", tx.issued_at};
       span.context(ctx);
-      span.arg("bytes", std::to_string(tx.bytes)).arg("status", to_string(tx.status));
+      span.arg("bytes", std::to_string(tx.bytes)).arg("status", to_string(tx.status));  // dredbox-lint: ignore[hot-path-alloc] tracing-gated
+      // dredbox-lint: ignore[hot-path-alloc] tracing-gated
       if (tx.retries > 0) span.arg("retries", std::to_string(tx.retries));
       // Per-op critical-path breakdown, keyed on the span itself so a
       // report reader sees where this transaction's round trip went.
       for (const auto& [component, amount] : tx.breakdown.components()) {
-        span.arg("bd." + component, sim::strformat("%.3f", amount.as_ns()));
+        span.arg(std::string{"bd."}.append(component), sim::strformat("%.3f", amount.as_ns()));  // dredbox-lint: ignore[hot-path-alloc] tracing-gated
       }
       span.end(tx.completed_at);
     }
@@ -1015,7 +1041,7 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
 
   // The APU forwards the transaction to the TGL via its master ports; the
   // TGL identifies the remote segment (fully associative RMST match).
-  tx.breakdown.charge("TGL lookup (RMST)", latencies_.tgl_lookup);
+  tx.breakdown.charge(kBdTglLookup, latencies_.tgl_lookup);
   sim::Time t = when + latencies_.tgl_lookup;
 
   auto route = cb.tgl().route(address);
@@ -1068,8 +1094,8 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
     medium = LinkMedium::kElectrical;
     propagation = latencies_.electrical_propagation;
   } else {
-    auto circuit = circuits_.find(route->entry->circuit);
-    if (!circuit) {
+    const optics::Circuit* circuit = circuits_.find_ref(route->entry->circuit);
+    if (circuit == nullptr) {
       tx.status = TransactionStatus::kCircuitDown;
       tx.completed_at = t;
       return tx;
@@ -1078,8 +1104,8 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
   }
   const sim::Time serdes =
       medium == LinkMedium::kElectrical ? latencies_.electrical_serdes : latencies_.serdes;
-  const char* wire = medium == LinkMedium::kElectrical ? "electrical propagation"
-                                                       : "optical propagation";
+  const sim::ComponentId wire =
+      medium == LinkMedium::kElectrical ? kBdElectricalProp : kBdOpticalProp;
 
   // Bonded-lane count for this circuit (attachments on the pair carry it).
   std::size_t lanes = 1;
@@ -1103,23 +1129,23 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
   const sim::Time out_ser = serialization_time(out_bytes, medium, lanes);
   sim::Time& busy = circuit_busy_until_[route->entry->circuit.value];
   const sim::Time start = std::max(t, busy);
-  tx.breakdown.charge("circuit wait", start - t);
-  tx.breakdown.charge("serialization", out_ser);
+  tx.breakdown.charge(kBdCircuitWait, start - t);
+  tx.breakdown.charge(kBdSerialization, out_ser);
   busy = start + out_ser;
   t = start + out_ser;
 
-  tx.breakdown.charge("GTH serdes (TX)", serdes);
+  tx.breakdown.charge(kBdSerdesTx, serdes);
   t += serdes;
   tx.breakdown.charge(wire, propagation);
   t += propagation;
-  tx.breakdown.charge("GTH serdes (RX)", serdes);
+  tx.breakdown.charge(kBdSerdesRx, serdes);
   t += serdes;
 
   // dMEMBRICK: glue logic steers the transaction to one of the brick's
   // memory controllers (address-interleaved); a busy controller delays
   // the access, so bricks dimensioned with more controllers sustain more
   // concurrent transactions (Section II).
-  tx.breakdown.charge("glue logic (dMEMBRICK)", latencies_.glue_logic);
+  tx.breakdown.charge(kBdGlueLogic, latencies_.glue_logic);
   t += latencies_.glue_logic;
   const auto& mb = rack_.memory_brick(tx.destination);
   const std::size_t mc_count = mb.config().memory_controllers;
@@ -1129,22 +1155,23 @@ Transaction RemoteMemoryFabric::execute_path(TransactionKind kind, hw::BrickId c
       (static_cast<std::uint64_t>(tx.destination.value) << 8) | static_cast<std::uint64_t>(mc);
   sim::Time& mc_busy = controller_busy_until_[mc_key];
   const sim::Time mc_start = std::max(t, mc_busy);
-  tx.breakdown.charge("memory controller wait", mc_start - t);
-  tx.breakdown.charge("memory access", mem_access);
+  tx.breakdown.charge(kBdMcWait, mc_start - t);
+  tx.breakdown.charge(kBdMemAccess, mem_access);
   mc_busy = mc_start + mem_access;
   t = mc_start + mem_access;
 
   // Return: read carries payload back; write returns a short ack.
   const std::uint32_t back_bytes = kind == TransactionKind::kRead ? bytes : 0;
   const sim::Time back_ser = serialization_time(back_bytes, medium, lanes);
-  tx.breakdown.charge("serialization", back_ser);
-  tx.breakdown.charge("GTH serdes (return)", serdes * 2);
+  tx.breakdown.charge(kBdSerialization, back_ser);
+  tx.breakdown.charge(kBdSerdesReturn, serdes * 2);
   tx.breakdown.charge(wire, propagation);
   t += back_ser + serdes * 2 + propagation;
 
   tx.completed_at = t;
   return tx;
 }
+// dredbox-lint: hot-path-end
 
 void RemoteMemoryFabric::check_invariants() const {
   for (std::size_t i = 0; i < attachments_.size(); ++i) {

@@ -5,6 +5,7 @@
 
 #include "hw/ids.hpp"
 #include "sim/breakdown.hpp"
+#include "sim/contract.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 
@@ -46,7 +47,20 @@ struct Transaction {
   sim::TraceContext ctx;
 
   bool ok() const { return status == TransactionStatus::kOk; }
-  sim::Time round_trip() const { return completed_at - issued_at; }
+
+  /// Issue-to-completion latency. Failed transactions still have a real
+  /// duration (completed_at is stamped with the failure time), but a
+  /// transaction that was never completed at all (completed_at still
+  /// default-initialized before issued_at) has no round trip: asking for
+  /// one returns zero instead of an underflowed Time, and trips
+  /// DREDBOX_REQUIRE under -DDREDBOX_AUDIT=ON so reducers averaging it
+  /// in are caught in audit runs.
+  sim::Time round_trip() const {
+    DREDBOX_REQUIRE(completed_at >= issued_at,
+                    "Transaction::round_trip on a never-completed transaction");
+    if (completed_at < issued_at) return sim::Time::zero();
+    return completed_at - issued_at;
+  }
 };
 
 }  // namespace dredbox::memsys

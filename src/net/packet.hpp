@@ -5,6 +5,7 @@
 
 #include "hw/ids.hpp"
 #include "sim/breakdown.hpp"
+#include "sim/contract.hpp"
 #include "sim/time.hpp"
 
 namespace dredbox::net {
@@ -34,7 +35,17 @@ struct Packet {
   sim::Time delivered_at;
   sim::Breakdown breakdown;
 
-  sim::Time latency() const { return delivered_at - injected_at; }
+  /// Injection-to-delivery latency. A packet that was never delivered
+  /// (dropped; delivered_at still default-initialized before injected_at)
+  /// has no latency: returns zero instead of an underflowed Time, and
+  /// trips DREDBOX_REQUIRE under -DDREDBOX_AUDIT=ON so percentile sites
+  /// cannot silently average garbage in.
+  sim::Time latency() const {
+    DREDBOX_REQUIRE(delivered_at >= injected_at,
+                    "Packet::latency on an undelivered packet");
+    if (delivered_at < injected_at) return sim::Time::zero();
+    return delivered_at - injected_at;
+  }
 };
 
 }  // namespace dredbox::net

@@ -7,6 +7,26 @@
 
 namespace dredbox::net {
 
+namespace {
+
+// Interned breakdown components for the per-packet pipeline: resolved once
+// at startup so traverse() charges by 2-byte id per stage (ISSUE 9b).
+const sim::ComponentId kBdTglInject = sim::component_id("TGL / NI injection");
+const sim::ComponentId kBdSwitchCompute = sim::component_id("on-brick switch (dCOMPUBRICK)");
+const sim::ComponentId kBdSwitchMem = sim::component_id("on-brick switch (dMEMBRICK)");
+const sim::ComponentId kBdSerialization = sim::component_id("serialization");
+const sim::ComponentId kBdCongestion = sim::component_id("congestion penalty");
+const sim::ComponentId kBdMacPhyCompute = sim::component_id("MAC/PHY (dCOMPUBRICK)");
+const sim::ComponentId kBdMacPhyMem = sim::component_id("MAC/PHY (dMEMBRICK)");
+const sim::ComponentId kBdFec = sim::component_id("FEC encode/decode");
+const sim::ComponentId kBdOpticalProp = sim::component_id("optical propagation");
+const sim::ComponentId kBdLossRetrans = sim::component_id("loss retransmissions");
+const sim::ComponentId kBdGlueLogic = sim::component_id("glue logic (dMEMBRICK)");
+const sim::ComponentId kBdMemAccess = sim::component_id("memory access");
+
+}  // namespace
+
+
 std::string to_string(PacketType type) {
   switch (type) {
     case PacketType::kMemReadReq:
@@ -111,20 +131,22 @@ sim::Time PacketNetwork::memory_access_time(hw::MemoryTechnology tech) const {
   return tech == hw::MemoryTechnology::kHmc ? latencies_.hmc_access : latencies_.ddr_access;
 }
 
+// dredbox-lint: hot-path-begin — traverse/remote_read/remote_write run
+// once per packet; steady state is allocation-free (misrouted packets and
+// tracing-gated spans are the cold exceptions, suppressed below).
 sim::Time PacketNetwork::traverse(hw::BrickId src, hw::BrickId dst, std::uint32_t bytes,
                                   sim::Time start, bool from_compute,
                                   sim::Breakdown& breakdown) {
   // Static per-direction labels: building "... (side)" strings here would
   // allocate on every packet of the exploratory-path datapath.
-  const char* switch_label = from_compute ? "on-brick switch (dCOMPUBRICK)"
-                                          : "on-brick switch (dMEMBRICK)";
-  const char* mac_phy_tx_label = from_compute ? "MAC/PHY (dCOMPUBRICK)" : "MAC/PHY (dMEMBRICK)";
-  const char* mac_phy_rx_label = from_compute ? "MAC/PHY (dMEMBRICK)" : "MAC/PHY (dCOMPUBRICK)";
+  const sim::ComponentId switch_label = from_compute ? kBdSwitchCompute : kBdSwitchMem;
+  const sim::ComponentId mac_phy_tx_label = from_compute ? kBdMacPhyCompute : kBdMacPhyMem;
+  const sim::ComponentId mac_phy_rx_label = from_compute ? kBdMacPhyMem : kBdMacPhyCompute;
   sim::Time t = start;
 
   if (from_compute) {
     // TGL decode + NI injection only happens on the requesting brick.
-    breakdown.charge("TGL / NI injection", latencies_.tgl_inject);
+    breakdown.charge(kBdTglInject, latencies_.tgl_inject);
     t += latencies_.tgl_inject;
   }
 
@@ -139,7 +161,7 @@ sim::Time PacketNetwork::traverse(hw::BrickId src, hw::BrickId dst, std::uint32_
                                              : latencies_.membrick_switch;
   if (queueing_metric_ != nullptr) queueing_metric_->observe(fwd->queueing.as_ns());
   breakdown.charge(switch_label, switch_cost + fwd->queueing);
-  breakdown.charge("serialization", serialization);
+  breakdown.charge(kBdSerialization, serialization);
   t = fwd->departure;
 
   // Congestion burst: the switch fabric services this packet slower than
@@ -147,7 +169,7 @@ sim::Time PacketNetwork::traverse(hw::BrickId src, hw::BrickId dst, std::uint32_
   if (congestion_factor_ > 1.0) {
     const sim::Time penalty =
         sim::scale(switch_cost + fwd->queueing + serialization, congestion_factor_ - 1.0);
-    breakdown.charge("congestion penalty", penalty);
+    breakdown.charge(kBdCongestion, penalty);
     t += penalty;
   }
 
@@ -158,20 +180,20 @@ sim::Time PacketNetwork::traverse(hw::BrickId src, hw::BrickId dst, std::uint32_
   // Optional FEC encode (the architecture requires FEC-free; modelled for
   // the ablation study).
   if (fec_.added_latency() > sim::Time::zero()) {
-    breakdown.charge("FEC encode/decode", fec_.added_latency());
+    breakdown.charge(kBdFec, fec_.added_latency());
     t += fec_.added_latency();
   }
 
   // Optical path propagation.
   const sim::Time prop = propagation(src, dst);
-  breakdown.charge("optical propagation", prop);
+  breakdown.charge(kBdOpticalProp, prop);
   t += prop;
 
   // Loss burst: each modelled retransmission re-pays serialization plus
   // the wire (deterministic mean-rate model, no per-packet dice).
   if (loss_retransmissions_ > 0.0) {
     const sim::Time penalty = sim::scale(serialization + prop, loss_retransmissions_);
-    breakdown.charge("loss retransmissions", penalty);
+    breakdown.charge(kBdLossRetrans, penalty);
     t += penalty;
     if (retransmissions_metric_ != nullptr) retransmissions_metric_->add();
   }
@@ -200,9 +222,9 @@ Packet PacketNetwork::remote_read(hw::BrickId src, hw::BrickId dst, std::uint64_
 
   // dMEMBRICK glue logic forwards to the local memory controller
   // (Section II, ingress direction) and the array is accessed.
-  pkt.breakdown.charge("glue logic (dMEMBRICK)", latencies_.glue_logic);
+  pkt.breakdown.charge(kBdGlueLogic, latencies_.glue_logic);
   t += latencies_.glue_logic;
-  pkt.breakdown.charge("memory access", memory_access_time(tech));
+  pkt.breakdown.charge(kBdMemAccess, memory_access_time(tech));
   t += memory_access_time(tech);
 
   // Response: payload travels back through the local switch (egress).
@@ -233,9 +255,9 @@ Packet PacketNetwork::remote_write(hw::BrickId src, hw::BrickId dst, std::uint64
   // Request carries the payload.
   sim::Time t = traverse(src, dst, payload_bytes, when, /*from_compute=*/true, pkt.breakdown);
 
-  pkt.breakdown.charge("glue logic (dMEMBRICK)", latencies_.glue_logic);
+  pkt.breakdown.charge(kBdGlueLogic, latencies_.glue_logic);
   t += latencies_.glue_logic;
-  pkt.breakdown.charge("memory access", memory_access_time(tech));
+  pkt.breakdown.charge(kBdMemAccess, memory_access_time(tech));
   t += memory_access_time(tech);
 
   // Short acknowledgement back.
@@ -257,10 +279,11 @@ void PacketNetwork::record_packet_span(const Packet& pkt, const sim::TraceContex
                  pkt.injected_at};
   span.context(telemetry_->tracer().child_of(ctx));
   span.arg("type", to_string(pkt.type))
-      .arg("bytes", std::to_string(pkt.payload_bytes))
-      .arg("src", std::to_string(pkt.src.value))
-      .arg("dst", std::to_string(pkt.dst.value));
+      .arg("bytes", std::to_string(pkt.payload_bytes))  // dredbox-lint: ignore[hot-path-alloc] tracing-gated
+      .arg("src", std::to_string(pkt.src.value))  // dredbox-lint: ignore[hot-path-alloc] tracing-gated
+      .arg("dst", std::to_string(pkt.dst.value));  // dredbox-lint: ignore[hot-path-alloc] tracing-gated
   span.end(pkt.delivered_at);
 }
+// dredbox-lint: hot-path-end
 
 }  // namespace dredbox::net

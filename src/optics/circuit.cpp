@@ -143,6 +143,11 @@ std::optional<Circuit> CircuitManager::find(hw::CircuitId id) const {
   return it->second;
 }
 
+const Circuit* CircuitManager::find_ref(hw::CircuitId id) const {
+  auto it = circuits_.find(id.value);
+  return it == circuits_.end() ? nullptr : &it->second;
+}
+
 LinkBudget CircuitManager::budget(const Circuit& circuit, bool from_a) const {
   const CircuitEndpoint& tx = from_a ? circuit.a : circuit.b;
   const CircuitEndpoint& rx = from_a ? circuit.b : circuit.a;

@@ -85,6 +85,12 @@ class CircuitManager {
   bool repair_switch_port(std::size_t port) { return switch_.repair_port(port); }
 
   std::optional<Circuit> find(hw::CircuitId id) const;
+  /// Allocation-free lookup for the per-op datapath: a pointer into the
+  /// manager's storage (stable until the circuit is torn down), nullptr
+  /// when the circuit is gone. find() copies the Circuit — including its
+  /// switch_ports vector, one heap allocation — so hot callers that only
+  /// read the stored record must use this instead.
+  const Circuit* find_ref(hw::CircuitId id) const;
   std::size_t active_circuits() const { return circuits_.size(); }
 
   /// Time to program the cross-connections for a new circuit; all hops are

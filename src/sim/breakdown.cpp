@@ -2,52 +2,95 @@
 
 #include <algorithm>
 
+#include "sim/contract.hpp"
 #include "sim/format.hpp"
 
 namespace dredbox::sim {
 
-void Breakdown::charge(std::string_view component, Time amount) {
-  for (auto& [name, t] : parts_) {
-    if (name == component) {
-      t += amount;
-      return;
-    }
+// dredbox-lint: hot-path-begin — charge()/of()/has() run a handful of
+// times per op over the fixed inline arrays; only interned ids move, so
+// there is nothing to heap-allocate.
+std::size_t Breakdown::find(ComponentId component) const {
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (ids_[i] == component) return i;
   }
-  parts_.emplace_back(std::string{component}, amount);
+  return count_;
+}
+
+void Breakdown::charge(ComponentId component, Time amount) {
+  const std::size_t i = find(component);
+  if (i < count_) {
+    times_[i] += amount;
+    return;
+  }
+  DREDBOX_INVARIANT(count_ < kMaxComponents,
+                    "Breakdown overflow: one op charged more than kMaxComponents "
+                    "distinct components — grow kMaxComponents only if the "
+                    "pipeline genuinely grew");
+  ids_[count_] = component;
+  times_[count_] = amount;
+  ++count_;
+}
+
+void Breakdown::charge(std::string_view component, Time amount) {
+  charge(component_id(component), amount);
 }
 
 Time Breakdown::total() const {
   Time sum = Time::zero();
-  for (const auto& [name, t] : parts_) sum += t;
+  for (std::size_t i = 0; i < count_; ++i) sum += times_[i];
   return sum;
 }
 
-Time Breakdown::of(std::string_view component) const {
-  for (const auto& [name, t] : parts_) {
-    if (name == component) return t;
-  }
-  return Time::zero();
+Time Breakdown::of(ComponentId component) const {
+  const std::size_t i = find(component);
+  return i < count_ ? times_[i] : Time::zero();
 }
 
+Time Breakdown::of(std::string_view component) const {
+  // A label that was never interned anywhere cannot have been charged
+  // here; answer without growing the registry.
+  const auto id = component_id_if_interned(component);
+  return id ? of(*id) : Time::zero();
+}
+
+bool Breakdown::has(ComponentId component) const { return find(component) < count_; }
+
 bool Breakdown::has(std::string_view component) const {
-  return std::any_of(parts_.begin(), parts_.end(),
-                     [&](const auto& p) { return p.first == component; });
+  const auto id = component_id_if_interned(component);
+  return id && has(*id);
+}
+// dredbox-lint: hot-path-end
+
+// components() builds a vector for reporting/tracing consumers — cold by
+// construction, so it sits outside the hot region.
+std::vector<std::pair<std::string_view, Time>> Breakdown::components() const {
+  std::vector<std::pair<std::string_view, Time>> out;
+  out.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.emplace_back(component_label(ids_[i]), times_[i]);
+  }
+  return out;
 }
 
 void Breakdown::merge(const Breakdown& other) {
-  for (const auto& [name, t] : other.parts_) charge(name, t);
+  for (std::size_t i = 0; i < other.count_; ++i) charge(other.ids_[i], other.times_[i]);
 }
 
 void Breakdown::scale_all(double factor) {
-  for (auto& [name, t] : parts_) t = scale(t, factor);
+  for (std::size_t i = 0; i < count_; ++i) times_[i] = scale(times_[i], factor);
 }
 
 std::string Breakdown::to_string(std::size_t bar_width) const {
   std::string out;
   const double total_ns = total().as_ns();
   std::size_t widest = 0;
-  for (const auto& [name, t] : parts_) widest = std::max(widest, name.size());
-  for (const auto& [name, t] : parts_) {
+  for (std::size_t i = 0; i < count_; ++i) {
+    widest = std::max(widest, component_label(ids_[i]).size());
+  }
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::string name{component_label(ids_[i])};
+    const Time t = times_[i];
     const double pct = total_ns > 0 ? 100.0 * t.as_ns() / total_ns : 0.0;
     out += strformat("  %-*s %12s  %5.1f%%  |", static_cast<int>(widest), name.c_str(),
                      t.to_string().c_str(), pct);

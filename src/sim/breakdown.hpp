@@ -1,10 +1,13 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "sim/component.hpp"
 #include "sim/time.hpp"
 
 namespace dredbox::sim {
@@ -13,12 +16,29 @@ namespace dredbox::sim {
 /// paper's Fig. 8-style round-trip breakdown: each pipeline stage charges
 /// its share under a stable component name, and the report preserves the
 /// order in which components first appeared (i.e., pipeline order).
+///
+/// Storage is a fixed inline array keyed by interned ComponentId (ISSUE
+/// 9b): a Breakdown embedded in a pooled Transaction or Packet never heap-
+/// allocates, and the hot charge sites compare 2-byte ids instead of
+/// strings. The string-keyed API remains as a compatibility shim (it
+/// interns through the global component registry — a lock-free scan for
+/// every label the datapath ships).
 class Breakdown {
  public:
-  /// Adds `amount` under `component`, creating the component on first use.
-  /// Takes a string_view so the (very hot) charge sites in the datapath
-  /// compare against literals without materializing a temporary string; a
-  /// copy is only made the first time a component appears.
+  /// Distinct components one op can accumulate. The widest real path (a
+  /// remote read's full Fig. 8 pipeline merged with retry/re-provision
+  /// charges and the migration stages) stays under 20; exceeding this is
+  /// an invariant violation, not a reallocation.
+  static constexpr std::size_t kMaxComponents = 24;
+
+  /// Adds `amount` under the interned component — the hot-path overload;
+  /// the datapath caches ids at namespace scope and charges by id.
+  void charge(ComponentId component, Time amount);
+
+  /// Compatibility shim: interns `component` and charges by id. Still
+  /// allocation-free for every label the datapath ships (known labels
+  /// resolve with a lock-free registry scan); a copy is made only the
+  /// first time a process-new label appears, inside the registry.
   void charge(std::string_view component, Time amount);
 
   /// Sum over all components.
@@ -26,10 +46,22 @@ class Breakdown {
 
   /// Contribution of one component; Time::zero() if absent.
   Time of(std::string_view component) const;
+  Time of(ComponentId component) const;
 
   bool has(std::string_view component) const;
+  bool has(ComponentId component) const;
 
-  const std::vector<std::pair<std::string, Time>>& components() const { return parts_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  /// Resolved (label, time) pairs in first-appearance order. Built on
+  /// demand for reporting/tracing consumers; the views point at registry-
+  /// owned storage and outlive the Breakdown.
+  std::vector<std::pair<std::string_view, Time>> components() const;
+
+  /// Raw interned entries in first-appearance order (hot-path reads).
+  const ComponentId* ids() const { return ids_; }
+  const Time* times() const { return times_; }
 
   /// Merges another breakdown (component-wise addition, order preserved,
   /// new components appended).
@@ -38,12 +70,21 @@ class Breakdown {
   /// Scales every component (e.g., averaging over N runs with 1.0/N).
   void scale_all(double factor);
 
+  /// Drops all components (re-issue of a pooled op starts from a clean
+  /// breakdown — see the stale-field sweep in ISSUE 9).
+  void clear() { count_ = 0; }
+
   /// Multi-line rendering: one component per line with ns value, percentage
   /// of the total, and a proportional bar.
   std::string to_string(std::size_t bar_width = 40) const;
 
  private:
-  std::vector<std::pair<std::string, Time>> parts_;
+  /// Index of `component` in ids_, or count_ if absent.
+  std::size_t find(ComponentId component) const;
+
+  ComponentId ids_[kMaxComponents];
+  Time times_[kMaxComponents];
+  std::uint8_t count_ = 0;
 };
 
 }  // namespace dredbox::sim

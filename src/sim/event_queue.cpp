@@ -69,6 +69,9 @@ EventQueue::EventQueue()
   win_last_ = (static_cast<std::int64_t>(kInitialBuckets) << kInitialShift) - 1;
 }
 
+// dredbox-lint: hot-path-begin — schedule/insert/dispatch are the event
+// kernel's per-event path; nodes come from the arena and actions live in
+// InplaceAction storage, so steady state never touches the heap.
 EventId EventQueue::schedule(Time when, Action action, const char* label) {
   if (when < now_) {
     throw std::invalid_argument("EventQueue::schedule: time " + when.to_string() +
@@ -412,11 +415,50 @@ void EventQueue::set_perturbation(const SchedulePerturbation& perturbation) {
   captured_.reset();
 }
 
+std::size_t EventQueue::dispatch_batch(Time until) {
+  // Batched same-timestamp dispatch (ISSUE 9d): the drain is sorted, so
+  // every event tied at the earliest timestamp sits contiguously at its
+  // tail. Service the whole tie group in one pass — the way the schedule
+  // auditor's collect_batch() already gathers ties — without re-probing
+  // the calendar (ensure_drain) between events. Ordering is unchanged:
+  // the pops walk the identical FIFO (when, seq) sequence dispatch_one()
+  // would, so digests cannot move. Actions may mutate the queue freely;
+  // a same-timestamp event scheduled mid-batch binary-inserts into its
+  // FIFO position in the open drain and is picked up by the tail checks,
+  // and a reset() empties the drain, ending the batch.
+  ensure_drain();
+  if (drain_.empty() || drain_.back().when > until) return 0;
+  std::size_t dispatched = 0;
+  const Time when = drain_.back().when;
+  do {
+    Node* node = drain_.back().node;
+    drain_.pop_back();
+    --pending_count_;
+    fire_node(node);
+    ++dispatched;
+    while (!drain_.empty() && drain_.back().node->cancelled) {
+      Node* dead = drain_.back().node;
+      drain_.pop_back();
+      reclaim_cancelled(dead);
+    }
+  } while (!drain_.empty() && drain_.back().when == when);
+  return dispatched;
+}
+
 std::size_t EventQueue::run_until(Time until) {
   std::size_t dispatched = 0;
-  while (next_time() <= until) {
-    if (!dispatch_one()) break;
-    ++dispatched;
+  for (;;) {
+    if (perturb_.enabled()) {
+      // The perturbed path owns its own batch machinery; keep the
+      // per-event probe so an armed perturbation is honoured exactly.
+      if (next_time() > until) break;
+      if (!dispatch_one()) break;
+      ++dispatched;
+      continue;
+    }
+    const std::size_t batch = dispatch_batch(until);
+    if (batch == 0) break;
+    dispatched += batch;
   }
   if (now_ < until && !until.is_infinite()) now_ = until;
   return dispatched;
@@ -424,9 +466,19 @@ std::size_t EventQueue::run_until(Time until) {
 
 std::size_t EventQueue::run() {
   std::size_t dispatched = 0;
-  while (dispatch_one()) ++dispatched;
+  for (;;) {
+    if (perturb_.enabled()) {
+      if (!dispatch_one()) break;
+      ++dispatched;
+      continue;
+    }
+    const std::size_t batch = dispatch_batch(Time::infinity());
+    if (batch == 0) break;
+    dispatched += batch;
+  }
   return dispatched;
 }
+// dredbox-lint: hot-path-end
 
 void EventQueue::reset() {
   // Destroys every node — bucketed, drained, overflowed, and the

@@ -1,13 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/arena.hpp"
+#include "sim/inplace_action.hpp"
 #include "sim/time.hpp"
 
 namespace dredbox::sim {
@@ -142,7 +142,11 @@ struct CalendarStats {
 /// serviced (or its rung re-spanned).
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  /// Inline-storage callable (sim/inplace_action.hpp): scheduling an event
+  /// never heap-allocates for the capture list, and a capture list too
+  /// large for the 48-byte inline budget is a compile error at the
+  /// schedule site rather than a silent allocation.
+  using Action = InplaceAction;
 
   EventQueue();
 
@@ -293,6 +297,13 @@ class EventQueue {
   /// is freed *before* the action runs — the action may schedule, cancel,
   /// or even reset the queue.
   void fire_node(Node* node);
+
+  /// Dispatches every event tied at the earliest pending timestamp (when
+  /// it is <= `until`) in one pass over the sorted drain tail, without
+  /// re-probing the calendar between events — the run loops' batched
+  /// fast path (unperturbed only). Returns the number dispatched; 0 means
+  /// the queue is empty or the next event is after `until`.
+  std::size_t dispatch_batch(Time until);
 
   // --- perturbation machinery (inert while perturb_.mode == kNone) ---
 

@@ -279,14 +279,19 @@ std::size_t FaultInjector::schedule(const FaultPlan& plan) {
     // (sim/schedule_audit.hpp) flags exactly that. Recovery, scheduled via
     // after(duration) from the skewed injection, inherits the offset.
     const Time when = std::max(event.at, sim_.now()) + Time::ps(1);
-    sim_.at(when, [this, event] { fire(event); });
+    events_.push_back(event);
+    const std::size_t index = events_.size() - 1;
+    sim_.at(when, [this, index] { fire(index); });
     ++scheduled_;
     ++count;
   }
   return count;
 }
 
-void FaultInjector::fire(const FaultEvent& event) {
+void FaultInjector::fire(std::size_t index) {
+  // Copy out: a handler may reentrantly schedule() another plan and
+  // reallocate events_ under a reference.
+  const FaultEvent event = events_[index];
   auto it = inject_.find(event.kind);
   if (it == inject_.end() || !it->second) {
     ++skipped_;
@@ -298,11 +303,12 @@ void FaultInjector::fire(const FaultEvent& event) {
   if (active_metric_ != nullptr) active_metric_->set(static_cast<double>(active()));
   it->second(event);
   if (event.duration > Time::zero() && recover_.count(event.kind) != 0) {
-    sim_.after(event.duration, [this, event] { fire_recovery(event); });
+    sim_.after(event.duration, [this, index] { fire_recovery(index); });
   }
 }
 
-void FaultInjector::fire_recovery(const FaultEvent& event) {
+void FaultInjector::fire_recovery(std::size_t index) {
+  const FaultEvent event = events_[index];
   auto it = recover_.find(event.kind);
   if (it == recover_.end() || !it->second) return;
   ++recovered_;

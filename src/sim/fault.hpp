@@ -165,6 +165,12 @@ class FaultInjector {
   Simulator& sim_;
   std::map<FaultKind, Handler> inject_;
   std::map<FaultKind, Handler> recover_;
+  /// Events handed to schedule(), kept so the scheduled actions capture
+  /// [this, index] instead of a 48-byte FaultEvent copy (a whole-event
+  /// capture plus `this` overflows the InplaceAction budget). Append-only
+  /// for the injector's lifetime; fire paths copy the event out by value
+  /// because a handler may reentrantly schedule() and grow the vector.
+  std::vector<FaultEvent> events_;
   std::uint64_t scheduled_ = 0;
   std::uint64_t injected_ = 0;
   std::uint64_t recovered_ = 0;
@@ -176,8 +182,8 @@ class FaultInjector {
   metrics::Counter* skipped_metric_ = nullptr;
   metrics::Gauge* active_metric_ = nullptr;
 
-  void fire(const FaultEvent& event);
-  void fire_recovery(const FaultEvent& event);
+  void fire(std::size_t index);
+  void fire_recovery(std::size_t index);
 };
 
 }  // namespace dredbox::sim

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dredbox::sim {
+
+/// Small-buffer-optimized, move-only callable — the op datapath's
+/// replacement for std::function (ISSUE 9a).
+///
+/// Every scheduled event and DMA completion used to box its capture list
+/// on the heap: std::function's small-buffer threshold is implementation-
+/// defined (16 bytes under libstdc++), so the datapath's [this, slot,
+/// offset, ...] captures all allocated. An InplaceFunction stores the
+/// callable inline in `Capacity` bytes and *refuses to compile* when a
+/// capture list outgrows it — oversized captures are a build error at the
+/// schedule site, never a silent heap fallback. The default 48-byte
+/// capacity fits every hot capture in the repository (the widest is the
+/// workload engine's DMA completion: this + driver + closed_loop + a
+/// 24-byte TraceContext = 48); growing a capture past it means shrinking
+/// the capture (pool the state and capture a handle — see DESIGN §4d),
+/// not growing the buffer.
+///
+/// Deliberately NOT provided, so misuse cannot compile:
+///   * copying (an inline callable owning resources would double-free);
+///   * target_type()/target() RTTI;
+///   * heap fallback of any kind.
+template <typename Signature, std::size_t Capacity = 48>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Converting constructor from any callable. The static_asserts are the
+  /// compile-time oversize/alignment contract: a capture list that does
+  /// not fit inline is rejected here, at the schedule site that wrote it.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= Capacity,
+                  "capture list too large for InplaceFunction's inline storage: "
+                  "shrink the capture (pool the state and capture an arena "
+                  "handle instead — see DESIGN §4d)");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned callables do not fit InplaceFunction storage");
+    static_assert(std::is_invocable_r_v<R, Fn&, Args...>,
+                  "callable is not invocable with this InplaceFunction signature");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "InplaceFunction callables must be nothrow-move-constructible "
+                  "(lambdas with throwing-move captures would break event-node moves)");
+    // Placement-new into the inline buffer: the buffer is the object's own
+    // storage, destroyed in ~InplaceFunction — ownership never escapes.
+    // dredbox-lint: ignore[raw-new]
+    ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+    invoke_ = &invoke_as<Fn>;
+    manage_ = &manage_as<Fn>;
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept
+      : invoke_{other.invoke_}, manage_{other.manage_} {
+    if (manage_ != nullptr) manage_(Op::kMoveTo, other.storage_, storage_);
+    other.release();
+  }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this == &other) return *this;
+    destroy();
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) manage_(Op::kMoveTo, other.storage_, storage_);
+    other.release();
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) noexcept {
+    destroy();
+    release();
+    return *this;
+  }
+
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+
+  ~InplaceFunction() { destroy(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Invokes the stored callable. Calling an empty InplaceFunction is the
+  /// same contract as std::function: it throws std::bad_function_call.
+  R operator()(Args... args) {
+    if (invoke_ == nullptr) throw std::bad_function_call{};
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op : std::uint8_t { kMoveTo, kDestroy };
+
+  template <typename Fn>
+  static R invoke_as(void* storage, Args... args) {
+    return (*std::launder(reinterpret_cast<Fn*>(storage)))(std::forward<Args>(args)...);
+  }
+
+  template <typename Fn>
+  static void manage_as(Op op, void* self, void* destination) {
+    Fn* fn = std::launder(reinterpret_cast<Fn*>(self));
+    if (op == Op::kMoveTo) {
+      // dredbox-lint: ignore[raw-new]
+      ::new (destination) Fn(std::move(*fn));
+      fn->~Fn();
+    } else {
+      fn->~Fn();
+    }
+  }
+
+  void destroy() {
+    if (manage_ != nullptr) manage_(Op::kDestroy, storage_, nullptr);
+  }
+  void release() {
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+  R (*invoke_)(void*, Args...) = nullptr;
+  void (*manage_)(Op, void*, void*) = nullptr;
+};
+
+/// The event kernel's action type: a void() callable with the datapath's
+/// standard 48-byte inline budget.
+using InplaceAction = InplaceFunction<void()>;
+
+}  // namespace dredbox::sim

@@ -138,21 +138,55 @@ void WorkloadEngine::boot_tenants() {
 
 void WorkloadEngine::start_streams(sim::Time t0) {
   auto& sim = dc_.simulator();
+  // Collect every initial issue first, then coalesce ties: issues that
+  // land on the same tick become ONE scheduled event dispatching the
+  // whole group in FIFO order — the same tie-batching the schedule
+  // auditor applies at the kernel (ISSUE 9d). Order is unchanged (the
+  // kernel would fire tied events in this exact insertion order), so the
+  // op stream and digest cannot move; the queue just carries one node
+  // per distinct start tick instead of one per VM window.
+  std::vector<InitialIssue> issues;
   for (auto& owned : drivers_) {
     VmDriver* driver = owned.get();
     if (driver->spec.loop == LoopMode::kOpen) {
       const sim::Time first = t0 + driver->clock.next_gap(t0);
-      if (first < end_) {
-        sim.at(first, [this, driver] { open_arrival(*driver); }, "workload.open_arrival");
-      }
+      if (first < end_) issues.push_back(InitialIssue{first, driver, /*closed_loop=*/false});
     } else {
       for (std::size_t window = 0; window < driver->spec.outstanding; ++window) {
         const sim::Time first = t0 + driver->clock.next_gap(t0);
-        if (first < end_) {
-          sim.at(first, [this, driver] { closed_issue(*driver); }, "workload.closed_issue");
-        }
+        if (first < end_) issues.push_back(InitialIssue{first, driver, /*closed_loop=*/true});
       }
     }
+  }
+  std::stable_sort(issues.begin(), issues.end(),
+                   [](const InitialIssue& a, const InitialIssue& b) { return a.when < b.when; });
+  for (std::size_t i = 0; i < issues.size();) {
+    std::size_t j = i + 1;
+    while (j < issues.size() && issues[j].when == issues[i].when) ++j;
+    if (j == i + 1) {
+      VmDriver* driver = issues[i].driver;
+      if (issues[i].closed_loop) {
+        sim.at(issues[i].when, [this, driver] { closed_issue(*driver); },
+               "workload.closed_issue");
+      } else {
+        sim.at(issues[i].when, [this, driver] { open_arrival(*driver); },
+               "workload.open_arrival");
+      }
+    } else {
+      start_batches_.emplace_back(issues.begin() + static_cast<std::ptrdiff_t>(i),
+                                  issues.begin() + static_cast<std::ptrdiff_t>(j));
+      const std::size_t batch = start_batches_.size() - 1;
+      sim.at(issues[i].when, [this, batch] {
+        for (const InitialIssue& issue : start_batches_[batch]) {
+          if (issue.closed_loop) {
+            closed_issue(*issue.driver);
+          } else {
+            open_arrival(*issue.driver);
+          }
+        }
+      }, "workload.start_batch");
+    }
+    i = j;
   }
 }
 
@@ -169,6 +203,9 @@ void WorkloadEngine::schedule_power_samples(sim::Time t0) {
   }
 }
 
+// dredbox-lint: hot-path-begin — the per-op issue/record loop: every
+// offered op runs one of these; steady state must not touch the heap
+// (trace spans are gated on ctx.valid(), which is off on measured runs).
 void WorkloadEngine::open_arrival(VmDriver& driver) {
   auto& sim = dc_.simulator();
   const sim::Time now = sim.now();
@@ -217,13 +254,16 @@ void WorkloadEngine::perform_op(VmDriver& driver, bool closed_loop) {
     descriptor.direction =
         pull ? memsys::TransactionKind::kRead : memsys::TransactionKind::kWrite;
     descriptor.ctx = ctx;
+    // Capture budget (InplaceFunction, 48 bytes): this + driver + ctx +
+    // closed_loop fit exactly; the issue time is not captured — it is the
+    // completion's enqueued_at, stamped by the engine at this same instant.
     driver.dma->enqueue(
         descriptor,
-        [this, d = &driver, closed_loop, ctx, now](const memsys::DmaCompletion& done) {
+        [this, d = &driver, closed_loop, ctx](const memsys::DmaCompletion& done) {
           record_dma(*d, done);
           if (ctx.valid()) {
             sim::Span span{dc_.telemetry().tracer(), sim::TraceCategory::kApplication,
-                           "op dma", now};
+                           "op dma", done.enqueued_at};
             span.context(ctx);
             span.arg("vm", d->vm.to_string()).arg("ok", done.ok ? "yes" : "no");
             span.end(done.completed_at);
@@ -294,6 +334,7 @@ void WorkloadEngine::record_dma(VmDriver& driver, const memsys::DmaCompletion& d
       .update(static_cast<std::uint64_t>(done.ok ? 1 : 0))
       .update(static_cast<std::uint64_t>((done.completed_at - done.enqueued_at).ticks()));
 }
+// dredbox-lint: hot-path-end
 
 WorkloadResult WorkloadEngine::run() {
   if (ran_) throw std::logic_error("WorkloadEngine::run() may only be called once");

@@ -123,9 +123,21 @@ class WorkloadEngine {
     VmDriver(const TenantSpec& s, ArrivalClock c) : spec{s}, clock{std::move(c)} {}
   };
 
+  /// One initial request issue, used by start_streams to coalesce
+  /// same-timestamp issues into a single scheduled event (ISSUE 9d).
+  struct InitialIssue {
+    sim::Time when;
+    VmDriver* driver;
+    bool closed_loop;
+  };
+
   core::Datacenter& dc_;
   WorkloadConfig config_;
   std::vector<std::unique_ptr<VmDriver>> drivers_;
+  /// Same-timestamp groups of initial issues; each scheduled start event
+  /// captures an index into this vector, keeping the capture inside the
+  /// InplaceAction budget regardless of group size.
+  std::vector<std::vector<InitialIssue>> start_batches_;
   /// One DMA engine per dCOMPUBRICK, shared by all co-located tenants
   /// (never iterated — lookup only, so no ordering nondeterminism).
   std::unordered_map<hw::BrickId, std::unique_ptr<memsys::DmaEngine>> dma_engines_;

@@ -161,6 +161,141 @@ TEST_F(DmaTest, FailedCircuitSurfacesMidTransfer) {
   EXPECT_LT(result.bytes, 1 * kMiB);        // but not all
 }
 
+// --- pooled-job lifecycle under faults (ISSUE 9c/9 satellite) ---
+//
+// Jobs live in a sim::IndexedArena and the scheduled chunk events carry
+// (slot, generation) handles. These tests prove the fault-abandonment
+// story: whether a transfer completes, fails fast, or dies mid-flight
+// with retries exhausted, its slot is reclaimed (jobs_live back to 0),
+// the generation is bumped (stale handles are distinguishable from the
+// slot's next tenant), and nothing dangles.
+
+TEST_F(DmaTest, CompletedTransferReclaimsItsPooledJob) {
+  DmaEngine dma{sim_, fabric_, compute_};
+  EXPECT_EQ(dma.jobs_live(), 0u);
+  DmaDescriptor d;
+  d.address = attachment_.compute_base;
+  d.bytes = 64 * 1024;
+  bool done = false;
+  dma.enqueue(d, [&](const DmaCompletion& c) { done = c.ok; });
+  EXPECT_EQ(dma.jobs_live(), 1u);
+  const std::uint32_t generation_in_flight = dma.job_generation(0);
+  EXPECT_NE(generation_in_flight, 0u);
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dma.jobs_live(), 0u);
+  EXPECT_EQ(dma.job_generation(0), generation_in_flight + 1)
+      << "destroy must bump the generation so stale handles miss";
+}
+
+TEST_F(DmaTest, BrickCrashMidFlightAbandonsTheJobAndReclaimsItsSlot) {
+  DmaEngine dma{sim_, fabric_, compute_};
+  DmaCompletion result;
+  bool delivered = false;
+  DmaDescriptor d;
+  d.address = attachment_.compute_base;
+  d.bytes = 1 * kMiB;
+  dma.enqueue(d, [&](const DmaCompletion& c) {
+    result = c;
+    delivered = true;
+  });
+  const std::uint32_t generation_in_flight = dma.job_generation(0);
+  // Crash the serving dMEMBRICK ~50 us into the transfer: the next chunk's
+  // fabric transaction dies with kBrickFailed (not retryable from the data
+  // plane), so the engine must abandon the job.
+  sim_.after(Time::us(50), [&] { rack_.brick(membrick_).fail(); });
+  sim_.run();
+  ASSERT_TRUE(delivered) << "an abandoned transfer still delivers its failure";
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("brick-failed"), std::string::npos) << result.error;
+  EXPECT_GT(result.bytes, 0u);
+  EXPECT_LT(result.bytes, 1 * kMiB);
+  EXPECT_EQ(dma.jobs_live(), 0u) << "abandonment must reclaim the pooled slot";
+  EXPECT_EQ(dma.job_generation(0), generation_in_flight + 1);
+  EXPECT_EQ(dma.in_flight(), 0u) << "the channel is free for the next job";
+}
+
+TEST_F(DmaTest, RetryExhaustionUnderPersistentFaultReclaimsEverything) {
+  // With a retry policy set, a mid-flight circuit failure sends the chunk
+  // through scheduled backoff retries; the circuit never heals (no policy
+  // on the fabric repairs it here — the engine's own retries re-execute
+  // against the still-down circuit, and the fabric's synchronous loop
+  // re-provisions). Use a brick crash instead, which no layer can retry
+  // around, after arming a policy: the job must still be reclaimed once
+  // the policy's attempts exhaust or the failure is recognized as fatal.
+  sim::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = Time::us(5);
+  fabric_.set_retry_policy(policy);
+  DmaEngine dma{sim_, fabric_, compute_};
+  DmaCompletion result;
+  DmaDescriptor d;
+  d.address = attachment_.compute_base;
+  d.bytes = 1 * kMiB;
+  dma.enqueue(d, [&](const DmaCompletion& c) { result = c; });
+  sim_.after(Time::us(50), [&] { rack_.brick(membrick_).fail(); });
+  sim_.run();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(dma.jobs_live(), 0u);
+  EXPECT_EQ(dma.in_flight(), 0u);
+  // A fresh transfer reuses the reclaimed slot 0 under a new generation.
+  rack_.brick(membrick_).restore();
+  bool ok_again = false;
+  DmaDescriptor retry_d;
+  retry_d.address = attachment_.compute_base;
+  retry_d.bytes = 64 * 1024;
+  dma.enqueue(retry_d, [&](const DmaCompletion& c) { ok_again = c.ok; });
+  EXPECT_EQ(dma.jobs_live(), 1u);
+  sim_.run();
+  EXPECT_TRUE(ok_again);
+  EXPECT_EQ(dma.jobs_live(), 0u);
+}
+
+TEST_F(DmaTest, QueuedAndInFlightJobsAreAllPooledAndAllReclaimed) {
+  DmaEngine dma{sim_, fabric_, compute_, /*channels=*/1, 4096};
+  int completions = 0;
+  for (int i = 0; i < 4; ++i) {
+    DmaDescriptor d;
+    d.address = attachment_.compute_base + static_cast<std::uint64_t>(i) * kMiB;
+    d.bytes = 64 * 1024;
+    dma.enqueue(d, [&completions](const DmaCompletion& c) {
+      if (c.ok) ++completions;
+    });
+  }
+  EXPECT_EQ(dma.jobs_live(), 4u);  // 1 in flight + 3 queued, all pooled
+  sim_.run();
+  EXPECT_EQ(completions, 4);
+  EXPECT_EQ(dma.jobs_live(), 0u);
+}
+
+TEST_F(DmaTest, ReentrantEnqueueFromCompletionReusesTheReclaimedSlot) {
+  // finish() destroys the pooled job BEFORE invoking the callback, so a
+  // closed-loop callback that immediately enqueues may legally land in
+  // the very slot its own job vacated — under a bumped generation.
+  DmaEngine dma{sim_, fabric_, compute_};
+  std::uint32_t first_generation = 0;
+  std::uint32_t chained_generation = 0;
+  bool chained_done = false;
+  DmaDescriptor d;
+  d.address = attachment_.compute_base;
+  d.bytes = 64 * 1024;
+  dma.enqueue(d, [&](const DmaCompletion& c) {
+    ASSERT_TRUE(c.ok);
+    EXPECT_EQ(dma.jobs_live(), 0u) << "slot reclaimed before the callback runs";
+    DmaDescriptor chained;
+    chained.address = attachment_.compute_base + kMiB;
+    chained.bytes = 64 * 1024;
+    dma.enqueue(chained, [&](const DmaCompletion& cc) { chained_done = cc.ok; });
+    chained_generation = dma.job_generation(0);
+  });
+  first_generation = dma.job_generation(0);
+  sim_.run();
+  EXPECT_TRUE(chained_done);
+  EXPECT_EQ(chained_generation, first_generation + 1)
+      << "the reentrant enqueue reused slot 0 under the next generation";
+  EXPECT_EQ(dma.jobs_live(), 0u);
+}
+
 TEST_F(DmaTest, Validation) {
   EXPECT_THROW(DmaEngine(sim_, fabric_, compute_, 0, 4096), std::invalid_argument);
   EXPECT_THROW(DmaEngine(sim_, fabric_, compute_, 2, 0), std::invalid_argument);

@@ -165,5 +165,75 @@ TEST_F(FailureRepairTest, DetachAfterFailureStillCleansUp) {
   EXPECT_EQ(switch_.ports_in_use(), 0u);
 }
 
+// Regression for the stale-field sweep (ISSUE 9 satellite): the retry
+// loop builds every attempt as a FRESH transaction and merges into an
+// accumulator, so a retried op must charge per-attempt components exactly
+// once per attempt — never twice for the same attempt (the double-charge
+// a pooled transaction reused without clearing would produce).
+TEST_F(FailureRepairTest, RetriedTransactionBreakdownIsNotDoubleCharged) {
+  const auto a = attach();
+  sim::RetryPolicy policy;  // defaults: 4 attempts, 10 us initial backoff
+  fabric_.set_retry_policy(policy);
+
+  // Healthy single-attempt reference for the per-attempt charges.
+  const Transaction healthy = fabric_.read(compute_, a.compute_base, 64, Time::sec(1));
+  ASSERT_TRUE(healthy.ok());
+  const Time lookup_per_attempt = healthy.breakdown.of("TGL lookup (RMST)");
+  ASSERT_GT(lookup_per_attempt, Time::zero());
+
+  // Cut the circuit: the next read pays attempt 1 (circuit-down, charges
+  // only the TGL lookup), one backoff, one re-provision, then attempt 2
+  // succeeds over the replacement circuit.
+  ASSERT_TRUE(fabric_.fail_circuit(a.circuit));
+  const Transaction tx = fabric_.read(compute_, a.compute_base, 64, Time::sec(2));
+  ASSERT_TRUE(tx.ok());
+  EXPECT_EQ(tx.retries, 1u);
+
+  // Per-attempt component: exactly twice the single-attempt charge (one
+  // failed + one successful attempt), not 3x or 4x.
+  EXPECT_EQ(tx.breakdown.of("TGL lookup (RMST)"),
+            lookup_per_attempt + lookup_per_attempt);
+  // Recovery components: charged exactly once each.
+  EXPECT_EQ(tx.breakdown.of("retry backoff"), policy.initial_backoff);
+  EXPECT_EQ(tx.breakdown.of("circuit re-provision"), circuits_.setup_time());
+  // Components charged only by the successful attempt appear once.
+  EXPECT_EQ(tx.breakdown.of("serialization"), healthy.breakdown.of("serialization"));
+
+  // Timestamps re-stamped for the whole retried span: issue at the
+  // original issue time, completion at or after the last attempt, so
+  // round_trip() covers backoff + re-provision + both attempts.
+  EXPECT_EQ(tx.issued_at, Time::sec(2));
+  EXPECT_GE(tx.completed_at, tx.issued_at + policy.initial_backoff + circuits_.setup_time());
+  EXPECT_EQ(tx.round_trip(), tx.completed_at - tx.issued_at);
+}
+
+// ISSUE 9 satellite bugfix: asking a never-completed transaction for its
+// round trip used to underflow Time (completed_at default-initialized
+// before issued_at). It now returns zero — and trips DREDBOX_REQUIRE in
+// -DDREDBOX_AUDIT=ON builds so reducers averaging it in are caught.
+TEST(TransactionGuards, NeverCompletedRoundTripIsZeroNotUnderflow) {
+  Transaction tx;
+  tx.issued_at = Time::sec(1);  // completed_at still default (before issued_at)
+#if DREDBOX_AUDIT_ENABLED
+  EXPECT_THROW(tx.round_trip(), sim::ContractViolation);
+#else
+  EXPECT_EQ(tx.round_trip(), Time::zero());
+  EXPECT_GE(tx.round_trip(), Time::zero()) << "round_trip must never go negative";
+#endif
+}
+
+// Failed transactions are NOT "never completed": every failure path stamps
+// completed_at with the failure time, so their round trip is a real
+// duration and must stay exact (the determinism digest folds it in).
+TEST_F(FailureRepairTest, FailedTransactionsStillHaveARealRoundTrip) {
+  const auto a = attach();
+  ASSERT_TRUE(fabric_.fail_circuit(a.circuit));
+  const Transaction tx = fabric_.read(compute_, a.compute_base, 64, Time::sec(1));
+  ASSERT_FALSE(tx.ok());
+  EXPECT_GE(tx.completed_at, tx.issued_at);
+  EXPECT_EQ(tx.round_trip(), tx.completed_at - tx.issued_at);
+  EXPECT_GT(tx.round_trip(), Time::zero()) << "the TGL lookup took real time";
+}
+
 }  // namespace
 }  // namespace dredbox::memsys

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "sim/contract.hpp"
+#include "sim/fault.hpp"
+#include "sim/simulator.hpp"
 
 namespace dredbox::sim {
 namespace {
@@ -217,6 +219,78 @@ TEST(ArenaPropertyTest, RandomChurnKeepsFreelistConsistent) {
   }
   EXPECT_EQ(arena.live(), live_slots.size());
   arena.check_invariants();
+  arena.clear();
+  EXPECT_EQ(arena.live(), 0u);
+  arena.check_invariants();
+}
+
+// Fault-plan interleaving (ISSUE 9 satellite): pooled-op churn driven on a
+// real Simulator timeline with a FaultInjector firing mid-stream. Each
+// injected "brick crash" abandons half the live slots (the DMA engine's
+// fault-abandonment path in miniature): destroys must reclaim the slots
+// and bump generations, recoveries refill from the freelist, and the deep
+// audit must hold at every transition.
+TEST(ArenaFaultChurnTest, FaultInjectorInterleavedChurnStaysConsistent) {
+  Simulator sim;
+  IndexedArena<std::pair<std::uint64_t, std::string>> arena;
+  std::vector<std::uint32_t> live_slots;
+  std::uint64_t generation_bumps = 0;
+
+  FaultInjector injector{sim};
+  injector.on(FaultKind::kBrickCrash, [&](const FaultEvent&) {
+    // The crash abandons the newest half of the in-flight ops.
+    std::size_t victims = (live_slots.size() + 1) / 2;
+    while (victims-- > 0 && !live_slots.empty()) {
+      const std::uint32_t slot = live_slots.back();
+      live_slots.pop_back();
+      const std::uint32_t generation_before = arena.generation(slot);
+      arena.destroy(slot);
+      EXPECT_EQ(arena.get(slot), nullptr) << "abandoned slot must read as dead";
+      EXPECT_EQ(arena.generation(slot), generation_before + 1)
+          << "abandonment must bump the generation";
+      ++generation_bumps;
+    }
+    arena.check_invariants();
+  });
+  injector.on_recover(FaultKind::kBrickCrash, [&](const FaultEvent&) {
+    // Recovery re-issues a burst of ops; the freelist must serve them
+    // before any growth (LIFO reuse of the just-abandoned slots).
+    const std::size_t free_before = arena.free_blocks();
+    const std::size_t capacity_before = arena.capacity();
+    for (std::uint64_t i = 0; i < 16; ++i) {
+      live_slots.push_back(arena.create(i, "recovered").second);
+    }
+    if (free_before >= 16) {
+      EXPECT_EQ(arena.capacity(), capacity_before)
+          << "grew while abandoned slots sat on the freelist";
+    }
+    arena.check_invariants();
+  });
+
+  FaultPlan plan;
+  for (int i = 1; i <= 6; ++i) {
+    FaultEvent crash;
+    crash.at = Time::us(40 * i);
+    crash.kind = FaultKind::kBrickCrash;
+    crash.duration = Time::us(15);
+    plan.add(crash);
+  }
+  ASSERT_EQ(injector.schedule(plan), 6u);
+
+  // A steady creation stream interleaved with the crash/recover events.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    sim.at(Time::us(2 * static_cast<double>(i)), [&arena, &live_slots, i] {
+      live_slots.push_back(arena.create(i, "churn").second);
+    });
+  }
+  sim.run();
+
+  EXPECT_EQ(injector.injected(), 6u);
+  EXPECT_EQ(injector.recovered(), 6u);
+  EXPECT_GT(generation_bumps, 0u);
+  EXPECT_EQ(arena.live(), live_slots.size());
+  arena.check_invariants();
+  injector.check_invariants();
   arena.clear();
   EXPECT_EQ(arena.live(), 0u);
   arena.check_invariants();

@@ -265,6 +265,71 @@ TEST(WorkloadEngine, RunIsSingleShot) {
   EXPECT_THROW(engine.run(), std::logic_error);
 }
 
+// --- horizon-boundary accounting (ISSUE 9 satellite) ---
+//
+// The generation window is END-EXCLUSIVE: [t0, t0 + duration). An issue
+// that would land at exactly t0 + duration (or later) is never offered —
+// start_streams schedules only first-issues strictly before the end,
+// chained arrivals/think-times re-check `next < end`, and the issue
+// handlers bail on `now >= end`. These tests pin that semantic and the
+// accounting identity it implies.
+
+TEST(WorkloadEngine, OneTickWindowIssuesNothing) {
+  // With a 1 ns window, every first arrival (t0 + gap, gap >= 1 tick at
+  // any sane rate) lands at or past the end and must be suppressed: the
+  // boundary is exclusive, so the run offers zero ops yet still boots,
+  // drains, and reduces cleanly.
+  auto rack = make_rack();
+  workload::WorkloadConfig config;
+  workload::TenantSpec spec = small_tenant();
+  spec.mix.dma = 0.0;
+  config.tenants.push_back(spec);
+  config.duration = sim::Time::ns(1);
+  config.power_samples = 0;
+  workload::WorkloadEngine engine{rack.datacenter(), config};
+  const auto result = engine.run();
+  EXPECT_EQ(result.vms_booted, 2u);
+  EXPECT_EQ(result.offered, 0u);
+  EXPECT_EQ(result.completed, 0u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_TRUE(result.latency_us.empty());
+  EXPECT_NE(result.digest, 0u) << "the totals fold still runs on an empty window";
+}
+
+TEST(WorkloadEngine, EveryOfferedOpIsAccountedExactlyOnceAtTheHorizon) {
+  // Offered == completed + failed after the drain, for a mix that includes
+  // open-loop arrivals, closed-loop windows and DMA transfers: no op
+  // issued near the boundary is double-counted or lost, and every sync
+  // completion contributed exactly one latency sample.
+  for (const std::uint64_t seed : {3u, 17u, 91u}) {
+    auto rack = make_rack(seed);
+    workload::WorkloadConfig config;
+    workload::TenantSpec closed = small_tenant();
+    closed.name = "closed";
+    closed.mix = {0.6, 0.3, 0.1};
+    closed.outstanding = 2;
+    workload::TenantSpec open = small_tenant();
+    open.name = "open";
+    open.loop = workload::LoopMode::kOpen;
+    open.rate_hz = 30000.0;
+    open.mix = {0.7, 0.3, 0.0};
+    config.tenants.push_back(closed);
+    config.tenants.push_back(open);
+    config.duration = sim::Time::ms(4);
+
+    workload::WorkloadEngine engine{rack.datacenter(), config};
+    const auto result = engine.run();
+    EXPECT_GT(result.offered, 0u);
+    EXPECT_EQ(result.completed + result.failed, result.offered)
+        << "seed " << seed << ": ops lost or double-counted at the horizon";
+    EXPECT_EQ(result.reads + result.writes + result.dmas, result.offered)
+        << "seed " << seed;
+    EXPECT_EQ(result.latency_us.count() + result.dma_latency_us.count(),
+              result.completed)
+        << "seed " << seed << ": every completion reduces to exactly one sample";
+  }
+}
+
 TEST(WorkloadEngine, OpMixShiftsTrafficShape) {
   workload::WorkloadConfig config;
   workload::TenantSpec spec = small_tenant();
