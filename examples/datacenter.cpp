@@ -1,0 +1,205 @@
+// Multi-rack datacenter driver: builds N racks joined by an optical spine,
+// places one tenant class per rack, points a share of every rack's
+// read/write stream at peer racks' gateway windows, and runs the coupled
+// simulation twice — once on the sequential reference schedule, once in
+// conservative-lookahead parallel rounds — proving the two schedules
+// byte-identical by digest and reporting the wall-clock speedup.
+//
+//   $ ./datacenter                              # 2 racks, 2 threads
+//   $ ./datacenter --racks 16 --threads 4 --cross-share 0.15
+//   $ ./datacenter --fault-rack 0 --fault-at-ms 1 --fault-for-ms 2
+//   $ ./datacenter --racks 4 --out parallel.json
+//
+// The JSON report follows the "dredbox-parallel/v1" schema consumed by
+// scripts/bench_reduce.py.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "core/scenario.hpp"
+#include "sim/format.hpp"
+#include "workload/cluster.hpp"
+
+using namespace dredbox;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: datacenter [options]\n"
+      "  --racks N        racks on the spine (default 2)\n"
+      "  --threads N      workers for the parallel pass (default 2)\n"
+      "  --seed N         deployment seed (default 1)\n"
+      "  --duration-ms X  generation window (default 2)\n"
+      "  --cross-share X  fraction of reads/writes crossing the spine (default 0.10)\n"
+      "  --vms N          VMs per rack (default 1)\n"
+      "  --fault-rack N   rack whose spine uplink fails (default: no fault)\n"
+      "  --fault-at-ms X  fault onset (default 1)\n"
+      "  --fault-for-ms X fault duration (default 1)\n"
+      "  --out FILE       write the dredbox-parallel/v1 JSON report to FILE\n");
+}
+
+core::ScenarioBuilder make_builder(std::size_t racks, std::uint64_t seed, double cross_share,
+                                   std::size_t threads, long fault_rack, double fault_at_ms,
+                                   double fault_for_ms) {
+  core::RackSpec rack;
+  rack.trays = 1;
+  rack.compute_bricks_per_tray = 2;
+  rack.memory_bricks_per_tray = 2;
+  core::ScenarioBuilder builder;
+  builder.add_racks(racks, rack)
+      .cross_rack_share(cross_share)
+      .partitions(threads)
+      .seed(seed)
+      .compute_local_memory_bytes(8ull << 30)
+      .memory_pool_bytes(32ull << 30);
+  if (fault_rack >= 0) {
+    builder.spine_fault(static_cast<std::size_t>(fault_rack), sim::Time::ms(fault_at_ms),
+                        sim::Time::ms(fault_for_ms));
+  }
+  return builder;
+}
+
+workload::WorkloadConfig make_workload(std::size_t racks, std::size_t vms, double duration_ms) {
+  workload::WorkloadConfig config;
+  config.duration = sim::Time::ms(duration_ms);
+  config.drain_grace = sim::Time::ms(1);
+  for (std::size_t r = 0; r < racks; ++r) {
+    workload::TenantSpec tenant;
+    tenant.name = "rack" + std::to_string(r);
+    tenant.home_rack = r;
+    tenant.vms = vms;
+    tenant.local_bytes = 512ull << 20;
+    tenant.remote_bytes = 1ull << 30;
+    tenant.loop = workload::LoopMode::kClosed;
+    tenant.outstanding = 2;
+    tenant.rate_hz = 50000.0;
+    tenant.mix = {0.65, 0.35, 0.0};
+    config.tenants.push_back(tenant);
+  }
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t racks = 2;
+  std::size_t threads = 2;
+  std::uint64_t seed = 1;
+  double duration_ms = 2.0;
+  double cross_share = 0.10;
+  std::size_t vms = 1;
+  long fault_rack = -1;
+  double fault_at_ms = 1.0;
+  double fault_for_ms = 1.0;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--racks") {
+      racks = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--duration-ms") {
+      duration_ms = std::strtod(value().c_str(), nullptr);
+    } else if (arg == "--cross-share") {
+      cross_share = std::strtod(value().c_str(), nullptr);
+    } else if (arg == "--vms") {
+      vms = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--fault-rack") {
+      fault_rack = std::strtol(value().c_str(), nullptr, 10);
+    } else if (arg == "--fault-at-ms") {
+      fault_at_ms = std::strtod(value().c_str(), nullptr);
+    } else if (arg == "--fault-for-ms") {
+      fault_for_ms = std::strtod(value().c_str(), nullptr);
+    } else if (arg == "--out") {
+      out_path = value();
+    } else {
+      usage();
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  if (racks == 0 || threads == 0 || vms == 0) {
+    usage();
+    return 2;
+  }
+
+  const core::ScenarioBuilder builder = make_builder(racks, seed, cross_share, threads,
+                                                     fault_rack, fault_at_ms, fault_for_ms);
+  const workload::WorkloadConfig workload = make_workload(racks, vms, duration_ms);
+
+  std::printf("== dReDBox multi-rack datacenter ==\n");
+  std::printf("%zu racks on the spine, %.1f ms window, cross-rack share %.2f%s\n\n", racks,
+              duration_ms, cross_share,
+              fault_rack >= 0 ? ", spine fault scheduled" : "");
+
+  // Sequential reference: an independent cluster, same seed, 1 thread.
+  core::Scenario seq_scenario = builder.build();
+  workload::ClusterEngine seq_engine{seq_scenario.cluster(), workload};
+  const workload::ClusterResult seq = seq_engine.run(1);
+  std::printf("sequential:            %s\n\n", seq.summary().c_str());
+
+  // Parallel pass: a fresh, fully independent cluster on `threads` workers.
+  core::Scenario par_scenario = builder.build();
+  workload::ClusterEngine par_engine{par_scenario.cluster(), workload};
+  const workload::ClusterResult par = par_engine.run(threads);
+  std::printf("parallel (%zu threads): %s\n\n", par.threads, par.summary().c_str());
+
+  const bool match = seq.digest == par.digest;
+  const double speedup =
+      par.run.wall_seconds > 0.0 ? seq.run.wall_seconds / par.run.wall_seconds : 0.0;
+  std::printf("digests: %s   speedup %.2fx\n", match ? "IDENTICAL" : "MISMATCH", speedup);
+
+  if (!out_path.empty()) {
+    std::string json = "{\n";
+    json += R"(  "schema": "dredbox-parallel/v1",)" "\n";
+    json += sim::strformat("  \"racks\": %zu,\n  \"threads\": %zu,\n  \"seed\": %llu,\n", racks,
+                           par.threads, static_cast<unsigned long long>(seed));
+    json += sim::strformat("  \"duration_ms\": %.9g,\n  \"cross_share\": %.9g,\n", duration_ms,
+                           cross_share);
+    json += sim::strformat("  \"fault_rack\": %ld,\n", fault_rack);
+    json += sim::strformat("  \"digest\": \"%016llx\",\n  \"digests_match\": %s,\n",
+                           static_cast<unsigned long long>(par.digest),
+                           match ? "true" : "false");
+    json += sim::strformat(
+        "  \"offered\": %llu,\n  \"completed\": %llu,\n  \"failed\": %llu,\n"
+        "  \"cross_ops\": %llu,\n  \"spine_tx_messages\": %llu,\n"
+        "  \"spine_fail_fast\": %llu,\n",
+        static_cast<unsigned long long>(par.offered),
+        static_cast<unsigned long long>(par.completed),
+        static_cast<unsigned long long>(par.failed),
+        static_cast<unsigned long long>(par.cross_ops),
+        static_cast<unsigned long long>(par.spine_tx_messages),
+        static_cast<unsigned long long>(par.spine_fail_fast));
+    json += sim::strformat("  \"rounds\": %zu,\n  \"messages\": %llu,\n", par.run.kernel.rounds,
+                           static_cast<unsigned long long>(par.run.kernel.messages));
+    json += sim::strformat(
+        "  \"sequential_wall_seconds\": %.9g,\n  \"parallel_wall_seconds\": %.9g,\n"
+        "  \"speedup\": %.9g,\n",
+        seq.run.wall_seconds, par.run.wall_seconds, speedup);
+    json += sim::strformat("  \"host\": {\"num_cpus\": %u}\n}\n",
+                           std::thread::hardware_concurrency());
+    std::ofstream out{out_path};
+    out << json;
+    if (!out) {
+      std::printf("failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  return match ? 0 : 1;
+}

@@ -15,9 +15,11 @@
 # faults stage: the fault-scenario sweep re-run under the sanitizers and
 # the audit layer, plus a scripted-fault quickstart run. A sweep stage then
 # proves the parallel SweepRunner bit-identical to a sequential pass on a
-# small grid, an obs stage schema-validates the three observability
-# artifacts (Chrome trace, OpenMetrics, dredbox-report/v1) from a faulty
-# quickstart, and the bench smoke finishes.
+# small grid, a parallel stage proves the conservative-lookahead coupled
+# multi-rack run digest-identical to its sequential reference (healthy and
+# under a spine fault), an obs stage schema-validates the three
+# observability artifacts (Chrome trace, OpenMetrics, dredbox-report/v1)
+# from a faulty quickstart, and the bench smoke finishes.
 # Run from the repository root:
 #
 #   $ scripts/check.sh
@@ -52,7 +54,7 @@ cmake -B "$root/build-tsan" -S "$root" -DDREDBOX_SANITIZE=thread \
 cmake --build "$root/build-tsan" -j "$jobs"
 (cd "$root/build-tsan" && \
   TSAN_OPTIONS="suppressions=$root/tsan.supp" ctest --output-on-failure -j "$jobs" \
-    -R 'Sweep|Workload|ScheduleAudit|EventQueue')
+    -R 'Sweep|Workload|ScheduleAudit|EventQueue|Partition|Cluster|WorkerPool')
 
 echo "== thread-safety: clang -Wthread-safety -Werror over the annotations"
 if command -v clang++ >/dev/null 2>&1; then
@@ -95,6 +97,17 @@ echo "== sweep: 2x2 grid on 2 threads, digests must match sequential"
 "$root/build/examples/sweep" --threads 2 --seeds 1,2 --trays 1,2 \
   --ratios 0.5 --duration-ms 2 --out "$root/build/sweep_smoke.json"
 python3 "$root/scripts/bench_reduce.py" validate "$root/build/sweep_smoke.json"
+
+echo "== parallel: 2-rack coupled run on 2 threads, digests must match sequential"
+# The conservative-lookahead kernel's gating proof, healthy and with a
+# mid-window spine fault: examples/datacenter exits non-zero on any
+# sequential-vs-parallel digest mismatch, and the dredbox-parallel/v1
+# artifact must pass schema validation.
+"$root/build/examples/datacenter" --racks 2 --threads 2 --duration-ms 1 \
+  --out "$root/build/parallel_smoke.json" > /dev/null
+python3 "$root/scripts/bench_reduce.py" validate "$root/build/parallel_smoke.json"
+"$root/build/examples/datacenter" --racks 2 --threads 2 --duration-ms 1 \
+  --fault-rack 0 --fault-at-ms 0.3 --fault-for-ms 0.4 > /dev/null
 
 echo "== obs: faulty quickstart must emit schema-valid trace/OpenMetrics/report"
 DREDBOX_FAULT_PLAN='link-flap@1ms+2ms;congestion@2ms+1ms:magnitude=4' \

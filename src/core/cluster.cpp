@@ -1,0 +1,371 @@
+#include "core/cluster.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/interrack_link.hpp"
+#include "sim/contract.hpp"
+#include "sim/digest.hpp"
+#include "sim/format.hpp"
+
+namespace dredbox::core {
+
+namespace {
+
+/// Fixed spine message header (routing + transaction id on the wire).
+constexpr std::uint32_t kHeaderBytes = 32;
+
+/// Local DDR footprint of a gateway VM (it only fronts the exported
+/// disaggregated window, so the local slice stays small).
+constexpr std::uint64_t kGatewayLocalBytes = 64ull << 20;
+
+/// splitmix64 finalizer: decorrelates per-rack seeds from the deployment
+/// seed so racks never share RNG streams.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t rack) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (rack + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Derives rack r's standalone DatacenterConfig: the enclosing timing
+/// models and behaviour flags verbatim, the shape from its RackSpec, a
+/// decorrelated seed, and the multi-rack fields cleared (each rack is a
+/// plain single-rack Datacenter from its own point of view).
+DatacenterConfig rack_config(const DatacenterConfig& base, std::size_t r) {
+  DatacenterConfig c = base;
+  const RackSpec& spec = base.racks[r];
+  c.trays = spec.trays;
+  c.compute_bricks_per_tray = spec.compute_bricks_per_tray;
+  c.memory_bricks_per_tray = spec.memory_bricks_per_tray;
+  c.accelerator_bricks_per_tray = spec.accelerator_bricks_per_tray;
+  c.seed = mix_seed(base.seed, r);
+  c.racks.clear();
+  c.spine = SpineSpec{};
+  c.partitions = 1;
+  return c;
+}
+
+/// Bytes on the wire for the request leg (writes carry the payload out)
+/// and the reply leg (reads carry it back).
+std::uint32_t request_bytes(std::uint32_t bytes, bool write) {
+  return kHeaderBytes + (write ? bytes : 0);
+}
+std::uint32_t reply_bytes(std::uint32_t bytes, bool write) {
+  return kHeaderBytes + (write ? 0 : bytes);
+}
+
+}  // namespace
+
+/// One rack's NIC onto the spine. Owned-by-shard discipline: everything
+/// here except `served_` and `rx_` is written only from the owning rack's
+/// execution context (issue/complete events), and the target-side fields
+/// are written only from the target's context — the partitioned kernel's
+/// barrier rounds order those accesses, so no locking is needed.
+class Cluster::RackPort final : public CrossRackPort {
+ public:
+  RackPort(Cluster& cluster, std::uint32_t rack) : cluster_{cluster}, rack_{rack} {}
+
+  std::size_t peer_count() const override { return peers_.size(); }
+
+  std::uint64_t window_bytes(std::size_t peer) const override {
+    return cluster_.gateways_.at(peers_.at(peer).rack).size;
+  }
+
+  void issue(std::size_t peer, std::uint64_t offset, std::uint32_t bytes, bool write,
+             std::uint32_t token, bool closed_loop) override {
+    Peer& p = peers_.at(peer);
+    const Gateway& gw = cluster_.gateways_[p.rack];
+    DREDBOX_INVARIANT(offset + bytes <= gw.size, "cross-rack issue outside the gateway window");
+    sim::Simulator& sim = cluster_.racks_[rack_]->simulator();
+    const sim::Time now = sim.now();
+    const std::uint64_t address = gw.base + offset;
+    if (!p.link.up()) {
+      // Fail fast at the sending NIC, as an event so the completion is
+      // never synchronous with issue() (same contract as the success path).
+      p.link.on_fail_fast();
+      RackPort* self = this;
+      sim.at(
+          now,
+          [self, token, address, write, closed_loop, now] {
+            self->handler_(CrossCompletion{token, address, write, closed_loop, false, now, now});
+          },
+          "spine.fail_fast");
+      return;
+    }
+    const std::uint32_t slot = alloc_pending(Pending{token, address, closed_loop, write, now});
+    p.link.on_send(request_bytes(bytes, write));
+    Cluster* cluster = &cluster_;
+    const std::uint32_t target = p.rack;
+    const std::uint32_t src = rack_;
+    cluster_.kernel_.send(
+        p.tx_link, now + p.link.one_way(request_bytes(bytes, write)),
+        [cluster, target, src, slot, address, bytes, write] {
+          cluster->serve(target, src, slot, address, bytes, write);
+        },
+        "spine.request");
+  }
+
+  void set_handler(sim::InplaceFunction<void(const CrossCompletion&)> handler) override {
+    handler_ = std::move(handler);
+  }
+
+ private:
+  friend class Cluster;
+
+  struct Peer {
+    std::uint32_t rack = 0;      // peer rack index
+    std::size_t tx_link = 0;     // kernel link id, this rack -> peer
+    net::InterRackLink link;     // sender-owned outbound direction
+  };
+
+  /// In-flight request bookkeeping, slot-addressed so the reply message
+  /// carries a 4-byte handle instead of the whole record.
+  struct Pending {
+    std::uint32_t token = 0;
+    std::uint64_t address = 0;
+    bool closed_loop = false;
+    bool write = false;
+    sim::Time issued_at;
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  std::uint32_t alloc_pending(Pending p) {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = free_list_[slot];
+      pending_[slot] = p;
+      return slot;
+    }
+    pending_.push_back(p);
+    free_list_.push_back(kNoSlot);
+    return static_cast<std::uint32_t>(pending_.size() - 1);
+  }
+
+  Pending take_pending(std::uint32_t slot) {
+    const Pending p = pending_.at(slot);
+    free_list_[slot] = free_head_;
+    free_head_ = slot;
+    return p;
+  }
+
+  /// Peer slot index for a given rack (the rack indices skip our own).
+  std::size_t peer_of(std::uint32_t rack) const {
+    return rack < rack_ ? rack : rack - 1;
+  }
+
+  Cluster& cluster_;
+  const std::uint32_t rack_;
+  std::vector<Peer> peers_;
+  std::vector<Pending> pending_;
+  std::vector<std::uint32_t> free_list_;
+  std::uint32_t free_head_ = kNoSlot;
+  /// Target-side state (written only from this rack's serve events).
+  std::uint64_t rx_ = 0;
+  sim::Digest served_;
+  sim::InplaceFunction<void(const CrossCompletion&)> handler_;
+};
+
+Cluster::Cluster(const DatacenterConfig& config)
+    : config_{config},
+      spine_{optics::SpineSwitchConfig{config.spine.ports, config.spine.switching_time,
+                                       config.spine.per_port_power_w,
+                                       config.spine.insertion_loss_db}} {
+  if (config_.racks.empty()) {
+    throw std::invalid_argument("Cluster requires a multi-rack config (config.racks non-empty)");
+  }
+  const auto errors = config_.validate();
+  if (!errors.empty()) {
+    std::string message = "invalid cluster config:";
+    for (const auto& error : errors) message += "\n  " + error;
+    throw std::invalid_argument(message);
+  }
+  racks_.reserve(config_.racks.size());
+  for (std::size_t r = 0; r < config_.racks.size(); ++r) {
+    racks_.push_back(std::make_unique<Datacenter>(rack_config(config_, r)));
+  }
+  wire_spine();
+  boot_gateways();
+  kernel_.set_shard_prologue([this](std::size_t shard) { racks_[shard]->rebind_thread_owner(); });
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::wire_spine() {
+  const std::size_t n = racks_.size();
+  for (std::size_t r = 0; r < n; ++r) {
+    spine_.attach_rack(static_cast<std::uint32_t>(r));
+    kernel_.add_shard(racks_[r]->simulator());
+    ports_.push_back(std::make_unique<RackPort>(*this, static_cast<std::uint32_t>(r)));
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) spine_.provision(static_cast<std::uint32_t>(a),
+                                                            static_cast<std::uint32_t>(b));
+  }
+  const net::InterRackLinkConfig link_config{config_.spine.propagation,
+                                             config_.spine.bandwidth_gbps};
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      if (from == to) continue;
+      RackPort::Peer peer;
+      peer.rack = static_cast<std::uint32_t>(to);
+      peer.tx_link = kernel_.connect(from, to, config_.spine.propagation);
+      peer.link = net::InterRackLink{link_config};
+      ports_[from]->peers_.push_back(peer);
+    }
+  }
+}
+
+void Cluster::boot_gateways() {
+  gateways_.reserve(racks_.size());
+  for (std::size_t r = 0; r < racks_.size(); ++r) {
+    Datacenter& dc = *racks_[r];
+    const std::string name = "spine-gw-" + std::to_string(r);
+    const auto boot = dc.boot_vm(name, 1, kGatewayLocalBytes);
+    if (!boot.ok) {
+      throw std::runtime_error("rack " + std::to_string(r) + ": gateway VM boot failed: " +
+                               boot.error);
+    }
+    const auto up = dc.scale_up(boot.vm, boot.compute, config_.spine.gateway_bytes);
+    if (!up.ok) {
+      throw std::runtime_error("rack " + std::to_string(r) + ": gateway window scale-up failed: " +
+                               up.error);
+    }
+    Gateway gw;
+    gw.vm = boot.vm;
+    gw.compute = boot.compute;
+    for (const auto& attachment : dc.fabric().attachments_of(boot.compute)) {
+      if (attachment.segment == up.segment && attachment.membrick == up.membrick) {
+        gw.base = attachment.compute_base;
+        gw.size = attachment.size;
+      }
+    }
+    if (gw.size == 0) {
+      throw std::runtime_error("rack " + std::to_string(r) +
+                               ": gateway window not visible after scale-up");
+    }
+    gateways_.push_back(gw);
+  }
+}
+
+void Cluster::arm_spine_faults(sim::Time base) {
+  if (faults_armed_) throw std::logic_error("Cluster: spine faults already armed");
+  faults_armed_ = true;
+  // Every rack learns about a spine fault through events on its *own*
+  // queue (the only thread allowed to touch its links). Only admission
+  // is gated by link state, so requests and replies already launched
+  // always land.
+  for (const auto& fault : config_.spine.faults) {
+    const auto down_rack = static_cast<std::uint32_t>(fault.rack);
+    const sim::Time down_at = base + fault.at;
+    const sim::Time up_at = down_at + fault.duration;
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+      RackPort* port = ports_[r].get();
+      sim::Simulator& sim = racks_[r]->simulator();
+      DREDBOX_INVARIANT(base >= sim.now(),
+                        "Cluster::arm_spine_faults: base lies in a rack's past");
+      if (r == fault.rack) {
+        // The faulted rack loses every outbound direction.
+        sim.at(
+            down_at,
+            [port] {
+              for (auto& peer : port->peers_) peer.link.set_up(false);
+            },
+            "spine.fault");
+        sim.at(
+            up_at,
+            [port] {
+              for (auto& peer : port->peers_) peer.link.set_up(true);
+            },
+            "spine.restore");
+      } else {
+        // Peers lose (only) their direction toward the faulted rack.
+        const std::size_t slot = port->peer_of(down_rack);
+        sim.at(
+            down_at, [port, slot] { port->peers_[slot].link.set_up(false); }, "spine.fault");
+        sim.at(
+            up_at, [port, slot] { port->peers_[slot].link.set_up(true); }, "spine.restore");
+      }
+    }
+  }
+}
+
+void Cluster::serve(std::uint32_t target, std::uint32_t src, std::uint32_t slot,
+                    std::uint64_t address, std::uint32_t bytes, bool write) {
+  RackPort& port = *ports_[target];
+  ++port.rx_;
+  Datacenter& dc = *racks_[target];
+  const sim::Time now = dc.simulator().now();
+  const Gateway& gw = gateways_[target];
+  const memsys::Transaction tx = write ? dc.fabric().write(gw.compute, address, bytes, now)
+                                       : dc.fabric().read(gw.compute, address, bytes, now);
+  port.served_.update(write ? "w" : "r")
+      .update(src)
+      .update(address)
+      .update(static_cast<std::uint64_t>(tx.status))
+      .update(static_cast<std::uint64_t>(tx.completed_at.ticks()));
+  // The reply rides the transaction already admitted at request time, so
+  // it is sent regardless of the link's current health (in-flight light
+  // lands; only new requests fail fast).
+  RackPort::Peer& back = port.peers_[port.peer_of(src)];
+  const bool ok = tx.ok();
+  back.link.on_send(reply_bytes(bytes, write));
+  Cluster* cluster = this;
+  kernel_.send(
+      back.tx_link, tx.completed_at + back.link.one_way(reply_bytes(bytes, write)),
+      [cluster, src, slot, ok] { cluster->complete(src, slot, ok); }, "spine.reply");
+}
+
+void Cluster::complete(std::uint32_t src, std::uint32_t slot, bool ok) {
+  RackPort& port = *ports_[src];
+  const RackPort::Pending pending = port.take_pending(slot);
+  CrossCompletion completion{pending.token,       pending.address, pending.write,
+                             pending.closed_loop, ok,              pending.issued_at,
+                             racks_[src]->simulator().now()};
+  port.handler_(completion);
+}
+
+CrossRackPort& Cluster::port(std::size_t r) { return *ports_.at(r); }
+
+std::uint64_t Cluster::gateway_window_bytes(std::size_t r) const { return gateways_.at(r).size; }
+
+RackLinkStats Cluster::link_stats(std::size_t r) const {
+  RackLinkStats stats;
+  const RackPort& port = *ports_.at(r);
+  for (const auto& peer : port.peers_) {
+    stats.tx_messages += peer.link.tx_messages();
+    stats.tx_bytes += peer.link.tx_bytes();
+    stats.fail_fast += peer.link.fail_fast();
+  }
+  stats.rx_messages = port.rx_;
+  return stats;
+}
+
+std::uint64_t Cluster::served_digest(std::size_t r) const {
+  return ports_.at(r)->served_.value();
+}
+
+sim::PartitionRunStats Cluster::advance_all(sim::Time until, std::size_t threads) {
+  const std::vector<sim::Time> horizons(racks_.size(), until);
+  return kernel_.run(horizons, threads);
+}
+
+double Cluster::power_draw_watts() const {
+  double watts = spine_.power_draw_watts();
+  for (const auto& rack : racks_) watts += rack->power_draw_watts();
+  return watts;
+}
+
+std::string Cluster::describe() const {
+  std::string out = sim::strformat("Cluster: %zu racks over an optical spine\n", racks_.size());
+  out += spine_.describe();
+  for (std::size_t r = 0; r < racks_.size(); ++r) {
+    out += sim::strformat("rack %zu: gateway window %llu MiB at 0x%llx\n", r,
+                          static_cast<unsigned long long>(gateways_[r].size >> 20),
+                          static_cast<unsigned long long>(gateways_[r].base));
+  }
+  return out;
+}
+
+}  // namespace dredbox::core

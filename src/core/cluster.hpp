@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cross_port.hpp"
+#include "core/datacenter.hpp"
+#include "optics/spine.hpp"
+#include "sim/partition.hpp"
+
+namespace dredbox::core {
+
+/// Spine-traffic counters of one rack's NIC, for reports and audits.
+struct RackLinkStats {
+  std::uint64_t tx_messages = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_messages = 0;
+  /// Requests refused at this rack because the outbound link was down.
+  std::uint64_t fail_fast = 0;
+};
+
+/// A multi-rack dReDBox deployment: one full Datacenter per rack, joined
+/// by an optical spine switch over which each rack exports a disaggregated
+/// gateway memory window to its peers. Cross-rack reads and writes are
+/// split-phase — request message over the spine, served against the target
+/// rack's own remote-memory fabric through a gateway VM booted via that
+/// rack's control plane, reply message back — so every byte of cross-rack
+/// traffic exercises the same full stack as intra-rack traffic.
+///
+/// Each rack is one shard of a sim::PartitionedKernel whose per-link
+/// lookahead is the spine's propagation delay; advance_all() therefore
+/// runs the coupled simulation on any number of threads with a schedule
+/// byte-identical to the single-threaded reference.
+class Cluster {
+ public:
+  /// Requires config.racks to be non-empty; validates the config and
+  /// throws std::invalid_argument listing every error. Boots one gateway
+  /// VM per rack (throwing std::runtime_error if a gateway cannot come
+  /// up) and schedules any configured spine faults.
+  explicit Cluster(const DatacenterConfig& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const DatacenterConfig& config() const { return config_; }
+
+  std::size_t size() const { return racks_.size(); }
+  Datacenter& rack(std::size_t r) { return *racks_.at(r); }
+  const Datacenter& rack(std::size_t r) const { return *racks_.at(r); }
+
+  optics::SpineSwitch& spine() { return spine_; }
+  const optics::SpineSwitch& spine() const { return spine_; }
+
+  sim::PartitionedKernel& kernel() { return kernel_; }
+
+  /// Rack r's NIC onto the spine; the workload layer installs its
+  /// completion handler here and issues cross-rack traffic through it.
+  CrossRackPort& port(std::size_t r);
+
+  /// Bytes of the gateway window rack r exports to every peer.
+  std::uint64_t gateway_window_bytes(std::size_t r) const;
+
+  RackLinkStats link_stats(std::size_t r) const;
+
+  /// FNV-1a digest of every request rack r *served* (source rack, address,
+  /// fabric status, completion tick, in service order). Folded into the
+  /// cluster run digest so the determinism proof covers the target-side
+  /// schedule, not just each source's view.
+  std::uint64_t served_digest(std::size_t r) const;
+
+  /// Schedules the configured spine faults, each at `base` + its `at`
+  /// offset (with the matching restore `duration` later). The cluster
+  /// workload engine arms at its window start; drivers without a
+  /// workload can arm at zero for wiring-absolute fault times. At most
+  /// one arming per cluster; `base` must not lie in any rack's past.
+  void arm_spine_faults(sim::Time base);
+  bool spine_faults_armed() const { return faults_armed_; }
+
+  /// Advances every rack to `until` in conservative lookahead rounds on
+  /// `threads` workers (threads=1 is the sequential reference schedule).
+  sim::PartitionRunStats advance_all(sim::Time until, std::size_t threads = 1);
+
+  /// Total spine + racks instantaneous power.
+  double power_draw_watts() const;
+
+  std::string describe() const;
+
+ private:
+  class RackPort;
+
+  /// Target-side half of a cross-rack request: serve it against rack
+  /// `target`'s fabric through its gateway brick, then send the reply.
+  void serve(std::uint32_t target, std::uint32_t src, std::uint32_t slot, std::uint64_t address,
+             std::uint32_t bytes, bool write);
+  /// Source-side half: retire pending slot `slot` and hand the completion
+  /// to the rack's installed handler.
+  void complete(std::uint32_t src, std::uint32_t slot, bool ok);
+
+  void wire_spine();
+  void boot_gateways();
+
+  struct Gateway {
+    hw::VmId vm;
+    hw::BrickId compute;
+    std::uint64_t base = 0;
+    std::uint64_t size = 0;
+  };
+
+  DatacenterConfig config_;
+  std::vector<std::unique_ptr<Datacenter>> racks_;
+  optics::SpineSwitch spine_;
+  sim::PartitionedKernel kernel_;
+  std::vector<Gateway> gateways_;
+  std::vector<std::unique_ptr<RackPort>> ports_;
+  bool faults_armed_ = false;
+};
+
+}  // namespace dredbox::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/inplace_action.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::core {
+
+/// Completion of one cross-rack request, delivered as an event on the
+/// issuing rack's own queue (never synchronously from issue()).
+struct CrossCompletion {
+  /// The issuer's token, echoed back verbatim (the workload engine passes
+  /// its driver index).
+  std::uint32_t token = 0;
+  /// Target-rack physical address the request landed on.
+  std::uint64_t address = 0;
+  bool write = false;
+  /// Echoed issue-side flag (closed-loop issuers chain their next request
+  /// off this completion).
+  bool closed_loop = false;
+  bool ok = false;
+  sim::Time issued_at;
+  sim::Time completed_at;
+
+  sim::Time round_trip() const { return completed_at - issued_at; }
+};
+
+/// A rack's NIC onto the inter-rack spine, as seen by a workload driver:
+/// enumerate reachable peers, issue reads/writes against a peer's exported
+/// gateway window, receive completions back on this rack's timeline. The
+/// workload layer programs against this interface so it never needs the
+/// whole core::Cluster topology (and a single-rack engine simply has no
+/// port installed).
+class CrossRackPort {
+ public:
+  virtual ~CrossRackPort() = default;
+
+  /// Reachable peer racks (0 on a single-rack deployment). Peer indices
+  /// 0..peer_count()-1 enumerate the other racks in rack-index order.
+  virtual std::size_t peer_count() const = 0;
+
+  /// Size of the gateway window peer `peer` exports (issue offsets must
+  /// stay below it).
+  virtual std::uint64_t window_bytes(std::size_t peer) const = 0;
+
+  /// Issues one request of `bytes` at `offset` into peer `peer`'s window.
+  /// Must be called from this rack's execution context (one of its
+  /// events). The completion — success, or fail-fast when the spine link
+  /// is down — always arrives through the installed handler.
+  virtual void issue(std::size_t peer, std::uint64_t offset, std::uint32_t bytes, bool write,
+                     std::uint32_t token, bool closed_loop) = 0;
+
+  /// Installs the completion handler (one per rack; the workload engine
+  /// owns it). The handler runs on this rack's event queue.
+  virtual void set_handler(sim::InplaceFunction<void(const CrossCompletion&)> handler) = 0;
+};
+
+}  // namespace dredbox::core

@@ -185,6 +185,57 @@ std::vector<std::string> DatacenterConfig::validate() const {
       errors.push_back(std::string{"fabric_retry: "} + e.what());
     }
   }
+
+  // --- multi-rack topology (only armed when racks were declared) ---
+  if (!racks.empty()) {
+    for (std::size_t i = 0; i < racks.size(); ++i) {
+      const RackSpec& rack = racks[i];
+      require(errors, rack.trays >= 1,
+              sim::strformat("racks[%zu].trays: rack must carry at least one tray", i));
+      require(errors,
+              rack.compute_bricks_per_tray + rack.memory_bricks_per_tray +
+                      rack.accelerator_bricks_per_tray >= 1,
+              sim::strformat("racks[%zu]: rack needs at least one brick per tray", i));
+      require(errors, rack.compute_bricks_per_tray >= 1,
+              sim::strformat("racks[%zu].compute_bricks_per_tray: a cluster rack needs a "
+                             "compute brick to host its spine gateway",
+                             i));
+      require(errors, rack.memory_bricks_per_tray >= 1,
+              sim::strformat("racks[%zu].memory_bricks_per_tray: a cluster rack needs "
+                             "memory bricks to export a gateway window",
+                             i));
+    }
+    require(errors, spine.ports >= racks.size(),
+            sim::strformat("spine.ports: radix %zu below the %zu racks to attach",
+                           spine.ports, racks.size()));
+    require(errors, spine.propagation > sim::Time::zero(),
+            "spine.propagation: must be strictly positive (it is the partitioned "
+            "kernel's conservative lookahead)");
+    require(errors, spine.bandwidth_gbps > 0.0,
+            "spine.bandwidth_gbps: must be positive");
+    require(errors, spine.switching_time >= sim::Time::zero(),
+            "spine.switching_time: cannot be negative");
+    require(errors, spine.per_port_power_w >= 0.0,
+            "spine.per_port_power_w: cannot be negative");
+    require(errors, spine.insertion_loss_db >= 0.0,
+            "spine.insertion_loss_db: cannot be negative");
+    require(errors, spine.gateway_bytes >= (1u << 20),
+            "spine.gateway_bytes: each rack's cross-rack window needs at least 1 MiB");
+    require(errors, spine.cross_share >= 0.0 && spine.cross_share <= 1.0,
+            sim::strformat("spine.cross_share: %g outside [0, 1]", spine.cross_share));
+    for (std::size_t i = 0; i < spine.faults.size(); ++i) {
+      const SpineFaultSpec& fault = spine.faults[i];
+      require(errors, fault.rack < racks.size(),
+              sim::strformat("spine.faults[%zu].rack: rack %zu out of range (%zu racks)",
+                             i, fault.rack, racks.size()));
+      require(errors, fault.at >= sim::Time::zero(),
+              sim::strformat("spine.faults[%zu].at: cannot be negative", i));
+      require(errors, fault.duration > sim::Time::zero(),
+              sim::strformat("spine.faults[%zu].duration: must be positive", i));
+    }
+  }
+  require(errors, partitions >= 1,
+          "partitions: parallel cluster runs need at least one worker thread");
   return errors;
 }
 
@@ -232,6 +283,33 @@ std::uint64_t DatacenterConfig::digest() const {
     d.update(static_cast<std::uint64_t>(fabric_retry->max_attempts));
     fold_time(fabric_retry->initial_backoff);
     fold_time(fabric_retry->timeout);
+  }
+  // Multi-rack topology folds only when declared, so a single-rack
+  // config's digest is byte-identical to what it was before these fields
+  // existed (the examples' digest pins rely on this).
+  if (!racks.empty()) {
+    d.update("racks").update(static_cast<std::uint64_t>(racks.size()));
+    for (const RackSpec& rack : racks) {
+      d.update(static_cast<std::uint64_t>(rack.trays));
+      d.update(static_cast<std::uint64_t>(rack.compute_bricks_per_tray));
+      d.update(static_cast<std::uint64_t>(rack.memory_bricks_per_tray));
+      d.update(static_cast<std::uint64_t>(rack.accelerator_bricks_per_tray));
+    }
+    d.update("spine").update(static_cast<std::uint64_t>(spine.ports));
+    fold_time(spine.propagation);
+    fold_double(spine.bandwidth_gbps);
+    fold_time(spine.switching_time);
+    fold_double(spine.per_port_power_w);
+    fold_double(spine.insertion_loss_db);
+    d.update(spine.gateway_bytes);
+    fold_double(spine.cross_share);
+    d.update(static_cast<std::uint64_t>(spine.faults.size()));
+    for (const SpineFaultSpec& fault : spine.faults) {
+      d.update(static_cast<std::uint64_t>(fault.rack));
+      fold_time(fault.at);
+      fold_time(fault.duration);
+    }
+    d.update(static_cast<std::uint64_t>(partitions));
   }
   return d.value();
 }

@@ -29,6 +29,57 @@
 
 namespace dredbox::core {
 
+/// Shape of one rack of a multi-rack deployment (DatacenterConfig::racks).
+/// Timing models, sizing and behaviour flags are inherited from the
+/// enclosing DatacenterConfig; only the physical rack shape varies per
+/// rack. Defaults mirror the single-rack defaults.
+struct RackSpec {
+  std::size_t trays = 2;
+  std::size_t compute_bricks_per_tray = 2;
+  std::size_t memory_bricks_per_tray = 2;
+  std::size_t accelerator_bricks_per_tray = 0;
+};
+
+/// One scripted inter-rack fault: rack `rack` loses its spine uplink at
+/// `at` (every cross-rack request involving it fails fast at the sending
+/// NIC; in-flight light still lands) and regains it `duration` later.
+/// `at` counts from the moment Cluster::arm_spine_faults() is called —
+/// the cluster workload engine arms at its window start, so faults land
+/// a known offset into the measured window regardless of how long the
+/// control plane took to boot.
+struct SpineFaultSpec {
+  std::size_t rack = 0;
+  sim::Time at = sim::Time::ms(1);
+  sim::Time duration = sim::Time::ms(1);
+};
+
+/// The inter-rack optical spine of a multi-rack deployment: the circuit
+/// layer racks bind remote-memory segments across, plus the per-rack
+/// gateway window those segments are served from.
+struct SpineSpec {
+  /// Spine switch duplex port radix (>= number of racks).
+  std::size_t ports = 64;
+  /// One-way rack-to-rack propagation through the spine. Also the
+  /// partitioned kernel's conservative lookahead, so strictly positive.
+  sim::Time propagation = sim::Time::ns(500);
+  double bandwidth_gbps = 100.0;
+  /// Circuit setup charged per rack pair at wiring.
+  sim::Time switching_time = sim::Time::us(25);
+  double per_port_power_w = 1.5;
+  double insertion_loss_db = 1.5;
+  /// Disaggregated window each rack exports to its peers (served by a
+  /// gateway VM booted at wiring through the rack's own control plane).
+  /// Must be hotplug-block aligned — 1 GiB granularity by default.
+  std::uint64_t gateway_bytes = 1ull << 30;
+  /// Deployment default for the fraction of a tenant's read/write stream
+  /// that targets cross-rack segments; a TenantSpec placement overrides
+  /// it per tenant.
+  double cross_share = 0.0;
+  /// Scripted spine-uplink faults (the inter-rack analogue of a fault
+  /// plan's link-flap).
+  std::vector<SpineFaultSpec> faults;
+};
+
 /// Shape of a dReDBox deployment assembled by the Datacenter facade.
 struct DatacenterConfig {
   std::size_t trays = 2;
@@ -69,6 +120,17 @@ struct DatacenterConfig {
   std::optional<sim::RetryPolicy> fabric_retry = sim::RetryPolicy{};
 
   std::uint64_t seed = 1;
+
+  /// Multi-rack topology (core::Cluster). Empty — the default — means the
+  /// classic single-rack deployment and leaves validate() and digest()
+  /// byte-identical to a config that predates these fields. Non-empty
+  /// racks make the top-level shape fields irrelevant (each rack carries
+  /// its own) and arm the spine/partitions fields below.
+  std::vector<RackSpec> racks;
+  SpineSpec spine;
+  /// Default worker-thread count for parallel cluster runs (>= 1; 1 is
+  /// the sequential reference schedule).
+  std::size_t partitions = 1;
 
   /// Checks the whole deployment shape for physical and numerical sanity
   /// before any hardware is assembled. Returns one human-readable error
@@ -212,6 +274,13 @@ class Datacenter {
 
   /// Instantaneous rack power draw (bricks + switch ports).
   double power_draw_watts() const;
+
+  /// Hands ownership of the rack's thread-confined telemetry to the next
+  /// touching thread. Called by the partitioned kernel's shard prologue:
+  /// barrier rounds may drive this rack from a different pool worker each
+  /// round, which is exactly the "ownership legitimately moves between
+  /// phases" case the confinement checker's rebind exists for.
+  void rebind_thread_owner() { telemetry_.rebind_owner(); }
 
   std::string describe() const;
 

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/cluster.hpp"
+#include "sim/partition.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::core {
+
+/// What one ParallelRunner::advance_to did: the kernel's round accounting
+/// plus the host wall-clock it took (the speedup numerator/denominator of
+/// the scaling experiment).
+struct ParallelRunReport {
+  sim::PartitionRunStats kernel;
+  double wall_seconds = 0.0;
+};
+
+/// Drives a Cluster's partitioned kernel with a uniform horizon — the one
+/// call pattern whose repeated use is unconditionally safe under the
+/// finished-shard rule (see PartitionedKernel::run). threads comes from
+/// the constructor so sweep-style callers fix it once; threads=1 is the
+/// sequential reference schedule every parallel run must reproduce
+/// byte-for-byte.
+class ParallelRunner {
+ public:
+  /// `threads` == 0 means "use config().partitions".
+  explicit ParallelRunner(Cluster& cluster, std::size_t threads = 0);
+
+  std::size_t threads() const { return threads_; }
+
+  /// Advances every rack to `until` and accumulates round stats.
+  ParallelRunReport advance_to(sim::Time until);
+
+  /// Totals across every advance_to() so far.
+  const ParallelRunReport& total() const { return total_; }
+
+ private:
+  Cluster& cluster_;
+  std::size_t threads_;
+  ParallelRunReport total_;
+};
+
+}  // namespace dredbox::core

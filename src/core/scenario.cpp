@@ -9,7 +9,13 @@ sim::Time Scenario::fault_horizon() const {
 }
 
 void Scenario::run_fault_plan() {
-  if (fault_plan_) dc_->advance_to(fault_horizon() + sim::Time::ms(1));
+  if (!fault_plan_) return;
+  const sim::Time until = fault_horizon() + sim::Time::ms(1);
+  if (cluster_ != nullptr) {
+    cluster_->advance_all(until);
+  } else {
+    dc_->advance_to(until);
+  }
 }
 
 ScenarioBuilder& ScenarioBuilder::trays(std::size_t n) {
@@ -39,6 +45,41 @@ ScenarioBuilder& ScenarioBuilder::racks(std::size_t trays, std::size_t compute_p
   config_.compute_bricks_per_tray = compute_per_tray;
   config_.memory_bricks_per_tray = memory_per_tray;
   config_.accelerator_bricks_per_tray = accel_per_tray;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::add_rack(const RackSpec& rack) {
+  config_.racks.push_back(rack);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::add_racks(std::size_t n, const RackSpec& rack) {
+  for (std::size_t i = 0; i < n; ++i) config_.racks.push_back(rack);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::spine(const SpineSpec& spec) {
+  // Preserve any faults/share already declared through the dedicated
+  // setters unless the caller's spec carries its own.
+  auto faults = std::move(config_.spine.faults);
+  config_.spine = spec;
+  if (config_.spine.faults.empty()) config_.spine.faults = std::move(faults);
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::partitions(std::size_t n) {
+  config_.partitions = n;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::cross_rack_share(double share) {
+  config_.spine.cross_share = share;
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::spine_fault(std::size_t rack, sim::Time at,
+                                              sim::Time duration) {
+  config_.spine.faults.push_back(SpineFaultSpec{rack, at, duration});
   return *this;
 }
 
@@ -142,14 +183,38 @@ Scenario ScenarioBuilder::build() const {
   if (fault_plan_env_) plan = sim::fault_plan_from_env();
 
   Scenario scenario;
+  const bool profiling =
+      enable_profiling_ || (profile_env_ && std::getenv(sim::kProfileEnv) != nullptr);
+  if (!config_.racks.empty()) {
+    // Multi-rack topology: everything declared for "the rack" applies to
+    // every rack of the cluster, including the fault plan (each rack runs
+    // its own injector on its own shard).
+    scenario.cluster_ = std::make_unique<Cluster>(config_);  // ctor validates
+    for (std::size_t r = 0; r < scenario.cluster_->size(); ++r) {
+      Datacenter& dc = scenario.cluster_->rack(r);
+      if (enable_telemetry_) {
+        dc.telemetry().enable_all();
+      } else if (enable_tracing_) {
+        dc.tracer().enable();
+      }
+      if (profiling) dc.simulator().queue().enable_profiling();
+    }
+    if (plan) {
+      scenario.fault_plan_ = std::move(plan);
+      for (std::size_t r = 0; r < scenario.cluster_->size(); ++r) {
+        scenario.faults_scheduled_ +=
+            scenario.cluster_->rack(r).inject_faults(*scenario.fault_plan_);
+      }
+    }
+    return scenario;
+  }
   scenario.dc_ = std::make_unique<Datacenter>(config_);  // ctor validates
   if (enable_telemetry_) {
     scenario.dc_->telemetry().enable_all();
   } else if (enable_tracing_) {
     scenario.dc_->tracer().enable();
   }
-  if (enable_profiling_ ||
-      (profile_env_ && std::getenv(sim::kProfileEnv) != nullptr)) {
+  if (profiling) {
     scenario.dc_->simulator().queue().enable_profiling();
   }
   if (plan) {

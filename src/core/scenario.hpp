@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cluster.hpp"
 #include "core/datacenter.hpp"
 #include "sim/fault.hpp"
 
@@ -21,12 +22,19 @@ namespace dredbox::core {
 /// heap-held because its subcomponents hold references into each other.
 class Scenario {
  public:
+  /// Single-rack deployments only (is_cluster() false — the default).
   Datacenter& datacenter() { return *dc_; }
   const Datacenter& datacenter() const { return *dc_; }
   Datacenter* operator->() { return dc_.get(); }
   const Datacenter* operator->() const { return dc_.get(); }
   Datacenter& operator*() { return *dc_; }
   const Datacenter& operator*() const { return *dc_; }
+
+  /// True when the builder declared a multi-rack topology (add_rack());
+  /// then cluster() is the deployment and datacenter() must not be used.
+  bool is_cluster() const { return cluster_ != nullptr; }
+  Cluster& cluster() { return *cluster_; }
+  const Cluster& cluster() const { return *cluster_; }
 
   /// The fault plan scheduled at build time (nullopt when none was
   /// declared or DREDBOX_FAULT_PLAN was unset).
@@ -46,6 +54,7 @@ class Scenario {
   Scenario() = default;
 
   std::unique_ptr<Datacenter> dc_;
+  std::unique_ptr<Cluster> cluster_;
   std::optional<sim::FaultPlan> fault_plan_;
   std::size_t faults_scheduled_ = 0;
 };
@@ -78,6 +87,29 @@ class ScenarioBuilder {
   /// Shorthand for the three per-tray counts in one call.
   ScenarioBuilder& racks(std::size_t trays, std::size_t compute_per_tray,
                          std::size_t memory_per_tray, std::size_t accel_per_tray = 0);
+
+  // --- multi-rack topology ---
+  // Declaring at least one rack switches build() to cluster mode: the
+  // scenario holds a core::Cluster joined by an optical spine instead of
+  // a lone Datacenter, and the top-level shape fields above stop
+  // mattering (each rack carries its own RackSpec).
+  /// Appends one rack to the topology.
+  ScenarioBuilder& add_rack(const RackSpec& rack = {});
+  /// Appends `n` identical racks in one call.
+  ScenarioBuilder& add_racks(std::size_t n, const RackSpec& rack = {});
+  /// Inter-rack spine parameters (propagation doubles as the partitioned
+  /// kernel's conservative lookahead).
+  ScenarioBuilder& spine(const SpineSpec& spec);
+  /// Default worker-thread count for parallel cluster runs (1 = the
+  /// sequential reference schedule).
+  ScenarioBuilder& partitions(std::size_t n);
+  /// Deployment-wide fraction of every tenant's read/write stream that
+  /// crosses the spine to a peer rack (TenantSpec::cross_rack_share
+  /// overrides per tenant).
+  ScenarioBuilder& cross_rack_share(double share);
+  /// Scripted spine-uplink fault: rack `rack` loses its uplink at `at`
+  /// for `duration`.
+  ScenarioBuilder& spine_fault(std::size_t rack, sim::Time at, sim::Time duration);
 
   // --- sizing ---
   ScenarioBuilder& compute_cores(std::size_t apu_cores);

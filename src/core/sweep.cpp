@@ -1,15 +1,13 @@
 #include "core/sweep.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>  // dredbox-lint: ignore[wall-clock] sweep speedup is a host-side quantity
 #include <stdexcept>
-#include <thread>
 
-#include "sim/annotations.hpp"
 #include "sim/format.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace_export.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace dredbox::core {
 
@@ -125,32 +123,6 @@ std::string json_array(const std::vector<T>& values, Fn render) {
   return out + "]";
 }
 
-/// The one piece of state sweep workers share: finished cell results,
-/// stored by grid index under a mutex. DREDBOX_GUARDED_BY lets clang's
-/// -Wthread-safety prove every slot access holds the lock (disjoint-index
-/// writes into a bare vector would be just as race-free but unprovable —
-/// and one refactor away from not being race-free). The lock is taken once
-/// per finished cell; a cell is a full simulation, so contention is nil.
-class ResultStore {
- public:
-  explicit ResultStore(std::size_t size) : results_(size) {}
-
-  void store(std::size_t index, CellResult result) DREDBOX_EXCLUDES(mu_) {
-    sim::MutexLock lock{mu_};
-    results_[index] = std::move(result);
-  }
-
-  /// Moves the results out; call only after every worker joined.
-  std::vector<CellResult> take() DREDBOX_EXCLUDES(mu_) {
-    sim::MutexLock lock{mu_};
-    return std::move(results_);
-  }
-
- private:
-  sim::Mutex mu_;
-  std::vector<CellResult> results_ DREDBOX_GUARDED_BY(mu_);
-};
-
 }  // namespace
 
 std::string SweepReport::to_json() const {
@@ -260,23 +232,13 @@ SweepReport SweepRunner::run(std::size_t threads) const {
       report.cells[i] = run_cell(cells[i]);
     }
   } else {
-    // Work stealing off an atomic cursor; each result lands at its grid
-    // index, so the report never depends on which worker ran what.
-    std::atomic<std::size_t> next{0};
-    ResultStore results{cells.size()};
-    const std::size_t workers = std::min(report.threads, cells.size());
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        while (true) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= cells.size()) return;
-          results.store(i, run_cell(cells[i]));
-        }
-      });
-    }
-    for (auto& worker : pool) worker.join();
+    // Cells are claimed work-stealing style off the shared pool's cursor,
+    // but each result lands at its grid index, so the report never depends
+    // on which worker ran what.
+    sim::WorkerPool pool{std::min(report.threads, cells.size())};
+    sim::ResultStore<CellResult> results{cells.size()};
+    pool.parallel_for(cells.size(),
+                      [&](std::size_t i) { results.store(i, run_cell(cells[i])); });
     report.cells = results.take();
   }
 

@@ -1,0 +1,51 @@
+#include "optics/spine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/format.hpp"
+
+namespace dredbox::optics {
+
+SpineSwitch::SpineSwitch(const SpineSwitchConfig& config) : config_{config} {
+  if (config_.ports == 0) {
+    throw std::invalid_argument("SpineSwitch: port radix must be positive");
+  }
+}
+
+std::uint32_t SpineSwitch::attach_rack(std::uint32_t rack) {
+  if (attached_.size() >= config_.ports) {
+    throw std::runtime_error(sim::strformat(
+        "SpineSwitch: out of ports attaching rack %u (radix %zu)", rack, config_.ports));
+  }
+  if (attached(rack)) {
+    throw std::invalid_argument(
+        sim::strformat("SpineSwitch: rack %u is already attached", rack));
+  }
+  attached_.push_back(rack);
+  return static_cast<std::uint32_t>(attached_.size() - 1);
+}
+
+bool SpineSwitch::attached(std::uint32_t rack) const {
+  return std::find(attached_.begin(), attached_.end(), rack) != attached_.end();
+}
+
+sim::Time SpineSwitch::provision(std::uint32_t rack_a, std::uint32_t rack_b) {
+  if (rack_a == rack_b) {
+    throw std::invalid_argument("SpineSwitch: cannot provision a rack to itself");
+  }
+  if (!attached(rack_a) || !attached(rack_b)) {
+    throw std::invalid_argument("SpineSwitch: provision requires both racks attached");
+  }
+  ++circuits_;
+  setup_charged_ = setup_charged_ + config_.switching_time;
+  return setup_charged_;
+}
+
+std::string SpineSwitch::describe() const {
+  return sim::strformat(
+      "spine switch: %zu/%zu ports lit, %zu rack-pair circuits, %.1f W, %.1f dB insertion",
+      ports_used(), config_.ports, circuits_, power_draw_watts(), config_.insertion_loss_db);
+}
+
+}  // namespace dredbox::optics

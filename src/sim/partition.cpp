@@ -1,0 +1,196 @@
+#include "sim/partition.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+
+#include "sim/contract.hpp"
+#include "sim/worker_pool.hpp"
+
+namespace dredbox::sim {
+
+namespace {
+
+/// Time + delay with infinity absorbing on either side: a silent neighbor
+/// bounds nothing, and an unreachable path (infinite distance) delays
+/// nothing into range — adding INT64_MAX raw would wrap negative and turn
+/// "no bound" into "bounded in the distant past".
+Time saturating_after(Time t, Time delay) {
+  if (t.is_infinite() || delay.is_infinite()) return Time::infinity();
+  return t + delay;
+}
+
+}  // namespace
+
+std::size_t PartitionedKernel::add_shard(Simulator& sim) {
+  shards_.push_back(Shard{&sim, {}, {}});
+  return shards_.size() - 1;
+}
+
+std::size_t PartitionedKernel::connect(std::size_t from, std::size_t to, Time lookahead) {
+  if (from >= shards_.size() || to >= shards_.size()) {
+    throw std::invalid_argument("PartitionedKernel::connect: shard index out of range");
+  }
+  if (from == to) {
+    throw std::invalid_argument("PartitionedKernel::connect: a shard cannot link to itself");
+  }
+  if (lookahead <= Time::zero()) {
+    throw std::invalid_argument(
+        "PartitionedKernel::connect: lookahead must be strictly positive (it is the "
+        "conservative window; zero would serialize every round)");
+  }
+  const std::size_t id = links_.size();
+  links_.push_back(Link{from, to, lookahead,
+                        std::make_unique<CrossChannel>(static_cast<std::uint32_t>(id))});
+  shards_[from].out.push_back(id);
+  shards_[to].in.push_back(id);
+  return id;
+}
+
+Time PartitionedKernel::lookahead(std::size_t link) const {
+  if (link >= links_.size()) {
+    throw std::invalid_argument("PartitionedKernel::lookahead: link id out of range");
+  }
+  return links_[link].lookahead;
+}
+
+void PartitionedKernel::send(std::size_t link, Time when, InplaceAction action,
+                             const char* label) {
+  if (link >= links_.size()) {
+    throw std::invalid_argument("PartitionedKernel::send: link id out of range");
+  }
+  Link& l = links_[link];
+  // The conservative contract every horizon computation rests on: nothing
+  // may land closer than the link's lookahead ahead of the sender's clock.
+  // Checked on every send — a violation here would not crash, it would
+  // silently decohere the parallel and sequential schedules.
+  DREDBOX_INVARIANT(when >= shards_[l.from].sim->now() + l.lookahead,
+                    "PartitionedKernel::send: delivery time is inside the link's "
+                    "lookahead window (send later or declare a smaller lookahead)");
+  l.channel->push(when, std::move(action), label);
+}
+
+std::uint64_t PartitionedKernel::deliver_incoming(std::size_t shard) {
+  Shard& s = shards_[shard];
+  scratch_.clear();
+  for (const std::size_t id : s.in) links_[id].channel->drain(scratch_);
+  if (scratch_.empty()) return 0;
+  // Total order over incoming messages: (time, link, per-link seq) is a
+  // pure function of send history, never of worker interleaving, and the
+  // per-link seq keeps FIFO-within-timestamp across the partition cut.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const ChannelMessage& a, const ChannelMessage& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.link != b.link) return a.link < b.link;
+              return a.seq < b.seq;
+            });
+  for (auto& message : scratch_) {
+    DREDBOX_INVARIANT(message.when >= s.sim->now(),
+                      "PartitionedKernel: cross-partition message arrived in the "
+                      "receiver's past — the lookahead contract was broken");
+    s.sim->at(message.when, std::move(message.action), message.label);
+  }
+  const std::uint64_t delivered = scratch_.size();
+  scratch_.clear();
+  return delivered;
+}
+
+PartitionRunStats PartitionedKernel::run(const std::vector<Time>& horizons,
+                                         std::size_t threads) {
+  if (horizons.size() != shards_.size()) {
+    throw std::invalid_argument(
+        "PartitionedKernel::run: one horizon per shard required");
+  }
+  PartitionRunStats stats;
+  WorkerPool pool{std::max<std::size_t>(1, std::min(threads, shards_.size()))};
+  stats.threads = pool.threads();
+
+  const std::size_t n = shards_.size();
+
+  // Pairwise minimum lookahead distance (min-plus shortest paths over the
+  // link graph): dist[j][i] bounds below how much later than shard j's
+  // next execution anything can reach shard i, along any path. Needed
+  // because lookahead is transitive: a shard with an empty queue is NOT
+  // silent — a message can wake it and make it send, so its earliest
+  // possible send time is bounded through its neighbors, not by its own
+  // (empty) queue alone.
+  std::vector<Time> dist(n * n, Time::infinity());
+  for (std::size_t i = 0; i < n; ++i) dist[i * n + i] = Time::zero();
+  for (const Link& link : links_) {
+    Time& d = dist[link.from * n + link.to];
+    if (link.lookahead < d) d = link.lookahead;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Time ik = dist[i * n + k];
+      if (ik.is_infinite()) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const Time through = saturating_after(ik, dist[k * n + j]);
+        if (through < dist[i * n + j]) dist[i * n + j] = through;
+      }
+    }
+  }
+
+  std::vector<Time> next(n, Time::infinity());
+  std::vector<Time> reach(n, Time::infinity());
+  std::vector<Time> caps(n, Time::zero());
+  std::atomic<std::size_t> dispatched{0};
+
+  while (true) {
+    // --- Phase A (coordinator): deliver cross traffic, read horizons. ---
+    for (std::size_t i = 0; i < n; ++i) stats.messages += deliver_incoming(i);
+    bool active = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = shards_[i].sim->queue().next_time();
+      if (next[i] <= horizons[i]) active = true;
+    }
+    if (!active) break;
+
+    // --- Safe advancement bounds for this round. ---
+    // reach[i]: lower bound on when shard i can next execute ANY event —
+    // its own queue head, or a message induced (transitively) by any
+    // other shard's queue head. A queue head past its shard's horizon is
+    // no seed (those events don't run this call), and a reach past i's
+    // own horizon means i executes nothing at all this call, so it sends
+    // nothing: infinity. Ignoring horizon clipping at intermediate hops
+    // only lowers reach — conservative, never wrong.
+    for (std::size_t i = 0; i < n; ++i) {
+      Time r = Time::infinity();
+      for (std::size_t j = 0; j < n; ++j) {
+        const Time seed = next[j] <= horizons[j] ? next[j] : Time::infinity();
+        const Time via = saturating_after(seed, dist[j * n + i]);
+        if (via < r) r = via;
+      }
+      reach[i] = r <= horizons[i] ? r : Time::infinity();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Time safe = Time::infinity();
+      for (const std::size_t id : shards_[i].in) {
+        const Link& link = links_[id];
+        const Time bound = saturating_after(reach[link.from], link.lookahead);
+        if (bound < safe) safe = bound;
+      }
+      Time cap = horizons[i];
+      if (!safe.is_infinite() && safe - Time::ps(1) < cap) cap = safe - Time::ps(1);
+      caps[i] = cap;
+    }
+
+    // --- Phase B: every shard advances to its cap in parallel. ---
+    ++stats.rounds;
+    pool.parallel_for(shards_.size(), [&](std::size_t i) {
+      if (prologue_) prologue_(i);
+      dispatched.fetch_add(shards_[i].sim->run_until(caps[i]), std::memory_order_relaxed);
+    });
+  }
+
+  // Clock alignment: every queue is past its horizon, so this dispatches
+  // nothing and just parks each shard's clock exactly at the horizon
+  // (matching Datacenter::advance_to semantics for the coupled run).
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    dispatched.fetch_add(shards_[i].sim->run_until(horizons[i]), std::memory_order_relaxed);
+  }
+  stats.dispatched = dispatched.load();
+  return stats;
+}
+
+}  // namespace dredbox::sim

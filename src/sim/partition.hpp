@@ -1,0 +1,179 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/annotations.hpp"
+#include "sim/inplace_action.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::sim {
+
+/// One timestamped event crossing a partition boundary: deliver `action`
+/// into the destination shard's queue at `when`. `seq` is the per-link
+/// send order, the tie-break that keeps FIFO-within-timestamp intact when
+/// two messages of one link land on the same tick.
+struct ChannelMessage {
+  Time when;
+  /// Originating link id: the second tie-break key, so two links landing
+  /// messages on one tick merge in a fixed order.
+  std::uint32_t link = 0;
+  std::uint64_t seq = 0;
+  InplaceAction action;
+  const char* label = nullptr;
+};
+
+/// One direction of an inter-partition link: the sending shard pushes
+/// during its parallel phase, the coordinator drains between rounds. A
+/// single shard writes and a single (barrier-separated) thread reads, so
+/// the mutex is formally redundant — but it makes the channel provable
+/// under clang -Wthread-safety and visible to TSan, instead of resting on
+/// an invariant one refactor away from false.
+class CrossChannel {
+ public:
+  explicit CrossChannel(std::uint32_t id) : id_{id} {}
+
+  std::uint32_t id() const { return id_; }
+
+  void push(Time when, InplaceAction action, const char* label) DREDBOX_EXCLUDES(mu_) {
+    MutexLock lock{mu_};
+    queue_.push_back(ChannelMessage{when, id_, next_seq_++, std::move(action), label});
+  }
+
+  /// Moves every queued message (in send order) onto the back of `into`.
+  void drain(std::vector<ChannelMessage>& into) DREDBOX_EXCLUDES(mu_) {
+    MutexLock lock{mu_};
+    for (auto& message : queue_) into.push_back(std::move(message));
+    queue_.clear();
+  }
+
+  std::uint64_t sent() const DREDBOX_EXCLUDES(mu_) {
+    MutexLock lock{mu_};
+    return next_seq_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<ChannelMessage> queue_ DREDBOX_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ DREDBOX_GUARDED_BY(mu_) = 0;
+  const std::uint32_t id_;
+};
+
+/// What one PartitionedKernel::run call did.
+struct PartitionRunStats {
+  /// Conservative barrier rounds executed.
+  std::size_t rounds = 0;
+  /// Events dispatched across every shard.
+  std::size_t dispatched = 0;
+  /// Cross-partition messages delivered into shard queues.
+  std::uint64_t messages = 0;
+  std::size_t threads = 1;
+};
+
+/// Conservative-lookahead parallel event kernel (the CMB scheme in its
+/// barrier-round form). Each shard is a full Simulator — its own
+/// EventQueue, clock and RNG — and shards exchange events only through
+/// per-link timestamped channels whose delivery lag is bounded below by
+/// the link's lookahead (physically: the inter-rack propagation delay).
+///
+/// run() alternates two phases. Phase A, on the coordinator thread:
+/// drain every channel, merge each shard's incoming messages in
+/// (time, link, seq) order — a total order that is a pure function of
+/// send history, never of thread interleaving — and schedule them;
+/// then read each shard's next-event time h_i. Phase B, fanned across
+/// the pool: each shard i processes events strictly below
+///
+///     safe_i = min over incoming links (j -> i) of
+///                  reach_j + lookahead(j->i)
+///
+/// where reach_j = min over all shards k of (h_k + dist(k, j)) is the
+/// earliest time shard j could possibly execute ANYTHING — its own queue
+/// head, or an event induced by a message along any path (dist is the
+/// min-plus shortest lookahead distance). The transitive form matters:
+/// an empty-queue shard is not silent, because a message can wake it and
+/// make it send; only the path distances bound how soon. Queue heads
+/// past their shard's horizon are no seed (those events don't run this
+/// call), and a shard whose reach exceeds its own horizon executes
+/// nothing at all this call, so it bounds nothing.
+///
+/// Determinism: the rounds — and therefore the exact points where
+/// messages enter each queue, the per-queue sequence numbers they draw,
+/// and every tie-break — are a function of (shard states, horizons)
+/// only. threads=1 executes the same rounds on one thread, so the
+/// parallel schedule is byte-identical to the sequential reference by
+/// construction, which the digest tests then verify end to end.
+class PartitionedKernel {
+ public:
+  PartitionedKernel() = default;
+  PartitionedKernel(const PartitionedKernel&) = delete;
+  PartitionedKernel& operator=(const PartitionedKernel&) = delete;
+
+  /// Registers a shard; returns its index. The Simulator must outlive the
+  /// kernel. All shards must be added before the first run().
+  std::size_t add_shard(Simulator& sim);
+
+  /// Connects `from` -> `to` with a strictly positive lookahead (the
+  /// link's minimum delivery lag). Returns the link id used by send().
+  std::size_t connect(std::size_t from, std::size_t to, Time lookahead);
+
+  /// Sender-side: deliver `action` into the link's destination shard at
+  /// `when`. Must be called from the sending shard's execution context
+  /// (one of its events, or wiring code before run()) with
+  /// `when >= sender.now() + lookahead` — the contract the conservative
+  /// horizon computation rests on, checked on every send.
+  void send(std::size_t link, Time when, InplaceAction action, const char* label = nullptr);
+
+  /// Ran on the executing thread right before a shard's parallel phase
+  /// each round (the shard index is the argument). Hook for thread-
+  /// affinity bookkeeping — the cluster uses it to re-bind each rack's
+  /// thread-confined telemetry to the worker that drives it this round.
+  void set_shard_prologue(std::function<void(std::size_t)> prologue) {
+    prologue_ = std::move(prologue);
+  }
+
+  std::size_t shards() const { return shards_.size(); }
+  std::size_t links() const { return links_.size(); }
+  Time lookahead(std::size_t link) const;
+
+  /// Advances shard i to horizons[i] (all its events with t <= horizon
+  /// dispatched, clock left at the horizon) in conservative rounds on
+  /// `threads` workers. threads=1 is the sequential reference schedule.
+  ///
+  /// May be called again with non-decreasing horizons, but note the
+  /// finished-shard rule: a shard whose horizon passed is treated as
+  /// silent, so a later call must not extend one shard's horizon past
+  /// traffic a neighbor already advanced beyond. The cluster runner
+  /// always passes one uniform horizon, which is trivially safe.
+  PartitionRunStats run(const std::vector<Time>& horizons, std::size_t threads = 1);
+
+ private:
+  struct Link {
+    std::size_t from;
+    std::size_t to;
+    Time lookahead;
+    std::unique_ptr<CrossChannel> channel;
+  };
+  struct Shard {
+    Simulator* sim;
+    /// Incoming / outgoing link ids, in connect order.
+    std::vector<std::size_t> in;
+    std::vector<std::size_t> out;
+  };
+
+  /// Drains shard i's incoming channels and schedules the messages in
+  /// (when, link, seq) order. Returns messages delivered.
+  std::uint64_t deliver_incoming(std::size_t shard);
+
+  std::vector<Shard> shards_;
+  std::vector<Link> links_;
+  std::function<void(std::size_t)> prologue_;
+  /// Phase A scratch, reused across rounds so steady state stays
+  /// allocation-free once high-water marks are reached.
+  std::vector<ChannelMessage> scratch_;
+};
+
+}  // namespace dredbox::sim

@@ -55,6 +55,14 @@ std::string WorkloadResult::summary() const {
                           latency_us.percentile(50), latency_us.percentile(95),
                           latency_us.percentile(99));
   }
+  if (cross_ops > 0) {
+    out += sim::strformat("cross-rack: %llu ops", static_cast<unsigned long long>(cross_ops));
+    if (!cross_latency_us.empty()) {
+      out += sim::strformat("  p50 %.2f us  p99 %.2f us", cross_latency_us.percentile(50),
+                            cross_latency_us.percentile(99));
+    }
+    out += "\n";
+  }
   if (!dma_latency_us.empty()) {
     out += sim::strformat("DMA latency: p50 %.2f us  p95 %.2f us  p99 %.2f us\n",
                           dma_latency_us.percentile(50), dma_latency_us.percentile(95),
@@ -128,6 +136,10 @@ void WorkloadEngine::boot_tenants() {
       ++result_.vms_booted;
       if (up.completed_at > ready) ready = up.completed_at;
       if (boot.completed_at > ready) ready = boot.completed_at;
+      driver->index = static_cast<std::uint32_t>(drivers_.size());
+      if (cross_port_ != nullptr) {
+        driver->cross_share = spec.cross_rack_share.value_or(cross_default_share_);
+      }
       digest_.update("vm").update(vm_name).update(driver->window_base)
           .update(driver->window_size);
       drivers_.push_back(std::move(driver));
@@ -241,6 +253,15 @@ void WorkloadEngine::perform_op(VmDriver& driver, bool closed_loop) {
   const auto& mix = driver.spec.mix;
   const std::size_t kind = rng.weighted_index({mix.read, mix.write, mix.dma});
 
+  // Cross-rack leg: a share of the read/write stream goes to a peer
+  // rack's gateway window over the spine. The branch draws from the RNG
+  // only when the share is armed, so single-rack runs (share 0, or no
+  // port) keep a byte-identical op stream and digest.
+  if (kind != 2 && driver.cross_share > 0.0 && rng.chance(driver.cross_share)) {
+    issue_cross(driver, closed_loop, /*write=*/kind == 1);
+    return;
+  }
+
   if (kind == 2) {
     // Bulk transfer through the brick's shared DMA engines. Direction
     // follows the read/write ratio of the mix (pull vs push).
@@ -306,6 +327,49 @@ void WorkloadEngine::perform_op(VmDriver& driver, bool closed_loop) {
   }
 }
 
+void WorkloadEngine::issue_cross(VmDriver& driver, bool closed_loop, bool write) {
+  auto& rng = driver.clock.rng();
+  if (write) {
+    ++result_.writes;
+  } else {
+    ++result_.reads;
+  }
+  ++result_.cross_ops;
+  const std::size_t peers = cross_port_->peer_count();
+  const std::size_t peer =
+      peers > 1 ? static_cast<std::size_t>(
+                      rng.uniform_int(0, static_cast<std::int64_t>(peers) - 1))
+                : 0;
+  const std::uint64_t offset =
+      aligned_offset(rng, cross_port_->window_bytes(peer), driver.spec.op_bytes);
+  // The completion — success or fail-fast — always comes back through
+  // complete_cross() as an event on this rack's own queue.
+  cross_port_->issue(peer, offset, driver.spec.op_bytes, write, driver.index, closed_loop);
+}
+
+void WorkloadEngine::complete_cross(const core::CrossCompletion& done) {
+  VmDriver& driver = *drivers_[done.token];
+  if (done.ok) {
+    ++result_.completed;
+    const double us = done.round_trip().as_us();
+    result_.latency_us.add(us);
+    result_.cross_latency_us.add(us);
+  } else {
+    ++result_.failed;
+  }
+  digest_.update("x")
+      .update(done.address)
+      .update(static_cast<std::uint64_t>(done.ok ? 1 : 0))
+      .update(static_cast<std::uint64_t>(done.round_trip().ticks()));
+  if (done.closed_loop) {
+    const sim::Time next = done.completed_at + driver.clock.next_gap(done.completed_at);
+    if (next < end_) {
+      dc_.simulator().at(next, [this, d = &driver] { closed_issue(*d); },
+                         "workload.closed_issue");
+    }
+  }
+}
+
 void WorkloadEngine::record_sync_op(const memsys::Transaction& tx) {
   result_.retries += tx.retries;
   if (tx.ok()) {
@@ -336,13 +400,28 @@ void WorkloadEngine::record_dma(VmDriver& driver, const memsys::DmaCompletion& d
 }
 // dredbox-lint: hot-path-end
 
-WorkloadResult WorkloadEngine::run() {
-  if (ran_) throw std::logic_error("WorkloadEngine::run() may only be called once");
-  ran_ = true;
+void WorkloadEngine::install_cross_port(core::CrossRackPort* port, double default_share) {
+  if (prepared_) {
+    throw std::logic_error("install_cross_port() must precede prepare()/run()");
+  }
+  if (port == nullptr || port->peer_count() == 0) return;  // nothing to cross to
+  cross_port_ = port;
+  cross_default_share_ = default_share;
+  cross_port_->set_handler(
+      [this](const core::CrossCompletion& done) { complete_cross(done); });
+}
 
+void WorkloadEngine::prepare() {
+  if (prepared_) throw std::logic_error("WorkloadEngine::prepare() may only be called once");
+  prepared_ = true;
   boot_tenants();
-  dc_.advance_to(boot_ready_);
-  const sim::Time t0 = dc_.simulator().now();
+}
+
+void WorkloadEngine::begin_window(sim::Time t0) {
+  if (!prepared_ || started_) {
+    throw std::logic_error("begin_window() must follow prepare(), once");
+  }
+  started_ = true;
   end_ = t0 + config_.duration;
 
   if (config_.sample_period > sim::Time::zero()) {
@@ -352,8 +431,13 @@ WorkloadResult WorkloadEngine::run() {
   }
   schedule_power_samples(t0);
   start_streams(t0);
-  dc_.advance_to(end_ + config_.drain_grace);
+}
 
+WorkloadResult WorkloadEngine::finish() {
+  if (!started_ || finished_) {
+    throw std::logic_error("finish() must follow begin_window(), once");
+  }
+  finished_ = true;
   if (sampler_ != nullptr) {
     result_.timeseries = sampler_->take();
     sampler_.reset();
@@ -366,6 +450,14 @@ WorkloadResult WorkloadEngine::run() {
       .update(result_.retries);
   result_.digest = digest_.value();
   return result_;
+}
+
+WorkloadResult WorkloadEngine::run() {
+  prepare();
+  dc_.advance_to(boot_ready_);
+  begin_window(dc_.simulator().now());
+  dc_.advance_to(end_ + config_.drain_grace);
+  return finish();
 }
 
 sim::RunReport make_run_report(const core::Datacenter& dc, const WorkloadConfig& config,

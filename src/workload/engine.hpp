@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/cross_port.hpp"
 #include "core/datacenter.hpp"
 #include "memsys/dma.hpp"
 #include "sim/digest.hpp"
@@ -57,11 +58,16 @@ struct WorkloadResult {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t dmas = 0;
+  /// Reads/writes that went to a peer rack over the spine (a subset of
+  /// reads + writes; zero unless a cross-rack port is installed).
+  std::uint64_t cross_ops = 0;
   /// Data-plane recovery attempts the fabric charged across all requests.
   std::uint64_t retries = 0;
 
   /// Read/write round trips, microseconds.
   sim::SampleSet latency_us;
+  /// Cross-rack round trips, microseconds (also counted in latency_us).
+  sim::SampleSet cross_latency_us;
   /// DMA enqueue-to-completion, microseconds.
   sim::SampleSet dma_latency_us;
   /// Rack power draw sampled across the window, watts.
@@ -104,8 +110,37 @@ class WorkloadEngine {
 
   const WorkloadConfig& config() const { return config_; }
 
-  /// Boots, generates, drains, reduces. One call per engine.
+  /// Points a share of every tenant's read/write stream at peer racks
+  /// through `port` (a rack NIC of a core::Cluster). `default_share` is
+  /// the deployment-wide cross-rack fraction; a TenantSpec's
+  /// cross_rack_share overrides it per tenant. Must be called before
+  /// prepare()/run(); a port with no peers is ignored. The engine takes
+  /// over the port's completion handler.
+  void install_cross_port(core::CrossRackPort* port, double default_share);
+
+  /// Boots, generates, drains, reduces. One call per engine. Equivalent
+  /// to the phase sequence below with this rack's own clock advanced
+  /// between phases — the single-Datacenter call pattern.
   WorkloadResult run();
+
+  // --- phase API ---
+  // The cluster engine drives each rack's engine through these so the
+  // *coupled* advance between begin_window() and finish() can run on the
+  // partitioned kernel instead of each rack's private clock: prepare()
+  // every rack, advance every rack to the global max boot_ready(),
+  // begin_window() every rack, advance the cluster to the shared horizon,
+  // finish() every rack.
+
+  /// Phase 1: boots and scales up every tenant VM (control plane only).
+  void prepare();
+  /// When the last boot/scale-up completed; valid after prepare().
+  sim::Time boot_ready() const { return boot_ready_; }
+  /// Phase 2: schedules the request streams across [t0, t0 + duration).
+  /// The caller must have advanced this rack's clock to exactly t0.
+  void begin_window(sim::Time t0);
+  /// Phase 3: reduces totals into the result. The caller must have
+  /// advanced this rack past t0 + duration + drain_grace.
+  WorkloadResult finish();
 
  private:
   /// One booted VM driving requests: placement, its remote window, its
@@ -119,6 +154,10 @@ class WorkloadEngine {
     ArrivalClock clock;
     /// The hosting brick's shared DMA engine (null when the mix has no DMA).
     memsys::DmaEngine* dma = nullptr;
+    /// Index in drivers_ — the token echoed back by cross-rack completions.
+    std::uint32_t index = 0;
+    /// Resolved cross-rack fraction (0 when no port is installed).
+    double cross_share = 0.0;
 
     VmDriver(const TenantSpec& s, ArrivalClock c) : spec{s}, clock{std::move(c)} {}
   };
@@ -145,7 +184,13 @@ class WorkloadEngine {
   sim::Digest digest_;
   sim::Time boot_ready_;
   sim::Time end_;
-  bool ran_ = false;
+  bool prepared_ = false;
+  bool started_ = false;
+  bool finished_ = false;
+  /// Peer-rack NIC (null on single-rack runs) and the deployment-wide
+  /// cross-rack share tenants inherit when they don't set their own.
+  core::CrossRackPort* cross_port_ = nullptr;
+  double cross_default_share_ = 0.0;
   /// Live only while run() executes and sample_period > 0.
   std::unique_ptr<sim::TimeSeriesSampler> sampler_;
 
@@ -157,6 +202,10 @@ class WorkloadEngine {
   /// Issues one request at the current simulated time; closed-loop callers
   /// get their next issue chained off the completion.
   void perform_op(VmDriver& driver, bool closed_loop);
+  /// Issues one read/write against a peer rack's gateway window.
+  void issue_cross(VmDriver& driver, bool closed_loop, bool write);
+  /// Cross-rack completion handler (runs on this rack's event queue).
+  void complete_cross(const core::CrossCompletion& done);
   void record_sync_op(const memsys::Transaction& tx);
   void record_dma(VmDriver& driver, const memsys::DmaCompletion& done);
 };

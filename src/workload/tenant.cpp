@@ -1,5 +1,7 @@
 #include "workload/tenant.hpp"
 
+#include <cmath>
+
 #include "sim/format.hpp"
 
 namespace dredbox::workload {
@@ -39,6 +41,11 @@ std::vector<std::string> TenantSpec::errors() const {
   if (op_bytes > remote_bytes) bad("op_bytes", "request larger than the remote window");
   if (mix.dma > 0.0 && dma_bytes > remote_bytes) {
     bad("dma_bytes", "DMA transfer larger than the remote window");
+  }
+  if (cross_rack_share.has_value() &&
+      (std::isnan(*cross_rack_share) || *cross_rack_share < 0.0 || *cross_rack_share > 1.0)) {
+    bad("cross_rack_share", sim::strformat("share must lie in [0, 1], got %g",
+                                           *cross_rack_share));
   }
   if (arrivals == ArrivalProcess::kMmpp) {
     if (!(mmpp.burst_multiplier >= 1.0)) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,17 @@ struct TenantSpec {
   std::uint32_t op_bytes = 64;
   /// Bytes per DMA transfer (bulk traffic through the DMA engines).
   std::uint64_t dma_bytes = 64ull << 10;
+
+  /// Placement: which rack of a multi-rack cluster this tenant's VMs boot
+  /// on. Single-rack engines ignore it (the cluster engine validates it
+  /// against the actual rack count).
+  std::size_t home_rack = 0;
+  /// Fraction of the read/write stream redirected to a *peer* rack's
+  /// gateway window over the spine instead of the tenant's own remote
+  /// window. Unset (the default) inherits the deployment-wide
+  /// SpineSpec::cross_share; it only takes effect when a cross-rack port
+  /// is installed, so single-rack runs are unaffected either way.
+  std::optional<double> cross_rack_share;
 
   /// Field-naming validation errors; empty means the spec is runnable.
   std::vector<std::string> errors() const;

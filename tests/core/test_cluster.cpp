@@ -1,0 +1,227 @@
+#include "core/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "sim/contract.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::core {
+namespace {
+
+bool mentions(const std::vector<std::string>& errors, const std::string& field) {
+  return std::any_of(errors.begin(), errors.end(), [&](const std::string& e) {
+    return e.find(field) != std::string::npos;
+  });
+}
+
+DatacenterConfig cluster_config(std::size_t racks) {
+  DatacenterConfig config;
+  config.racks.assign(racks, RackSpec{1, 2, 2, 0});
+  return config;
+}
+
+TEST(ClusterConfigTest, ValidConfigHasNoErrors) {
+  EXPECT_TRUE(cluster_config(2).validate().empty());
+}
+
+TEST(ClusterConfigTest, ErrorsNameDottedFields) {
+  DatacenterConfig config = cluster_config(2);
+  config.racks[0].trays = 0;
+  config.racks[1].memory_bricks_per_tray = 0;
+  config.spine.propagation = sim::Time::zero();
+  config.spine.cross_share = 1.5;
+  config.spine.faults.push_back(SpineFaultSpec{7, sim::Time::ms(1), sim::Time::ms(1)});
+  config.partitions = 0;
+  const auto errors = config.validate();
+  EXPECT_TRUE(mentions(errors, "racks[0].trays"));
+  EXPECT_TRUE(mentions(errors, "racks[1].memory_bricks_per_tray"));
+  EXPECT_TRUE(mentions(errors, "spine.propagation"));
+  EXPECT_TRUE(mentions(errors, "spine.cross_share"));
+  EXPECT_TRUE(mentions(errors, "spine.faults[0].rack"));
+  EXPECT_TRUE(mentions(errors, "partitions"));
+}
+
+TEST(ClusterConfigTest, SpineRadixMustCoverTheRacks) {
+  DatacenterConfig config = cluster_config(4);
+  config.spine.ports = 2;
+  EXPECT_TRUE(mentions(config.validate(), "spine.ports"));
+}
+
+TEST(ClusterConfigTest, MultiRackFieldsLeaveSingleRackDigestAlone) {
+  // The new spine/partitions knobs are inert while `racks` is empty: a
+  // pre-existing single-rack config folds to the same digest it always
+  // did, so every pinned example digest survives the API extension.
+  const DatacenterConfig base;
+  DatacenterConfig tweaked;
+  tweaked.spine.propagation = sim::Time::us(3);
+  tweaked.spine.cross_share = 0.5;
+  tweaked.partitions = 8;
+  EXPECT_EQ(base.digest(), tweaked.digest());
+
+  DatacenterConfig cluster = cluster_config(2);
+  DatacenterConfig cluster_tweaked = cluster_config(2);
+  cluster_tweaked.spine.propagation = sim::Time::us(3);
+  EXPECT_NE(cluster.digest(), cluster_tweaked.digest());
+}
+
+TEST(ClusterConfigTest, ConstructorRejectsInvalidConfigs) {
+  DatacenterConfig config = cluster_config(2);
+  config.spine.propagation = sim::Time::zero();
+  EXPECT_THROW(Cluster{config}, std::invalid_argument);
+}
+
+TEST(ClusterBuilderTest, BuilderAssemblesAMultiRackScenario) {
+  Scenario scenario = ScenarioBuilder{}
+                          .add_racks(3, RackSpec{1, 2, 2, 0})
+                          .cross_rack_share(0.25)
+                          .partitions(2)
+                          .spine_fault(1, sim::Time::ms(1), sim::Time::ms(2))
+                          .build();
+  ASSERT_TRUE(scenario.is_cluster());
+  Cluster& cluster = scenario.cluster();
+  EXPECT_EQ(cluster.size(), 3u);
+  EXPECT_EQ(cluster.config().partitions, 2u);
+  EXPECT_DOUBLE_EQ(cluster.config().spine.cross_share, 0.25);
+  ASSERT_EQ(cluster.config().spine.faults.size(), 1u);
+  EXPECT_EQ(cluster.config().spine.faults[0].rack, 1u);
+  EXPECT_GT(cluster.power_draw_watts(), 0.0);
+  EXPECT_FALSE(cluster.describe().empty());
+}
+
+TEST(ClusterBuilderTest, SingleRackScenariosStaySingleRack) {
+  Scenario scenario = ScenarioBuilder{}.build();
+  EXPECT_FALSE(scenario.is_cluster());
+  // datacenter() is the single-rack accessor and still works untouched;
+  // wiring leaves the clock parked at zero exactly as it always has.
+  EXPECT_EQ(scenario.datacenter().simulator().now(), sim::Time::zero());
+  EXPECT_GT(scenario.datacenter().power_draw_watts(), 0.0);
+}
+
+TEST(ClusterBuilderTest, SpineSetterPreservesDeclaredFaults) {
+  ScenarioBuilder builder;
+  builder.add_racks(2, RackSpec{1, 2, 2, 0}).spine_fault(0, sim::Time::ms(1), sim::Time::ms(1));
+  SpineSpec spec;
+  spec.propagation = sim::Time::us(1);
+  builder.spine(spec);
+  Scenario scenario = builder.build();
+  EXPECT_EQ(scenario.cluster().config().spine.propagation, sim::Time::us(1));
+  EXPECT_EQ(scenario.cluster().config().spine.faults.size(), 1u);
+}
+
+/// Builds a 2-rack cluster and aligns both racks to a common t0 the way
+/// the cluster workload engine does, so raw port traffic can flow.
+struct TwoRacks {
+  TwoRacks() : scenario{make()} , cluster{scenario.cluster()} {
+    sim::Time t0 = sim::Time::zero();
+    for (std::size_t r = 0; r < cluster.size(); ++r) {
+      t0 = std::max(t0, cluster.rack(r).simulator().now());
+    }
+    for (std::size_t r = 0; r < cluster.size(); ++r) cluster.rack(r).advance_to(t0);
+    start = t0;
+  }
+  static Scenario make() {
+    return ScenarioBuilder{}.add_racks(2, RackSpec{1, 2, 2, 0}).build();
+  }
+  Scenario scenario;
+  Cluster& cluster;
+  sim::Time start;
+};
+
+TEST(ClusterTest, CrossReadRoundTripCrossesTheSpineTwice) {
+  TwoRacks rig;
+  CrossRackPort& port = rig.cluster.port(0);
+  ASSERT_EQ(port.peer_count(), 1u);
+  EXPECT_EQ(port.window_bytes(0), rig.cluster.config().spine.gateway_bytes);
+  EXPECT_EQ(rig.cluster.gateway_window_bytes(1), rig.cluster.config().spine.gateway_bytes);
+
+  std::vector<CrossCompletion> done;
+  port.set_handler([&](const CrossCompletion& c) { done.push_back(c); });
+  port.issue(0, 4096, 64, /*write=*/false, /*token=*/7, /*closed_loop=*/false);
+  port.issue(0, 8192, 64, /*write=*/false, /*token=*/8, /*closed_loop=*/false);
+  rig.cluster.advance_all(rig.start + sim::Time::ms(1), 2);
+
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_TRUE(done[0].ok);
+  EXPECT_EQ(done[0].token, 7u);
+  EXPECT_FALSE(done[0].write);
+  // The completion reports the target-rack physical address: two issues
+  // 4 KiB apart in the window land 4 KiB apart on the target's fabric.
+  EXPECT_EQ(done[1].address - done[0].address, 4096u);
+  // Request + reply each traverse the spine: the round trip can never
+  // beat two propagation delays.
+  EXPECT_GE(done[0].round_trip(), rig.cluster.config().spine.propagation * 2);
+
+  const RackLinkStats src = rig.cluster.link_stats(0);
+  const RackLinkStats dst = rig.cluster.link_stats(1);
+  EXPECT_EQ(src.tx_messages, 2u);  // the requests
+  EXPECT_EQ(dst.tx_messages, 2u);  // the replies
+  EXPECT_EQ(dst.rx_messages, 2u);
+  EXPECT_EQ(src.fail_fast, 0u);
+  EXPECT_NE(rig.cluster.served_digest(1), 0u);
+}
+
+TEST(ClusterTest, DownLinkFailsFastAtTheSender) {
+  // Arm a fault that downs rack 0's uplink immediately for 1 ms.
+  Scenario scenario = ScenarioBuilder{}
+                          .add_racks(2, RackSpec{1, 2, 2, 0})
+                          .spine_fault(0, sim::Time::zero(), sim::Time::ms(1))
+                          .build();
+  Cluster& cluster = scenario.cluster();
+  sim::Time t0 = sim::Time::zero();
+  for (std::size_t r = 0; r < cluster.size(); ++r) {
+    t0 = std::max(t0, cluster.rack(r).simulator().now());
+  }
+  for (std::size_t r = 0; r < cluster.size(); ++r) cluster.rack(r).advance_to(t0);
+  cluster.arm_spine_faults(t0);
+  cluster.advance_all(t0 + sim::Time::us(10), 1);  // the down event fires
+
+  std::vector<CrossCompletion> done;
+  cluster.port(0).set_handler([&](const CrossCompletion& c) { done.push_back(c); });
+  cluster.port(0).issue(0, 0, 64, /*write=*/true, /*token=*/1, /*closed_loop=*/false);
+  cluster.advance_all(t0 + sim::Time::us(20), 1);
+
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_FALSE(done[0].ok);
+  EXPECT_EQ(cluster.link_stats(0).fail_fast, 1u);
+  EXPECT_EQ(cluster.link_stats(1).rx_messages, 0u);
+
+  // After the restore, the same port carries traffic again.
+  cluster.advance_all(t0 + sim::Time::ms(2), 1);
+  cluster.port(0).issue(0, 0, 64, /*write=*/true, /*token=*/2, /*closed_loop=*/false);
+  cluster.advance_all(t0 + sim::Time::ms(3), 1);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_TRUE(done[1].ok);
+}
+
+TEST(ClusterTest, SpineFaultsArmExactlyOnce) {
+  Scenario scenario = ScenarioBuilder{}
+                          .add_racks(2, RackSpec{1, 2, 2, 0})
+                          .spine_fault(0, sim::Time::ms(1), sim::Time::ms(1))
+                          .build();
+  Cluster& cluster = scenario.cluster();
+  sim::Time t0 = sim::Time::zero();
+  for (std::size_t r = 0; r < cluster.size(); ++r) {
+    t0 = std::max(t0, cluster.rack(r).simulator().now());
+  }
+  EXPECT_FALSE(cluster.spine_faults_armed());
+  cluster.arm_spine_faults(t0);
+  EXPECT_TRUE(cluster.spine_faults_armed());
+  EXPECT_THROW(cluster.arm_spine_faults(t0), std::logic_error);
+}
+
+TEST(ClusterTest, GatewayWindowRejectsOutOfRangeOffsets) {
+  TwoRacks rig;
+  const std::uint64_t window = rig.cluster.gateway_window_bytes(1);
+  rig.cluster.port(0).set_handler([](const CrossCompletion&) {});
+  EXPECT_THROW(rig.cluster.port(0).issue(0, window, 64, false, 0, false),
+               sim::ContractViolation);
+}
+
+}  // namespace
+}  // namespace dredbox::core

@@ -1,0 +1,215 @@
+#include "sim/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/contract.hpp"
+#include "sim/digest.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace dredbox::sim {
+namespace {
+
+TEST(PartitionedKernelTest, ConnectRejectsBadLinks) {
+  Simulator a{1}, b{2};
+  PartitionedKernel kernel;
+  kernel.add_shard(a);
+  kernel.add_shard(b);
+  EXPECT_THROW(kernel.connect(0, 0, Time::ns(1)), std::invalid_argument);
+  EXPECT_THROW(kernel.connect(0, 2, Time::ns(1)), std::invalid_argument);
+  EXPECT_THROW(kernel.connect(0, 1, Time::zero()), std::invalid_argument);
+  EXPECT_EQ(kernel.connect(0, 1, Time::ns(5)), 0u);
+  EXPECT_EQ(kernel.lookahead(0), Time::ns(5));
+}
+
+TEST(PartitionedKernelTest, RunWantsOneHorizonPerShard) {
+  Simulator a{1};
+  PartitionedKernel kernel;
+  kernel.add_shard(a);
+  EXPECT_THROW(kernel.run({}, 1), std::invalid_argument);
+}
+
+TEST(PartitionedKernelTest, SendInsideLookaheadWindowIsAContractViolation) {
+  Simulator a{1}, b{2};
+  PartitionedKernel kernel;
+  kernel.add_shard(a);
+  kernel.add_shard(b);
+  const std::size_t link = kernel.connect(0, 1, Time::ns(10));
+  // Sender's clock is 0: anything before 10 ns is inside the window.
+  EXPECT_THROW(kernel.send(link, Time::ns(5), [] {}, "early"), ContractViolation);
+  EXPECT_NO_THROW(kernel.send(link, Time::ns(10), [] {}, "on-time"));
+}
+
+TEST(PartitionedKernelTest, SingleShardDegeneratesToRunUntil) {
+  Simulator sim{1};
+  PartitionedKernel kernel;
+  kernel.add_shard(sim);
+  std::vector<int> order;
+  sim.at(Time::ns(30), [&] { order.push_back(3); }, "c");
+  sim.at(Time::ns(10), [&] { order.push_back(1); }, "a");
+  sim.at(Time::ns(20), [&] { order.push_back(2); }, "b");
+  const PartitionRunStats stats = kernel.run({Time::us(1)}, 4);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(stats.dispatched, 3u);
+  EXPECT_EQ(stats.messages, 0u);
+  EXPECT_EQ(sim.now(), Time::us(1));
+}
+
+TEST(PartitionedKernelTest, EmptyShardsStillAlignToTheHorizon) {
+  Simulator a{1}, b{2};
+  PartitionedKernel kernel;
+  kernel.add_shard(a);
+  kernel.add_shard(b);
+  kernel.connect(0, 1, Time::ns(1));
+  const PartitionRunStats stats = kernel.run({Time::ms(1), Time::ms(2)}, 2);
+  EXPECT_EQ(stats.dispatched, 0u);
+  EXPECT_EQ(a.now(), Time::ms(1));
+  EXPECT_EQ(b.now(), Time::ms(2));
+}
+
+TEST(PartitionedKernelTest, SameLinkSameTickPreservesSendOrder) {
+  Simulator a{1}, b{2};
+  PartitionedKernel kernel;
+  kernel.add_shard(a);
+  kernel.add_shard(b);
+  const std::size_t link = kernel.connect(0, 1, Time::ns(10));
+  std::vector<int> order;
+  // Two messages on one link for the same tick: FIFO-within-timestamp
+  // must hold across the partition cut exactly as inside one queue.
+  kernel.send(link, Time::ns(50), [&] { order.push_back(1); }, "first");
+  kernel.send(link, Time::ns(50), [&] { order.push_back(2); }, "second");
+  kernel.run({Time::us(1), Time::us(1)}, 2);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(PartitionedKernelTest, CrossLinkTiesMergeByLinkId) {
+  Simulator a{1}, b{2}, c{3};
+  PartitionedKernel kernel;
+  kernel.add_shard(a);
+  kernel.add_shard(b);
+  kernel.add_shard(c);
+  const std::size_t low = kernel.connect(0, 2, Time::ns(10));   // link 0
+  const std::size_t high = kernel.connect(1, 2, Time::ns(10));  // link 1
+  std::vector<int> order;
+  // Sent in the *opposite* order: the merge key (when, link, seq) must
+  // still put the lower link id first — a pure function of wiring, not
+  // of which sender's thread pushed first.
+  kernel.send(high, Time::ns(50), [&] { order.push_back(1); }, "high-link");
+  kernel.send(low, Time::ns(50), [&] { order.push_back(0); }, "low-link");
+  kernel.run({Time::us(1), Time::us(1), Time::us(1)}, 3);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+/// A -> B -> C relay where B starts with an empty queue: A's event wakes
+/// B, whose delivered action immediately forwards to C.
+struct Relay {
+  Relay() {
+    kernel.add_shard(a);
+    kernel.add_shard(b);
+    kernel.add_shard(c);
+    ab = kernel.connect(0, 1, Time::ns(1));
+    bc = kernel.connect(1, 2, Time::ns(1));
+    // C has its own traffic far past the relay, tempting an unsafe cap.
+    c.at(Time::us(1), [] {}, "late");
+    a.at(Time::ns(5), [this] { hop_a(); }, "origin");
+  }
+  void hop_a() {
+    kernel.send(ab, a.now() + Time::ns(1), [this] { hop_b(); }, "relay1");
+  }
+  void hop_b() {
+    kernel.send(bc, b.now() + Time::ns(1), [this] { c_received = c.now(); }, "relay2");
+  }
+
+  PartitionedKernel kernel;
+  Simulator a{1}, b{2}, c{3};
+  std::size_t ab = 0, bc = 0;
+  Time c_received = Time::infinity();
+};
+
+// An empty-queue shard is not silent: a message can wake it and make it
+// send. The naive per-neighbor-head horizon would let C run past B's
+// induced send time (tripping the delivered-in-the-past contract); the
+// transitive min-plus reach bound must hold it back.
+TEST(PartitionedKernelTest, LookaheadIsTransitiveThroughEmptyShards) {
+  for (std::size_t threads : {1u, 2u, 3u}) {
+    Relay relay;
+    relay.kernel.run({Time::us(2), Time::us(2), Time::us(2)}, threads);
+    EXPECT_EQ(relay.c_received, Time::ns(7)) << "threads=" << threads;
+  }
+}
+
+/// Two shards ping-pong a token; each shard records its own receipt
+/// times (its events run only on the thread driving it that round, so
+/// per-shard vectors need no locks). The digest over both sequences is
+/// the determinism witness.
+struct PingPong {
+  explicit PingPong(Time lookahead) : lookahead_{lookahead} {
+    kernel.add_shard(a);
+    kernel.add_shard(b);
+    ab = kernel.connect(0, 1, lookahead);
+    ba = kernel.connect(1, 0, lookahead);
+    a.at(lookahead, [this] { on_a(); }, "kick");
+  }
+
+  void on_a() {
+    seen_a.push_back(a.now().ticks());
+    if (remaining-- > 0) kernel.send(ab, a.now() + lookahead_, [this] { on_b(); }, "ping");
+  }
+  void on_b() {
+    seen_b.push_back(b.now().ticks());
+    kernel.send(ba, b.now() + lookahead_, [this] { on_a(); }, "pong");
+  }
+
+  std::uint64_t run(Time horizon, std::size_t threads) {
+    kernel.run({horizon, horizon}, threads);
+    Digest d;
+    for (const auto t : seen_a) d.update("a").update(static_cast<std::uint64_t>(t));
+    for (const auto t : seen_b) d.update("b").update(static_cast<std::uint64_t>(t));
+    return d.value();
+  }
+
+  PartitionedKernel kernel;
+  Simulator a{11}, b{22};
+  std::size_t ab = 0, ba = 0;
+  Time lookahead_;
+  int remaining = 32;
+  std::vector<std::int64_t> seen_a, seen_b;
+};
+
+TEST(PartitionedKernelTest, PingPongScheduleIsThreadCountInvariant) {
+  const std::uint64_t reference = PingPong{Time::ns(500)}.run(Time::us(100), 1);
+  for (std::size_t threads : {2u, 4u}) {
+    EXPECT_EQ(PingPong{Time::ns(500)}.run(Time::us(100), threads), reference)
+        << "threads=" << threads;
+  }
+  EXPECT_NE(PingPong{Time::ns(500)}.run(Time::us(1), 1), reference)
+      << "digest must actually depend on the schedule";
+}
+
+TEST(PartitionedKernelTest, OneTickLookaheadStillConverges) {
+  // lookahead = 1 ps: every round advances by the minimum possible
+  // window, the worst case for both progress and the horizon math.
+  const std::uint64_t reference = PingPong{Time::ps(1)}.run(Time::ps(200), 1);
+  for (std::size_t threads : {2u, 4u}) {
+    EXPECT_EQ(PingPong{Time::ps(1)}.run(Time::ps(200), threads), reference)
+        << "threads=" << threads;
+  }
+}
+
+TEST(PartitionedKernelTest, StatsCountRoundsAndMessages) {
+  PingPong game{Time::ns(500)};
+  const PartitionRunStats stats = game.kernel.run({Time::us(100), Time::us(100)}, 2);
+  // 32 pings each answered by a pong, plus the final unanswered receipt.
+  EXPECT_EQ(stats.messages, 64u);
+  EXPECT_GE(stats.rounds, 1u);
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_EQ(game.kernel.links(), 2u);
+  EXPECT_EQ(game.kernel.shards(), 2u);
+}
+
+}  // namespace
+}  // namespace dredbox::sim
